@@ -1,0 +1,57 @@
+// Ablation: does the market game reach the same equilibria regardless of the
+// performance backend (approximate model vs detailed CTMC vs simulation)?
+//
+// Fig. 7 uses the simulation backend for tractability (see fig7_market.cpp);
+// this bench justifies the substitution on a small federation where all
+// three backends are affordable.
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "federation/backend.hpp"
+#include "market/game.hpp"
+
+int main() {
+  using namespace scshare;
+  scshare::bench::print_header(
+      "Ablation: market equilibria across performance backends");
+  const bool full = scshare::bench::full_scale();
+
+  federation::FederationConfig cfg;
+  cfg.scs = {{.num_vms = 5, .lambda = 4.0, .mu = 1.0, .max_wait = 0.2},
+             {.num_vms = 5, .lambda = 2.5, .mu = 1.0, .max_wait = 0.2}};
+  cfg.shares = {0, 0};
+
+  sim::SimOptions so;
+  so.warmup_time = 1000.0;
+  so.measure_time = full ? 100000.0 : 20000.0;
+  so.seed = 3;
+
+  std::printf("%-12s %8s %10s %12s %10s %10s\n", "backend", "CG/CP",
+              "shares", "converged", "U1", "U2");
+  for (double ratio : {0.3, 0.6, 0.9}) {
+    market::PriceConfig prices;
+    prices.public_price = {1.0, 1.0};
+    prices.federation_price = ratio;
+
+    std::unique_ptr<federation::PerformanceBackend> backends[] = {
+        std::make_unique<federation::DetailedBackend>(),
+        std::make_unique<federation::ApproxBackend>(),
+        std::make_unique<federation::SimulationBackend>(so),
+    };
+    for (auto& inner : backends) {
+      federation::CachingBackend backend(std::move(inner));
+      market::GameOptions options;
+      options.method = market::BestResponseMethod::kExhaustive;
+      market::Game game(cfg, prices, {.gamma = 0.0}, backend, options);
+      const auto result = game.run();
+      std::printf("%-12s %8.1f      (%d,%d) %12s %10.4f %10.4f\n",
+                  std::string(backend.name()).c_str(), ratio,
+                  result.shares[0], result.shares[1],
+                  result.converged ? "yes" : "no", result.utilities[0],
+                  result.utilities[1]);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

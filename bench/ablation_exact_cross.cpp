@@ -1,0 +1,69 @@
+// Ablation: cross-validation of the two "exact" references.
+//
+// The detailed CTMC (Sect. III-B) and the discrete-event simulator implement
+// the same sharing policy through entirely different machinery; agreement
+// within simulation confidence intervals is strong evidence that both are
+// correct. The paper validated only against its simulator — this bench is
+// an additional consistency check this reproduction adds.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "federation/detailed_model.hpp"
+#include "sim/simulator.hpp"
+
+int main() {
+  using namespace scshare;
+  scshare::bench::print_header(
+      "Ablation: detailed CTMC vs discrete-event simulator");
+  const bool full = scshare::bench::full_scale();
+
+  struct Case {
+    double l1, l2;
+    int s1, s2;
+  };
+  const Case cases[] = {
+      {2.0, 2.0, 1, 1}, {3.5, 2.0, 2, 2}, {4.0, 4.0, 3, 3},
+      {4.8, 2.5, 2, 4}, {4.5, 4.5, 5, 5},
+  };
+
+  std::printf("%-16s %-3s %10s %10s %10s %10s %10s %10s\n", "case", "sc",
+              "ctmc_I", "sim_I", "ctmc_O", "sim_O", "ctmc_pf", "sim_pf");
+  int violations = 0;
+  for (const auto& c : cases) {
+    federation::FederationConfig cfg;
+    cfg.scs = {{.num_vms = 5, .lambda = c.l1, .mu = 1.0, .max_wait = 0.2},
+               {.num_vms = 5, .lambda = c.l2, .mu = 1.0, .max_wait = 0.2}};
+    cfg.shares = {c.s1, c.s2};
+    const auto exact = federation::solve_detailed(cfg);
+
+    sim::SimOptions so;
+    so.warmup_time = 2000.0;
+    so.measure_time = full ? 200000.0 : 50000.0;
+    so.seed = 7;
+    sim::Simulator simulator(cfg, so);
+    const auto sim_stats = simulator.run();
+
+    char label[32];
+    std::snprintf(label, sizeof(label), "l=%.1f/%.1f s=%d/%d", c.l1, c.l2,
+                  c.s1, c.s2);
+    for (std::size_t i = 0; i < 2; ++i) {
+      const auto& s = sim_stats[i];
+      std::printf("%-16s %-3zu %10.4f %10.4f %10.4f %10.4f %10.4f %10.4f\n",
+                  label, i, exact[i].lent, s.metrics.lent, exact[i].borrowed,
+                  s.metrics.borrowed, exact[i].forward_prob,
+                  s.metrics.forward_prob);
+      // The CTMC value should fall inside ~3x the simulator's 95% CI.
+      if (std::abs(exact[i].lent - s.metrics.lent) >
+          3.0 * std::max(s.lent_hw, 0.003)) {
+        ++violations;
+      }
+      if (std::abs(exact[i].borrowed - s.metrics.borrowed) >
+          3.0 * std::max(s.borrowed_hw, 0.003)) {
+        ++violations;
+      }
+    }
+  }
+  std::printf("\n# CI violations (should be ~0): %d\n", violations);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Ablation (beyond the paper): competing federations. The paper's Sect. VII
+// leaves multi-federation participation as future work; this bench lets two
+// federations with different internal prices compete for four SCs and sweeps
+// the price gap. Expected dynamics: with equal prices members consolidate
+// into one pool (network effect); as one federation's price rises, it
+// becomes a lender's market and membership reshuffles accordingly.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "federation/backend.hpp"
+#include "market/multi_federation.hpp"
+
+int main() {
+  using namespace scshare;
+  scshare::bench::print_header("Ablation: competing federations");
+  const bool full = scshare::bench::full_scale();
+
+  federation::FederationConfig cfg;
+  cfg.scs = {{.num_vms = 10, .lambda = 8.5, .mu = 1.0, .max_wait = 0.2},
+             {.num_vms = 10, .lambda = 5.0, .mu = 1.0, .max_wait = 0.2},
+             {.num_vms = 10, .lambda = 7.5, .mu = 1.0, .max_wait = 0.2},
+             {.num_vms = 10, .lambda = 6.0, .mu = 1.0, .max_wait = 0.2}};
+  cfg.shares = {0, 0, 0, 0};
+
+  sim::SimOptions so;
+  so.warmup_time = 500.0;
+  so.measure_time = full ? 60000.0 : 20000.0;
+  so.seed = 11;
+
+  std::printf("%-10s %-10s %14s %14s %12s %10s\n", "CG_fed0", "CG_fed1",
+              "membership", "shares", "converged", "rounds");
+  for (double price1 : {0.4, 0.6, 0.8, 0.95}) {
+    federation::SimulationBackend backend(so);
+    market::MultiFederationOptions options;
+    options.initial_membership = {0, 1, 0, 1};
+    options.initial_shares = {3, 3, 3, 3};
+    options.improvement_tolerance = 0.1;
+    market::MultiFederationGame game(cfg, {0.4, price1}, {1, 1, 1, 1},
+                                     {.gamma = 0.0}, backend, options);
+    const auto r = game.run();
+    std::printf("%-10.2f %-10.2f    (%d,%d,%d,%d)   (%d,%d,%d,%d) %12s %10d\n",
+                0.4, price1, r.membership[0], r.membership[1],
+                r.membership[2], r.membership[3], r.shares[0], r.shares[1],
+                r.shares[2], r.shares[3], r.converged ? "yes" : "no",
+                r.rounds);
+  }
+  std::printf("\n# Membership -1 = isolated. With a large price gap the\n"
+              "# expensive federation only survives if enough lenders value\n"
+              "# its higher internal price over the cheap pool's borrowers.\n");
+  return 0;
+}

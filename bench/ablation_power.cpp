@@ -1,0 +1,46 @@
+// Ablation (beyond the paper): the power-extended cost function. The paper
+// lists per-VM power consumption as a future extension of Eq. (1); this
+// bench sweeps the power price and reports the equilibrium sharing vector —
+// once running a VM costs more than the federation price earns, lending
+// destroys value and the market unwinds.
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "federation/backend.hpp"
+#include "market/game.hpp"
+
+int main() {
+  using namespace scshare;
+  scshare::bench::print_header("Ablation: power-extended cost function");
+  const bool full = scshare::bench::full_scale();
+
+  federation::FederationConfig cfg;
+  cfg.scs = {{.num_vms = 5, .lambda = 4.0, .mu = 1.0, .max_wait = 0.2},
+             {.num_vms = 5, .lambda = 2.5, .mu = 1.0, .max_wait = 0.2}};
+  cfg.shares = {0, 0};
+
+  std::printf("%-12s %10s %12s %12s %12s\n", "power_price", "shares",
+              "cost_1", "cost_2", "converged");
+  const double step = full ? 0.1 : 0.2;
+  for (double power = 0.0; power <= 1.0001; power += step) {
+    federation::CachingBackend backend(
+        std::make_unique<federation::DetailedBackend>());
+    market::PriceConfig prices;
+    prices.public_price = {1.0, 1.0};
+    prices.federation_price = 0.4;
+    prices.power_price = power;
+    market::GameOptions options;
+    options.method = market::BestResponseMethod::kExhaustive;
+    market::Game game(cfg, prices, {.gamma = 0.0}, backend, options);
+    const auto result = game.run();
+    std::printf("%-12.2f      (%d,%d) %12.4f %12.4f %12s\n", power,
+                result.shares[0], result.shares[1], result.costs[0],
+                result.costs[1], result.converged ? "yes" : "no");
+  }
+  std::printf(
+      "\n# Reading: shares shrink as the power price approaches and passes\n"
+      "# the federation price C^G = 0.4 (lending a VM then costs more in\n"
+      "# electricity than it earns).\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Ablation (beyond the paper): sensitivity of federation metrics to the
+// service-time distribution. The paper assumes exponential services and
+// suggests phase-type fits for real traces (Sect. VII); this bench shows how
+// far the exponential assumption carries by simulating the same federation
+// with low-variance (Erlang-4) and bursty (H2, scv = 4) services.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sim/simulator.hpp"
+
+int main() {
+  using namespace scshare;
+  scshare::bench::print_header(
+      "Ablation: service-time distribution sensitivity");
+  const bool full = scshare::bench::full_scale();
+
+  federation::FederationConfig cfg;
+  cfg.scs = {{.num_vms = 10, .lambda = 8.0, .mu = 1.0, .max_wait = 0.2},
+             {.num_vms = 10, .lambda = 6.0, .mu = 1.0, .max_wait = 0.2}};
+  cfg.shares = {4, 4};
+
+  struct Family {
+    const char* name;
+    sim::ServiceDistribution dist;
+  };
+  const Family families[] = {
+      {"erlang-4 (scv=.25)", sim::ServiceDistribution::kErlang},
+      {"exponential (scv=1)", sim::ServiceDistribution::kExponential},
+      {"hyperexp (scv=4)", sim::ServiceDistribution::kHyperExponential},
+  };
+
+  std::printf("%-22s %8s %8s %8s %10s %10s %12s\n", "service family", "I",
+              "O", "fwd_p", "mean_wait", "P[w>Q]", "utilization");
+  for (const auto& family : families) {
+    sim::SimOptions so;
+    so.warmup_time = 1000.0;
+    so.measure_time = full ? 200000.0 : 40000.0;
+    so.seed = 31;
+    so.service = family.dist;
+    sim::Simulator simulator(cfg, so);
+    const auto stats = simulator.run();
+    const auto& s = stats[0];  // the busy SC
+    std::printf("%-22s %8.3f %8.3f %8.4f %10.4f %10.4f %12.4f\n", family.name,
+                s.metrics.lent, s.metrics.borrowed, s.metrics.forward_prob,
+                s.mean_wait, s.sla_violation_prob, s.metrics.utilization);
+  }
+  std::printf(
+      "\n# Reading: utilization is insensitive to the family (same offered\n"
+      "# load); waits and SLA violations grow with service variability, so\n"
+      "# the exponential-based PNF admission rule under-forwards for bursty\n"
+      "# workloads — the caveat behind the paper's phase-type suggestion.\n");
+  return 0;
+}

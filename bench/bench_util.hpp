@@ -1,0 +1,40 @@
+// Shared helpers for the figure-reproduction benches: CSV-ish row printing,
+// wall-clock timing, and the SCSHARE_BENCH_FULL switch that toggles between
+// quick (default) and paper-scale parameter grids.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace scshare::bench {
+
+/// True when the environment asks for the full paper-scale grids
+/// (SCSHARE_BENCH_FULL=1); default grids are sized to finish in seconds to
+/// a few minutes on one core.
+inline bool full_scale() {
+  const char* v = std::getenv("SCSHARE_BENCH_FULL");
+  return v != nullptr && v[0] == '1';
+}
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void print_header(const char* title) {
+  std::printf("# %s\n", title);
+  std::printf("# mode: %s (set SCSHARE_BENCH_FULL=1 for paper-scale grids)\n",
+              full_scale() ? "full" : "quick");
+}
+
+}  // namespace scshare::bench

@@ -1,0 +1,80 @@
+// Reproduces paper Fig. 5: probability of forwarding a request to the public
+// cloud as a function of system utilization, for clouds with 10 and 100 VMs
+// and SLA bounds Q = 0.2 and Q = 0.5 (mu = 1). The analytical estimate
+// (Sect. III-A birth-death model) is compared against the discrete-event
+// simulator.
+//
+// Paper claims reproduced here:
+//  * forwarding probability rises with utilization,
+//  * tighter SLAs (smaller Q) forward more,
+//  * at equal utilization the larger cloud forwards less.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "queueing/no_share_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+double simulate_forward_prob(int n, double lambda, double q,
+                             double measure_time) {
+  scshare::federation::FederationConfig cfg;
+  cfg.scs = {{.num_vms = n, .lambda = lambda, .mu = 1.0, .max_wait = q}};
+  cfg.shares = {0};
+  scshare::sim::SimOptions options;
+  options.warmup_time = measure_time / 10.0;
+  options.measure_time = measure_time;
+  options.seed = 1234;
+  return scshare::sim::simulate_metrics(cfg, options)[0].forward_prob;
+}
+
+}  // namespace
+
+int main() {
+  using scshare::bench::full_scale;
+  scshare::bench::print_header(
+      "Fig. 5: forwarding probability vs utilization (model vs simulation)");
+
+  const double measure_time = full_scale() ? 200000.0 : 30000.0;
+  std::vector<double> utils;
+  for (double u = 0.30; u <= 0.951; u += full_scale() ? 0.05 : 0.10) {
+    utils.push_back(u);
+  }
+
+  std::printf("%-6s %-5s %-6s %12s %12s %10s\n", "vms", "qos", "util",
+              "model_pf", "sim_pf", "rel_err");
+  for (int n : {10, 100}) {
+    for (double q : {0.2, 0.5}) {
+      for (double u : utils) {
+        // "Utilization" on the x-axis is offered load lambda / (N mu), as in
+        // the paper's sweep of arrival rates.
+        const double lambda = u * n;
+        const auto model = scshare::queueing::solve_no_share(
+            {.num_vms = n, .lambda = lambda, .mu = 1.0, .max_wait = q});
+        const double sim = simulate_forward_prob(n, lambda, q, measure_time);
+        const double rel =
+            sim > 1e-4 ? std::abs(model.forward_prob - sim) / sim : 0.0;
+        std::printf("%-6d %-5.1f %-6.2f %12.5f %12.5f %9.1f%%\n", n, q, u,
+                    model.forward_prob, sim, rel * 100.0);
+      }
+    }
+  }
+
+  std::printf("\n# Shape checks (paper claims):\n");
+  const auto pf = [](int n, double lambda, double q) {
+    return scshare::queueing::solve_no_share(
+               {.num_vms = n, .lambda = lambda, .mu = 1.0, .max_wait = q})
+        .forward_prob;
+  };
+  std::printf("#  rises with utilization (N=10, Q=0.2): %.4f -> %.4f  %s\n",
+              pf(10, 5.0, 0.2), pf(10, 9.0, 0.2),
+              pf(10, 9.0, 0.2) > pf(10, 5.0, 0.2) ? "OK" : "VIOLATED");
+  std::printf("#  tighter SLA forwards more (N=10, u=0.8): %.4f > %.4f  %s\n",
+              pf(10, 8.0, 0.2), pf(10, 8.0, 0.5),
+              pf(10, 8.0, 0.2) > pf(10, 8.0, 0.5) ? "OK" : "VIOLATED");
+  std::printf("#  larger cloud forwards less (u=0.8, Q=0.2): %.4f > %.4f  %s\n",
+              pf(10, 8.0, 0.2), pf(100, 80.0, 0.2),
+              pf(10, 8.0, 0.2) > pf(100, 80.0, 0.2) ? "OK" : "VIOLATED");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Reproduces paper Fig. 6: validation of the approximate hierarchical model
+// against the exact reference (discrete-event simulation) for the lent (Ī)
+// and borrowed (Ō) VM counts of a target SC.
+//
+// Panels:
+//  (a,b) 2-SC federation, 10 VMs each; the other SC has lambda = 7 and
+//        shares 5; the target shares 1 (a) or 9 (b); its load is swept.
+//  (c,d) 10-SC federation; nine SCs fixed with shares (3,3,3,2,2,2,1,1,1)
+//        and lambda (7,7,7,8,8,8,9,9,9); the target shares 1 (c) or 5 (d).
+//  (e,f) 2-SC federation with 100 VMs each, both sharing 10; the other SC
+//        runs at utilization 0.8 (e) or 0.9 (f).
+//
+// Expected shape (paper Sect. V-A): Ī and Ō close to simulation at moderate
+// load; Ī under-estimated and Ō over-estimated as utilization approaches
+// 0.9 (the hierarchy breaks the direct coupling between SCs).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/math.hpp"
+#include "federation/approx_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using scshare::federation::FederationConfig;
+using scshare::federation::ScMetrics;
+
+void run_panel(const char* panel, FederationConfig cfg, std::size_t target,
+               const std::vector<double>& lambdas, double measure_time) {
+  scshare::federation::ApproxModel model(cfg);
+  const auto approx = model.solve_target_sweep(target, lambdas);
+
+  std::printf("%-6s %-6s %8s %10s %10s %10s %10s %8s %8s\n", "panel",
+              "share", "util", "sim_I", "apx_I", "sim_O", "apx_O", "errI",
+              "errO");
+  for (std::size_t i = 0; i < lambdas.size(); ++i) {
+    FederationConfig point = cfg;
+    point.scs[target].lambda = lambdas[i];
+    scshare::sim::SimOptions so;
+    so.warmup_time = measure_time / 10.0;
+    so.measure_time = measure_time;
+    so.seed = 99;
+    const auto sim = scshare::sim::simulate_metrics(point, so)[target];
+    const double util = lambdas[i] / point.scs[target].num_vms;
+    std::printf(
+        "%-6s %-6d %8.2f %10.4f %10.4f %10.4f %10.4f %7.1f%% %7.1f%%\n",
+        panel, cfg.shares[target], util, sim.lent, approx[i].lent,
+        sim.borrowed, approx[i].borrowed,
+        scshare::math::relative_error(approx[i].lent, sim.lent, 0.05) * 100.0,
+        scshare::math::relative_error(approx[i].borrowed, sim.borrowed, 0.05) *
+            100.0);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using scshare::bench::full_scale;
+  scshare::bench::print_header(
+      "Fig. 6: approximate model vs simulation (lent Ī / borrowed Ō)");
+
+  const double measure_time = full_scale() ? 100000.0 : 20000.0;
+  std::vector<double> lambdas;
+  if (full_scale()) {
+    lambdas = {3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0};
+  } else {
+    lambdas = {4.0, 6.0, 8.0, 9.0};
+  }
+
+  // ---- Panels (a, b): 2-SC, 10 VMs -----------------------------------
+  for (int target_share : {1, 9}) {
+    FederationConfig cfg;
+    cfg.scs = {{.num_vms = 10, .lambda = 7.0, .mu = 1.0, .max_wait = 0.2},
+               {.num_vms = 10, .lambda = 7.0, .mu = 1.0, .max_wait = 0.2}};
+    cfg.shares = {5, target_share};
+    run_panel(target_share == 1 ? "a" : "b", cfg, 1, lambdas, measure_time);
+  }
+
+  // ---- Panels (c, d): 10-SC ------------------------------------------
+  {
+    const std::vector<double> lambdas10 =
+        full_scale() ? lambdas : std::vector<double>{5.0, 8.0};
+    const double fixed_lambda[9] = {7, 7, 7, 8, 8, 8, 9, 9, 9};
+    const int fixed_share[9] = {3, 3, 3, 2, 2, 2, 1, 1, 1};
+    for (int target_share : {1, 5}) {
+      FederationConfig cfg;
+      for (int i = 0; i < 9; ++i) {
+        cfg.scs.push_back({.num_vms = 10,
+                           .lambda = fixed_lambda[i],
+                           .mu = 1.0,
+                           .max_wait = 0.2});
+        cfg.shares.push_back(fixed_share[i]);
+      }
+      cfg.scs.push_back(
+          {.num_vms = 10, .lambda = 8.0, .mu = 1.0, .max_wait = 0.2});
+      cfg.shares.push_back(target_share);
+      scshare::bench::Timer t;
+      run_panel(target_share == 1 ? "c" : "d", cfg, 9, lambdas10,
+                measure_time);
+      std::printf("# panel %s wall time: %.1fs\n\n",
+                  target_share == 1 ? "c" : "d", t.seconds());
+    }
+  }
+
+  // ---- Panels (e, f): 2-SC, 100 VMs ----------------------------------
+  {
+    std::vector<double> lambdas100;
+    for (double l : lambdas) lambdas100.push_back(10.0 * l);
+    for (double other_util : {0.8, 0.9}) {
+      FederationConfig cfg;
+      cfg.scs = {{.num_vms = 100,
+                  .lambda = other_util * 100.0,
+                  .mu = 1.0,
+                  .max_wait = 0.2},
+                 {.num_vms = 100, .lambda = 80.0, .mu = 1.0, .max_wait = 0.2}};
+      cfg.shares = {10, 10};
+      run_panel(other_util < 0.85 ? "e" : "f", cfg, 1, lambdas100,
+                measure_time);
+    }
+  }
+  return 0;
+}

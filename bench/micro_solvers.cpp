@@ -1,0 +1,134 @@
+// Google-benchmark microbenchmarks for the numerical substrates: sparse
+// mat-vec, steady-state and transient CTMC solvers, the standalone SC model,
+// the forwarding probability, and simulator event throughput.
+#include <benchmark/benchmark.h>
+
+#include "federation/approx_model.hpp"
+#include "federation/detailed_model.hpp"
+#include "markov/ctmc.hpp"
+#include "markov/steady_state.hpp"
+#include "markov/transient.hpp"
+#include "queueing/forwarding.hpp"
+#include "queueing/no_share_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace scshare;
+
+markov::Ctmc make_birth_death(std::size_t n, double lambda, double mu) {
+  markov::Ctmc chain(n);
+  for (std::size_t q = 0; q + 1 < n; ++q) {
+    chain.add_rate(q, q + 1, lambda);
+    chain.add_rate(q + 1, q, static_cast<double>(q + 1) * mu);
+  }
+  chain.finalize();
+  return chain;
+}
+
+void BM_CsrMatVec(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto chain = make_birth_death(n, 5.0, 1.0);
+  std::vector<double> x(n, 1.0 / static_cast<double>(n));
+  std::vector<double> y(n);
+  for (auto _ : state) {
+    chain.generator().multiply_transposed(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(chain.generator().nnz()));
+}
+BENCHMARK(BM_CsrMatVec)->Arg(1000)->Arg(100000);
+
+void BM_SteadyState(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto chain = make_birth_death(n, 5.0, 1.0);
+  for (auto _ : state) {
+    auto result = markov::solve_steady_state(chain);
+    benchmark::DoNotOptimize(result.pi.data());
+  }
+}
+BENCHMARK(BM_SteadyState)->Arg(100)->Arg(10000);
+
+void BM_Transient(benchmark::State& state) {
+  const auto chain = make_birth_death(2000, 5.0, 1.0);
+  const markov::TransientSolver solver(chain);
+  std::vector<double> p0(2000, 0.0);
+  p0[0] = 1.0;
+  for (auto _ : state) {
+    auto p = solver.evolve(p0, 1.0);
+    benchmark::DoNotOptimize(p.data());
+  }
+}
+BENCHMARK(BM_Transient);
+
+void BM_NoShareModel(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto result = queueing::solve_no_share({.num_vms = n,
+                                            .lambda = 0.85 * n,
+                                            .mu = 1.0,
+                                            .max_wait = 0.2});
+    benchmark::DoNotOptimize(result.forward_prob);
+  }
+}
+BENCHMARK(BM_NoShareModel)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_ForwardingProbability(benchmark::State& state) {
+  for (auto _ : state) {
+    for (int q = 0; q < 64; ++q) {
+      benchmark::DoNotOptimize(queueing::prob_no_forward(q, 10, 1.0, 0.2));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ForwardingProbability);
+
+void BM_SimulatorThroughput(benchmark::State& state) {
+  federation::FederationConfig cfg;
+  cfg.scs = {{.num_vms = 10, .lambda = 8.0, .mu = 1.0, .max_wait = 0.2},
+             {.num_vms = 10, .lambda = 6.0, .mu = 1.0, .max_wait = 0.2}};
+  cfg.shares = {3, 3};
+  sim::SimOptions options;
+  options.warmup_time = 100.0;
+  options.measure_time = 5000.0;
+  std::uint64_t seed = 1;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    options.seed = seed++;
+    sim::Simulator simulator(cfg, options);
+    const auto stats = simulator.run();
+    for (const auto& s : stats) events += s.arrivals * 2;
+    benchmark::DoNotOptimize(stats.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_SimulatorThroughput);
+
+void BM_DetailedModel2Sc(benchmark::State& state) {
+  federation::FederationConfig cfg;
+  cfg.scs = {{.num_vms = 5, .lambda = 3.5, .mu = 1.0, .max_wait = 0.2},
+             {.num_vms = 5, .lambda = 3.0, .mu = 1.0, .max_wait = 0.2}};
+  cfg.shares = {2, 2};
+  for (auto _ : state) {
+    auto metrics = federation::solve_detailed(cfg);
+    benchmark::DoNotOptimize(metrics.data());
+  }
+}
+BENCHMARK(BM_DetailedModel2Sc);
+
+void BM_ApproxModel2Sc(benchmark::State& state) {
+  federation::FederationConfig cfg;
+  cfg.scs = {{.num_vms = 10, .lambda = 7.0, .mu = 1.0, .max_wait = 0.2},
+             {.num_vms = 10, .lambda = 8.0, .mu = 1.0, .max_wait = 0.2}};
+  cfg.shares = {5, 5};
+  for (auto _ : state) {
+    auto metrics = federation::solve_approx_target(cfg, 1);
+    benchmark::DoNotOptimize(metrics.lent);
+  }
+}
+BENCHMARK(BM_ApproxModel2Sc);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+// Adaptive sharing: the deployment loop from the paper's Sect. VII ("each SC
+// would collect sufficient historical traces ... and update its sharing
+// decisions after observing a long-term change in system parameters").
+//
+// Two SCs run the market game at their initial loads. Midway, SC 0's traffic
+// doubles; the controller's workload monitor confirms the regime change,
+// re-estimates the arrival rates, and re-runs the game. We compare SC 0's
+// operating cost under the stale sharing vector against the re-negotiated
+// one.
+//
+// Build & run:  ./examples/adaptive_sharing
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "control/sharing_controller.hpp"
+#include "core/framework.hpp"
+
+int main() {
+  using namespace scshare;
+
+  federation::FederationConfig config;
+  config.scs = {
+      {.num_vms = 10, .lambda = 2.5, .mu = 1.0, .max_wait = 0.2},
+      {.num_vms = 10, .lambda = 6.0, .mu = 1.0, .max_wait = 0.2},
+  };
+  config.shares = {0, 0};
+
+  market::PriceConfig prices;
+  prices.public_price = {1.0, 1.0};
+  prices.federation_price = 0.4;
+
+  federation::CachingBackend backend(
+      std::make_unique<federation::DetailedBackend>(
+          federation::DetailedModelOptions{}));
+
+  control::ControllerOptions options;
+  options.game.method = market::BestResponseMethod::kExhaustive;
+  control::SharingController controller(config, prices, backend, options);
+
+  // Initial negotiation at the configured loads.
+  auto initial = controller.renegotiate(0.0);
+  std::printf("initial agreement: shares (%d, %d)\n\n",
+              initial.new_shares[0], initial.new_shares[1]);
+
+  // Feed the arrival stream: phase 1 at the configured rates, phase 2 with
+  // SC 0 doubled.
+  Rng rng(2027);
+  const auto feed = [&](double from, double until, double l0, double l1) {
+    double next0 = from + rng.exponential(l0);
+    double next1 = from + rng.exponential(l1);
+    while (std::min(next0, next1) < until) {
+      if (next0 <= next1) {
+        controller.observe_arrival(0, next0);
+        next0 += rng.exponential(l0);
+      } else {
+        controller.observe_arrival(1, next1);
+        next1 += rng.exponential(l1);
+      }
+    }
+  };
+
+  feed(0.0, 6000.0, 2.5, 6.0);
+  std::printf("after stable phase:   renegotiation due? %s\n",
+              controller.renegotiation_due() ? "yes" : "no");
+
+  feed(6000.0, 9000.0, 9.0, 6.0);  // SC 0's load more than triples
+  std::printf("after SC0 load x3.6:  renegotiation due? %s\n",
+              controller.renegotiation_due() ? "yes" : "no");
+  std::printf("estimated rates: SC0 %.2f (true 9.0), SC1 %.2f (true 6.0)\n\n",
+              controller.monitor(0).fast_rate(),
+              controller.monitor(1).fast_rate());
+
+  const auto stale_shares = controller.shares();
+  const auto decision = controller.renegotiate(9000.0);
+
+  // Cost comparison at the *new* true loads.
+  federation::FederationConfig now = config;
+  now.scs[0].lambda = 9.0;
+  Framework fw(now, prices, {.gamma = 0.0},
+               {.backend = BackendKind::kDetailed});
+  const auto stale_costs = fw.costs(stale_shares);
+  const auto adapted_costs = fw.costs(decision.new_shares);
+
+  std::printf("re-negotiated shares: (%d, %d) -> (%d, %d)\n",
+              decision.old_shares[0], decision.old_shares[1],
+              decision.new_shares[0], decision.new_shares[1]);
+  const auto stale_utilities = fw.utilities(stale_shares);
+  std::printf("\n%-18s %12s %12s\n", "SC0 cost/s", "stale", "adapted");
+  std::printf("%-18s %12.4f %12.4f\n", "", stale_costs[0], adapted_costs[0]);
+
+  if (adapted_costs[0] < stale_costs[0]) {
+    std::printf("\nKeeping the stale agreement would overpay by %.1f%%.\n",
+                100.0 * (stale_costs[0] - adapted_costs[0]) /
+                    std::max(adapted_costs[0], 1e-9));
+  } else {
+    // The stale vector can look cheaper for SC 0, but it is no longer an
+    // equilibrium at the new loads: selfish best responses move away from
+    // it (here the partner withdraws), so it would not survive.
+    std::printf(
+        "\nThe stale deal looks cheaper for SC 0, but it is no longer an\n"
+        "equilibrium at the new loads (partner utility %.4f under the\n"
+        "stale vector, and its best response is to change strategy).\n"
+        "Among selfish SCs only the re-negotiated agreement survives —\n"
+        "which is why the paper's framework couples monitoring with the\n"
+        "market game instead of freezing a one-off contract.\n",
+        stale_utilities[1]);
+  }
+  return 0;
+}

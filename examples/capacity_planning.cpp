@@ -1,0 +1,63 @@
+// Capacity planning: how many VMs should my SC share?
+//
+// An operator fixes the rest of the federation (two peers with known sharing
+// behaviour) and sweeps its own share count S from 0 to N, printing the
+// resulting operating cost (Eq. (1)) and utility (Eq. (2)) so that the knee
+// of the curve is visible. This is exactly the per-SC decision problem the
+// market game automates.
+//
+// Build & run:  ./examples/capacity_planning
+#include <cstdio>
+
+#include "core/framework.hpp"
+
+int main() {
+  using namespace scshare;
+
+  federation::FederationConfig config;
+  config.scs = {
+      {.num_vms = 10, .lambda = 7.0, .mu = 1.0, .max_wait = 0.2},  // peer A
+      {.num_vms = 10, .lambda = 8.5, .mu = 1.0, .max_wait = 0.2},  // peer B
+      {.num_vms = 10, .lambda = 6.0, .mu = 1.0, .max_wait = 0.2},  // our SC
+  };
+  config.shares = {3, 2, 0};  // peers' committed shares; ours swept below
+  const std::size_t me = 2;
+
+  market::PriceConfig prices;
+  prices.public_price = {1.0, 1.0, 1.0};
+  prices.federation_price = 0.4;
+
+  FrameworkOptions options;
+  options.backend = BackendKind::kSimulation;  // robust at any federation size
+  options.sim.warmup_time = 2000.0;
+  options.sim.measure_time = 40000.0;
+  options.sim.seed = 2024;
+
+  Framework framework(config, prices, {.gamma = 0.0}, options);
+
+  std::printf("Capacity planning for SC %zu (lambda=%.1f, baseline cost "
+              "%.4f/s)\n",
+              me, config.scs[me].lambda, framework.baselines()[me].cost);
+  std::printf("%-6s %10s %10s %10s %12s %12s\n", "share", "lent", "borrowed",
+              "fwd/s", "cost", "utility");
+
+  double best_utility = -1.0;
+  int best_share = 0;
+  for (int share = 0; share <= config.scs[me].num_vms; ++share) {
+    auto shares = config.shares;
+    shares[me] = share;
+    const auto metrics = framework.metrics_for(shares);
+    const auto costs = framework.costs(shares);
+    const auto utilities = framework.utilities(shares);
+    std::printf("%-6d %10.3f %10.3f %10.4f %12.4f %12.4f\n", share,
+                metrics[me].lent, metrics[me].borrowed,
+                metrics[me].forward_rate, costs[me], utilities[me]);
+    if (utilities[me] > best_utility) {
+      best_utility = utilities[me];
+      best_share = share;
+    }
+  }
+  std::printf("\nBest response for SC %zu: share %d VMs (utility %.4f)\n", me,
+              best_share, best_utility);
+  return 0;
+}

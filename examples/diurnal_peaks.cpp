@@ -1,0 +1,67 @@
+// Diurnal peaks: the paper motivates federation with SCs that "do not
+// experience peak workloads at the same time". This example simulates three
+// SCs with identical average load but offset daily peaks and shows how much
+// public-cloud traffic the federation absorbs compared to isolation — and
+// compares against the same federation under flat (Poisson) load, where
+// sharing helps far less.
+//
+// Build & run:  ./examples/diurnal_peaks
+#include <cstdio>
+
+#include "sim/simulator.hpp"
+
+int main() {
+  using namespace scshare;
+
+  federation::FederationConfig config;
+  for (int i = 0; i < 3; ++i) {
+    config.scs.push_back(
+        {.num_vms = 10, .lambda = 7.0, .mu = 1.0, .max_wait = 0.2});
+  }
+
+  sim::SimOptions options;
+  options.warmup_time = 2000.0;
+  options.measure_time = 60000.0;
+  options.seed = 2026;
+
+  const auto run = [&](bool diurnal, std::vector<int> shares) {
+    options.arrivals = diurnal ? sim::ArrivalProcess::kSinusoidal
+                               : sim::ArrivalProcess::kPoisson;
+    options.sin_amplitude = 0.6;   // peaks at 11.2 req/s, off-peak 2.8
+    options.sin_period = 2000.0;   // one "day"; SC peaks offset by 1/3 day
+    config.shares = std::move(shares);
+    return sim::simulate_metrics(config, options);
+  };
+
+  std::printf("3 SCs, 10 VMs each, average lambda = 7.0 (rho = 0.7)\n\n");
+  std::printf("%-26s %14s %14s %14s\n", "scenario", "fwd_prob(SC0)",
+              "fwd_prob(SC1)", "fwd_prob(SC2)");
+
+  const auto report = [](const char* name,
+                         const federation::FederationMetrics& m) {
+    std::printf("%-26s %14.4f %14.4f %14.4f\n", name, m[0].forward_prob,
+                m[1].forward_prob, m[2].forward_prob);
+  };
+
+  const auto flat_isolated = run(false, {0, 0, 0});
+  const auto flat_federated = run(false, {5, 5, 5});
+  const auto peak_isolated = run(true, {0, 0, 0});
+  const auto peak_federated = run(true, {5, 5, 5});
+
+  report("flat / isolated", flat_isolated);
+  report("flat / federated", flat_federated);
+  report("diurnal / isolated", peak_isolated);
+  report("diurnal / federated", peak_federated);
+
+  const auto total_fwd = [](const federation::FederationMetrics& m) {
+    return m[0].forward_rate + m[1].forward_rate + m[2].forward_rate;
+  };
+  std::printf("\nFederation cuts forwarded traffic by %.0f%% under flat load\n"
+              "and by %.0f%% under offset diurnal peaks — exactly the\n"
+              "complementary-peaks effect the paper's introduction builds on.\n",
+              100.0 * (1.0 - total_fwd(flat_federated) /
+                                 total_fwd(flat_isolated)),
+              100.0 * (1.0 - total_fwd(peak_federated) /
+                                 total_fwd(peak_isolated)));
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Surge analysis: how much public-cloud spend does a demand surge cause
+// before the system settles?
+//
+// Steady-state models answer "how much do I forward on average"; here we use
+// the transient machinery directly (uniformization + accumulated rewards) to
+// price a finite surge: an SC running at comfortable load is hit by a surge
+// arrival rate for T seconds, and we compute the expected number of requests
+// forwarded to the public cloud during the surge — starting from the
+// pre-surge steady state, not from the post-surge equilibrium.
+//
+// Build & run:  ./examples/surge_analysis
+#include <cstdio>
+#include <vector>
+
+#include "markov/ctmc.hpp"
+#include "markov/steady_state.hpp"
+#include "markov/transient.hpp"
+#include "queueing/forwarding.hpp"
+#include "queueing/no_share_model.hpp"
+
+int main() {
+  using namespace scshare;
+
+  const int n = 10;          // VMs
+  const double mu = 1.0;
+  const double q_sla = 0.2;  // SLA wait bound
+  const double base_lambda = 6.0;
+  const double surge_lambda = 12.0;
+  const double public_price = 1.0;  // $ per forwarded request
+
+  // Birth-death chain of the SC under the *surge* arrival rate.
+  const int q_max =
+      queueing::truncation_queue_length(n, mu, q_sla) + 1;
+  markov::Ctmc chain(static_cast<std::size_t>(q_max) + 1);
+  std::vector<double> forward_rate(static_cast<std::size_t>(q_max) + 1, 0.0);
+  for (int q = 0; q <= q_max; ++q) {
+    const double admit = queueing::prob_no_forward(q, n, mu, q_sla);
+    if (q < q_max) {
+      chain.add_rate(static_cast<std::size_t>(q),
+                     static_cast<std::size_t>(q) + 1, surge_lambda * admit);
+    }
+    if (q > 0) {
+      chain.add_rate(static_cast<std::size_t>(q),
+                     static_cast<std::size_t>(q) - 1,
+                     std::min(q, n) * mu);
+    }
+    // Reward = instantaneous forwarding rate in state q.
+    forward_rate[static_cast<std::size_t>(q)] = surge_lambda * (1.0 - admit);
+  }
+  chain.finalize();
+
+  // Initial condition: steady state under the pre-surge load.
+  const auto before = queueing::solve_no_share(
+      {.num_vms = n, .lambda = base_lambda, .mu = mu, .max_wait = q_sla});
+  std::vector<double> p0(static_cast<std::size_t>(q_max) + 1, 0.0);
+  for (std::size_t q = 0; q < before.pi.size() && q < p0.size(); ++q) {
+    p0[q] = before.pi[q];
+  }
+
+  // Steady state under the surge (the long-run regime).
+  const auto during = queueing::solve_no_share(
+      {.num_vms = n, .lambda = surge_lambda, .mu = mu, .max_wait = q_sla});
+
+  const markov::TransientSolver solver(chain);
+  std::printf("SC with %d VMs at lambda=%.0f hit by a surge to lambda=%.0f\n",
+              n, base_lambda, surge_lambda);
+  std::printf("steady-state forwarding: before %.4f/s, during surge %.4f/s\n\n",
+              before.forward_rate, during.forward_rate);
+
+  std::printf("%-10s %18s %18s %14s\n", "horizon", "E[forwarded]",
+              "steady-state est.", "transient/SS");
+  for (double horizon : {1.0, 2.0, 5.0, 10.0, 30.0, 120.0}) {
+    const double forwarded =
+        solver.accumulated_reward(p0, forward_rate, horizon);
+    const double naive = during.forward_rate * horizon;
+    std::printf("%-10.0f %18.3f %18.3f %14.2f\n", horizon, forwarded, naive,
+                forwarded / naive);
+  }
+
+  std::printf("\nShort surges cost much less than the steady-state rate\n"
+              "suggests (the queue takes seconds to build), so an SC sizing\n"
+              "its federation share against brief spikes can commit more VMs\n"
+              "than a steady-state analysis would allow. Expected spend for\n"
+              "a 30 s surge: $%.2f at C^P = %.2f per request.\n",
+              public_price *
+                  solver.accumulated_reward(p0, forward_rate, 30.0),
+              public_price);
+  return 0;
+}

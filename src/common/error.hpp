@@ -1,0 +1,31 @@
+// Error handling for the scshare library.
+//
+// The library throws `scshare::Error` (derived from std::runtime_error) for
+// violated preconditions and unrecoverable numerical failures. Hot paths use
+// SCSHARE_ASSERT, which is compiled out in release builds.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace scshare {
+
+/// Exception type thrown by all scshare components.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws scshare::Error with `message` if `condition` is false.
+/// Use for validating user-supplied configuration (always enabled).
+inline void require(bool condition, const std::string& message) {
+  if (!condition) throw Error(message);
+}
+
+}  // namespace scshare
+
+#ifndef NDEBUG
+#define SCSHARE_ASSERT(cond, msg) ::scshare::require((cond), (msg))
+#else
+#define SCSHARE_ASSERT(cond, msg) ((void)0)
+#endif

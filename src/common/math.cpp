@@ -1,0 +1,120 @@
+#include "common/math.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace scshare::math {
+
+double log_factorial(int n) {
+  SCSHARE_ASSERT(n >= 0, "log_factorial: n must be non-negative");
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double poisson_pmf(int k, double mean) {
+  require(mean >= 0.0, "poisson_pmf: mean must be non-negative");
+  if (k < 0) return 0.0;
+  if (mean == 0.0) return k == 0 ? 1.0 : 0.0;
+  const double log_p =
+      -mean + static_cast<double>(k) * std::log(mean) - log_factorial(k);
+  return std::exp(log_p);
+}
+
+double poisson_cdf(int k, double mean) {
+  require(mean >= 0.0, "poisson_cdf: mean must be non-negative");
+  if (k < 0) return 0.0;
+  if (mean == 0.0) return 1.0;
+  // Sum ascending from the smallest term to limit round-off; the pmf is
+  // unimodal so summing from 0 upward is stable enough for k near the mean,
+  // and for k far above the mean the result saturates at 1.
+  double sum = 0.0;
+  double term = std::exp(-mean);  // P[X = 0]
+  if (term == 0.0) {
+    // Large mean: accumulate in log space via the stable pmf.
+    for (int j = 0; j <= k; ++j) sum += poisson_pmf(j, mean);
+    return std::min(sum, 1.0);
+  }
+  for (int j = 0; j <= k; ++j) {
+    sum += term;
+    term *= mean / static_cast<double>(j + 1);
+  }
+  return std::min(sum, 1.0);
+}
+
+double poisson_sf(int k, double mean) {
+  require(mean >= 0.0, "poisson_sf: mean must be non-negative");
+  if (k <= 0) return 1.0;
+  if (mean == 0.0) return 0.0;
+  // P[X >= k] = 1 - P[X <= k-1]; when the cdf is close to 1, recompute the
+  // tail directly to avoid cancellation.
+  const double cdf = poisson_cdf(k - 1, mean);
+  if (cdf < 0.999999) return 1.0 - cdf;
+  double sum = 0.0;
+  double term = poisson_pmf(k, mean);
+  int j = k;
+  while (term > 0.0 && (sum == 0.0 || term > sum * 1e-18)) {
+    sum += term;
+    ++j;
+    term *= mean / static_cast<double>(j);
+  }
+  return sum;
+}
+
+PoissonWindow poisson_window(double mean, double epsilon) {
+  require(mean >= 0.0, "poisson_window: mean must be non-negative");
+  require(epsilon > 0.0 && epsilon < 1.0,
+          "poisson_window: epsilon must lie in (0, 1)");
+  PoissonWindow w;
+  if (mean == 0.0) {
+    w.left = 0;
+    w.right = 0;
+    w.weights = {1.0};
+    return w;
+  }
+  const int mode = static_cast<int>(mean);
+  // Expand symmetrically (in probability) around the mode until the captured
+  // mass reaches 1 - epsilon. The window size is O(sqrt(mean)) + O(log 1/eps).
+  int left = mode;
+  int right = mode;
+  double mass = poisson_pmf(mode, mean);
+  double left_term = mass;
+  double right_term = mass;
+  while (mass < 1.0 - epsilon) {
+    const double next_left =
+        left > 0 ? left_term * static_cast<double>(left) / mean : 0.0;
+    const double next_right = right_term * mean / static_cast<double>(right + 1);
+    if (next_left >= next_right && left > 0) {
+      --left;
+      left_term = next_left;
+      mass += left_term;
+    } else {
+      ++right;
+      right_term = next_right;
+      mass += right_term;
+    }
+  }
+  w.left = left;
+  w.right = right;
+  w.weights.resize(static_cast<std::size_t>(right - left + 1));
+  for (int k = left; k <= right; ++k) {
+    w.weights[static_cast<std::size_t>(k - left)] = poisson_pmf(k, mean);
+  }
+  // Renormalize so that downstream mixtures stay stochastic.
+  double total = 0.0;
+  for (double v : w.weights) total += v;
+  for (double& v : w.weights) v /= total;
+  return w;
+}
+
+bool approx_equal(double a, double b, double rel_tol, double abs_tol) {
+  const double diff = std::abs(a - b);
+  return diff <= abs_tol + rel_tol * std::max(std::abs(a), std::abs(b));
+}
+
+double relative_error(double estimate, double reference, double floor) {
+  return std::abs(estimate - reference) /
+         std::max(std::abs(reference), floor);
+}
+
+}  // namespace scshare::math

@@ -1,0 +1,47 @@
+// Numerically stable special functions used throughout the Markov-chain and
+// queueing components: Poisson pmf/cdf evaluated in log space, a Fox–Glynn
+// style truncation window for uniformization, and small helpers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace scshare::math {
+
+/// Natural log of n! computed via lgamma. Exact for n <= 20.
+[[nodiscard]] double log_factorial(int n);
+
+/// Poisson pmf P[X = k] for X ~ Poisson(mean). Stable for large means.
+/// Returns 0 for k < 0; requires mean >= 0.
+[[nodiscard]] double poisson_pmf(int k, double mean);
+
+/// Poisson cdf P[X <= k]. Returns 0 for k < 0, 1 for mean == 0 and k >= 0.
+[[nodiscard]] double poisson_cdf(int k, double mean);
+
+/// Complementary Poisson cdf P[X >= k] computed without cancellation.
+[[nodiscard]] double poisson_sf(int k, double mean);
+
+/// Truncation window [left, right] and weights for the Poisson(mean)
+/// distribution such that the omitted mass is below `epsilon`
+/// (Fox & Glynn, "Computing Poisson Probabilities", CACM 1988 — implemented
+/// here directly from stable pmf evaluations, which is adequate for the
+/// means encountered in this library).
+struct PoissonWindow {
+  int left = 0;
+  int right = 0;
+  std::vector<double> weights;  ///< weights[k - left] = P[X = k], renormalized.
+};
+
+/// Computes the truncated Poisson window. `mean >= 0`, `epsilon in (0, 1)`.
+[[nodiscard]] PoissonWindow poisson_window(double mean, double epsilon);
+
+/// True if |a - b| <= abs_tol + rel_tol * max(|a|, |b|).
+[[nodiscard]] bool approx_equal(double a, double b, double rel_tol = 1e-9,
+                                double abs_tol = 1e-12);
+
+/// Relative error |estimate - reference| / max(|reference|, floor).
+/// `floor` guards against division by ~0 when the reference is tiny.
+[[nodiscard]] double relative_error(double estimate, double reference,
+                                    double floor = 1e-12);
+
+}  // namespace scshare::math

@@ -1,0 +1,84 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace scshare {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t v, int k) {
+  return (v << k) | (v >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::next_double() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t n) {
+  require(n > 0, "Rng::next_below: n must be positive");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = (~n + 1) % n;  // == 2^64 mod n
+  for (;;) {
+    const std::uint64_t v = next_u64();
+    if (v >= threshold) return v % n;
+  }
+}
+
+double Rng::exponential(double rate) {
+  require(rate > 0.0, "Rng::exponential: rate must be positive");
+  // -log(1 - U) with U in [0, 1); 1 - U in (0, 1] so log is finite.
+  return -std::log(1.0 - next_double()) / rate;
+}
+
+double Rng::erlang(int k, double rate) {
+  require(k >= 1, "Rng::erlang: k must be >= 1");
+  double total = 0.0;
+  for (int i = 0; i < k; ++i) total += exponential(rate);
+  return total;
+}
+
+double Rng::hyperexponential(double rate, double scv) {
+  require(scv > 1.0, "Rng::hyperexponential: scv must exceed 1");
+  // Balanced-means H2: both branches contribute half the mean.
+  // p1 = (1 + sqrt((scv - 1) / (scv + 1))) / 2, mu_i = 2 p_i rate.
+  const double p1 = 0.5 * (1.0 + std::sqrt((scv - 1.0) / (scv + 1.0)));
+  if (bernoulli(p1)) return exponential(2.0 * p1 * rate);
+  return exponential(2.0 * (1.0 - p1) * rate);
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+}  // namespace scshare

@@ -1,0 +1,54 @@
+// Deterministic random-number generation for the discrete-event simulator
+// and the market game's randomized tie-breaking.
+//
+// A thin wrapper around SplitMix64-seeded xoshiro256++ so that simulations are
+// reproducible across platforms (std::mt19937_64 streams are standardized, but
+// std::*_distribution results are not; we implement the few distributions we
+// need ourselves).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace scshare {
+
+/// Reproducible 64-bit PRNG (xoshiro256++) with explicit distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit draw.
+  [[nodiscard]] std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double next_double();
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t n);
+
+  /// Exponential variate with the given rate (> 0).
+  [[nodiscard]] double exponential(double rate);
+
+  /// Erlang-k variate (sum of k exponentials) with overall mean k / rate,
+  /// i.e., mean 1/r when called as erlang(k, k * r). Requires k >= 1.
+  [[nodiscard]] double erlang(int k, double rate);
+
+  /// Balanced two-phase hyperexponential with mean 1/rate and squared
+  /// coefficient of variation scv (> 1).
+  [[nodiscard]] double hyperexponential(double rate, double scv);
+
+  /// Bernoulli trial returning true with probability p (clamped to [0, 1]).
+  [[nodiscard]] bool bernoulli(double p);
+
+  // UniformRandomBitGenerator interface (for std::shuffle etc.).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~static_cast<result_type>(0); }
+  result_type operator()() { return next_u64(); }
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace scshare

@@ -1,0 +1,60 @@
+#include "control/sharing_controller.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace scshare::control {
+
+SharingController::SharingController(federation::FederationConfig config,
+                                     market::PriceConfig prices,
+                                     federation::PerformanceBackend& backend,
+                                     ControllerOptions options)
+    : config_(std::move(config)),
+      prices_(std::move(prices)),
+      backend_(backend),
+      options_(std::move(options)) {
+  config_.validate();
+  prices_.validate(config_.size());
+  monitors_.assign(config_.size(), WorkloadMonitor(options_.monitor));
+}
+
+void SharingController::observe_arrival(std::size_t sc, double t) {
+  require(sc < monitors_.size(), "SharingController: SC index out of range");
+  monitors_[sc].record_arrival(t);
+}
+
+bool SharingController::renegotiation_due() const {
+  return std::any_of(monitors_.begin(), monitors_.end(),
+                     [](const WorkloadMonitor& m) {
+                       return m.change_detected();
+                     });
+}
+
+Renegotiation SharingController::renegotiate(double now) {
+  Renegotiation record;
+  record.time = now;
+  record.old_shares = config_.shares;
+
+  // Re-estimate every SC's rate from its fast tracker (a confirmed change at
+  // one SC still shifts everybody's best response).
+  for (std::size_t i = 0; i < config_.size(); ++i) {
+    const double estimate = monitors_[i].fast_rate();
+    if (estimate > 1e-9) config_.scs[i].lambda = estimate;
+    record.estimated_lambdas.push_back(config_.scs[i].lambda);
+  }
+
+  market::GameOptions game_options = options_.game;
+  game_options.initial_shares = config_.shares;  // warm start from status quo
+  market::Game game(config_, prices_, options_.utility, backend_,
+                    game_options);
+  const auto result = game.run();
+  config_.shares = result.shares;
+  record.new_shares = result.shares;
+  record.converged = result.converged;
+
+  for (auto& monitor : monitors_) monitor.acknowledge_change();
+  return record;
+}
+
+}  // namespace scshare::control

@@ -1,0 +1,74 @@
+// Adaptive sharing controller: the deployment loop the paper sketches in
+// Sect. VII — each SC keeps collecting arrival traces, and when a long-term
+// workload change is confirmed, the federation re-runs the market game with
+// the re-estimated rates.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "control/workload_monitor.hpp"
+#include "federation/backend.hpp"
+#include "federation/config.hpp"
+#include "market/cost.hpp"
+#include "market/game.hpp"
+
+namespace scshare::control {
+
+struct ControllerOptions {
+  MonitorOptions monitor;
+  market::GameOptions game;
+  market::UtilityParams utility;
+};
+
+/// Outcome of a re-negotiation.
+struct Renegotiation {
+  double time = 0.0;
+  std::vector<double> estimated_lambdas;
+  std::vector<int> old_shares;
+  std::vector<int> new_shares;
+  bool converged = false;
+};
+
+/// Observes per-SC arrivals, detects regime changes, and re-runs the sharing
+/// game when one is confirmed. The backend should be caching if evaluations
+/// are expensive; note the cache stays valid only while the estimated
+/// arrival rates do (the controller constructs a fresh game per
+/// re-negotiation with the updated configuration).
+class SharingController {
+ public:
+  SharingController(federation::FederationConfig config,
+                    market::PriceConfig prices,
+                    federation::PerformanceBackend& backend,
+                    ControllerOptions options = {});
+
+  /// Records an arrival of SC `sc` at time `t` (non-decreasing per SC).
+  void observe_arrival(std::size_t sc, double t);
+
+  /// True when some SC has a confirmed workload change.
+  [[nodiscard]] bool renegotiation_due() const;
+
+  /// Re-estimates rates, re-runs the game, installs the new sharing vector,
+  /// and returns the decision record. Call when renegotiation_due().
+  Renegotiation renegotiate(double now);
+
+  /// Current configuration (lambdas updated by renegotiations).
+  [[nodiscard]] const federation::FederationConfig& config() const {
+    return config_;
+  }
+  [[nodiscard]] const std::vector<int>& shares() const {
+    return config_.shares;
+  }
+  [[nodiscard]] const WorkloadMonitor& monitor(std::size_t sc) const {
+    return monitors_[sc];
+  }
+
+ private:
+  federation::FederationConfig config_;
+  market::PriceConfig prices_;
+  federation::PerformanceBackend& backend_;
+  ControllerOptions options_;
+  std::vector<WorkloadMonitor> monitors_;
+};
+
+}  // namespace scshare::control

@@ -1,0 +1,80 @@
+#include "control/workload_monitor.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace scshare::control {
+
+WorkloadMonitor::WorkloadMonitor(MonitorOptions options) : options_(options) {
+  require(options_.fast_window > 0.0 &&
+              options_.slow_window > options_.fast_window,
+          "MonitorOptions: need 0 < fast_window < slow_window");
+  require(options_.change_threshold > 0.0,
+          "MonitorOptions: change_threshold must be positive");
+  require(options_.confirmation_time >= 0.0,
+          "MonitorOptions: confirmation_time must be non-negative");
+}
+
+void WorkloadMonitor::decay_to(double t) {
+  require(t >= last_time_, "WorkloadMonitor: time went backwards");
+  const double dt = t - last_time_;
+  if (dt > 0.0) {
+    fast_raw_ *= std::exp(-dt / options_.fast_window);
+    slow_raw_ *= std::exp(-dt / options_.slow_window);
+    observed_ += dt;
+    last_time_ = t;
+  }
+}
+
+namespace {
+
+/// Bias-corrected EWMA estimate: divide by the kernel mass accumulated over
+/// the observed horizon (the standard warm-up correction).
+double corrected(double raw, double window, double observed) {
+  const double mass = 1.0 - std::exp(-observed / window);
+  return mass > 1e-9 ? raw / mass : 0.0;
+}
+
+}  // namespace
+
+double WorkloadMonitor::fast_rate() const {
+  return corrected(fast_raw_, options_.fast_window, observed_);
+}
+
+double WorkloadMonitor::slow_rate() const {
+  return corrected(slow_raw_, options_.slow_window, observed_);
+}
+
+void WorkloadMonitor::record_arrival(double t) {
+  decay_to(t);
+  // An EWMA of a unit impulse train with time constant W estimates the rate
+  // when each arrival adds 1/W.
+  fast_raw_ += 1.0 / options_.fast_window;
+  slow_raw_ += 1.0 / options_.slow_window;
+
+  // Comparing the two estimates needs at least one fast window of data.
+  if (observed_ < options_.fast_window) return;
+
+  const double fast = fast_rate();
+  const double slow = slow_rate();
+  const double divergence =
+      slow > 1e-12 ? std::abs(fast - slow) / slow : (fast > 1e-12 ? 1.0 : 0.0);
+  if (divergence > options_.change_threshold) {
+    if (divergence_since_ < 0.0) divergence_since_ = t;
+    if (t - divergence_since_ >= options_.confirmation_time) {
+      change_detected_ = true;
+    }
+  } else {
+    divergence_since_ = -1.0;
+  }
+}
+
+void WorkloadMonitor::acknowledge_change() {
+  // Re-anchor the long-term estimate at the current regime.
+  slow_raw_ = fast_rate() * (1.0 - std::exp(-observed_ / options_.slow_window));
+  divergence_since_ = -1.0;
+  change_detected_ = false;
+}
+
+}  // namespace scshare::control

@@ -1,0 +1,57 @@
+// Online workload monitoring (paper Sect. VII, "Stable System Parameters":
+// an SC collects traces and updates its sharing decision after observing a
+// long-term change). WorkloadMonitor tracks a fast and a slow exponentially
+// weighted arrival-rate estimate per SC; a persistent divergence between the
+// two signals a regime change worth re-negotiating over.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace scshare::control {
+
+struct MonitorOptions {
+  /// Time constants of the fast / slow EWMA rate estimates (model seconds).
+  double fast_window = 200.0;
+  double slow_window = 2000.0;
+  /// Relative divergence |fast - slow| / slow that flags a change.
+  double change_threshold = 0.25;
+  /// The divergence must persist this long before a change is reported
+  /// (suppresses bursts that are noise, not regime shifts).
+  double confirmation_time = 300.0;
+};
+
+/// Per-stream arrival-rate tracker with regime-change detection.
+class WorkloadMonitor {
+ public:
+  explicit WorkloadMonitor(MonitorOptions options = {});
+
+  /// Records one arrival at (non-decreasing) time t.
+  void record_arrival(double t);
+
+  /// Fast (recent) bias-corrected rate estimate.
+  [[nodiscard]] double fast_rate() const;
+  /// Slow (long-term) bias-corrected rate estimate.
+  [[nodiscard]] double slow_rate() const;
+
+  /// True when the fast estimate has diverged from the slow one beyond the
+  /// threshold for at least the confirmation time.
+  [[nodiscard]] bool change_detected() const { return change_detected_; }
+
+  /// Accepts the current fast rate as the new long-term regime and clears
+  /// the change flag (called after re-negotiation).
+  void acknowledge_change();
+
+ private:
+  void decay_to(double t);
+
+  MonitorOptions options_;
+  double last_time_ = 0.0;
+  double fast_raw_ = 0.0;   ///< uncorrected EWMA accumulators
+  double slow_raw_ = 0.0;
+  double observed_ = 0.0;   ///< time span observed so far (for bias correction)
+  double divergence_since_ = -1.0;  ///< < 0: currently in agreement
+  bool change_detected_ = false;
+};
+
+}  // namespace scshare::control

@@ -1,0 +1,96 @@
+#include "core/framework.hpp"
+
+#include "common/error.hpp"
+
+namespace scshare {
+namespace {
+
+std::unique_ptr<federation::PerformanceBackend> make_backend(
+    const FrameworkOptions& options) {
+  std::unique_ptr<federation::PerformanceBackend> inner;
+  switch (options.backend) {
+    case BackendKind::kApprox:
+      inner = std::make_unique<federation::ApproxBackend>(options.approx);
+      break;
+    case BackendKind::kDetailed:
+      inner = std::make_unique<federation::DetailedBackend>(options.detailed);
+      break;
+    case BackendKind::kSimulation:
+      inner = std::make_unique<federation::SimulationBackend>(options.sim);
+      break;
+  }
+  if (options.cache) {
+    return std::make_unique<federation::CachingBackend>(std::move(inner));
+  }
+  return inner;
+}
+
+}  // namespace
+
+Framework::Framework(federation::FederationConfig config,
+                     market::PriceConfig prices,
+                     market::UtilityParams utility, FrameworkOptions options)
+    : config_(std::move(config)),
+      prices_(std::move(prices)),
+      utility_(utility),
+      backend_(make_backend(options)) {
+  config_.validate();
+  prices_.validate(config_.size());
+  baselines_ = market::compute_baselines(config_, prices_);
+}
+
+federation::FederationMetrics Framework::metrics() {
+  return backend_->evaluate(config_);
+}
+
+federation::FederationMetrics Framework::metrics_for(
+    const std::vector<int>& shares) {
+  federation::FederationConfig cfg = config_;
+  cfg.shares = shares;
+  cfg.validate();
+  return backend_->evaluate(cfg);
+}
+
+std::vector<double> Framework::costs(const std::vector<int>& shares) {
+  const auto metrics = metrics_for(shares);
+  std::vector<double> costs(config_.size());
+  for (std::size_t i = 0; i < config_.size(); ++i) {
+    costs[i] = market::operating_cost(metrics[i], prices_.public_price[i],
+                                      prices_.federation_price,
+                                      prices_.power_price,
+                                      config_.scs[i].num_vms);
+  }
+  return costs;
+}
+
+std::vector<double> Framework::utilities(const std::vector<int>& shares) {
+  const auto metrics = metrics_for(shares);
+  std::vector<double> utilities(config_.size());
+  for (std::size_t i = 0; i < config_.size(); ++i) {
+    utilities[i] = market::sc_utility(metrics[i], baselines_[i],
+                                      prices_.public_price[i],
+                                      prices_.federation_price,
+                                      shares[i], utility_,
+                                      prices_.power_price,
+                                      config_.scs[i].num_vms);
+  }
+  return utilities;
+}
+
+double Framework::welfare_of(market::Fairness fairness,
+                             const std::vector<int>& shares) {
+  return market::welfare(fairness, shares, utilities(shares));
+}
+
+market::GameResult Framework::find_equilibrium(market::GameOptions options) {
+  market::Game game(config_, prices_, utility_, *backend_, std::move(options));
+  return game.run();
+}
+
+std::vector<market::SweepPoint> Framework::sweep_prices(
+    market::SweepOptions options) {
+  options.utility = utility_;
+  return market::run_price_sweep(config_, *backend_, options);
+}
+
+}  // namespace scshare

@@ -1,0 +1,94 @@
+// scshare::Framework — the SC-Share facade (paper Sect. II-C).
+//
+// Wires a performance backend (approximate model by default) into the cost /
+// utility / market machinery so that applications can, in a few calls:
+//   * estimate an SC's operating cost and utility for any sharing vector,
+//   * find a market equilibrium of the repeated sharing game,
+//   * sweep the federation price to pick an efficient operating point.
+//
+// Example:
+//   scshare::federation::FederationConfig cfg = ...;
+//   scshare::market::PriceConfig prices = ...;
+//   scshare::Framework fw(cfg, prices, {.gamma = 0.0});
+//   auto eq = fw.find_equilibrium();
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "federation/backend.hpp"
+#include "federation/config.hpp"
+#include "market/cost.hpp"
+#include "market/fairness.hpp"
+#include "market/game.hpp"
+#include "market/sweep.hpp"
+#include "market/utility.hpp"
+
+namespace scshare {
+
+enum class BackendKind {
+  kApprox,      ///< hierarchical approximate model (default)
+  kDetailed,    ///< exact CTMC (small federations only)
+  kSimulation,  ///< discrete-event simulation
+};
+
+struct FrameworkOptions {
+  BackendKind backend = BackendKind::kApprox;
+  federation::ApproxModelOptions approx;
+  federation::DetailedModelOptions detailed;
+  sim::SimOptions sim;
+  bool cache = true;  ///< memoize backend evaluations by sharing vector
+};
+
+class Framework {
+ public:
+  Framework(federation::FederationConfig config, market::PriceConfig prices,
+            market::UtilityParams utility, FrameworkOptions options = {});
+
+  /// Metrics under the configuration's own sharing vector.
+  [[nodiscard]] federation::FederationMetrics metrics();
+
+  /// Metrics under an explicit sharing vector.
+  [[nodiscard]] federation::FederationMetrics metrics_for(
+      const std::vector<int>& shares);
+
+  /// No-sharing baselines (cost and utilization) per SC.
+  [[nodiscard]] const std::vector<market::Baseline>& baselines() const {
+    return baselines_;
+  }
+
+  /// Operating costs (Eq. (1)) per SC under `shares`.
+  [[nodiscard]] std::vector<double> costs(const std::vector<int>& shares);
+
+  /// Utilities (Eq. (2)) per SC under `shares`.
+  [[nodiscard]] std::vector<double> utilities(const std::vector<int>& shares);
+
+  /// Welfare (Eq. (3)) of `shares` under a fairness criterion.
+  [[nodiscard]] double welfare_of(market::Fairness fairness,
+                                  const std::vector<int>& shares);
+
+  /// Runs the repeated game (Algorithm 1) to a market equilibrium.
+  [[nodiscard]] market::GameResult find_equilibrium(
+      market::GameOptions options = {});
+
+  /// Sweeps the price ratio C^G/C^P (Fig. 7-style analysis).
+  [[nodiscard]] std::vector<market::SweepPoint> sweep_prices(
+      market::SweepOptions options);
+
+  /// The underlying (possibly caching) backend.
+  [[nodiscard]] federation::PerformanceBackend& backend() { return *backend_; }
+
+  [[nodiscard]] const federation::FederationConfig& config() const {
+    return config_;
+  }
+  [[nodiscard]] const market::PriceConfig& prices() const { return prices_; }
+
+ private:
+  federation::FederationConfig config_;
+  market::PriceConfig prices_;
+  market::UtilityParams utility_;
+  std::unique_ptr<federation::PerformanceBackend> backend_;
+  std::vector<market::Baseline> baselines_;
+};
+
+}  // namespace scshare

@@ -1,0 +1,774 @@
+#include "federation/approx_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "markov/ctmc.hpp"
+#include "markov/steady_state.hpp"
+#include "markov/state_index.hpp"
+#include "markov/transient.hpp"
+#include "queueing/forwarding.hpp"
+#include "queueing/no_share_model.hpp"
+
+namespace scshare::federation {
+namespace {
+
+/// Sparse distribution over aggregate-allocation pairs (a_loc, a_rem).
+/// `demand` is the conditional probability that the aggregate of lower SCs
+/// has at least one queued request (gates the C4/C5 lending branches: a
+/// freed VM is handed to the aggregate only when somebody is waiting).
+/// `avail[c]` is the conditional probability that the immediately-lower SC
+/// can donate one more VM when `c` of its sharable VMs are already claimed by
+/// the consumer level (idle VM + spare share cap); it gates C2 borrowing when
+/// the rest of the pool is exhausted.
+struct AllocPair {
+  int a_loc = 0;
+  int a_rem = 0;
+  double p = 1.0;
+  double demand = 0.0;
+  std::vector<double> avail;
+};
+using PairDist = std::vector<AllocPair>;
+
+/// Cached hypergeometric pmfs: `draws` units taken from a population of
+/// `population` of which `successes` belong to the pool of interest.
+class HypergeomCache {
+ public:
+  HypergeomCache() = default;
+  HypergeomCache(int population, int successes)
+      : population_(population), successes_(successes) {
+    SCSHARE_ASSERT(successes_ <= population_,
+                   "HypergeomCache: successes exceed population");
+  }
+
+  /// pmf[x] = P[X = x] for x = 0..min(successes, draws).
+  const std::vector<double>& pmf(int draws) {
+    auto it = cache_.find(draws);
+    if (it != cache_.end()) return it->second;
+    std::vector<double> p(static_cast<std::size_t>(
+                              std::min(successes_, draws)) + 1,
+                          0.0);
+    if (population_ == 0 || draws == 0) {
+      p[0] = 1.0;
+    } else {
+      const double log_denom = log_choose(population_, draws);
+      const int lo = std::max(0, draws - (population_ - successes_));
+      const int hi = std::min(successes_, draws);
+      double total = 0.0;
+      for (int x = lo; x <= hi; ++x) {
+        const double lp = log_choose(successes_, x) +
+                          log_choose(population_ - successes_, draws - x) -
+                          log_denom;
+        p[static_cast<std::size_t>(x)] = std::exp(lp);
+        total += p[static_cast<std::size_t>(x)];
+      }
+      for (double& v : p) v /= total;
+    }
+    return cache_.emplace(draws, std::move(p)).first->second;
+  }
+
+ private:
+  static double log_choose(int n, int k) {
+    return math::log_factorial(n) - math::log_factorial(k) -
+           math::log_factorial(n - k);
+  }
+
+  int population_ = 0;
+  int successes_ = 0;
+  std::unordered_map<int, std::vector<double>> cache_;
+};
+
+}  // namespace
+
+/// One level M^i of the hierarchy: the chain of SC `sc` on top of the solved
+/// lower level (nullptr for M^1).
+/// Two-state environment describing the availability of pool owners that a
+/// level cannot observe through the hierarchy (SCs other than itself and the
+/// immediately-lower SC). `alpha` is the available -> unavailable rate,
+/// `beta` the reverse; `active` is false when that set is empty.
+struct PoolEnvironment {
+  bool active = false;
+  double alpha = 0.0;
+  double beta = 0.0;
+};
+
+class ApproxModel::Level {
+ public:
+  /// Pool units owned by SCs outside {this SC, the immediately-lower SC}
+  /// are not represented in the hierarchy below this level; their collective
+  /// availability is modeled by the Markov-modulated `env` bit (fitted from
+  /// those SCs' standalone busy/idle dynamics) instead of the paper's
+  /// implicit assumption of permanent availability.
+  Level(const FederationConfig& config, const ApproxModelOptions& options,
+        std::size_t sc, Level* lower, PoolEnvironment env)
+      : options_(options),
+        sc_(sc),
+        n_(config.scs[sc].num_vms),
+        share_(config.shares[sc]),
+        pool_(config.shared_pool_excluding(sc)),
+        lambda_(config.scs[sc].lambda),
+        mu_(config.scs[sc].mu),
+        max_wait_(config.scs[sc].max_wait),
+        lower_(lower),
+        lower_share_(lower != nullptr ? lower->share_ : 0),
+        lower_n_(lower != nullptr ? lower->n_ : 0),
+        lower_lambda_(lower != nullptr ? lower->lambda_ : 0.0),
+        lower_mu_(lower != nullptr ? lower->mu_ : 0.0),
+        env_(env) {
+    // In-system truncation per effective server count V = N - s + o.
+    trunc_.resize(static_cast<std::size_t>(n_ + pool_) + 1, 0);
+    for (int v = 1; v <= n_ + pool_; ++v) {
+      trunc_[static_cast<std::size_t>(v)] = queueing::truncation_queue_length(
+          v, mu_, max_wait_, config.truncation_epsilon);
+    }
+    build(config);
+  }
+
+  [[nodiscard]] std::size_t num_states() const { return index_.size(); }
+
+  /// Must be called before a higher level uses this one: `next_pool_s` is the
+  /// sharing cap S of the SC whose chain will consume the interaction
+  /// vectors (its pool units are the hypergeometric "successes") and
+  /// `event_times` the consumer's candidate mean inter-event times; all of
+  /// them are evolved in one shared power-series pass per usage class.
+  void prepare_interaction(int next_pool_s, std::vector<double> event_times) {
+    hyper_ = HypergeomCache(pool_ /* pools other than this SC */, next_pool_s);
+    transient_ = std::make_unique<markov::TransientSolver>(
+        chain_, options_.transient_epsilon);
+    times_.clear();
+    for (double t : event_times) {
+      const double rep = bucketize(t);
+      if (std::find(times_.begin(), times_.end(), rep) == times_.end()) {
+        times_.push_back(rep);
+      }
+    }
+    std::sort(times_.begin(), times_.end());
+
+    // Group stationary mass by total usage U = s + o + a and precompute the
+    // conditioned (restricted + renormalized) initial distributions.
+    const int max_usage = share_ + pool_;
+    std::vector<double> mass(static_cast<std::size_t>(max_usage) + 1, 0.0);
+    for (std::size_t x = 0; x < index_.size(); ++x) {
+      mass[static_cast<std::size_t>(usage_of(x))] += pi_[x];
+    }
+    restricted_.assign(mass.size(), {});
+    usage_fallback_.assign(mass.size(), 0);
+    for (int u = 0; u <= max_usage; ++u) {
+      // Nearest usage class with non-negligible mass (prefer smaller |delta|,
+      // then the lower class).
+      int best = -1;
+      for (int delta = 0; delta <= max_usage; ++delta) {
+        if (u - delta >= 0 && mass[static_cast<std::size_t>(u - delta)] > 1e-14) {
+          best = u - delta;
+          break;
+        }
+        if (u + delta <= max_usage &&
+            mass[static_cast<std::size_t>(u + delta)] > 1e-14) {
+          best = u + delta;
+          break;
+        }
+      }
+      require(best >= 0, "ApproxModel: empty stationary distribution");
+      usage_fallback_[static_cast<std::size_t>(u)] = best;
+    }
+    for (int u = 0; u <= max_usage; ++u) {
+      if (mass[static_cast<std::size_t>(u)] <= 1e-14) continue;
+      std::vector<double> init(index_.size(), 0.0);
+      for (std::size_t x = 0; x < index_.size(); ++x) {
+        if (usage_of(x) == u) init[x] = pi_[x];
+      }
+      const double total = mass[static_cast<std::size_t>(u)];
+      for (double& v : init) v /= total;
+      restricted_[static_cast<std::size_t>(u)] = std::move(init);
+    }
+  }
+
+  /// Bucketized representative of an inter-event time (geometric grid),
+  /// clamped to the interaction horizon.
+  [[nodiscard]] double bucketize(double t) const {
+    t = std::min(t, options_.interaction_horizon);
+    if (options_.time_bucket_ratio <= 1.0) return t;
+    const double log_ratio = std::log(options_.time_bucket_ratio);
+    const double k = std::round(std::log(std::max(t, 1e-9)) / log_ratio);
+    return std::exp(k * log_ratio);
+  }
+
+  /// Interaction probability vector: distribution of (a_loc, a_rem) after an
+  /// inter-event period of mean `t`, conditioned on current total usage
+  /// `usage` (unclamped; the consumer applies its own caps).
+  const PairDist& raw_interaction(int usage, double t) {
+    const int max_usage = static_cast<int>(usage_fallback_.size()) - 1;
+    const int u = usage_fallback_[static_cast<std::size_t>(
+        std::clamp(usage, 0, max_usage))];
+    const double t_rep = bucketize(t);
+    const auto key = std::make_pair(u, t_rep);
+    const auto it = interaction_cache_.find(key);
+    if (it != interaction_cache_.end()) return it->second;
+
+    // First query for this usage class: evolve all announced event times in
+    // one shared power-series pass and cache every projection.
+    if (std::find(times_.begin(), times_.end(), t_rep) != times_.end()) {
+      const auto evolved_all = transient_->evolve_multi(
+          restricted_[static_cast<std::size_t>(u)], times_);
+      for (std::size_t i = 0; i < times_.size(); ++i) {
+        interaction_cache_.emplace(std::make_pair(u, times_[i]),
+                                   project(evolved_all[i]));
+      }
+      return interaction_cache_.at(key);
+    }
+
+    // Unannounced time (should be rare): single evolution.
+    const std::vector<double> evolved =
+        transient_->evolve(restricted_[static_cast<std::size_t>(u)], t_rep);
+    return interaction_cache_.emplace(key, project(evolved)).first->second;
+  }
+
+  /// Projects an evolved distribution of this chain onto (a_loc, a_rem)
+  /// pairs with demand and availability annotations.
+  [[nodiscard]] PairDist project(const std::vector<double>& evolved) {
+
+    // Project onto (a_loc, a_rem): this level's own pool usage s'' always
+    // counts toward a_rem (it is not the consumer's pool); the remaining
+    // o'' + a'' units are spread over the other pools hypergeometrically.
+    // Alongside each pair we carry the probability that the aggregate has
+    // queued work (this level's own queue is the observable proxy).
+    struct Acc {
+      double weight = 0.0;
+      double demand_weight = 0.0;
+      std::vector<double> avail_weight;
+    };
+    const std::size_t claims = static_cast<std::size_t>(share_) + 1;
+    std::map<std::pair<int, int>, Acc> acc;
+    for (std::size_t x = 0; x < index_.size(); ++x) {
+      const double w = evolved[x];
+      if (w < 1e-15) continue;
+      const auto& st = index_.state(x);
+      const int s_pool = st[1];
+      const int spread = st[2] + st[3];  // o'' + a''
+      // Demand for a consumer-donated VM: own queue non-empty, or — during
+      // outside-donor-unavailable spells — work in excess of own capacity
+      // (it is either queued already or will queue at the next arrivals).
+      const bool queued = st[0] > n_ - s_pool ||
+                          (st[4] == 0 && st[0] + st[2] > n_ - s_pool);
+      const auto& h = hyper_.pmf(spread);
+      for (int a_loc = 0; a_loc < static_cast<int>(h.size()); ++a_loc) {
+        const double hp = h[static_cast<std::size_t>(a_loc)];
+        if (hp == 0.0) continue;
+        Acc& cell = acc[{a_loc, s_pool + spread - a_loc}];
+        if (cell.avail_weight.empty()) cell.avail_weight.assign(claims, 0.0);
+        cell.weight += w * hp;
+        if (queued) cell.demand_weight += w * hp;
+        // Donatable with c extra VMs already claimed by the consumer:
+        // a free VM beyond own work + claims, and spare share capacity.
+        for (std::size_t c = 0; c < claims; ++c) {
+          const int used = s_pool + static_cast<int>(c);
+          if (st[0] + used < n_ && used < share_) {
+            cell.avail_weight[c] += w * hp;
+          }
+        }
+      }
+    }
+    PairDist dist;
+    for (auto& [pair, cell] : acc) {
+      if (cell.weight < options_.pair_epsilon) continue;
+      for (double& v : cell.avail_weight) v /= cell.weight;
+      dist.push_back({pair.first, pair.second, cell.weight,
+                      cell.demand_weight / cell.weight,
+                      std::move(cell.avail_weight)});
+    }
+    // Mass-coverage pruning: the hypergeometric split produces long tails of
+    // negligible pairs whose only effect is to blow up the generator's
+    // fan-out. Keep the highest-probability pairs covering 1 - epsilon of
+    // the mass, then renormalize.
+    std::sort(dist.begin(), dist.end(),
+              [](const AllocPair& a, const AllocPair& b) { return a.p > b.p; });
+    double total = 0.0;
+    for (const auto& e : dist) total += e.p;
+    require(total > 0.0, "ApproxModel: interaction distribution vanished");
+    double kept = 0.0;
+    std::size_t count = 0;
+    while (count < dist.size() &&
+           kept < total * (1.0 - options_.pair_coverage_epsilon)) {
+      kept += dist[count].p;
+      ++count;
+    }
+    dist.resize(std::max<std::size_t>(count, 1));
+    for (auto& e : dist) e.p /= kept;
+    return dist;
+  }
+
+  /// Performance parameters of this level's SC (valid when this is the
+  /// target, i.e., the last level).
+  [[nodiscard]] ScMetrics metrics() const {
+    ScMetrics m;
+    for (std::size_t x = 0; x < index_.size(); ++x) {
+      const double p = pi_[x];
+      const auto& st = index_.state(x);
+      const int q = st[0];
+      const int s = st[1];
+      const int o = st[2];
+      const int own_local = std::min(q, n_ - s);
+      m.lent += static_cast<double>(s) * p;
+      m.borrowed += static_cast<double>(o) * p;
+      m.utilization += static_cast<double>(own_local + s) /
+                       static_cast<double>(n_) * p;
+      m.forward_prob += forward_frac_[x] * p;
+    }
+    m.forward_rate = lambda_ * m.forward_prob;
+    return m;
+  }
+
+ private:
+  using State = markov::StateIndex::State;  // {q, s, o, a}
+
+  [[nodiscard]] int usage_of(std::size_t x) const {
+    const auto& st = index_.state(x);
+    return st[1] + st[2] + st[3];
+  }
+
+  /// Max own-request count q for allocation (s, o): keep q while the SLA
+  /// admission probability is non-negligible.
+  [[nodiscard]] int q_cap(int s, int o) const {
+    return trunc_[static_cast<std::size_t>(n_ - s + o)] - o;
+  }
+
+  /// Clamped interaction distribution for the current state. Base level
+  /// (no lower model) always yields the deterministic pair (0, 0).
+  void interaction_for(const State& st, double t, PairDist& out) {
+    out.clear();
+    if (lower_ == nullptr) {
+      // No modeled aggregate below: the whole pool belongs to outside SCs,
+      // whose availability is carried by the environment bit.
+      out.push_back({0, 0, 1.0, 0.0, {0.0}});
+      return;
+    }
+    const int q = st[0];
+    const int s = st[1];
+    const int o = st[2];
+    const int a = st[3];
+    const int cap_loc = std::min(share_, std::max(n_ - q, s));
+    const int cap_rem = pool_ - o;
+    const PairDist& raw = lower_->raw_interaction(s + a, t);
+    // Clamp and merge duplicates (demand is averaged with probability
+    // weights); raw lists are short, so quadratic merge beats a map.
+    for (const auto& e : raw) {
+      const int al = std::min(e.a_loc, cap_loc);
+      const int ar = std::min(e.a_rem, cap_rem);
+      bool merged = false;
+      for (auto& existing : out) {
+        if (existing.a_loc == al && existing.a_rem == ar) {
+          const double total = existing.p + e.p;
+          existing.demand =
+              (existing.demand * existing.p + e.demand * e.p) / total;
+          for (std::size_t c = 0; c < existing.avail.size(); ++c) {
+            existing.avail[c] =
+                (existing.avail[c] * existing.p + e.avail[c] * e.p) / total;
+          }
+          existing.p += e.p;
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) {
+        out.push_back(e.a_loc == al && e.a_rem == ar
+                          ? e
+                          : AllocPair{al, ar, e.p, e.demand, e.avail});
+      }
+    }
+  }
+
+  void build(const FederationConfig& config) {
+    // State: {q, s, o, a, e} with e the pool-environment bit (stuck at 1
+    // when the environment is inactive).
+    index_.intern({0, 0, 0, 0, 1});
+
+    struct Edge {
+      std::size_t from;
+      std::size_t to;
+      double rate;
+    };
+    std::vector<Edge> edges;
+    PairDist pairs;
+
+    for (std::size_t current = 0; current < index_.size(); ++current) {
+      require(index_.size() <= options_.max_states,
+              "ApproxModel: state space exceeds max_states");
+      const State st = index_.state(current);  // copy: interning invalidates
+      const int q = st[0];
+      const int s = st[1];
+      const int o = st[2];
+      const int e = st[4];
+
+      auto emit = [&](int nq, int ns, int no, int na, double rate) {
+        if (rate <= 0.0) return;
+        edges.push_back({current, index_.intern({nq, ns, no, na, e}), rate});
+      };
+
+      // Environment flips (outside pool owners becoming busy / available).
+      // The 0 -> 1 flip is a donor freeing a VM: if this SC has queued work
+      // and pool capacity remains, that VM immediately serves a queued job
+      // (the detailed model's donation-on-departure behaviour).
+      if (env_.active) {
+        if (e == 1 && env_.alpha > 0.0) {
+          edges.push_back(
+              {current, index_.intern({q, s, o, st[3], 0}), env_.alpha});
+        }
+        if (e == 0 && env_.beta > 0.0) {
+          const bool queued_own = q > n_ - s;
+          const int free_beyond =
+              (pool_ - lower_share_) -
+              std::max(0, (st[3] + o) - lower_share_);
+          if (queued_own && free_beyond > 0 && o + st[3] + 1 <= pool_) {
+            edges.push_back({current,
+                             index_.intern({q - 1, s, o + 1, st[3], 1}),
+                             env_.beta});
+          } else {
+            edges.push_back(
+                {current, index_.intern({q, s, o, st[3], 1}), env_.beta});
+          }
+        }
+      }
+
+      // Donation-on-departure by the immediately-lower SC: while this SC has
+      // queued work, each service completion at a donatable lower SC frees a
+      // VM that serves one queued job. The completion rate is bounded by the
+      // lower SC's capacity and offered load.
+      if (lower_ != nullptr && q > n_ - s) {
+        const double nu =
+            std::min(lower_lambda_,
+                     static_cast<double>(lower_n_) * lower_mu_);
+        if (nu > 0.0) {
+          interaction_for(st, 1.0 / nu, pairs);
+          for (const auto& [al, ar, w, demand, avail] : pairs) {
+            (void)demand;
+            if (q + al <= n_) continue;  // queue emptied by the resample
+            if (o + ar + 1 > pool_) continue;
+            const int claims =
+                pool_ > 0 ? std::min(lower_share_,
+                                     (o * lower_share_ + pool_ / 2) / pool_)
+                          : 0;
+            const double p_lower = avail[static_cast<std::size_t>(claims)];
+            if (p_lower > 0.0) {
+              emit(q - 1, al, o + 1, ar, nu * w * p_lower);
+            }
+          }
+        }
+      }
+
+      // ---- C1-C3: arrival of an own customer ---------------------------
+      interaction_for(st, 1.0 / lambda_, pairs);
+      double fwd = 0.0;
+      for (const auto& [al, ar, w, demand, avail] : pairs) {
+        (void)demand;
+        if (q + al < n_) {
+          emit(q + 1, al, o, ar, lambda_ * w);  // C1: free local VM
+          continue;
+        }
+        // C2: borrow from the pool. Units of the immediately-lower SC
+        // require it to be donatable given how many of its VMs the consumer
+        // already claims (proportional attribution of o); units of every
+        // other pool owner are available exactly when the environment bit
+        // says some outside donor is idle.
+        double borrow_p = 0.0;
+        if (o + ar + 1 <= pool_) {
+          const int free_beyond_lower =
+              (pool_ - lower_share_) - std::max(0, (ar + o) - lower_share_);
+          const double p_beyond =
+              (free_beyond_lower > 0 && (!env_.active || e == 1)) ? 1.0 : 0.0;
+          const int claims =
+              pool_ > 0 ? std::min(lower_share_,
+                                   (o * lower_share_ + pool_ / 2) / pool_)
+                        : 0;
+          const double p_lower = avail[static_cast<std::size_t>(claims)];
+          borrow_p = 1.0 - (1.0 - p_beyond) * (1.0 - p_lower);
+        }
+        if (borrow_p > 0.0) {
+          emit(q, al, o + 1, ar, lambda_ * w * borrow_p);
+        }
+        const double rest = w * (1.0 - borrow_p);
+        if (rest > 0.0) {
+          // C3: federation full; queue w.p. PNF, forward otherwise.
+          const double pnf = queueing::prob_no_forward(
+              q + o, n_ - al + o, mu_, max_wait_);
+          if (q + 1 <= q_cap(al, o)) {
+            emit(q + 1, al, o, ar, lambda_ * rest * pnf);
+            fwd += rest * (1.0 - pnf);
+          } else {
+            fwd += rest;  // truncated tail: treated as forwarded
+          }
+        }
+      }
+      if (forward_frac_.size() < index_.size()) {
+        forward_frac_.resize(index_.size(), 0.0);
+      }
+      forward_frac_[current] = fwd;
+
+      // ---- C4: departure of an own job served locally -------------------
+      const int local_busy = std::min(q, n_ - s);
+      if (local_busy > 0) {
+        const double rate = static_cast<double>(local_busy) * mu_;
+        interaction_for(st, 1.0 / rate, pairs);
+        for (const auto& [al, ar, w, demand, avail] : pairs) {
+          (void)avail;
+          if (q + al > n_) {
+            emit(q - 1, al, o, ar, rate * w);  // own queue takes the VM
+          } else if (lower_ != nullptr && al < share_) {
+            // Lend only if the aggregate actually has queued work.
+            emit(q - 1, al + 1, o, ar, rate * w * demand);
+            emit(q - 1, al, o, ar, rate * w * (1.0 - demand));
+          } else {
+            emit(q - 1, al, o, ar, rate * w);
+          }
+        }
+      }
+
+      // ---- C5: departure of an own job served on a borrowed VM ----------
+      if (o > 0) {
+        const double rate = static_cast<double>(o) * mu_;
+        interaction_for(st, 1.0 / rate, pairs);
+        for (const auto& [al, ar, w, demand, avail] : pairs) {
+          (void)avail;
+          if (q + al > n_) {
+            // A queued own job moves onto the still-borrowed VM.
+            emit(q - 1, al, o, ar, rate * w);
+          } else {
+            // Freed pool VM: grabbed by the queued aggregate w.p. demand
+            // ((o-1) + (ar+1) = o + ar <= B keeps the state legal),
+            // returned to the pool otherwise.
+            emit(q, al, o - 1, ar + 1, rate * w * demand);
+            emit(q, al, o - 1, ar, rate * w * (1.0 - demand));
+          }
+        }
+      }
+    }
+
+    forward_frac_.resize(index_.size(), 0.0);
+
+    chain_ = markov::Ctmc(index_.size());
+    for (const auto& e : edges) chain_.add_rate(e.from, e.to, e.rate);
+    chain_.finalize();
+
+    markov::SteadyStateOptions ss;
+    ss.tolerance = options_.steady_state_tolerance;
+    auto solution = markov::solve_steady_state(chain_, ss);
+    pi_ = std::move(solution.pi);
+    (void)config;
+  }
+
+  ApproxModelOptions options_;
+  std::size_t sc_;
+  int n_;
+  int share_;
+  int pool_;  ///< B_i: shared VMs of all other SCs
+  double lambda_;
+  double mu_;
+  double max_wait_;
+  Level* lower_;
+  int lower_share_;  ///< S of the level below (0 for the base level)
+  int lower_n_;
+  double lower_lambda_;
+  double lower_mu_;
+  PoolEnvironment env_;
+
+  std::vector<int> trunc_;  ///< in-system truncation by effective servers V
+  markov::StateIndex index_;
+  markov::Ctmc chain_{1};
+  std::vector<double> pi_;
+  std::vector<double> forward_frac_;
+
+  // Interaction machinery (populated by prepare_interaction).
+  HypergeomCache hyper_;
+  std::unique_ptr<markov::TransientSolver> transient_;
+  std::vector<std::vector<double>> restricted_;  ///< by usage class
+  std::vector<int> usage_fallback_;
+  std::vector<double> times_;  ///< bucketized consumer event times
+  std::map<std::pair<int, double>, PairDist> interaction_cache_;
+};
+
+ApproxModel::ApproxModel(FederationConfig config, ApproxModelOptions options)
+    : config_(std::move(config)), options_(options) {
+  config_.validate();
+}
+
+ApproxModel::~ApproxModel() = default;
+ApproxModel::ApproxModel(ApproxModel&&) noexcept = default;
+ApproxModel& ApproxModel::operator=(ApproxModel&&) noexcept = default;
+
+ScMetrics ApproxModel::solve_target(std::size_t target) {
+  return solve_target_sweep(target, {config_.scs[target].lambda})[0];
+}
+
+std::vector<ScMetrics> ApproxModel::solve_target_sweep(
+    std::size_t target, const std::vector<double>& lambdas) {
+  require(target < config_.size(), "ApproxModel: target out of range");
+  require(!lambdas.empty(), "ApproxModel: no arrival rates given");
+
+  std::vector<std::size_t> order;
+  for (std::size_t j = 0; j < config_.size(); ++j) {
+    if (j != target) order.push_back(j);
+  }
+  order.push_back(target);
+
+  // Standalone donor statistics per SC: idle probability P[q_j < N_j] and
+  // the boundary masses pi(N_j - 1), pi(N_j) used to fit the two-state
+  // pool-availability environment of each level.
+  if (idle_prob_.empty()) {
+    idle_prob_.resize(config_.size());
+    pi_boundary_.resize(config_.size());
+    for (std::size_t j = 0; j < config_.size(); ++j) {
+      queueing::NoShareParams params;
+      params.num_vms = config_.scs[j].num_vms;
+      params.lambda = config_.scs[j].lambda;
+      params.mu = config_.scs[j].mu;
+      params.max_wait = config_.scs[j].max_wait;
+      params.truncation_epsilon = config_.truncation_epsilon;
+      const auto solo = queueing::solve_no_share(params);
+      const int n = config_.scs[j].num_vms;
+      double idle = 0.0;
+      for (int q = 0; q < n && q < static_cast<int>(solo.pi.size()); ++q) {
+        idle += solo.pi[static_cast<std::size_t>(q)];
+      }
+      idle_prob_[j] = idle;
+      const auto at = [&](int q) {
+        return q >= 0 && q < static_cast<int>(solo.pi.size())
+                   ? solo.pi[static_cast<std::size_t>(q)]
+                   : 0.0;
+      };
+      pi_boundary_[j] = {at(n - 1), at(n)};
+    }
+  }
+
+  last_total_states_ = 0;
+  std::unique_ptr<Level> prev;
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    const std::size_t sc = order[pos];
+    const bool is_target = pos + 1 == order.size();
+    if (prev) {
+      // Candidate mean inter-event times of the consumer chain: arrivals
+      // (one per swept rate for the target), local departures (L busy VMs),
+      // remote departures (o borrowed VMs), and lower-SC donation events.
+      std::vector<double> times;
+      if (is_target) {
+        for (double lambda : lambdas) times.push_back(1.0 / lambda);
+      } else {
+        times.push_back(1.0 / config_.scs[sc].lambda);
+      }
+      for (int l = 1; l <= config_.scs[sc].num_vms; ++l) {
+        times.push_back(1.0 / (static_cast<double>(l) * config_.scs[sc].mu));
+      }
+      const int pool = config_.shared_pool_excluding(sc);
+      for (int o = 1; o <= pool; ++o) {
+        times.push_back(1.0 / (static_cast<double>(o) * config_.scs[sc].mu));
+      }
+      const std::size_t low = order[pos - 1];
+      const double nu =
+          std::min(config_.scs[low].lambda,
+                   static_cast<double>(config_.scs[low].num_vms) *
+                       config_.scs[low].mu);
+      if (nu > 0.0) times.push_back(1.0 / nu);
+      prev->prepare_interaction(config_.shares[sc], std::move(times));
+    }
+
+    // Fit the two-state availability environment of the pool owners outside
+    // {sc, immediate lower}: available -> unavailable when the last idle
+    // donor fills up, unavailable -> available when any donor frees a VM.
+    PoolEnvironment env;
+    double none_idle = 1.0;
+    double to_busy_flow = 0.0;
+    double to_idle_rate = 0.0;
+    for (std::size_t j = 0; j < config_.size(); ++j) {
+      if (j == sc || (pos > 0 && j == order[pos - 1])) continue;
+      if (config_.shares[j] <= 0) continue;
+      env.active = true;
+      const double busy_j = 1.0 - idle_prob_[j];
+      none_idle *= busy_j;
+      double others_busy = 1.0;
+      for (std::size_t k = 0; k < config_.size(); ++k) {
+        if (k == j || k == sc || (pos > 0 && k == order[pos - 1])) continue;
+        if (config_.shares[k] <= 0) continue;
+        others_busy *= 1.0 - idle_prob_[k];
+      }
+      to_busy_flow += config_.scs[j].lambda * pi_boundary_[j].first *
+                      others_busy;
+      if (busy_j > 1e-12) {
+        to_idle_rate += static_cast<double>(config_.scs[j].num_vms) *
+                        config_.scs[j].mu * pi_boundary_[j].second / busy_j;
+      }
+    }
+    if (env.active) {
+      const double p_avail = 1.0 - none_idle;
+      env.alpha = p_avail > 1e-12 ? to_busy_flow / p_avail : 0.0;
+      env.beta = to_idle_rate;
+      // Cap the flip rates relative to the level's own dynamics so that the
+      // uniformization rate (and with it every transient solve) stays
+      // bounded; faster flips are indistinguishable from averaged
+      // availability anyway.
+      const double cap = 2.0 * static_cast<double>(config_.scs[sc].num_vms) *
+                         config_.scs[sc].mu;
+      env.alpha = std::min(env.alpha, cap);
+      env.beta = std::min(env.beta, cap);
+      if (env.alpha <= 0.0 || env.beta <= 0.0) {
+        // Degenerate fit (donors essentially always idle or always busy):
+        // pin the environment to the dominant regime.
+        env.active = env.alpha > 0.0;
+        env.alpha = std::max(env.alpha, 0.0);
+        env.beta = std::max(env.beta, 1e-9);
+      }
+    }
+
+    if (is_target) {
+      // One target chain per swept arrival rate, on top of the shared lower
+      // hierarchy.
+      std::vector<ScMetrics> results;
+      results.reserve(lambdas.size());
+      for (double lambda : lambdas) {
+        FederationConfig cfg = config_;
+        cfg.scs[target].lambda = lambda;
+        auto top =
+            std::make_unique<Level>(cfg, options_, sc, prev.get(), env);
+        last_chain_states_ = top->num_states();
+        last_total_states_ += top->num_states();
+        results.push_back(top->metrics());
+      }
+      return results;
+    }
+    auto current =
+        std::make_unique<Level>(config_, options_, sc, prev.get(), env);
+    last_total_states_ += current->num_states();
+    // The lower level must stay alive during construction of `current`
+    // (interaction queries) but can be dropped afterwards.
+    prev = std::move(current);
+  }
+  // order always ends with the target, so the loop returns before this point
+  // unless the federation has a single SC handled above.
+  require(false, "ApproxModel: unreachable");
+  return {};
+}
+
+FederationMetrics ApproxModel::solve_all() {
+  FederationMetrics metrics(config_.size());
+  for (std::size_t i = 0; i < config_.size(); ++i) {
+    metrics[i] = solve_target(i);
+  }
+  return metrics;
+}
+
+ScMetrics solve_approx_target(const FederationConfig& config,
+                              std::size_t target,
+                              const ApproxModelOptions& options) {
+  ApproxModel model(config, options);
+  return model.solve_target(target);
+}
+
+FederationMetrics solve_approx(const FederationConfig& config,
+                               const ApproxModelOptions& options) {
+  ApproxModel model(config, options);
+  return model.solve_all();
+}
+
+}  // namespace scshare::federation

@@ -1,0 +1,105 @@
+// Pluggable performance backends.
+//
+// The market game only consumes the three steady-state metrics (lent,
+// borrowed, forward rate) per SC; any of the three performance models can
+// provide them. CachingBackend memoizes evaluations by sharing vector, which
+// makes repeated-game sweeps over prices essentially free after the first
+// pass (metrics do not depend on prices).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "federation/approx_model.hpp"
+#include "federation/config.hpp"
+#include "federation/detailed_model.hpp"
+#include "federation/metrics.hpp"
+#include "sim/simulator.hpp"
+
+namespace scshare::federation {
+
+/// Interface: evaluate the federation metrics for a configuration.
+class PerformanceBackend {
+ public:
+  virtual ~PerformanceBackend() = default;
+  [[nodiscard]] virtual FederationMetrics evaluate(
+      const FederationConfig& config) = 0;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+/// Backend running the hierarchical approximate model (paper Sect. III-C).
+class ApproxBackend final : public PerformanceBackend {
+ public:
+  explicit ApproxBackend(ApproxModelOptions options = {})
+      : options_(options) {}
+  [[nodiscard]] FederationMetrics evaluate(
+      const FederationConfig& config) override {
+    return solve_approx(config, options_);
+  }
+  [[nodiscard]] std::string_view name() const override { return "approx"; }
+
+ private:
+  ApproxModelOptions options_;
+};
+
+/// Backend running the exact detailed CTMC (small federations only).
+class DetailedBackend final : public PerformanceBackend {
+ public:
+  explicit DetailedBackend(DetailedModelOptions options = {})
+      : options_(options) {}
+  [[nodiscard]] FederationMetrics evaluate(
+      const FederationConfig& config) override {
+    return solve_detailed(config, options_);
+  }
+  [[nodiscard]] std::string_view name() const override { return "detailed"; }
+
+ private:
+  DetailedModelOptions options_;
+};
+
+/// Backend running the discrete-event simulator.
+class SimulationBackend final : public PerformanceBackend {
+ public:
+  explicit SimulationBackend(sim::SimOptions options = {})
+      : options_(options) {}
+  [[nodiscard]] FederationMetrics evaluate(
+      const FederationConfig& config) override {
+    return sim::simulate_metrics(config, options_);
+  }
+  [[nodiscard]] std::string_view name() const override { return "simulation"; }
+
+ private:
+  sim::SimOptions options_;
+};
+
+/// Memoizing decorator keyed by the sharing vector. The SC parameters are
+/// assumed fixed across calls (the game only mutates `shares`).
+class CachingBackend final : public PerformanceBackend {
+ public:
+  explicit CachingBackend(std::unique_ptr<PerformanceBackend> inner)
+      : inner_(std::move(inner)) {}
+
+  [[nodiscard]] FederationMetrics evaluate(
+      const FederationConfig& config) override {
+    const auto it = cache_.find(config.shares);
+    if (it != cache_.end()) return it->second;
+    auto metrics = inner_->evaluate(config);
+    cache_.emplace(config.shares, metrics);
+    return metrics;
+  }
+
+  [[nodiscard]] std::string_view name() const override {
+    return inner_->name();
+  }
+
+  [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
+  [[nodiscard]] std::size_t evaluations() const { return cache_.size(); }
+
+ private:
+  std::unique_ptr<PerformanceBackend> inner_;
+  std::map<std::vector<int>, FederationMetrics> cache_;
+};
+
+}  // namespace scshare::federation

@@ -1,0 +1,10 @@
+// The backend classes are header-only; this translation unit anchors the
+// vtable of PerformanceBackend (key function idiom keeps RTTI/vtable in one
+// object file).
+#include "federation/backend.hpp"
+
+namespace scshare::federation {
+
+// Intentionally empty: see file comment.
+
+}  // namespace scshare::federation

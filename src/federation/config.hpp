@@ -1,0 +1,58 @@
+// Configuration types shared by every performance backend (detailed CTMC,
+// approximate hierarchical model, discrete-event simulator).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace scshare::federation {
+
+/// Static description of one small cloud (paper Sect. II-A).
+struct ScConfig {
+  int num_vms = 10;      ///< N_i: homogeneous VMs owned by the SC
+  double lambda = 1.0;   ///< Poisson arrival rate of VM requests
+  double mu = 1.0;       ///< exponential service rate of each request
+  double max_wait = 0.2; ///< Q_i: SLA bound on waiting time before service
+};
+
+/// A federation: per-SC configs plus the sharing vector S.
+struct FederationConfig {
+  std::vector<ScConfig> scs;
+  std::vector<int> shares;  ///< S_i: max VMs SC i lends at any instant
+
+  /// PNF threshold below which queues are truncated in Markov models.
+  double truncation_epsilon = 1e-9;
+
+  [[nodiscard]] std::size_t size() const { return scs.size(); }
+
+  /// Throws scshare::Error when the configuration is inconsistent.
+  void validate() const {
+    require(!scs.empty(), "FederationConfig: at least one SC required");
+    require(shares.size() == scs.size(),
+            "FederationConfig: shares must match number of SCs");
+    for (std::size_t i = 0; i < scs.size(); ++i) {
+      const auto& sc = scs[i];
+      require(sc.num_vms > 0, "ScConfig: num_vms must be positive");
+      require(sc.lambda > 0.0, "ScConfig: lambda must be positive");
+      require(sc.mu > 0.0, "ScConfig: mu must be positive");
+      require(sc.max_wait >= 0.0, "ScConfig: max_wait must be non-negative");
+      require(shares[i] >= 0 && shares[i] <= sc.num_vms,
+              "FederationConfig: share must lie in [0, num_vms]");
+    }
+    require(truncation_epsilon > 0.0 && truncation_epsilon < 1.0,
+            "FederationConfig: truncation_epsilon in (0, 1)");
+  }
+
+  /// Total VMs shared by SCs other than `i` (B_i in the paper).
+  [[nodiscard]] int shared_pool_excluding(std::size_t i) const {
+    int total = 0;
+    for (std::size_t j = 0; j < shares.size(); ++j) {
+      if (j != i) total += shares[j];
+    }
+    return total;
+  }
+};
+
+}  // namespace scshare::federation

@@ -1,0 +1,324 @@
+#include "federation/detailed_model.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "common/error.hpp"
+#include "markov/ctmc.hpp"
+#include "markov/steady_state.hpp"
+#include "queueing/forwarding.hpp"
+
+namespace scshare::federation {
+namespace {
+
+using State = markov::StateIndex::State;
+
+/// View over the packed state vector: [q_0..q_{K-1} | s_{i,j} for i != j].
+class StateView {
+ public:
+  StateView(const State& s, std::size_t k) : s_(s), k_(k) {}
+
+  [[nodiscard]] int q(std::size_t i) const {
+    return s_[i];
+  }
+
+  /// VMs at SC j serving SC i's requests (i != j).
+  [[nodiscard]] int borrow(std::size_t i, std::size_t j) const {
+    return s_[k_ + flat(i, j)];
+  }
+
+  /// VMs lent by SC j (= sum over borrowers).
+  [[nodiscard]] int lent(std::size_t j) const {
+    int total = 0;
+    for (std::size_t i = 0; i < k_; ++i) {
+      if (i != j) total += borrow(i, j);
+    }
+    return total;
+  }
+
+  /// VMs borrowed by SC i from everywhere.
+  [[nodiscard]] int borrowed(std::size_t i) const {
+    int total = 0;
+    for (std::size_t j = 0; j < k_; ++j) {
+      if (j != i) total += borrow(i, j);
+    }
+    return total;
+  }
+
+  [[nodiscard]] std::size_t flat(std::size_t i, std::size_t j) const {
+    SCSHARE_ASSERT(i != j, "StateView::flat: diagonal not stored");
+    return i * (k_ - 1) + (j < i ? j : j - 1);
+  }
+
+ private:
+  const State& s_;
+  std::size_t k_;
+};
+
+struct Derived {
+  int own_local = 0;  ///< own jobs in service on own VMs
+  int queued = 0;     ///< own jobs waiting
+  int free = 0;       ///< idle own VMs
+  int lent = 0;
+  int borrowed = 0;
+};
+
+Derived derive(const StateView& v, const FederationConfig& cfg,
+               std::size_t i) {
+  Derived d;
+  d.lent = v.lent(i);
+  d.borrowed = v.borrowed(i);
+  const int capacity = cfg.scs[i].num_vms - d.lent;
+  d.own_local = std::min(v.q(i), capacity);
+  d.queued = v.q(i) - d.own_local;
+  d.free = capacity - d.own_local;
+  return d;
+}
+
+}  // namespace
+
+DetailedModel::DetailedModel(FederationConfig config,
+                             DetailedModelOptions options)
+    : config_(std::move(config)), options_(options) {
+  config_.validate();
+  const std::size_t k = config_.size();
+  q_max_.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    // The queue of SC i can only grow while the whole federation is full; the
+    // SLA check then uses at most N_i + B_i effective servers, so truncating
+    // against that capacity is conservative.
+    const int effective = config_.scs[i].num_vms + config_.shared_pool_excluding(i);
+    q_max_[i] = queueing::truncation_queue_length(
+        effective, config_.scs[i].mu, config_.scs[i].max_wait,
+        config_.truncation_epsilon);
+  }
+}
+
+FederationMetrics DetailedModel::solve() {
+  const std::size_t k = config_.size();
+  markov::StateIndex index;
+
+  State initial(k + k * (k - 1), 0);
+  index.intern(initial);
+
+  struct Edge {
+    std::size_t from;
+    std::size_t to;
+    double rate;
+  };
+  std::vector<Edge> edges;
+
+  std::vector<std::size_t> candidates;
+
+  // Breadth-first exploration of the reachable state space.
+  for (std::size_t current = 0; current < index.size(); ++current) {
+    require(index.size() <= options_.max_states,
+            "DetailedModel: state space exceeds max_states");
+    // Copy: interning new states may invalidate references into the index.
+    const State state = index.state(current);
+    const StateView view(state, k);
+
+    std::vector<Derived> d(k);
+    for (std::size_t i = 0; i < k; ++i) d[i] = derive(view, config_, i);
+
+    auto emit = [&](State next, double rate) {
+      if (rate <= 0.0) return;
+      edges.push_back({current, index.intern(next), rate});
+    };
+
+    for (std::size_t i = 0; i < k; ++i) {
+      const double lambda = config_.scs[i].lambda;
+      const double mu = config_.scs[i].mu;
+
+      // ---- Arrival of an SC-i customer --------------------------------
+      if (d[i].free > 0) {
+        State next = state;
+        ++next[i];
+        emit(std::move(next), lambda);
+      } else {
+        // Donors: free VM + spare sharing capacity, least-loaded first.
+        candidates.clear();
+        int best = std::numeric_limits<int>::max();
+        for (std::size_t j = 0; j < k; ++j) {
+          if (j == i || d[j].free <= 0 || d[j].lent >= config_.shares[j]) {
+            continue;
+          }
+          const int load = view.q(j) + d[j].lent;
+          if (load < best) {
+            best = load;
+            candidates.clear();
+          }
+          if (load == best) candidates.push_back(j);
+        }
+        if (!candidates.empty()) {
+          const double rate = lambda / static_cast<double>(candidates.size());
+          for (std::size_t j : candidates) {
+            State next = state;
+            ++next[k + view.flat(i, j)];
+            emit(std::move(next), rate);
+          }
+        } else if (view.q(i) < q_max_[i]) {
+          // Federation full: queue with probability PNF, forward otherwise
+          // (forwarding leaves the state unchanged).
+          const int servers =
+              config_.scs[i].num_vms - d[i].lent + d[i].borrowed;
+          const int in_system = view.q(i) + d[i].borrowed;
+          const double p_queue = queueing::prob_no_forward(
+              in_system, servers, mu, config_.scs[i].max_wait);
+          State next = state;
+          ++next[i];
+          emit(std::move(next), lambda * p_queue);
+        }
+      }
+
+      // ---- Departure of an own-local job ------------------------------
+      if (d[i].own_local > 0) {
+        const double rate = static_cast<double>(d[i].own_local) * mu;
+        if (d[i].queued > 0) {
+          // Freed VM immediately serves the own queue.
+          State next = state;
+          --next[i];
+          emit(std::move(next), rate);
+        } else {
+          // Own queue empty: lend the freed VM to the longest queue.
+          candidates.clear();
+          int best = 0;
+          if (d[i].lent < config_.shares[i]) {
+            for (std::size_t j = 0; j < k; ++j) {
+              if (j == i || d[j].queued <= 0) continue;
+              if (d[j].queued > best) {
+                best = d[j].queued;
+                candidates.clear();
+              }
+              if (d[j].queued == best) candidates.push_back(j);
+            }
+          }
+          if (candidates.empty()) {
+            State next = state;
+            --next[i];
+            emit(std::move(next), rate);
+          } else {
+            const double split =
+                rate / static_cast<double>(candidates.size());
+            for (std::size_t j : candidates) {
+              State next = state;
+              --next[i];
+              --next[j];
+              ++next[k + view.flat(j, i)];
+              emit(std::move(next), split);
+            }
+          }
+        }
+      }
+
+      // ---- Departure of a borrowed job (SC i's job at host j) ----------
+      for (std::size_t j = 0; j < k; ++j) {
+        if (j == i) continue;
+        const int using_vms = view.borrow(i, j);
+        if (using_vms == 0) continue;
+        const double rate = static_cast<double>(using_vms) * mu;
+        // After the departure the host j has one freed VM.
+        if (d[j].queued > 0) {
+          // Host's own queue takes it (own_local is derived, so only the
+          // borrow entry changes).
+          State next = state;
+          --next[k + view.flat(i, j)];
+          emit(std::move(next), rate);
+        } else {
+          // Host queue empty: lend again if within the (unchanged) cap.
+          candidates.clear();
+          int best = 0;
+          if (d[j].lent - 1 < config_.shares[j]) {
+            for (std::size_t m = 0; m < k; ++m) {
+              if (m == j) continue;
+              // SC i's queue state is unaffected by this departure (the job
+              // was in service remotely, not in q_i).
+              const int queued_m = d[m].queued;
+              if (queued_m <= 0) continue;
+              if (queued_m > best) {
+                best = queued_m;
+                candidates.clear();
+              }
+              if (queued_m == best) candidates.push_back(m);
+            }
+          }
+          if (candidates.empty()) {
+            State next = state;
+            --next[k + view.flat(i, j)];
+            emit(std::move(next), rate);
+          } else {
+            const double split =
+                rate / static_cast<double>(candidates.size());
+            for (std::size_t m : candidates) {
+              State next = state;
+              --next[k + view.flat(i, j)];
+              --next[m];
+              ++next[k + view.flat(m, j)];
+              emit(std::move(next), split);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  num_states_ = index.size();
+
+  markov::Ctmc chain(index.size());
+  for (const auto& e : edges) chain.add_rate(e.from, e.to, e.rate);
+  chain.finalize();
+
+  markov::SteadyStateOptions ss;
+  ss.tolerance = options_.steady_state_tolerance;
+  const auto solution = markov::solve_steady_state(chain, ss);
+
+  FederationMetrics metrics(k);
+  for (std::size_t s = 0; s < index.size(); ++s) {
+    const double p = solution.pi[s];
+    if (p == 0.0) continue;
+    const State& state = index.state(s);
+    const StateView view(state, k);
+    // Recompute whether an arrival at SC i in this state would face the
+    // queue-or-forward decision.
+    std::vector<Derived> d(k);
+    bool any_free_with_capacity = false;
+    for (std::size_t i = 0; i < k; ++i) d[i] = derive(view, config_, i);
+    for (std::size_t i = 0; i < k; ++i) {
+      ScMetrics& m = metrics[i];
+      m.lent += static_cast<double>(d[i].lent) * p;
+      m.borrowed += static_cast<double>(d[i].borrowed) * p;
+      m.utilization += static_cast<double>(d[i].own_local + d[i].lent) /
+                       static_cast<double>(config_.scs[i].num_vms) * p;
+      // Forwarding happens only when SC i has no free VM and no donor exists.
+      if (d[i].free > 0) continue;
+      any_free_with_capacity = false;
+      for (std::size_t j = 0; j < k; ++j) {
+        if (j != i && d[j].free > 0 && d[j].lent < config_.shares[j]) {
+          any_free_with_capacity = true;
+          break;
+        }
+      }
+      if (any_free_with_capacity) continue;
+      const int servers = config_.scs[i].num_vms - d[i].lent + d[i].borrowed;
+      const int in_system = view.q(i) + d[i].borrowed;
+      const double p_queue = queueing::prob_no_forward(
+          in_system, servers, config_.scs[i].mu, config_.scs[i].max_wait);
+      double forward_fraction = 1.0 - p_queue;
+      if (view.q(i) >= q_max_[i]) forward_fraction = 1.0;  // truncated tail
+      m.forward_prob += forward_fraction * p;
+    }
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    metrics[i].forward_rate = config_.scs[i].lambda * metrics[i].forward_prob;
+  }
+  return metrics;
+}
+
+FederationMetrics solve_detailed(const FederationConfig& config,
+                                 const DetailedModelOptions& options) {
+  DetailedModel model(config, options);
+  return model.solve();
+}
+
+}  // namespace scshare::federation

@@ -1,0 +1,51 @@
+// Exact CTMC of the federation (paper Sect. III-B).
+//
+// State: own-customer counts q_i (in service locally + queued) for every SC,
+// plus the borrow matrix s_{i,j} (i != j) giving the number of VMs at SC j
+// serving SC i's requests. The diagonal s_{j,j} = sum_i s_{i,j} (VMs lent by
+// SC j) is derived. Queues are truncated where the SLA admission probability
+// becomes negligible.
+//
+// The state space grows exponentially with the number of SCs, so this model
+// is only practical for small federations; it exists as the ground truth for
+// validating the simulator and the approximate model.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "federation/config.hpp"
+#include "federation/metrics.hpp"
+#include "markov/state_index.hpp"
+
+namespace scshare::federation {
+
+struct DetailedModelOptions {
+  double steady_state_tolerance = 1e-12;
+  /// Refuse to build chains larger than this many states.
+  std::size_t max_states = 5'000'000;
+};
+
+class DetailedModel {
+ public:
+  DetailedModel(FederationConfig config, DetailedModelOptions options = {});
+
+  /// Builds the chain, solves for the stationary distribution, and returns
+  /// per-SC metrics.
+  [[nodiscard]] FederationMetrics solve();
+
+  /// Number of states enumerated by the last solve() (0 before).
+  [[nodiscard]] std::size_t num_states() const { return num_states_; }
+
+ private:
+  FederationConfig config_;
+  DetailedModelOptions options_;
+  std::vector<int> q_max_;  ///< per-SC queue truncation bound
+  std::size_t num_states_ = 0;
+};
+
+/// One-call helper.
+[[nodiscard]] FederationMetrics solve_detailed(
+    const FederationConfig& config, const DetailedModelOptions& options = {});
+
+}  // namespace scshare::federation

@@ -1,0 +1,21 @@
+// Performance metrics produced by every backend; these feed the cost function
+// of Eq. (1) and the utility of Eq. (2).
+#pragma once
+
+#include <vector>
+
+namespace scshare::federation {
+
+/// Steady-state performance of one SC inside the federation.
+struct ScMetrics {
+  double lent = 0.0;       ///< Ī_i: mean # of this SC's VMs serving other SCs
+  double borrowed = 0.0;   ///< Ō_i: mean # of other SCs' VMs serving this SC
+  double forward_rate = 0.0;  ///< P̄_i: requests/second forwarded to public cloud
+  double forward_prob = 0.0;  ///< fraction of arrivals forwarded
+  double utilization = 0.0;   ///< rho_i: mean busy VMs (own work + lent) / N_i
+};
+
+/// Metrics for all SCs of a federation.
+using FederationMetrics = std::vector<ScMetrics>;
+
+}  // namespace scshare::federation

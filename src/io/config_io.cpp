@@ -1,0 +1,233 @@
+#include "io/config_io.hpp"
+
+#include "common/error.hpp"
+
+namespace scshare::io {
+namespace {
+
+template <typename Enum>
+Enum parse_enum(const std::string& value,
+                std::initializer_list<std::pair<const char*, Enum>> table,
+                const char* what) {
+  for (const auto& [name, e] : table) {
+    if (value == name) return e;
+  }
+  require(false, std::string("unknown ") + what + ": '" + value + "'");
+  return Enum{};
+}
+
+}  // namespace
+
+federation::FederationConfig parse_federation(const Json& json) {
+  federation::FederationConfig config;
+  const auto& scs = json.at("scs").as_array();
+  for (const auto& sc : scs) {
+    federation::ScConfig parsed;
+    parsed.num_vms = sc.at("num_vms").as_int();
+    parsed.lambda = sc.at("lambda").as_double();
+    parsed.mu = sc.get_or("mu", 1.0);
+    parsed.max_wait = sc.get_or("max_wait", 0.2);
+    config.scs.push_back(parsed);
+    config.shares.push_back(sc.get_or("share", 0));
+  }
+  config.truncation_epsilon = json.get_or("truncation_epsilon", 1e-9);
+  config.validate();
+  return config;
+}
+
+market::PriceConfig parse_prices(const Json& json, std::size_t num_scs) {
+  market::PriceConfig prices;
+  const Json& pp = json.at("public_price");
+  if (pp.is_array()) {
+    for (const auto& p : pp.as_array()) {
+      prices.public_price.push_back(p.as_double());
+    }
+  } else {
+    prices.public_price.assign(num_scs, pp.as_double());
+  }
+  prices.federation_price = json.at("federation_price").as_double();
+  prices.power_price = json.get_or("power_price", 0.0);
+  prices.validate(num_scs);
+  return prices;
+}
+
+market::UtilityParams parse_utility(const Json& json) {
+  market::UtilityParams params;
+  params.gamma = json.get_or("gamma", 0.0);
+  params.min_utilization_delta =
+      json.get_or("min_utilization_delta", params.min_utilization_delta);
+  return params;
+}
+
+sim::SimOptions parse_sim_options(const Json& json) {
+  sim::SimOptions options;
+  options.warmup_time = json.get_or("warmup_time", options.warmup_time);
+  options.measure_time = json.get_or("measure_time", options.measure_time);
+  options.batches = static_cast<std::size_t>(
+      json.get_or("batches", static_cast<int>(options.batches)));
+  options.seed = static_cast<std::uint64_t>(json.get_or("seed", 1));
+  options.policy = parse_enum<sim::ForwardingPolicy>(
+      json.get_or("policy", std::string("probabilistic")),
+      {{"probabilistic", sim::ForwardingPolicy::kProbabilistic},
+       {"deadline", sim::ForwardingPolicy::kDeadline}},
+      "forwarding policy");
+  options.service = parse_enum<sim::ServiceDistribution>(
+      json.get_or("service", std::string("exponential")),
+      {{"exponential", sim::ServiceDistribution::kExponential},
+       {"erlang", sim::ServiceDistribution::kErlang},
+       {"hyperexponential", sim::ServiceDistribution::kHyperExponential}},
+      "service distribution");
+  options.erlang_shape = json.get_or("erlang_shape", options.erlang_shape);
+  options.hyper_scv = json.get_or("hyper_scv", options.hyper_scv);
+  options.arrivals = parse_enum<sim::ArrivalProcess>(
+      json.get_or("arrivals", std::string("poisson")),
+      {{"poisson", sim::ArrivalProcess::kPoisson},
+       {"mmpp", sim::ArrivalProcess::kMmpp},
+       {"batch", sim::ArrivalProcess::kBatch},
+       {"sinusoidal", sim::ArrivalProcess::kSinusoidal}},
+      "arrival process");
+  options.mmpp_burst_factor =
+      json.get_or("mmpp_burst_factor", options.mmpp_burst_factor);
+  options.mmpp_burst_duration =
+      json.get_or("mmpp_burst_duration", options.mmpp_burst_duration);
+  options.mmpp_quiet_duration =
+      json.get_or("mmpp_quiet_duration", options.mmpp_quiet_duration);
+  options.batch_mean_size =
+      json.get_or("batch_mean_size", options.batch_mean_size);
+  options.sin_amplitude = json.get_or("sin_amplitude", options.sin_amplitude);
+  options.sin_period = json.get_or("sin_period", options.sin_period);
+  return options;
+}
+
+market::GameOptions parse_game_options(const Json& json) {
+  market::GameOptions options;
+  options.max_rounds = json.get_or("max_rounds", options.max_rounds);
+  options.method = parse_enum<market::BestResponseMethod>(
+      json.get_or("method", std::string("tabu")),
+      {{"tabu", market::BestResponseMethod::kTabu},
+       {"exhaustive", market::BestResponseMethod::kExhaustive}},
+      "best-response method");
+  options.update_rule = parse_enum<market::UpdateRule>(
+      json.get_or("update_rule", std::string("sequential")),
+      {{"sequential", market::UpdateRule::kSequential},
+       {"simultaneous", market::UpdateRule::kSimultaneous}},
+      "update rule");
+  options.improvement_tolerance =
+      json.get_or("improvement_tolerance", options.improvement_tolerance);
+  if (json.contains("initial_shares")) {
+    for (const auto& s : json.at("initial_shares").as_array()) {
+      options.initial_shares.push_back(s.as_int());
+    }
+  }
+  if (json.contains("tabu")) {
+    const Json& tabu = json.at("tabu");
+    options.tabu.distance = tabu.get_or("distance", options.tabu.distance);
+    options.tabu.tenure = tabu.get_or("tenure", options.tabu.tenure);
+    options.tabu.max_iterations =
+        tabu.get_or("max_iterations", options.tabu.max_iterations);
+    options.tabu.stall_limit =
+        tabu.get_or("stall_limit", options.tabu.stall_limit);
+  }
+  return options;
+}
+
+Json to_json(const federation::FederationConfig& config) {
+  JsonArray scs;
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    JsonObject sc;
+    sc["num_vms"] = config.scs[i].num_vms;
+    sc["lambda"] = config.scs[i].lambda;
+    sc["mu"] = config.scs[i].mu;
+    sc["max_wait"] = config.scs[i].max_wait;
+    sc["share"] = config.shares[i];
+    scs.emplace_back(std::move(sc));
+  }
+  JsonObject out;
+  out["scs"] = Json(std::move(scs));
+  out["truncation_epsilon"] = config.truncation_epsilon;
+  return Json(std::move(out));
+}
+
+Json to_json(const federation::ScMetrics& metrics) {
+  JsonObject out;
+  out["lent"] = metrics.lent;
+  out["borrowed"] = metrics.borrowed;
+  out["forward_rate"] = metrics.forward_rate;
+  out["forward_prob"] = metrics.forward_prob;
+  out["utilization"] = metrics.utilization;
+  return Json(std::move(out));
+}
+
+Json to_json(const federation::FederationMetrics& metrics) {
+  JsonArray out;
+  for (const auto& m : metrics) out.push_back(to_json(m));
+  return Json(std::move(out));
+}
+
+Json to_json(const market::Baseline& baseline) {
+  JsonObject out;
+  out["cost"] = baseline.cost;
+  out["utilization"] = baseline.utilization;
+  out["forward_rate"] = baseline.forward_rate;
+  return Json(std::move(out));
+}
+
+Json to_json(const market::GameResult& result) {
+  JsonObject out;
+  JsonArray shares, utilities, costs, trajectory;
+  for (int s : result.shares) shares.emplace_back(s);
+  for (double u : result.utilities) utilities.emplace_back(u);
+  for (double c : result.costs) costs.emplace_back(c);
+  for (const auto& round : result.trajectory) {
+    JsonArray r;
+    for (int s : round) r.emplace_back(s);
+    trajectory.emplace_back(std::move(r));
+  }
+  out["shares"] = Json(std::move(shares));
+  out["utilities"] = Json(std::move(utilities));
+  out["costs"] = Json(std::move(costs));
+  out["rounds"] = result.rounds;
+  out["converged"] = result.converged;
+  out["trajectory"] = Json(std::move(trajectory));
+  return Json(std::move(out));
+}
+
+Json to_json(const sim::ScSimStats& stats) {
+  JsonObject out;
+  out["metrics"] = to_json(stats.metrics);
+  out["lent_ci_half_width"] = stats.lent_hw;
+  out["borrowed_ci_half_width"] = stats.borrowed_hw;
+  out["forward_rate_ci_half_width"] = stats.forward_rate_hw;
+  out["mean_wait"] = stats.mean_wait;
+  out["sla_violation_prob"] = stats.sla_violation_prob;
+  out["arrivals"] = static_cast<double>(stats.arrivals);
+  out["forwarded"] = static_cast<double>(stats.forwarded);
+  out["served_local"] = static_cast<double>(stats.served_local);
+  out["served_remote"] = static_cast<double>(stats.served_remote);
+  return Json(std::move(out));
+}
+
+Json to_json(const market::SweepPoint& point) {
+  JsonObject out;
+  out["ratio"] = point.ratio;
+  JsonObject outcomes;
+  for (std::size_t f = 0; f < market::kAllFairness.size(); ++f) {
+    const auto& o = point.outcomes[f];
+    JsonObject entry;
+    entry["welfare_ne"] = o.welfare_ne;
+    entry["welfare_opt"] = o.welfare_opt;
+    entry["efficiency"] = o.efficiency;
+    entry["formed"] = o.formed;
+    JsonArray ne, opt;
+    for (int s : o.ne_shares) ne.emplace_back(s);
+    for (int s : o.opt_shares) opt.emplace_back(s);
+    entry["ne_shares"] = Json(std::move(ne));
+    entry["opt_shares"] = Json(std::move(opt));
+    outcomes[market::fairness_name(market::kAllFairness[f])] =
+        Json(std::move(entry));
+  }
+  out["outcomes"] = Json(std::move(outcomes));
+  return Json(std::move(out));
+}
+
+}  // namespace scshare::io

@@ -1,0 +1,58 @@
+// JSON (de)serialization for scshare configuration and result types. This is
+// the interchange layer behind the `scshare` CLI tool; the schema is
+// documented in examples/configs/three_sc.json.
+#pragma once
+
+#include <string>
+
+#include "federation/config.hpp"
+#include "federation/metrics.hpp"
+#include "io/json.hpp"
+#include "market/cost.hpp"
+#include "market/game.hpp"
+#include "market/sweep.hpp"
+#include "sim/simulator.hpp"
+
+namespace scshare::io {
+
+/// Parses a federation description:
+///   {"scs": [{"num_vms": 10, "lambda": 7.0, "mu": 1.0, "max_wait": 0.2,
+///             "share": 3}, ...],
+///    "truncation_epsilon": 1e-9}
+/// The per-SC "share" defaults to 0.
+[[nodiscard]] federation::FederationConfig parse_federation(const Json& json);
+
+/// Parses prices:
+///   {"public_price": 1.0 | [per-SC...], "federation_price": 0.5,
+///    "power_price": 0.0}
+[[nodiscard]] market::PriceConfig parse_prices(const Json& json,
+                                               std::size_t num_scs);
+
+/// Parses utility parameters: {"gamma": 0.0}.
+[[nodiscard]] market::UtilityParams parse_utility(const Json& json);
+
+/// Parses simulator options (all fields optional):
+///   {"warmup_time":..., "measure_time":..., "seed":..., "batches":...,
+///    "policy": "probabilistic"|"deadline",
+///    "service": "exponential"|"erlang"|"hyperexponential",
+///    "arrivals": "poisson"|"mmpp"|"batch"|"sinusoidal", ...}
+[[nodiscard]] sim::SimOptions parse_sim_options(const Json& json);
+
+/// Parses game options (all fields optional):
+///   {"max_rounds":..., "method": "tabu"|"exhaustive",
+///    "update_rule": "sequential"|"simultaneous",
+///    "improvement_tolerance":..., "initial_shares": [...],
+///    "tabu": {"distance":..., "tenure":..., "max_iterations":...}}
+[[nodiscard]] market::GameOptions parse_game_options(const Json& json);
+
+// ---- serialization --------------------------------------------------------
+
+[[nodiscard]] Json to_json(const federation::FederationConfig& config);
+[[nodiscard]] Json to_json(const federation::ScMetrics& metrics);
+[[nodiscard]] Json to_json(const federation::FederationMetrics& metrics);
+[[nodiscard]] Json to_json(const market::Baseline& baseline);
+[[nodiscard]] Json to_json(const market::GameResult& result);
+[[nodiscard]] Json to_json(const sim::ScSimStats& stats);
+[[nodiscard]] Json to_json(const market::SweepPoint& point);
+
+}  // namespace scshare::io

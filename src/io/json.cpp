@@ -1,0 +1,361 @@
+#include "io/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace scshare::io {
+namespace {
+
+/// Recursive-descent JSON parser over a string view.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json value = parse_value();
+    skip_whitespace();
+    require(pos_ == text_.size(), error("trailing characters"));
+    return value;
+  }
+
+ private:
+  [[nodiscard]] std::string error(const std::string& what) const {
+    return "Json::parse: " + what + " at offset " + std::to_string(pos_);
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() {
+    skip_whitespace();
+    require(pos_ < text_.size(), error("unexpected end of input"));
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    require(peek() == c, error(std::string("expected '") + c + "'"));
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  Json parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't':
+        require(consume_literal("true"), error("invalid literal"));
+        return Json(true);
+      case 'f':
+        require(consume_literal("false"), error("invalid literal"));
+        return Json(false);
+      case 'n':
+        require(consume_literal("null"), error("invalid literal"));
+        return Json(nullptr);
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    JsonObject object;
+    if (peek() == '}') {
+      ++pos_;
+      return Json(std::move(object));
+    }
+    for (;;) {
+      require(peek() == '"', error("expected object key"));
+      std::string key = parse_string();
+      expect(':');
+      object.emplace(std::move(key), parse_value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return Json(std::move(object));
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    JsonArray array;
+    if (peek() == ']') {
+      ++pos_;
+      return Json(std::move(array));
+    }
+    for (;;) {
+      array.push_back(parse_value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return Json(std::move(array));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      require(pos_ < text_.size(), error("unterminated escape"));
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          require(pos_ + 4 <= text_.size(), error("truncated \\u escape"));
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              require(false, error("invalid \\u escape"));
+            }
+          }
+          // UTF-8 encode the code point (BMP only; surrogates rejected).
+          require(code < 0xD800 || code > 0xDFFF,
+                  error("surrogate pairs not supported"));
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: require(false, error("invalid escape"));
+      }
+    }
+    require(pos_ < text_.size(), error("unterminated string"));
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  Json parse_number() {
+    skip_whitespace();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    double value = 0.0;
+    const auto result =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    require(result.ec == std::errc() && result.ptr == text_.data() + pos_ &&
+                pos_ > start,
+            error("invalid number"));
+    return Json(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void dump_string(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void dump_number(std::string& out, double value) {
+  if (value == static_cast<double>(static_cast<long long>(value)) &&
+      std::abs(value) < 1e15) {
+    out += std::to_string(static_cast<long long>(value));
+    return;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out += buffer;
+}
+
+}  // namespace
+
+Json Json::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+bool Json::as_bool() const {
+  require(type_ == Type::kBool, "Json: not a boolean");
+  return bool_;
+}
+
+double Json::as_double() const {
+  require(type_ == Type::kNumber, "Json: not a number");
+  return number_;
+}
+
+int Json::as_int() const {
+  require(type_ == Type::kNumber, "Json: not a number");
+  const int value = static_cast<int>(number_);
+  require(static_cast<double>(value) == number_, "Json: not an integer");
+  return value;
+}
+
+const std::string& Json::as_string() const {
+  require(type_ == Type::kString, "Json: not a string");
+  return string_;
+}
+
+const JsonArray& Json::as_array() const {
+  require(type_ == Type::kArray, "Json: not an array");
+  return array_;
+}
+
+const JsonObject& Json::as_object() const {
+  require(type_ == Type::kObject, "Json: not an object");
+  return object_;
+}
+
+const Json& Json::at(const std::string& key) const {
+  const auto& object = as_object();
+  const auto it = object.find(key);
+  require(it != object.end(), "Json: missing key '" + key + "'");
+  return it->second;
+}
+
+double Json::get_or(const std::string& key, double fallback) const {
+  return contains(key) ? at(key).as_double() : fallback;
+}
+
+int Json::get_or(const std::string& key, int fallback) const {
+  return contains(key) ? at(key).as_int() : fallback;
+}
+
+std::string Json::get_or(const std::string& key,
+                         const std::string& fallback) const {
+  return contains(key) ? at(key).as_string() : fallback;
+}
+
+bool Json::get_or(const std::string& key, bool fallback) const {
+  return contains(key) ? at(key).as_bool() : fallback;
+}
+
+bool Json::contains(const std::string& key) const {
+  return type_ == Type::kObject && object_.find(key) != object_.end();
+}
+
+const Json& Json::at(std::size_t index) const {
+  const auto& array = as_array();
+  require(index < array.size(), "Json: array index out of range");
+  return array[index];
+}
+
+std::size_t Json::size() const {
+  if (type_ == Type::kArray) return array_.size();
+  if (type_ == Type::kObject) return object_.size();
+  require(false, "Json: size() requires an array or object");
+  return 0;
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const auto newline = [&](int d) {
+    if (indent < 0) return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(d),
+               ' ');
+  };
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: dump_number(out, number_); break;
+    case Type::kString: dump_string(out, string_); break;
+    case Type::kArray: {
+      out.push_back('[');
+      bool first = true;
+      for (const auto& element : array_) {
+        if (!first) out.push_back(',');
+        first = false;
+        newline(depth + 1);
+        element.dump_to(out, indent, depth + 1);
+      }
+      if (!array_.empty()) newline(depth);
+      out.push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : object_) {
+        if (!first) out.push_back(',');
+        first = false;
+        newline(depth + 1);
+        dump_string(out, key);
+        out.push_back(':');
+        if (indent >= 0) out.push_back(' ');
+        value.dump_to(out, indent, depth + 1);
+      }
+      if (!object_.empty()) newline(depth);
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace scshare::io

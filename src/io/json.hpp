@@ -1,0 +1,89 @@
+// Minimal JSON value type, parser, and writer — enough to read federation
+// configuration files and emit machine-readable results from the CLI and
+// benches. Supports the full JSON grammar except \u escapes beyond the
+// Basic Latin range (which are preserved verbatim).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scshare::io {
+
+class Json;
+
+using JsonArray = std::vector<Json>;
+/// std::map keeps object keys ordered, which makes dumps deterministic.
+using JsonObject = std::map<std::string, Json>;
+
+/// Immutable-ish JSON value (null, bool, number, string, array, object).
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}  // NOLINT(runtime/explicit)
+  Json(bool b) : type_(Type::kBool), bool_(b) {}  // NOLINT(runtime/explicit)
+  Json(double n) : type_(Type::kNumber), number_(n) {}  // NOLINT
+  Json(int n) : Json(static_cast<double>(n)) {}         // NOLINT
+  Json(std::string s)                                   // NOLINT
+      : type_(Type::kString), string_(std::move(s)) {}
+  Json(const char* s) : Json(std::string(s)) {}  // NOLINT(runtime/explicit)
+  Json(JsonArray a)                              // NOLINT(runtime/explicit)
+      : type_(Type::kArray), array_(std::move(a)) {}
+  Json(JsonObject o)                             // NOLINT(runtime/explicit)
+      : type_(Type::kObject), object_(std::move(o)) {}
+
+  /// Parses a complete JSON document; throws scshare::Error with a position
+  /// on malformed input.
+  static Json parse(std::string_view text);
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw scshare::Error on type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] int as_int() const;  ///< also checks integrality
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const JsonArray& as_array() const;
+  [[nodiscard]] const JsonObject& as_object() const;
+
+  /// Object lookup; throws if not an object or the key is absent.
+  [[nodiscard]] const Json& at(const std::string& key) const;
+  /// Object lookup with default.
+  [[nodiscard]] double get_or(const std::string& key, double fallback) const;
+  [[nodiscard]] int get_or(const std::string& key, int fallback) const;
+  [[nodiscard]] std::string get_or(const std::string& key,
+                                   const std::string& fallback) const;
+  [[nodiscard]] bool get_or(const std::string& key, bool fallback) const;
+  [[nodiscard]] bool contains(const std::string& key) const;
+
+  /// Array element; throws if not an array or out of range.
+  [[nodiscard]] const Json& at(std::size_t index) const;
+  [[nodiscard]] std::size_t size() const;  ///< array/object size
+
+  /// Serializes; indent < 0 produces compact output, otherwise pretty-prints
+  /// with the given indentation width.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  JsonArray array_;
+  JsonObject object_;
+};
+
+}  // namespace scshare::io

@@ -1,0 +1,103 @@
+#include "linalg/csr_matrix.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace scshare::linalg {
+
+TripletList::TripletList(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols) {}
+
+void TripletList::add(std::size_t row, std::size_t col, double value) {
+  SCSHARE_ASSERT(row < rows_ && col < cols_,
+                 "TripletList::add: index out of range");
+  if (value == 0.0) return;
+  entries_.push_back({row, col, value});
+}
+
+CsrMatrix CsrMatrix::from_triplets(const TripletList& triplets) {
+  CsrMatrix m;
+  m.rows_ = triplets.rows();
+  m.cols_ = triplets.cols();
+
+  // Sort a copy of the entries by (row, col) and merge duplicates.
+  std::vector<TripletList::Entry> sorted = triplets.entries();
+  std::sort(sorted.begin(), sorted.end(),
+            [](const TripletList::Entry& a, const TripletList::Entry& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  m.row_offsets_.assign(m.rows_ + 1, 0);
+  m.col_indices_.reserve(sorted.size());
+  m.values_.reserve(sorted.size());
+
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    const std::size_t row = sorted[i].row;
+    const std::size_t col = sorted[i].col;
+    double value = 0.0;
+    while (i < sorted.size() && sorted[i].row == row && sorted[i].col == col) {
+      value += sorted[i].value;
+      ++i;
+    }
+    if (value != 0.0) {
+      m.col_indices_.push_back(col);
+      m.values_.push_back(value);
+      ++m.row_offsets_[row + 1];
+    }
+  }
+  std::partial_sum(m.row_offsets_.begin(), m.row_offsets_.end(),
+                   m.row_offsets_.begin());
+  return m;
+}
+
+void CsrMatrix::multiply(std::span<const double> x,
+                         std::span<double> y) const {
+  require(x.size() == cols_ && y.size() == rows_,
+          "CsrMatrix::multiply: size mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      acc += values_[k] * x[col_indices_[k]];
+    }
+    y[r] = acc;
+  }
+}
+
+void CsrMatrix::multiply_transposed(std::span<const double> x,
+                                    std::span<double> y) const {
+  require(x.size() == rows_ && y.size() == cols_,
+          "CsrMatrix::multiply_transposed: size mismatch");
+  std::fill(y.begin(), y.end(), 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (std::size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      y[col_indices_[k]] += values_[k] * xr;
+    }
+  }
+}
+
+double CsrMatrix::at(std::size_t row, std::size_t col) const {
+  require(row < rows_ && col < cols_, "CsrMatrix::at: index out of range");
+  const auto begin = col_indices_.begin() +
+                     static_cast<std::ptrdiff_t>(row_offsets_[row]);
+  const auto end = col_indices_.begin() +
+                   static_cast<std::ptrdiff_t>(row_offsets_[row + 1]);
+  const auto it = std::lower_bound(begin, end, col);
+  if (it == end || *it != col) return 0.0;
+  return values_[static_cast<std::size_t>(it - col_indices_.begin())];
+}
+
+double CsrMatrix::row_sum(std::size_t row) const {
+  require(row < rows_, "CsrMatrix::row_sum: index out of range");
+  double acc = 0.0;
+  for (std::size_t k = row_offsets_[row]; k < row_offsets_[row + 1]; ++k) {
+    acc += values_[k];
+  }
+  return acc;
+}
+
+}  // namespace scshare::linalg

@@ -1,0 +1,85 @@
+// Compressed-sparse-row matrix used to store CTMC generators and
+// uniformized transition matrices.
+//
+// Matrices are built through `TripletList` (duplicate entries are summed),
+// then frozen into an immutable CSR structure optimized for repeated
+// mat-vec / vec-mat products.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace scshare::linalg {
+
+/// Coordinate-format builder for sparse matrices.
+class TripletList {
+ public:
+  TripletList(std::size_t rows, std::size_t cols);
+
+  /// Accumulates `value` at (row, col). Duplicates are summed on freeze.
+  void add(std::size_t row, std::size_t col, double value);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t nnz() const { return entries_.size(); }
+
+  struct Entry {
+    std::size_t row;
+    std::size_t col;
+    double value;
+  };
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<Entry> entries_;
+};
+
+/// Immutable CSR sparse matrix.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Builds from triplets; duplicate (row, col) entries are summed and exact
+  /// zeros dropped.
+  static CsrMatrix from_triplets(const TripletList& triplets);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t nnz() const { return values_.size(); }
+
+  /// y = A x. Requires x.size() == cols(), y.size() == rows().
+  void multiply(std::span<const double> x, std::span<double> y) const;
+
+  /// y = x^T A (row vector times matrix). Requires x.size() == rows(),
+  /// y.size() == cols(). This is the product used for distribution updates
+  /// pi' = pi P.
+  void multiply_transposed(std::span<const double> x,
+                           std::span<double> y) const;
+
+  /// Element lookup (binary search within the row); 0 if absent.
+  [[nodiscard]] double at(std::size_t row, std::size_t col) const;
+
+  /// Sum of entries in `row`.
+  [[nodiscard]] double row_sum(std::size_t row) const;
+
+  /// Access to raw structure (used by solvers).
+  [[nodiscard]] std::span<const std::size_t> row_offsets() const {
+    return row_offsets_;
+  }
+  [[nodiscard]] std::span<const std::size_t> col_indices() const {
+    return col_indices_;
+  }
+  [[nodiscard]] std::span<const double> values() const { return values_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_offsets_;  // size rows_ + 1
+  std::vector<std::size_t> col_indices_;  // size nnz
+  std::vector<double> values_;            // size nnz
+};
+
+}  // namespace scshare::linalg

@@ -1,0 +1,51 @@
+#include "linalg/vector_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace scshare::linalg {
+
+double sum(std::span<const double> v) {
+  double acc = 0.0;
+  for (double x : v) acc += x;
+  return acc;
+}
+
+double l1_norm(std::span<const double> v) {
+  double acc = 0.0;
+  for (double x : v) acc += std::abs(x);
+  return acc;
+}
+
+double max_abs_diff(std::span<const double> a, std::span<const double> b) {
+  require(a.size() == b.size(), "max_abs_diff: size mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+void normalize_probability(std::span<double> v) {
+  const double total = sum(v);
+  require(total > 0.0, "normalize_probability: total mass must be positive");
+  for (double& x : v) x /= total;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  require(x.size() == y.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void clamp_nonnegative(std::span<double> v, double tol) {
+  for (double& x : v) {
+    if (x < 0.0) {
+      require(x >= -tol, "clamp_nonnegative: significantly negative value");
+      x = 0.0;
+    }
+  }
+}
+
+}  // namespace scshare::linalg

@@ -1,0 +1,29 @@
+// Dense-vector kernels shared by the Markov solvers.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace scshare::linalg {
+
+/// Sum of all elements.
+[[nodiscard]] double sum(std::span<const double> v);
+
+/// L1 norm (sum of absolute values).
+[[nodiscard]] double l1_norm(std::span<const double> v);
+
+/// L-infinity norm of (a - b). Requires equal sizes.
+[[nodiscard]] double max_abs_diff(std::span<const double> a,
+                                  std::span<const double> b);
+
+/// Scales `v` in place so that its elements sum to 1. Requires sum > 0.
+void normalize_probability(std::span<double> v);
+
+/// y += alpha * x.
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// Clamps tiny negative round-off values (>= -tol) to zero; throws if a value
+/// is more negative than -tol.
+void clamp_nonnegative(std::span<double> v, double tol = 1e-12);
+
+}  // namespace scshare::linalg

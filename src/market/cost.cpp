@@ -1,0 +1,62 @@
+#include "market/cost.hpp"
+
+#include "common/error.hpp"
+#include "queueing/no_share_model.hpp"
+
+namespace scshare::market {
+
+void PriceConfig::validate(std::size_t num_scs) const {
+  require(public_price.size() == num_scs,
+          "PriceConfig: one public price per SC required");
+  require(federation_price >= 0.0,
+          "PriceConfig: federation price must be non-negative");
+  require(power_price >= 0.0,
+          "PriceConfig: power price must be non-negative");
+  for (double p : public_price) {
+    require(p > 0.0, "PriceConfig: public prices must be positive");
+    require(federation_price <= p,
+            "PriceConfig: federation price must not exceed public prices");
+  }
+}
+
+double operating_cost(const federation::ScMetrics& metrics,
+                      double public_price, double federation_price,
+                      double power_price, int num_vms) {
+  return metrics.forward_rate * public_price +
+         (metrics.borrowed - metrics.lent) * federation_price +
+         power_price * metrics.utilization * static_cast<double>(num_vms);
+}
+
+Baseline compute_baseline(const federation::ScConfig& sc, double public_price,
+                          double truncation_epsilon, double power_price) {
+  queueing::NoShareParams params;
+  params.num_vms = sc.num_vms;
+  params.lambda = sc.lambda;
+  params.mu = sc.mu;
+  params.max_wait = sc.max_wait;
+  params.truncation_epsilon = truncation_epsilon;
+  const auto solution = queueing::solve_no_share(params);
+  Baseline b;
+  b.forward_rate = solution.forward_rate;
+  b.cost = solution.forward_rate * public_price +
+           power_price * solution.utilization *
+               static_cast<double>(sc.num_vms);
+  b.utilization = solution.utilization;
+  return b;
+}
+
+std::vector<Baseline> compute_baselines(
+    const federation::FederationConfig& config, const PriceConfig& prices) {
+  config.validate();
+  prices.validate(config.size());
+  std::vector<Baseline> baselines;
+  baselines.reserve(config.size());
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    baselines.push_back(compute_baseline(config.scs[i], prices.public_price[i],
+                                         config.truncation_epsilon,
+                                         prices.power_price));
+  }
+  return baselines;
+}
+
+}  // namespace scshare::market

@@ -1,0 +1,54 @@
+// Operating-cost metric of an SC (paper Eq. (1)) and the no-sharing baseline
+// used by the utility function.
+#pragma once
+
+#include <vector>
+
+#include "federation/config.hpp"
+#include "federation/metrics.hpp"
+
+namespace scshare::market {
+
+/// Prices faced by the federation (paper Sect. II-B): a per-SC public-cloud
+/// price C_i^P and one federation-wide price C^G for shared VMs, with
+/// C^G <= C_i^P.
+struct PriceConfig {
+  std::vector<double> public_price;  ///< C_i^P per SC
+  double federation_price = 0.0;     ///< C^G, identical across SCs
+  /// Optional power/operating cost per busy VM per second (the paper lists
+  /// power consumption as a future extension of Eq. (1); 0 reproduces the
+  /// paper's cost exactly).
+  double power_price = 0.0;
+
+  void validate(std::size_t num_scs) const;
+};
+
+/// Net operating cost of SC i (Eq. (1), optionally extended with power):
+///   C_i = P̄_i * C_i^P + (Ō_i - Ī_i) * C^G + c_pw * rho_i * N_i.
+/// The power term charges for every busy VM, including VMs lent to peers
+/// (the lender pays the electricity, the C^G revenue compensates).
+/// Negative values mean the SC earns more from lending than it spends.
+[[nodiscard]] double operating_cost(const federation::ScMetrics& metrics,
+                                    double public_price,
+                                    double federation_price,
+                                    double power_price = 0.0,
+                                    int num_vms = 0);
+
+/// No-sharing baseline of one SC: cost C_i^0 = P̄_i^0 * C_i^P and
+/// utilization rho_i^0, computed from the standalone model of Sect. III-A.
+struct Baseline {
+  double cost = 0.0;         ///< C_i^0
+  double utilization = 0.0;  ///< rho_i^0
+  double forward_rate = 0.0; ///< P̄_i^0
+};
+
+[[nodiscard]] Baseline compute_baseline(const federation::ScConfig& sc,
+                                        double public_price,
+                                        double truncation_epsilon = 1e-9,
+                                        double power_price = 0.0);
+
+/// Baselines for every SC of a federation.
+[[nodiscard]] std::vector<Baseline> compute_baselines(
+    const federation::FederationConfig& config, const PriceConfig& prices);
+
+}  // namespace scshare::market

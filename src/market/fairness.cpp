@@ -1,0 +1,55 @@
+#include "market/fairness.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace scshare::market {
+
+double welfare(Fairness fairness, std::span<const int> shares,
+               std::span<const double> utilities) {
+  require(shares.size() == utilities.size(),
+          "welfare: shares/utilities size mismatch");
+  bool any_participant = false;
+  double total = 0.0;
+  double minimum = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    if (shares[i] <= 0) continue;
+    any_participant = true;
+    const double u = utilities[i];
+    const double w = static_cast<double>(shares[i]);
+    switch (fairness) {
+      case Fairness::kUtilitarian:
+        total += w * u;
+        break;
+      case Fairness::kProportional:
+        if (u <= 0.0) return -std::numeric_limits<double>::infinity();
+        total += w * std::log(u);
+        break;
+      case Fairness::kMaxMin:
+        minimum = std::min(minimum, u);
+        break;
+    }
+  }
+  if (!any_participant) return 0.0;
+  return fairness == Fairness::kMaxMin ? minimum : total;
+}
+
+double efficiency(Fairness fairness, double achieved, double optimum,
+                  double achieved_weight, double optimum_weight) {
+  double e = 0.0;
+  if (fairness == Fairness::kProportional) {
+    // Compare weighted geometric-mean utilities: exp(W / total shares).
+    // Scale-correct for a log welfare and defined for either sign of W.
+    if (std::isinf(achieved) || std::isinf(optimum)) return 0.0;
+    if (achieved_weight <= 0.0 || optimum_weight <= 0.0) return 0.0;
+    e = std::exp(achieved / achieved_weight - optimum / optimum_weight);
+  } else {
+    if (optimum <= 0.0) return 0.0;
+    e = achieved / optimum;
+  }
+  return std::clamp(e, 0.0, 1.0);
+}
+
+}  // namespace scshare::market

@@ -1,0 +1,53 @@
+// Weighted alpha-fairness welfare (paper Eq. (3)):
+//
+//   W(alpha) = sum_i S_i * U_i^(1-alpha) / (1-alpha)   (alpha >= 0, != 1)
+//   W(1)     = sum_i S_i * log U_i
+//
+// Three instantiations are evaluated in the paper: alpha = 0 (utilitarian),
+// alpha = 1 (proportional fairness), alpha -> infinity (max-min fairness,
+// implemented as min_i U_i over participating SCs).
+#pragma once
+
+#include <array>
+#include <limits>
+#include <span>
+
+namespace scshare::market {
+
+enum class Fairness {
+  kUtilitarian,   ///< alpha = 0
+  kProportional,  ///< alpha = 1
+  kMaxMin,        ///< alpha -> infinity
+};
+
+inline constexpr std::array<Fairness, 3> kAllFairness = {
+    Fairness::kUtilitarian, Fairness::kProportional, Fairness::kMaxMin};
+
+[[nodiscard]] constexpr const char* fairness_name(Fairness f) {
+  switch (f) {
+    case Fairness::kUtilitarian: return "utilitarian";
+    case Fairness::kProportional: return "proportional";
+    case Fairness::kMaxMin: return "max-min";
+  }
+  return "?";
+}
+
+/// Welfare of an allocation. Conventions: SCs with S_i = 0 contribute zero
+/// weight (and are skipped by the max-min minimum); a participating SC with
+/// zero utility makes the proportional welfare -infinity and the max-min
+/// welfare zero. Returns 0 when nobody participates.
+[[nodiscard]] double welfare(Fairness fairness, std::span<const int> shares,
+                             std::span<const double> utilities);
+
+/// Efficiency of an achieved welfare against the social optimum:
+/// for utilitarian/max-min the plain ratio (0 when the optimum is 0). The
+/// proportional welfare is a weighted *log*-sum, so ratios of W are not
+/// scale-meaningful; instead the efficiency compares the weighted geometric
+/// mean utilities, exp(W_a / weight_a - W_o / weight_o), where the weights
+/// are the total shares of each allocation (0 when the achieved welfare is
+/// -infinity or nobody participates). Values are clamped to [0, 1].
+[[nodiscard]] double efficiency(Fairness fairness, double achieved,
+                                double optimum, double achieved_weight = 1.0,
+                                double optimum_weight = 1.0);
+
+}  // namespace scshare::market

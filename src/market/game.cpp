@@ -1,0 +1,146 @@
+#include "market/game.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace scshare::market {
+
+Game::Game(federation::FederationConfig config, PriceConfig prices,
+           UtilityParams utility, federation::PerformanceBackend& backend,
+           GameOptions options)
+    : config_(std::move(config)),
+      prices_(std::move(prices)),
+      utility_(utility),
+      backend_(backend),
+      options_(std::move(options)) {
+  config_.validate();
+  prices_.validate(config_.size());
+  baselines_ = compute_baselines(config_, prices_);
+  if (options_.initial_shares.empty()) {
+    options_.initial_shares.assign(config_.size(), 0);
+  }
+  require(options_.initial_shares.size() == config_.size(),
+          "GameOptions: initial_shares size mismatch");
+  for (std::size_t i = 0; i < config_.size(); ++i) {
+    require(options_.initial_shares[i] >= 0 &&
+                options_.initial_shares[i] <= config_.scs[i].num_vms,
+            "GameOptions: initial share out of range");
+  }
+}
+
+double Game::utility_of(std::size_t i, const std::vector<int>& shares) {
+  federation::FederationConfig cfg = config_;
+  cfg.shares = shares;
+  const auto metrics = backend_.evaluate(cfg);
+  return sc_utility(metrics[i], baselines_[i], prices_.public_price[i],
+                    prices_.federation_price, shares[i], utility_,
+                    prices_.power_price, config_.scs[i].num_vms);
+}
+
+std::vector<double> Game::utilities_of(const std::vector<int>& shares) {
+  federation::FederationConfig cfg = config_;
+  cfg.shares = shares;
+  const auto metrics = backend_.evaluate(cfg);
+  std::vector<double> utilities(config_.size());
+  for (std::size_t i = 0; i < config_.size(); ++i) {
+    utilities[i] =
+        sc_utility(metrics[i], baselines_[i], prices_.public_price[i],
+                   prices_.federation_price, shares[i], utility_,
+                   prices_.power_price, config_.scs[i].num_vms);
+  }
+  return utilities;
+}
+
+int Game::best_response(std::size_t i, std::vector<int> shares) {
+  const int current = shares[i];
+  const int hi = config_.scs[i].num_vms;
+  const auto objective = [&](int share) {
+    shares[i] = share;
+    return utility_of(i, shares);
+  };
+
+  int best = current;
+  double best_value = objective(current);
+  if (options_.method == BestResponseMethod::kExhaustive) {
+    for (int s = 0; s <= hi; ++s) {
+      if (s == current) continue;
+      const double v = objective(s);
+      if (v > best_value) {
+        best_value = v;
+        best = s;
+      }
+    }
+  } else {
+    // Tabu search, started from the SC's current share.
+    const auto result =
+        tabu_search(current, 0, hi, objective, options_.tabu);
+    best = result.best;
+    best_value = result.best_value;
+  }
+
+  // Sharing without benefit is weakly dominated by leaving the federation
+  // (utility 0 either way, but participation carries oversight costs), so an
+  // SC whose every option yields zero utility withdraws.
+  if (best_value <= 0.0) return 0;
+
+  // Hysteresis: stay put unless the improvement is material.
+  const double current_value = objective(current);
+  const double threshold =
+      current_value * (1.0 + options_.improvement_tolerance) +
+      options_.improvement_tolerance * 1e-6;
+  return best_value > threshold ? best : current;
+}
+
+GameResult Game::run() {
+  GameResult result;
+  std::vector<int> shares = options_.initial_shares;
+
+  for (int round = 1; round <= options_.max_rounds; ++round) {
+    std::vector<int> next;
+    if (options_.update_rule == UpdateRule::kSimultaneous) {
+      // All SCs respond to the previous round (literal Algorithm 1).
+      next.resize(shares.size());
+      for (std::size_t i = 0; i < shares.size(); ++i) {
+        next[i] = best_response(i, shares);
+      }
+    } else {
+      // Sequential: each SC sees the responses of the SCs before it.
+      next = shares;
+      for (std::size_t i = 0; i < shares.size(); ++i) {
+        next[i] = best_response(i, next);
+      }
+    }
+    result.rounds = round;
+    result.trajectory.push_back(next);
+    if (next == shares) {
+      result.converged = true;
+      shares = std::move(next);
+      break;
+    }
+    // Cycle detection: revisiting an earlier vector means the best-response
+    // dynamics oscillate; keep the best-welfare vector seen so far by
+    // falling back to the last state (reported as non-converged).
+    const bool seen =
+        std::find(result.trajectory.begin(), result.trajectory.end() - 1,
+                  next) != result.trajectory.end() - 1;
+    shares = std::move(next);
+    if (seen) break;
+  }
+
+  result.shares = shares;
+  result.utilities = utilities_of(shares);
+  federation::FederationConfig cfg = config_;
+  cfg.shares = shares;
+  const auto metrics = backend_.evaluate(cfg);
+  result.costs.resize(config_.size());
+  for (std::size_t i = 0; i < config_.size(); ++i) {
+    result.costs[i] = operating_cost(metrics[i], prices_.public_price[i],
+                                     prices_.federation_price,
+                                     prices_.power_price,
+                                     config_.scs[i].num_vms);
+  }
+  return result;
+}
+
+}  // namespace scshare::market

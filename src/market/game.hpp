@@ -1,0 +1,93 @@
+// Non-cooperative repeated sharing game among SCs (paper Algorithm 1).
+//
+// Each round, every SC best-responds with the share count S_i maximizing its
+// utility (Eq. (2)) against the other SCs' shares from the previous round
+// (fictitious-play style: SCs know only their own utility). The game stops at
+// a pure-strategy equilibrium (no SC changes its share) or after max_rounds.
+//
+// Best responses are found either exhaustively over S_i in [0, N_i] or with
+// Tabu search (paper's choice; cheaper when evaluations are expensive).
+#pragma once
+
+#include <vector>
+
+#include "federation/backend.hpp"
+#include "federation/config.hpp"
+#include "market/cost.hpp"
+#include "market/tabu.hpp"
+#include "market/utility.hpp"
+
+namespace scshare::market {
+
+enum class BestResponseMethod {
+  kExhaustive,  ///< scan every share in [0, N_i]
+  kTabu,        ///< Tabu search (paper Sect. IV-B)
+};
+
+enum class UpdateRule {
+  /// SCs respond in sequence within a round, each seeing the updates of the
+  /// SCs before it (the paper's Sect. VII notes SCs follow a prescribed
+  /// sequence of actions; sequential updates also avoid the two-cycles that
+  /// simultaneous best responses are prone to).
+  kSequential,
+  /// All SCs respond to the previous round simultaneously (literal reading
+  /// of Algorithm 1); kept for comparison experiments.
+  kSimultaneous,
+};
+
+struct GameOptions {
+  std::vector<int> initial_shares;  ///< empty: start from all-zero
+  int max_rounds = 64;
+  BestResponseMethod method = BestResponseMethod::kTabu;
+  UpdateRule update_rule = UpdateRule::kSequential;
+  /// An SC changes its share only when the candidate's utility beats the
+  /// current one by this relative margin (hysteresis). Models switching
+  /// costs and keeps the dynamics stable when the cost oracle is noisy
+  /// (e.g., a simulation backend); 0 gives literal best responses.
+  double improvement_tolerance = 1e-9;
+  TabuOptions tabu;
+};
+
+struct GameResult {
+  std::vector<int> shares;        ///< final (equilibrium) sharing vector
+  std::vector<double> utilities;  ///< per-SC utilities at the final vector
+  std::vector<double> costs;      ///< per-SC operating costs (Eq. (1))
+  int rounds = 0;
+  bool converged = false;
+  std::vector<std::vector<int>> trajectory;  ///< shares after each round
+};
+
+class Game {
+ public:
+  /// `backend` must outlive the Game. `config.shares` is ignored (the game
+  /// controls the sharing vector).
+  Game(federation::FederationConfig config, PriceConfig prices,
+       UtilityParams utility, federation::PerformanceBackend& backend,
+       GameOptions options = {});
+
+  /// Runs Algorithm 1 until equilibrium or the round budget is exhausted.
+  [[nodiscard]] GameResult run();
+
+  /// Utility of SC i when the federation uses `shares` (helper for sweeps
+  /// and social-optimum search; uses the same memoized backend).
+  [[nodiscard]] double utility_of(std::size_t i, const std::vector<int>& shares);
+
+  /// Utilities of every SC under `shares`.
+  [[nodiscard]] std::vector<double> utilities_of(const std::vector<int>& shares);
+
+  [[nodiscard]] const std::vector<Baseline>& baselines() const {
+    return baselines_;
+  }
+
+ private:
+  [[nodiscard]] int best_response(std::size_t i, std::vector<int> shares);
+
+  federation::FederationConfig config_;
+  PriceConfig prices_;
+  UtilityParams utility_;
+  federation::PerformanceBackend& backend_;
+  GameOptions options_;
+  std::vector<Baseline> baselines_;
+};
+
+}  // namespace scshare::market

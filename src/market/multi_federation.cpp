@@ -1,0 +1,174 @@
+#include "market/multi_federation.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace scshare::market {
+
+MultiFederationGame::MultiFederationGame(
+    federation::FederationConfig base, std::vector<double> federation_prices,
+    std::vector<double> public_prices, UtilityParams utility,
+    federation::PerformanceBackend& backend, MultiFederationOptions options)
+    : base_(std::move(base)),
+      federation_prices_(std::move(federation_prices)),
+      public_prices_(std::move(public_prices)),
+      utility_(utility),
+      backend_(backend),
+      options_(std::move(options)) {
+  base_.validate();
+  require(!federation_prices_.empty(),
+          "MultiFederationGame: at least one federation required");
+  require(public_prices_.size() == base_.size(),
+          "MultiFederationGame: one public price per SC required");
+  for (std::size_t i = 0; i < base_.size(); ++i) {
+    require(public_prices_[i] > 0.0,
+            "MultiFederationGame: public prices must be positive");
+    for (double g : federation_prices_) {
+      require(g >= 0.0 && g <= public_prices_[i],
+              "MultiFederationGame: federation prices must lie in "
+              "[0, public price]");
+    }
+    baselines_.push_back(compute_baseline(base_.scs[i], public_prices_[i],
+                                          base_.truncation_epsilon));
+  }
+  if (options_.initial_membership.empty()) {
+    // Starting everyone isolated is a coordination trap (joining an empty
+    // federation alone never pays). The default studies migration from an
+    // existing arrangement: everybody starts in federation 0.
+    options_.initial_membership.assign(base_.size(), 0);
+  }
+  if (options_.initial_shares.empty()) {
+    options_.initial_shares.assign(base_.size(), 0);
+  }
+  require(options_.initial_membership.size() == base_.size() &&
+              options_.initial_shares.size() == base_.size(),
+          "MultiFederationGame: initial strategy size mismatch");
+  for (std::size_t i = 0; i < base_.size(); ++i) {
+    const int f = options_.initial_membership[i];
+    require(f == kNoFederation ||
+                (f >= 0 && f < static_cast<int>(federation_prices_.size())),
+            "MultiFederationGame: invalid initial membership");
+    require(options_.initial_shares[i] >= 0 &&
+                options_.initial_shares[i] <= base_.scs[i].num_vms,
+            "MultiFederationGame: invalid initial share");
+  }
+}
+
+federation::FederationMetrics MultiFederationGame::evaluate(
+    const std::vector<int>& membership, const std::vector<int>& shares) {
+  std::vector<int> key;
+  key.reserve(2 * base_.size());
+  key.insert(key.end(), membership.begin(), membership.end());
+  key.insert(key.end(), shares.begin(), shares.end());
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+
+  federation::FederationMetrics metrics(base_.size());
+  // Isolated SCs: baseline forwarding, no exchange.
+  for (std::size_t i = 0; i < base_.size(); ++i) {
+    metrics[i].forward_rate = baselines_[i].forward_rate;
+    metrics[i].forward_prob =
+        baselines_[i].forward_rate / base_.scs[i].lambda;
+    metrics[i].utilization = baselines_[i].utilization;
+  }
+  // Each federation is an independent sub-system.
+  for (int f = 0; f < static_cast<int>(federation_prices_.size()); ++f) {
+    std::vector<std::size_t> members;
+    for (std::size_t i = 0; i < base_.size(); ++i) {
+      if (membership[i] == f) members.push_back(i);
+    }
+    if (members.empty()) continue;
+    federation::FederationConfig sub;
+    sub.truncation_epsilon = base_.truncation_epsilon;
+    for (std::size_t m : members) {
+      sub.scs.push_back(base_.scs[m]);
+      sub.shares.push_back(shares[m]);
+    }
+    const auto sub_metrics = backend_.evaluate(sub);
+    for (std::size_t local = 0; local < members.size(); ++local) {
+      metrics[members[local]] = sub_metrics[local];
+    }
+  }
+  return cache_.emplace(std::move(key), std::move(metrics)).first->second;
+}
+
+double MultiFederationGame::utility_of(std::size_t i,
+                                       const std::vector<int>& membership,
+                                       const std::vector<int>& shares) {
+  if (membership[i] == kNoFederation) return 0.0;
+  const auto metrics = evaluate(membership, shares);
+  return sc_utility(metrics[i], baselines_[i], public_prices_[i],
+                    federation_prices_[static_cast<std::size_t>(membership[i])],
+                    shares[i], utility_);
+}
+
+std::pair<int, int> MultiFederationGame::best_response(
+    std::size_t i, std::vector<int> membership, std::vector<int> shares) {
+  const int current_f = membership[i];
+  const int current_s = shares[i];
+  const double current_value = utility_of(i, membership, shares);
+
+  int best_f = current_f;
+  int best_s = current_s;
+  double best_value = current_value;
+  for (int f = 0; f < static_cast<int>(federation_prices_.size()); ++f) {
+    membership[i] = f;
+    for (int s = 0; s <= base_.scs[i].num_vms; ++s) {
+      shares[i] = s;
+      const double value = utility_of(i, membership, shares);
+      if (value > best_value) {
+        best_value = value;
+        best_f = f;
+        best_s = s;
+      }
+    }
+  }
+
+  // Withdrawal: no strategy yields positive utility -> leave.
+  if (best_value <= 0.0) return {kNoFederation, 0};
+  // Hysteresis against noisy oracles.
+  const double threshold =
+      current_value * (1.0 + options_.improvement_tolerance) +
+      options_.improvement_tolerance * 1e-6;
+  if (best_value > threshold) return {best_f, best_s};
+  return {current_f, current_s};
+}
+
+MultiFederationResult MultiFederationGame::run() {
+  MultiFederationResult result;
+  std::vector<int> membership = options_.initial_membership;
+  std::vector<int> shares = options_.initial_shares;
+
+  for (int round = 1; round <= options_.max_rounds; ++round) {
+    bool changed = false;
+    for (std::size_t i = 0; i < base_.size(); ++i) {
+      const auto [f, s] = best_response(i, membership, shares);
+      if (f != membership[i] || s != shares[i]) changed = true;
+      membership[i] = f;
+      shares[i] = s;
+    }
+    result.rounds = round;
+    result.trajectory.emplace_back(membership, shares);
+    if (!changed) {
+      result.converged = true;
+      break;
+    }
+    // Cycle detection: the dynamics are deterministic given the memoized
+    // oracle, so a repeated joint state will repeat forever.
+    const auto seen = std::find(result.trajectory.begin(),
+                                result.trajectory.end() - 1,
+                                result.trajectory.back());
+    if (seen != result.trajectory.end() - 1) break;
+  }
+
+  result.membership = membership;
+  result.shares = shares;
+  result.utilities.resize(base_.size());
+  for (std::size_t i = 0; i < base_.size(); ++i) {
+    result.utilities[i] = utility_of(i, membership, shares);
+  }
+  return result;
+}
+
+}  // namespace scshare::market

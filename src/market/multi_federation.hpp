@@ -1,0 +1,90 @@
+// Multi-federation membership game (paper Sect. VII lists participation in
+// multiple federations as future work; this module implements the natural
+// first model: each SC chooses WHICH federation to join — or none — and how
+// many VMs to share there).
+//
+// Each federation has its own internal price C^G_f. An SC's strategy is the
+// pair (federation, share); utilities follow Eq. (2) with the cost of
+// Eq. (1) evaluated inside the chosen federation (members only). The
+// dynamics are sequential best responses with the same hysteresis /
+// withdrawal rules as the single-federation game.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "federation/backend.hpp"
+#include "federation/config.hpp"
+#include "market/cost.hpp"
+#include "market/utility.hpp"
+
+namespace scshare::market {
+
+/// Index of "no federation".
+inline constexpr int kNoFederation = -1;
+
+struct MultiFederationOptions {
+  int max_rounds = 32;
+  /// Relative utility gain required before an SC changes its strategy.
+  double improvement_tolerance = 1e-9;
+  /// Initial membership per SC (all in federation 0 by default — starting
+  /// isolated is a coordination trap) and initial shares (0 by default).
+  std::vector<int> initial_membership;
+  std::vector<int> initial_shares;
+};
+
+struct MultiFederationResult {
+  std::vector<int> membership;   ///< federation index or kNoFederation
+  std::vector<int> shares;       ///< S_i within the chosen federation
+  std::vector<double> utilities;
+  int rounds = 0;
+  bool converged = false;
+  /// membership/share vectors after each round.
+  std::vector<std::pair<std::vector<int>, std::vector<int>>> trajectory;
+};
+
+class MultiFederationGame {
+ public:
+  /// `federation_prices[f]` is C^G of federation f; `public_prices[i]` is
+  /// C^P_i. `backend` must NOT be a CachingBackend (the member sets change
+  /// between evaluations; this class memoizes internally by membership and
+  /// shares).
+  MultiFederationGame(federation::FederationConfig base,
+                      std::vector<double> federation_prices,
+                      std::vector<double> public_prices,
+                      UtilityParams utility,
+                      federation::PerformanceBackend& backend,
+                      MultiFederationOptions options = {});
+
+  [[nodiscard]] MultiFederationResult run();
+
+  /// Utility of SC i under an explicit joint strategy.
+  [[nodiscard]] double utility_of(std::size_t i,
+                                  const std::vector<int>& membership,
+                                  const std::vector<int>& shares);
+
+  [[nodiscard]] std::size_t evaluations() const { return cache_.size(); }
+
+ private:
+  /// Metrics of every SC under the joint strategy (isolated SCs get their
+  /// baseline forwarding and zero lending/borrowing).
+  [[nodiscard]] federation::FederationMetrics evaluate(
+      const std::vector<int>& membership, const std::vector<int>& shares);
+
+  /// Best (federation, share) response for SC i.
+  [[nodiscard]] std::pair<int, int> best_response(
+      std::size_t i, std::vector<int> membership, std::vector<int> shares);
+
+  federation::FederationConfig base_;
+  std::vector<double> federation_prices_;
+  std::vector<double> public_prices_;
+  UtilityParams utility_;
+  federation::PerformanceBackend& backend_;
+  MultiFederationOptions options_;
+  std::vector<Baseline> baselines_;  ///< baseline at each SC's public price
+  /// Memo keyed by the flattened (membership, shares) vector.
+  std::map<std::vector<int>, federation::FederationMetrics> cache_;
+};
+
+}  // namespace scshare::market

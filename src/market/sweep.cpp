@@ -1,0 +1,122 @@
+#include "market/sweep.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace scshare::market {
+
+std::vector<std::vector<int>> share_grid(
+    const federation::FederationConfig& config, int stride) {
+  require(stride >= 1, "share_grid: stride must be >= 1");
+  std::vector<std::vector<int>> per_sc_values;
+  for (const auto& sc : config.scs) {
+    std::vector<int> values;
+    for (int s = 0; s < sc.num_vms; s += stride) values.push_back(s);
+    values.push_back(sc.num_vms);
+    per_sc_values.push_back(std::move(values));
+  }
+  std::vector<std::vector<int>> grid;
+  std::vector<std::size_t> odometer(config.size(), 0);
+  for (;;) {
+    std::vector<int> point(config.size());
+    for (std::size_t i = 0; i < config.size(); ++i) {
+      point[i] = per_sc_values[i][odometer[i]];
+    }
+    grid.push_back(std::move(point));
+    std::size_t i = 0;
+    while (i < config.size() && ++odometer[i] == per_sc_values[i].size()) {
+      odometer[i] = 0;
+      ++i;
+    }
+    if (i == config.size()) break;
+  }
+  return grid;
+}
+
+std::vector<SweepPoint> run_price_sweep(
+    const federation::FederationConfig& config,
+    federation::PerformanceBackend& backend, const SweepOptions& options) {
+  config.validate();
+  require(!options.ratios.empty(), "SweepOptions: no ratios given");
+  for (double r : options.ratios) {
+    require(r > 0.0 && r <= 1.0, "SweepOptions: ratios must lie in (0, 1]");
+  }
+
+  std::vector<std::vector<int>> initials = options.initial_points;
+  if (initials.empty()) {
+    std::vector<int> zero(config.size(), 0);
+    std::vector<int> half(config.size());
+    std::vector<int> full(config.size());
+    for (std::size_t i = 0; i < config.size(); ++i) {
+      half[i] = config.scs[i].num_vms / 2;
+      full[i] = config.scs[i].num_vms;
+    }
+    initials = {zero, half, full};
+  }
+
+  const auto grid = share_grid(config, options.optimum_stride);
+
+  std::vector<SweepPoint> points;
+  points.reserve(options.ratios.size());
+  for (double ratio : options.ratios) {
+    PriceConfig prices;
+    prices.public_price.assign(config.size(), options.public_price);
+    prices.federation_price = ratio * options.public_price;
+
+    SweepPoint point;
+    point.ratio = ratio;
+
+    Game game(config, prices, options.utility, backend, options.game);
+
+    // Equilibria from every initial point.
+    for (const auto& initial : initials) {
+      GameOptions game_options = options.game;
+      game_options.initial_shares = initial;
+      Game g(config, prices, options.utility, backend, game_options);
+      point.equilibria.push_back(g.run());
+    }
+
+    // Social optimum over the share grid, per fairness function.
+    for (std::size_t f = 0; f < kAllFairness.size(); ++f) {
+      FairnessOutcome& outcome = point.outcomes[f];
+      outcome.welfare_opt = -std::numeric_limits<double>::infinity();
+      for (const auto& shares : grid) {
+        const auto utilities = game.utilities_of(shares);
+        const double w = welfare(kAllFairness[f], shares, utilities);
+        if (w > outcome.welfare_opt) {
+          outcome.welfare_opt = w;
+          outcome.opt_shares = shares;
+        }
+      }
+      // Best equilibrium for this fairness function.
+      outcome.welfare_ne = -std::numeric_limits<double>::infinity();
+      for (const auto& eq : point.equilibria) {
+        const double w = welfare(kAllFairness[f], eq.shares, eq.utilities);
+        if (w > outcome.welfare_ne) {
+          outcome.welfare_ne = w;
+          outcome.ne_shares = eq.shares;
+        }
+      }
+      outcome.formed =
+          std::any_of(outcome.ne_shares.begin(), outcome.ne_shares.end(),
+                      [](int s) { return s > 0; });
+      const auto total_shares = [](const std::vector<int>& shares) {
+        double total = 0.0;
+        for (int s : shares) total += static_cast<double>(s);
+        return total;
+      };
+      outcome.efficiency =
+          outcome.formed
+              ? efficiency(kAllFairness[f], outcome.welfare_ne,
+                           outcome.welfare_opt,
+                           total_shares(outcome.ne_shares),
+                           total_shares(outcome.opt_shares))
+              : 0.0;
+    }
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+}  // namespace scshare::market

@@ -1,0 +1,60 @@
+// Price sweep over the federation-to-public price ratio C^G/C^P
+// (paper Sect. V-B, Fig. 7).
+//
+// For each ratio the sweep (i) runs the repeated game from several initial
+// points and keeps, per fairness criterion, the equilibrium with the best
+// welfare, and (ii) searches the sharing-vector grid exhaustively for the
+// social optimum of each welfare function. Federation efficiency is the
+// ratio of the two (see market/fairness.hpp for the proportional-fairness
+// convention).
+//
+// Performance metrics do not depend on prices, so with a CachingBackend the
+// whole sweep costs one backend evaluation per distinct sharing vector.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "federation/backend.hpp"
+#include "market/fairness.hpp"
+#include "market/game.hpp"
+
+namespace scshare::market {
+
+struct SweepOptions {
+  std::vector<double> ratios;  ///< C^G/C^P values to evaluate (in (0, 1])
+  double public_price = 1.0;   ///< C^P, identical across SCs in the sweep
+  /// Game restarts; empty = {all-zero, all-half, all-full}.
+  std::vector<std::vector<int>> initial_points;
+  GameOptions game;
+  /// Stride of the social-optimum grid (1 = exhaustive).
+  int optimum_stride = 1;
+  UtilityParams utility;
+};
+
+struct FairnessOutcome {
+  double welfare_ne = 0.0;
+  double welfare_opt = 0.0;
+  double efficiency = 0.0;
+  std::vector<int> ne_shares;
+  std::vector<int> opt_shares;
+  bool formed = false;  ///< equilibrium has at least one positive share
+};
+
+struct SweepPoint {
+  double ratio = 0.0;
+  std::array<FairnessOutcome, 3> outcomes;  ///< indexed like kAllFairness
+  std::vector<GameResult> equilibria;       ///< one per initial point
+};
+
+/// Runs the sweep. `backend` should be caching for acceptable cost.
+[[nodiscard]] std::vector<SweepPoint> run_price_sweep(
+    const federation::FederationConfig& config,
+    federation::PerformanceBackend& backend, const SweepOptions& options);
+
+/// Enumerates the sharing-vector grid {0, stride, ...} ^ K (always including
+/// each SC's maximum share N_i).
+[[nodiscard]] std::vector<std::vector<int>> share_grid(
+    const federation::FederationConfig& config, int stride);
+
+}  // namespace scshare::market

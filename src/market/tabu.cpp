@@ -1,0 +1,65 @@
+#include "market/tabu.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace scshare::market {
+
+TabuResult tabu_search(int initial, int lo, int hi,
+                       const std::function<double(int)>& objective,
+                       const TabuOptions& options) {
+  require(lo <= hi, "tabu_search: empty domain");
+  require(options.distance >= 1 && options.tenure >= 0 &&
+              options.max_iterations >= 1,
+          "tabu_search: invalid options");
+  const int start = std::clamp(initial, lo, hi);
+
+  // tabu_until[x - lo] = iteration index until which x is tabu.
+  std::vector<int> tabu_until(static_cast<std::size_t>(hi - lo + 1), -1);
+
+  TabuResult result;
+  result.best = start;
+  result.best_value = objective(start);
+  result.evaluations = 1;
+
+  int current = start;
+  int stall = 0;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    tabu_until[static_cast<std::size_t>(current - lo)] = iter + options.tenure;
+
+    int best_neighbor = current;
+    double best_neighbor_value = -std::numeric_limits<double>::infinity();
+    for (int d = 1; d <= options.distance; ++d) {
+      for (const int candidate : {current - d, current + d}) {
+        if (candidate < lo || candidate > hi) continue;
+        const bool is_tabu =
+            tabu_until[static_cast<std::size_t>(candidate - lo)] > iter;
+        const double value = objective(candidate);
+        ++result.evaluations;
+        // Aspiration: a tabu candidate is admissible if it beats the best.
+        if (is_tabu && value <= result.best_value) continue;
+        if (value > best_neighbor_value) {
+          best_neighbor_value = value;
+          best_neighbor = candidate;
+        }
+      }
+    }
+    if (best_neighbor == current) break;  // neighborhood exhausted (all tabu)
+
+    current = best_neighbor;
+    if (best_neighbor_value > result.best_value) {
+      result.best_value = best_neighbor_value;
+      result.best = current;
+      stall = 0;
+    } else if (++stall >= options.stall_limit) {
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace scshare::market

@@ -1,0 +1,30 @@
+// Discrete Tabu search over an integer strategy domain (paper Sect. IV-B:
+// the best-response step of the repeated game uses Tabu search because no
+// discrete Tatonnement process is available).
+#pragma once
+
+#include <functional>
+
+namespace scshare::market {
+
+struct TabuOptions {
+  int distance = 2;        ///< neighborhood radius: candidates x +/- 1..distance
+  int tenure = 4;          ///< iterations a visited value stays tabu
+  int max_iterations = 32; ///< hard stop
+  int stall_limit = 8;     ///< stop after this many non-improving iterations
+};
+
+struct TabuResult {
+  int best = 0;
+  double best_value = 0.0;
+  int iterations = 0;       ///< iterations actually executed
+  int evaluations = 0;      ///< objective calls
+};
+
+/// Maximizes `objective` over the integers [lo, hi], starting from `initial`.
+/// The aspiration criterion admits tabu moves that beat the incumbent.
+[[nodiscard]] TabuResult tabu_search(int initial, int lo, int hi,
+                                     const std::function<double(int)>& objective,
+                                     const TabuOptions& options = {});
+
+}  // namespace scshare::market

@@ -1,0 +1,36 @@
+#include "market/utility.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace scshare::market {
+
+double sc_utility_raw(double baseline_cost, double cost,
+                      double baseline_utilization, double utilization,
+                      int share, const UtilityParams& params) {
+  require(params.gamma >= 0.0 && params.gamma <= 1.0,
+          "UtilityParams: gamma must lie in [0, 1]");
+  if (share <= 0) return 0.0;
+  const double reduction = std::max(baseline_cost - cost, 0.0);
+  if (reduction == 0.0) return 0.0;
+  const double numerator = reduction * reduction;
+  if (params.gamma == 0.0) return numerator;
+  const double delta_rho = std::max(utilization - baseline_utilization,
+                                    params.min_utilization_delta);
+  return numerator / std::pow(delta_rho, params.gamma);
+}
+
+double sc_utility(const federation::ScMetrics& metrics,
+                  const Baseline& baseline, double public_price,
+                  double federation_price, int share,
+                  const UtilityParams& params, double power_price,
+                  int num_vms) {
+  const double cost = operating_cost(metrics, public_price, federation_price,
+                                     power_price, num_vms);
+  return sc_utility_raw(baseline.cost, cost, baseline.utilization,
+                        metrics.utilization, share, params);
+}
+
+}  // namespace scshare::market

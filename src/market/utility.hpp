@@ -1,0 +1,42 @@
+// SC utility function (paper Eq. (2)):
+//
+//   U_i = (max(C_i^0 - C_i^S, 0))^2 / (rho_i^S - rho_i^0)^gamma,  gamma in [0,1]
+//
+// gamma = 0 ("UF0"): pure cost reduction; gamma = 1 ("UF1"): marginal cost
+// reduction per unit of utilization increase.
+//
+// Edge cases (documented in DESIGN.md): a non-participating SC (S_i = 0) has
+// utility 0; if the cost reduction is zero the utility is zero regardless of
+// the denominator; an (approximately) unchanged utilization is clamped away
+// from zero to keep the division well defined under simulation noise.
+#pragma once
+
+#include "federation/metrics.hpp"
+#include "market/cost.hpp"
+
+namespace scshare::market {
+
+struct UtilityParams {
+  double gamma = 0.0;  ///< weight of the utilization increase, in [0, 1]
+  /// Minimum utilization increase used in the denominator (guards against
+  /// division by ~0 under measurement noise).
+  double min_utilization_delta = 1e-6;
+};
+
+/// Utility of one SC given its federation metrics and no-sharing baseline.
+/// `share` is S_i (0 disables participation and yields utility 0).
+/// `power_price`/`num_vms` enable the power-extended cost of Eq. (1); the
+/// defaults reproduce the paper exactly.
+[[nodiscard]] double sc_utility(const federation::ScMetrics& metrics,
+                                const Baseline& baseline, double public_price,
+                                double federation_price, int share,
+                                const UtilityParams& params,
+                                double power_price = 0.0, int num_vms = 0);
+
+/// Utility from precomputed scalars (used by tests and plotting).
+[[nodiscard]] double sc_utility_raw(double baseline_cost, double cost,
+                                    double baseline_utilization,
+                                    double utilization, int share,
+                                    const UtilityParams& params);
+
+}  // namespace scshare::market

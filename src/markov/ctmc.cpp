@@ -1,0 +1,82 @@
+#include "markov/ctmc.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace scshare::markov {
+
+Ctmc::Ctmc(std::size_t num_states)
+    : num_states_(num_states), triplets_(num_states, num_states) {
+  require(num_states > 0, "Ctmc: chain must have at least one state");
+}
+
+void Ctmc::add_rate(std::size_t from, std::size_t to, double rate) {
+  require(!finalized_, "Ctmc::add_rate: chain already finalized");
+  require(rate >= 0.0, "Ctmc::add_rate: rate must be non-negative");
+  SCSHARE_ASSERT(from < num_states_ && to < num_states_,
+                 "Ctmc::add_rate: state out of range");
+  if (from == to || rate == 0.0) return;
+  triplets_.add(from, to, rate);
+}
+
+void Ctmc::finalize() {
+  require(!finalized_, "Ctmc::finalize: already finalized");
+  // Compute exit rates, then add diagonal entries of -exit_rate.
+  exit_rates_.assign(num_states_, 0.0);
+  for (const auto& e : triplets_.entries()) {
+    exit_rates_[e.row] += e.value;
+  }
+  for (std::size_t i = 0; i < num_states_; ++i) {
+    if (exit_rates_[i] != 0.0) triplets_.add(i, i, -exit_rates_[i]);
+  }
+  generator_ = linalg::CsrMatrix::from_triplets(triplets_);
+  // Release builder memory.
+  triplets_ = linalg::TripletList(0, 0);
+  finalized_ = true;
+}
+
+const linalg::CsrMatrix& Ctmc::generator() const {
+  require(finalized_, "Ctmc::generator: call finalize() first");
+  return generator_;
+}
+
+const std::vector<double>& Ctmc::exit_rates() const {
+  require(finalized_, "Ctmc::exit_rates: call finalize() first");
+  return exit_rates_;
+}
+
+double Ctmc::uniformization_rate(double slack) const {
+  require(finalized_, "Ctmc::uniformization_rate: call finalize() first");
+  require(slack >= 1.0, "Ctmc::uniformization_rate: slack must be >= 1");
+  const double max_exit =
+      *std::max_element(exit_rates_.begin(), exit_rates_.end());
+  // Guard against the degenerate absorbing-only chain (max exit rate 0).
+  return max_exit > 0.0 ? max_exit * slack : 1.0;
+}
+
+linalg::CsrMatrix Ctmc::uniformized_dtmc(double gamma) const {
+  require(finalized_, "Ctmc::uniformized_dtmc: call finalize() first");
+  const double max_exit =
+      *std::max_element(exit_rates_.begin(), exit_rates_.end());
+  require(gamma >= max_exit && gamma > 0.0,
+          "Ctmc::uniformized_dtmc: gamma must be >= max exit rate");
+  linalg::TripletList t(num_states_, num_states_);
+  const auto offsets = generator_.row_offsets();
+  const auto cols = generator_.col_indices();
+  const auto vals = generator_.values();
+  for (std::size_t r = 0; r < num_states_; ++r) {
+    double diag = 1.0;  // I term
+    for (std::size_t k = offsets[r]; k < offsets[r + 1]; ++k) {
+      if (cols[k] == r) {
+        diag += vals[k] / gamma;
+      } else {
+        t.add(r, cols[k], vals[k] / gamma);
+      }
+    }
+    if (diag != 0.0) t.add(r, r, diag);
+  }
+  return linalg::CsrMatrix::from_triplets(t);
+}
+
+}  // namespace scshare::markov

@@ -1,0 +1,55 @@
+// Continuous-time Markov chain container.
+//
+// A Ctmc is assembled from off-diagonal transition rates; diagonal entries are
+// derived so that every row of the generator Q sums to zero. The class also
+// produces the uniformized DTMC P = I + Q / gamma used by both the
+// steady-state power iteration and the transient (uniformization) solver.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/csr_matrix.hpp"
+
+namespace scshare::markov {
+
+/// Builder + container for a finite CTMC generator.
+class Ctmc {
+ public:
+  /// Creates a chain with `num_states` states and no transitions.
+  explicit Ctmc(std::size_t num_states);
+
+  /// Adds (accumulates) transition rate `rate >= 0` from `from` to `to`.
+  /// Self-loops are ignored (they do not change the generator).
+  void add_rate(std::size_t from, std::size_t to, double rate);
+
+  /// Freezes the chain: builds the CSR generator. Must be called once after
+  /// all add_rate calls and before any query below.
+  void finalize();
+
+  [[nodiscard]] bool finalized() const { return finalized_; }
+  [[nodiscard]] std::size_t num_states() const { return num_states_; }
+
+  /// Generator matrix Q (rows sum to zero). Requires finalize().
+  [[nodiscard]] const linalg::CsrMatrix& generator() const;
+
+  /// Total exit rate of each state (i.e., -Q[i][i]). Requires finalize().
+  [[nodiscard]] const std::vector<double>& exit_rates() const;
+
+  /// Uniformization rate: max exit rate times `slack` (> 1 keeps the DTMC
+  /// aperiodic). Requires finalize().
+  [[nodiscard]] double uniformization_rate(double slack = 1.02) const;
+
+  /// Uniformized DTMC P = I + Q / gamma for the given gamma
+  /// (>= max exit rate). Requires finalize().
+  [[nodiscard]] linalg::CsrMatrix uniformized_dtmc(double gamma) const;
+
+ private:
+  std::size_t num_states_;
+  bool finalized_ = false;
+  linalg::TripletList triplets_;
+  linalg::CsrMatrix generator_;
+  std::vector<double> exit_rates_;
+};
+
+}  // namespace scshare::markov

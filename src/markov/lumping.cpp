@@ -1,0 +1,122 @@
+#include "markov/lumping.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace scshare::markov {
+
+LumpingResult lump(const Ctmc& chain,
+                   const std::vector<std::size_t>& initial_partition) {
+  const std::size_t n = chain.num_states();
+  require(initial_partition.size() == n,
+          "lump: initial partition size mismatch");
+
+  // Normalize the initial labels to dense block ids.
+  std::vector<std::size_t> block(n);
+  {
+    std::map<std::size_t, std::size_t> remap;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto [it, inserted] =
+          remap.try_emplace(initial_partition[i], remap.size());
+      block[i] = it->second;
+    }
+  }
+
+  const auto& q = chain.generator();
+  const auto offsets = q.row_offsets();
+  const auto cols = q.col_indices();
+  const auto vals = q.values();
+
+  // Signature refinement: a state's signature is its (old block, sorted
+  // rate-sums into each old block, excluding the diagonal); states are
+  // regrouped by signature until the block count stabilizes.
+  using Signature = std::vector<std::pair<std::size_t, double>>;
+  for (;;) {
+    std::map<std::pair<std::size_t, Signature>, std::size_t> groups;
+    std::vector<std::size_t> next(n);
+    for (std::size_t s = 0; s < n; ++s) {
+      std::map<std::size_t, double> into;
+      for (std::size_t k = offsets[s]; k < offsets[s + 1]; ++k) {
+        if (cols[k] == s) continue;  // diagonal
+        // Rates into the state's own block matter too (ordinary
+        // lumpability requires equal rates into every *other* block; rates
+        // inside the block are unconstrained), so skip same-block targets.
+        if (block[cols[k]] == block[s]) continue;
+        into[block[cols[k]]] += vals[k];
+      }
+      Signature signature(into.begin(), into.end());
+      // Round rate sums to suppress floating-point jitter in comparisons.
+      for (auto& [b, r] : signature) {
+        r = std::round(r * 1e12) / 1e12;
+      }
+      const auto [it, inserted] = groups.try_emplace(
+          {block[s], std::move(signature)}, groups.size());
+      next[s] = it->second;
+    }
+    const std::size_t new_count = groups.size();
+    const std::size_t old_count =
+        1 + *std::max_element(block.begin(), block.end());
+    block = std::move(next);
+    if (new_count == old_count) break;
+  }
+
+  LumpingResult result;
+  result.block_of = block;
+  result.num_blocks = 1 + *std::max_element(block.begin(), block.end());
+
+  // Build the lumped generator from one representative per block (rates are
+  // identical within a block by construction).
+  std::vector<std::size_t> representative(result.num_blocks,
+                                          static_cast<std::size_t>(-1));
+  for (std::size_t s = 0; s < n; ++s) {
+    if (representative[block[s]] == static_cast<std::size_t>(-1)) {
+      representative[block[s]] = s;
+    }
+  }
+  Ctmc lumped(result.num_blocks);
+  for (std::size_t b = 0; b < result.num_blocks; ++b) {
+    const std::size_t s = representative[b];
+    std::map<std::size_t, double> into;
+    for (std::size_t k = offsets[s]; k < offsets[s + 1]; ++k) {
+      if (cols[k] == s || block[cols[k]] == b) continue;
+      into[block[cols[k]]] += vals[k];
+    }
+    for (const auto& [target, rate] : into) {
+      lumped.add_rate(b, target, rate);
+    }
+  }
+  lumped.finalize();
+  result.lumped = std::move(lumped);
+  return result;
+}
+
+LumpingResult lump(const Ctmc& chain) {
+  // The trivial one-block partition is always ordinarily lumpable (and
+  // useless), so the label-free overload seeds the refinement with exit-rate
+  // classes: an observable quantity that any caller-relevant aggregation
+  // would distinguish anyway.
+  std::map<long long, std::size_t> classes;
+  std::vector<std::size_t> initial(chain.num_states());
+  for (std::size_t s = 0; s < chain.num_states(); ++s) {
+    const long long key =
+        static_cast<long long>(std::llround(chain.exit_rates()[s] * 1e9));
+    initial[s] = classes.try_emplace(key, classes.size()).first->second;
+  }
+  return lump(chain, initial);
+}
+
+std::vector<double> aggregate_distribution(const LumpingResult& lumping,
+                                           const std::vector<double>& pi) {
+  require(pi.size() == lumping.block_of.size(),
+          "aggregate_distribution: size mismatch");
+  std::vector<double> out(lumping.num_blocks, 0.0);
+  for (std::size_t s = 0; s < pi.size(); ++s) {
+    out[lumping.block_of[s]] += pi[s];
+  }
+  return out;
+}
+
+}  // namespace scshare::markov

@@ -1,0 +1,45 @@
+// Ordinary lumpability for CTMCs (paper Sect. VII lists "lumping of Markov
+// processes" as the route to taming the detailed model's state-space
+// explosion, e.g., for federations containing groups of identical SCs).
+//
+// Given an initial partition (states that must stay distinguishable, e.g.,
+// by a reward or observation label), the partition is refined until every
+// block is ordinarily lumpable: all states of a block have identical total
+// rates into every other block. The lumped chain then preserves aggregated
+// transient and stationary behaviour exactly.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "markov/ctmc.hpp"
+
+namespace scshare::markov {
+
+struct LumpingResult {
+  std::vector<std::size_t> block_of;  ///< state index -> block index
+  std::size_t num_blocks = 0;
+  Ctmc lumped;                        ///< chain over the blocks
+
+  LumpingResult() : lumped(1) {}
+};
+
+/// Computes the coarsest ordinarily-lumpable refinement of
+/// `initial_partition` (a label per state; blocks are only ever split, so
+/// states with different labels stay separated) and the corresponding
+/// lumped chain. Runs signature-refinement sweeps until a
+/// fixed point; worst case O(sweeps * nnz log nnz) with at most
+/// `num_states` sweeps.
+[[nodiscard]] LumpingResult lump(
+    const Ctmc& chain, const std::vector<std::size_t>& initial_partition);
+
+/// Convenience: lump with an initial partition by total exit rate (the
+/// trivial single-block partition is always ordinarily lumpable but carries
+/// no information; exit-rate classes are the natural label-free seed).
+[[nodiscard]] LumpingResult lump(const Ctmc& chain);
+
+/// Aggregates a per-state distribution onto blocks.
+[[nodiscard]] std::vector<double> aggregate_distribution(
+    const LumpingResult& lumping, const std::vector<double>& pi);
+
+}  // namespace scshare::markov

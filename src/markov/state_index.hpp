@@ -1,0 +1,61 @@
+// Bidirectional mapping between structured CTMC states and dense indices.
+//
+// Federation models enumerate states lazily (constraints make the reachable
+// set much smaller than the bounding box), so we map each encountered state
+// vector to the next free index with a hash map, and keep the inverse as a
+// flat list for metric extraction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace scshare::markov {
+
+/// Indexer for states represented as small vectors of non-negative integers.
+class StateIndex {
+ public:
+  using State = std::vector<std::int32_t>;
+
+  /// Returns the index of `state`, inserting it if new.
+  std::size_t intern(const State& state) {
+    const auto [it, inserted] = map_.try_emplace(key_of(state), states_.size());
+    if (inserted) states_.push_back(state);
+    return it->second;
+  }
+
+  /// Returns the index of `state`; throws if absent.
+  [[nodiscard]] std::size_t at(const State& state) const {
+    const auto it = map_.find(key_of(state));
+    require(it != map_.end(), "StateIndex::at: unknown state");
+    return it->second;
+  }
+
+  /// True if the state has been interned.
+  [[nodiscard]] bool contains(const State& state) const {
+    return map_.find(key_of(state)) != map_.end();
+  }
+
+  [[nodiscard]] const State& state(std::size_t index) const {
+    SCSHARE_ASSERT(index < states_.size(), "StateIndex::state: out of range");
+    return states_[index];
+  }
+
+  [[nodiscard]] std::size_t size() const { return states_.size(); }
+
+ private:
+  // FNV-1a over the raw components; collisions resolved by the map using the
+  // full key string.
+  [[nodiscard]] static std::string key_of(const State& s) {
+    return {reinterpret_cast<const char*>(s.data()),
+            s.size() * sizeof(std::int32_t)};
+  }
+
+  std::unordered_map<std::string, std::size_t> map_;
+  std::vector<State> states_;
+};
+
+}  // namespace scshare::markov

@@ -1,0 +1,111 @@
+#include "markov/steady_state.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace scshare::markov {
+namespace {
+
+/// Max |(pi Q)_j| — the stationarity residual.
+double residual_norm(const linalg::CsrMatrix& q,
+                     const std::vector<double>& pi,
+                     std::vector<double>& scratch) {
+  q.multiply_transposed(pi, scratch);
+  double m = 0.0;
+  for (double v : scratch) m = std::max(m, std::abs(v));
+  return m;
+}
+
+}  // namespace
+
+SteadyStateResult solve_steady_state(const Ctmc& chain,
+                                     const SteadyStateOptions& options) {
+  // Gauss–Seidel on Q^T pi^T = 0:
+  // for each state j: pi_j = (sum_{i != j} pi_i * Q[i][j]) / -Q[j][j].
+  // We precompute the incoming-edge (column) structure once.
+  const auto& q = chain.generator();
+  const std::size_t n = chain.num_states();
+
+  // Column-oriented copy of Q without the diagonal.
+  struct Incoming {
+    std::size_t src;
+    double rate;
+  };
+  std::vector<std::vector<Incoming>> incoming(n);
+  std::vector<double> diag(n, 0.0);
+  {
+    const auto offsets = q.row_offsets();
+    const auto cols = q.col_indices();
+    const auto vals = q.values();
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t k = offsets[r]; k < offsets[r + 1]; ++k) {
+        if (cols[k] == r) {
+          diag[r] = vals[k];
+        } else {
+          incoming[cols[k]].push_back({r, vals[k]});
+        }
+      }
+    }
+  }
+
+  SteadyStateResult result;
+  result.pi.assign(n, 1.0 / static_cast<double>(n));
+  std::vector<double> scratch(n);
+
+  for (std::size_t iter = 1; iter <= options.max_iterations; ++iter) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (diag[j] == 0.0) continue;  // absorbing state: mass accumulates there
+      double inflow = 0.0;
+      for (const auto& e : incoming[j]) inflow += result.pi[e.src] * e.rate;
+      result.pi[j] = inflow / -diag[j];
+    }
+    if (iter % options.check_interval == 0 ||
+        iter == options.max_iterations) {
+      linalg::clamp_nonnegative(result.pi, 1e-9);
+      linalg::normalize_probability(result.pi);
+      result.residual = residual_norm(q, result.pi, scratch);
+      result.iterations = iter;
+      if (result.residual < options.tolerance) {
+        result.converged = true;
+        return result;
+      }
+    }
+  }
+  // Fall back to the power iteration if Gauss–Seidel did not converge.
+  SteadyStateResult fallback = solve_steady_state_power(chain, options);
+  return fallback.residual < result.residual ? fallback : result;
+}
+
+SteadyStateResult solve_steady_state_power(const Ctmc& chain,
+                                           const SteadyStateOptions& options) {
+  const std::size_t n = chain.num_states();
+  const double gamma = chain.uniformization_rate();
+  const linalg::CsrMatrix p = chain.uniformized_dtmc(gamma);
+
+  SteadyStateResult result;
+  result.pi.assign(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n);
+  std::vector<double> scratch(n);
+
+  for (std::size_t iter = 1; iter <= options.max_iterations; ++iter) {
+    p.multiply_transposed(result.pi, next);
+    std::swap(result.pi, next);
+    if (iter % options.check_interval == 0 ||
+        iter == options.max_iterations) {
+      linalg::clamp_nonnegative(result.pi, 1e-9);
+      linalg::normalize_probability(result.pi);
+      result.residual = residual_norm(chain.generator(), result.pi, scratch);
+      result.iterations = iter;
+      if (result.residual < options.tolerance) {
+        result.converged = true;
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace scshare::markov

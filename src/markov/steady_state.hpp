@@ -1,0 +1,43 @@
+// Steady-state solvers for finite CTMCs: pi Q = 0, sum(pi) = 1, pi >= 0.
+//
+// The default method is Gauss–Seidel on the transposed generator with
+// periodic renormalization; a uniformized power iteration serves as a robust
+// fallback for matrices on which Gauss–Seidel stalls.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "markov/ctmc.hpp"
+
+namespace scshare::markov {
+
+struct SteadyStateOptions {
+  double tolerance = 1e-12;    ///< convergence threshold on max |pi Q|
+  std::size_t max_iterations = 200000;
+  /// Check residual / renormalize every `check_interval` sweeps.
+  std::size_t check_interval = 16;
+};
+
+struct SteadyStateResult {
+  std::vector<double> pi;     ///< stationary distribution
+  double residual = 0.0;      ///< max |(pi Q)_j| at termination
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Solves for the stationary distribution of `chain`.
+///
+/// The chain is assumed irreducible (one recurrent class); for reducible
+/// chains the result depends on the (uniform) initial guess. Throws on
+/// numerical failure; returns converged = false if the iteration budget is
+/// exhausted (callers decide whether to accept the approximation).
+[[nodiscard]] SteadyStateResult solve_steady_state(
+    const Ctmc& chain, const SteadyStateOptions& options = {});
+
+/// Power iteration on the uniformized DTMC. Mostly used for testing
+/// solve_steady_state against an independent method.
+[[nodiscard]] SteadyStateResult solve_steady_state_power(
+    const Ctmc& chain, const SteadyStateOptions& options = {});
+
+}  // namespace scshare::markov

@@ -1,0 +1,131 @@
+#include "markov/transient.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace scshare::markov {
+
+TransientSolver::TransientSolver(const Ctmc& chain, double epsilon)
+    : gamma_(chain.uniformization_rate()),
+      epsilon_(epsilon),
+      dtmc_(chain.uniformized_dtmc(gamma_)) {
+  require(epsilon > 0.0 && epsilon < 1.0,
+          "TransientSolver: epsilon must lie in (0, 1)");
+}
+
+std::vector<std::vector<double>> TransientSolver::evolve_multi(
+    std::span<const double> p0, std::span<const double> ts) const {
+  require(p0.size() == dtmc_.rows(),
+          "TransientSolver::evolve_multi: size mismatch");
+  std::vector<std::vector<double>> results(ts.size());
+  std::vector<math::PoissonWindow> windows(ts.size());
+  int k_max = 0;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    require(ts[i] >= 0.0, "TransientSolver::evolve_multi: negative time");
+    results[i].assign(p0.size(), 0.0);
+    if (ts[i] == 0.0) {
+      std::copy(p0.begin(), p0.end(), results[i].begin());
+      continue;
+    }
+    windows[i] = math::poisson_window(gamma_ * ts[i], epsilon_);
+    k_max = std::max(k_max, windows[i].right);
+  }
+
+  std::vector<double> current(p0.begin(), p0.end());
+  std::vector<double> next(p0.size());
+  for (int k = 0; k <= k_max; ++k) {
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      if (ts[i] == 0.0) continue;
+      const auto& w = windows[i];
+      if (k < w.left || k > w.right) continue;
+      linalg::axpy(w.weights[static_cast<std::size_t>(k - w.left)], current,
+                   results[i]);
+    }
+    if (k < k_max) {
+      dtmc_.multiply_transposed(current, next);
+      std::swap(current, next);
+      // Support pruning: conditioned starts occupy a thin slice of the state
+      // space; dropping negligible mass keeps the mat-vec cost proportional
+      // to the genuinely reachable support. The discarded mass is restored
+      // by the final renormalization.
+      double max_entry = 0.0;
+      for (double v : current) max_entry = std::max(max_entry, v);
+      const double threshold = max_entry * 1e-12;
+      for (double& v : current) {
+        if (v < threshold) v = 0.0;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (ts[i] == 0.0) continue;
+    linalg::clamp_nonnegative(results[i], 1e-9);
+    linalg::normalize_probability(results[i]);
+  }
+  return results;
+}
+
+double TransientSolver::accumulated_reward(std::span<const double> p0,
+                                           std::span<const double> rewards,
+                                           double t) const {
+  require(p0.size() == dtmc_.rows() && rewards.size() == dtmc_.rows(),
+          "TransientSolver::accumulated_reward: size mismatch");
+  require(t >= 0.0, "TransientSolver::accumulated_reward: negative horizon");
+  if (t == 0.0) return 0.0;
+
+  const double mean = gamma_ * t;
+  std::vector<double> current(p0.begin(), p0.end());
+  std::vector<double> next(p0.size());
+  double total = 0.0;
+  // sum_k w_k = t with w_k = P[N > k] / gamma; truncate once the remaining
+  // weight is negligible relative to the horizon.
+  double remaining = t;
+  for (int k = 0;; ++k) {
+    const double w = math::poisson_sf(k + 1, mean) / gamma_;
+    double instant = 0.0;
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      instant += current[i] * rewards[i];
+    }
+    total += w * instant;
+    remaining -= w;
+    if (remaining < epsilon_ * t) break;
+    dtmc_.multiply_transposed(current, next);
+    std::swap(current, next);
+  }
+  return total;
+}
+
+std::vector<double> TransientSolver::evolve(std::span<const double> p0,
+                                            double t) const {
+  require(p0.size() == dtmc_.rows(), "TransientSolver::evolve: size mismatch");
+  require(t >= 0.0, "TransientSolver::evolve: t must be non-negative");
+
+  std::vector<double> result(p0.size(), 0.0);
+  if (t == 0.0) {
+    std::copy(p0.begin(), p0.end(), result.begin());
+    return result;
+  }
+
+  const auto window = math::poisson_window(gamma_ * t, epsilon_);
+
+  // current = p0 * P^k, accumulated into result with Poisson weights.
+  std::vector<double> current(p0.begin(), p0.end());
+  std::vector<double> next(p0.size());
+  for (int k = 0; k <= window.right; ++k) {
+    if (k >= window.left) {
+      const double w = window.weights[static_cast<std::size_t>(k - window.left)];
+      linalg::axpy(w, current, result);
+    }
+    if (k < window.right) {
+      dtmc_.multiply_transposed(current, next);
+      std::swap(current, next);
+    }
+  }
+  linalg::clamp_nonnegative(result, 1e-9);
+  linalg::normalize_probability(result);
+  return result;
+}
+
+}  // namespace scshare::markov

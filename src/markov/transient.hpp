@@ -1,0 +1,52 @@
+// Transient analysis of finite CTMCs via uniformization:
+//
+//   p(t) = p(0) * sum_k PoissonPmf(k; gamma t) P^k,  P = I + Q / gamma,
+//
+// with the Poisson sum truncated to a Fox–Glynn style window (see
+// common/math.hpp). This is the engine behind the approximate federation
+// model's interaction-probability vectors (paper Sect. III-C).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "markov/ctmc.hpp"
+
+namespace scshare::markov {
+
+/// Precomputed uniformization of a chain, reusable across many initial
+/// distributions and time points.
+class TransientSolver {
+ public:
+  /// `epsilon` bounds the truncated Poisson mass per evaluation.
+  explicit TransientSolver(const Ctmc& chain, double epsilon = 1e-12);
+
+  /// Returns p(t) given initial distribution p0 (must sum to ~1).
+  [[nodiscard]] std::vector<double> evolve(std::span<const double> p0,
+                                           double t) const;
+
+  /// Returns p(t_i) for every t_i in `ts`, sharing a single power-series
+  /// pass over the uniformized DTMC (the dominant cost); much cheaper than
+  /// calling evolve() once per time point.
+  [[nodiscard]] std::vector<std::vector<double>> evolve_multi(
+      std::span<const double> p0, std::span<const double> ts) const;
+
+  /// Expected reward accumulated over [0, t]:
+  ///   E[ integral_0^t r(X_s) ds ]
+  /// via the uniformization identity
+  ///   sum_k (p0 P^k r) * P[Poisson(gamma t) > k] / gamma.
+  /// Useful for cost-over-horizon questions (e.g., expected public-cloud
+  /// spend during a demand surge).
+  [[nodiscard]] double accumulated_reward(std::span<const double> p0,
+                                          std::span<const double> rewards,
+                                          double t) const;
+
+  [[nodiscard]] double gamma() const { return gamma_; }
+
+ private:
+  double gamma_;
+  double epsilon_;
+  linalg::CsrMatrix dtmc_;
+};
+
+}  // namespace scshare::markov

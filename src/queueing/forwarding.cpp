@@ -1,0 +1,32 @@
+#include "queueing/forwarding.hpp"
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace scshare::queueing {
+
+double prob_no_forward(int q, int servers, double mu, double max_wait) {
+  require(q >= 0, "prob_no_forward: q must be non-negative");
+  require(servers >= 0, "prob_no_forward: servers must be non-negative");
+  require(mu > 0.0, "prob_no_forward: mu must be positive");
+  require(max_wait >= 0.0, "prob_no_forward: max_wait must be non-negative");
+  if (servers == 0) return 0.0;  // no capacity at all: always forward
+  if (q < servers) return 1.0;   // immediate service
+  // Need q - servers + 1 departures within max_wait; departures form a
+  // Poisson(servers * mu * max_wait) count while all servers stay busy.
+  const double mean = static_cast<double>(servers) * mu * max_wait;
+  return math::poisson_sf(q - servers + 1, mean);
+}
+
+int truncation_queue_length(int servers, double mu, double max_wait,
+                            double epsilon, int cap_extra) {
+  require(servers > 0, "truncation_queue_length: servers must be positive");
+  require(epsilon > 0.0 && epsilon < 1.0,
+          "truncation_queue_length: epsilon in (0, 1)");
+  for (int q = servers; q <= servers + cap_extra; ++q) {
+    if (prob_no_forward(q, servers, mu, max_wait) < epsilon) return q;
+  }
+  return servers + cap_extra;
+}
+
+}  // namespace scshare::queueing

@@ -1,0 +1,33 @@
+// SLA-driven forwarding probability (paper Sect. III-A).
+//
+// A request arriving at an SC whose V available VMs are all busy, with q
+// customers already in the system, starts service only after (q - V + 1)
+// departures. Departures occur at rate V * mu while the queue is non-empty,
+// so the wait is Erlang(q - V + 1, V mu) distributed and
+//
+//   PNF(q, V, Q) = P[wait <= Q] = P[Poisson(V mu Q) >= q - V + 1].
+//
+// The request is queued with probability PNF and forwarded to the public
+// cloud otherwise.
+#pragma once
+
+namespace scshare::queueing {
+
+/// Probability of NOT forwarding (i.e., of queueing) a new arrival when `q`
+/// requests are in the system, `servers` VMs are usable, service rate is
+/// `mu`, and the SLA waiting bound is `max_wait`.
+/// Returns 1 when q < servers (immediate service) or servers == 0 handled as
+/// always-forward (returns 0) for q >= 0.
+[[nodiscard]] double prob_no_forward(int q, int servers, double mu,
+                                     double max_wait);
+
+/// Smallest queue length q* >= servers such that PNF(q*, servers, mu, Q)
+/// drops below `epsilon`; arrivals beyond q* are forwarded almost surely, so
+/// Markov models can truncate queues at q* + 1 with negligible error.
+/// The returned value is capped at servers + `cap_extra`.
+[[nodiscard]] int truncation_queue_length(int servers, double mu,
+                                          double max_wait,
+                                          double epsilon = 1e-9,
+                                          int cap_extra = 4096);
+
+}  // namespace scshare::queueing

@@ -1,0 +1,99 @@
+#include "queueing/mmc.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace scshare::queueing {
+namespace {
+
+void validate(const MmcParams& p) {
+  require(p.lambda > 0.0 && p.mu > 0.0 && p.servers > 0,
+          "MmcParams: lambda, mu, servers must be positive");
+}
+
+/// log of a^n / n!
+double log_term(double a, int n) {
+  return static_cast<double>(n) * std::log(a) - math::log_factorial(n);
+}
+
+/// P0 of the M/M/c queue (probability of an empty system).
+double p0(const MmcParams& p) {
+  const double a = offered_load(p);
+  const double rho = utilization(p);
+  require(rho < 1.0, "M/M/c closed forms require rho < 1");
+  // Sum in log space relative to the largest term for stability at large c.
+  double log_max = 0.0;
+  for (int n = 0; n <= p.servers; ++n) {
+    log_max = std::max(log_max, log_term(a, n));
+  }
+  double sum = 0.0;
+  for (int n = 0; n < p.servers; ++n) {
+    sum += std::exp(log_term(a, n) - log_max);
+  }
+  sum += std::exp(log_term(a, p.servers) - log_max) / (1.0 - rho);
+  return std::exp(-log_max) / sum;
+}
+
+}  // namespace
+
+double offered_load(const MmcParams& p) {
+  validate(p);
+  return p.lambda / p.mu;
+}
+
+double utilization(const MmcParams& p) {
+  validate(p);
+  return p.lambda / (static_cast<double>(p.servers) * p.mu);
+}
+
+double erlang_c(const MmcParams& p) {
+  const double a = offered_load(p);
+  const double rho = utilization(p);
+  return std::exp(log_term(a, p.servers) + std::log(p0(p))) / (1.0 - rho);
+}
+
+double erlang_b(const MmcParams& p) {
+  validate(p);
+  const double a = offered_load(p);
+  // Stable recurrence B(0) = 1, B(c) = a B(c-1) / (c + a B(c-1)).
+  double b = 1.0;
+  for (int c = 1; c <= p.servers; ++c) {
+    b = a * b / (static_cast<double>(c) + a * b);
+  }
+  return b;
+}
+
+double mean_customers(const MmcParams& p) {
+  const double a = offered_load(p);
+  const double rho = utilization(p);
+  return a + erlang_c(p) * rho / (1.0 - rho);
+}
+
+double mean_wait(const MmcParams& p) {
+  const double rho = utilization(p);
+  return erlang_c(p) /
+         (static_cast<double>(p.servers) * p.mu * (1.0 - rho));
+}
+
+double wait_exceeds(const MmcParams& p, double t) {
+  require(t >= 0.0, "wait_exceeds: t must be non-negative");
+  const double rho = utilization(p);
+  return erlang_c(p) *
+         std::exp(-static_cast<double>(p.servers) * p.mu * (1.0 - rho) * t);
+}
+
+double state_probability(const MmcParams& p, int n) {
+  require(n >= 0, "state_probability: n must be non-negative");
+  const double a = offered_load(p);
+  const double rho = utilization(p);
+  const double log_p0 = std::log(p0(p));
+  if (n <= p.servers) {
+    return std::exp(log_p0 + log_term(a, n));
+  }
+  return std::exp(log_p0 + log_term(a, p.servers) +
+                  static_cast<double>(n - p.servers) * std::log(rho));
+}
+
+}  // namespace scshare::queueing

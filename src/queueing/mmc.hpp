@@ -1,0 +1,39 @@
+// Closed-form M/M/c results used as analytical cross-checks for the Markov
+// solvers and the simulator.
+#pragma once
+
+namespace scshare::queueing {
+
+/// Parameters of an M/M/c queue with unbounded waiting room.
+struct MmcParams {
+  double lambda = 0.0;  ///< arrival rate (> 0)
+  double mu = 0.0;      ///< per-server service rate (> 0)
+  int servers = 0;      ///< number of servers c (> 0)
+};
+
+/// Offered load a = lambda / mu.
+[[nodiscard]] double offered_load(const MmcParams& p);
+
+/// Server utilization rho = lambda / (c mu). Requires rho < 1 for the
+/// stationary formulas below.
+[[nodiscard]] double utilization(const MmcParams& p);
+
+/// Erlang-C: probability an arriving customer must wait (all servers busy).
+[[nodiscard]] double erlang_c(const MmcParams& p);
+
+/// Erlang-B: blocking probability of the M/M/c/c loss system.
+[[nodiscard]] double erlang_b(const MmcParams& p);
+
+/// Mean number of customers in the system (waiting + in service).
+[[nodiscard]] double mean_customers(const MmcParams& p);
+
+/// Mean waiting time in queue (before service starts).
+[[nodiscard]] double mean_wait(const MmcParams& p);
+
+/// P[wait > t] for the FCFS M/M/c queue.
+[[nodiscard]] double wait_exceeds(const MmcParams& p, double t);
+
+/// Stationary probability of n customers in the M/M/c system.
+[[nodiscard]] double state_probability(const MmcParams& p, int n);
+
+}  // namespace scshare::queueing

@@ -1,0 +1,51 @@
+#include "queueing/no_share_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "linalg/vector_ops.hpp"
+#include "queueing/forwarding.hpp"
+
+namespace scshare::queueing {
+
+NoShareResult solve_no_share(const NoShareParams& params) {
+  require(params.num_vms > 0, "NoShareParams: num_vms must be positive");
+  require(params.lambda > 0.0, "NoShareParams: lambda must be positive");
+  require(params.mu > 0.0, "NoShareParams: mu must be positive");
+  require(params.max_wait >= 0.0, "NoShareParams: max_wait non-negative");
+
+  const int n = params.num_vms;
+  const int q_max = truncation_queue_length(n, params.mu, params.max_wait,
+                                            params.truncation_epsilon);
+
+  // Birth–death chain: birth rate lambda * PNF(q), death rate min(q, N) mu.
+  // Solve the detailed-balance recurrence directly (exact for birth–death):
+  //   pi_{q+1} = pi_q * birth(q) / death(q+1).
+  std::vector<double> pi(static_cast<std::size_t>(q_max) + 1, 0.0);
+  pi[0] = 1.0;
+  for (int q = 0; q < q_max; ++q) {
+    const double birth =
+        params.lambda *
+        prob_no_forward(q, n, params.mu, params.max_wait);
+    const double death =
+        static_cast<double>(std::min(q + 1, n)) * params.mu;
+    pi[static_cast<std::size_t>(q) + 1] =
+        pi[static_cast<std::size_t>(q)] * birth / death;
+  }
+  linalg::normalize_probability(pi);
+
+  NoShareResult result;
+  result.pi = pi;
+  for (int q = 0; q <= q_max; ++q) {
+    const double p = pi[static_cast<std::size_t>(q)];
+    const double pnf = prob_no_forward(q, n, params.mu, params.max_wait);
+    result.forward_prob += (1.0 - pnf) * p;
+    result.utilization +=
+        static_cast<double>(std::min(q, n)) / static_cast<double>(n) * p;
+    result.mean_queue_length += static_cast<double>(std::max(q - n, 0)) * p;
+  }
+  result.forward_rate = params.lambda * result.forward_prob;
+  return result;
+}
+
+}  // namespace scshare::queueing

@@ -1,0 +1,36 @@
+// Performance model of a standalone SC (paper Sect. III-A).
+//
+// Birth–death CTMC on the number of requests q at the SC: arrivals are
+// admitted with probability PNF(q, N, Q) (otherwise forwarded to the public
+// cloud), services complete at rate min(q, N) mu. The queue is truncated
+// where PNF becomes negligible (see queueing/forwarding.hpp).
+#pragma once
+
+#include <vector>
+
+namespace scshare::queueing {
+
+/// Inputs of the standalone-SC model.
+struct NoShareParams {
+  int num_vms = 0;        ///< N: VMs owned by the SC (> 0)
+  double lambda = 0.0;    ///< Poisson arrival rate (> 0)
+  double mu = 1.0;        ///< exponential service rate (> 0)
+  double max_wait = 0.0;  ///< Q: SLA bound on waiting time (>= 0)
+  double truncation_epsilon = 1e-9;  ///< queue-truncation threshold on PNF
+};
+
+/// Outputs of the standalone-SC model.
+struct NoShareResult {
+  double forward_rate = 0.0;   ///< P̄_i^0: requests/second sent to the public cloud
+  double forward_prob = 0.0;   ///< P^F: fraction of arrivals forwarded
+  double utilization = 0.0;    ///< rho_i^0: mean busy VMs / N
+  double mean_queue_length = 0.0;  ///< mean number waiting (not in service)
+  std::vector<double> pi;      ///< stationary distribution over q = 0..q_max
+};
+
+/// Solves the standalone model. Stable for any load because forwarding
+/// regulates the queue (the chain is always positive recurrent after
+/// truncation).
+[[nodiscard]] NoShareResult solve_no_share(const NoShareParams& params);
+
+}  // namespace scshare::queueing

@@ -1,0 +1,114 @@
+#include "queueing/phase_type_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "markov/ctmc.hpp"
+#include "markov/state_index.hpp"
+#include "markov/steady_state.hpp"
+#include "queueing/forwarding.hpp"
+
+namespace scshare::queueing {
+
+PhaseTypeResult solve_no_share_phase_type(const PhaseTypeParams& params) {
+  require(params.num_vms > 0, "PhaseTypeParams: num_vms must be positive");
+  require(params.lambda > 0.0, "PhaseTypeParams: lambda must be positive");
+  require(params.mu > 0.0, "PhaseTypeParams: mu must be positive");
+  require(params.max_wait >= 0.0, "PhaseTypeParams: max_wait non-negative");
+  require(params.stages >= 1, "PhaseTypeParams: stages must be >= 1");
+
+  const int n = params.num_vms;
+  const int k = params.stages;
+  const double stage_rate = static_cast<double>(k) * params.mu;
+  const int q_max = truncation_queue_length(n, params.mu, params.max_wait,
+                                            params.truncation_epsilon) -
+                    n;  // queued (not in service) bound
+
+  // State vector: {s_1, ..., s_k, queued}; sum(s_j) <= N and queued > 0
+  // only when every server is busy.
+  markov::StateIndex index;
+  using State = markov::StateIndex::State;
+  State initial(static_cast<std::size_t>(k) + 1, 0);
+  index.intern(initial);
+
+  struct Edge {
+    std::size_t from;
+    std::size_t to;
+    double rate;
+  };
+  std::vector<Edge> edges;
+  std::vector<double> forward_frac;
+
+  for (std::size_t current = 0; current < index.size(); ++current) {
+    const State state = index.state(current);  // copy (interning reallocs)
+    int in_service = 0;
+    for (int j = 0; j < k; ++j) in_service += state[static_cast<std::size_t>(j)];
+    const int queued = state[static_cast<std::size_t>(k)];
+
+    auto emit = [&](State next, double rate) {
+      if (rate <= 0.0) return;
+      edges.push_back({current, index.intern(next), rate});
+    };
+
+    // Arrival: enter stage 1 if a server is free, else queue w.p. PNF.
+    if (in_service < n) {
+      State next = state;
+      ++next[0];
+      emit(std::move(next), params.lambda);
+      forward_frac.push_back(0.0);
+    } else {
+      // The controller's SLA estimator sees `in_system` requests on N
+      // mean-rate-mu servers — identical to the exponential model's rule.
+      const double admit = prob_no_forward(n + queued, n, params.mu,
+                                           params.max_wait);
+      if (queued < q_max) {
+        State next = state;
+        ++next[static_cast<std::size_t>(k)];
+        emit(std::move(next), params.lambda * admit);
+        forward_frac.push_back(1.0 - admit);
+      } else {
+        forward_frac.push_back(1.0);  // truncated tail
+      }
+    }
+
+    // Stage transitions: stage j -> j+1; completion from stage k pulls the
+    // next queued job into stage 1.
+    for (int j = 0; j < k; ++j) {
+      const int occupancy = state[static_cast<std::size_t>(j)];
+      if (occupancy == 0) continue;
+      const double rate = static_cast<double>(occupancy) * stage_rate;
+      State next = state;
+      --next[static_cast<std::size_t>(j)];
+      if (j + 1 < k) {
+        ++next[static_cast<std::size_t>(j) + 1];
+      } else if (queued > 0) {
+        ++next[0];
+        --next[static_cast<std::size_t>(k)];
+      }
+      emit(std::move(next), rate);
+    }
+  }
+
+  markov::Ctmc chain(index.size());
+  for (const auto& e : edges) chain.add_rate(e.from, e.to, e.rate);
+  chain.finalize();
+  const auto solution = markov::solve_steady_state(chain);
+
+  PhaseTypeResult result;
+  result.num_states = index.size();
+  for (std::size_t s = 0; s < index.size(); ++s) {
+    const double p = solution.pi[s];
+    const State& state = index.state(s);
+    int in_service = 0;
+    for (int j = 0; j < k; ++j) in_service += state[static_cast<std::size_t>(j)];
+    const int queued = state[static_cast<std::size_t>(k)];
+    result.utilization += static_cast<double>(in_service) /
+                          static_cast<double>(n) * p;
+    result.mean_queue_length += static_cast<double>(queued) * p;
+    result.forward_prob += forward_frac[s] * p;
+  }
+  result.forward_rate = params.lambda * result.forward_prob;
+  return result;
+}
+
+}  // namespace scshare::queueing

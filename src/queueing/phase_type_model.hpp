@@ -1,0 +1,41 @@
+// Standalone-SC performance model with Erlang-k (phase-type) service times
+// via the method of stages (paper Sect. VII proposes phase-type fits to relax
+// the exponential service assumption; this module provides the analytic
+// counterpart of the simulator's Erlang service option).
+//
+// State: occupancy of each of the k service stages (every job in service
+// holds one stage; stage transitions at rate k*mu give mean 1/mu) plus the
+// queue length. Admission uses the same SLA estimator as the exponential
+// model (prob_no_forward with the mean service rate): that is the
+// *controller's* rule, identical across service distributions, so the chain
+// matches the simulator exactly rather than approximately.
+#pragma once
+
+#include "queueing/no_share_model.hpp"
+
+namespace scshare::queueing {
+
+struct PhaseTypeParams {
+  int num_vms = 0;        ///< N: VMs owned by the SC (> 0)
+  double lambda = 0.0;    ///< Poisson arrival rate (> 0)
+  double mu = 1.0;        ///< overall service rate: mean service 1/mu (> 0)
+  double max_wait = 0.0;  ///< Q: SLA bound on waiting time (>= 0)
+  int stages = 2;         ///< k: Erlang stages (>= 1; 1 = exponential)
+  double truncation_epsilon = 1e-9;
+};
+
+/// Outputs (pi omitted: the state space is multidimensional).
+struct PhaseTypeResult {
+  double forward_rate = 0.0;
+  double forward_prob = 0.0;
+  double utilization = 0.0;
+  double mean_queue_length = 0.0;
+  std::size_t num_states = 0;
+};
+
+/// Solves the M/E_k/N model with SLA-driven forwarding. For stages == 1 the
+/// result coincides with solve_no_share().
+[[nodiscard]] PhaseTypeResult solve_no_share_phase_type(
+    const PhaseTypeParams& params);
+
+}  // namespace scshare::queueing

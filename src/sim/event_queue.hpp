@@ -1,0 +1,58 @@
+// Pending-event set for the discrete-event simulator: a binary min-heap on
+// (time, sequence number) so that simultaneous events are processed in
+// insertion order, keeping runs reproducible.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace scshare::sim {
+
+enum class EventKind : std::uint8_t {
+  kArrival,       ///< new customer request at `sc`
+  kDeparture,     ///< service completion of `job` hosted at `host`
+  kDeadline,      ///< SLA deadline of queued `job` (deadline policy only)
+  kOutageStart,   ///< SC `sc` loses its VMs
+  kOutageEnd,     ///< SC `sc` recovers
+};
+
+struct Event {
+  double time = 0.0;
+  std::uint64_t seq = 0;  ///< insertion order, breaks time ties
+  EventKind kind = EventKind::kArrival;
+  std::size_t sc = 0;     ///< subject SC (arrival/outage) or host SC (departure)
+  std::uint64_t job = 0;  ///< job id for departures/deadlines
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+/// FIFO-stable min-heap of events.
+class EventQueue {
+ public:
+  void push(Event e) {
+    e.seq = next_seq_++;
+    heap_.push(e);
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] const Event& top() const { return heap_.top(); }
+
+  Event pop() {
+    Event e = heap_.top();
+    heap_.pop();
+    return e;
+  }
+
+ private:
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> heap_;
+};
+
+}  // namespace scshare::sim

@@ -1,0 +1,450 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "queueing/forwarding.hpp"
+
+namespace scshare::sim {
+namespace {
+
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+constexpr std::uint64_t kNoJob = std::numeric_limits<std::uint64_t>::max();
+
+}  // namespace
+
+Simulator::Simulator(federation::FederationConfig config, SimOptions options)
+    : config_(std::move(config)), options_(options), rng_(options.seed) {
+  config_.validate();
+  require(options_.warmup_time >= 0.0 && options_.measure_time > 0.0,
+          "SimOptions: warmup_time >= 0 and measure_time > 0 required");
+  require(options_.batches >= 1, "SimOptions: at least one batch required");
+  if (options_.service == ServiceDistribution::kErlang) {
+    require(options_.erlang_shape >= 1, "SimOptions: erlang_shape >= 1");
+  }
+  if (options_.service == ServiceDistribution::kHyperExponential) {
+    require(options_.hyper_scv > 1.0, "SimOptions: hyper_scv must exceed 1");
+  }
+  if (options_.arrivals == ArrivalProcess::kMmpp) {
+    require(options_.mmpp_burst_factor >= 1.0 &&
+                options_.mmpp_burst_duration > 0.0 &&
+                options_.mmpp_quiet_duration > 0.0,
+            "SimOptions: invalid MMPP parameters");
+  }
+  if (options_.arrivals == ArrivalProcess::kBatch) {
+    require(options_.batch_mean_size >= 1.0,
+            "SimOptions: batch_mean_size must be >= 1");
+  }
+  if (options_.arrivals == ArrivalProcess::kSinusoidal) {
+    require(options_.sin_amplitude >= 0.0 && options_.sin_amplitude < 1.0 &&
+                options_.sin_period > 0.0,
+            "SimOptions: invalid sinusoidal parameters");
+  }
+  scs_.resize(config_.size());
+  for (std::size_t i = 0; i < config_.size(); ++i) {
+    // Waiting times are bounded by a few SLA windows in practice; size the
+    // histogram range generously (fallback for Q = 0: one mean service).
+    const double range = std::max(10.0 * config_.scs[i].max_wait,
+                                  2.0 / config_.scs[i].mu);
+    scs_[i].wait_histogram = Histogram(range, 512);
+  }
+}
+
+void Simulator::add_outage(std::size_t sc, double start, double end) {
+  require(sc < config_.size(), "add_outage: SC index out of range");
+  require(start >= 0.0 && end > start, "add_outage: need 0 <= start < end");
+  events_.push({start, 0, EventKind::kOutageStart, sc, 0});
+  events_.push({end, 0, EventKind::kOutageEnd, sc, 0});
+}
+
+int Simulator::free_vms(std::size_t i) const {
+  const ScState& s = scs_[i];
+  if (s.in_outage) return 0;
+  return config_.scs[i].num_vms - s.own_local - s.lent;
+}
+
+int Simulator::own_in_system(std::size_t i) const {
+  const ScState& s = scs_[i];
+  const int queued = static_cast<int>(s.queue.size()) - s.inactive_in_queue;
+  return s.own_local + s.borrowed + queued;
+}
+
+std::size_t Simulator::pick_donor(std::size_t requester) {
+  scratch_.clear();
+  int best = std::numeric_limits<int>::max();
+  for (std::size_t j = 0; j < scs_.size(); ++j) {
+    if (j == requester) continue;
+    if (free_vms(j) <= 0) continue;
+    if (scs_[j].lent >= config_.shares[j]) continue;
+    const int load = own_in_system(j) + scs_[j].lent;
+    if (load < best) {
+      best = load;
+      scratch_.clear();
+    }
+    if (load == best) scratch_.push_back(j);
+  }
+  if (scratch_.empty()) return kNone;
+  return scratch_[rng_.next_below(scratch_.size())];
+}
+
+std::size_t Simulator::pick_beneficiary(std::size_t host) {
+  scratch_.clear();
+  int best = 0;
+  for (std::size_t j = 0; j < scs_.size(); ++j) {
+    if (j == host) continue;
+    const int queued =
+        static_cast<int>(scs_[j].queue.size()) - scs_[j].inactive_in_queue;
+    if (queued <= 0) continue;
+    if (queued > best) {
+      best = queued;
+      scratch_.clear();
+    }
+    if (queued == best) scratch_.push_back(j);
+  }
+  if (scratch_.empty()) return kNone;
+  return scratch_[rng_.next_below(scratch_.size())];
+}
+
+std::uint64_t Simulator::pop_active(std::size_t sc) {
+  ScState& s = scs_[sc];
+  while (!s.queue.empty()) {
+    const std::uint64_t id = s.queue.front();
+    s.queue.pop_front();
+    if (jobs_[id].active) return id;
+    --s.inactive_in_queue;  // drop a deadline-forwarded leftover
+  }
+  return kNoJob;
+}
+
+void Simulator::touch(double now, std::size_t i) {
+  ScState& s = scs_[i];
+  const double n = static_cast<double>(config_.scs[i].num_vms);
+  s.lent_avg.update(now, static_cast<double>(s.lent));
+  s.borrowed_avg.update(now, static_cast<double>(s.borrowed));
+  s.busy_avg.update(now, static_cast<double>(s.own_local + s.lent) / n);
+}
+
+void Simulator::start_service(double now, std::size_t host,
+                              std::uint64_t job_id) {
+  Job& job = jobs_[job_id];
+  job.active = false;
+  const std::size_t owner = job.owner;
+  touch(now, host);
+  if (owner != host) touch(now, owner);
+  if (owner == host) {
+    ++scs_[host].own_local;
+    if (measuring_) ++scs_[owner].served_local;
+  } else {
+    ++scs_[host].lent;
+    ++scs_[owner].borrowed;
+    if (measuring_) ++scs_[owner].served_remote;
+  }
+  if (measuring_) {
+    const double wait = now - job.arrival;
+    scs_[owner].wait.add(wait);
+    scs_[owner].wait_histogram.add(wait);
+    ++scs_[owner].served_with_wait;
+    if (wait > config_.scs[owner].max_wait) ++scs_[owner].waits_over_sla;
+  }
+  const double mu = config_.scs[owner].mu;
+  double service = 0.0;
+  switch (options_.service) {
+    case ServiceDistribution::kExponential:
+      service = rng_.exponential(mu);
+      break;
+    case ServiceDistribution::kErlang:
+      service = rng_.erlang(options_.erlang_shape,
+                            static_cast<double>(options_.erlang_shape) * mu);
+      break;
+    case ServiceDistribution::kHyperExponential:
+      service = rng_.hyperexponential(mu, options_.hyper_scv);
+      break;
+  }
+  events_.push({now + service, 0, EventKind::kDeparture, host, job_id});
+}
+
+void Simulator::assign_free_vms(double now, std::size_t host) {
+  // Serve own queue first, then the longest queue elsewhere (subject to the
+  // sharing cap), as long as the host has free VMs.
+  while (free_vms(host) > 0) {
+    const std::uint64_t own_job = pop_active(host);
+    if (own_job != kNoJob) {
+      start_service(now, host, own_job);
+      continue;
+    }
+    if (scs_[host].lent >= config_.shares[host]) return;
+    const std::size_t beneficiary = pick_beneficiary(host);
+    if (beneficiary == kNone) return;
+    const std::uint64_t job = pop_active(beneficiary);
+    SCSHARE_ASSERT(job != kNoJob, "beneficiary queue unexpectedly empty");
+    start_service(now, host, job);
+  }
+}
+
+void Simulator::schedule_arrival(double now, std::size_t sc) {
+  const double lambda = config_.scs[sc].lambda;
+  double dt = 0.0;
+  switch (options_.arrivals) {
+    case ArrivalProcess::kPoisson:
+      dt = rng_.exponential(lambda);
+      break;
+    case ArrivalProcess::kBatch:
+      // Batches arrive at rate lambda / mean_size so the request rate stays
+      // lambda.
+      dt = rng_.exponential(lambda / options_.batch_mean_size);
+      break;
+    case ArrivalProcess::kSinusoidal: {
+      // Non-homogeneous Poisson via thinning against the peak rate.
+      const double amplitude = options_.sin_amplitude;
+      const double peak = lambda * (1.0 + amplitude);
+      const double phase = 2.0 * 3.14159265358979323846 *
+                           static_cast<double>(sc) /
+                           static_cast<double>(config_.size());
+      double t = now;
+      for (;;) {
+        t += rng_.exponential(peak);
+        const double rate =
+            lambda * (1.0 + amplitude * std::sin(2.0 * 3.14159265358979323846 *
+                                                     t / options_.sin_period +
+                                                 phase));
+        if (rng_.bernoulli(rate / peak)) break;
+      }
+      dt = t - now;
+      break;
+    }
+    case ArrivalProcess::kMmpp: {
+      // Two-phase MMPP: piecewise-exponential sampling across phase flips;
+      // the quiet-phase rate is scaled so the time average stays lambda.
+      const double f = options_.mmpp_burst_factor;
+      const double db = options_.mmpp_burst_duration;
+      const double dq = options_.mmpp_quiet_duration;
+      const double quiet_rate = lambda * (db + dq) / (f * db + dq);
+      const double burst_rate = f * quiet_rate;
+      ScState& s = scs_[sc];
+      double t = now;
+      for (;;) {
+        const double rate = s.mmpp_burst ? burst_rate : quiet_rate;
+        const double candidate = t + rng_.exponential(rate);
+        if (candidate < s.mmpp_switch_time) {
+          t = candidate;
+          break;
+        }
+        // Memorylessness: restart sampling from the phase boundary.
+        t = s.mmpp_switch_time;
+        s.mmpp_burst = !s.mmpp_burst;
+        s.mmpp_switch_time =
+            t + rng_.exponential(1.0 / (s.mmpp_burst ? db : dq));
+      }
+      dt = t - now;
+      break;
+    }
+  }
+  events_.push({now + dt, 0, EventKind::kArrival, sc, 0});
+}
+
+void Simulator::admit_job(double now, std::size_t sc) {
+  if (measuring_) ++scs_[sc].arrivals;
+
+  const std::uint64_t job_id = jobs_.size();
+  jobs_.push_back({sc, now, true});
+
+  if (free_vms(sc) > 0) {
+    start_service(now, sc, job_id);
+    return;
+  }
+  const std::size_t donor = pick_donor(sc);
+  if (donor != kNone) {
+    start_service(now, donor, job_id);
+    return;
+  }
+
+  // No capacity anywhere in the federation: queue or forward.
+  if (options_.policy == ForwardingPolicy::kProbabilistic) {
+    // The SLA estimator counts the VMs that can actually serve this SC:
+    // own VMs (none during an outage) minus lent ones plus borrowed ones.
+    const int servers =
+        (scs_[sc].in_outage ? 0 : config_.scs[sc].num_vms) -
+        scs_[sc].lent + scs_[sc].borrowed;
+    const int in_system = own_in_system(sc);
+    const double p_queue = queueing::prob_no_forward(
+        in_system, std::max(servers, 0), config_.scs[sc].mu,
+        config_.scs[sc].max_wait);
+    if (rng_.bernoulli(p_queue)) {
+      scs_[sc].queue.push_back(job_id);
+    } else {
+      jobs_[job_id].active = false;
+      ++scs_[sc].batch_forwarded;
+      if (measuring_) ++scs_[sc].forwarded;
+    }
+  } else {
+    scs_[sc].queue.push_back(job_id);
+    events_.push({now + config_.scs[sc].max_wait, 0, EventKind::kDeadline, sc,
+                  job_id});
+  }
+}
+
+void Simulator::handle_arrival(double now, std::size_t sc) {
+  schedule_arrival(now, sc);
+  int jobs_in_batch = 1;
+  if (options_.arrivals == ArrivalProcess::kBatch) {
+    // Geometric batch size with mean batch_mean_size.
+    const double p = 1.0 / options_.batch_mean_size;
+    while (!rng_.bernoulli(p)) ++jobs_in_batch;
+  }
+  for (int j = 0; j < jobs_in_batch; ++j) admit_job(now, sc);
+}
+
+void Simulator::handle_departure(double now, std::size_t host,
+                                 std::uint64_t job_id) {
+  const std::size_t owner = jobs_[job_id].owner;
+  touch(now, host);
+  if (owner != host) touch(now, owner);
+  if (owner == host) {
+    --scs_[host].own_local;
+  } else {
+    --scs_[host].lent;
+    --scs_[owner].borrowed;
+  }
+  assign_free_vms(now, host);
+}
+
+void Simulator::handle_deadline(double now, std::size_t sc,
+                                std::uint64_t job_id) {
+  (void)now;
+  Job& job = jobs_[job_id];
+  if (!job.active) return;  // already in service
+  // Still queued: forward to the public cloud.
+  job.active = false;
+  ++scs_[sc].inactive_in_queue;
+  ++scs_[sc].batch_forwarded;
+  if (measuring_) ++scs_[sc].forwarded;
+}
+
+void Simulator::flush_batch(double now) {
+  const double batch_duration =
+      options_.measure_time / static_cast<double>(options_.batches);
+  for (std::size_t i = 0; i < scs_.size(); ++i) {
+    touch(now, i);
+    ScState& s = scs_[i];
+    s.lent_batches.push_back(s.lent_avg.average());
+    s.borrowed_batches.push_back(s.borrowed_avg.average());
+    s.busy_batches.push_back(s.busy_avg.average());
+    s.forward_rate_batches.push_back(
+        static_cast<double>(s.batch_forwarded) / batch_duration);
+    s.lent_avg.reset(now);
+    s.borrowed_avg.reset(now);
+    s.busy_avg.reset(now);
+    s.batch_forwarded = 0;
+  }
+}
+
+std::vector<ScSimStats> Simulator::run() {
+  // Initial MMPP phases (start quiet) and initial arrivals.
+  if (options_.arrivals == ArrivalProcess::kMmpp) {
+    for (auto& s : scs_) {
+      s.mmpp_burst = false;
+      s.mmpp_switch_time =
+          rng_.exponential(1.0 / options_.mmpp_quiet_duration);
+    }
+  }
+  for (std::size_t i = 0; i < config_.size(); ++i) schedule_arrival(0.0, i);
+
+  // Boundary schedule: warm-up end, then one flush per batch.
+  std::vector<double> boundaries;
+  boundaries.push_back(options_.warmup_time);
+  const double batch_duration =
+      options_.measure_time / static_cast<double>(options_.batches);
+  for (std::size_t b = 1; b <= options_.batches; ++b) {
+    boundaries.push_back(options_.warmup_time +
+                         static_cast<double>(b) * batch_duration);
+  }
+  std::size_t next_boundary = 0;
+
+  while (next_boundary < boundaries.size()) {
+    const double boundary_time = boundaries[next_boundary];
+    if (events_.empty() || events_.top().time >= boundary_time) {
+      if (next_boundary == 0) {
+        // Warm-up ends: restart all accumulators.
+        for (std::size_t i = 0; i < scs_.size(); ++i) {
+          touch(boundary_time, i);
+          scs_[i].lent_avg.reset(boundary_time);
+          scs_[i].borrowed_avg.reset(boundary_time);
+          scs_[i].busy_avg.reset(boundary_time);
+          scs_[i].batch_forwarded = 0;
+        }
+        measuring_ = true;
+      } else {
+        flush_batch(boundary_time);
+      }
+      ++next_boundary;
+      continue;
+    }
+    const Event e = events_.pop();
+    switch (e.kind) {
+      case EventKind::kArrival:
+        handle_arrival(e.time, e.sc);
+        break;
+      case EventKind::kDeparture:
+        handle_departure(e.time, e.sc, e.job);
+        break;
+      case EventKind::kDeadline:
+        handle_deadline(e.time, e.sc, e.job);
+        break;
+      case EventKind::kOutageStart:
+        scs_[e.sc].in_outage = true;
+        break;
+      case EventKind::kOutageEnd:
+        scs_[e.sc].in_outage = false;
+        assign_free_vms(e.time, e.sc);
+        break;
+    }
+  }
+
+  std::vector<ScSimStats> out(scs_.size());
+  for (std::size_t i = 0; i < scs_.size(); ++i) {
+    ScState& s = scs_[i];
+    const auto lent = batch_means(s.lent_batches);
+    const auto borrowed = batch_means(s.borrowed_batches);
+    const auto busy = batch_means(s.busy_batches);
+    const auto fwd = batch_means(s.forward_rate_batches);
+    ScSimStats& r = out[i];
+    r.metrics.lent = lent.mean;
+    r.metrics.borrowed = borrowed.mean;
+    r.metrics.utilization = busy.mean;
+    r.metrics.forward_rate = fwd.mean;
+    r.metrics.forward_prob =
+        s.arrivals > 0
+            ? static_cast<double>(s.forwarded) / static_cast<double>(s.arrivals)
+            : 0.0;
+    r.lent_hw = lent.half_width;
+    r.borrowed_hw = borrowed.half_width;
+    r.forward_rate_hw = fwd.half_width;
+    r.mean_wait = s.wait.mean();
+    r.wait_p50 = s.wait_histogram.quantile(0.50);
+    r.wait_p95 = s.wait_histogram.quantile(0.95);
+    r.wait_p99 = s.wait_histogram.quantile(0.99);
+    r.sla_violation_prob =
+        s.served_with_wait > 0
+            ? static_cast<double>(s.waits_over_sla) /
+                  static_cast<double>(s.served_with_wait)
+            : 0.0;
+    r.arrivals = s.arrivals;
+    r.forwarded = s.forwarded;
+    r.served_local = s.served_local;
+    r.served_remote = s.served_remote;
+  }
+  return out;
+}
+
+federation::FederationMetrics simulate_metrics(
+    const federation::FederationConfig& config, const SimOptions& options) {
+  Simulator sim(config, options);
+  const auto stats = sim.run();
+  federation::FederationMetrics metrics(stats.size());
+  for (std::size_t i = 0; i < stats.size(); ++i) metrics[i] = stats[i].metrics;
+  return metrics;
+}
+
+}  // namespace scshare::sim

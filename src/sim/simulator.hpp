@@ -1,0 +1,196 @@
+// Discrete-event simulator of the SC federation (the "exact" reference used
+// by the paper's evaluation, Sect. V-A).
+//
+// Policy (matching the detailed CTMC of Sect. III-B):
+//  * Arrivals at SC i use a free local VM if one exists.
+//  * Otherwise they borrow a VM from the least-loaded donor SC (an SC with a
+//    free VM and spare sharing capacity), ties broken uniformly at random.
+//  * Otherwise, under the probabilistic policy, the request is queued with
+//    probability PNF(q, V, Q) and forwarded to the public cloud otherwise;
+//    under the deadline policy it is always queued but forwarded the moment
+//    its waiting time exceeds Q.
+//  * A VM freed at SC h serves h's own queue first; if h's queue is empty and
+//    h still has sharing capacity, it serves the queued request of the SC
+//    with the longest queue (uniform tie-break); otherwise it idles.
+//
+// An optional outage window per SC (VMs unusable for new work) supports
+// failover experiments.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "federation/config.hpp"
+#include "federation/metrics.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/stats.hpp"
+
+namespace scshare::sim {
+
+enum class ForwardingPolicy : std::uint8_t {
+  kProbabilistic,  ///< forward at arrival w.p. 1 - PNF (paper's model policy)
+  kDeadline,       ///< queue always; forward when the wait exceeds Q
+};
+
+/// Service-time distribution family (paper Sect. VII discusses relaxing the
+/// exponential assumption via phase-type fits; the simulator supports the
+/// two standard phase-type families directly).
+enum class ServiceDistribution : std::uint8_t {
+  kExponential,       ///< scv = 1 (the paper's modeling assumption)
+  kErlang,            ///< Erlang-k, scv = 1/k < 1 (low-variance services)
+  kHyperExponential,  ///< balanced H2, scv > 1 (bursty services)
+};
+
+/// Arrival-process family (paper Sect. VII discusses batch Markovian arrival
+/// processes; the simulator additionally supports time-varying rates, which
+/// model the offset daily peaks that motivate federation in the paper's
+/// introduction).
+enum class ArrivalProcess : std::uint8_t {
+  kPoisson,     ///< homogeneous Poisson (the paper's modeling assumption)
+  kMmpp,        ///< 2-state Markov-modulated Poisson process (bursty)
+  kBatch,       ///< Poisson batch arrivals with geometric batch sizes
+  kSinusoidal,  ///< diurnal profile lambda(t) = lambda (1 + A sin(2 pi t/P + phase_i))
+};
+
+struct SimOptions {
+  double warmup_time = 2000.0;   ///< discarded initial window (model time)
+  double measure_time = 20000.0; ///< measured window after warm-up
+  std::size_t batches = 20;      ///< batch count for confidence intervals
+  std::uint64_t seed = 1;
+  ForwardingPolicy policy = ForwardingPolicy::kProbabilistic;
+  /// Service-time family; the mean stays 1/mu_i in every case.
+  ServiceDistribution service = ServiceDistribution::kExponential;
+  int erlang_shape = 4;          ///< k for kErlang (scv = 1/k)
+  double hyper_scv = 4.0;        ///< squared coeff. of variation for kHyperExponential
+
+  /// Arrival-process family; every option keeps the long-run rate lambda_i.
+  ArrivalProcess arrivals = ArrivalProcess::kPoisson;
+  /// kMmpp: rate multiplier of the bursty phase (the quiet phase is scaled
+  /// so the time-average rate stays lambda_i) and mean phase durations.
+  double mmpp_burst_factor = 3.0;
+  double mmpp_burst_duration = 50.0;
+  double mmpp_quiet_duration = 150.0;
+  /// kBatch: mean batch size (geometric on {1, 2, ...}); the batch *rate* is
+  /// scaled down so the request rate stays lambda_i.
+  double batch_mean_size = 3.0;
+  /// kSinusoidal: relative amplitude in [0, 1) and period; SC i's peak is
+  /// shifted by i * period / K so peaks are offset across the federation.
+  double sin_amplitude = 0.6;
+  double sin_period = 2000.0;
+};
+
+/// Per-SC outputs: point estimates plus ~95% CI half-widths and counters.
+struct ScSimStats {
+  federation::ScMetrics metrics;
+  double lent_hw = 0.0;          ///< CI half-width of metrics.lent
+  double borrowed_hw = 0.0;      ///< CI half-width of metrics.borrowed
+  double forward_rate_hw = 0.0;  ///< CI half-width of metrics.forward_rate
+  double mean_wait = 0.0;        ///< mean waiting time of eventually-served requests
+  double sla_violation_prob = 0.0;  ///< P[wait > Q] among served requests
+  double wait_p50 = 0.0;         ///< median waiting time
+  double wait_p95 = 0.0;         ///< 95th percentile waiting time
+  double wait_p99 = 0.0;         ///< 99th percentile waiting time
+  std::uint64_t arrivals = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t served_local = 0;   ///< served on own VMs
+  std::uint64_t served_remote = 0;  ///< served on borrowed VMs
+};
+
+class Simulator {
+ public:
+  Simulator(federation::FederationConfig config, SimOptions options);
+
+  /// Marks SC `sc`'s own VMs unusable for new work during [start, end).
+  /// Jobs already in service finish normally. Must be called before run().
+  void add_outage(std::size_t sc, double start, double end);
+
+  /// Runs warm-up + measurement and returns per-SC statistics.
+  [[nodiscard]] std::vector<ScSimStats> run();
+
+ private:
+  struct Job {
+    std::size_t owner = 0;  ///< SC whose customer issued the request
+    double arrival = 0.0;
+    bool active = true;     ///< still waiting in a queue (for deadline policy)
+  };
+
+  struct ScState {
+    int own_local = 0;   ///< own jobs in service on own VMs
+    int lent = 0;        ///< other SCs' jobs in service on own VMs
+    int borrowed = 0;    ///< own jobs in service on other SCs' VMs
+    std::deque<std::uint64_t> queue;  ///< job ids waiting (FCFS)
+    int inactive_in_queue = 0;  ///< deadline-forwarded leftovers in `queue`
+    bool in_outage = false;
+    bool mmpp_burst = false;          ///< current MMPP phase
+    double mmpp_switch_time = 0.0;    ///< next MMPP phase flip
+
+    TimeWeightedAverage lent_avg;
+    TimeWeightedAverage borrowed_avg;
+    TimeWeightedAverage busy_avg;  ///< (own_local + lent) / N
+    std::uint64_t batch_forwarded = 0;
+
+    std::vector<double> lent_batches;
+    std::vector<double> borrowed_batches;
+    std::vector<double> busy_batches;
+    std::vector<double> forward_rate_batches;
+
+    WelfordAccumulator wait;
+    Histogram wait_histogram{10.0};  ///< rescaled per SC at construction
+    std::uint64_t waits_over_sla = 0;
+    std::uint64_t served_with_wait = 0;
+
+    std::uint64_t arrivals = 0;
+    std::uint64_t forwarded = 0;
+    std::uint64_t served_local = 0;
+    std::uint64_t served_remote = 0;
+  };
+
+  // -- event handlers -------------------------------------------------------
+  void handle_arrival(double now, std::size_t sc);
+  /// Routes one request through the admission policy (serve locally, borrow,
+  /// queue, or forward).
+  void admit_job(double now, std::size_t sc);
+  void handle_departure(double now, std::size_t host, std::uint64_t job_id);
+  void handle_deadline(double now, std::size_t sc, std::uint64_t job_id);
+
+  // -- policy helpers -------------------------------------------------------
+  /// Free own VMs usable for new work at SC i (0 during an outage).
+  [[nodiscard]] int free_vms(std::size_t i) const;
+  /// Own-customer load of SC i: in service (anywhere) + queued.
+  [[nodiscard]] int own_in_system(std::size_t i) const;
+  /// Picks a donor for a borrow request; returns SIZE_MAX if none exists.
+  [[nodiscard]] std::size_t pick_donor(std::size_t requester);
+  /// Picks the queued SC (other than `host`) to receive a freed VM;
+  /// SIZE_MAX if none qualifies.
+  [[nodiscard]] std::size_t pick_beneficiary(std::size_t host);
+  /// Starts service of `job_id` at `host`; updates counters + schedules the
+  /// departure.
+  void start_service(double now, std::size_t host, std::uint64_t job_id);
+  /// Assigns free VMs of `host` per policy (own queue, then longest queue).
+  void assign_free_vms(double now, std::size_t host);
+  /// Pops the next still-active job of SC `sc`'s queue; SIZE_MAX-like
+  /// sentinel (UINT64_MAX) if the queue has no active job.
+  std::uint64_t pop_active(std::size_t sc);
+
+  // -- bookkeeping ----------------------------------------------------------
+  void touch(double now, std::size_t i);
+  void flush_batch(double now);
+  void schedule_arrival(double now, std::size_t sc);
+
+  federation::FederationConfig config_;
+  SimOptions options_;
+  Rng rng_;
+  EventQueue events_;
+  std::vector<ScState> scs_;
+  std::vector<Job> jobs_;
+  bool measuring_ = false;
+  std::vector<std::size_t> scratch_;  ///< candidate buffer for tie-breaking
+};
+
+/// Convenience wrapper: runs the simulator and returns plain metrics.
+[[nodiscard]] federation::FederationMetrics simulate_metrics(
+    const federation::FederationConfig& config, const SimOptions& options = {});
+
+}  // namespace scshare::sim

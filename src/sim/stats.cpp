@@ -1,0 +1,109 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace scshare::sim {
+
+void WelfordAccumulator::add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double WelfordAccumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double WelfordAccumulator::stddev() const { return std::sqrt(variance()); }
+
+double WelfordAccumulator::stderr_mean() const {
+  if (count_ < 2) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+void TimeWeightedAverage::update(double now, double value) {
+  require(now >= last_time_, "TimeWeightedAverage: time went backwards");
+  const double dt = now - last_time_;
+  weighted_sum_ += dt * value;
+  total_time_ += dt;
+  last_time_ = now;
+}
+
+void TimeWeightedAverage::reset(double now) {
+  last_time_ = now;
+  weighted_sum_ = 0.0;
+  total_time_ = 0.0;
+}
+
+double TimeWeightedAverage::average() const {
+  return total_time_ > 0.0 ? weighted_sum_ / total_time_ : 0.0;
+}
+
+Histogram::Histogram(double upper_bound, std::size_t bins)
+    : upper_bound_(upper_bound),
+      bin_width_(upper_bound / static_cast<double>(bins)),
+      bins_(bins, 0) {
+  require(upper_bound > 0.0 && bins >= 1,
+          "Histogram: upper_bound > 0 and bins >= 1 required");
+}
+
+void Histogram::add(double value) {
+  require(value >= 0.0, "Histogram: negative value");
+  const double clamped = std::min(value, upper_bound_);
+  std::size_t bin = static_cast<std::size_t>(clamped / bin_width_);
+  if (bin >= bins_.size()) bin = bins_.size() - 1;
+  ++bins_[bin];
+  ++count_;
+}
+
+double Histogram::quantile(double q) const {
+  require(q >= 0.0 && q <= 1.0, "Histogram: quantile must lie in [0, 1]");
+  if (count_ == 0) return 0.0;
+  const double target = q * static_cast<double>(count_);
+  double cumulative = 0.0;
+  for (std::size_t b = 0; b < bins_.size(); ++b) {
+    const double next = cumulative + static_cast<double>(bins_[b]);
+    if (next >= target) {
+      const double within =
+          bins_[b] > 0 ? (target - cumulative) / static_cast<double>(bins_[b])
+                       : 0.0;
+      return (static_cast<double>(b) + within) * bin_width_;
+    }
+    cumulative = next;
+  }
+  return upper_bound_;
+}
+
+double Histogram::fraction_above(double threshold) const {
+  if (count_ == 0) return 0.0;
+  std::size_t above = 0;
+  // Count whole bins beyond the threshold; the boundary bin is prorated.
+  const double position = threshold / bin_width_;
+  const std::size_t boundary = static_cast<std::size_t>(position);
+  for (std::size_t b = boundary + 1; b < bins_.size(); ++b) above += bins_[b];
+  if (boundary < bins_.size()) {
+    const double fraction_of_bin =
+        1.0 - (position - static_cast<double>(boundary));
+    above += static_cast<std::size_t>(
+        fraction_of_bin * static_cast<double>(bins_[boundary]));
+  }
+  return static_cast<double>(above) / static_cast<double>(count_);
+}
+
+BatchMeansResult batch_means(const std::vector<double>& batch_values) {
+  BatchMeansResult result;
+  result.batches = batch_values.size();
+  if (batch_values.empty()) return result;
+  WelfordAccumulator acc;
+  for (double v : batch_values) acc.add(v);
+  result.mean = acc.mean();
+  result.half_width = 1.96 * acc.stderr_mean();
+  return result;
+}
+
+}  // namespace scshare::sim

@@ -1,0 +1,86 @@
+// Statistics accumulators for the discrete-event simulator: streaming mean /
+// variance (Welford), time-weighted averages for piecewise-constant signals,
+// and batch-means confidence intervals for steady-state estimates.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace scshare::sim {
+
+/// Streaming sample mean and variance (Welford's algorithm).
+class WelfordAccumulator {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  /// Unbiased sample variance; 0 with fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  /// Standard error of the mean; 0 with fewer than two samples.
+  [[nodiscard]] double stderr_mean() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Time-weighted average of a piecewise-constant signal, with support for
+/// discarding an initial warm-up window.
+class TimeWeightedAverage {
+ public:
+  /// Records that the signal had `value` from the previous update time until
+  /// `now`. Times must be non-decreasing.
+  void update(double now, double value);
+
+  /// Discards everything accumulated so far and restarts at `now`.
+  void reset(double now);
+
+  [[nodiscard]] double average() const;
+  [[nodiscard]] double elapsed() const { return total_time_; }
+
+ private:
+  double last_time_ = 0.0;
+  double weighted_sum_ = 0.0;
+  double total_time_ = 0.0;
+};
+
+/// Batch-means estimate: divides a stream of per-batch means into a point
+/// estimate and a half-width of a ~95% confidence interval.
+struct BatchMeansResult {
+  double mean = 0.0;
+  double half_width = 0.0;  ///< ~95% CI half width (normal approximation)
+  std::size_t batches = 0;
+};
+
+[[nodiscard]] BatchMeansResult batch_means(const std::vector<double>& batch_values);
+
+/// Fixed-bin histogram with quantile queries, for waiting-time tail
+/// analysis (e.g., P95 wait vs the SLA bound). Values are clamped into
+/// [0, upper_bound]; the relative quantile error is one bin width.
+class Histogram {
+ public:
+  /// `upper_bound` > 0 caps the recorded range; `bins` >= 1.
+  Histogram(double upper_bound, std::size_t bins = 512);
+
+  void add(double value);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+
+  /// Value at quantile q in [0, 1] (linear interpolation within the bin);
+  /// 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Fraction of recorded values strictly greater than `threshold`.
+  [[nodiscard]] double fraction_above(double threshold) const;
+
+ private:
+  double upper_bound_;
+  double bin_width_;
+  std::vector<std::size_t> bins_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace scshare::sim

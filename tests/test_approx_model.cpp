@@ -1,0 +1,156 @@
+#include "federation/approx_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "federation/detailed_model.hpp"
+#include "queueing/no_share_model.hpp"
+
+namespace fed = scshare::federation;
+
+namespace {
+
+fed::FederationConfig two_sc(double l1, double l2, int s1, int s2, int n = 5) {
+  fed::FederationConfig cfg;
+  cfg.scs = {{.num_vms = n, .lambda = l1, .mu = 1.0, .max_wait = 0.2},
+             {.num_vms = n, .lambda = l2, .mu = 1.0, .max_wait = 0.2}};
+  cfg.shares = {s1, s2};
+  return cfg;
+}
+
+}  // namespace
+
+TEST(ApproxModel, SingleScEqualsNoShareModel) {
+  fed::FederationConfig cfg;
+  cfg.scs = {{.num_vms = 10, .lambda = 8.0, .mu = 1.0, .max_wait = 0.2}};
+  cfg.shares = {4};  // irrelevant: nobody to share with
+  const auto m = fed::solve_approx_target(cfg, 0);
+  const auto ref = scshare::queueing::solve_no_share(
+      {.num_vms = 10, .lambda = 8.0, .mu = 1.0, .max_wait = 0.2});
+  EXPECT_NEAR(m.forward_prob, ref.forward_prob, 1e-8);
+  EXPECT_NEAR(m.utilization, ref.utilization, 1e-8);
+  EXPECT_DOUBLE_EQ(m.lent, 0.0);
+  EXPECT_DOUBLE_EQ(m.borrowed, 0.0);
+}
+
+TEST(ApproxModel, NoSharesDecouplesScs) {
+  const auto cfg = two_sc(4.0, 3.0, 0, 0);
+  const auto m = fed::solve_approx(cfg);
+  const auto ref0 = scshare::queueing::solve_no_share(
+      {.num_vms = 5, .lambda = 4.0, .mu = 1.0, .max_wait = 0.2});
+  EXPECT_NEAR(m[0].forward_prob, ref0.forward_prob, 1e-7);
+  EXPECT_DOUBLE_EQ(m[0].lent, 0.0);
+  EXPECT_DOUBLE_EQ(m[0].borrowed, 0.0);
+}
+
+TEST(ApproxModel, MetricsWithinBounds) {
+  const auto cfg = two_sc(4.0, 3.5, 2, 2);
+  const auto m = fed::solve_approx(cfg);
+  for (const auto& sc : m) {
+    EXPECT_GE(sc.lent, 0.0);
+    EXPECT_LE(sc.lent, 2.0 + 1e-9);
+    EXPECT_GE(sc.borrowed, 0.0);
+    EXPECT_LE(sc.borrowed, 2.0 + 1e-9);  // B_i = other SC's share = 2
+    EXPECT_GE(sc.forward_prob, 0.0);
+    EXPECT_LE(sc.forward_prob, 1.0);
+    EXPECT_GE(sc.utilization, 0.0);
+    EXPECT_LE(sc.utilization, 1.0 + 1e-9);
+  }
+}
+
+TEST(ApproxModel, TracksDetailedModelAtModerateLoad) {
+  // Paper Sect. V-A reports ~10-20% errors, with Ī systematically
+  // under-estimated (the hierarchy breaks the direct coupling between the
+  // target and the other SCs). Our implementation reproduces that shape;
+  // the tolerances below document the achieved accuracy at this load
+  // (utilization within 2%, Ō within 10%, P̄ under-estimated by up to ~40%,
+  // net flow Ō - Ī within 30% of the gross exchanged volume).
+  const auto cfg = two_sc(3.5, 3.0, 2, 2);  // rho ~ 0.7 / 0.6
+  const auto exact = fed::solve_detailed(cfg);
+  const auto approx = fed::solve_approx(cfg);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_NEAR(approx[i].forward_prob, exact[i].forward_prob,
+                0.4 * std::max(exact[i].forward_prob, 0.02))
+        << "sc=" << i;
+    EXPECT_NEAR(approx[i].utilization, exact[i].utilization, 0.02)
+        << "sc=" << i;
+    EXPECT_NEAR(approx[i].borrowed, exact[i].borrowed,
+                0.1 * std::max(exact[i].borrowed, 0.05))
+        << "sc=" << i;
+    // Lent is under-estimated by design; require the right sign and order.
+    EXPECT_LT(approx[i].lent, exact[i].lent * 1.1) << "sc=" << i;
+    EXPECT_GT(approx[i].lent, exact[i].lent * 0.5) << "sc=" << i;
+    const double gross =
+        std::max({exact[i].lent, exact[i].borrowed, 0.05});
+    EXPECT_NEAR(approx[i].borrowed - approx[i].lent,
+                exact[i].borrowed - exact[i].lent, 0.3 * gross)
+        << "sc=" << i;
+  }
+}
+
+TEST(ApproxModel, SharingReducesForwarding) {
+  const auto base = fed::solve_approx_target(two_sc(4.0, 4.0, 0, 0), 0);
+  const auto shared = fed::solve_approx_target(two_sc(4.0, 4.0, 3, 3), 0);
+  EXPECT_LT(shared.forward_prob, base.forward_prob);
+}
+
+TEST(ApproxModel, LoadedScIsNetBorrower) {
+  const auto m = fed::solve_approx(two_sc(4.8, 2.0, 3, 3));
+  EXPECT_GT(m[0].borrowed, m[0].lent);
+  EXPECT_GT(m[1].lent, m[1].borrowed);
+}
+
+TEST(ApproxModel, IdleScLendsMoreWhenSharingMore) {
+  // SC 1 is mostly idle; increasing its share cap should increase its lent
+  // volume monotonically (the overloaded SC 0 absorbs everything).
+  double prev = -1.0;
+  for (int share : {0, 1, 2, 3}) {
+    const auto m = fed::solve_approx_target(two_sc(6.5, 1.0, 0, share, 5), 1);
+    EXPECT_GE(m.lent, prev) << "share=" << share;
+    prev = m.lent;
+  }
+  EXPECT_GT(prev, 0.3);
+}
+
+TEST(ApproxModel, ThreeScHierarchySolves) {
+  fed::FederationConfig cfg;
+  cfg.scs = {{.num_vms = 5, .lambda = 3.0, .mu = 1.0, .max_wait = 0.2},
+             {.num_vms = 5, .lambda = 3.7, .mu = 1.0, .max_wait = 0.2},
+             {.num_vms = 5, .lambda = 4.2, .mu = 1.0, .max_wait = 0.2}};
+  cfg.shares = {2, 2, 2};
+  fed::ApproxModel model(cfg);
+  const auto m = model.solve_target(2);
+  EXPECT_GT(model.last_chain_states(), 10u);
+  EXPECT_GT(model.last_total_states(), model.last_chain_states());
+  EXPECT_GT(m.borrowed, 0.0);
+  EXPECT_GT(m.lent, 0.0);
+}
+
+TEST(ApproxModel, TargetOrderingIsUsed) {
+  // Asymmetric federation: the target's metrics should reflect its own load.
+  const auto cfg = two_sc(4.8, 2.0, 2, 2);
+  const auto m0 = fed::solve_approx_target(cfg, 0);
+  const auto m1 = fed::solve_approx_target(cfg, 1);
+  EXPECT_GT(m0.forward_prob, m1.forward_prob);
+  EXPECT_GT(m0.utilization, m1.utilization);
+}
+
+TEST(ApproxModel, TimeBucketingIsAccurate) {
+  // Interaction-time bucketing is a performance knob; it must not change
+  // results materially.
+  const auto cfg = two_sc(4.0, 3.0, 2, 2);
+  fed::ApproxModelOptions exact_opts;
+  exact_opts.time_bucket_ratio = 0.0;  // disabled
+  fed::ApproxModelOptions bucketed_opts;
+  bucketed_opts.time_bucket_ratio = 1.3;
+  const auto a = fed::solve_approx_target(cfg, 1, exact_opts);
+  const auto b = fed::solve_approx_target(cfg, 1, bucketed_opts);
+  EXPECT_NEAR(a.lent, b.lent, 0.03);
+  EXPECT_NEAR(a.borrowed, b.borrowed, 0.03);
+  EXPECT_NEAR(a.forward_prob, b.forward_prob, 0.01);
+}
+
+TEST(ApproxModel, InvalidTargetThrows) {
+  fed::ApproxModel model(two_sc(4.0, 3.0, 1, 1));
+  EXPECT_THROW((void)model.solve_target(2), scshare::Error);
+}

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "federation/approx_model.hpp"
+
+namespace fed = scshare::federation;
+
+namespace {
+
+fed::FederationConfig two_sc(double l1, double l2, int s1, int s2) {
+  fed::FederationConfig cfg;
+  cfg.scs = {{.num_vms = 5, .lambda = l1, .mu = 1.0, .max_wait = 0.2},
+             {.num_vms = 5, .lambda = l2, .mu = 1.0, .max_wait = 0.2}};
+  cfg.shares = {s1, s2};
+  return cfg;
+}
+
+}  // namespace
+
+TEST(ApproxSweep, MatchesIndividualSolves) {
+  auto cfg = two_sc(3.5, 3.0, 2, 2);
+  const std::vector<double> lambdas = {2.0, 3.0, 4.0};
+
+  fed::ApproxModel sweep_model(cfg);
+  const auto swept = sweep_model.solve_target_sweep(1, lambdas);
+  ASSERT_EQ(swept.size(), 3u);
+
+  for (std::size_t i = 0; i < lambdas.size(); ++i) {
+    auto point = cfg;
+    point.scs[1].lambda = lambdas[i];
+    fed::ApproxModel single(point);
+    const auto ref = single.solve_target(1);
+    // The sweep reuses the hierarchy (whose availability environment is
+    // fitted at the configured target rate), so allow small drift.
+    EXPECT_NEAR(swept[i].lent, ref.lent, 0.05) << "lambda=" << lambdas[i];
+    EXPECT_NEAR(swept[i].borrowed, ref.borrowed, 0.05)
+        << "lambda=" << lambdas[i];
+    EXPECT_NEAR(swept[i].forward_prob, ref.forward_prob, 0.01)
+        << "lambda=" << lambdas[i];
+    EXPECT_NEAR(swept[i].utilization, ref.utilization, 0.01)
+        << "lambda=" << lambdas[i];
+  }
+}
+
+TEST(ApproxSweep, ConfiguredLambdaReproducesSolveTarget) {
+  auto cfg = two_sc(3.5, 3.0, 2, 2);
+  fed::ApproxModel a(cfg);
+  fed::ApproxModel b(cfg);
+  const auto single = a.solve_target(1);
+  const auto swept = b.solve_target_sweep(1, {3.0});
+  EXPECT_DOUBLE_EQ(swept[0].lent, single.lent);
+  EXPECT_DOUBLE_EQ(swept[0].borrowed, single.borrowed);
+  EXPECT_DOUBLE_EQ(swept[0].forward_prob, single.forward_prob);
+}
+
+TEST(ApproxSweep, MonotoneInLoad) {
+  auto cfg = two_sc(3.5, 3.0, 2, 2);
+  fed::ApproxModel model(cfg);
+  const auto swept = model.solve_target_sweep(1, {1.0, 2.0, 3.0, 4.0, 4.5});
+  for (std::size_t i = 1; i < swept.size(); ++i) {
+    EXPECT_GE(swept[i].utilization, swept[i - 1].utilization);
+    EXPECT_GE(swept[i].forward_prob, swept[i - 1].forward_prob - 1e-9);
+  }
+}
+
+TEST(ApproxSweep, EmptyLambdasThrow) {
+  fed::ApproxModel model(two_sc(3.0, 3.0, 1, 1));
+  EXPECT_THROW((void)model.solve_target_sweep(0, {}), scshare::Error);
+}

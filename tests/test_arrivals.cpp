@@ -1,0 +1,118 @@
+// Tests for the arrival-process extensions: MMPP, batch, and sinusoidal
+// (diurnal) arrivals. All families keep the long-run request rate lambda, so
+// utilization must match the Poisson case; burstiness must degrade waiting
+// behaviour in the expected order.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/simulator.hpp"
+
+namespace fed = scshare::federation;
+namespace sim = scshare::sim;
+
+namespace {
+
+fed::FederationConfig single_sc(double lambda) {
+  fed::FederationConfig cfg;
+  cfg.scs = {{.num_vms = 10, .lambda = lambda, .mu = 1.0, .max_wait = 0.2}};
+  cfg.shares = {0};
+  return cfg;
+}
+
+sim::ScSimStats run_single(sim::ArrivalProcess arrivals, double lambda,
+                           std::uint64_t seed = 41) {
+  sim::SimOptions o;
+  o.warmup_time = 1000.0;
+  o.measure_time = 40000.0;
+  o.seed = seed;
+  o.arrivals = arrivals;
+  sim::Simulator s(single_sc(lambda), o);
+  return s.run()[0];
+}
+
+}  // namespace
+
+TEST(Arrivals, AllFamiliesKeepTheLongRunRate) {
+  for (auto family :
+       {sim::ArrivalProcess::kPoisson, sim::ArrivalProcess::kMmpp,
+        sim::ArrivalProcess::kBatch, sim::ArrivalProcess::kSinusoidal}) {
+    const auto stats = run_single(family, 6.0);
+    const double rate = static_cast<double>(stats.arrivals) / 40000.0;
+    EXPECT_NEAR(rate, 6.0, 0.25) << "family=" << static_cast<int>(family);
+    // Flow balance: utilization equals the accepted load over capacity
+    // (burstier families forward more, so they carry less, but the balance
+    // identity must hold for every family).
+    const double accepted = rate * (1.0 - stats.metrics.forward_prob);
+    EXPECT_NEAR(stats.metrics.utilization, accepted / 10.0, 0.02)
+        << "family=" << static_cast<int>(family);
+  }
+}
+
+TEST(Arrivals, BurstinessIncreasesForwarding) {
+  const auto poisson = run_single(sim::ArrivalProcess::kPoisson, 8.0);
+  const auto mmpp = run_single(sim::ArrivalProcess::kMmpp, 8.0);
+  const auto batch = run_single(sim::ArrivalProcess::kBatch, 8.0);
+  EXPECT_GT(mmpp.metrics.forward_prob, poisson.metrics.forward_prob);
+  EXPECT_GT(batch.metrics.forward_prob, poisson.metrics.forward_prob);
+}
+
+TEST(Arrivals, DiurnalPeaksForwardMoreThanFlatLoad) {
+  // Same average load, but the sinusoidal peak exceeds capacity part of the
+  // day -> more forwarding than the flat profile.
+  const auto flat = run_single(sim::ArrivalProcess::kPoisson, 7.0);
+  const auto diurnal = run_single(sim::ArrivalProcess::kSinusoidal, 7.0);
+  EXPECT_GT(diurnal.metrics.forward_prob, flat.metrics.forward_prob);
+}
+
+TEST(Arrivals, OffsetPeaksMakeFederationEffective) {
+  // Two SCs with anti-phase diurnal peaks: sharing absorbs each other's
+  // peaks, so forwarding drops much more than it would for flat loads.
+  fed::FederationConfig cfg;
+  cfg.scs = {{.num_vms = 10, .lambda = 7.0, .mu = 1.0, .max_wait = 0.2},
+             {.num_vms = 10, .lambda = 7.0, .mu = 1.0, .max_wait = 0.2}};
+
+  sim::SimOptions o;
+  o.warmup_time = 1000.0;
+  o.measure_time = 40000.0;
+  o.seed = 43;
+  o.arrivals = sim::ArrivalProcess::kSinusoidal;  // phases offset by pi
+
+  cfg.shares = {0, 0};
+  const auto isolated = scshare::sim::simulate_metrics(cfg, o);
+  cfg.shares = {5, 5};
+  const auto federated = scshare::sim::simulate_metrics(cfg, o);
+
+  EXPECT_LT(federated[0].forward_prob, 0.5 * isolated[0].forward_prob);
+  EXPECT_LT(federated[1].forward_prob, 0.5 * isolated[1].forward_prob);
+}
+
+TEST(Arrivals, InvalidParametersThrow) {
+  sim::SimOptions o;
+  o.arrivals = sim::ArrivalProcess::kBatch;
+  o.batch_mean_size = 0.5;
+  EXPECT_THROW(sim::Simulator(single_sc(5.0), o), scshare::Error);
+
+  o = {};
+  o.arrivals = sim::ArrivalProcess::kMmpp;
+  o.mmpp_burst_factor = 0.5;
+  EXPECT_THROW(sim::Simulator(single_sc(5.0), o), scshare::Error);
+
+  o = {};
+  o.arrivals = sim::ArrivalProcess::kSinusoidal;
+  o.sin_amplitude = 1.5;
+  EXPECT_THROW(sim::Simulator(single_sc(5.0), o), scshare::Error);
+}
+
+TEST(Arrivals, BatchSizesAverageOut) {
+  // Indirect check of the geometric batch generator: the number of arrival
+  // events is ~ arrivals / mean_size.
+  sim::SimOptions o;
+  o.warmup_time = 500.0;
+  o.measure_time = 30000.0;
+  o.seed = 47;
+  o.arrivals = sim::ArrivalProcess::kBatch;
+  o.batch_mean_size = 4.0;
+  sim::Simulator s(single_sc(4.0), o);
+  const auto stats = s.run()[0];
+  EXPECT_NEAR(static_cast<double>(stats.arrivals) / 30000.0, 4.0, 0.3);
+}

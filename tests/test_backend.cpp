@@ -1,0 +1,88 @@
+#include "federation/backend.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fed = scshare::federation;
+
+namespace {
+
+fed::FederationConfig small() {
+  fed::FederationConfig cfg;
+  cfg.scs = {{.num_vms = 4, .lambda = 3.0, .mu = 1.0, .max_wait = 0.2},
+             {.num_vms = 4, .lambda = 2.0, .mu = 1.0, .max_wait = 0.2}};
+  cfg.shares = {2, 2};
+  return cfg;
+}
+
+/// Counts evaluations so caching behaviour is observable.
+class CountingBackend final : public fed::PerformanceBackend {
+ public:
+  fed::FederationMetrics evaluate(
+      const fed::FederationConfig& config) override {
+    ++calls;
+    fed::FederationMetrics m(config.size());
+    for (std::size_t i = 0; i < config.size(); ++i) {
+      m[i].lent = static_cast<double>(config.shares[i]);
+    }
+    return m;
+  }
+  [[nodiscard]] std::string_view name() const override { return "counting"; }
+  int calls = 0;
+};
+
+}  // namespace
+
+TEST(Backends, Names) {
+  EXPECT_EQ(fed::ApproxBackend().name(), "approx");
+  EXPECT_EQ(fed::DetailedBackend().name(), "detailed");
+  EXPECT_EQ(fed::SimulationBackend().name(), "simulation");
+}
+
+TEST(Backends, CachingForwardsName) {
+  fed::CachingBackend backend(std::make_unique<fed::DetailedBackend>());
+  EXPECT_EQ(backend.name(), "detailed");
+}
+
+TEST(Backends, CachingMemoizesBySharingVector) {
+  auto counting = std::make_unique<CountingBackend>();
+  auto* raw = counting.get();
+  fed::CachingBackend backend(std::move(counting));
+
+  auto cfg = small();
+  (void)backend.evaluate(cfg);
+  (void)backend.evaluate(cfg);
+  EXPECT_EQ(raw->calls, 1);
+
+  cfg.shares = {1, 2};
+  (void)backend.evaluate(cfg);
+  EXPECT_EQ(raw->calls, 2);
+  EXPECT_EQ(backend.cache_size(), 2u);
+
+  cfg.shares = {2, 2};
+  const auto m = backend.evaluate(cfg);
+  EXPECT_EQ(raw->calls, 2);  // cache hit
+  EXPECT_DOUBLE_EQ(m[0].lent, 2.0);
+}
+
+TEST(Backends, DetailedAndApproxAgreeOnDecoupledFederation) {
+  auto cfg = small();
+  cfg.shares = {0, 0};  // no interaction: both must be exact
+  fed::DetailedBackend detailed;
+  fed::ApproxBackend approx;
+  const auto d = detailed.evaluate(cfg);
+  const auto a = approx.evaluate(cfg);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_NEAR(d[i].forward_prob, a[i].forward_prob, 1e-7);
+    EXPECT_NEAR(d[i].utilization, a[i].utilization, 1e-7);
+  }
+}
+
+TEST(Backends, SimulationBackendUsesOptions) {
+  scshare::sim::SimOptions so;
+  so.warmup_time = 100.0;
+  so.measure_time = 2000.0;
+  so.seed = 5;
+  fed::SimulationBackend backend(so);
+  const auto m = backend.evaluate(small());
+  EXPECT_GT(m[0].utilization, 0.3);
+}

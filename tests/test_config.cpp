@@ -1,0 +1,85 @@
+#include "federation/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace fed = scshare::federation;
+
+namespace {
+
+fed::FederationConfig valid() {
+  fed::FederationConfig cfg;
+  cfg.scs = {{.num_vms = 10, .lambda = 5.0, .mu = 1.0, .max_wait = 0.2},
+             {.num_vms = 8, .lambda = 4.0, .mu = 2.0, .max_wait = 0.1}};
+  cfg.shares = {3, 2};
+  return cfg;
+}
+
+}  // namespace
+
+TEST(FederationConfig, ValidConfigPasses) {
+  EXPECT_NO_THROW(valid().validate());
+}
+
+TEST(FederationConfig, EmptyFederationRejected) {
+  fed::FederationConfig cfg;
+  EXPECT_THROW(cfg.validate(), scshare::Error);
+}
+
+TEST(FederationConfig, ShareSizeMismatchRejected) {
+  auto cfg = valid();
+  cfg.shares = {3};
+  EXPECT_THROW(cfg.validate(), scshare::Error);
+}
+
+TEST(FederationConfig, ShareBeyondVmsRejected) {
+  auto cfg = valid();
+  cfg.shares[0] = 11;
+  EXPECT_THROW(cfg.validate(), scshare::Error);
+}
+
+TEST(FederationConfig, NegativeShareRejected) {
+  auto cfg = valid();
+  cfg.shares[0] = -1;
+  EXPECT_THROW(cfg.validate(), scshare::Error);
+}
+
+TEST(FederationConfig, NonPositiveRatesRejected) {
+  auto cfg = valid();
+  cfg.scs[0].lambda = 0.0;
+  EXPECT_THROW(cfg.validate(), scshare::Error);
+  cfg = valid();
+  cfg.scs[1].mu = -1.0;
+  EXPECT_THROW(cfg.validate(), scshare::Error);
+  cfg = valid();
+  cfg.scs[0].num_vms = 0;
+  EXPECT_THROW(cfg.validate(), scshare::Error);
+}
+
+TEST(FederationConfig, NegativeSlaRejected) {
+  auto cfg = valid();
+  cfg.scs[0].max_wait = -0.1;
+  EXPECT_THROW(cfg.validate(), scshare::Error);
+}
+
+TEST(FederationConfig, BadTruncationEpsilonRejected) {
+  auto cfg = valid();
+  cfg.truncation_epsilon = 0.0;
+  EXPECT_THROW(cfg.validate(), scshare::Error);
+  cfg.truncation_epsilon = 1.0;
+  EXPECT_THROW(cfg.validate(), scshare::Error);
+}
+
+TEST(FederationConfig, SharedPoolExcluding) {
+  const auto cfg = valid();
+  EXPECT_EQ(cfg.shared_pool_excluding(0), 2);
+  EXPECT_EQ(cfg.shared_pool_excluding(1), 3);
+}
+
+TEST(FederationConfig, SharedPoolSingleSc) {
+  fed::FederationConfig cfg;
+  cfg.scs = {{.num_vms = 5, .lambda = 1.0, .mu = 1.0, .max_wait = 0.2}};
+  cfg.shares = {2};
+  EXPECT_EQ(cfg.shared_pool_excluding(0), 0);
+}

@@ -1,0 +1,154 @@
+#include "io/config_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace io = scshare::io;
+namespace fed = scshare::federation;
+namespace mkt = scshare::market;
+namespace sim = scshare::sim;
+
+namespace {
+
+const char* kFederation = R"({
+  "scs": [
+    {"num_vms": 10, "lambda": 7.0, "share": 3},
+    {"num_vms": 8, "lambda": 4.0, "mu": 2.0, "max_wait": 0.1}
+  ]
+})";
+
+}  // namespace
+
+TEST(ConfigIo, ParseFederation) {
+  const auto cfg = io::parse_federation(io::Json::parse(kFederation));
+  ASSERT_EQ(cfg.size(), 2u);
+  EXPECT_EQ(cfg.scs[0].num_vms, 10);
+  EXPECT_DOUBLE_EQ(cfg.scs[0].lambda, 7.0);
+  EXPECT_DOUBLE_EQ(cfg.scs[0].mu, 1.0);        // default
+  EXPECT_DOUBLE_EQ(cfg.scs[0].max_wait, 0.2);  // default
+  EXPECT_EQ(cfg.shares[0], 3);
+  EXPECT_EQ(cfg.shares[1], 0);  // default
+  EXPECT_DOUBLE_EQ(cfg.scs[1].mu, 2.0);
+}
+
+TEST(ConfigIo, ParseFederationValidates) {
+  const auto bad = io::Json::parse(
+      R"({"scs": [{"num_vms": 2, "lambda": 1.0, "share": 5}]})");
+  EXPECT_THROW((void)io::parse_federation(bad), scshare::Error);
+}
+
+TEST(ConfigIo, FederationRoundTrip) {
+  const auto cfg = io::parse_federation(io::Json::parse(kFederation));
+  const auto round = io::parse_federation(io::to_json(cfg));
+  ASSERT_EQ(round.size(), cfg.size());
+  for (std::size_t i = 0; i < cfg.size(); ++i) {
+    EXPECT_EQ(round.scs[i].num_vms, cfg.scs[i].num_vms);
+    EXPECT_DOUBLE_EQ(round.scs[i].lambda, cfg.scs[i].lambda);
+    EXPECT_EQ(round.shares[i], cfg.shares[i]);
+  }
+}
+
+TEST(ConfigIo, ParsePricesScalarBroadcasts) {
+  const auto prices = io::parse_prices(
+      io::Json::parse(R"({"public_price": 2.0, "federation_price": 1.0})"),
+      3);
+  ASSERT_EQ(prices.public_price.size(), 3u);
+  EXPECT_DOUBLE_EQ(prices.public_price[2], 2.0);
+  EXPECT_DOUBLE_EQ(prices.power_price, 0.0);
+}
+
+TEST(ConfigIo, ParsePricesPerSc) {
+  const auto prices = io::parse_prices(
+      io::Json::parse(
+          R"({"public_price": [1.0, 2.0], "federation_price": 0.5,
+              "power_price": 0.1})"),
+      2);
+  EXPECT_DOUBLE_EQ(prices.public_price[1], 2.0);
+  EXPECT_DOUBLE_EQ(prices.power_price, 0.1);
+}
+
+TEST(ConfigIo, ParseSimOptions) {
+  const auto options = io::parse_sim_options(io::Json::parse(R"({
+    "measure_time": 5000, "seed": 9, "policy": "deadline",
+    "service": "erlang", "erlang_shape": 3,
+    "arrivals": "sinusoidal", "sin_amplitude": 0.4
+  })"));
+  EXPECT_DOUBLE_EQ(options.measure_time, 5000.0);
+  EXPECT_EQ(options.seed, 9u);
+  EXPECT_EQ(options.policy, sim::ForwardingPolicy::kDeadline);
+  EXPECT_EQ(options.service, sim::ServiceDistribution::kErlang);
+  EXPECT_EQ(options.erlang_shape, 3);
+  EXPECT_EQ(options.arrivals, sim::ArrivalProcess::kSinusoidal);
+  EXPECT_DOUBLE_EQ(options.sin_amplitude, 0.4);
+}
+
+TEST(ConfigIo, ParseSimOptionsRejectsUnknownEnums) {
+  EXPECT_THROW(
+      (void)io::parse_sim_options(io::Json::parse(R"({"policy": "magic"})")),
+      scshare::Error);
+}
+
+TEST(ConfigIo, ParseGameOptions) {
+  const auto options = io::parse_game_options(io::Json::parse(R"({
+    "method": "exhaustive", "update_rule": "simultaneous",
+    "max_rounds": 7, "improvement_tolerance": 0.1,
+    "initial_shares": [1, 2],
+    "tabu": {"distance": 5}
+  })"));
+  EXPECT_EQ(options.method, mkt::BestResponseMethod::kExhaustive);
+  EXPECT_EQ(options.update_rule, mkt::UpdateRule::kSimultaneous);
+  EXPECT_EQ(options.max_rounds, 7);
+  EXPECT_DOUBLE_EQ(options.improvement_tolerance, 0.1);
+  EXPECT_EQ(options.initial_shares, (std::vector<int>{1, 2}));
+  EXPECT_EQ(options.tabu.distance, 5);
+  EXPECT_EQ(options.tabu.tenure, mkt::TabuOptions{}.tenure);  // default kept
+}
+
+TEST(ConfigIo, MetricsSerialization) {
+  fed::ScMetrics m;
+  m.lent = 1.5;
+  m.borrowed = 0.5;
+  m.forward_rate = 0.25;
+  m.forward_prob = 0.05;
+  m.utilization = 0.8;
+  const auto j = io::to_json(m);
+  EXPECT_DOUBLE_EQ(j.at("lent").as_double(), 1.5);
+  EXPECT_DOUBLE_EQ(j.at("utilization").as_double(), 0.8);
+}
+
+TEST(ConfigIo, GameResultSerialization) {
+  mkt::GameResult result;
+  result.shares = {2, 3};
+  result.utilities = {1.0, 4.0};
+  result.costs = {0.1, -0.2};
+  result.rounds = 5;
+  result.converged = true;
+  result.trajectory = {{1, 1}, {2, 3}};
+  const auto j = io::to_json(result);
+  EXPECT_EQ(j.at("shares").at(1).as_int(), 3);
+  EXPECT_TRUE(j.at("converged").as_bool());
+  EXPECT_EQ(j.at("trajectory").size(), 2u);
+  EXPECT_EQ(j.at("trajectory").at(1).at(0).as_int(), 2);
+}
+
+TEST(ConfigIo, ExampleConfigParses) {
+  // The sample configuration shipped with the repo must stay valid.
+  const std::string path =
+      std::string(SCSHARE_SOURCE_DIR) + "/examples/configs/three_sc.json";
+  FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr) << "sample config not found: " << path;
+  std::string text;
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    text.append(buffer, n);
+  }
+  std::fclose(f);
+  const auto doc = io::Json::parse(text);
+  const auto cfg = io::parse_federation(doc.at("federation"));
+  EXPECT_EQ(cfg.size(), 3u);
+  (void)io::parse_prices(doc.at("prices"), cfg.size());
+  (void)io::parse_sim_options(doc.at("sim"));
+  (void)io::parse_game_options(doc.at("game"));
+}

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "control/sharing_controller.hpp"
+#include "federation/backend.hpp"
+
+namespace ctl = scshare::control;
+namespace fed = scshare::federation;
+namespace mkt = scshare::market;
+
+namespace {
+
+/// Feeds Poisson arrivals at `rate` into the monitor over [t0, t1].
+double feed_poisson(ctl::WorkloadMonitor& monitor, scshare::Rng& rng,
+                    double t0, double t1, double rate) {
+  double t = t0;
+  for (;;) {
+    t += rng.exponential(rate);
+    if (t >= t1) return t1;
+    monitor.record_arrival(t);
+  }
+}
+
+}  // namespace
+
+TEST(WorkloadMonitor, EstimatesStationaryRate) {
+  ctl::WorkloadMonitor monitor;
+  scshare::Rng rng(5);
+  feed_poisson(monitor, rng, 0.0, 10000.0, 4.0);
+  EXPECT_NEAR(monitor.fast_rate(), 4.0, 0.8);
+  EXPECT_NEAR(monitor.slow_rate(), 4.0, 0.5);
+  EXPECT_FALSE(monitor.change_detected());
+}
+
+TEST(WorkloadMonitor, DetectsSustainedRateJump) {
+  ctl::WorkloadMonitor monitor;
+  scshare::Rng rng(7);
+  feed_poisson(monitor, rng, 0.0, 8000.0, 3.0);
+  ASSERT_FALSE(monitor.change_detected());
+  feed_poisson(monitor, rng, 8000.0, 10000.0, 7.0);  // regime shift
+  EXPECT_TRUE(monitor.change_detected());
+  EXPECT_GT(monitor.fast_rate(), 5.0);
+
+  monitor.acknowledge_change();
+  EXPECT_FALSE(monitor.change_detected());
+  // After acknowledgment the new regime is the baseline: no re-trigger.
+  feed_poisson(monitor, rng, 10000.0, 14000.0, 7.0);
+  EXPECT_FALSE(monitor.change_detected());
+}
+
+TEST(WorkloadMonitor, IgnoresShortBursts) {
+  ctl::MonitorOptions options;
+  options.confirmation_time = 500.0;
+  ctl::WorkloadMonitor monitor(options);
+  scshare::Rng rng(9);
+  double t = feed_poisson(monitor, rng, 0.0, 8000.0, 3.0);
+  // A burst much shorter than the confirmation time.
+  t = feed_poisson(monitor, rng, t, t + 100.0, 12.0);
+  EXPECT_FALSE(monitor.change_detected());
+  // Back to normal: the divergence clock resets.
+  feed_poisson(monitor, rng, t, t + 2000.0, 3.0);
+  EXPECT_FALSE(monitor.change_detected());
+}
+
+TEST(WorkloadMonitor, InvalidOptionsThrow) {
+  ctl::MonitorOptions bad;
+  bad.fast_window = 100.0;
+  bad.slow_window = 50.0;
+  EXPECT_THROW(ctl::WorkloadMonitor{bad}, scshare::Error);
+}
+
+TEST(SharingController, RenegotiatesAfterRegimeShift) {
+  fed::FederationConfig cfg;
+  cfg.scs = {{.num_vms = 4, .lambda = 1.5, .mu = 1.0, .max_wait = 0.2},
+             {.num_vms = 4, .lambda = 2.0, .mu = 1.0, .max_wait = 0.2}};
+  cfg.shares = {1, 1};
+  mkt::PriceConfig prices;
+  prices.public_price = {1.0, 1.0};
+  prices.federation_price = 0.4;
+
+  fed::CachingBackend backend(std::make_unique<fed::DetailedBackend>());
+  ctl::ControllerOptions options;
+  options.game.method = mkt::BestResponseMethod::kExhaustive;
+  ctl::SharingController controller(cfg, prices, backend, options);
+
+  scshare::Rng rng(11);
+  // Phase 1: arrivals match the configured rates; nothing to do.
+  double t0 = 0.0, t1 = 8000.0;
+  {
+    double t = t0;
+    while (t < t1) {
+      t += rng.exponential(3.5);
+      const bool sc0 = rng.bernoulli(1.5 / 3.5);
+      controller.observe_arrival(sc0 ? 0 : 1, std::min(t, t1));
+    }
+  }
+  EXPECT_FALSE(controller.renegotiation_due());
+
+  // Phase 2: SC 0's load more than doubles.
+  {
+    double t = t1;
+    while (t < t1 + 3000.0) {
+      t += rng.exponential(5.5);
+      const bool sc0 = rng.bernoulli(3.5 / 5.5);
+      controller.observe_arrival(sc0 ? 0 : 1, t);
+    }
+  }
+  ASSERT_TRUE(controller.renegotiation_due());
+
+  const auto decision = controller.renegotiate(t1 + 3000.0);
+  EXPECT_TRUE(decision.converged);
+  // The re-estimated rate reflects the shift.
+  EXPECT_GT(decision.estimated_lambdas[0], 2.5);
+  EXPECT_EQ(controller.shares(), decision.new_shares);
+  EXPECT_FALSE(controller.renegotiation_due());
+}
+
+TEST(SharingController, ObserveOutOfRangeThrows) {
+  fed::FederationConfig cfg;
+  cfg.scs = {{.num_vms = 4, .lambda = 1.0, .mu = 1.0, .max_wait = 0.2}};
+  cfg.shares = {0};
+  mkt::PriceConfig prices;
+  prices.public_price = {1.0};
+  prices.federation_price = 0.5;
+  fed::DetailedBackend backend;
+  ctl::SharingController controller(cfg, prices, backend);
+  EXPECT_THROW(controller.observe_arrival(3, 1.0), scshare::Error);
+}

@@ -1,0 +1,77 @@
+#include "market/cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "queueing/no_share_model.hpp"
+
+namespace mkt = scshare::market;
+namespace fed = scshare::federation;
+
+TEST(OperatingCost, MatchesEquationOne) {
+  fed::ScMetrics m;
+  m.forward_rate = 2.0;
+  m.borrowed = 1.5;
+  m.lent = 0.5;
+  // C = 2.0 * 10 + (1.5 - 0.5) * 4 = 24.
+  EXPECT_DOUBLE_EQ(mkt::operating_cost(m, 10.0, 4.0), 24.0);
+}
+
+TEST(OperatingCost, NetLenderCanProfit) {
+  fed::ScMetrics m;
+  m.forward_rate = 0.0;
+  m.borrowed = 0.2;
+  m.lent = 2.0;
+  EXPECT_LT(mkt::operating_cost(m, 10.0, 4.0), 0.0);
+}
+
+TEST(Baseline, MatchesNoShareModel) {
+  const fed::ScConfig sc{.num_vms = 10, .lambda = 8.0, .mu = 1.0,
+                         .max_wait = 0.2};
+  const auto b = mkt::compute_baseline(sc, 5.0);
+  const auto ref = scshare::queueing::solve_no_share(
+      {.num_vms = 10, .lambda = 8.0, .mu = 1.0, .max_wait = 0.2});
+  EXPECT_NEAR(b.forward_rate, ref.forward_rate, 1e-10);
+  EXPECT_NEAR(b.cost, ref.forward_rate * 5.0, 1e-10);
+  EXPECT_NEAR(b.utilization, ref.utilization, 1e-10);
+}
+
+TEST(Baseline, CostScalesWithPublicPrice) {
+  const fed::ScConfig sc{.num_vms = 10, .lambda = 8.0, .mu = 1.0,
+                         .max_wait = 0.2};
+  const auto cheap = mkt::compute_baseline(sc, 1.0);
+  const auto expensive = mkt::compute_baseline(sc, 3.0);
+  EXPECT_NEAR(expensive.cost, 3.0 * cheap.cost, 1e-10);
+}
+
+TEST(PriceConfig, Validation) {
+  mkt::PriceConfig prices;
+  prices.public_price = {1.0, 1.0};
+  prices.federation_price = 0.5;
+  EXPECT_NO_THROW(prices.validate(2));
+  EXPECT_THROW(prices.validate(3), scshare::Error);
+
+  prices.federation_price = 1.5;  // exceeds public price
+  EXPECT_THROW(prices.validate(2), scshare::Error);
+
+  prices.federation_price = -0.1;
+  EXPECT_THROW(prices.validate(2), scshare::Error);
+
+  prices.public_price = {1.0, 0.0};
+  prices.federation_price = 0.0;
+  EXPECT_THROW(prices.validate(2), scshare::Error);
+}
+
+TEST(Baselines, OnePerSc) {
+  fed::FederationConfig cfg;
+  cfg.scs = {{.num_vms = 5, .lambda = 3.0, .mu = 1.0, .max_wait = 0.2},
+             {.num_vms = 10, .lambda = 9.0, .mu = 1.0, .max_wait = 0.2}};
+  cfg.shares = {1, 1};
+  mkt::PriceConfig prices;
+  prices.public_price = {2.0, 2.0};
+  prices.federation_price = 1.0;
+  const auto baselines = mkt::compute_baselines(cfg, prices);
+  ASSERT_EQ(baselines.size(), 2u);
+  // The more loaded SC has higher baseline cost.
+  EXPECT_GT(baselines[1].cost, baselines[0].cost);
+}

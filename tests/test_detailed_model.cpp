@@ -1,0 +1,126 @@
+#include "federation/detailed_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "queueing/no_share_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace fed = scshare::federation;
+
+namespace {
+
+fed::FederationConfig two_sc(double l1, double l2, int s1, int s2, int n = 5) {
+  fed::FederationConfig cfg;
+  cfg.scs = {{.num_vms = n, .lambda = l1, .mu = 1.0, .max_wait = 0.2},
+             {.num_vms = n, .lambda = l2, .mu = 1.0, .max_wait = 0.2}};
+  cfg.shares = {s1, s2};
+  return cfg;
+}
+
+}  // namespace
+
+TEST(DetailedModel, SingleScEqualsNoShareModel) {
+  fed::FederationConfig cfg;
+  cfg.scs = {{.num_vms = 10, .lambda = 8.0, .mu = 1.0, .max_wait = 0.2}};
+  cfg.shares = {0};
+  const auto m = fed::solve_detailed(cfg);
+  const auto ref = scshare::queueing::solve_no_share(
+      {.num_vms = 10, .lambda = 8.0, .mu = 1.0, .max_wait = 0.2});
+  EXPECT_NEAR(m[0].forward_prob, ref.forward_prob, 1e-8);
+  EXPECT_NEAR(m[0].utilization, ref.utilization, 1e-8);
+  EXPECT_DOUBLE_EQ(m[0].lent, 0.0);
+  EXPECT_DOUBLE_EQ(m[0].borrowed, 0.0);
+}
+
+TEST(DetailedModel, NoSharesDecouplesScs) {
+  const auto cfg = two_sc(4.0, 3.0, 0, 0);
+  const auto m = fed::solve_detailed(cfg);
+  const auto ref0 = scshare::queueing::solve_no_share(
+      {.num_vms = 5, .lambda = 4.0, .mu = 1.0, .max_wait = 0.2});
+  const auto ref1 = scshare::queueing::solve_no_share(
+      {.num_vms = 5, .lambda = 3.0, .mu = 1.0, .max_wait = 0.2});
+  EXPECT_NEAR(m[0].forward_prob, ref0.forward_prob, 1e-7);
+  EXPECT_NEAR(m[1].forward_prob, ref1.forward_prob, 1e-7);
+}
+
+TEST(DetailedModel, LendingConservation) {
+  const auto cfg = two_sc(4.0, 3.5, 2, 2);
+  const auto m = fed::solve_detailed(cfg);
+  EXPECT_NEAR(m[0].lent + m[1].lent, m[0].borrowed + m[1].borrowed, 1e-8);
+  EXPECT_GT(m[0].lent + m[1].lent, 0.0);
+}
+
+TEST(DetailedModel, SymmetricScsGetSymmetricMetrics) {
+  const auto cfg = two_sc(4.0, 4.0, 2, 2);
+  const auto m = fed::solve_detailed(cfg);
+  EXPECT_NEAR(m[0].lent, m[1].lent, 1e-8);
+  EXPECT_NEAR(m[0].borrowed, m[1].borrowed, 1e-8);
+  EXPECT_NEAR(m[0].forward_prob, m[1].forward_prob, 1e-8);
+  EXPECT_NEAR(m[0].utilization, m[1].utilization, 1e-8);
+}
+
+TEST(DetailedModel, SharingReducesForwarding) {
+  const auto base = fed::solve_detailed(two_sc(4.0, 4.0, 0, 0));
+  const auto shared = fed::solve_detailed(two_sc(4.0, 4.0, 3, 3));
+  EXPECT_LT(shared[0].forward_prob, base[0].forward_prob);
+  EXPECT_LT(shared[1].forward_prob, base[1].forward_prob);
+}
+
+TEST(DetailedModel, LoadedScIsNetBorrower) {
+  const auto m = fed::solve_detailed(two_sc(4.8, 2.0, 3, 3));
+  EXPECT_GT(m[0].borrowed, m[0].lent);
+  EXPECT_GT(m[1].lent, m[1].borrowed);
+}
+
+TEST(DetailedModel, AgreesWithSimulator) {
+  // Both implement the same policy, so they must agree within simulation
+  // noise. This cross-validates two independent implementations.
+  const auto cfg = two_sc(4.0, 3.0, 2, 2);
+  const auto exact = fed::solve_detailed(cfg);
+
+  scshare::sim::SimOptions so;
+  so.warmup_time = 2000.0;
+  so.measure_time = 60000.0;
+  so.seed = 9;
+  const auto simulated = scshare::sim::simulate_metrics(cfg, so);
+
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_NEAR(simulated[i].lent, exact[i].lent,
+                0.05 * std::max(exact[i].lent, 0.05))
+        << "sc=" << i;
+    EXPECT_NEAR(simulated[i].borrowed, exact[i].borrowed,
+                0.05 * std::max(exact[i].borrowed, 0.05))
+        << "sc=" << i;
+    EXPECT_NEAR(simulated[i].utilization, exact[i].utilization, 0.01)
+        << "sc=" << i;
+    EXPECT_NEAR(simulated[i].forward_prob, exact[i].forward_prob, 0.01)
+        << "sc=" << i;
+  }
+}
+
+TEST(DetailedModel, ThreeScFederationSolves) {
+  fed::FederationConfig cfg;
+  cfg.scs = {{.num_vms = 3, .lambda = 2.0, .mu = 1.0, .max_wait = 0.2},
+             {.num_vms = 3, .lambda = 2.5, .mu = 1.0, .max_wait = 0.2},
+             {.num_vms = 3, .lambda = 1.5, .mu = 1.0, .max_wait = 0.2}};
+  cfg.shares = {1, 1, 1};
+  fed::DetailedModel model(cfg);
+  const auto m = model.solve();
+  EXPECT_GT(model.num_states(), 100u);
+  EXPECT_NEAR(m[0].lent + m[1].lent + m[2].lent,
+              m[0].borrowed + m[1].borrowed + m[2].borrowed, 1e-7);
+  for (const auto& sc : m) {
+    EXPECT_GE(sc.forward_prob, 0.0);
+    EXPECT_LE(sc.forward_prob, 1.0);
+    EXPECT_LE(sc.utilization, 1.0 + 1e-9);
+  }
+}
+
+TEST(DetailedModel, StateSpaceGuardThrows) {
+  fed::DetailedModelOptions opts;
+  opts.max_states = 10;
+  EXPECT_THROW((void)fed::solve_detailed(two_sc(4.0, 4.0, 3, 3), opts),
+               scshare::Error);
+}

@@ -1,0 +1,47 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace s = scshare::sim;
+
+TEST(EventQueue, OrdersByTime) {
+  s::EventQueue q;
+  q.push({3.0, 0, s::EventKind::kArrival, 0, 0});
+  q.push({1.0, 0, s::EventKind::kArrival, 1, 0});
+  q.push({2.0, 0, s::EventKind::kArrival, 2, 0});
+  EXPECT_EQ(q.pop().sc, 1u);
+  EXPECT_EQ(q.pop().sc, 2u);
+  EXPECT_EQ(q.pop().sc, 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  s::EventQueue q;
+  for (std::size_t i = 0; i < 10; ++i) {
+    q.push({1.0, 0, s::EventKind::kArrival, i, 0});
+  }
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(q.pop().sc, i) << "tie order must be FIFO";
+  }
+}
+
+TEST(EventQueue, SequenceNumbersAreAssigned) {
+  s::EventQueue q;
+  q.push({1.0, 999, s::EventKind::kArrival, 0, 0});  // seq is overwritten
+  q.push({1.0, 0, s::EventKind::kArrival, 1, 0});
+  const auto first = q.pop();
+  const auto second = q.pop();
+  EXPECT_LT(first.seq, second.seq);
+}
+
+TEST(EventQueue, InterleavedPushPop) {
+  s::EventQueue q;
+  q.push({5.0, 0, s::EventKind::kDeparture, 0, 42});
+  q.push({1.0, 0, s::EventKind::kArrival, 1, 0});
+  EXPECT_EQ(q.pop().kind, s::EventKind::kArrival);
+  q.push({2.0, 0, s::EventKind::kDeadline, 2, 7});
+  EXPECT_EQ(q.pop().kind, s::EventKind::kDeadline);
+  const auto last = q.pop();
+  EXPECT_EQ(last.kind, s::EventKind::kDeparture);
+  EXPECT_EQ(last.job, 42u);
+}

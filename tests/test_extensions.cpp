@@ -1,0 +1,175 @@
+// Tests for the beyond-paper extensions: phase-type service times in the
+// simulator (paper Sect. VII) and the power-extended cost function
+// (paper Sect. II-B future work).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "federation/backend.hpp"
+#include "market/game.hpp"
+#include "sim/simulator.hpp"
+
+namespace fed = scshare::federation;
+namespace mkt = scshare::market;
+namespace sim = scshare::sim;
+
+// ---------------------------------------------------------------------------
+// Phase-type samplers.
+// ---------------------------------------------------------------------------
+TEST(PhaseType, ErlangMeanAndVariance) {
+  scshare::Rng rng(1);
+  const int k = 4;
+  const double rate = 4.0;  // mean = k / rate = 1
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.erlang(k, rate);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.01);
+  EXPECT_NEAR(var, 0.25, 0.01);  // scv = 1/k = 0.25
+}
+
+TEST(PhaseType, HyperexponentialMeanAndVariance) {
+  scshare::Rng rng(2);
+  const double rate = 1.0, scv = 4.0;
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.hyperexponential(rate, scv);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.02);
+  EXPECT_NEAR(var, scv, 0.15);
+}
+
+TEST(PhaseType, InvalidParamsThrow) {
+  scshare::Rng rng(3);
+  EXPECT_THROW((void)rng.erlang(0, 1.0), scshare::Error);
+  EXPECT_THROW((void)rng.hyperexponential(1.0, 1.0), scshare::Error);
+}
+
+// ---------------------------------------------------------------------------
+// Service-time distribution in the simulator.
+// ---------------------------------------------------------------------------
+namespace {
+
+fed::FederationConfig single_sc(double lambda) {
+  fed::FederationConfig cfg;
+  cfg.scs = {{.num_vms = 10, .lambda = lambda, .mu = 1.0, .max_wait = 0.2}};
+  cfg.shares = {0};
+  return cfg;
+}
+
+sim::ScSimStats run_with(sim::ServiceDistribution dist, double lambda) {
+  sim::SimOptions o;
+  o.warmup_time = 500.0;
+  o.measure_time = 20000.0;
+  o.seed = 21;
+  o.service = dist;
+  sim::Simulator s(single_sc(lambda), o);
+  return s.run()[0];
+}
+
+}  // namespace
+
+TEST(ServiceDistribution, UtilizationIndependentOfFamily) {
+  // With equal means, the offered load (and hence utilization) is the same
+  // for every service-time family (M/G/c insensitivity of the carried load).
+  const auto exp = run_with(sim::ServiceDistribution::kExponential, 6.0);
+  const auto erl = run_with(sim::ServiceDistribution::kErlang, 6.0);
+  const auto hyp = run_with(sim::ServiceDistribution::kHyperExponential, 6.0);
+  EXPECT_NEAR(erl.metrics.utilization, exp.metrics.utilization, 0.02);
+  EXPECT_NEAR(hyp.metrics.utilization, exp.metrics.utilization, 0.03);
+}
+
+TEST(ServiceDistribution, VariabilityOrdersWaitingTimes) {
+  // Low-variance services (Erlang) wait less than exponential, bursty
+  // services (H2) wait more — the qualitative effect the paper warns about
+  // when relaxing the exponential assumption.
+  const auto erl = run_with(sim::ServiceDistribution::kErlang, 9.0);
+  const auto exp = run_with(sim::ServiceDistribution::kExponential, 9.0);
+  const auto hyp = run_with(sim::ServiceDistribution::kHyperExponential, 9.0);
+  EXPECT_LT(erl.mean_wait, exp.mean_wait);
+  EXPECT_GT(hyp.mean_wait, exp.mean_wait);
+}
+
+TEST(ServiceDistribution, InvalidOptionsThrow) {
+  sim::SimOptions o;
+  o.service = sim::ServiceDistribution::kErlang;
+  o.erlang_shape = 0;
+  EXPECT_THROW(sim::Simulator(single_sc(5.0), o), scshare::Error);
+  o.service = sim::ServiceDistribution::kHyperExponential;
+  o.erlang_shape = 4;
+  o.hyper_scv = 0.5;
+  EXPECT_THROW(sim::Simulator(single_sc(5.0), o), scshare::Error);
+}
+
+// ---------------------------------------------------------------------------
+// Power-extended cost function.
+// ---------------------------------------------------------------------------
+TEST(PowerCost, ZeroPowerReproducesPaperCost) {
+  fed::ScMetrics m;
+  m.forward_rate = 1.0;
+  m.borrowed = 0.5;
+  m.lent = 0.2;
+  m.utilization = 0.8;
+  EXPECT_DOUBLE_EQ(mkt::operating_cost(m, 2.0, 1.0),
+                   mkt::operating_cost(m, 2.0, 1.0, 0.0, 10));
+}
+
+TEST(PowerCost, ChargesBusyVms) {
+  fed::ScMetrics m;
+  m.utilization = 0.8;
+  // 0.8 * 10 busy VMs at 0.1 each = 0.8.
+  EXPECT_DOUBLE_EQ(mkt::operating_cost(m, 2.0, 1.0, 0.1, 10), 0.8);
+}
+
+TEST(PowerCost, BaselineIncludesPower) {
+  const fed::ScConfig sc{.num_vms = 10, .lambda = 6.0, .mu = 1.0,
+                         .max_wait = 0.2};
+  const auto plain = mkt::compute_baseline(sc, 1.0);
+  const auto powered = mkt::compute_baseline(sc, 1.0, 1e-9, 0.1);
+  EXPECT_NEAR(powered.cost - plain.cost, 0.1 * plain.utilization * 10.0,
+              1e-10);
+}
+
+TEST(PowerCost, NegativePowerPriceRejected) {
+  mkt::PriceConfig prices;
+  prices.public_price = {1.0};
+  prices.federation_price = 0.5;
+  prices.power_price = -0.1;
+  EXPECT_THROW(prices.validate(1), scshare::Error);
+}
+
+TEST(PowerCost, ExpensivePowerDiscouragesLending) {
+  // When running a VM costs more than the federation price earns, lending
+  // destroys value and equilibrium shares shrink.
+  fed::FederationConfig cfg;
+  cfg.scs = {{.num_vms = 4, .lambda = 3.2, .mu = 1.0, .max_wait = 0.2},
+             {.num_vms = 4, .lambda = 2.0, .mu = 1.0, .max_wait = 0.2}};
+  cfg.shares = {0, 0};
+
+  const auto total_shares = [&](double power_price) {
+    fed::CachingBackend backend(std::make_unique<fed::DetailedBackend>());
+    mkt::PriceConfig prices;
+    prices.public_price = {1.0, 1.0};
+    prices.federation_price = 0.4;
+    prices.power_price = power_price;
+    mkt::GameOptions options;
+    options.method = mkt::BestResponseMethod::kExhaustive;
+    mkt::Game game(cfg, prices, {.gamma = 0.0}, backend, options);
+    const auto result = game.run();
+    int total = 0;
+    for (int s : result.shares) total += s;
+    return total;
+  };
+
+  EXPECT_LE(total_shares(0.8), total_shares(0.0));
+}

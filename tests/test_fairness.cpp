@@ -1,0 +1,111 @@
+#include "market/fairness.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace mkt = scshare::market;
+
+TEST(Welfare, UtilitarianIsWeightedSum) {
+  const std::vector<int> shares = {2, 3};
+  const std::vector<double> utilities = {1.5, 2.0};
+  EXPECT_DOUBLE_EQ(
+      mkt::welfare(mkt::Fairness::kUtilitarian, shares, utilities),
+      2 * 1.5 + 3 * 2.0);
+}
+
+TEST(Welfare, ProportionalIsWeightedLogSum) {
+  const std::vector<int> shares = {2, 3};
+  const std::vector<double> utilities = {1.5, 2.0};
+  EXPECT_NEAR(mkt::welfare(mkt::Fairness::kProportional, shares, utilities),
+              2 * std::log(1.5) + 3 * std::log(2.0), 1e-12);
+}
+
+TEST(Welfare, MaxMinIsMinimumOverParticipants) {
+  const std::vector<int> shares = {2, 3, 0};
+  const std::vector<double> utilities = {1.5, 2.0, 0.0};
+  // The non-participant (share 0) is excluded from the minimum.
+  EXPECT_DOUBLE_EQ(mkt::welfare(mkt::Fairness::kMaxMin, shares, utilities),
+                   1.5);
+}
+
+TEST(Welfare, NonParticipantsCarryNoWeight) {
+  const std::vector<int> shares = {0, 3};
+  const std::vector<double> utilities = {100.0, 2.0};
+  EXPECT_DOUBLE_EQ(
+      mkt::welfare(mkt::Fairness::kUtilitarian, shares, utilities), 6.0);
+}
+
+TEST(Welfare, EmptyFederationIsZero) {
+  const std::vector<int> shares = {0, 0};
+  const std::vector<double> utilities = {0.0, 0.0};
+  for (auto f : mkt::kAllFairness) {
+    EXPECT_DOUBLE_EQ(mkt::welfare(f, shares, utilities), 0.0);
+  }
+}
+
+TEST(Welfare, ProportionalWithZeroUtilityIsMinusInfinity) {
+  const std::vector<int> shares = {2, 3};
+  const std::vector<double> utilities = {0.0, 2.0};
+  const double w =
+      mkt::welfare(mkt::Fairness::kProportional, shares, utilities);
+  EXPECT_TRUE(std::isinf(w));
+  EXPECT_LT(w, 0.0);
+}
+
+TEST(Welfare, SizeMismatchThrows) {
+  const std::vector<int> shares = {1};
+  const std::vector<double> utilities = {1.0, 2.0};
+  EXPECT_THROW(
+      (void)mkt::welfare(mkt::Fairness::kUtilitarian, shares, utilities),
+      scshare::Error);
+}
+
+TEST(Efficiency, PlainRatioForUtilitarian) {
+  EXPECT_DOUBLE_EQ(
+      mkt::efficiency(mkt::Fairness::kUtilitarian, 3.0, 4.0), 0.75);
+  EXPECT_DOUBLE_EQ(mkt::efficiency(mkt::Fairness::kMaxMin, 1.0, 2.0), 0.5);
+}
+
+TEST(Efficiency, ZeroOptimumGivesZero) {
+  EXPECT_DOUBLE_EQ(mkt::efficiency(mkt::Fairness::kUtilitarian, 0.0, 0.0),
+                   0.0);
+}
+
+TEST(Efficiency, ProportionalComparesGeometricMeans) {
+  // Equal weights: exp(W_a - W_o).
+  EXPECT_NEAR(mkt::efficiency(mkt::Fairness::kProportional, 2.0, 4.0),
+              std::exp(-2.0), 1e-12);
+  // Matching geometric means (different weights): 1.
+  EXPECT_DOUBLE_EQ(
+      mkt::efficiency(mkt::Fairness::kProportional, 2.0, 4.0, 2.0, 4.0), 1.0);
+  // Negative welfare (utilities below 1) is handled smoothly.
+  EXPECT_NEAR(mkt::efficiency(mkt::Fairness::kProportional, -4.0, -2.0, 2.0,
+                              2.0),
+              std::exp(-1.0), 1e-12);
+  // Excluded participant (welfare -inf): 0.
+  EXPECT_DOUBLE_EQ(mkt::efficiency(mkt::Fairness::kProportional,
+                                   -std::numeric_limits<double>::infinity(),
+                                   1.0),
+                   0.0);
+  // Empty allocations: 0.
+  EXPECT_DOUBLE_EQ(
+      mkt::efficiency(mkt::Fairness::kProportional, 1.0, 1.0, 0.0, 3.0), 0.0);
+}
+
+TEST(Efficiency, ClampedToUnitInterval) {
+  EXPECT_DOUBLE_EQ(mkt::efficiency(mkt::Fairness::kUtilitarian, 5.0, 4.0),
+                   1.0);
+  EXPECT_DOUBLE_EQ(mkt::efficiency(mkt::Fairness::kProportional, 5.0, 4.0),
+                   1.0);
+}
+
+TEST(FairnessName, AllNamed) {
+  EXPECT_STREQ(mkt::fairness_name(mkt::Fairness::kUtilitarian), "utilitarian");
+  EXPECT_STREQ(mkt::fairness_name(mkt::Fairness::kProportional),
+               "proportional");
+  EXPECT_STREQ(mkt::fairness_name(mkt::Fairness::kMaxMin), "max-min");
+}

@@ -1,0 +1,83 @@
+#include "queueing/forwarding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace q = scshare::queueing;
+
+TEST(Forwarding, ImmediateServiceNeverForwards) {
+  for (int qn = 0; qn < 10; ++qn) {
+    EXPECT_DOUBLE_EQ(q::prob_no_forward(qn, 10, 1.0, 0.2), 1.0) << "q=" << qn;
+  }
+}
+
+TEST(Forwarding, MatchesPoissonTail) {
+  // q = N + 2, so 3 departures must occur within Q at rate N mu.
+  const int n = 10;
+  const double mu = 1.0, Q = 0.5;
+  const double expected = scshare::math::poisson_sf(3, n * mu * Q);
+  EXPECT_NEAR(q::prob_no_forward(n + 2, n, mu, Q), expected, 1e-12);
+}
+
+TEST(Forwarding, DecreasesWithQueueLength) {
+  double prev = 1.0;
+  for (int qn = 10; qn < 40; ++qn) {
+    const double p = q::prob_no_forward(qn, 10, 1.0, 0.2);
+    EXPECT_LE(p, prev) << "q=" << qn;
+    prev = p;
+  }
+  EXPECT_LT(prev, 1e-9);
+}
+
+TEST(Forwarding, IncreasesWithSlaBound) {
+  const double tight = q::prob_no_forward(15, 10, 1.0, 0.1);
+  const double loose = q::prob_no_forward(15, 10, 1.0, 1.0);
+  EXPECT_LT(tight, loose);
+}
+
+TEST(Forwarding, IncreasesWithServers) {
+  // Same backlog, more servers -> faster drain -> higher admission.
+  const double few = q::prob_no_forward(15, 10, 1.0, 0.2);
+  const double many = q::prob_no_forward(15, 14, 1.0, 0.2);
+  EXPECT_LT(few, many);
+}
+
+TEST(Forwarding, ZeroSlaMeansLossSystem) {
+  // Q = 0: any request that cannot start immediately is forwarded.
+  EXPECT_DOUBLE_EQ(q::prob_no_forward(10, 10, 1.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(q::prob_no_forward(9, 10, 1.0, 0.0), 1.0);
+}
+
+TEST(Forwarding, ZeroServersAlwaysForwards) {
+  EXPECT_DOUBLE_EQ(q::prob_no_forward(5, 0, 1.0, 0.2), 0.0);
+}
+
+TEST(Forwarding, InvalidArgumentsThrow) {
+  EXPECT_THROW((void)q::prob_no_forward(-1, 10, 1.0, 0.2), scshare::Error);
+  EXPECT_THROW((void)q::prob_no_forward(0, 10, 0.0, 0.2), scshare::Error);
+  EXPECT_THROW((void)q::prob_no_forward(0, 10, 1.0, -0.1), scshare::Error);
+}
+
+TEST(TruncationQueueLength, ThresholdIsTight) {
+  const int n = 10;
+  const double mu = 1.0, Q = 0.2, eps = 1e-9;
+  const int qt = q::truncation_queue_length(n, mu, Q, eps);
+  EXPECT_LT(q::prob_no_forward(qt, n, mu, Q), eps);
+  EXPECT_GE(q::prob_no_forward(qt - 1, n, mu, Q), eps);
+}
+
+TEST(TruncationQueueLength, GrowsWithSla) {
+  const int tight = q::truncation_queue_length(10, 1.0, 0.2);
+  const int loose = q::truncation_queue_length(10, 1.0, 2.0);
+  EXPECT_LT(tight, loose);
+}
+
+TEST(TruncationQueueLength, ZeroSlaGivesServers) {
+  EXPECT_EQ(q::truncation_queue_length(10, 1.0, 0.0), 10);
+}
+
+TEST(TruncationQueueLength, RespectsCap) {
+  EXPECT_EQ(q::truncation_queue_length(10, 1.0, 1e9, 1e-9, 50), 60);
+}

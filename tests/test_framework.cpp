@@ -1,0 +1,119 @@
+#include "core/framework.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace fed = scshare::federation;
+namespace mkt = scshare::market;
+
+namespace {
+
+fed::FederationConfig small_federation() {
+  fed::FederationConfig cfg;
+  cfg.scs = {{.num_vms = 4, .lambda = 3.2, .mu = 1.0, .max_wait = 0.2},
+             {.num_vms = 4, .lambda = 2.0, .mu = 1.0, .max_wait = 0.2}};
+  cfg.shares = {1, 1};
+  return cfg;
+}
+
+mkt::PriceConfig prices() {
+  mkt::PriceConfig p;
+  p.public_price = {1.0, 1.0};
+  p.federation_price = 0.5;
+  return p;
+}
+
+scshare::FrameworkOptions detailed_backend() {
+  scshare::FrameworkOptions o;
+  o.backend = scshare::BackendKind::kDetailed;
+  return o;
+}
+
+}  // namespace
+
+TEST(Framework, MetricsForConfiguredShares) {
+  scshare::Framework fw(small_federation(), prices(), {.gamma = 0.0},
+                        detailed_backend());
+  const auto m = fw.metrics();
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_GT(m[0].utilization, 0.0);
+}
+
+TEST(Framework, CostsAndUtilitiesConsistent) {
+  scshare::Framework fw(small_federation(), prices(), {.gamma = 0.0},
+                        detailed_backend());
+  const std::vector<int> shares = {2, 2};
+  const auto costs = fw.costs(shares);
+  const auto utilities = fw.utilities(shares);
+  ASSERT_EQ(costs.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const double reduction =
+        std::max(fw.baselines()[i].cost - costs[i], 0.0);
+    EXPECT_NEAR(utilities[i], reduction * reduction, 1e-9);
+  }
+}
+
+TEST(Framework, EquilibriumSearchWorks) {
+  scshare::Framework fw(small_federation(), prices(), {.gamma = 0.0},
+                        detailed_backend());
+  mkt::GameOptions options;
+  options.method = mkt::BestResponseMethod::kExhaustive;
+  const auto eq = fw.find_equilibrium(options);
+  EXPECT_TRUE(eq.converged);
+}
+
+TEST(Framework, WelfareMatchesManualComputation) {
+  scshare::Framework fw(small_federation(), prices(), {.gamma = 0.0},
+                        detailed_backend());
+  const std::vector<int> shares = {2, 1};
+  const auto utilities = fw.utilities(shares);
+  const double manual = 2 * utilities[0] + 1 * utilities[1];
+  EXPECT_NEAR(fw.welfare_of(mkt::Fairness::kUtilitarian, shares), manual,
+              1e-9);
+}
+
+TEST(Framework, SimulationBackendWorks) {
+  scshare::FrameworkOptions o;
+  o.backend = scshare::BackendKind::kSimulation;
+  o.sim.warmup_time = 200.0;
+  o.sim.measure_time = 2000.0;
+  scshare::Framework fw(small_federation(), prices(), {.gamma = 0.0}, o);
+  const auto m = fw.metrics();
+  EXPECT_GT(m[0].utilization, 0.0);
+}
+
+TEST(Framework, ApproxBackendWorks) {
+  scshare::FrameworkOptions o;
+  o.backend = scshare::BackendKind::kApprox;
+  scshare::Framework fw(small_federation(), prices(), {.gamma = 0.0}, o);
+  const auto m = fw.metrics();
+  EXPECT_GT(m[0].utilization, 0.0);
+}
+
+TEST(Framework, SweepDelegationWorks) {
+  scshare::Framework fw(small_federation(), prices(), {.gamma = 0.0},
+                        detailed_backend());
+  mkt::SweepOptions options;
+  options.ratios = {0.5};
+  options.game.method = mkt::BestResponseMethod::kExhaustive;
+  const auto points = fw.sweep_prices(options);
+  ASSERT_EQ(points.size(), 1u);
+}
+
+TEST(Framework, InvalidConfigThrows) {
+  auto cfg = small_federation();
+  cfg.shares = {10, 0};  // exceeds num_vms
+  EXPECT_THROW(
+      scshare::Framework(cfg, prices(), {.gamma = 0.0}, detailed_backend()),
+      scshare::Error);
+}
+
+TEST(Framework, MismatchedPricesThrow) {
+  mkt::PriceConfig bad;
+  bad.public_price = {1.0};
+  bad.federation_price = 0.5;
+  EXPECT_THROW(scshare::Framework(small_federation(), bad, {.gamma = 0.0},
+                                  detailed_backend()),
+               scshare::Error);
+}

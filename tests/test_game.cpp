@@ -1,0 +1,170 @@
+#include "market/game.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "federation/backend.hpp"
+
+namespace fed = scshare::federation;
+namespace mkt = scshare::market;
+
+namespace {
+
+/// Small, fast federation: exact detailed backend is feasible.
+fed::FederationConfig small_federation() {
+  fed::FederationConfig cfg;
+  cfg.scs = {{.num_vms = 4, .lambda = 3.2, .mu = 1.0, .max_wait = 0.2},
+             {.num_vms = 4, .lambda = 2.0, .mu = 1.0, .max_wait = 0.2}};
+  cfg.shares = {0, 0};
+  return cfg;
+}
+
+mkt::PriceConfig prices(double ratio) {
+  mkt::PriceConfig p;
+  p.public_price = {1.0, 1.0};
+  p.federation_price = ratio;
+  return p;
+}
+
+}  // namespace
+
+TEST(Game, ConvergesOnSmallFederation) {
+  fed::CachingBackend backend(std::make_unique<fed::DetailedBackend>());
+  mkt::GameOptions options;
+  options.method = mkt::BestResponseMethod::kExhaustive;
+  mkt::Game game(small_federation(), prices(0.5), {.gamma = 0.0}, backend,
+                 options);
+  const auto result = game.run();
+  EXPECT_TRUE(result.converged);
+  EXPECT_GT(result.rounds, 0);
+  ASSERT_EQ(result.shares.size(), 2u);
+  for (int s : result.shares) {
+    EXPECT_GE(s, 0);
+    EXPECT_LE(s, 4);
+  }
+}
+
+TEST(Game, EquilibriumIsMutualBestResponse) {
+  fed::CachingBackend backend(std::make_unique<fed::DetailedBackend>());
+  mkt::GameOptions options;
+  options.method = mkt::BestResponseMethod::kExhaustive;
+  mkt::Game game(small_federation(), prices(0.5), {.gamma = 0.0}, backend,
+                 options);
+  const auto result = game.run();
+  ASSERT_TRUE(result.converged);
+  // No SC can unilaterally improve: verify the Nash property directly.
+  for (std::size_t i = 0; i < 2; ++i) {
+    const double at_eq = game.utility_of(i, result.shares);
+    for (int s = 0; s <= 4; ++s) {
+      auto deviated = result.shares;
+      deviated[i] = s;
+      EXPECT_LE(game.utility_of(i, deviated), at_eq + 1e-12)
+          << "sc=" << i << " deviation=" << s;
+    }
+  }
+}
+
+TEST(Game, CheapFederationPriceEncouragesSharing) {
+  fed::CachingBackend backend(std::make_unique<fed::DetailedBackend>());
+  mkt::GameOptions options;
+  options.method = mkt::BestResponseMethod::kExhaustive;
+  mkt::Game game(small_federation(), prices(0.3), {.gamma = 0.0}, backend,
+                 options);
+  const auto result = game.run();
+  // With a cheap federation price, at least one SC shares.
+  int total = 0;
+  for (int s : result.shares) total += s;
+  EXPECT_GT(total, 0);
+}
+
+TEST(Game, TabuAndExhaustiveAgreeOnSmallGame) {
+  fed::CachingBackend backend(std::make_unique<fed::DetailedBackend>());
+  mkt::GameOptions exhaustive;
+  exhaustive.method = mkt::BestResponseMethod::kExhaustive;
+  mkt::Game g1(small_federation(), prices(0.5), {.gamma = 0.0}, backend,
+               exhaustive);
+  const auto r1 = g1.run();
+
+  mkt::GameOptions tabu;
+  tabu.method = mkt::BestResponseMethod::kTabu;
+  tabu.tabu.distance = 2;
+  tabu.tabu.max_iterations = 16;
+  mkt::Game g2(small_federation(), prices(0.5), {.gamma = 0.0}, backend, tabu);
+  const auto r2 = g2.run();
+
+  // On this small game both search methods find the same equilibrium.
+  EXPECT_EQ(r1.shares, r2.shares);
+}
+
+TEST(Game, UtilitiesAndCostsReported) {
+  fed::CachingBackend backend(std::make_unique<fed::DetailedBackend>());
+  mkt::GameOptions options;
+  options.method = mkt::BestResponseMethod::kExhaustive;
+  mkt::Game game(small_federation(), prices(0.4), {.gamma = 0.0}, backend,
+                 options);
+  const auto result = game.run();
+  ASSERT_EQ(result.utilities.size(), 2u);
+  ASSERT_EQ(result.costs.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_GE(result.utilities[i], 0.0);
+    // Participation must not be worse than the baseline: the utility
+    // definition guarantees cost <= baseline when utility > 0.
+    if (result.utilities[i] > 0.0) {
+      EXPECT_LT(result.costs[i], game.baselines()[i].cost);
+    }
+  }
+}
+
+TEST(Game, CachingBackendAvoidsRecomputation) {
+  auto inner = std::make_unique<fed::DetailedBackend>();
+  fed::CachingBackend backend(std::move(inner));
+  mkt::GameOptions options;
+  options.method = mkt::BestResponseMethod::kExhaustive;
+  mkt::Game game(small_federation(), prices(0.5), {.gamma = 0.0}, backend,
+                 options);
+  (void)game.run();
+  const auto first_count = backend.cache_size();
+  // Re-running the game hits only cached vectors.
+  mkt::Game game2(small_federation(), prices(0.5), {.gamma = 0.0}, backend,
+                  options);
+  (void)game2.run();
+  EXPECT_EQ(backend.cache_size(), first_count);
+}
+
+TEST(Game, RespectsInitialShares) {
+  fed::CachingBackend backend(std::make_unique<fed::DetailedBackend>());
+  mkt::GameOptions options;
+  options.method = mkt::BestResponseMethod::kExhaustive;
+  options.initial_shares = {4, 4};
+  mkt::Game game(small_federation(), prices(0.5), {.gamma = 0.0}, backend,
+                 options);
+  const auto result = game.run();
+  EXPECT_FALSE(result.trajectory.empty());
+}
+
+TEST(Game, InvalidInitialSharesThrow) {
+  fed::CachingBackend backend(std::make_unique<fed::DetailedBackend>());
+  mkt::GameOptions options;
+  options.initial_shares = {5, 0};  // exceeds num_vms = 4
+  EXPECT_THROW(mkt::Game(small_federation(), prices(0.5), {.gamma = 0.0},
+                         backend, options),
+               scshare::Error);
+}
+
+TEST(Game, Gamma1ProducesSmallerShares) {
+  // Paper Fig. 7b: under UF1 SCs share very little (marginal cost reduction
+  // per utilization increase shrinks with more sharing).
+  fed::CachingBackend backend(std::make_unique<fed::DetailedBackend>());
+  mkt::GameOptions options;
+  options.method = mkt::BestResponseMethod::kExhaustive;
+  mkt::Game g0(small_federation(), prices(0.5), {.gamma = 0.0}, backend,
+               options);
+  mkt::Game g1(small_federation(), prices(0.5), {.gamma = 1.0}, backend,
+               options);
+  const auto r0 = g0.run();
+  const auto r1 = g1.run();
+  int total0 = 0, total1 = 0;
+  for (int s : r0.shares) total0 += s;
+  for (int s : r1.shares) total1 += s;
+  EXPECT_LE(total1, total0);
+}

@@ -1,0 +1,72 @@
+// Update-rule comparison: sequential best responses must converge where
+// simultaneous ones may cycle, and both must agree on true equilibria.
+#include <gtest/gtest.h>
+
+#include "federation/backend.hpp"
+#include "market/game.hpp"
+
+namespace fed = scshare::federation;
+namespace mkt = scshare::market;
+
+namespace {
+
+fed::FederationConfig small_federation() {
+  fed::FederationConfig cfg;
+  cfg.scs = {{.num_vms = 4, .lambda = 3.2, .mu = 1.0, .max_wait = 0.2},
+             {.num_vms = 4, .lambda = 2.0, .mu = 1.0, .max_wait = 0.2}};
+  cfg.shares = {0, 0};
+  return cfg;
+}
+
+mkt::PriceConfig prices(double ratio) {
+  mkt::PriceConfig p;
+  p.public_price = {1.0, 1.0};
+  p.federation_price = ratio;
+  return p;
+}
+
+}  // namespace
+
+TEST(GameUpdates, SequentialConverges) {
+  fed::CachingBackend backend(std::make_unique<fed::DetailedBackend>());
+  mkt::GameOptions options;
+  options.method = mkt::BestResponseMethod::kExhaustive;
+  options.update_rule = mkt::UpdateRule::kSequential;
+  mkt::Game game(small_federation(), prices(0.5), {.gamma = 0.0}, backend,
+                 options);
+  const auto result = game.run();
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(GameUpdates, SequentialFixedPointIsNashForSimultaneous) {
+  // A sequential fixed point is a mutual best response, hence also a fixed
+  // point of the simultaneous dynamics started there.
+  fed::CachingBackend backend(std::make_unique<fed::DetailedBackend>());
+  mkt::GameOptions seq;
+  seq.method = mkt::BestResponseMethod::kExhaustive;
+  seq.update_rule = mkt::UpdateRule::kSequential;
+  mkt::Game g1(small_federation(), prices(0.5), {.gamma = 0.0}, backend, seq);
+  const auto eq = g1.run();
+  ASSERT_TRUE(eq.converged);
+
+  mkt::GameOptions sim;
+  sim.method = mkt::BestResponseMethod::kExhaustive;
+  sim.update_rule = mkt::UpdateRule::kSimultaneous;
+  sim.initial_shares = eq.shares;
+  mkt::Game g2(small_federation(), prices(0.5), {.gamma = 0.0}, backend, sim);
+  const auto confirm = g2.run();
+  EXPECT_TRUE(confirm.converged);
+  EXPECT_EQ(confirm.shares, eq.shares);
+  EXPECT_EQ(confirm.rounds, 1);
+}
+
+TEST(GameUpdates, SequentialRespectsRoundBudget) {
+  fed::CachingBackend backend(std::make_unique<fed::DetailedBackend>());
+  mkt::GameOptions options;
+  options.method = mkt::BestResponseMethod::kExhaustive;
+  options.max_rounds = 1;
+  mkt::Game game(small_federation(), prices(0.5), {.gamma = 0.0}, backend,
+                 options);
+  const auto result = game.run();
+  EXPECT_EQ(result.rounds, 1);
+}

@@ -1,0 +1,78 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace sim = scshare::sim;
+
+TEST(Histogram, QuantilesOfUniformStream) {
+  sim::Histogram h(1.0, 1000);
+  for (int i = 0; i < 100000; ++i) {
+    h.add(static_cast<double>(i % 1000) / 1000.0);
+  }
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.01);
+  EXPECT_NEAR(h.quantile(0.95), 0.95, 0.01);
+  EXPECT_NEAR(h.quantile(0.0), 0.0, 0.01);
+}
+
+TEST(Histogram, QuantilesOfExponentialSample) {
+  scshare::Rng rng(5);
+  sim::Histogram h(20.0, 2000);
+  for (int i = 0; i < 200000; ++i) h.add(rng.exponential(1.0));
+  // Median of Exp(1) = ln 2; P95 = ln 20.
+  EXPECT_NEAR(h.quantile(0.5), std::log(2.0), 0.02);
+  EXPECT_NEAR(h.quantile(0.95), std::log(20.0), 0.05);
+}
+
+TEST(Histogram, FractionAbove) {
+  sim::Histogram h(10.0, 1000);
+  for (int i = 1; i <= 100; ++i) h.add(static_cast<double>(i) / 10.0);
+  EXPECT_NEAR(h.fraction_above(5.0), 0.5, 0.02);
+  EXPECT_NEAR(h.fraction_above(9.9), 0.01, 0.011);
+  EXPECT_DOUBLE_EQ(h.fraction_above(10.0), 0.0);
+}
+
+TEST(Histogram, ValuesBeyondRangeClampToLastBin) {
+  sim::Histogram h(1.0, 10);
+  h.add(100.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GT(h.quantile(0.5), 0.9);
+}
+
+TEST(Histogram, EmptyIsZero) {
+  const sim::Histogram h(1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.fraction_above(0.5), 0.0);
+}
+
+TEST(Histogram, InvalidArgumentsThrow) {
+  EXPECT_THROW(sim::Histogram(0.0), scshare::Error);
+  sim::Histogram h(1.0);
+  EXPECT_THROW(h.add(-1.0), scshare::Error);
+  EXPECT_THROW((void)h.quantile(1.5), scshare::Error);
+}
+
+TEST(WaitPercentiles, ReportedBySimulator) {
+  scshare::federation::FederationConfig cfg;
+  cfg.scs = {{.num_vms = 10, .lambda = 9.0, .mu = 1.0, .max_wait = 0.2}};
+  cfg.shares = {0};
+  sim::SimOptions o;
+  o.warmup_time = 500.0;
+  o.measure_time = 20000.0;
+  o.seed = 61;
+  sim::Simulator s(cfg, o);
+  const auto stats = s.run()[0];
+  // Percentiles must be ordered and consistent with the SLA violation rate:
+  // if P[w > Q] < 5%, then P95 <= Q (up to bin resolution).
+  EXPECT_LE(stats.wait_p50, stats.wait_p95);
+  EXPECT_LE(stats.wait_p95, stats.wait_p99);
+  if (stats.sla_violation_prob < 0.05) {
+    EXPECT_LE(stats.wait_p95, 0.2 + 0.01);
+  }
+  // Median wait is 0 at this load (most requests start immediately).
+  EXPECT_LT(stats.wait_p50, 0.05);
+}

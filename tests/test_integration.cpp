@@ -1,0 +1,125 @@
+// Cross-module integration tests: the three performance backends must agree
+// qualitatively, and the full pipeline (performance model -> cost -> utility
+// -> game -> welfare) must reproduce the paper's headline behaviours on a
+// small federation.
+#include <gtest/gtest.h>
+
+#include "core/framework.hpp"
+#include "federation/approx_model.hpp"
+#include "federation/detailed_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace fed = scshare::federation;
+namespace mkt = scshare::market;
+
+namespace {
+
+fed::FederationConfig federation(double l1, double l2, int s1, int s2) {
+  fed::FederationConfig cfg;
+  cfg.scs = {{.num_vms = 5, .lambda = l1, .mu = 1.0, .max_wait = 0.2},
+             {.num_vms = 5, .lambda = l2, .mu = 1.0, .max_wait = 0.2}};
+  cfg.shares = {s1, s2};
+  return cfg;
+}
+
+}  // namespace
+
+TEST(Integration, ThreeBackendsAgreeOnForwardProbability) {
+  const auto cfg = federation(3.5, 2.5, 2, 2);
+
+  const auto detailed = fed::solve_detailed(cfg);
+  const auto approx = fed::solve_approx(cfg);
+  scshare::sim::SimOptions so;
+  so.warmup_time = 1000.0;
+  so.measure_time = 30000.0;
+  so.seed = 123;
+  const auto simulated = scshare::sim::simulate_metrics(cfg, so);
+
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_NEAR(simulated[i].forward_prob, detailed[i].forward_prob, 0.01)
+        << "sim vs detailed, sc=" << i;
+    EXPECT_NEAR(approx[i].forward_prob, detailed[i].forward_prob, 0.02)
+        << "approx vs detailed, sc=" << i;
+    EXPECT_NEAR(approx[i].utilization, detailed[i].utilization, 0.05)
+        << "approx vs detailed, sc=" << i;
+  }
+}
+
+TEST(Integration, FederationBeatsIsolationOnCost) {
+  // The paper's core premise: sharing lowers every SC's operating cost when
+  // the federation price is below the public price.
+  const auto cfg = federation(4.0, 2.0, 3, 3);
+  mkt::PriceConfig prices;
+  prices.public_price = {1.0, 1.0};
+  prices.federation_price = 0.4;
+
+  scshare::FrameworkOptions opts;
+  opts.backend = scshare::BackendKind::kDetailed;
+  scshare::Framework fw(cfg, prices, {.gamma = 0.0}, opts);
+
+  const auto costs = fw.costs({3, 3});
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_LT(costs[i], fw.baselines()[i].cost) << "sc=" << i;
+  }
+}
+
+TEST(Integration, EquilibriumWelfareTracksPriceRegions) {
+  // Utilitarian welfare at equilibrium should be (weakly) larger at a higher
+  // C^G/C^P than at a tiny one: lenders earn more per shared VM, which is
+  // the driver behind the paper's Fig. 7a shape.
+  const auto cfg = federation(4.2, 2.2, 0, 0);
+
+  fed::CachingBackend backend(std::make_unique<fed::DetailedBackend>());
+  mkt::SweepOptions options;
+  options.ratios = {0.1, 0.7};
+  options.game.method = mkt::BestResponseMethod::kExhaustive;
+  const auto points = mkt::run_price_sweep(cfg, backend, options);
+
+  const double w_low =
+      points[0].outcomes[0].welfare_ne;  // utilitarian at ratio 0.1
+  const double w_high = points[1].outcomes[0].welfare_ne;
+  EXPECT_GE(w_high, w_low * 0.9);  // allow small non-monotonicity
+}
+
+TEST(Integration, GameOnSimulationBackendIsStable) {
+  // The game must converge even with a noisy (simulated) cost oracle,
+  // because the caching backend freezes each vector's estimate.
+  const auto cfg = federation(4.0, 2.5, 0, 0);
+  scshare::sim::SimOptions so;
+  so.warmup_time = 300.0;
+  so.measure_time = 4000.0;
+  so.seed = 77;
+  fed::CachingBackend backend(
+      std::make_unique<fed::SimulationBackend>(so));
+  mkt::PriceConfig prices;
+  prices.public_price = {1.0, 1.0};
+  prices.federation_price = 0.5;
+  mkt::GameOptions options;
+  options.method = mkt::BestResponseMethod::kExhaustive;
+  mkt::Game game(cfg, prices, {.gamma = 0.0}, backend, options);
+  const auto result = game.run();
+  EXPECT_TRUE(result.converged || result.rounds >= 2);
+}
+
+TEST(Integration, OutageMotivatesFederation) {
+  // The paper's AWS-outage motivation: with a federation, an SC hit by an
+  // outage keeps serving most requests through borrowed VMs.
+  auto cfg = federation(2.0, 2.0, 0, 4);
+  scshare::sim::SimOptions so;
+  so.warmup_time = 500.0;
+  so.measure_time = 10000.0;
+  so.seed = 5;
+
+  scshare::sim::Simulator with_fed(cfg, so);
+  with_fed.add_outage(0, 2000.0, 8000.0);
+  const auto fed_stats = with_fed.run();
+
+  auto isolated = cfg;
+  isolated.shares = {0, 0};
+  scshare::sim::Simulator alone(isolated, so);
+  alone.add_outage(0, 2000.0, 8000.0);
+  const auto alone_stats = alone.run();
+
+  EXPECT_LT(fed_stats[0].metrics.forward_prob,
+            alone_stats[0].metrics.forward_prob);
+}

@@ -1,0 +1,116 @@
+#include "io/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+using scshare::io::Json;
+using scshare::io::JsonArray;
+using scshare::io::JsonObject;
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(Json::parse("42").as_double(), 42.0);
+  EXPECT_DOUBLE_EQ(Json::parse("-3.25e2").as_double(), -325.0);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, IntegerAccessor) {
+  EXPECT_EQ(Json::parse("7").as_int(), 7);
+  EXPECT_THROW((void)Json::parse("7.5").as_int(), scshare::Error);
+}
+
+TEST(JsonParse, NestedStructures) {
+  const auto j = Json::parse(R"({"a": [1, 2, {"b": true}], "c": "x"})");
+  EXPECT_EQ(j.size(), 2u);
+  EXPECT_EQ(j.at("a").size(), 3u);
+  EXPECT_DOUBLE_EQ(j.at("a").at(0).as_double(), 1.0);
+  EXPECT_TRUE(j.at("a").at(2).at("b").as_bool());
+  EXPECT_EQ(j.at("c").as_string(), "x");
+}
+
+TEST(JsonParse, WhitespaceTolerant) {
+  const auto j = Json::parse("  {\n\t\"k\" :\r [ ] }  ");
+  EXPECT_TRUE(j.at("k").is_array());
+  EXPECT_EQ(j.at("k").size(), 0u);
+}
+
+TEST(JsonParse, StringEscapes) {
+  const auto j = Json::parse(R"("a\"b\\c\nd\teA")");
+  EXPECT_EQ(j.as_string(), "a\"b\\c\nd\teA");
+}
+
+TEST(JsonParse, UnicodeEscapes) {
+  EXPECT_EQ(Json::parse(R"("é")").as_string(), "\xc3\xa9");   // é
+  EXPECT_EQ(Json::parse(R"("€")").as_string(), "\xe2\x82\xac");  // €
+}
+
+TEST(JsonParse, Errors) {
+  EXPECT_THROW((void)Json::parse(""), scshare::Error);
+  EXPECT_THROW((void)Json::parse("{"), scshare::Error);
+  EXPECT_THROW((void)Json::parse("[1,]"), scshare::Error);
+  EXPECT_THROW((void)Json::parse("{\"a\" 1}"), scshare::Error);
+  EXPECT_THROW((void)Json::parse("tru"), scshare::Error);
+  EXPECT_THROW((void)Json::parse("\"unterminated"), scshare::Error);
+  EXPECT_THROW((void)Json::parse("1 2"), scshare::Error);
+  EXPECT_THROW((void)Json::parse("01a"), scshare::Error);
+}
+
+TEST(JsonAccessors, TypeMismatchThrows) {
+  const auto j = Json::parse("[1]");
+  EXPECT_THROW((void)j.as_object(), scshare::Error);
+  EXPECT_THROW((void)j.at("k"), scshare::Error);
+  EXPECT_THROW((void)j.at(5), scshare::Error);
+  EXPECT_THROW((void)j.as_string(), scshare::Error);
+}
+
+TEST(JsonAccessors, GetOrDefaults) {
+  const auto j = Json::parse(R"({"x": 2, "s": "v", "b": true})");
+  EXPECT_DOUBLE_EQ(j.get_or("x", 9.0), 2.0);
+  EXPECT_DOUBLE_EQ(j.get_or("missing", 9.0), 9.0);
+  EXPECT_EQ(j.get_or("x", 9), 2);
+  EXPECT_EQ(j.get_or("s", std::string("d")), "v");
+  EXPECT_EQ(j.get_or("missing", std::string("d")), "d");
+  EXPECT_TRUE(j.get_or("b", false));
+  EXPECT_TRUE(j.get_or("missing", true));
+}
+
+TEST(JsonDump, CompactRoundTrip) {
+  const std::string source =
+      R"({"a":[1,2.5,true,null],"b":{"c":"x\ny"},"d":-7})";
+  const auto j = Json::parse(source);
+  const auto round = Json::parse(j.dump());
+  EXPECT_EQ(round.at("a").at(1).as_double(), 2.5);
+  EXPECT_TRUE(round.at("a").at(3).is_null());
+  EXPECT_EQ(round.at("b").at("c").as_string(), "x\ny");
+  EXPECT_EQ(round.at("d").as_int(), -7);
+}
+
+TEST(JsonDump, IntegersStayIntegral) {
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-3).dump(), "-3");
+}
+
+TEST(JsonDump, DoublesPreserved) {
+  const double value = 0.12345678901234567;
+  const auto round = Json::parse(Json(value).dump());
+  EXPECT_DOUBLE_EQ(round.as_double(), value);
+}
+
+TEST(JsonDump, PrettyPrintIsParseable) {
+  JsonObject o;
+  o["list"] = Json(JsonArray{Json(1), Json(2)});
+  o["name"] = Json("scshare");
+  const auto pretty = Json(std::move(o)).dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  const auto round = Json::parse(pretty);
+  EXPECT_EQ(round.at("name").as_string(), "scshare");
+}
+
+TEST(JsonDump, ControlCharactersEscaped) {
+  const auto s = Json(std::string("a\x01z")).dump();
+  EXPECT_EQ(s, "\"a\\u0001z\"");
+  EXPECT_EQ(Json::parse(s).as_string(), std::string("a\x01z"));
+}

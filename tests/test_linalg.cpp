@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "linalg/csr_matrix.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace la = scshare::linalg;
+
+namespace {
+
+la::CsrMatrix make_example() {
+  // [ 1 0 2 ]
+  // [ 0 3 0 ]
+  la::TripletList t(2, 3);
+  t.add(0, 0, 1.0);
+  t.add(0, 2, 2.0);
+  t.add(1, 1, 3.0);
+  return la::CsrMatrix::from_triplets(t);
+}
+
+}  // namespace
+
+TEST(CsrMatrix, BuildsFromTriplets) {
+  const auto m = make_example();
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.nnz(), 3u);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 3.0);
+}
+
+TEST(CsrMatrix, DuplicateEntriesAreSummed) {
+  la::TripletList t(1, 1);
+  t.add(0, 0, 1.5);
+  t.add(0, 0, 2.5);
+  const auto m = la::CsrMatrix::from_triplets(t);
+  EXPECT_EQ(m.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 4.0);
+}
+
+TEST(CsrMatrix, CancellingDuplicatesAreDropped) {
+  la::TripletList t(1, 2);
+  t.add(0, 0, 1.0);
+  t.add(0, 0, -1.0);
+  t.add(0, 1, 2.0);
+  const auto m = la::CsrMatrix::from_triplets(t);
+  EXPECT_EQ(m.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
+}
+
+TEST(CsrMatrix, ZeroEntriesIgnoredByBuilder) {
+  la::TripletList t(2, 2);
+  t.add(0, 0, 0.0);
+  EXPECT_EQ(t.nnz(), 0u);
+}
+
+TEST(CsrMatrix, Multiply) {
+  const auto m = make_example();
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  std::vector<double> y(2);
+  m.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);  // 1*1 + 2*3
+  EXPECT_DOUBLE_EQ(y[1], 6.0);  // 3*2
+}
+
+TEST(CsrMatrix, MultiplyTransposed) {
+  const auto m = make_example();
+  const std::vector<double> x = {1.0, 2.0};
+  std::vector<double> y(3);
+  m.multiply_transposed(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[1], 6.0);
+  EXPECT_DOUBLE_EQ(y[2], 2.0);
+}
+
+TEST(CsrMatrix, MultiplySizeMismatchThrows) {
+  const auto m = make_example();
+  std::vector<double> bad(2), y(2);
+  EXPECT_THROW(m.multiply(bad, y), scshare::Error);
+}
+
+TEST(CsrMatrix, RowSum) {
+  const auto m = make_example();
+  EXPECT_DOUBLE_EQ(m.row_sum(0), 3.0);
+  EXPECT_DOUBLE_EQ(m.row_sum(1), 3.0);
+}
+
+TEST(CsrMatrix, EmptyMatrixIsUsable) {
+  la::TripletList t(3, 3);
+  const auto m = la::CsrMatrix::from_triplets(t);
+  EXPECT_EQ(m.nnz(), 0u);
+  std::vector<double> x(3, 1.0), y(3, 9.0);
+  m.multiply(x, y);
+  for (double v : y) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(VectorOps, SumAndNorms) {
+  const std::vector<double> v = {1.0, -2.0, 3.0};
+  EXPECT_DOUBLE_EQ(la::sum(v), 2.0);
+  EXPECT_DOUBLE_EQ(la::l1_norm(v), 6.0);
+}
+
+TEST(VectorOps, MaxAbsDiff) {
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> b = {1.5, 1.0};
+  EXPECT_DOUBLE_EQ(la::max_abs_diff(a, b), 1.0);
+}
+
+TEST(VectorOps, NormalizeProbability) {
+  std::vector<double> v = {1.0, 3.0};
+  la::normalize_probability(v);
+  EXPECT_DOUBLE_EQ(v[0], 0.25);
+  EXPECT_DOUBLE_EQ(v[1], 0.75);
+}
+
+TEST(VectorOps, NormalizeZeroMassThrows) {
+  std::vector<double> v = {0.0, 0.0};
+  EXPECT_THROW(la::normalize_probability(v), scshare::Error);
+}
+
+TEST(VectorOps, Axpy) {
+  const std::vector<double> x = {1.0, 2.0};
+  std::vector<double> y = {10.0, 20.0};
+  la::axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+}
+
+TEST(VectorOps, ClampNonnegative) {
+  std::vector<double> v = {1.0, -1e-14, 0.5};
+  la::clamp_nonnegative(v);
+  EXPECT_DOUBLE_EQ(v[1], 0.0);
+  std::vector<double> bad = {-1.0};
+  EXPECT_THROW(la::clamp_nonnegative(bad), scshare::Error);
+}

@@ -1,0 +1,145 @@
+#include "markov/lumping.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "markov/steady_state.hpp"
+#include "markov/transient.hpp"
+#include "queueing/mmc.hpp"
+
+namespace mk = scshare::markov;
+
+namespace {
+
+/// Symmetric 4-state chain: states 1 and 2 are interchangeable.
+/// 0 -> 1 (a/2), 0 -> 2 (a/2); 1 -> 3 (b), 2 -> 3 (b); 3 -> 0 (c).
+mk::Ctmc diamond(double a, double b, double c) {
+  mk::Ctmc chain(4);
+  chain.add_rate(0, 1, a / 2.0);
+  chain.add_rate(0, 2, a / 2.0);
+  chain.add_rate(1, 3, b);
+  chain.add_rate(2, 3, b);
+  chain.add_rate(3, 0, c);
+  chain.finalize();
+  return chain;
+}
+
+/// Chain over the busy-set of `servers` identical servers: arrivals pick a
+/// uniformly random idle server, services complete independently. Lumpable
+/// by popcount onto the M/M/c loss birth-death chain.
+mk::Ctmc server_subsets(int servers, double lambda, double mu) {
+  const std::size_t n = 1u << servers;
+  mk::Ctmc chain(n);
+  for (std::size_t mask = 0; mask < n; ++mask) {
+    const int busy = __builtin_popcount(static_cast<unsigned>(mask));
+    const int idle = servers - busy;
+    for (int s = 0; s < servers; ++s) {
+      const std::size_t bit = 1u << s;
+      if ((mask & bit) == 0) {
+        chain.add_rate(mask, mask | bit, lambda / idle);
+      } else {
+        chain.add_rate(mask, mask & ~bit, mu);
+      }
+    }
+  }
+  chain.finalize();
+  return chain;
+}
+
+}  // namespace
+
+TEST(Lumping, DiamondLumpsSymmetricStates) {
+  const auto chain = diamond(2.0, 3.0, 1.0);
+  const auto result = mk::lump(chain);
+  EXPECT_EQ(result.num_blocks, 3u);
+  EXPECT_EQ(result.block_of[1], result.block_of[2]);
+  EXPECT_NE(result.block_of[0], result.block_of[1]);
+  EXPECT_NE(result.block_of[3], result.block_of[1]);
+}
+
+TEST(Lumping, DiamondLumpedSteadyStateMatchesAggregation) {
+  const auto chain = diamond(2.0, 3.0, 1.0);
+  const auto result = mk::lump(chain);
+  const auto full = mk::solve_steady_state(chain);
+  const auto lumped = mk::solve_steady_state(result.lumped);
+  const auto aggregated = mk::aggregate_distribution(result, full.pi);
+  ASSERT_EQ(aggregated.size(), lumped.pi.size());
+  for (std::size_t b = 0; b < aggregated.size(); ++b) {
+    EXPECT_NEAR(aggregated[b], lumped.pi[b], 1e-9) << "block " << b;
+  }
+}
+
+TEST(Lumping, ServerSubsetsLumpToBirthDeath) {
+  const int servers = 4;
+  const auto chain = server_subsets(servers, 3.0, 1.0);
+  const auto result = mk::lump(chain);
+  // 2^4 = 16 states collapse to 5 busy-count levels.
+  EXPECT_EQ(result.num_blocks, 5u);
+  // Lumped chain equals M/M/4/4: blocking probability = Erlang-B.
+  const auto lumped = mk::solve_steady_state(result.lumped);
+  // Identify the all-busy block (the block of state 0b1111).
+  const std::size_t full_block = result.block_of[15];
+  const scshare::queueing::MmcParams mmc{.lambda = 3.0, .mu = 1.0,
+                                         .servers = servers};
+  EXPECT_NEAR(lumped.pi[full_block], scshare::queueing::erlang_b(mmc), 1e-9);
+}
+
+TEST(Lumping, AsymmetricChainDoesNotLump) {
+  mk::Ctmc chain(3);
+  chain.add_rate(0, 1, 1.0);
+  chain.add_rate(0, 2, 2.0);  // asymmetric: 1 and 2 differ as targets? They
+  chain.add_rate(1, 0, 3.0);  // differ through their exit rates.
+  chain.add_rate(2, 0, 4.0);
+  chain.finalize();
+  const auto result = mk::lump(chain);
+  EXPECT_EQ(result.num_blocks, 3u);
+}
+
+TEST(Lumping, InitialPartitionIsRespected) {
+  // Even though 1 and 2 are symmetric, forcing different labels keeps them
+  // apart (e.g., because they carry different rewards).
+  const auto chain = diamond(2.0, 3.0, 1.0);
+  const auto result = mk::lump(chain, {0, 1, 2, 0});
+  EXPECT_NE(result.block_of[1], result.block_of[2]);
+  EXPECT_EQ(result.num_blocks, 4u);  // 0 and 3 split by their dynamics
+}
+
+TEST(Lumping, PartitionSizeMismatchThrows) {
+  const auto chain = diamond(1.0, 1.0, 1.0);
+  EXPECT_THROW((void)mk::lump(chain, {0, 0}), scshare::Error);
+}
+
+TEST(Lumping, AggregateDistributionSumsPreserved) {
+  const auto chain = server_subsets(3, 2.0, 1.0);
+  const auto result = mk::lump(chain);
+  const auto full = mk::solve_steady_state(chain);
+  const auto aggregated = mk::aggregate_distribution(result, full.pi);
+  double total = 0.0;
+  for (double p : aggregated) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Lumping, LumpedTransientMatchesAggregatedTransient) {
+  const auto chain = server_subsets(3, 2.5, 1.0);
+  const auto result = mk::lump(chain);
+
+  const mk::TransientSolver full_solver(chain);
+  const mk::TransientSolver lumped_solver(result.lumped);
+
+  std::vector<double> p0_full(chain.num_states(), 0.0);
+  p0_full[0] = 1.0;  // empty system
+  std::vector<double> p0_lumped(result.num_blocks, 0.0);
+  p0_lumped[result.block_of[0]] = 1.0;
+
+  for (double t : {0.1, 0.5, 2.0}) {
+    const auto pt_full = full_solver.evolve(p0_full, t);
+    const auto pt_lumped = lumped_solver.evolve(p0_lumped, t);
+    const auto aggregated = mk::aggregate_distribution(result, pt_full);
+    for (std::size_t b = 0; b < aggregated.size(); ++b) {
+      EXPECT_NEAR(aggregated[b], pt_lumped[b], 1e-8)
+          << "t=" << t << " block=" << b;
+    }
+  }
+}

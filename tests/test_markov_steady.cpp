@@ -1,0 +1,124 @@
+#include "markov/steady_state.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "markov/ctmc.hpp"
+
+namespace mk = scshare::markov;
+
+namespace {
+
+/// Two-state chain with rates a (0->1) and b (1->0): pi = (b, a) / (a+b).
+mk::Ctmc two_state(double a, double b) {
+  mk::Ctmc chain(2);
+  chain.add_rate(0, 1, a);
+  chain.add_rate(1, 0, b);
+  chain.finalize();
+  return chain;
+}
+
+/// Birth-death chain: birth rate lambda in state q < n, death rate q * mu
+/// (M/M/inf truncated): pi_q proportional to (lambda/mu)^q / q!.
+mk::Ctmc mm_inf(double lambda, double mu, int n) {
+  mk::Ctmc chain(static_cast<std::size_t>(n) + 1);
+  for (int q = 0; q < n; ++q) {
+    chain.add_rate(static_cast<std::size_t>(q), static_cast<std::size_t>(q) + 1,
+                   lambda);
+    chain.add_rate(static_cast<std::size_t>(q) + 1, static_cast<std::size_t>(q),
+                   static_cast<double>(q + 1) * mu);
+  }
+  chain.finalize();
+  return chain;
+}
+
+}  // namespace
+
+TEST(Ctmc, GeneratorRowsSumToZero) {
+  const auto chain = two_state(2.0, 3.0);
+  EXPECT_NEAR(chain.generator().row_sum(0), 0.0, 1e-15);
+  EXPECT_NEAR(chain.generator().row_sum(1), 0.0, 1e-15);
+}
+
+TEST(Ctmc, ExitRates) {
+  const auto chain = two_state(2.0, 3.0);
+  EXPECT_DOUBLE_EQ(chain.exit_rates()[0], 2.0);
+  EXPECT_DOUBLE_EQ(chain.exit_rates()[1], 3.0);
+}
+
+TEST(Ctmc, UniformizedDtmcIsStochastic) {
+  const auto chain = two_state(2.0, 3.0);
+  const auto p = chain.uniformized_dtmc(chain.uniformization_rate());
+  EXPECT_NEAR(p.row_sum(0), 1.0, 1e-14);
+  EXPECT_NEAR(p.row_sum(1), 1.0, 1e-14);
+}
+
+TEST(Ctmc, AddRateAfterFinalizeThrows) {
+  auto chain = two_state(1.0, 1.0);
+  EXPECT_THROW(chain.add_rate(0, 1, 1.0), scshare::Error);
+}
+
+TEST(Ctmc, NegativeRateThrows) {
+  mk::Ctmc chain(2);
+  EXPECT_THROW(chain.add_rate(0, 1, -1.0), scshare::Error);
+}
+
+TEST(SteadyState, TwoStateClosedForm) {
+  const auto chain = two_state(2.0, 3.0);
+  const auto result = mk::solve_steady_state(chain);
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.pi[0], 0.6, 1e-10);
+  EXPECT_NEAR(result.pi[1], 0.4, 1e-10);
+}
+
+TEST(SteadyState, DistributionSumsToOne) {
+  const auto chain = mm_inf(3.0, 1.0, 20);
+  const auto result = mk::solve_steady_state(chain);
+  ASSERT_TRUE(result.converged);
+  double total = 0.0;
+  for (double p : result.pi) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  for (double p : result.pi) EXPECT_GE(p, 0.0);
+}
+
+TEST(SteadyState, MmInfMatchesPoissonShape) {
+  const double lambda = 2.0;
+  const auto chain = mm_inf(lambda, 1.0, 30);
+  const auto result = mk::solve_steady_state(chain);
+  ASSERT_TRUE(result.converged);
+  // pi_q ~ Poisson(lambda) truncated at 30 (tail mass ~ 0 here).
+  double expected = std::exp(-lambda);
+  for (int q = 0; q <= 10; ++q) {
+    EXPECT_NEAR(result.pi[static_cast<std::size_t>(q)], expected, 1e-9)
+        << "q=" << q;
+    expected *= lambda / static_cast<double>(q + 1);
+  }
+}
+
+TEST(SteadyState, PowerIterationAgreesWithGaussSeidel) {
+  const auto chain = mm_inf(5.0, 1.3, 25);
+  const auto gs = mk::solve_steady_state(chain);
+  const auto pw = mk::solve_steady_state_power(chain);
+  ASSERT_TRUE(gs.converged);
+  ASSERT_TRUE(pw.converged);
+  for (std::size_t i = 0; i < gs.pi.size(); ++i) {
+    EXPECT_NEAR(gs.pi[i], pw.pi[i], 1e-8);
+  }
+}
+
+TEST(SteadyState, ResidualIsSmall) {
+  const auto chain = mm_inf(4.0, 1.0, 15);
+  const auto result = mk::solve_steady_state(chain);
+  EXPECT_LT(result.residual, 1e-12);
+}
+
+TEST(SteadyState, PeriodicChainHandledByUniformizationSlack) {
+  // A 2-cycle with equal rates is periodic as an embedded DTMC; the slack in
+  // the uniformization rate keeps the power iteration convergent.
+  const auto chain = two_state(1.0, 1.0);
+  const auto result = mk::solve_steady_state_power(chain);
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.pi[0], 0.5, 1e-10);
+}

@@ -1,0 +1,125 @@
+#include "markov/transient.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "markov/ctmc.hpp"
+#include "markov/steady_state.hpp"
+
+namespace mk = scshare::markov;
+
+namespace {
+
+mk::Ctmc two_state(double a, double b) {
+  mk::Ctmc chain(2);
+  chain.add_rate(0, 1, a);
+  chain.add_rate(1, 0, b);
+  chain.finalize();
+  return chain;
+}
+
+/// Closed-form occupancy of state 1 at time t for the two-state chain started
+/// in state 0: p1(t) = a/(a+b) * (1 - exp(-(a+b) t)).
+double p1_exact(double a, double b, double t) {
+  return a / (a + b) * (1.0 - std::exp(-(a + b) * t));
+}
+
+}  // namespace
+
+TEST(Transient, ZeroTimeIsIdentity) {
+  const auto chain = two_state(2.0, 1.0);
+  const mk::TransientSolver solver(chain);
+  const std::vector<double> p0 = {0.3, 0.7};
+  const auto p = solver.evolve(p0, 0.0);
+  EXPECT_DOUBLE_EQ(p[0], 0.3);
+  EXPECT_DOUBLE_EQ(p[1], 0.7);
+}
+
+TEST(Transient, TwoStateClosedForm) {
+  const double a = 2.0, b = 1.0;
+  const auto chain = two_state(a, b);
+  const mk::TransientSolver solver(chain);
+  const std::vector<double> p0 = {1.0, 0.0};
+  for (double t : {0.01, 0.1, 0.5, 1.0, 3.0}) {
+    const auto p = solver.evolve(p0, t);
+    EXPECT_NEAR(p[1], p1_exact(a, b, t), 1e-10) << "t=" << t;
+    EXPECT_NEAR(p[0] + p[1], 1.0, 1e-12);
+  }
+}
+
+TEST(Transient, LongHorizonReachesSteadyState) {
+  const auto chain = two_state(3.0, 2.0);
+  const mk::TransientSolver solver(chain);
+  const std::vector<double> p0 = {1.0, 0.0};
+  const auto p = solver.evolve(p0, 100.0);
+  const auto ss = mk::solve_steady_state(chain);
+  EXPECT_NEAR(p[0], ss.pi[0], 1e-9);
+  EXPECT_NEAR(p[1], ss.pi[1], 1e-9);
+}
+
+TEST(Transient, PreservesProbabilityMassOnLargerChain) {
+  // Birth-death chain, arbitrary rates.
+  mk::Ctmc chain(10);
+  for (std::size_t q = 0; q + 1 < 10; ++q) {
+    chain.add_rate(q, q + 1, 1.7);
+    chain.add_rate(q + 1, q, 0.9 * static_cast<double>(q + 1));
+  }
+  chain.finalize();
+  const mk::TransientSolver solver(chain);
+  std::vector<double> p0(10, 0.0);
+  p0[4] = 1.0;
+  for (double t : {0.05, 0.3, 2.0}) {
+    const auto p = solver.evolve(p0, t);
+    double total = 0.0;
+    for (double v : p) {
+      EXPECT_GE(v, 0.0);
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12) << "t=" << t;
+  }
+}
+
+TEST(Transient, AccumulatedRewardMatchesClosedForm) {
+  // Reward = 1 in state 1: expected time spent in state 1 over [0, T]
+  // starting from state 0 is a/(a+b) * (T - (1 - e^{-(a+b)T}) / (a+b)).
+  const double a = 2.0, b = 1.0;
+  const auto chain = two_state(a, b);
+  const mk::TransientSolver solver(chain);
+  const std::vector<double> p0 = {1.0, 0.0};
+  const std::vector<double> rewards = {0.0, 1.0};
+  for (double t : {0.2, 1.0, 5.0}) {
+    const double s = a + b;
+    const double expected = a / s * (t - (1.0 - std::exp(-s * t)) / s);
+    EXPECT_NEAR(solver.accumulated_reward(p0, rewards, t), expected, 1e-8)
+        << "t=" << t;
+  }
+}
+
+TEST(Transient, AccumulatedRewardZeroHorizon) {
+  const auto chain = two_state(1.0, 1.0);
+  const mk::TransientSolver solver(chain);
+  const std::vector<double> p0 = {1.0, 0.0};
+  const std::vector<double> rewards = {5.0, 7.0};
+  EXPECT_DOUBLE_EQ(solver.accumulated_reward(p0, rewards, 0.0), 0.0);
+}
+
+TEST(Transient, AccumulatedConstantRewardEqualsHorizon) {
+  const auto chain = two_state(1.3, 0.4);
+  const mk::TransientSolver solver(chain);
+  const std::vector<double> p0 = {0.5, 0.5};
+  const std::vector<double> rewards = {1.0, 1.0};
+  EXPECT_NEAR(solver.accumulated_reward(p0, rewards, 3.0), 3.0, 1e-8);
+}
+
+TEST(Transient, SemigroupProperty) {
+  // Evolving by t then by s equals evolving by t + s.
+  const auto chain = two_state(1.3, 0.8);
+  const mk::TransientSolver solver(chain);
+  const std::vector<double> p0 = {0.6, 0.4};
+  const auto p_direct = solver.evolve(p0, 0.9);
+  const auto p_half = solver.evolve(p0, 0.4);
+  const auto p_chained = solver.evolve(p_half, 0.5);
+  EXPECT_NEAR(p_direct[0], p_chained[0], 1e-10);
+  EXPECT_NEAR(p_direct[1], p_chained[1], 1e-10);
+}

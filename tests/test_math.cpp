@@ -1,0 +1,116 @@
+#include "common/math.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace m = scshare::math;
+
+TEST(LogFactorial, SmallValuesExact) {
+  EXPECT_DOUBLE_EQ(m::log_factorial(0), 0.0);
+  EXPECT_DOUBLE_EQ(m::log_factorial(1), 0.0);
+  EXPECT_NEAR(m::log_factorial(5), std::log(120.0), 1e-12);
+  EXPECT_NEAR(m::log_factorial(10), std::log(3628800.0), 1e-10);
+}
+
+TEST(PoissonPmf, MatchesDirectEvaluation) {
+  // P[X = 3] for mean 2: e^-2 * 2^3 / 6
+  EXPECT_NEAR(m::poisson_pmf(3, 2.0), std::exp(-2.0) * 8.0 / 6.0, 1e-14);
+}
+
+TEST(PoissonPmf, ZeroMeanIsPointMass) {
+  EXPECT_DOUBLE_EQ(m::poisson_pmf(0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(m::poisson_pmf(1, 0.0), 0.0);
+}
+
+TEST(PoissonPmf, NegativeKIsZero) {
+  EXPECT_DOUBLE_EQ(m::poisson_pmf(-1, 2.0), 0.0);
+}
+
+TEST(PoissonPmf, RejectsNegativeMean) {
+  EXPECT_THROW((void)m::poisson_pmf(0, -1.0), scshare::Error);
+}
+
+TEST(PoissonPmf, StableForLargeMean) {
+  // Around the mode the pmf is ~ 1/sqrt(2 pi mean).
+  const double mean = 1e6;
+  const double p = m::poisson_pmf(1000000, mean);
+  EXPECT_NEAR(p, 1.0 / std::sqrt(2 * M_PI * mean), 1e-7);
+}
+
+TEST(PoissonCdf, SumsToOneInTheLimit) {
+  EXPECT_NEAR(m::poisson_cdf(100, 5.0), 1.0, 1e-12);
+}
+
+TEST(PoissonCdf, MatchesPartialSums) {
+  double sum = 0.0;
+  for (int k = 0; k <= 7; ++k) sum += m::poisson_pmf(k, 3.5);
+  EXPECT_NEAR(m::poisson_cdf(7, 3.5), sum, 1e-12);
+}
+
+TEST(PoissonSf, ComplementOfCdf) {
+  for (int k = 1; k <= 20; ++k) {
+    EXPECT_NEAR(m::poisson_sf(k, 4.0), 1.0 - m::poisson_cdf(k - 1, 4.0), 1e-10)
+        << "k=" << k;
+  }
+}
+
+TEST(PoissonSf, DeepTailIsAccurate) {
+  // P[X >= 40] for mean 5 is astronomically small but must stay positive and
+  // finite (used by the PNF truncation logic).
+  // The tail is dominated by the first term: pmf(40; 5) ~ 8.5e-23.
+  const double tail = m::poisson_sf(40, 5.0);
+  EXPECT_NEAR(tail, m::poisson_pmf(40, 5.0), 0.15 * tail);
+  EXPECT_LT(tail, 1e-21);
+}
+
+TEST(PoissonSf, EdgeCases) {
+  EXPECT_DOUBLE_EQ(m::poisson_sf(0, 3.0), 1.0);
+  EXPECT_DOUBLE_EQ(m::poisson_sf(-2, 3.0), 1.0);
+  EXPECT_DOUBLE_EQ(m::poisson_sf(1, 0.0), 0.0);
+}
+
+TEST(PoissonWindow, WeightsSumToOne) {
+  for (double mean : {0.1, 1.0, 7.3, 50.0, 400.0}) {
+    const auto w = m::poisson_window(mean, 1e-12);
+    double total = 0.0;
+    for (double v : w.weights) total += v;
+    EXPECT_NEAR(total, 1.0, 1e-12) << "mean=" << mean;
+  }
+}
+
+TEST(PoissonWindow, CoversRequestedMass) {
+  const double mean = 20.0;
+  const auto w = m::poisson_window(mean, 1e-10);
+  // Mass outside the window (from exact cdf/sf) must be below epsilon.
+  const double outside =
+      m::poisson_cdf(w.left - 1, mean) + m::poisson_sf(w.right + 1, mean);
+  EXPECT_LT(outside, 1e-10);
+}
+
+TEST(PoissonWindow, ContainsTheMode) {
+  const auto w = m::poisson_window(33.3, 1e-9);
+  EXPECT_LE(w.left, 33);
+  EXPECT_GE(w.right, 33);
+}
+
+TEST(PoissonWindow, ZeroMeanDegenerate) {
+  const auto w = m::poisson_window(0.0, 1e-9);
+  EXPECT_EQ(w.left, 0);
+  EXPECT_EQ(w.right, 0);
+  ASSERT_EQ(w.weights.size(), 1u);
+  EXPECT_DOUBLE_EQ(w.weights[0], 1.0);
+}
+
+TEST(ApproxEqual, RespectsTolerances) {
+  EXPECT_TRUE(m::approx_equal(1.0, 1.0 + 1e-10));
+  EXPECT_FALSE(m::approx_equal(1.0, 1.001));
+  EXPECT_TRUE(m::approx_equal(0.0, 1e-13));
+}
+
+TEST(RelativeError, GuardsAgainstTinyReference) {
+  EXPECT_DOUBLE_EQ(m::relative_error(2.0, 1.0), 1.0);
+  EXPECT_LE(m::relative_error(1e-13, 0.0, 1e-12), 0.1 + 1e-9);
+}

@@ -1,0 +1,84 @@
+#include "queueing/mmc.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace q = scshare::queueing;
+
+TEST(Mmc, SingleServerReducesToMm1) {
+  // M/M/1: Erlang C = rho, L = rho / (1 - rho), W_q = rho / (mu - lambda).
+  const q::MmcParams p{.lambda = 0.6, .mu = 1.0, .servers = 1};
+  EXPECT_NEAR(q::erlang_c(p), 0.6, 1e-12);
+  EXPECT_NEAR(q::mean_customers(p), 0.6 / 0.4, 1e-12);
+  EXPECT_NEAR(q::mean_wait(p), 0.6 / (1.0 - 0.6), 1e-12);
+}
+
+TEST(Mmc, ErlangCKnownValue) {
+  // Classic tabulated value: c = 2, a = 1 (rho = 0.5): C = 1/3.
+  const q::MmcParams p{.lambda = 1.0, .mu = 1.0, .servers = 2};
+  EXPECT_NEAR(q::erlang_c(p), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Mmc, ErlangBKnownValue) {
+  // B(c=2, a=1) = (1/2) / (1 + 1 + 1/2) = 0.2.
+  const q::MmcParams p{.lambda = 1.0, .mu = 1.0, .servers = 2};
+  EXPECT_NEAR(q::erlang_b(p), 0.2, 1e-12);
+}
+
+TEST(Mmc, ErlangBBelowErlangC) {
+  const q::MmcParams p{.lambda = 7.0, .mu = 1.0, .servers = 10};
+  EXPECT_LT(q::erlang_b(p), q::erlang_c(p));
+}
+
+TEST(Mmc, StateProbabilitiesSumToOne) {
+  const q::MmcParams p{.lambda = 4.0, .mu = 1.0, .servers = 6};
+  double total = 0.0;
+  for (int n = 0; n < 400; ++n) total += q::state_probability(p, n);
+  EXPECT_NEAR(total, 1.0, 1e-10);
+}
+
+TEST(Mmc, MeanCustomersMatchesStateSum) {
+  const q::MmcParams p{.lambda = 4.0, .mu = 1.0, .servers = 6};
+  double mean = 0.0;
+  for (int n = 0; n < 500; ++n) {
+    mean += static_cast<double>(n) * q::state_probability(p, n);
+  }
+  EXPECT_NEAR(mean, q::mean_customers(p), 1e-8);
+}
+
+TEST(Mmc, WaitExceedsZeroEqualsErlangC) {
+  const q::MmcParams p{.lambda = 7.0, .mu = 1.0, .servers = 10};
+  EXPECT_NEAR(q::wait_exceeds(p, 0.0), q::erlang_c(p), 1e-12);
+}
+
+TEST(Mmc, WaitTailDecays) {
+  const q::MmcParams p{.lambda = 7.0, .mu = 1.0, .servers = 10};
+  EXPECT_GT(q::wait_exceeds(p, 0.1), q::wait_exceeds(p, 1.0));
+  EXPECT_LT(q::wait_exceeds(p, 10.0), 1e-10);
+}
+
+TEST(Mmc, StableForLargeServerCounts) {
+  // 100 servers at rho = 0.9: log-space evaluation must not overflow.
+  const q::MmcParams p{.lambda = 90.0, .mu = 1.0, .servers = 100};
+  const double c = q::erlang_c(p);
+  EXPECT_GT(c, 0.0);
+  EXPECT_LT(c, 1.0);
+  EXPECT_NEAR(q::utilization(p), 0.9, 1e-12);
+}
+
+TEST(Mmc, OverloadedQueueRejected) {
+  const q::MmcParams p{.lambda = 2.0, .mu = 1.0, .servers = 1};
+  EXPECT_THROW((void)q::erlang_c(p), scshare::Error);
+}
+
+TEST(Mmc, InvalidParamsRejected) {
+  EXPECT_THROW((void)q::erlang_c({.lambda = 0.0, .mu = 1.0, .servers = 1}),
+               scshare::Error);
+  EXPECT_THROW((void)q::erlang_c({.lambda = 1.0, .mu = 0.0, .servers = 1}),
+               scshare::Error);
+  EXPECT_THROW((void)q::erlang_c({.lambda = 1.0, .mu = 1.0, .servers = 0}),
+               scshare::Error);
+}

@@ -1,0 +1,124 @@
+#include "queueing/no_share_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "queueing/mmc.hpp"
+
+namespace q = scshare::queueing;
+
+TEST(NoShare, DistributionIsProper) {
+  const auto r = q::solve_no_share(
+      {.num_vms = 10, .lambda = 7.0, .mu = 1.0, .max_wait = 0.2});
+  double total = 0.0;
+  for (double p : r.pi) {
+    EXPECT_GE(p, 0.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(NoShare, ZeroSlaReducesToErlangLoss) {
+  // Q = 0 turns the model into M/M/N/N; the forwarding probability equals
+  // Erlang-B blocking.
+  const q::MmcParams mmc{.lambda = 7.0, .mu = 1.0, .servers = 10};
+  const auto r = q::solve_no_share(
+      {.num_vms = 10, .lambda = 7.0, .mu = 1.0, .max_wait = 0.0});
+  EXPECT_NEAR(r.forward_prob, q::erlang_b(mmc), 1e-10);
+}
+
+TEST(NoShare, HugeSlaReducesToMmc) {
+  // Q -> infinity: nothing is ever forwarded; the chain is plain M/M/N and
+  // utilization equals rho.
+  const auto r = q::solve_no_share(
+      {.num_vms = 10, .lambda = 7.0, .mu = 1.0, .max_wait = 50.0});
+  EXPECT_LT(r.forward_prob, 1e-8);
+  EXPECT_NEAR(r.utilization, 0.7, 1e-6);
+  const q::MmcParams mmc{.lambda = 7.0, .mu = 1.0, .servers = 10};
+  EXPECT_NEAR(r.mean_queue_length,
+              q::mean_customers(mmc) - q::offered_load(mmc), 1e-5);
+}
+
+TEST(NoShare, ForwardProbGrowsWithLoad) {
+  double prev = 0.0;
+  for (double lambda : {4.0, 6.0, 8.0, 9.5, 11.0}) {
+    const auto r = q::solve_no_share(
+        {.num_vms = 10, .lambda = lambda, .mu = 1.0, .max_wait = 0.2});
+    EXPECT_GT(r.forward_prob, prev) << "lambda=" << lambda;
+    prev = r.forward_prob;
+  }
+}
+
+TEST(NoShare, ForwardProbShrinksWithSla) {
+  const auto tight = q::solve_no_share(
+      {.num_vms = 10, .lambda = 8.0, .mu = 1.0, .max_wait = 0.2});
+  const auto loose = q::solve_no_share(
+      {.num_vms = 10, .lambda = 8.0, .mu = 1.0, .max_wait = 0.5});
+  EXPECT_GT(tight.forward_prob, loose.forward_prob);
+}
+
+TEST(NoShare, LargerCloudForwardsLessAtSameUtilization) {
+  // Paper Fig. 5 claim: at equal utilization, the 100-VM cloud forwards less
+  // than the 10-VM cloud.
+  const auto small = q::solve_no_share(
+      {.num_vms = 10, .lambda = 8.0, .mu = 1.0, .max_wait = 0.2});
+  const auto large = q::solve_no_share(
+      {.num_vms = 100, .lambda = 80.0, .mu = 1.0, .max_wait = 0.2});
+  EXPECT_GT(small.forward_prob, large.forward_prob);
+}
+
+TEST(NoShare, OverloadIsStable) {
+  // lambda > N mu: forwarding regulates the queue; the solver must not blow
+  // up, and the effective accepted load must not exceed capacity.
+  const auto r = q::solve_no_share(
+      {.num_vms = 10, .lambda = 25.0, .mu = 1.0, .max_wait = 0.2});
+  EXPECT_GT(r.forward_prob, 0.5);
+  const double accepted = 25.0 * (1.0 - r.forward_prob);
+  EXPECT_LE(accepted, 10.0 + 1e-6);
+  EXPECT_LE(r.utilization, 1.0 + 1e-12);
+}
+
+TEST(NoShare, StatsAreConsistent) {
+  const auto r = q::solve_no_share(
+      {.num_vms = 10, .lambda = 9.0, .mu = 1.0, .max_wait = 0.3});
+  // Flow balance: accepted rate == served rate == N mu rho.
+  const double accepted = 9.0 * (1.0 - r.forward_prob);
+  EXPECT_NEAR(accepted, 10.0 * r.utilization, 1e-8);
+  EXPECT_NEAR(r.forward_rate, 9.0 * r.forward_prob, 1e-12);
+}
+
+TEST(NoShare, InvalidParamsThrow) {
+  EXPECT_THROW(
+      (void)q::solve_no_share({.num_vms = 0, .lambda = 1.0, .mu = 1.0}),
+      scshare::Error);
+  EXPECT_THROW(
+      (void)q::solve_no_share({.num_vms = 1, .lambda = 0.0, .mu = 1.0}),
+      scshare::Error);
+}
+
+// Property sweep: flow balance must hold across loads, sizes and SLAs.
+struct NoShareCase {
+  int n;
+  double lambda;
+  double max_wait;
+};
+
+class NoShareProperty : public ::testing::TestWithParam<NoShareCase> {};
+
+TEST_P(NoShareProperty, FlowBalanceAndBounds) {
+  const auto c = GetParam();
+  const auto r = q::solve_no_share(
+      {.num_vms = c.n, .lambda = c.lambda, .mu = 1.0, .max_wait = c.max_wait});
+  EXPECT_GE(r.forward_prob, 0.0);
+  EXPECT_LE(r.forward_prob, 1.0);
+  const double accepted = c.lambda * (1.0 - r.forward_prob);
+  EXPECT_NEAR(accepted, static_cast<double>(c.n) * r.utilization, 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NoShareProperty,
+    ::testing::Values(NoShareCase{5, 2.0, 0.1}, NoShareCase{5, 4.5, 0.1},
+                      NoShareCase{10, 7.0, 0.2}, NoShareCase{10, 9.9, 0.2},
+                      NoShareCase{10, 12.0, 0.5}, NoShareCase{20, 18.0, 0.05},
+                      NoShareCase{50, 45.0, 0.2}, NoShareCase{100, 90.0, 0.5},
+                      NoShareCase{100, 99.0, 0.2}, NoShareCase{3, 2.9, 1.0}));

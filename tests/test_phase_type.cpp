@@ -1,0 +1,94 @@
+#include "queueing/phase_type_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/simulator.hpp"
+
+namespace q = scshare::queueing;
+
+TEST(PhaseTypeModel, SingleStageEqualsExponentialModel) {
+  const q::PhaseTypeParams params{.num_vms = 10, .lambda = 8.0, .mu = 1.0,
+                                  .max_wait = 0.2, .stages = 1};
+  const auto erlang = q::solve_no_share_phase_type(params);
+  const auto exponential = q::solve_no_share(
+      {.num_vms = 10, .lambda = 8.0, .mu = 1.0, .max_wait = 0.2});
+  EXPECT_NEAR(erlang.forward_prob, exponential.forward_prob, 1e-9);
+  EXPECT_NEAR(erlang.utilization, exponential.utilization, 1e-9);
+  EXPECT_NEAR(erlang.mean_queue_length, exponential.mean_queue_length, 1e-9);
+}
+
+TEST(PhaseTypeModel, FlowBalance) {
+  const q::PhaseTypeParams params{.num_vms = 10, .lambda = 8.5, .mu = 1.0,
+                                  .max_wait = 0.2, .stages = 3};
+  const auto r = q::solve_no_share_phase_type(params);
+  const double accepted = 8.5 * (1.0 - r.forward_prob);
+  EXPECT_NEAR(accepted, 10.0 * r.utilization * 1.0, 1e-7);
+}
+
+TEST(PhaseTypeModel, LowerVarianceForwardsLess) {
+  // With the same admission rule, steadier services keep the queue shorter,
+  // so fewer arrivals face unfavourable queue states.
+  double prev = 1.0;
+  for (int k : {1, 2, 4}) {
+    const auto r = q::solve_no_share_phase_type(
+        {.num_vms = 10, .lambda = 9.0, .mu = 1.0, .max_wait = 0.2,
+         .stages = k});
+    EXPECT_LT(r.forward_prob, prev) << "stages=" << k;
+    prev = r.forward_prob;
+  }
+}
+
+TEST(PhaseTypeModel, MatchesErlangServiceSimulation) {
+  const int k = 4;
+  const q::PhaseTypeParams params{.num_vms = 10, .lambda = 9.0, .mu = 1.0,
+                                  .max_wait = 0.2, .stages = k};
+  const auto model = q::solve_no_share_phase_type(params);
+
+  scshare::federation::FederationConfig cfg;
+  cfg.scs = {{.num_vms = 10, .lambda = 9.0, .mu = 1.0, .max_wait = 0.2}};
+  cfg.shares = {0};
+  scshare::sim::SimOptions o;
+  o.warmup_time = 1000.0;
+  o.measure_time = 60000.0;
+  o.seed = 71;
+  o.service = scshare::sim::ServiceDistribution::kErlang;
+  o.erlang_shape = k;
+  scshare::sim::Simulator s(cfg, o);
+  const auto sim = s.run()[0];
+
+  EXPECT_NEAR(model.forward_prob, sim.metrics.forward_prob, 0.01);
+  EXPECT_NEAR(model.utilization, sim.metrics.utilization, 0.01);
+}
+
+TEST(PhaseTypeModel, ZeroSlaIsLossSystem) {
+  // Q = 0: M/E_k/N/N. The Erlang loss formula is insensitive to the service
+  // distribution (only the mean matters), so the blocking probability must
+  // match the exponential case exactly.
+  const auto erlang = q::solve_no_share_phase_type(
+      {.num_vms = 8, .lambda = 6.0, .mu = 1.0, .max_wait = 0.0, .stages = 3});
+  const auto exponential = q::solve_no_share(
+      {.num_vms = 8, .lambda = 6.0, .mu = 1.0, .max_wait = 0.0});
+  EXPECT_NEAR(erlang.forward_prob, exponential.forward_prob, 1e-8);
+}
+
+TEST(PhaseTypeModel, StateCountGrowsWithStages) {
+  std::size_t prev = 0;
+  for (int k : {1, 2, 3}) {
+    const auto r = q::solve_no_share_phase_type(
+        {.num_vms = 6, .lambda = 4.0, .mu = 1.0, .max_wait = 0.2,
+         .stages = k});
+    EXPECT_GT(r.num_states, prev);
+    prev = r.num_states;
+  }
+}
+
+TEST(PhaseTypeModel, InvalidParamsThrow) {
+  EXPECT_THROW((void)q::solve_no_share_phase_type(
+                   {.num_vms = 0, .lambda = 1.0, .mu = 1.0}),
+               scshare::Error);
+  EXPECT_THROW((void)q::solve_no_share_phase_type(
+                   {.num_vms = 1, .lambda = 1.0, .mu = 1.0, .max_wait = 0.1,
+                    .stages = 0}),
+               scshare::Error);
+}

@@ -1,0 +1,203 @@
+// Property-based suites: invariants that must hold across parameter grids
+// rather than at hand-picked points.
+#include <gtest/gtest.h>
+
+#include "federation/approx_model.hpp"
+#include "federation/detailed_model.hpp"
+#include "market/fairness.hpp"
+#include "market/utility.hpp"
+#include "queueing/forwarding.hpp"
+#include "sim/simulator.hpp"
+
+namespace fed = scshare::federation;
+namespace mkt = scshare::market;
+
+// ---------------------------------------------------------------------------
+// Detailed model invariants over a grid of loads and shares.
+// ---------------------------------------------------------------------------
+struct DetailedCase {
+  double l1, l2;
+  int s1, s2;
+};
+
+class DetailedInvariants : public ::testing::TestWithParam<DetailedCase> {};
+
+TEST_P(DetailedInvariants, ConservationAndBounds) {
+  const auto c = GetParam();
+  fed::FederationConfig cfg;
+  cfg.scs = {{.num_vms = 4, .lambda = c.l1, .mu = 1.0, .max_wait = 0.2},
+             {.num_vms = 4, .lambda = c.l2, .mu = 1.0, .max_wait = 0.2}};
+  cfg.shares = {c.s1, c.s2};
+  const auto m = fed::solve_detailed(cfg);
+
+  // Conservation: every lent VM is borrowed by somebody.
+  EXPECT_NEAR(m[0].lent + m[1].lent, m[0].borrowed + m[1].borrowed, 1e-7);
+  for (std::size_t i = 0; i < 2; ++i) {
+    // Bounds.
+    EXPECT_GE(m[i].lent, 0.0);
+    EXPECT_LE(m[i].lent, cfg.shares[i] + 1e-9);
+    EXPECT_GE(m[i].borrowed, 0.0);
+    EXPECT_LE(m[i].borrowed, cfg.shared_pool_excluding(i) + 1e-9);
+    EXPECT_GE(m[i].forward_prob, 0.0);
+    EXPECT_LE(m[i].forward_prob, 1.0);
+    EXPECT_GE(m[i].utilization, 0.0);
+    EXPECT_LE(m[i].utilization, 1.0 + 1e-9);
+    // Flow balance: accepted work equals served work.
+    const double lambda = cfg.scs[i].lambda;
+    const double accepted = lambda * (1.0 - m[i].forward_prob);
+    const double served_here =
+        static_cast<double>(cfg.scs[i].num_vms) * m[i].utilization;
+    // served_here covers own-local + lent work; own remote work adds
+    // borrowed. accepted = own-local + borrowed served elsewhere:
+    // own_local = served_here - lent  =>  accepted = served_here - lent + borrowed.
+    EXPECT_NEAR(accepted, served_here - m[i].lent + m[i].borrowed, 1e-6)
+        << "sc=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DetailedInvariants,
+    ::testing::Values(DetailedCase{1.0, 1.0, 0, 0}, DetailedCase{1.0, 1.0, 2, 2},
+                      DetailedCase{3.0, 1.5, 1, 3}, DetailedCase{3.0, 3.0, 4, 4},
+                      DetailedCase{3.8, 2.0, 2, 2}, DetailedCase{4.5, 4.5, 2, 2},
+                      DetailedCase{5.5, 1.0, 0, 4}, DetailedCase{2.0, 3.9, 3, 1},
+                      DetailedCase{3.5, 3.5, 1, 1}, DetailedCase{4.0, 2.5, 4, 0}));
+
+// ---------------------------------------------------------------------------
+// Approximate model: same invariants (conservation does not hold exactly by
+// construction, but bounds and flow balance per SC must).
+// ---------------------------------------------------------------------------
+class ApproxInvariants : public ::testing::TestWithParam<DetailedCase> {};
+
+TEST_P(ApproxInvariants, BoundsAndSanity) {
+  const auto c = GetParam();
+  fed::FederationConfig cfg;
+  cfg.scs = {{.num_vms = 4, .lambda = c.l1, .mu = 1.0, .max_wait = 0.2},
+             {.num_vms = 4, .lambda = c.l2, .mu = 1.0, .max_wait = 0.2}};
+  cfg.shares = {c.s1, c.s2};
+  const auto m = fed::solve_approx(cfg);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_GE(m[i].lent, -1e-12);
+    EXPECT_LE(m[i].lent, cfg.shares[i] + 1e-9);
+    EXPECT_GE(m[i].borrowed, -1e-12);
+    EXPECT_LE(m[i].borrowed, cfg.shared_pool_excluding(i) + 1e-9);
+    EXPECT_GE(m[i].forward_prob, 0.0);
+    EXPECT_LE(m[i].forward_prob, 1.0);
+    EXPECT_LE(m[i].utilization, 1.0 + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ApproxInvariants,
+    ::testing::Values(DetailedCase{1.0, 1.0, 0, 0}, DetailedCase{1.0, 1.0, 2, 2},
+                      DetailedCase{3.0, 1.5, 1, 3}, DetailedCase{3.0, 3.0, 4, 4},
+                      DetailedCase{3.8, 2.0, 2, 2}, DetailedCase{4.5, 4.5, 2, 2},
+                      DetailedCase{5.5, 1.0, 0, 4}, DetailedCase{2.0, 3.9, 3, 1}));
+
+// ---------------------------------------------------------------------------
+// Simulator vs detailed model across a coarse grid (longer-run agreement).
+// ---------------------------------------------------------------------------
+class SimVsDetailed : public ::testing::TestWithParam<DetailedCase> {};
+
+TEST_P(SimVsDetailed, ForwardProbAgrees) {
+  const auto c = GetParam();
+  fed::FederationConfig cfg;
+  cfg.scs = {{.num_vms = 4, .lambda = c.l1, .mu = 1.0, .max_wait = 0.2},
+             {.num_vms = 4, .lambda = c.l2, .mu = 1.0, .max_wait = 0.2}};
+  cfg.shares = {c.s1, c.s2};
+  const auto exact = fed::solve_detailed(cfg);
+  scshare::sim::SimOptions so;
+  so.warmup_time = 1000.0;
+  so.measure_time = 20000.0;
+  so.seed = 11;
+  const auto sim = scshare::sim::simulate_metrics(cfg, so);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_NEAR(sim[i].forward_prob, exact[i].forward_prob, 0.02)
+        << "sc=" << i;
+    EXPECT_NEAR(sim[i].utilization, exact[i].utilization, 0.02) << "sc=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SimVsDetailed,
+    ::testing::Values(DetailedCase{3.0, 1.5, 1, 3}, DetailedCase{3.8, 2.0, 2, 2},
+                      DetailedCase{4.5, 4.5, 2, 2}, DetailedCase{2.0, 3.9, 3, 1}));
+
+// ---------------------------------------------------------------------------
+// PNF structural properties over a parameter grid.
+// ---------------------------------------------------------------------------
+struct PnfCase {
+  int servers;
+  double mu;
+  double q;
+};
+
+class PnfProperties : public ::testing::TestWithParam<PnfCase> {};
+
+TEST_P(PnfProperties, MonotoneAndBounded) {
+  const auto c = GetParam();
+  double prev = 1.0;
+  for (int in_system = 0; in_system < c.servers + 40; ++in_system) {
+    const double p =
+        scshare::queueing::prob_no_forward(in_system, c.servers, c.mu, c.q);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    EXPECT_LE(p, prev + 1e-12) << "PNF must be non-increasing in queue length";
+    prev = p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, PnfProperties,
+                         ::testing::Values(PnfCase{1, 1.0, 0.2},
+                                           PnfCase{10, 1.0, 0.2},
+                                           PnfCase{10, 1.0, 0.5},
+                                           PnfCase{10, 2.5, 0.1},
+                                           PnfCase{100, 1.0, 0.2},
+                                           PnfCase{100, 0.5, 1.0}));
+
+// ---------------------------------------------------------------------------
+// Utility function properties across gammas.
+// ---------------------------------------------------------------------------
+class UtilityProperties : public ::testing::TestWithParam<double> {};
+
+TEST_P(UtilityProperties, MonotoneInCostReduction) {
+  const mkt::UtilityParams params{.gamma = GetParam()};
+  double prev = -1.0;
+  for (double cost = 10.0; cost >= 0.0; cost -= 1.0) {
+    const double u = mkt::sc_utility_raw(10.0, cost, 0.5, 0.7, 3, params);
+    EXPECT_GE(u, prev) << "utility must grow with cost reduction";
+    prev = u;
+  }
+}
+
+TEST_P(UtilityProperties, NonNegative) {
+  const mkt::UtilityParams params{.gamma = GetParam()};
+  for (double cost : {0.0, 5.0, 10.0, 20.0}) {
+    for (double rho : {0.50001, 0.6, 0.9}) {
+      EXPECT_GE(mkt::sc_utility_raw(10.0, cost, 0.5, rho, 2, params), 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Gammas, UtilityProperties,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0));
+
+// ---------------------------------------------------------------------------
+// Welfare properties.
+// ---------------------------------------------------------------------------
+TEST(WelfareProperties, ScalingUtilitiesScalesUtilitarianWelfare) {
+  const std::vector<int> shares = {2, 3, 1};
+  std::vector<double> u = {1.0, 2.0, 3.0};
+  const double w1 = mkt::welfare(mkt::Fairness::kUtilitarian, shares, u);
+  for (auto& x : u) x *= 7.0;
+  const double w7 = mkt::welfare(mkt::Fairness::kUtilitarian, shares, u);
+  EXPECT_NEAR(w7, 7.0 * w1, 1e-9);
+}
+
+TEST(WelfareProperties, MaxMinInsensitiveToNonMinimalGains) {
+  const std::vector<int> shares = {2, 3};
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> b = {1.0, 100.0};
+  EXPECT_DOUBLE_EQ(mkt::welfare(mkt::Fairness::kMaxMin, shares, a),
+                   mkt::welfare(mkt::Fairness::kMaxMin, shares, b));
+}

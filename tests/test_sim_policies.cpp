@@ -1,0 +1,124 @@
+// Deeper simulator policy tests: probabilistic vs deadline forwarding across
+// loads, outage semantics, and interactions between policies and sharing.
+#include <gtest/gtest.h>
+
+#include "queueing/mmc.hpp"
+#include "sim/simulator.hpp"
+
+namespace fed = scshare::federation;
+namespace sim = scshare::sim;
+
+namespace {
+
+fed::FederationConfig single_sc(double lambda, double max_wait = 0.2) {
+  fed::FederationConfig cfg;
+  cfg.scs = {{.num_vms = 10, .lambda = lambda, .mu = 1.0, .max_wait = max_wait}};
+  cfg.shares = {0};
+  return cfg;
+}
+
+sim::ScSimStats run_policy(sim::ForwardingPolicy policy, double lambda,
+                           double max_wait = 0.2) {
+  sim::SimOptions o;
+  o.warmup_time = 1000.0;
+  o.measure_time = 30000.0;
+  o.seed = 83;
+  o.policy = policy;
+  sim::Simulator s(single_sc(lambda, max_wait), o);
+  return s.run()[0];
+}
+
+}  // namespace
+
+// Both policies target the same SLA; their forwarding volumes must be of the
+// same order across loads (the probabilistic policy is the model's estimator
+// of the deadline behaviour).
+class PolicyComparison : public ::testing::TestWithParam<double> {};
+
+TEST_P(PolicyComparison, ForwardingVolumesComparable) {
+  const double lambda = GetParam();
+  const auto prob = run_policy(sim::ForwardingPolicy::kProbabilistic, lambda);
+  const auto deadline = run_policy(sim::ForwardingPolicy::kDeadline, lambda);
+  // Same order of magnitude: within a factor of 2.5 (plus an absolute floor
+  // for the nearly-zero low-load regime).
+  const double hi = std::max(prob.metrics.forward_prob,
+                             deadline.metrics.forward_prob);
+  const double lo = std::min(prob.metrics.forward_prob,
+                             deadline.metrics.forward_prob);
+  EXPECT_LT(hi, 2.5 * lo + 0.01) << "lambda=" << lambda;
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, PolicyComparison,
+                         ::testing::Values(7.0, 8.5, 9.5));
+
+TEST(DeadlinePolicy, ZeroSlaActsAsLossSystem) {
+  const auto stats = run_policy(sim::ForwardingPolicy::kDeadline, 8.0, 0.0);
+  const scshare::queueing::MmcParams mmc{.lambda = 8.0, .mu = 1.0,
+                                         .servers = 10};
+  EXPECT_NEAR(stats.metrics.forward_prob, scshare::queueing::erlang_b(mmc),
+              0.02);
+  EXPECT_DOUBLE_EQ(stats.mean_wait, 0.0);
+}
+
+TEST(DeadlinePolicy, ServedWaitsNeverExceedSla) {
+  const auto stats = run_policy(sim::ForwardingPolicy::kDeadline, 9.5, 0.3);
+  EXPECT_LE(stats.wait_p99, 0.3 + 1e-9);
+  EXPECT_DOUBLE_EQ(stats.sla_violation_prob, 0.0);
+}
+
+TEST(Outage, NoServiceStartsDuringFullOutage) {
+  // A lone SC in outage for the whole measurement window forwards
+  // (deadline policy) everything that cannot be served.
+  auto cfg = single_sc(5.0);
+  sim::SimOptions o;
+  o.warmup_time = 500.0;
+  o.measure_time = 5000.0;
+  o.seed = 89;
+  sim::Simulator s(cfg, o);
+  s.add_outage(0, 0.0, 100000.0);  // covers warmup + measurement
+  const auto stats = s.run()[0];
+  EXPECT_EQ(stats.served_local, 0u);
+  EXPECT_EQ(stats.served_remote, 0u);
+  EXPECT_GT(stats.forwarded, 0u);
+  EXPECT_NEAR(stats.metrics.forward_prob, 1.0, 1e-9);
+}
+
+TEST(Outage, OutagedScStopsLending) {
+  // SC 1 (the donor) goes down; during its outage SC 0 cannot borrow, so
+  // SC 1's lent average over the run drops versus the no-outage run.
+  fed::FederationConfig cfg;
+  cfg.scs = {{.num_vms = 10, .lambda = 9.5, .mu = 1.0, .max_wait = 0.2},
+             {.num_vms = 10, .lambda = 2.0, .mu = 1.0, .max_wait = 0.2}};
+  cfg.shares = {0, 5};
+  sim::SimOptions o;
+  o.warmup_time = 500.0;
+  o.measure_time = 10000.0;
+  o.seed = 91;
+
+  sim::Simulator healthy(cfg, o);
+  const auto base = healthy.run();
+
+  sim::Simulator down(cfg, o);
+  down.add_outage(1, 500.0, 10500.0);  // whole measurement window
+  const auto out = down.run();
+
+  EXPECT_GT(base[1].metrics.lent, 0.2);
+  EXPECT_LT(out[1].metrics.lent, 0.05);
+  // SC 0 forwards more without the donor.
+  EXPECT_GT(out[0].metrics.forward_prob, base[0].metrics.forward_prob);
+}
+
+TEST(Policies, SeedChangesResultsSlightly) {
+  // Different seeds must produce different (but statistically close) runs —
+  // a guard against accidentally reusing one stream everywhere.
+  auto cfg = single_sc(8.0);
+  sim::SimOptions o;
+  o.warmup_time = 500.0;
+  o.measure_time = 10000.0;
+  o.seed = 1;
+  const auto a = scshare::sim::simulate_metrics(cfg, o);
+  o.seed = 2;
+  const auto b = scshare::sim::simulate_metrics(cfg, o);
+  EXPECT_NE(a[0].forward_rate, b[0].forward_rate);
+  EXPECT_NEAR(a[0].forward_prob, b[0].forward_prob, 0.02);
+}

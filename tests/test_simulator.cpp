@@ -1,0 +1,173 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "queueing/no_share_model.hpp"
+
+namespace fed = scshare::federation;
+namespace sim = scshare::sim;
+
+namespace {
+
+fed::FederationConfig single_sc(double lambda, double max_wait = 0.2) {
+  fed::FederationConfig cfg;
+  cfg.scs = {{.num_vms = 10, .lambda = lambda, .mu = 1.0, .max_wait = max_wait}};
+  cfg.shares = {0};
+  return cfg;
+}
+
+fed::FederationConfig two_sc(double l1, double l2, int s1, int s2) {
+  fed::FederationConfig cfg;
+  cfg.scs = {{.num_vms = 10, .lambda = l1, .mu = 1.0, .max_wait = 0.2},
+             {.num_vms = 10, .lambda = l2, .mu = 1.0, .max_wait = 0.2}};
+  cfg.shares = {s1, s2};
+  return cfg;
+}
+
+sim::SimOptions fast_options(std::uint64_t seed = 1) {
+  sim::SimOptions o;
+  o.warmup_time = 500.0;
+  o.measure_time = 8000.0;
+  o.seed = seed;
+  return o;
+}
+
+}  // namespace
+
+TEST(Simulator, SingleScMatchesNoShareModel) {
+  const auto cfg = single_sc(7.0);
+  sim::Simulator s(cfg, fast_options());
+  const auto stats = s.run();
+  const auto model = scshare::queueing::solve_no_share(
+      {.num_vms = 10, .lambda = 7.0, .mu = 1.0, .max_wait = 0.2});
+  EXPECT_NEAR(stats[0].metrics.forward_prob, model.forward_prob, 0.01);
+  EXPECT_NEAR(stats[0].metrics.utilization, model.utilization, 0.02);
+  EXPECT_DOUBLE_EQ(stats[0].metrics.lent, 0.0);
+  EXPECT_DOUBLE_EQ(stats[0].metrics.borrowed, 0.0);
+}
+
+TEST(Simulator, SingleScHighLoadMatchesNoShareModel) {
+  const auto cfg = single_sc(9.5);
+  sim::Simulator s(cfg, fast_options(7));
+  const auto stats = s.run();
+  const auto model = scshare::queueing::solve_no_share(
+      {.num_vms = 10, .lambda = 9.5, .mu = 1.0, .max_wait = 0.2});
+  EXPECT_NEAR(stats[0].metrics.forward_prob, model.forward_prob, 0.015);
+  EXPECT_NEAR(stats[0].metrics.utilization, model.utilization, 0.02);
+}
+
+TEST(Simulator, ReproducibleForSameSeed) {
+  const auto cfg = two_sc(7.0, 8.0, 3, 3);
+  sim::Simulator a(cfg, fast_options(42));
+  sim::Simulator b(cfg, fast_options(42));
+  const auto ra = a.run();
+  const auto rb = b.run();
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ra[i].metrics.lent, rb[i].metrics.lent);
+    EXPECT_DOUBLE_EQ(ra[i].metrics.forward_rate, rb[i].metrics.forward_rate);
+    EXPECT_EQ(ra[i].arrivals, rb[i].arrivals);
+  }
+}
+
+TEST(Simulator, LendingConservation) {
+  // At all times total lent == total borrowed, so the time averages agree.
+  const auto cfg = two_sc(8.0, 9.0, 4, 4);
+  sim::Simulator s(cfg, fast_options(3));
+  const auto stats = s.run();
+  const double lent = stats[0].metrics.lent + stats[1].metrics.lent;
+  const double borrowed =
+      stats[0].metrics.borrowed + stats[1].metrics.borrowed;
+  EXPECT_NEAR(lent, borrowed, 1e-9);
+}
+
+TEST(Simulator, SharingReducesForwarding) {
+  const auto no_sharing = two_sc(8.0, 8.0, 0, 0);
+  const auto sharing = two_sc(8.0, 8.0, 5, 5);
+  const auto r0 = sim::simulate_metrics(no_sharing, fast_options(5));
+  const auto r1 = sim::simulate_metrics(sharing, fast_options(5));
+  EXPECT_LT(r1[0].forward_prob, r0[0].forward_prob);
+  EXPECT_LT(r1[1].forward_prob, r0[1].forward_prob);
+}
+
+TEST(Simulator, ShareCapIsRespected) {
+  // SC 1 idle (tiny load), SC 0 overloaded; SC 1 shares only 2 VMs, so its
+  // mean lent count can never exceed 2.
+  auto cfg = two_sc(15.0, 0.5, 0, 2);
+  sim::Simulator s(cfg, fast_options(11));
+  const auto stats = s.run();
+  EXPECT_LE(stats[1].metrics.lent, 2.0 + 1e-9);
+  EXPECT_GT(stats[1].metrics.lent, 0.5);  // the cap should be nearly saturated
+}
+
+TEST(Simulator, AsymmetricLoadsCreateNetFlow) {
+  // The loaded SC borrows more than it lends.
+  const auto cfg = two_sc(9.5, 4.0, 5, 5);
+  const auto m = sim::simulate_metrics(cfg, fast_options(13));
+  EXPECT_GT(m[0].borrowed, m[0].lent);
+  EXPECT_GT(m[1].lent, m[1].borrowed);
+}
+
+TEST(Simulator, UtilizationWithinBounds) {
+  const auto cfg = two_sc(9.0, 7.0, 5, 5);
+  const auto m = sim::simulate_metrics(cfg, fast_options(17));
+  for (const auto& sc : m) {
+    EXPECT_GE(sc.utilization, 0.0);
+    EXPECT_LE(sc.utilization, 1.0 + 1e-9);
+  }
+}
+
+TEST(Simulator, DeadlinePolicyBoundsWaits) {
+  auto cfg = single_sc(9.0);
+  auto options = fast_options(19);
+  options.policy = sim::ForwardingPolicy::kDeadline;
+  sim::Simulator s(cfg, options);
+  const auto stats = s.run();
+  // Under the deadline policy no served request ever waits beyond Q.
+  EXPECT_DOUBLE_EQ(stats[0].sla_violation_prob, 0.0);
+  EXPECT_GT(stats[0].forwarded, 0u);
+}
+
+TEST(Simulator, ProbabilisticPolicyWaitsAreMostlyWithinSla) {
+  auto cfg = single_sc(9.0);
+  sim::Simulator s(cfg, fast_options(23));
+  const auto stats = s.run();
+  // The PNF admission rule is calibrated so that most queued requests start
+  // within Q; a small violation tail remains.
+  EXPECT_LT(stats[0].sla_violation_prob, 0.15);
+}
+
+TEST(Simulator, OutageForcesForwardingOrBorrowing) {
+  auto cfg = two_sc(5.0, 5.0, 0, 5);
+  sim::Simulator without(cfg, fast_options(29));
+  const auto base = without.run();
+
+  sim::Simulator with(cfg, fast_options(29));
+  with.add_outage(0, 1000.0, 6000.0);
+  const auto out = with.run();
+  // During the outage SC 0 must borrow from SC 1 (or forward).
+  EXPECT_GT(out[0].metrics.borrowed, base[0].metrics.borrowed + 0.1);
+}
+
+TEST(Simulator, CountersAddUp) {
+  const auto cfg = two_sc(8.0, 6.0, 3, 3);
+  sim::Simulator s(cfg, fast_options(31));
+  const auto stats = s.run();
+  for (const auto& sc : stats) {
+    // Every measured arrival is eventually served or forwarded (within the
+    // small slack of jobs still queued/in service at the horizon).
+    const auto settled = sc.served_local + sc.served_remote + sc.forwarded;
+    EXPECT_LE(settled, sc.arrivals + 50);
+    EXPECT_GE(settled + 50, sc.arrivals);
+  }
+}
+
+TEST(Simulator, InvalidOptionsThrow) {
+  const auto cfg = single_sc(5.0);
+  sim::SimOptions bad;
+  bad.measure_time = 0.0;
+  EXPECT_THROW(sim::Simulator(cfg, bad), scshare::Error);
+  sim::Simulator ok(cfg, fast_options());
+  EXPECT_THROW(ok.add_outage(5, 0.0, 1.0), scshare::Error);
+  EXPECT_THROW(ok.add_outage(0, 2.0, 1.0), scshare::Error);
+}

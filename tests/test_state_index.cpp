@@ -1,0 +1,63 @@
+#include "markov/state_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+using scshare::markov::StateIndex;
+
+TEST(StateIndex, InternAssignsSequentialIndices) {
+  StateIndex idx;
+  EXPECT_EQ(idx.intern({0, 0}), 0u);
+  EXPECT_EQ(idx.intern({1, 0}), 1u);
+  EXPECT_EQ(idx.intern({0, 1}), 2u);
+  EXPECT_EQ(idx.size(), 3u);
+}
+
+TEST(StateIndex, InternIsIdempotent) {
+  StateIndex idx;
+  const auto a = idx.intern({3, 1, 4});
+  const auto b = idx.intern({3, 1, 4});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(idx.size(), 1u);
+}
+
+TEST(StateIndex, RoundTrip) {
+  StateIndex idx;
+  const StateIndex::State s = {5, -2, 7, 0};
+  const auto i = idx.intern(s);
+  EXPECT_EQ(idx.state(i), s);
+  EXPECT_EQ(idx.at(s), i);
+}
+
+TEST(StateIndex, AtThrowsForUnknownState) {
+  StateIndex idx;
+  idx.intern({1});
+  EXPECT_THROW((void)idx.at({2}), scshare::Error);
+}
+
+TEST(StateIndex, ContainsDistinguishesSimilarStates) {
+  StateIndex idx;
+  idx.intern({1, 0});
+  EXPECT_TRUE(idx.contains({1, 0}));
+  EXPECT_FALSE(idx.contains({0, 1}));
+  // States of different length must not collide.
+  EXPECT_FALSE(idx.contains({1, 0, 0}));
+}
+
+TEST(StateIndex, ManyStatesNoCollision) {
+  StateIndex idx;
+  for (int a = 0; a < 30; ++a) {
+    for (int b = 0; b < 30; ++b) {
+      idx.intern({a, b});
+    }
+  }
+  EXPECT_EQ(idx.size(), 900u);
+  for (int a = 0; a < 30; ++a) {
+    for (int b = 0; b < 30; ++b) {
+      const auto i = idx.at({a, b});
+      EXPECT_EQ(idx.state(i)[0], a);
+      EXPECT_EQ(idx.state(i)[1], b);
+    }
+  }
+}

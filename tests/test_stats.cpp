@@ -1,0 +1,77 @@
+#include "sim/stats.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace s = scshare::sim;
+
+TEST(Welford, MeanAndVariance) {
+  s::WelfordAccumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+}
+
+TEST(Welford, SingleSampleHasZeroVariance) {
+  s::WelfordAccumulator acc;
+  acc.add(3.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.stderr_mean(), 0.0);
+}
+
+TEST(Welford, StderrShrinksWithSamples) {
+  s::WelfordAccumulator small, large;
+  for (int i = 0; i < 10; ++i) small.add(i % 2 == 0 ? 1.0 : -1.0);
+  for (int i = 0; i < 1000; ++i) large.add(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_GT(small.stderr_mean(), large.stderr_mean());
+}
+
+TEST(TimeWeighted, PiecewiseConstantAverage) {
+  s::TimeWeightedAverage avg;
+  avg.update(2.0, 1.0);  // value 1 over [0, 2)
+  avg.update(3.0, 5.0);  // value 5 over [2, 3)
+  EXPECT_DOUBLE_EQ(avg.average(), (2.0 * 1.0 + 1.0 * 5.0) / 3.0);
+}
+
+TEST(TimeWeighted, ResetDiscardsHistory) {
+  s::TimeWeightedAverage avg;
+  avg.update(10.0, 100.0);
+  avg.reset(10.0);
+  avg.update(12.0, 1.0);
+  EXPECT_DOUBLE_EQ(avg.average(), 1.0);
+  EXPECT_DOUBLE_EQ(avg.elapsed(), 2.0);
+}
+
+TEST(TimeWeighted, NoElapsedTimeGivesZero) {
+  const s::TimeWeightedAverage avg;
+  EXPECT_DOUBLE_EQ(avg.average(), 0.0);
+}
+
+TEST(TimeWeighted, BackwardsTimeThrows) {
+  s::TimeWeightedAverage avg;
+  avg.update(5.0, 1.0);
+  EXPECT_THROW(avg.update(4.0, 1.0), scshare::Error);
+}
+
+TEST(BatchMeans, PointEstimateAndWidth) {
+  const auto r = s::batch_means({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_DOUBLE_EQ(r.mean, 3.0);
+  EXPECT_EQ(r.batches, 5u);
+  // stderr = sqrt(2.5 / 5); half width = 1.96 * stderr.
+  EXPECT_NEAR(r.half_width, 1.96 * std::sqrt(2.5 / 5.0), 1e-12);
+}
+
+TEST(BatchMeans, EmptyInput) {
+  const auto r = s::batch_means({});
+  EXPECT_DOUBLE_EQ(r.mean, 0.0);
+  EXPECT_EQ(r.batches, 0u);
+}
+
+TEST(BatchMeans, IdenticalBatchesHaveZeroWidth) {
+  const auto r = s::batch_means({2.0, 2.0, 2.0});
+  EXPECT_DOUBLE_EQ(r.half_width, 0.0);
+}

@@ -1,0 +1,116 @@
+#include "market/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "federation/backend.hpp"
+
+namespace fed = scshare::federation;
+namespace mkt = scshare::market;
+
+namespace {
+
+fed::FederationConfig small_federation() {
+  fed::FederationConfig cfg;
+  cfg.scs = {{.num_vms = 4, .lambda = 3.2, .mu = 1.0, .max_wait = 0.2},
+             {.num_vms = 4, .lambda = 2.0, .mu = 1.0, .max_wait = 0.2}};
+  cfg.shares = {0, 0};
+  return cfg;
+}
+
+}  // namespace
+
+TEST(ShareGrid, EnumeratesFullGrid) {
+  const auto grid = mkt::share_grid(small_federation(), 1);
+  EXPECT_EQ(grid.size(), 25u);  // (4+1)^2
+}
+
+TEST(ShareGrid, StrideSkipsButKeepsEndpoints) {
+  const auto grid = mkt::share_grid(small_federation(), 2);
+  // values per SC: {0, 2, 4} -> 9 points.
+  EXPECT_EQ(grid.size(), 9u);
+  bool has_max = false;
+  for (const auto& p : grid) {
+    if (p[0] == 4 && p[1] == 4) has_max = true;
+  }
+  EXPECT_TRUE(has_max);
+}
+
+TEST(ShareGrid, InvalidStrideThrows) {
+  EXPECT_THROW((void)mkt::share_grid(small_federation(), 0), scshare::Error);
+}
+
+TEST(PriceSweep, ProducesOnePointPerRatio) {
+  fed::CachingBackend backend(std::make_unique<fed::DetailedBackend>());
+  mkt::SweepOptions options;
+  options.ratios = {0.2, 0.5, 0.8};
+  options.game.method = mkt::BestResponseMethod::kExhaustive;
+  const auto points =
+      mkt::run_price_sweep(small_federation(), backend, options);
+  ASSERT_EQ(points.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(points[i].ratio, options.ratios[i]);
+    EXPECT_EQ(points[i].equilibria.size(), 3u);  // default initial points
+  }
+}
+
+TEST(PriceSweep, EfficiencyInUnitInterval) {
+  fed::CachingBackend backend(std::make_unique<fed::DetailedBackend>());
+  mkt::SweepOptions options;
+  options.ratios = {0.3, 0.7};
+  options.game.method = mkt::BestResponseMethod::kExhaustive;
+  const auto points =
+      mkt::run_price_sweep(small_federation(), backend, options);
+  for (const auto& point : points) {
+    for (const auto& outcome : point.outcomes) {
+      EXPECT_GE(outcome.efficiency, 0.0);
+      EXPECT_LE(outcome.efficiency, 1.0);
+      EXPECT_GE(outcome.welfare_opt, outcome.welfare_ne);
+    }
+  }
+}
+
+TEST(PriceSweep, OptimumBeatsOrMatchesEveryEquilibrium) {
+  fed::CachingBackend backend(std::make_unique<fed::DetailedBackend>());
+  mkt::SweepOptions options;
+  options.ratios = {0.4};
+  options.game.method = mkt::BestResponseMethod::kExhaustive;
+  const auto points =
+      mkt::run_price_sweep(small_federation(), backend, options);
+  const auto& point = points[0];
+  for (std::size_t f = 0; f < mkt::kAllFairness.size(); ++f) {
+    for (const auto& eq : point.equilibria) {
+      const double w =
+          mkt::welfare(mkt::kAllFairness[f], eq.shares, eq.utilities);
+      EXPECT_LE(w, point.outcomes[f].welfare_opt + 1e-9);
+    }
+  }
+}
+
+TEST(PriceSweep, CachePreventsGrowthAcrossRatios) {
+  fed::CachingBackend backend(std::make_unique<fed::DetailedBackend>());
+  mkt::SweepOptions options;
+  options.ratios = {0.3};
+  options.game.method = mkt::BestResponseMethod::kExhaustive;
+  (void)mkt::run_price_sweep(small_federation(), backend, options);
+  const auto after_first = backend.cache_size();
+  // The optimum search touches the full grid, so the cache holds at most
+  // (N+1)^K vectors; subsequent ratios add nothing.
+  EXPECT_LE(after_first, 25u);
+  options.ratios = {0.6, 0.9};
+  (void)mkt::run_price_sweep(small_federation(), backend, options);
+  EXPECT_EQ(backend.cache_size(), after_first);
+}
+
+TEST(PriceSweep, InvalidRatiosThrow) {
+  fed::CachingBackend backend(std::make_unique<fed::DetailedBackend>());
+  mkt::SweepOptions options;
+  options.ratios = {};
+  EXPECT_THROW(
+      (void)mkt::run_price_sweep(small_federation(), backend, options),
+      scshare::Error);
+  options.ratios = {1.5};
+  EXPECT_THROW(
+      (void)mkt::run_price_sweep(small_federation(), backend, options),
+      scshare::Error);
+}

@@ -1,0 +1,90 @@
+#include "market/tabu.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace mkt = scshare::market;
+
+TEST(Tabu, FindsUnimodalMaximum) {
+  const auto objective = [](int x) {
+    return -std::pow(static_cast<double>(x) - 7.0, 2.0);
+  };
+  const auto r = mkt::tabu_search(0, 0, 20, objective);
+  EXPECT_EQ(r.best, 7);
+  EXPECT_DOUBLE_EQ(r.best_value, 0.0);
+}
+
+TEST(Tabu, FindsMaximumFromFarStart) {
+  const auto objective = [](int x) {
+    return -std::abs(static_cast<double>(x) - 3.0);
+  };
+  const auto r = mkt::tabu_search(50, 0, 50, objective);
+  EXPECT_EQ(r.best, 3);
+}
+
+TEST(Tabu, EscapesLocalMaximumWithinDistance) {
+  // Two peaks: local at 2 (value 5), global at 6 (value 9); valley between.
+  const auto objective = [](int x) {
+    switch (x) {
+      case 2: return 5.0;
+      case 6: return 9.0;
+      case 3:
+      case 5: return 1.0;
+      case 4: return 0.5;
+      default: return 0.0;
+    }
+  };
+  mkt::TabuOptions opts;
+  opts.distance = 2;
+  opts.max_iterations = 40;
+  const auto r = mkt::tabu_search(2, 0, 10, objective, opts);
+  EXPECT_EQ(r.best, 6);
+}
+
+TEST(Tabu, RespectsDomainBounds) {
+  const auto objective = [](int x) { return static_cast<double>(x); };
+  const auto r = mkt::tabu_search(0, 0, 5, objective);
+  EXPECT_EQ(r.best, 5);
+  const auto r2 = mkt::tabu_search(10, 2, 5, objective);
+  EXPECT_EQ(r2.best, 5);
+}
+
+TEST(Tabu, SingletonDomain) {
+  const auto objective = [](int) { return 1.0; };
+  const auto r = mkt::tabu_search(0, 3, 3, objective);
+  EXPECT_EQ(r.best, 3);
+  EXPECT_DOUBLE_EQ(r.best_value, 1.0);
+}
+
+TEST(Tabu, PlateauTerminates) {
+  const auto objective = [](int) { return 0.0; };
+  mkt::TabuOptions opts;
+  opts.max_iterations = 100;
+  const auto r = mkt::tabu_search(5, 0, 10, objective, opts);
+  EXPECT_LE(r.iterations, opts.max_iterations);
+}
+
+TEST(Tabu, EvaluationCountIsBounded) {
+  int calls = 0;
+  const auto objective = [&calls](int x) {
+    ++calls;
+    return -std::pow(static_cast<double>(x) - 4.0, 2.0);
+  };
+  mkt::TabuOptions opts;
+  opts.distance = 2;
+  opts.max_iterations = 10;
+  (void)mkt::tabu_search(0, 0, 30, objective, opts);
+  EXPECT_LE(calls, 1 + opts.max_iterations * 2 * opts.distance);
+}
+
+TEST(Tabu, InvalidOptionsThrow) {
+  const auto objective = [](int) { return 0.0; };
+  EXPECT_THROW((void)mkt::tabu_search(0, 5, 4, objective), scshare::Error);
+  mkt::TabuOptions bad;
+  bad.distance = 0;
+  EXPECT_THROW((void)mkt::tabu_search(0, 0, 5, objective, bad),
+               scshare::Error);
+}

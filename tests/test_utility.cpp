@@ -1,0 +1,79 @@
+#include "market/utility.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace mkt = scshare::market;
+
+TEST(Utility, Gamma0IsSquaredCostReduction) {
+  const mkt::UtilityParams uf0{.gamma = 0.0};
+  // C0 = 10, C = 4: reduction 6 -> utility 36.
+  EXPECT_DOUBLE_EQ(mkt::sc_utility_raw(10.0, 4.0, 0.5, 0.7, 3, uf0), 36.0);
+}
+
+TEST(Utility, Gamma1DividesByUtilizationDelta) {
+  const mkt::UtilityParams uf1{.gamma = 1.0};
+  // reduction 6, delta rho = 0.2 -> 36 / 0.2 = 180.
+  EXPECT_NEAR(mkt::sc_utility_raw(10.0, 4.0, 0.5, 0.7, 3, uf1), 180.0, 1e-9);
+}
+
+TEST(Utility, IntermediateGamma) {
+  const mkt::UtilityParams uf{.gamma = 0.5};
+  const double expected = 36.0 / std::sqrt(0.2);
+  EXPECT_NEAR(mkt::sc_utility_raw(10.0, 4.0, 0.5, 0.7, 3, uf), expected, 1e-9);
+}
+
+TEST(Utility, NonParticipantHasZeroUtility) {
+  const mkt::UtilityParams uf{.gamma = 1.0};
+  EXPECT_DOUBLE_EQ(mkt::sc_utility_raw(10.0, 4.0, 0.5, 0.7, 0, uf), 0.0);
+}
+
+TEST(Utility, CostIncreaseClampsToZero) {
+  const mkt::UtilityParams uf{.gamma = 0.0};
+  EXPECT_DOUBLE_EQ(mkt::sc_utility_raw(4.0, 10.0, 0.5, 0.7, 3, uf), 0.0);
+}
+
+TEST(Utility, ZeroReductionAvoidsZeroByZeroDivision) {
+  const mkt::UtilityParams uf{.gamma = 1.0};
+  // No cost reduction and no utilization change: utility must be 0, not NaN.
+  const double u = mkt::sc_utility_raw(10.0, 10.0, 0.5, 0.5, 3, uf);
+  EXPECT_DOUBLE_EQ(u, 0.0);
+}
+
+TEST(Utility, NoisyUtilizationDeltaIsClamped) {
+  const mkt::UtilityParams uf{.gamma = 1.0, .min_utilization_delta = 1e-6};
+  // Slightly negative measured delta (simulation noise): clamped, finite.
+  const double u = mkt::sc_utility_raw(10.0, 9.0, 0.5, 0.4999, 3, uf);
+  EXPECT_TRUE(std::isfinite(u));
+  EXPECT_GT(u, 0.0);
+}
+
+TEST(Utility, HigherUtilizationIncreaseLowersUf1) {
+  const mkt::UtilityParams uf1{.gamma = 1.0};
+  const double small_delta = mkt::sc_utility_raw(10.0, 4.0, 0.5, 0.55, 3, uf1);
+  const double large_delta = mkt::sc_utility_raw(10.0, 4.0, 0.5, 0.9, 3, uf1);
+  EXPECT_GT(small_delta, large_delta);
+}
+
+TEST(Utility, InvalidGammaThrows) {
+  const mkt::UtilityParams bad{.gamma = 1.5};
+  EXPECT_THROW((void)mkt::sc_utility_raw(10.0, 4.0, 0.5, 0.7, 3, bad),
+               scshare::Error);
+}
+
+TEST(Utility, FromMetricsUsesEquationOne) {
+  scshare::federation::ScMetrics m;
+  m.forward_rate = 0.5;
+  m.borrowed = 1.0;
+  m.lent = 2.0;
+  m.utilization = 0.8;
+  mkt::Baseline baseline;
+  baseline.cost = 10.0;
+  baseline.utilization = 0.6;
+  const mkt::UtilityParams uf0{.gamma = 0.0};
+  // cost = 0.5*8 + (1-2)*2 = 2 -> reduction 8 -> utility 64.
+  EXPECT_DOUBLE_EQ(mkt::sc_utility(m, baseline, 8.0, 2.0, 3, uf0), 64.0);
+}

@@ -1,0 +1,175 @@
+// scshare — command-line front end of the SC-Share library.
+//
+// Usage:
+//   scshare <command> <config.json> [--backend approx|detailed|simulation]
+//                                   [--compact]
+//
+// Commands:
+//   validate     parse + validate the configuration, echo it back
+//   baseline     per-SC no-sharing cost and utilization (Sect. III-A)
+//   metrics      lent / borrowed / forwarding under the configured shares
+//   costs        Eq. (1) operating costs and Eq. (2) utilities
+//   equilibrium  run the repeated sharing game (Algorithm 1)
+//   sweep        price-ratio sweep with welfare/efficiency (Fig. 7 analysis)
+//   simulate     full discrete-event simulation with confidence intervals
+//
+// The configuration schema is shown in examples/configs/three_sc.json; the
+// result is JSON on stdout (pretty-printed unless --compact).
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/framework.hpp"
+#include "io/config_io.hpp"
+
+namespace {
+
+using namespace scshare;
+
+struct CliOptions {
+  std::string command;
+  std::string config_path;
+  std::string backend = "approx";
+  bool compact = false;
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: scshare <validate|baseline|metrics|costs|equilibrium|sweep|"
+      "simulate> <config.json> [--backend approx|detailed|simulation] "
+      "[--compact]\n");
+  return 2;
+}
+
+io::Json load_config(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "cannot open configuration file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return io::Json::parse(buffer.str());
+}
+
+BackendKind backend_kind(const std::string& name) {
+  if (name == "approx") return BackendKind::kApprox;
+  if (name == "detailed") return BackendKind::kDetailed;
+  if (name == "simulation") return BackendKind::kSimulation;
+  require(false, "unknown backend: " + name);
+  return BackendKind::kApprox;
+}
+
+int run(const CliOptions& cli) {
+  const io::Json config_json = load_config(cli.config_path);
+  const auto federation = io::parse_federation(config_json.at("federation"));
+  const int indent = cli.compact ? -1 : 2;
+
+  if (cli.command == "validate") {
+    std::puts(io::to_json(federation).dump(indent).c_str());
+    return 0;
+  }
+
+  market::PriceConfig prices;
+  if (config_json.contains("prices")) {
+    prices = io::parse_prices(config_json.at("prices"), federation.size());
+  } else {
+    prices.public_price.assign(federation.size(), 1.0);
+    prices.federation_price = 0.5;
+  }
+  const market::UtilityParams utility =
+      config_json.contains("utility")
+          ? io::parse_utility(config_json.at("utility"))
+          : market::UtilityParams{};
+
+  FrameworkOptions options;
+  options.backend = backend_kind(cli.backend);
+  if (config_json.contains("sim")) {
+    options.sim = io::parse_sim_options(config_json.at("sim"));
+  }
+  Framework framework(federation, prices, utility, options);
+
+  io::JsonObject out;
+  out["backend"] = cli.backend;
+
+  if (cli.command == "baseline") {
+    io::JsonArray baselines;
+    for (const auto& b : framework.baselines()) {
+      baselines.push_back(io::to_json(b));
+    }
+    out["baselines"] = io::Json(std::move(baselines));
+  } else if (cli.command == "metrics") {
+    out["metrics"] = io::to_json(framework.metrics());
+  } else if (cli.command == "costs") {
+    const auto costs = framework.costs(federation.shares);
+    const auto utilities = framework.utilities(federation.shares);
+    io::JsonArray cost_array, utility_array;
+    for (double c : costs) cost_array.emplace_back(c);
+    for (double u : utilities) utility_array.emplace_back(u);
+    out["costs"] = io::Json(std::move(cost_array));
+    out["utilities"] = io::Json(std::move(utility_array));
+  } else if (cli.command == "equilibrium") {
+    market::GameOptions game;
+    if (config_json.contains("game")) {
+      game = io::parse_game_options(config_json.at("game"));
+    }
+    out["equilibrium"] = io::to_json(framework.find_equilibrium(game));
+  } else if (cli.command == "sweep") {
+    require(config_json.contains("sweep"),
+            "sweep command requires a \"sweep\" section");
+    const io::Json& sweep_json = config_json.at("sweep");
+    market::SweepOptions sweep;
+    for (const auto& r : sweep_json.at("ratios").as_array()) {
+      sweep.ratios.push_back(r.as_double());
+    }
+    sweep.public_price = sweep_json.get_or("public_price", 1.0);
+    sweep.optimum_stride = sweep_json.get_or("optimum_stride", 1);
+    if (config_json.contains("game")) {
+      sweep.game = io::parse_game_options(config_json.at("game"));
+    }
+    io::JsonArray points;
+    for (const auto& point : framework.sweep_prices(sweep)) {
+      points.push_back(io::to_json(point));
+    }
+    out["sweep"] = io::Json(std::move(points));
+  } else if (cli.command == "simulate") {
+    sim::SimOptions sim_options;
+    if (config_json.contains("sim")) {
+      sim_options = io::parse_sim_options(config_json.at("sim"));
+    }
+    sim::Simulator simulator(federation, sim_options);
+    io::JsonArray stats;
+    for (const auto& s : simulator.run()) stats.push_back(io::to_json(s));
+    out["simulation"] = io::Json(std::move(stats));
+  } else {
+    return usage();
+  }
+
+  std::puts(io::Json(std::move(out)).dump(indent).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  if (argc < 3) return usage();
+  cli.command = argv[1];
+  cli.config_path = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--backend" && i + 1 < argc) {
+      cli.backend = argv[++i];
+    } else if (arg == "--compact") {
+      cli.compact = true;
+    } else {
+      return usage();
+    }
+  }
+  try {
+    return run(cli);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "scshare: %s\n", e.what());
+    return 1;
+  }
+}
