@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_exact_cross.dir/ablation_exact_cross.cpp.o"
+  "CMakeFiles/ablation_exact_cross.dir/ablation_exact_cross.cpp.o.d"
+  "ablation_exact_cross"
+  "ablation_exact_cross.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_exact_cross.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lumping.dir/ablation_lumping.cpp.o"
+  "CMakeFiles/ablation_lumping.dir/ablation_lumping.cpp.o.d"
+  "ablation_lumping"
+  "ablation_lumping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lumping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multi_federation.dir/ablation_multi_federation.cpp.o"
+  "CMakeFiles/ablation_multi_federation.dir/ablation_multi_federation.cpp.o.d"
+  "ablation_multi_federation"
+  "ablation_multi_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multi_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_service_dist.dir/ablation_service_dist.cpp.o"
+  "CMakeFiles/ablation_service_dist.dir/ablation_service_dist.cpp.o.d"
+  "ablation_service_dist"
+  "ablation_service_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_service_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_forwarding.dir/fig5_forwarding.cpp.o"
+  "CMakeFiles/fig5_forwarding.dir/fig5_forwarding.cpp.o.d"
+  "fig5_forwarding"
+  "fig5_forwarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_forwarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_approx_validation.dir/fig6_approx_validation.cpp.o"
+  "CMakeFiles/fig6_approx_validation.dir/fig6_approx_validation.cpp.o.d"
+  "fig6_approx_validation"
+  "fig6_approx_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_approx_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_market.dir/fig7_market.cpp.o"
+  "CMakeFiles/fig7_market.dir/fig7_market.cpp.o.d"
+  "fig7_market"
+  "fig7_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

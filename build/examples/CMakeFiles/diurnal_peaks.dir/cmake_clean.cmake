@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diurnal_peaks.dir/diurnal_peaks.cpp.o"
+  "CMakeFiles/diurnal_peaks.dir/diurnal_peaks.cpp.o.d"
+  "diurnal_peaks"
+  "diurnal_peaks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diurnal_peaks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

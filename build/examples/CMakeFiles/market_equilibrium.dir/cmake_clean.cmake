@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_equilibrium.dir/market_equilibrium.cpp.o"
+  "CMakeFiles/market_equilibrium.dir/market_equilibrium.cpp.o.d"
+  "market_equilibrium"
+  "market_equilibrium.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_equilibrium.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

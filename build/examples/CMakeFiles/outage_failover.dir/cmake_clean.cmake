@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outage_failover.dir/outage_failover.cpp.o"
+  "CMakeFiles/outage_failover.dir/outage_failover.cpp.o.d"
+  "outage_failover"
+  "outage_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outage_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surge_analysis.dir/surge_analysis.cpp.o"
+  "CMakeFiles/surge_analysis.dir/surge_analysis.cpp.o.d"
+  "surge_analysis"
+  "surge_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surge_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scshare_common.dir/common/math.cpp.o"
+  "CMakeFiles/scshare_common.dir/common/math.cpp.o.d"
+  "CMakeFiles/scshare_common.dir/common/rng.cpp.o"
+  "CMakeFiles/scshare_common.dir/common/rng.cpp.o.d"
+  "libscshare_common.a"
+  "libscshare_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scshare_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

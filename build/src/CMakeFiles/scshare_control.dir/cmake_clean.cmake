@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scshare_control.dir/control/sharing_controller.cpp.o"
+  "CMakeFiles/scshare_control.dir/control/sharing_controller.cpp.o.d"
+  "CMakeFiles/scshare_control.dir/control/workload_monitor.cpp.o"
+  "CMakeFiles/scshare_control.dir/control/workload_monitor.cpp.o.d"
+  "libscshare_control.a"
+  "libscshare_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scshare_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

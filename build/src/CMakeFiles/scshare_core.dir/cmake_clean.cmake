@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scshare_core.dir/core/framework.cpp.o"
+  "CMakeFiles/scshare_core.dir/core/framework.cpp.o.d"
+  "libscshare_core.a"
+  "libscshare_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scshare_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/federation/approx_model.cpp" "src/CMakeFiles/scshare_federation.dir/federation/approx_model.cpp.o" "gcc" "src/CMakeFiles/scshare_federation.dir/federation/approx_model.cpp.o.d"
+  "/root/repo/src/federation/backends.cpp" "src/CMakeFiles/scshare_federation.dir/federation/backends.cpp.o" "gcc" "src/CMakeFiles/scshare_federation.dir/federation/backends.cpp.o.d"
+  "/root/repo/src/federation/detailed_model.cpp" "src/CMakeFiles/scshare_federation.dir/federation/detailed_model.cpp.o" "gcc" "src/CMakeFiles/scshare_federation.dir/federation/detailed_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/scshare_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scshare_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scshare_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scshare_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scshare_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scshare_federation.dir/federation/approx_model.cpp.o"
+  "CMakeFiles/scshare_federation.dir/federation/approx_model.cpp.o.d"
+  "CMakeFiles/scshare_federation.dir/federation/backends.cpp.o"
+  "CMakeFiles/scshare_federation.dir/federation/backends.cpp.o.d"
+  "CMakeFiles/scshare_federation.dir/federation/detailed_model.cpp.o"
+  "CMakeFiles/scshare_federation.dir/federation/detailed_model.cpp.o.d"
+  "libscshare_federation.a"
+  "libscshare_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scshare_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

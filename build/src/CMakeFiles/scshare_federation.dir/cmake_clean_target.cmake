@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscshare_federation.a"
+)

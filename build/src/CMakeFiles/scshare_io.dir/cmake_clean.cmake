@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scshare_io.dir/io/config_io.cpp.o"
+  "CMakeFiles/scshare_io.dir/io/config_io.cpp.o.d"
+  "CMakeFiles/scshare_io.dir/io/json.cpp.o"
+  "CMakeFiles/scshare_io.dir/io/json.cpp.o.d"
+  "libscshare_io.a"
+  "libscshare_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scshare_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

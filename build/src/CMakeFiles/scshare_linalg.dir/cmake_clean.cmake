@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scshare_linalg.dir/linalg/csr_matrix.cpp.o"
+  "CMakeFiles/scshare_linalg.dir/linalg/csr_matrix.cpp.o.d"
+  "CMakeFiles/scshare_linalg.dir/linalg/vector_ops.cpp.o"
+  "CMakeFiles/scshare_linalg.dir/linalg/vector_ops.cpp.o.d"
+  "libscshare_linalg.a"
+  "libscshare_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scshare_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

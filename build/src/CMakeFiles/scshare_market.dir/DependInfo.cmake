@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/market/cost.cpp" "src/CMakeFiles/scshare_market.dir/market/cost.cpp.o" "gcc" "src/CMakeFiles/scshare_market.dir/market/cost.cpp.o.d"
+  "/root/repo/src/market/fairness.cpp" "src/CMakeFiles/scshare_market.dir/market/fairness.cpp.o" "gcc" "src/CMakeFiles/scshare_market.dir/market/fairness.cpp.o.d"
+  "/root/repo/src/market/game.cpp" "src/CMakeFiles/scshare_market.dir/market/game.cpp.o" "gcc" "src/CMakeFiles/scshare_market.dir/market/game.cpp.o.d"
+  "/root/repo/src/market/multi_federation.cpp" "src/CMakeFiles/scshare_market.dir/market/multi_federation.cpp.o" "gcc" "src/CMakeFiles/scshare_market.dir/market/multi_federation.cpp.o.d"
+  "/root/repo/src/market/sweep.cpp" "src/CMakeFiles/scshare_market.dir/market/sweep.cpp.o" "gcc" "src/CMakeFiles/scshare_market.dir/market/sweep.cpp.o.d"
+  "/root/repo/src/market/tabu.cpp" "src/CMakeFiles/scshare_market.dir/market/tabu.cpp.o" "gcc" "src/CMakeFiles/scshare_market.dir/market/tabu.cpp.o.d"
+  "/root/repo/src/market/utility.cpp" "src/CMakeFiles/scshare_market.dir/market/utility.cpp.o" "gcc" "src/CMakeFiles/scshare_market.dir/market/utility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/scshare_federation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scshare_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scshare_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scshare_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scshare_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scshare_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

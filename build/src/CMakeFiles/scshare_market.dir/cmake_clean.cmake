@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scshare_market.dir/market/cost.cpp.o"
+  "CMakeFiles/scshare_market.dir/market/cost.cpp.o.d"
+  "CMakeFiles/scshare_market.dir/market/fairness.cpp.o"
+  "CMakeFiles/scshare_market.dir/market/fairness.cpp.o.d"
+  "CMakeFiles/scshare_market.dir/market/game.cpp.o"
+  "CMakeFiles/scshare_market.dir/market/game.cpp.o.d"
+  "CMakeFiles/scshare_market.dir/market/multi_federation.cpp.o"
+  "CMakeFiles/scshare_market.dir/market/multi_federation.cpp.o.d"
+  "CMakeFiles/scshare_market.dir/market/sweep.cpp.o"
+  "CMakeFiles/scshare_market.dir/market/sweep.cpp.o.d"
+  "CMakeFiles/scshare_market.dir/market/tabu.cpp.o"
+  "CMakeFiles/scshare_market.dir/market/tabu.cpp.o.d"
+  "CMakeFiles/scshare_market.dir/market/utility.cpp.o"
+  "CMakeFiles/scshare_market.dir/market/utility.cpp.o.d"
+  "libscshare_market.a"
+  "libscshare_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scshare_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

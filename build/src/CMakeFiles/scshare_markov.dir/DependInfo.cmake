@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/markov/ctmc.cpp" "src/CMakeFiles/scshare_markov.dir/markov/ctmc.cpp.o" "gcc" "src/CMakeFiles/scshare_markov.dir/markov/ctmc.cpp.o.d"
+  "/root/repo/src/markov/lumping.cpp" "src/CMakeFiles/scshare_markov.dir/markov/lumping.cpp.o" "gcc" "src/CMakeFiles/scshare_markov.dir/markov/lumping.cpp.o.d"
+  "/root/repo/src/markov/steady_state.cpp" "src/CMakeFiles/scshare_markov.dir/markov/steady_state.cpp.o" "gcc" "src/CMakeFiles/scshare_markov.dir/markov/steady_state.cpp.o.d"
+  "/root/repo/src/markov/transient.cpp" "src/CMakeFiles/scshare_markov.dir/markov/transient.cpp.o" "gcc" "src/CMakeFiles/scshare_markov.dir/markov/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/scshare_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scshare_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scshare_markov.dir/markov/ctmc.cpp.o"
+  "CMakeFiles/scshare_markov.dir/markov/ctmc.cpp.o.d"
+  "CMakeFiles/scshare_markov.dir/markov/lumping.cpp.o"
+  "CMakeFiles/scshare_markov.dir/markov/lumping.cpp.o.d"
+  "CMakeFiles/scshare_markov.dir/markov/steady_state.cpp.o"
+  "CMakeFiles/scshare_markov.dir/markov/steady_state.cpp.o.d"
+  "CMakeFiles/scshare_markov.dir/markov/transient.cpp.o"
+  "CMakeFiles/scshare_markov.dir/markov/transient.cpp.o.d"
+  "libscshare_markov.a"
+  "libscshare_markov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scshare_markov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

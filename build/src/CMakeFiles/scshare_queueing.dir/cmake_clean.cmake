@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scshare_queueing.dir/queueing/forwarding.cpp.o"
+  "CMakeFiles/scshare_queueing.dir/queueing/forwarding.cpp.o.d"
+  "CMakeFiles/scshare_queueing.dir/queueing/mmc.cpp.o"
+  "CMakeFiles/scshare_queueing.dir/queueing/mmc.cpp.o.d"
+  "CMakeFiles/scshare_queueing.dir/queueing/no_share_model.cpp.o"
+  "CMakeFiles/scshare_queueing.dir/queueing/no_share_model.cpp.o.d"
+  "CMakeFiles/scshare_queueing.dir/queueing/phase_type_model.cpp.o"
+  "CMakeFiles/scshare_queueing.dir/queueing/phase_type_model.cpp.o.d"
+  "libscshare_queueing.a"
+  "libscshare_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scshare_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

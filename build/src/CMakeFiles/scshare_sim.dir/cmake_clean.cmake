@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scshare_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/scshare_sim.dir/sim/simulator.cpp.o.d"
+  "CMakeFiles/scshare_sim.dir/sim/stats.cpp.o"
+  "CMakeFiles/scshare_sim.dir/sim/stats.cpp.o.d"
+  "libscshare_sim.a"
+  "libscshare_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scshare_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

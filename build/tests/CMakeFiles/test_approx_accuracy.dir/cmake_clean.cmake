@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_approx_accuracy.dir/test_approx_accuracy.cpp.o"
+  "CMakeFiles/test_approx_accuracy.dir/test_approx_accuracy.cpp.o.d"
+  "test_approx_accuracy"
+  "test_approx_accuracy.pdb"
+  "test_approx_accuracy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_approx_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_approx_sweep.dir/test_approx_sweep.cpp.o"
+  "CMakeFiles/test_approx_sweep.dir/test_approx_sweep.cpp.o.d"
+  "test_approx_sweep"
+  "test_approx_sweep.pdb"
+  "test_approx_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_approx_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_config_io.cpp" "tests/CMakeFiles/test_config_io.dir/test_config_io.cpp.o" "gcc" "tests/CMakeFiles/test_config_io.dir/test_config_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/scshare_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scshare_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scshare_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scshare_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scshare_federation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scshare_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scshare_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scshare_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scshare_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scshare_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

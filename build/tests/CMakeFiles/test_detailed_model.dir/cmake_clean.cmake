@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detailed_model.dir/test_detailed_model.cpp.o"
+  "CMakeFiles/test_detailed_model.dir/test_detailed_model.cpp.o.d"
+  "test_detailed_model"
+  "test_detailed_model.pdb"
+  "test_detailed_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detailed_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_game.dir/test_game.cpp.o"
+  "CMakeFiles/test_game.dir/test_game.cpp.o.d"
+  "test_game"
+  "test_game.pdb"
+  "test_game[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_game_updates.dir/test_game_updates.cpp.o"
+  "CMakeFiles/test_game_updates.dir/test_game_updates.cpp.o.d"
+  "test_game_updates"
+  "test_game_updates.pdb"
+  "test_game_updates[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_game_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

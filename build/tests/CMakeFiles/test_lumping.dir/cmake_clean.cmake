@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lumping.dir/test_lumping.cpp.o"
+  "CMakeFiles/test_lumping.dir/test_lumping.cpp.o.d"
+  "test_lumping"
+  "test_lumping.pdb"
+  "test_lumping[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lumping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

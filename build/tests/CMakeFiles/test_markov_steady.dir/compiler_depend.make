@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_markov_steady.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_markov_transient.dir/test_markov_transient.cpp.o"
+  "CMakeFiles/test_markov_transient.dir/test_markov_transient.cpp.o.d"
+  "test_markov_transient"
+  "test_markov_transient.pdb"
+  "test_markov_transient[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_markov_transient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_federation.dir/test_multi_federation.cpp.o"
+  "CMakeFiles/test_multi_federation.dir/test_multi_federation.cpp.o.d"
+  "test_multi_federation"
+  "test_multi_federation.pdb"
+  "test_multi_federation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_no_share.dir/test_no_share.cpp.o"
+  "CMakeFiles/test_no_share.dir/test_no_share.cpp.o.d"
+  "test_no_share"
+  "test_no_share.pdb"
+  "test_no_share[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_no_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_policies.dir/test_sim_policies.cpp.o"
+  "CMakeFiles/test_sim_policies.dir/test_sim_policies.cpp.o.d"
+  "test_sim_policies"
+  "test_sim_policies.pdb"
+  "test_sim_policies[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_state_index.dir/test_state_index.cpp.o"
+  "CMakeFiles/test_state_index.dir/test_state_index.cpp.o.d"
+  "test_state_index"
+  "test_state_index.pdb"
+  "test_state_index[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_state_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

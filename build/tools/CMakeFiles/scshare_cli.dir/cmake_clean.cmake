@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scshare_cli.dir/scshare_cli.cpp.o"
+  "CMakeFiles/scshare_cli.dir/scshare_cli.cpp.o.d"
+  "scshare"
+  "scshare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scshare_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_validate "/root/repo/build/tools/scshare" "validate" "/root/repo/examples/configs/three_sc.json")
+set_tests_properties(cli_validate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_baseline "/root/repo/build/tools/scshare" "baseline" "/root/repo/examples/configs/three_sc.json" "--compact")
+set_tests_properties(cli_baseline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_metrics_simulation "/root/repo/build/tools/scshare" "metrics" "/root/repo/examples/configs/three_sc.json" "--backend" "simulation" "--compact")
+set_tests_properties(cli_metrics_simulation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_costs_simulation "/root/repo/build/tools/scshare" "costs" "/root/repo/examples/configs/three_sc.json" "--backend" "simulation" "--compact")
+set_tests_properties(cli_costs_simulation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_simulate "/root/repo/build/tools/scshare" "simulate" "/root/repo/examples/configs/three_sc.json" "--compact")
+set_tests_properties(cli_simulate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_unknown_command "/root/repo/build/tools/scshare" "frobnicate" "/root/repo/examples/configs/three_sc.json")
+set_tests_properties(cli_rejects_unknown_command PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_missing_file "/root/repo/build/tools/scshare" "metrics" "/nonexistent.json")
+set_tests_properties(cli_rejects_missing_file PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
