@@ -8,6 +8,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/metrics.hpp"
+
 namespace scshare::bench {
 
 /// True when the environment asks for the full paper-scale grids
@@ -36,5 +38,41 @@ inline void print_header(const char* title) {
   std::printf("# mode: %s (set SCSHARE_BENCH_FULL=1 for paper-scale grids)\n",
               full_scale() ? "full" : "quick");
 }
+
+/// Snapshots the global metrics registry at construction and, on
+/// destruction, prints the non-zero counter deltas as one machine-readable
+/// line:
+///
+///   BENCH_METRICS {"label":"...","counters":{"markov...iterations":123,...}}
+///
+/// This is how the figure benches report solver-iteration and cache-hit
+/// columns alongside their wall-clock rows without plumbing the registry
+/// through every helper.
+class MetricsScope {
+ public:
+  explicit MetricsScope(std::string label)
+      : label_(std::move(label)),
+        baseline_(obs::MetricsRegistry::global().snapshot()) {}
+  ~MetricsScope() {
+    const obs::MetricsSnapshot delta =
+        obs::MetricsRegistry::global().snapshot().delta_from(baseline_);
+    std::printf("BENCH_METRICS {\"label\":\"%s\",\"counters\":{",
+                label_.c_str());
+    bool first = true;
+    for (const auto& [name, value] : delta.counters) {
+      if (value == 0) continue;
+      std::printf("%s\"%s\":%llu", first ? "" : ",", name.c_str(),
+                  static_cast<unsigned long long>(value));
+      first = false;
+    }
+    std::printf("}}\n");
+  }
+  MetricsScope(const MetricsScope&) = delete;
+  MetricsScope& operator=(const MetricsScope&) = delete;
+
+ private:
+  std::string label_;
+  obs::MetricsSnapshot baseline_;
+};
 
 }  // namespace scshare::bench

@@ -64,6 +64,8 @@ void run_scenario(const Scenario& scenario, bool full) {
   sweep.game.improvement_tolerance = 0.05;
 
   scshare::bench::Timer t;
+  scshare::bench::MetricsScope metrics(std::string("fig7_panel_") +
+                                       scenario.panel);
   const auto points = market::run_price_sweep(cfg, backend, sweep);
 
   std::printf("%-6s %-6s %8s %12s %12s %12s %14s\n", "panel", "gamma",

@@ -8,6 +8,8 @@
 #include "markov/ctmc.hpp"
 #include "markov/steady_state.hpp"
 #include "markov/transient.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
 #include "queueing/forwarding.hpp"
 #include "queueing/no_share_model.hpp"
 #include "sim/simulator.hpp"
@@ -61,6 +63,35 @@ void BM_Transient(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Transient);
+
+// ---- instrumentation overhead guards --------------------------------------
+// BM_SteadyState above runs with the always-on metrics counters but no trace
+// sink (the default); the variants below measure the two instrumentation
+// add-ons. Keep BM_SteadyStateTraced within ~2% of BM_SteadyState at
+// Arg(10000) — the per-solve trace cost is one event per solve, so it must
+// stay invisible next to the O(n * iterations) solve itself.
+
+void BM_SteadyStateTraced(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto chain = make_birth_death(n, 5.0, 1.0);
+  obs::RingBufferSink sink(1024);
+  obs::TraceSink* previous = obs::set_trace_sink(&sink);
+  for (auto _ : state) {
+    auto result = markov::solve_steady_state(chain);
+    benchmark::DoNotOptimize(result.pi.data());
+  }
+  obs::set_trace_sink(previous);
+}
+BENCHMARK(BM_SteadyStateTraced)->Arg(100)->Arg(10000);
+
+// A disabled ScopedTimer must cost nothing: no clock read, no observe.
+void BM_ScopedTimerDisabled(benchmark::State& state) {
+  for (auto _ : state) {
+    obs::ScopedTimer timer(nullptr);
+    benchmark::DoNotOptimize(timer.active());
+  }
+}
+BENCHMARK(BM_ScopedTimerDisabled);
 
 void BM_NoShareModel(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

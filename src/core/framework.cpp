@@ -20,7 +20,8 @@ std::unique_ptr<federation::PerformanceBackend> make_backend(
       break;
   }
   if (options.cache) {
-    return std::make_unique<federation::CachingBackend>(std::move(inner));
+    return std::make_unique<federation::CachingBackend>(
+        std::move(inner), options.cache_capacity);
   }
   return inner;
 }
@@ -36,7 +37,41 @@ Framework::Framework(federation::FederationConfig config,
       backend_(make_backend(options)) {
   config_.validate();
   prices_.validate(config_.size());
+
+  // Open the observability scope before the first backend evaluation so the
+  // baseline-cost solves below are already captured.
+  backend_name_ = std::string(backend_->name());
+  metrics_baseline_ = obs::MetricsRegistry::global().snapshot();
+  ring_ = std::make_unique<obs::RingBufferSink>(options.trace_capacity);
+  previous_sink_ = obs::trace_sink();
+  if (previous_sink_ != nullptr) {
+    tee_ = std::make_unique<obs::TeeSink>(previous_sink_, ring_.get());
+    obs::set_trace_sink(tee_.get());
+  } else {
+    obs::set_trace_sink(ring_.get());
+  }
+
   baselines_ = market::compute_baselines(config_, prices_);
+}
+
+Framework::~Framework() {
+  // Restore only if we are still the installed sink (LIFO discipline); if
+  // someone installed another sink on top of ours, leave theirs in place.
+  obs::TraceSink* ours =
+      tee_ != nullptr ? static_cast<obs::TraceSink*>(tee_.get())
+                      : static_cast<obs::TraceSink*>(ring_.get());
+  if (obs::trace_sink() == ours) obs::set_trace_sink(previous_sink_);
+}
+
+obs::RunReport Framework::report() const {
+  obs::RunReport report;
+  report.backend = backend_name_;
+  report.metrics = obs::MetricsRegistry::global().snapshot().delta_from(
+      metrics_baseline_);
+  report.events = ring_->events();
+  report.events_total = ring_->total_emitted();
+  report.events_dropped = ring_->dropped();
+  return report;
 }
 
 federation::FederationMetrics Framework::metrics() {

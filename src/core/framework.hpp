@@ -14,6 +14,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "federation/backend.hpp"
@@ -23,6 +24,9 @@
 #include "market/game.hpp"
 #include "market/sweep.hpp"
 #include "market/utility.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 
 namespace scshare {
 
@@ -38,12 +42,21 @@ struct FrameworkOptions {
   federation::DetailedModelOptions detailed;
   sim::SimOptions sim;
   bool cache = true;  ///< memoize backend evaluations by sharing vector
+  /// Cache bound (0 = unbounded); see CachingBackend.
+  std::size_t cache_capacity = 0;
+  /// Ring-buffer capacity for the trace events captured into report().
+  std::size_t trace_capacity = 4096;
 };
 
 class Framework {
  public:
   Framework(federation::FederationConfig config, market::PriceConfig prices,
             market::UtilityParams utility, FrameworkOptions options = {});
+
+  /// Restores the trace sink that was installed before construction.
+  ~Framework();
+  Framework(const Framework&) = delete;
+  Framework& operator=(const Framework&) = delete;
 
   /// Metrics under the configuration's own sharing vector.
   [[nodiscard]] federation::FederationMetrics metrics();
@@ -78,6 +91,14 @@ class Framework {
   /// The underlying (possibly caching) backend.
   [[nodiscard]] federation::PerformanceBackend& backend() { return *backend_; }
 
+  /// Observability summary of everything this Framework ran so far: global
+  /// registry counters as deltas since construction, current gauges and
+  /// histograms, and the trace events captured in the Framework's ring
+  /// buffer. The Framework installs its ring buffer as the process trace
+  /// sink at construction (tee-ing into any sink already installed) and
+  /// restores the previous sink on destruction.
+  [[nodiscard]] obs::RunReport report() const;
+
   [[nodiscard]] const federation::FederationConfig& config() const {
     return config_;
   }
@@ -89,6 +110,13 @@ class Framework {
   market::UtilityParams utility_;
   std::unique_ptr<federation::PerformanceBackend> backend_;
   std::vector<market::Baseline> baselines_;
+
+  // Observability scope: counter baseline + trace capture (see report()).
+  std::string backend_name_;
+  obs::MetricsSnapshot metrics_baseline_;
+  std::unique_ptr<obs::RingBufferSink> ring_;
+  std::unique_ptr<obs::TeeSink> tee_;
+  obs::TraceSink* previous_sink_ = nullptr;
 };
 
 }  // namespace scshare

@@ -7,6 +7,7 @@
 // pass (metrics do not depend on prices).
 #pragma once
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <string_view>
@@ -76,30 +77,41 @@ class SimulationBackend final : public PerformanceBackend {
 
 /// Memoizing decorator keyed by the sharing vector. The SC parameters are
 /// assumed fixed across calls (the game only mutates `shares`).
+///
+/// Every evaluation is accounted as a hit or a miss (see hits()/misses()
+/// and the global `federation.cache.*` counters) and emitted as a
+/// BackendEval trace event carrying the sharing vector and — for misses —
+/// the inner model's wall time. A non-zero `max_entries` bounds the cache
+/// with FIFO eviction (evictions() counts the displaced entries); 0 keeps
+/// it unbounded, which is right for price sweeps where every distinct
+/// sharing vector is revisited.
 class CachingBackend final : public PerformanceBackend {
  public:
-  explicit CachingBackend(std::unique_ptr<PerformanceBackend> inner)
-      : inner_(std::move(inner)) {}
+  explicit CachingBackend(std::unique_ptr<PerformanceBackend> inner,
+                          std::size_t max_entries = 0);
 
   [[nodiscard]] FederationMetrics evaluate(
-      const FederationConfig& config) override {
-    const auto it = cache_.find(config.shares);
-    if (it != cache_.end()) return it->second;
-    auto metrics = inner_->evaluate(config);
-    cache_.emplace(config.shares, metrics);
-    return metrics;
-  }
+      const FederationConfig& config) override;
 
   [[nodiscard]] std::string_view name() const override {
     return inner_->name();
   }
 
   [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
-  [[nodiscard]] std::size_t evaluations() const { return cache_.size(); }
+  /// Inner-model evaluations performed (== misses).
+  [[nodiscard]] std::size_t evaluations() const { return misses_; }
+  [[nodiscard]] std::size_t hits() const { return hits_; }
+  [[nodiscard]] std::size_t misses() const { return misses_; }
+  [[nodiscard]] std::size_t evictions() const { return evictions_; }
 
  private:
   std::unique_ptr<PerformanceBackend> inner_;
+  std::size_t max_entries_;
   std::map<std::vector<int>, FederationMetrics> cache_;
+  std::deque<std::vector<int>> insertion_order_;  ///< FIFO eviction queue
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+  std::size_t evictions_ = 0;
 };
 
 }  // namespace scshare::federation

@@ -1,10 +1,83 @@
-// The backend classes are header-only; this translation unit anchors the
-// vtable of PerformanceBackend (key function idiom keeps RTTI/vtable in one
-// object file).
+// Out-of-line backend machinery. This translation unit anchors the vtable of
+// PerformanceBackend (key function idiom) and implements the instrumented
+// CachingBackend.
 #include "federation/backend.hpp"
 
-namespace scshare::federation {
+#include <string>
+#include <utility>
 
-// Intentionally empty: see file comment.
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
+
+namespace scshare::federation {
+namespace {
+
+/// Global cache/backend instruments shared by every CachingBackend instance
+/// (per-instance numbers stay available through hits()/misses()).
+struct CacheObs {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& evictions;
+  obs::Histogram& eval_seconds;
+
+  CacheObs()
+      : hits(obs::MetricsRegistry::global().counter("federation.cache.hits")),
+        misses(obs::MetricsRegistry::global().counter(
+            "federation.cache.misses")),
+        evictions(obs::MetricsRegistry::global().counter(
+            "federation.cache.evictions")),
+        eval_seconds(obs::MetricsRegistry::global().histogram(
+            "federation.backend.eval_seconds")) {}
+};
+
+CacheObs& cache_obs() {
+  static CacheObs instruments;
+  return instruments;
+}
+
+}  // namespace
+
+CachingBackend::CachingBackend(std::unique_ptr<PerformanceBackend> inner,
+                               std::size_t max_entries)
+    : inner_(std::move(inner)), max_entries_(max_entries) {}
+
+FederationMetrics CachingBackend::evaluate(const FederationConfig& config) {
+  CacheObs& instruments = cache_obs();
+  const auto it = cache_.find(config.shares);
+  if (it != cache_.end()) {
+    ++hits_;
+    instruments.hits.add();
+    if (auto* sink = obs::trace_sink()) {
+      sink->emit(obs::BackendEvalEvent{std::string(inner_->name()),
+                                       config.shares, /*cache_hit=*/true,
+                                       0.0});
+    }
+    return it->second;
+  }
+
+  ++misses_;
+  instruments.misses.add();
+  const obs::Stopwatch stopwatch;
+  auto metrics = inner_->evaluate(config);
+  const double wall_seconds = stopwatch.seconds();
+  instruments.eval_seconds.observe(wall_seconds);
+  if (auto* sink = obs::trace_sink()) {
+    sink->emit(obs::BackendEvalEvent{std::string(inner_->name()),
+                                     config.shares, /*cache_hit=*/false,
+                                     wall_seconds});
+  }
+
+  if (max_entries_ > 0 && cache_.size() >= max_entries_) {
+    // FIFO eviction: drop the oldest inserted sharing vector.
+    cache_.erase(insertion_order_.front());
+    insertion_order_.pop_front();
+    ++evictions_;
+    instruments.evictions.add();
+  }
+  cache_.emplace(config.shares, metrics);
+  if (max_entries_ > 0) insertion_order_.push_back(config.shares);
+  return metrics;
+}
 
 }  // namespace scshare::federation

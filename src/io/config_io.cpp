@@ -230,4 +230,57 @@ Json to_json(const market::SweepPoint& point) {
   return Json(std::move(out));
 }
 
+Json to_json(const obs::HistogramSnapshot& histogram) {
+  JsonObject out;
+  JsonArray bounds, counts;
+  for (double b : histogram.bounds) bounds.emplace_back(b);
+  for (std::uint64_t c : histogram.counts) {
+    counts.emplace_back(static_cast<double>(c));
+  }
+  out["bounds"] = Json(std::move(bounds));
+  out["counts"] = Json(std::move(counts));
+  out["count"] = static_cast<double>(histogram.count);
+  out["sum"] = histogram.sum;
+  out["mean"] = histogram.mean();
+  if (histogram.count > 0) {
+    out["min"] = histogram.min;
+    out["max"] = histogram.max;
+  }
+  return Json(std::move(out));
+}
+
+Json to_json(const obs::MetricsSnapshot& snapshot) {
+  JsonObject counters, gauges, histograms;
+  for (const auto& [name, value] : snapshot.counters) {
+    counters[name] = static_cast<double>(value);
+  }
+  for (const auto& [name, value] : snapshot.gauges) gauges[name] = value;
+  for (const auto& [name, h] : snapshot.histograms) {
+    histograms[name] = to_json(h);
+  }
+  JsonObject out;
+  out["counters"] = Json(std::move(counters));
+  out["gauges"] = Json(std::move(gauges));
+  out["histograms"] = Json(std::move(histograms));
+  return Json(std::move(out));
+}
+
+Json to_json(const obs::TraceEvent& event) {
+  // The obs layer already knows how to encode events as JSON lines (the
+  // JSONL trace wire format); reuse it so the two encodings cannot drift.
+  return Json::parse(obs::to_json_line(event));
+}
+
+Json to_json(const obs::RunReport& report) {
+  JsonObject out;
+  out["backend"] = report.backend;
+  out["metrics"] = to_json(report.metrics);
+  JsonArray events;
+  for (const auto& e : report.events) events.push_back(to_json(e));
+  out["events"] = Json(std::move(events));
+  out["events_total"] = static_cast<double>(report.events_total);
+  out["events_dropped"] = static_cast<double>(report.events_dropped);
+  return Json(std::move(out));
+}
+
 }  // namespace scshare::io

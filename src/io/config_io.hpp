@@ -11,6 +11,9 @@
 #include "market/cost.hpp"
 #include "market/game.hpp"
 #include "market/sweep.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
 namespace scshare::io {
@@ -54,5 +57,12 @@ namespace scshare::io {
 [[nodiscard]] Json to_json(const market::GameResult& result);
 [[nodiscard]] Json to_json(const sim::ScSimStats& stats);
 [[nodiscard]] Json to_json(const market::SweepPoint& point);
+
+// Observability (see src/obs/): metric snapshots, trace events, and the
+// Framework::report() summary written by `scshare ... --metrics-out=FILE`.
+[[nodiscard]] Json to_json(const obs::HistogramSnapshot& histogram);
+[[nodiscard]] Json to_json(const obs::MetricsSnapshot& snapshot);
+[[nodiscard]] Json to_json(const obs::TraceEvent& event);
+[[nodiscard]] Json to_json(const obs::RunReport& report);
 
 }  // namespace scshare::io

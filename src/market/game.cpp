@@ -3,8 +3,40 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
 
 namespace scshare::market {
+namespace {
+
+struct GameObs {
+  obs::Counter& runs;
+  obs::Counter& rounds;
+  obs::Counter& best_responses;
+  obs::Counter& share_changes;
+  obs::Counter& converged;
+  obs::Histogram& seconds;
+
+  GameObs()
+      : runs(obs::MetricsRegistry::global().counter("market.game.runs")),
+        rounds(obs::MetricsRegistry::global().counter("market.game.rounds")),
+        best_responses(obs::MetricsRegistry::global().counter(
+            "market.game.best_responses")),
+        share_changes(obs::MetricsRegistry::global().counter(
+            "market.game.share_changes")),
+        converged(
+            obs::MetricsRegistry::global().counter("market.game.converged")),
+        seconds(
+            obs::MetricsRegistry::global().histogram("market.game.seconds")) {}
+};
+
+GameObs& game_obs() {
+  static GameObs instruments;
+  return instruments;
+}
+
+}  // namespace
 
 Game::Game(federation::FederationConfig config, PriceConfig prices,
            UtilityParams utility, federation::PerformanceBackend& backend,
@@ -61,7 +93,8 @@ int Game::best_response(std::size_t i, std::vector<int> shares) {
   };
 
   int best = current;
-  double best_value = objective(current);
+  const double current_value = objective(current);
+  double best_value = current_value;
   if (options_.method == BestResponseMethod::kExhaustive) {
     for (int s = 0; s <= hi; ++s) {
       if (s == current) continue;
@@ -79,20 +112,38 @@ int Game::best_response(std::size_t i, std::vector<int> shares) {
     best_value = result.best_value;
   }
 
+  GameObs& instruments = game_obs();
+  instruments.best_responses.add();
+
   // Sharing without benefit is weakly dominated by leaving the federation
   // (utility 0 either way, but participation carries oversight costs), so an
   // SC whose every option yields zero utility withdraws.
-  if (best_value <= 0.0) return 0;
-
-  // Hysteresis: stay put unless the improvement is material.
-  const double current_value = objective(current);
-  const double threshold =
-      current_value * (1.0 + options_.improvement_tolerance) +
-      options_.improvement_tolerance * 1e-6;
-  return best_value > threshold ? best : current;
+  int chosen;
+  double chosen_value;
+  if (best_value <= 0.0) {
+    chosen = 0;
+    chosen_value = 0.0;
+  } else {
+    // Hysteresis: stay put unless the improvement is material.
+    const double threshold =
+        current_value * (1.0 + options_.improvement_tolerance) +
+        options_.improvement_tolerance * 1e-6;
+    chosen = best_value > threshold ? best : current;
+    chosen_value = chosen == best ? best_value : current_value;
+  }
+  if (chosen != current) instruments.share_changes.add();
+  if (auto* sink = obs::trace_sink()) {
+    sink->emit(obs::BestResponseEvent{static_cast<int>(i), current, chosen,
+                                      current_value, chosen_value});
+  }
+  return chosen;
 }
 
 GameResult Game::run() {
+  GameObs& instruments = game_obs();
+  const obs::ScopedTimer timer(&instruments.seconds);
+  instruments.runs.add();
+
   GameResult result;
   std::vector<int> shares = options_.initial_shares;
 
@@ -113,6 +164,10 @@ GameResult Game::run() {
     }
     result.rounds = round;
     result.trajectory.push_back(next);
+    instruments.rounds.add();
+    if (auto* sink = obs::trace_sink()) {
+      sink->emit(obs::EquilibriumRoundEvent{round, next, next != shares});
+    }
     if (next == shares) {
       result.converged = true;
       shares = std::move(next);
@@ -128,6 +183,7 @@ GameResult Game::run() {
     if (seen) break;
   }
 
+  if (result.converged) instruments.converged.add();
   result.shares = shares;
   result.utilities = utilities_of(shares);
   federation::FederationConfig cfg = config_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
 
 namespace scshare::market {
 
@@ -57,9 +59,19 @@ std::vector<SweepPoint> run_price_sweep(
 
   const auto grid = share_grid(config, options.optimum_stride);
 
+  auto& registry = obs::MetricsRegistry::global();
+  static obs::Counter& points_counter =
+      registry.counter("market.sweep.points");
+  static obs::Counter& grid_counter =
+      registry.counter("market.sweep.grid_evaluations");
+  static obs::Histogram& sweep_seconds =
+      registry.histogram("market.sweep.seconds");
+  const obs::ScopedTimer timer(&sweep_seconds);
+
   std::vector<SweepPoint> points;
   points.reserve(options.ratios.size());
   for (double ratio : options.ratios) {
+    points_counter.add();
     PriceConfig prices;
     prices.public_price.assign(config.size(), options.public_price);
     prices.federation_price = ratio * options.public_price;
@@ -82,6 +94,7 @@ std::vector<SweepPoint> run_price_sweep(
       FairnessOutcome& outcome = point.outcomes[f];
       outcome.welfare_opt = -std::numeric_limits<double>::infinity();
       for (const auto& shares : grid) {
+        grid_counter.add();
         const auto utilities = game.utilities_of(shares);
         const double w = welfare(kAllFairness[f], shares, utilities);
         if (w > outcome.welfare_opt) {

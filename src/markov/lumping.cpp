@@ -5,6 +5,8 @@
 #include <map>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace scshare::markov {
 
@@ -90,6 +92,18 @@ LumpingResult lump(const Ctmc& chain,
   }
   lumped.finalize();
   result.lumped = std::move(lumped);
+
+  auto& registry = obs::MetricsRegistry::global();
+  static obs::Counter& runs = registry.counter("markov.lumping.runs");
+  static obs::Counter& before =
+      registry.counter("markov.lumping.states_before");
+  static obs::Counter& after = registry.counter("markov.lumping.states_after");
+  runs.add();
+  before.add(n);
+  after.add(result.num_blocks);
+  if (auto* sink = obs::trace_sink()) {
+    sink->emit(obs::LumpingStatsEvent{n, result.num_blocks});
+  }
   return result;
 }
 

@@ -5,6 +5,9 @@
 
 #include "common/error.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
 
 namespace scshare::markov {
 namespace {
@@ -19,10 +22,55 @@ double residual_norm(const linalg::CsrMatrix& q,
   return m;
 }
 
+/// Shared per-solver instruments (handles are stable; see obs/metrics.hpp).
+struct SolverObs {
+  obs::Counter& solves;
+  obs::Counter& iterations;
+  obs::Counter& nonconverged;
+  obs::Histogram& seconds;
+
+  explicit SolverObs(const char* prefix)
+      : solves(obs::MetricsRegistry::global().counter(std::string(prefix) +
+                                                      ".solves")),
+        iterations(obs::MetricsRegistry::global().counter(
+            std::string(prefix) + ".iterations")),
+        nonconverged(obs::MetricsRegistry::global().counter(
+            std::string(prefix) + ".nonconverged")),
+        seconds(obs::MetricsRegistry::global().histogram(std::string(prefix) +
+                                                         ".seconds")) {}
+};
+
+SolverObs& gauss_seidel_obs() {
+  static SolverObs instruments("markov.steady_state.gauss_seidel");
+  return instruments;
+}
+
+SolverObs& power_obs() {
+  static SolverObs instruments("markov.steady_state.power");
+  return instruments;
+}
+
+enum class SolverPath { kGaussSeidel, kPower };
+
+void record_solve(SolverObs& instruments, const SolverPath solver,
+                  const SteadyStateResult& result) {
+  instruments.solves.add();
+  instruments.iterations.add(result.iterations);
+  if (!result.converged) instruments.nonconverged.add();
+  if (auto* sink = obs::trace_sink()) {
+    sink->emit(obs::SolverIterationEvent{
+        solver == SolverPath::kGaussSeidel ? "gauss_seidel" : "power",
+        result.iterations, result.residual, result.converged});
+  }
+}
+
 }  // namespace
 
 SteadyStateResult solve_steady_state(const Ctmc& chain,
                                      const SteadyStateOptions& options) {
+  SolverObs& instruments = gauss_seidel_obs();
+  const obs::ScopedTimer timer(&instruments.seconds);
+
   // Gauss–Seidel on Q^T pi^T = 0:
   // for each state j: pi_j = (sum_{i != j} pi_i * Q[i][j]) / -Q[j][j].
   // We precompute the incoming-edge (column) structure once.
@@ -70,10 +118,12 @@ SteadyStateResult solve_steady_state(const Ctmc& chain,
       result.iterations = iter;
       if (result.residual < options.tolerance) {
         result.converged = true;
+        record_solve(instruments, SolverPath::kGaussSeidel, result);
         return result;
       }
     }
   }
+  record_solve(instruments, SolverPath::kGaussSeidel, result);
   // Fall back to the power iteration if Gauss–Seidel did not converge.
   SteadyStateResult fallback = solve_steady_state_power(chain, options);
   return fallback.residual < result.residual ? fallback : result;
@@ -81,6 +131,9 @@ SteadyStateResult solve_steady_state(const Ctmc& chain,
 
 SteadyStateResult solve_steady_state_power(const Ctmc& chain,
                                            const SteadyStateOptions& options) {
+  SolverObs& instruments = power_obs();
+  const obs::ScopedTimer timer(&instruments.seconds);
+
   const std::size_t n = chain.num_states();
   const double gamma = chain.uniformization_rate();
   const linalg::CsrMatrix p = chain.uniformized_dtmc(gamma);
@@ -101,10 +154,12 @@ SteadyStateResult solve_steady_state_power(const Ctmc& chain,
       result.iterations = iter;
       if (result.residual < options.tolerance) {
         result.converged = true;
+        record_solve(instruments, SolverPath::kPower, result);
         return result;
       }
     }
   }
+  record_solve(instruments, SolverPath::kPower, result);
   return result;
 }
 

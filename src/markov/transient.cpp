@@ -5,8 +5,47 @@
 #include "common/error.hpp"
 #include "common/math.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
 
 namespace scshare::markov {
+namespace {
+
+/// Instruments of the uniformization engine. `window_width` is the Fox–Glynn
+/// truncation width (right - left + 1) — the number of Poisson terms and
+/// hence mat-vecs a transient evaluation pays for.
+struct TransientObs {
+  obs::Counter& evolutions;
+  obs::Counter& matvecs;
+  obs::Histogram& window_width;
+  obs::Histogram& seconds;
+
+  TransientObs()
+      : evolutions(obs::MetricsRegistry::global().counter(
+            "markov.transient.evolutions")),
+        matvecs(obs::MetricsRegistry::global().counter(
+            "markov.transient.matvecs")),
+        window_width(obs::MetricsRegistry::global().histogram(
+            "markov.transient.window_width", obs::Histogram::size_bounds())),
+        seconds(obs::MetricsRegistry::global().histogram(
+            "markov.transient.seconds")) {}
+};
+
+TransientObs& transient_obs() {
+  static TransientObs instruments;
+  return instruments;
+}
+
+void record_window(TransientObs& instruments, int left, int right) {
+  const auto width = static_cast<std::uint64_t>(right - left + 1);
+  instruments.window_width.observe(static_cast<double>(width));
+  if (auto* sink = obs::trace_sink()) {
+    sink->emit(obs::SolverIterationEvent{"transient", width, 0.0, true});
+  }
+}
+
+}  // namespace
 
 TransientSolver::TransientSolver(const Ctmc& chain, double epsilon)
     : gamma_(chain.uniformization_rate()),
@@ -20,6 +59,9 @@ std::vector<std::vector<double>> TransientSolver::evolve_multi(
     std::span<const double> p0, std::span<const double> ts) const {
   require(p0.size() == dtmc_.rows(),
           "TransientSolver::evolve_multi: size mismatch");
+  TransientObs& instruments = transient_obs();
+  const obs::ScopedTimer timer(&instruments.seconds);
+  instruments.evolutions.add(ts.size());
   std::vector<std::vector<double>> results(ts.size());
   std::vector<math::PoissonWindow> windows(ts.size());
   int k_max = 0;
@@ -31,6 +73,7 @@ std::vector<std::vector<double>> TransientSolver::evolve_multi(
       continue;
     }
     windows[i] = math::poisson_window(gamma_ * ts[i], epsilon_);
+    record_window(instruments, windows[i].left, windows[i].right);
     k_max = std::max(k_max, windows[i].right);
   }
 
@@ -46,6 +89,7 @@ std::vector<std::vector<double>> TransientSolver::evolve_multi(
     }
     if (k < k_max) {
       dtmc_.multiply_transposed(current, next);
+      instruments.matvecs.add();
       std::swap(current, next);
       // Support pruning: conditioned starts occupy a thin slice of the state
       // space; dropping negligible mass keeps the mat-vec cost proportional
@@ -74,6 +118,9 @@ double TransientSolver::accumulated_reward(std::span<const double> p0,
           "TransientSolver::accumulated_reward: size mismatch");
   require(t >= 0.0, "TransientSolver::accumulated_reward: negative horizon");
   if (t == 0.0) return 0.0;
+  TransientObs& instruments = transient_obs();
+  const obs::ScopedTimer timer(&instruments.seconds);
+  instruments.evolutions.add();
 
   const double mean = gamma_ * t;
   std::vector<double> current(p0.begin(), p0.end());
@@ -92,6 +139,7 @@ double TransientSolver::accumulated_reward(std::span<const double> p0,
     remaining -= w;
     if (remaining < epsilon_ * t) break;
     dtmc_.multiply_transposed(current, next);
+    instruments.matvecs.add();
     std::swap(current, next);
   }
   return total;
@@ -107,8 +155,12 @@ std::vector<double> TransientSolver::evolve(std::span<const double> p0,
     std::copy(p0.begin(), p0.end(), result.begin());
     return result;
   }
+  TransientObs& instruments = transient_obs();
+  const obs::ScopedTimer timer(&instruments.seconds);
+  instruments.evolutions.add();
 
   const auto window = math::poisson_window(gamma_ * t, epsilon_);
+  record_window(instruments, window.left, window.right);
 
   // current = p0 * P^k, accumulated into result with Poisson weights.
   std::vector<double> current(p0.begin(), p0.end());
@@ -120,6 +172,7 @@ std::vector<double> TransientSolver::evolve(std::span<const double> p0,
     }
     if (k < window.right) {
       dtmc_.multiply_transposed(current, next);
+      instruments.matvecs.add();
       std::swap(current, next);
     }
   }

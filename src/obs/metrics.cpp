@@ -1,0 +1,166 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace scshare::obs {
+namespace {
+
+/// fetch_add for atomic<double> (no native RMW before C++20 on all libs).
+void atomic_add(std::atomic<double>& target, double v) noexcept {
+  double expected = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(expected, expected + v,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& target, double v) noexcept {
+  double expected = target.load(std::memory_order_relaxed);
+  while (v < expected && !target.compare_exchange_weak(
+                             expected, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double v) noexcept {
+  double expected = target.load(std::memory_order_relaxed);
+  while (v > expected && !target.compare_exchange_weak(
+                             expected, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(bounds.empty() ? latency_bounds() : std::move(bounds)),
+      counts_(bounds_.size() + 1) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1]) {
+      throw std::invalid_argument(
+          "Histogram: bucket bounds must be strictly increasing");
+    }
+  }
+}
+
+void Histogram::observe(double v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.bounds = bounds_;
+  s.counts.reserve(counts_.size());
+  for (const auto& c : counts_) {
+    s.counts.push_back(c.load(std::memory_order_relaxed));
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = min_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::latency_bounds() {
+  return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0};
+}
+
+std::vector<double> Histogram::size_bounds() {
+  return {1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6};
+}
+
+MetricsSnapshot MetricsSnapshot::delta_from(
+    const MetricsSnapshot& baseline) const {
+  MetricsSnapshot d = *this;
+  for (auto& [name, value] : d.counters) {
+    const auto it = baseline.counters.find(name);
+    if (it != baseline.counters.end() && it->second <= value) {
+      value -= it->second;
+    }
+  }
+  for (auto& [name, hist] : d.histograms) {
+    const auto it = baseline.histograms.find(name);
+    if (it == baseline.histograms.end()) continue;
+    const HistogramSnapshot& base = it->second;
+    if (base.bounds != hist.bounds || base.count > hist.count) continue;
+    for (std::size_t i = 0;
+         i < hist.counts.size() && i < base.counts.size(); ++i) {
+      if (base.counts[i] <= hist.counts[i]) hist.counts[i] -= base.counts[i];
+    }
+    hist.count -= base.count;
+    hist.sum -= base.sum;
+    // min/max cannot be subtracted; keep the lifetime extrema.
+  }
+  return d;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot s;
+  for (const auto& [name, c] : counters_) s.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) s.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    s.histograms[name] = h->snapshot();
+  }
+  return s;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, c] : counters_) c->reset();
+  for (const auto& [name, g] : gauges_) g->reset();
+  for (const auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace scshare::obs

@@ -1,0 +1,141 @@
+// Dependency-free observability: named counters, gauges, and fixed-bucket
+// histograms behind a thread-safe registry.
+//
+// Design rules (every other layer relies on them):
+//  * Instrument handles returned by MetricsRegistry are stable for the
+//    registry's lifetime — reset() zeroes values but never invalidates a
+//    handle, so hot paths may cache `Counter&` in function-local statics.
+//  * All mutating operations are lock-free atomics; the registry mutex is
+//    taken only on first lookup of a name and when snapshotting.
+//  * The global() registry is a process-wide singleton shared by the Markov
+//    solvers, backends, the market game, and the simulator. Consumers that
+//    need per-run numbers (Framework::report(), bench::MetricsScope) take a
+//    snapshot at scope entry and report the delta.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scshare::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Point-in-time copy of a histogram, safe to manipulate without locks.
+struct HistogramSnapshot {
+  std::vector<double> bounds;  ///< upper bounds; an implicit +inf bucket ends
+  std::vector<std::uint64_t> counts;  ///< size bounds.size() + 1
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  [[nodiscard]] double mean() const {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+};
+
+/// Fixed-bucket histogram. Buckets are cumulative-free: counts[i] holds
+/// observations v <= bounds[i] (and > bounds[i-1]); the trailing bucket
+/// collects the overflow. All updates are atomic.
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing; empty selects latency_bounds().
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+  void reset() noexcept;
+
+  /// Default geometric latency grid in seconds: 1us .. ~100s, x10 steps —
+  /// wide enough for a CSR mat-vec and a full price sweep alike.
+  [[nodiscard]] static std::vector<double> latency_bounds();
+  /// Geometric size grid: 1 .. 1e6, x10 steps (state counts, window widths).
+  [[nodiscard]] static std::vector<double> size_bounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Point-in-time copy of a whole registry.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Delta of this snapshot against an earlier `baseline`: counters and
+  /// histogram counts/sums subtract (names absent from the baseline pass
+  /// through); gauges and histogram min/max keep the current value.
+  [[nodiscard]] MetricsSnapshot delta_from(
+      const MetricsSnapshot& baseline) const;
+};
+
+/// Thread-safe name -> instrument registry.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Lookup-or-create; the returned reference is stable for the registry's
+  /// lifetime.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `bounds` applies only on first creation (empty = latency_bounds()).
+  Histogram& histogram(std::string_view name,
+                       std::vector<double> bounds = {});
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zeroes every instrument; handles remain valid.
+  void reset();
+
+  /// The process-wide default registry used by all instrumented components.
+  static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace scshare::obs

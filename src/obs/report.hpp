@@ -1,0 +1,25 @@
+// RunReport — the per-run observability summary assembled by
+// core::Framework::report() and serialized by io (see io/config_io.hpp).
+// Lives in obs so that it stays dependency-free: it is a metrics snapshot
+// (counter values are deltas over the report scope) plus the trace events
+// captured in the Framework's ring buffer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace scshare::obs {
+
+struct RunReport {
+  std::string backend;        ///< backend kind serving the run
+  MetricsSnapshot metrics;    ///< counters are deltas since scope start
+  std::vector<TraceEvent> events;  ///< captured trace, oldest first
+  std::uint64_t events_total = 0;  ///< emitted count (>= events.size())
+  std::uint64_t events_dropped = 0;  ///< lost to ring wrap-around
+};
+
+}  // namespace scshare::obs

@@ -1,0 +1,59 @@
+// RAII wall-clock timing feeding latency histograms.
+//
+// ScopedTimer is monotonic-clock based (steady_clock — immune to NTP steps)
+// and zero-overhead when constructed with a null histogram: no clock is read
+// and the destructor is a branch on a dead pointer. Hot paths therefore
+// gate on the sink/consumer being present and pass nullptr otherwise.
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
+namespace scshare::obs {
+
+class ScopedTimer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Starts timing iff `histogram` is non-null.
+  explicit ScopedTimer(Histogram* histogram) noexcept
+      : histogram_(histogram),
+        start_(histogram != nullptr ? Clock::now() : Clock::time_point{}) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) histogram_->observe(seconds());
+  }
+
+  /// Elapsed seconds so far (0 when timing is disabled).
+  [[nodiscard]] double seconds() const noexcept {
+    if (histogram_ == nullptr) return 0.0;
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// True when a histogram is attached (timing active).
+  [[nodiscard]] bool active() const noexcept { return histogram_ != nullptr; }
+
+ private:
+  Histogram* histogram_;
+  Clock::time_point start_;
+};
+
+/// Plain monotonic stopwatch for call sites that need the elapsed time as a
+/// value (e.g., to stamp a trace event) rather than routed to a histogram.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(ScopedTimer::Clock::now()) {}
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(ScopedTimer::Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  ScopedTimer::Clock::time_point start_;
+};
+
+}  // namespace scshare::obs

@@ -1,0 +1,202 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <stdexcept>
+
+namespace scshare::obs {
+namespace {
+
+std::atomic<TraceSink*> g_sink{nullptr};
+
+void append_number(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void append_int_array(std::string& out, const std::vector<int>& values) {
+  out += '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(values[i]);
+  }
+  out += ']';
+}
+
+/// The solver/backend names emitted here are short identifiers without
+/// characters needing JSON escapes, but escape defensively anyway.
+void append_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+const char* event_type_name(const TraceEvent& event) {
+  struct Visitor {
+    const char* operator()(const SolverIterationEvent&) const {
+      return "solver_iteration";
+    }
+    const char* operator()(const BackendEvalEvent&) const {
+      return "backend_eval";
+    }
+    const char* operator()(const BestResponseEvent&) const {
+      return "best_response";
+    }
+    const char* operator()(const EquilibriumRoundEvent&) const {
+      return "equilibrium_round";
+    }
+    const char* operator()(const LumpingStatsEvent&) const {
+      return "lumping_stats";
+    }
+  };
+  return std::visit(Visitor{}, event);
+}
+
+std::string to_json_line(const TraceEvent& event) {
+  std::string out;
+  out += "{\"type\":\"";
+  out += event_type_name(event);
+  out += '"';
+
+  struct Visitor {
+    std::string& out;
+    void operator()(const SolverIterationEvent& e) const {
+      out += ",\"solver\":";
+      append_string(out, e.solver);
+      out += ",\"iteration\":" + std::to_string(e.iteration);
+      out += ",\"residual\":";
+      append_number(out, e.residual);
+      out += ",\"converged\":";
+      out += e.converged ? "true" : "false";
+    }
+    void operator()(const BackendEvalEvent& e) const {
+      out += ",\"backend\":";
+      append_string(out, e.backend);
+      out += ",\"shares\":";
+      append_int_array(out, e.shares);
+      out += ",\"cache_hit\":";
+      out += e.cache_hit ? "true" : "false";
+      out += ",\"wall_seconds\":";
+      append_number(out, e.wall_seconds);
+    }
+    void operator()(const BestResponseEvent& e) const {
+      out += ",\"sc\":" + std::to_string(e.sc);
+      out += ",\"old_share\":" + std::to_string(e.old_share);
+      out += ",\"new_share\":" + std::to_string(e.new_share);
+      out += ",\"utility_before\":";
+      append_number(out, e.utility_before);
+      out += ",\"utility_after\":";
+      append_number(out, e.utility_after);
+    }
+    void operator()(const EquilibriumRoundEvent& e) const {
+      out += ",\"round\":" + std::to_string(e.round);
+      out += ",\"shares\":";
+      append_int_array(out, e.shares);
+      out += ",\"changed\":";
+      out += e.changed ? "true" : "false";
+    }
+    void operator()(const LumpingStatsEvent& e) const {
+      out += ",\"states_before\":" + std::to_string(e.states_before);
+      out += ",\"states_after\":" + std::to_string(e.states_after);
+    }
+  };
+  std::visit(Visitor{out}, event);
+  out += '}';
+  return out;
+}
+
+RingBufferSink::RingBufferSink(std::size_t capacity)
+    : capacity_(capacity > 0 ? capacity : 1) {
+  buffer_.reserve(capacity_);
+}
+
+void RingBufferSink::emit(const TraceEvent& event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (buffer_.size() < capacity_) {
+    buffer_.push_back(event);
+  } else {
+    buffer_[next_] = event;
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++emitted_;
+}
+
+std::vector<TraceEvent> RingBufferSink::events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> out;
+  out.reserve(buffer_.size());
+  // Oldest first: [next_, end) then [0, next_) once wrapped.
+  for (std::size_t i = next_; i < buffer_.size(); ++i) {
+    out.push_back(buffer_[i]);
+  }
+  for (std::size_t i = 0; i < next_; ++i) out.push_back(buffer_[i]);
+  return out;
+}
+
+std::uint64_t RingBufferSink::total_emitted() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return emitted_;
+}
+
+std::uint64_t RingBufferSink::dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return emitted_ - buffer_.size();
+}
+
+void RingBufferSink::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  buffer_.clear();
+  next_ = 0;
+  emitted_ = 0;
+}
+
+JsonLinesSink::JsonLinesSink(const std::string& path) : out_(path) {
+  if (!out_.good()) {
+    throw std::runtime_error("JsonLinesSink: cannot open trace file: " + path);
+  }
+}
+
+void JsonLinesSink::emit(const TraceEvent& event) {
+  const std::string line = to_json_line(event);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  out_ << line << '\n';
+}
+
+void JsonLinesSink::flush() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  out_.flush();
+}
+
+TraceSink* trace_sink() noexcept {
+  return g_sink.load(std::memory_order_acquire);
+}
+
+TraceSink* set_trace_sink(TraceSink* sink) noexcept {
+  return g_sink.exchange(sink, std::memory_order_acq_rel);
+}
+
+}  // namespace scshare::obs

@@ -1,0 +1,146 @@
+// Structured tracing for the SC-Share pipeline.
+//
+// Components emit typed events through a process-wide TraceSink pointer;
+// when no sink is installed the cost at every call site is one relaxed
+// atomic load (the events themselves are only constructed behind the
+// nullness check). Three sinks are provided:
+//  * NullTraceSink    — explicit no-op (useful to silence a Tee branch),
+//  * RingBufferSink   — bounded in-memory buffer, Framework::report() reads
+//                       it back for the RunReport,
+//  * JsonLinesSink    — one JSON object per line appended to a file
+//                       (the CLI's --trace=FILE).
+// TeeSink fans an event out to two sinks so a Framework-owned ring buffer
+// can coexist with a user-installed file sink.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace scshare::obs {
+
+/// One residual check of a steady-state / transient solver.
+struct SolverIterationEvent {
+  std::string solver;        ///< "gauss_seidel", "power", "transient", ...
+  std::uint64_t iteration = 0;  ///< sweep count at this check
+  double residual = 0.0;        ///< max |pi Q| (or epsilon for transient)
+  bool converged = false;
+};
+
+/// One performance-model evaluation as seen by the caching layer.
+struct BackendEvalEvent {
+  std::string backend;      ///< inner backend name
+  std::vector<int> shares;  ///< sharing vector evaluated
+  bool cache_hit = false;
+  double wall_seconds = 0.0;  ///< 0 for cache hits
+};
+
+/// One best-response decision of an SC inside the market game.
+struct BestResponseEvent {
+  int sc = 0;
+  int old_share = 0;
+  int new_share = 0;
+  double utility_before = 0.0;
+  double utility_after = 0.0;
+};
+
+/// One round of the repeated game (Algorithm 1).
+struct EquilibriumRoundEvent {
+  int round = 0;
+  std::vector<int> shares;  ///< sharing vector after the round
+  bool changed = false;     ///< any SC moved this round
+};
+
+/// One lumpability partition refinement.
+struct LumpingStatsEvent {
+  std::uint64_t states_before = 0;
+  std::uint64_t states_after = 0;
+};
+
+using TraceEvent =
+    std::variant<SolverIterationEvent, BackendEvalEvent, BestResponseEvent,
+                 EquilibriumRoundEvent, LumpingStatsEvent>;
+
+/// Stable wire name of an event's type ("solver_iteration", ...).
+[[nodiscard]] const char* event_type_name(const TraceEvent& event);
+
+/// Compact single-line JSON encoding of an event (the JSONL wire format).
+[[nodiscard]] std::string to_json_line(const TraceEvent& event);
+
+/// Sink interface. Implementations must be safe to call from any thread.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void emit(const TraceEvent& event) = 0;
+};
+
+class NullTraceSink final : public TraceSink {
+ public:
+  void emit(const TraceEvent&) override {}
+};
+
+/// Bounded in-memory buffer keeping the most recent `capacity` events.
+class RingBufferSink final : public TraceSink {
+ public:
+  explicit RingBufferSink(std::size_t capacity = 4096);
+
+  void emit(const TraceEvent& event) override;
+
+  /// Buffered events, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  /// Total events emitted (including ones overwritten by wrap-around).
+  [[nodiscard]] std::uint64_t total_emitted() const;
+  /// Events lost to wrap-around.
+  [[nodiscard]] std::uint64_t dropped() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> buffer_;
+  std::size_t capacity_;
+  std::size_t next_ = 0;  ///< insertion cursor once the buffer is full
+  std::uint64_t emitted_ = 0;
+};
+
+/// Appends one JSON object per event to `path`. Throws scshare-style
+/// std::runtime_error when the file cannot be opened.
+class JsonLinesSink final : public TraceSink {
+ public:
+  explicit JsonLinesSink(const std::string& path);
+
+  void emit(const TraceEvent& event) override;
+  void flush();
+
+ private:
+  std::mutex mutex_;
+  std::ofstream out_;
+};
+
+/// Forwards to two sinks (either may be null).
+class TeeSink final : public TraceSink {
+ public:
+  TeeSink(TraceSink* first, TraceSink* second)
+      : first_(first), second_(second) {}
+  void emit(const TraceEvent& event) override {
+    if (first_ != nullptr) first_->emit(event);
+    if (second_ != nullptr) second_->emit(event);
+  }
+
+ private:
+  TraceSink* first_;
+  TraceSink* second_;
+};
+
+/// Currently installed sink (nullptr = tracing disabled). One relaxed
+/// atomic load; call sites construct events only behind the null check:
+///   if (auto* sink = obs::trace_sink()) sink->emit(SolverIterationEvent{...});
+[[nodiscard]] TraceSink* trace_sink() noexcept;
+
+/// Installs `sink` (nullptr disables tracing); returns the previous sink.
+/// The caller keeps ownership and must keep the sink alive while installed.
+TraceSink* set_trace_sink(TraceSink* sink) noexcept;
+
+}  // namespace scshare::obs

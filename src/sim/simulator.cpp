@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
 #include "queueing/forwarding.hpp"
 
 namespace scshare::sim {
@@ -341,6 +343,15 @@ void Simulator::flush_batch(double now) {
 }
 
 std::vector<ScSimStats> Simulator::run() {
+  auto& registry = obs::MetricsRegistry::global();
+  static obs::Counter& runs_counter = registry.counter("sim.runs");
+  static obs::Counter& events_counter = registry.counter("sim.events");
+  static obs::Histogram& run_seconds = registry.histogram("sim.run_seconds");
+  const obs::ScopedTimer timer(&run_seconds);
+  runs_counter.add();
+  // Batched locally: one relaxed fetch_add per run, not per event.
+  std::uint64_t events_processed = 0;
+
   // Initial MMPP phases (start quiet) and initial arrivals.
   if (options_.arrivals == ArrivalProcess::kMmpp) {
     for (auto& s : scs_) {
@@ -382,6 +393,7 @@ std::vector<ScSimStats> Simulator::run() {
       continue;
     }
     const Event e = events_.pop();
+    ++events_processed;
     switch (e.kind) {
       case EventKind::kArrival:
         handle_arrival(e.time, e.sc);
@@ -401,6 +413,8 @@ std::vector<ScSimStats> Simulator::run() {
         break;
     }
   }
+
+  events_counter.add(events_processed);
 
   std::vector<ScSimStats> out(scs_.size());
   for (std::size_t i = 0; i < scs_.size(); ++i) {

@@ -64,6 +64,50 @@ TEST(Backends, CachingMemoizesBySharingVector) {
   EXPECT_DOUBLE_EQ(m[0].lent, 2.0);
 }
 
+TEST(Backends, CachingAccountsHitsAndMisses) {
+  auto counting = std::make_unique<CountingBackend>();
+  fed::CachingBackend backend(std::move(counting));
+
+  auto cfg = small();
+  (void)backend.evaluate(cfg);  // miss
+  (void)backend.evaluate(cfg);  // hit
+  (void)backend.evaluate(cfg);  // hit
+  cfg.shares = {1, 2};
+  (void)backend.evaluate(cfg);  // miss
+
+  EXPECT_EQ(backend.hits(), 2u);
+  EXPECT_EQ(backend.misses(), 2u);
+  EXPECT_EQ(backend.evaluations(), 2u);
+  EXPECT_EQ(backend.evictions(), 0u);
+}
+
+TEST(Backends, CachingEvictsFifoWhenBounded) {
+  auto counting = std::make_unique<CountingBackend>();
+  auto* raw = counting.get();
+  fed::CachingBackend backend(std::move(counting), /*max_entries=*/2);
+
+  auto cfg = small();
+  cfg.shares = {2, 2};
+  (void)backend.evaluate(cfg);  // miss: cache {2,2}
+  cfg.shares = {1, 2};
+  (void)backend.evaluate(cfg);  // miss: cache {2,2} {1,2}
+  cfg.shares = {0, 2};
+  (void)backend.evaluate(cfg);  // miss: evicts oldest {2,2}
+  EXPECT_EQ(backend.evictions(), 1u);
+  EXPECT_EQ(backend.cache_size(), 2u);
+
+  cfg.shares = {2, 2};
+  (void)backend.evaluate(cfg);  // evicted above, so this is a miss again
+  EXPECT_EQ(raw->calls, 4);
+  EXPECT_EQ(backend.evictions(), 2u);
+  EXPECT_EQ(backend.cache_size(), 2u);
+
+  cfg.shares = {0, 2};
+  (void)backend.evaluate(cfg);  // still resident: a hit, no eviction
+  EXPECT_EQ(raw->calls, 4);
+  EXPECT_EQ(backend.hits(), 1u);
+}
+
 TEST(Backends, DetailedAndApproxAgreeOnDecoupledFederation) {
   auto cfg = small();
   cfg.shares = {0, 0};  // no interaction: both must be exact

@@ -114,6 +114,49 @@ TEST(SteadyState, ResidualIsSmall) {
   EXPECT_LT(result.residual, 1e-12);
 }
 
+TEST(SteadyState, ConvergedResultPopulatesIterationsAndResidual) {
+  const auto chain = mm_inf(3.0, 1.0, 20);
+  const mk::SteadyStateOptions opts;
+  const auto gs = mk::solve_steady_state(chain, opts);
+  ASSERT_TRUE(gs.converged);
+  EXPECT_GT(gs.iterations, 0u);
+  EXPECT_LE(gs.iterations, opts.max_iterations);
+  EXPECT_LT(gs.residual, opts.tolerance);
+
+  const auto pw = mk::solve_steady_state_power(chain, opts);
+  ASSERT_TRUE(pw.converged);
+  EXPECT_GT(pw.iterations, 0u);
+  EXPECT_LE(pw.iterations, opts.max_iterations);
+  EXPECT_LT(pw.residual, opts.tolerance);
+}
+
+TEST(SteadyState, GaussSeidelExhaustedBudgetReportsNonConvergence) {
+  const auto chain = mm_inf(3.0, 1.0, 20);
+  mk::SteadyStateOptions opts;
+  opts.tolerance = 0.0;  // unattainable: residual < 0 never holds
+  opts.max_iterations = 3;
+  opts.check_interval = 1;
+  // solve_steady_state internally falls back to the power iteration, which
+  // exhausts the same budget; either path must report honest diagnostics.
+  const auto result = mk::solve_steady_state(chain, opts);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.iterations, 3u);
+  EXPECT_GT(result.residual, 0.0);
+  EXPECT_EQ(result.pi.size(), chain.num_states());
+}
+
+TEST(SteadyState, PowerExhaustedBudgetReportsNonConvergence) {
+  const auto chain = mm_inf(3.0, 1.0, 20);
+  mk::SteadyStateOptions opts;
+  opts.tolerance = 0.0;
+  opts.max_iterations = 3;
+  opts.check_interval = 1;
+  const auto result = mk::solve_steady_state_power(chain, opts);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.iterations, 3u);
+  EXPECT_GT(result.residual, 0.0);
+}
+
 TEST(SteadyState, PeriodicChainHandledByUniformizationSlack) {
   // A 2-cycle with equal rates is periodic as an embedded DTMC; the slack in
   // the uniformization rate keeps the power iteration convergent.

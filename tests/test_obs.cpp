@@ -1,0 +1,400 @@
+// Tests for the observability subsystem (src/obs/): metric instruments and
+// registry semantics, trace sinks and the JSONL wire format, ScopedTimer, and
+// the Framework::report() integration that the CLI's --metrics-out exposes.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/framework.hpp"
+#include "io/config_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
+
+namespace obs = scshare::obs;
+namespace fed = scshare::federation;
+namespace io = scshare::io;
+
+namespace {
+
+/// Restores the global trace sink on scope exit so tests cannot leak sinks
+/// into each other (the sink is process-wide state).
+class SinkGuard {
+ public:
+  explicit SinkGuard(obs::TraceSink* sink)
+      : previous_(obs::set_trace_sink(sink)) {}
+  ~SinkGuard() { obs::set_trace_sink(previous_); }
+
+ private:
+  obs::TraceSink* previous_;
+};
+
+fed::FederationConfig small_federation() {
+  fed::FederationConfig cfg;
+  cfg.scs = {{.num_vms = 4, .lambda = 2.5, .mu = 1.0, .max_wait = 0.2},
+             {.num_vms = 4, .lambda = 3.0, .mu = 1.0, .max_wait = 0.2}};
+  cfg.shares = {1, 1};
+  return cfg;
+}
+
+scshare::market::PriceConfig default_prices(std::size_t n) {
+  scshare::market::PriceConfig prices;
+  prices.public_price.assign(n, 1.0);
+  prices.federation_price = 0.5;
+  return prices;
+}
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+}  // namespace
+
+// ---- instruments ----------------------------------------------------------
+
+TEST(Metrics, CounterAddsAndResets) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Metrics, GaugeLastWriteWins) {
+  obs::Gauge g;
+  g.set(1.5);
+  g.set(-2.0);
+  EXPECT_DOUBLE_EQ(g.value(), -2.0);
+}
+
+TEST(Metrics, HistogramBucketsObservations) {
+  obs::Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);    // bucket 0 (<= 1)
+  h.observe(1.0);    // bucket 0 (bounds are upper-inclusive)
+  h.observe(5.0);    // bucket 1
+  h.observe(1000.0); // overflow bucket
+  const auto s = h.snapshot();
+  ASSERT_EQ(s.counts.size(), 4u);
+  EXPECT_EQ(s.counts[0], 2u);
+  EXPECT_EQ(s.counts[1], 1u);
+  EXPECT_EQ(s.counts[2], 0u);
+  EXPECT_EQ(s.counts[3], 1u);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.sum, 1006.5);
+  EXPECT_DOUBLE_EQ(s.min, 0.5);
+  EXPECT_DOUBLE_EQ(s.max, 1000.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 1006.5 / 4.0);
+}
+
+TEST(Metrics, HistogramRejectsNonIncreasingBounds) {
+  EXPECT_THROW(obs::Histogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(obs::Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Metrics, EmptyHistogramMeanIsZero) {
+  obs::Histogram h({1.0});
+  EXPECT_DOUBLE_EQ(h.snapshot().mean(), 0.0);
+}
+
+// ---- registry -------------------------------------------------------------
+
+TEST(Metrics, RegistryReturnsStableHandles) {
+  obs::MetricsRegistry registry;
+  obs::Counter& a = registry.counter("x");
+  obs::Counter& b = registry.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  registry.reset();  // zeroes, but the handle stays valid
+  EXPECT_EQ(b.value(), 0u);
+  a.add(1);
+  EXPECT_EQ(registry.counter("x").value(), 1u);
+}
+
+TEST(Metrics, RegistrySnapshotCapturesAllInstruments) {
+  obs::MetricsRegistry registry;
+  registry.counter("c").add(7);
+  registry.gauge("g").set(2.5);
+  registry.histogram("h", {1.0}).observe(0.5);
+  const auto s = registry.snapshot();
+  EXPECT_EQ(s.counters.at("c"), 7u);
+  EXPECT_DOUBLE_EQ(s.gauges.at("g"), 2.5);
+  EXPECT_EQ(s.histograms.at("h").count, 1u);
+}
+
+TEST(Metrics, SnapshotDeltaSubtractsCountersAndHistograms) {
+  obs::MetricsRegistry registry;
+  registry.counter("c").add(10);
+  registry.histogram("h", {1.0}).observe(0.5);
+  const auto baseline = registry.snapshot();
+
+  registry.counter("c").add(5);
+  registry.counter("new").add(2);
+  registry.histogram("h", {1.0}).observe(0.25);
+  const auto delta = registry.snapshot().delta_from(baseline);
+
+  EXPECT_EQ(delta.counters.at("c"), 5u);
+  EXPECT_EQ(delta.counters.at("new"), 2u);  // absent from baseline: passthrough
+  EXPECT_EQ(delta.histograms.at("h").count, 1u);
+  EXPECT_DOUBLE_EQ(delta.histograms.at("h").sum, 0.25);
+}
+
+TEST(Metrics, RegistryIsThreadSafe) {
+  obs::MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      for (int i = 0; i < kIncrements; ++i) {
+        registry.counter("shared").add();
+        // Concurrent lookup-or-create of distinct names.
+        registry.counter("per_thread." + std::to_string(t)).add();
+        registry.histogram("lat").observe(1e-5);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto s = registry.snapshot();
+  EXPECT_EQ(s.counters.at("shared"),
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+  EXPECT_EQ(s.histograms.at("lat").count,
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+// ---- timers ---------------------------------------------------------------
+
+TEST(Timer, ScopedTimerObservesOnDestruction) {
+  obs::Histogram h({1.0, 10.0});
+  {
+    const obs::ScopedTimer timer(&h);
+    EXPECT_TRUE(timer.active());
+  }
+  EXPECT_EQ(h.snapshot().count, 1u);
+}
+
+TEST(Timer, ScopedTimerWithNullHistogramIsInert) {
+  const obs::ScopedTimer timer(nullptr);
+  EXPECT_FALSE(timer.active());
+  EXPECT_DOUBLE_EQ(timer.seconds(), 0.0);
+}
+
+TEST(Timer, StopwatchAdvances) {
+  const obs::Stopwatch sw;
+  EXPECT_GE(sw.seconds(), 0.0);
+}
+
+// ---- trace sinks ----------------------------------------------------------
+
+TEST(Trace, EventTypeNames) {
+  EXPECT_STREQ(obs::event_type_name(obs::SolverIterationEvent{}),
+               "solver_iteration");
+  EXPECT_STREQ(obs::event_type_name(obs::BackendEvalEvent{}), "backend_eval");
+  EXPECT_STREQ(obs::event_type_name(obs::BestResponseEvent{}),
+               "best_response");
+  EXPECT_STREQ(obs::event_type_name(obs::EquilibriumRoundEvent{}),
+               "equilibrium_round");
+  EXPECT_STREQ(obs::event_type_name(obs::LumpingStatsEvent{}),
+               "lumping_stats");
+}
+
+TEST(Trace, JsonLinesParseBackAsValidJson) {
+  const std::vector<obs::TraceEvent> events = {
+      obs::SolverIterationEvent{"gauss_seidel", 128, 1e-13, true},
+      obs::BackendEvalEvent{"approx", {3, 1, 2}, false, 0.25},
+      obs::BestResponseEvent{1, 3, 2, -0.5, 0.75},
+      obs::EquilibriumRoundEvent{4, {2, 2}, false},
+      obs::LumpingStatsEvent{120, 36},
+  };
+  for (const auto& e : events) {
+    const io::Json parsed = io::Json::parse(obs::to_json_line(e));
+    EXPECT_EQ(parsed.at("type").as_string(),
+              std::string(obs::event_type_name(e)));
+  }
+  const io::Json eval = io::Json::parse(obs::to_json_line(events[1]));
+  EXPECT_EQ(eval.at("shares").as_array().size(), 3u);
+  EXPECT_FALSE(eval.at("cache_hit").as_bool());
+  EXPECT_DOUBLE_EQ(eval.at("wall_seconds").as_double(), 0.25);
+}
+
+TEST(Trace, JsonEscapesStringContent) {
+  const obs::TraceEvent event =
+      obs::SolverIterationEvent{"a\"b\\c\nd", 1, 0.0, false};
+  const io::Json parsed = io::Json::parse(obs::to_json_line(event));
+  EXPECT_EQ(parsed.at("solver").as_string(), "a\"b\\c\nd");
+}
+
+TEST(Trace, RingBufferKeepsMostRecentEvents) {
+  obs::RingBufferSink sink(3);
+  for (int i = 0; i < 5; ++i) {
+    sink.emit(obs::EquilibriumRoundEvent{i, {}, false});
+  }
+  EXPECT_EQ(sink.total_emitted(), 5u);
+  EXPECT_EQ(sink.dropped(), 2u);
+  const auto events = sink.events();
+  ASSERT_EQ(events.size(), 3u);
+  // Oldest first, and the two oldest (rounds 0, 1) were overwritten.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(std::get<obs::EquilibriumRoundEvent>(events[i]).round, i + 2);
+  }
+  sink.clear();
+  EXPECT_EQ(sink.total_emitted(), 0u);
+  EXPECT_TRUE(sink.events().empty());
+}
+
+TEST(Trace, JsonLinesSinkWritesOneObjectPerLine) {
+  const std::string path = temp_path("obs_trace.jsonl");
+  {
+    obs::JsonLinesSink sink(path);
+    sink.emit(obs::SolverIterationEvent{"power", 7, 1e-9, true});
+    sink.emit(obs::LumpingStatsEvent{10, 4});
+    sink.flush();
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    const io::Json parsed = io::Json::parse(line);
+    EXPECT_TRUE(parsed.contains("type"));
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, JsonLinesSinkThrowsOnUnopenablePath) {
+  EXPECT_THROW(obs::JsonLinesSink("/nonexistent-dir/trace.jsonl"),
+               std::runtime_error);
+}
+
+TEST(Trace, TeeForwardsToBothSinks) {
+  obs::RingBufferSink a(8), b(8);
+  obs::TeeSink tee(&a, &b);
+  tee.emit(obs::LumpingStatsEvent{2, 1});
+  EXPECT_EQ(a.total_emitted(), 1u);
+  EXPECT_EQ(b.total_emitted(), 1u);
+}
+
+TEST(Trace, SetSinkReturnsPrevious) {
+  obs::RingBufferSink sink(8);
+  obs::TraceSink* before = obs::trace_sink();
+  obs::TraceSink* previous = obs::set_trace_sink(&sink);
+  EXPECT_EQ(previous, before);
+  EXPECT_EQ(obs::trace_sink(), &sink);
+  obs::set_trace_sink(before);
+}
+
+// ---- pipeline integration -------------------------------------------------
+
+TEST(Report, FrameworkReportCountsSolverAndCacheActivity) {
+  const auto cfg = small_federation();
+  scshare::Framework fw(cfg, default_prices(cfg.size()), {});
+
+  (void)fw.metrics();  // miss (vs. the baseline solves at construction)
+  (void)fw.metrics();  // hit: same sharing vector
+
+  const obs::RunReport report = fw.report();
+  EXPECT_EQ(report.backend, "approx");
+  EXPECT_GT(report.metrics.counters.at(
+                "markov.steady_state.gauss_seidel.solves"),
+            0u);
+  EXPECT_GT(report.metrics.counters.at(
+                "markov.steady_state.gauss_seidel.iterations"),
+            0u);
+  EXPECT_GE(report.metrics.counters.at("federation.cache.hits"), 1u);
+  EXPECT_GE(report.metrics.counters.at("federation.cache.misses"), 1u);
+
+  bool saw_hit = false, saw_miss = false;
+  for (const auto& e : report.events) {
+    if (const auto* eval = std::get_if<obs::BackendEvalEvent>(&e)) {
+      (eval->cache_hit ? saw_hit : saw_miss) = true;
+    }
+  }
+  EXPECT_TRUE(saw_hit);
+  EXPECT_TRUE(saw_miss);
+  EXPECT_EQ(report.events_total,
+            static_cast<std::uint64_t>(report.events.size()));
+  EXPECT_EQ(report.events_dropped, 0u);
+}
+
+TEST(Report, EquilibriumEmitsRoundAndBestResponseEvents) {
+  const auto cfg = small_federation();
+  scshare::Framework fw(cfg, default_prices(cfg.size()), {});
+  scshare::market::GameOptions game;
+  game.method = scshare::market::BestResponseMethod::kExhaustive;
+  game.max_rounds = 8;
+  (void)fw.find_equilibrium(game);
+
+  const obs::RunReport report = fw.report();
+  int rounds = 0, responses = 0;
+  for (const auto& e : report.events) {
+    if (std::holds_alternative<obs::EquilibriumRoundEvent>(e)) ++rounds;
+    if (std::holds_alternative<obs::BestResponseEvent>(e)) ++responses;
+  }
+  EXPECT_GT(rounds, 0);
+  EXPECT_GT(responses, 0);
+  EXPECT_EQ(report.metrics.counters.at("market.game.rounds"),
+            static_cast<std::uint64_t>(rounds));
+}
+
+TEST(Report, CacheDisabledBypassesCacheCounters) {
+  const auto cfg = small_federation();
+  scshare::FrameworkOptions options;
+  options.cache = false;
+  scshare::Framework fw(cfg, default_prices(cfg.size()), {}, options);
+  (void)fw.metrics();
+  (void)fw.metrics();  // would be a hit if the cache were on
+
+  const obs::RunReport report = fw.report();
+  const auto hits = report.metrics.counters.find("federation.cache.hits");
+  const auto misses = report.metrics.counters.find("federation.cache.misses");
+  if (hits != report.metrics.counters.end()) {
+    EXPECT_EQ(hits->second, 0u);
+  }
+  if (misses != report.metrics.counters.end()) {
+    EXPECT_EQ(misses->second, 0u);
+  }
+  // The solvers still ran (twice: nothing memoized the second evaluate).
+  EXPECT_GT(report.metrics.counters.at(
+                "markov.steady_state.gauss_seidel.solves"),
+            0u);
+}
+
+TEST(Report, FrameworkRestoresPreviousSinkOnDestruction) {
+  obs::RingBufferSink outer(16);
+  const SinkGuard guard(&outer);
+  {
+    const auto cfg = small_federation();
+    scshare::Framework fw(cfg, default_prices(cfg.size()), {});
+    EXPECT_NE(obs::trace_sink(), &outer);  // the Framework teed on top
+    (void)fw.metrics();
+  }
+  EXPECT_EQ(obs::trace_sink(), &outer);  // restored
+  EXPECT_GT(outer.total_emitted(), 0u);  // and the tee forwarded to us
+}
+
+TEST(Report, SerializesToValidJson) {
+  const auto cfg = small_federation();
+  scshare::Framework fw(cfg, default_prices(cfg.size()), {});
+  (void)fw.metrics();
+
+  const io::Json json = io::to_json(fw.report());
+  // Round-trip through the parser: dump() must be valid JSON.
+  const io::Json reparsed = io::Json::parse(json.dump(2));
+  EXPECT_EQ(reparsed.at("backend").as_string(), "approx");
+  const auto& counters = reparsed.at("metrics").at("counters");
+  EXPECT_GT(counters.at("markov.steady_state.gauss_seidel.iterations")
+                .as_double(),
+            0.0);
+  EXPECT_TRUE(reparsed.at("events").is_array());
+  EXPECT_FALSE(reparsed.at("events").as_array().empty());
+}

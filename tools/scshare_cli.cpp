@@ -2,7 +2,8 @@
 //
 // Usage:
 //   scshare <command> <config.json> [--backend approx|detailed|simulation]
-//                                   [--compact]
+//                                   [--compact] [--metrics-out=FILE]
+//                                   [--trace=FILE]
 //
 // Commands:
 //   validate     parse + validate the configuration, echo it back
@@ -13,16 +14,26 @@
 //   sweep        price-ratio sweep with welfare/efficiency (Fig. 7 analysis)
 //   simulate     full discrete-event simulation with confidence intervals
 //
+// Observability (all commands except validate):
+//   --metrics-out=FILE  write the Framework::report() JSON — solver
+//                       iteration counters, cache hit/miss totals, latency
+//                       histograms, and the captured trace events.
+//   --trace=FILE        stream every trace event (solver iterations, backend
+//                       evaluations, best responses, equilibrium rounds) as
+//                       JSON lines while the command runs.
+//
 // The configuration schema is shown in examples/configs/three_sc.json; the
 // result is JSON on stdout (pretty-printed unless --compact).
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "core/framework.hpp"
 #include "io/config_io.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -33,6 +44,8 @@ struct CliOptions {
   std::string config_path;
   std::string backend = "approx";
   bool compact = false;
+  std::string metrics_out;  ///< empty = no metrics report file
+  std::string trace_path;   ///< empty = no JSONL trace file
 };
 
 int usage() {
@@ -40,9 +53,28 @@ int usage() {
       stderr,
       "usage: scshare <validate|baseline|metrics|costs|equilibrium|sweep|"
       "simulate> <config.json> [--backend approx|detailed|simulation] "
-      "[--compact]\n");
+      "[--compact] [--metrics-out=FILE] [--trace=FILE]\n");
   return 2;
 }
+
+/// Installs a JSONL trace sink for the scope's lifetime.
+class ScopedTraceFile {
+ public:
+  explicit ScopedTraceFile(const std::string& path) {
+    if (path.empty()) return;
+    sink_ = std::make_unique<obs::JsonLinesSink>(path);
+    previous_ = obs::set_trace_sink(sink_.get());
+  }
+  ~ScopedTraceFile() {
+    if (sink_ == nullptr) return;
+    sink_->flush();
+    obs::set_trace_sink(previous_);
+  }
+
+ private:
+  std::unique_ptr<obs::JsonLinesSink> sink_;
+  obs::TraceSink* previous_ = nullptr;
+};
 
 io::Json load_config(const std::string& path) {
   std::ifstream in(path);
@@ -87,6 +119,9 @@ int run(const CliOptions& cli) {
   if (config_json.contains("sim")) {
     options.sim = io::parse_sim_options(config_json.at("sim"));
   }
+  // Install the trace file before the Framework so its baseline solves are
+  // streamed too; the Framework tees its report ring buffer into this sink.
+  ScopedTraceFile trace_file(cli.trace_path);
   Framework framework(federation, prices, utility, options);
 
   io::JsonObject out;
@@ -145,6 +180,13 @@ int run(const CliOptions& cli) {
     return usage();
   }
 
+  if (!cli.metrics_out.empty()) {
+    std::ofstream metrics_file(cli.metrics_out);
+    require(metrics_file.good(),
+            "cannot open metrics output file: " + cli.metrics_out);
+    metrics_file << io::to_json(framework.report()).dump(indent) << '\n';
+  }
+
   std::puts(io::Json(std::move(out)).dump(indent).c_str());
   return 0;
 }
@@ -162,6 +204,14 @@ int main(int argc, char** argv) {
       cli.backend = argv[++i];
     } else if (arg == "--compact") {
       cli.compact = true;
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      cli.metrics_out = arg.substr(std::string("--metrics-out=").size());
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      cli.metrics_out = argv[++i];
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      cli.trace_path = arg.substr(std::string("--trace=").size());
+    } else if (arg == "--trace" && i + 1 < argc) {
+      cli.trace_path = argv[++i];
     } else {
       return usage();
     }
