@@ -1,7 +1,11 @@
 // Error handling for the scshare library.
 //
 // The library throws `scshare::Error` (derived from std::runtime_error) for
-// violated preconditions and unrecoverable numerical failures. Hot paths use
+// violated preconditions and unrecoverable numerical failures. Every error
+// carries an ErrorCode so that callers — in particular the resilience
+// decorators in src/federation/resilience.hpp — can distinguish retryable
+// failures (a flaky backend, an exhausted solver) from programming or
+// configuration mistakes that no amount of retrying will fix. Hot paths use
 // SCSHARE_ASSERT, which is compiled out in release builds.
 #pragma once
 
@@ -10,22 +14,80 @@
 
 namespace scshare {
 
-/// Exception type thrown by all scshare components.
+/// Failure taxonomy. Codes are ordered roughly by "how permanent": the first
+/// two never go away on retry, the last three may.
+enum class ErrorCode {
+  kGeneric,              ///< unclassified failure (internal invariants)
+  kInvalidConfig,        ///< bad user input; retrying cannot help
+  kSolverNonConvergence, ///< iteration budget exhausted without convergence
+  kNumericalFailure,     ///< NaN/Inf or divergence detected mid-computation
+  kBackendUnavailable,   ///< backend refused or cannot serve the evaluation
+  kTimeout,              ///< evaluation exceeded its deadline
+};
+
+/// Stable wire name of a code ("invalid_config", ...).
+[[nodiscard]] constexpr const char* error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kGeneric: return "generic";
+    case ErrorCode::kInvalidConfig: return "invalid_config";
+    case ErrorCode::kSolverNonConvergence: return "solver_non_convergence";
+    case ErrorCode::kNumericalFailure: return "numerical_failure";
+    case ErrorCode::kBackendUnavailable: return "backend_unavailable";
+    case ErrorCode::kTimeout: return "timeout";
+  }
+  return "generic";
+}
+
+/// True when a failure of this kind may succeed on a retry (transient
+/// backend trouble, solver budget, numerical bad luck under perturbation).
+[[nodiscard]] constexpr bool is_retryable(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kSolverNonConvergence:
+    case ErrorCode::kNumericalFailure:
+    case ErrorCode::kBackendUnavailable:
+    case ErrorCode::kTimeout:
+      return true;
+    case ErrorCode::kGeneric:
+    case ErrorCode::kInvalidConfig:
+      return false;
+  }
+  return false;
+}
+
+/// Exception type thrown by all scshare components. `context` names the
+/// component / object that failed ("ApproxModel level 2", "scs[1].lambda");
+/// it is folded into what() but also kept separate for structured reporting.
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what,
+                 ErrorCode code = ErrorCode::kGeneric,
+                 std::string context = {})
+      : std::runtime_error(context.empty() ? what : context + ": " + what),
+        code_(code),
+        context_(std::move(context)) {}
+
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& context() const noexcept {
+    return context_;
+  }
+
+ private:
+  ErrorCode code_;
+  std::string context_;
 };
 
 /// Throws scshare::Error with `message` if `condition` is false.
 /// Use for validating user-supplied configuration (always enabled).
-inline void require(bool condition, const std::string& message) {
-  if (!condition) throw Error(message);
+inline void require(bool condition, const std::string& message,
+                    ErrorCode code = ErrorCode::kInvalidConfig) {
+  if (!condition) throw Error(message, code);
 }
 
 }  // namespace scshare
 
 #ifndef NDEBUG
-#define SCSHARE_ASSERT(cond, msg) ::scshare::require((cond), (msg))
+#define SCSHARE_ASSERT(cond, msg) \
+  ::scshare::require((cond), (msg), ::scshare::ErrorCode::kGeneric)
 #else
 #define SCSHARE_ASSERT(cond, msg) ((void)0)
 #endif

@@ -46,12 +46,21 @@ Renegotiation SharingController::renegotiate(double now) {
 
   market::GameOptions game_options = options_.game;
   game_options.initial_shares = config_.shares;  // warm start from status quo
-  market::Game game(config_, prices_, options_.utility, backend_,
-                    game_options);
-  const auto result = game.run();
-  config_.shares = result.shares;
-  record.new_shares = result.shares;
-  record.converged = result.converged;
+  try {
+    market::Game game(config_, prices_, options_.utility, backend_,
+                      game_options);
+    const auto result = game.run();
+    config_.shares = result.shares;
+    record.new_shares = result.shares;
+    record.converged = result.converged;
+    record.degraded = result.degraded;
+  } catch (const Error&) {
+    // The evaluation pipeline is down: keep the installed sharing vector
+    // (the status quo remains in force until the next confirmed change).
+    record.new_shares = config_.shares;
+    record.converged = false;
+    record.degraded = true;
+  }
 
   for (auto& monitor : monitors_) monitor.acknowledge_change();
   return record;

@@ -28,6 +28,9 @@ struct Renegotiation {
   std::vector<int> old_shares;
   std::vector<int> new_shares;
   bool converged = false;
+  /// True when the game ran on failed/degraded evaluations, or when the game
+  /// itself could not run at all (old shares kept in that case).
+  bool degraded = false;
 };
 
 /// Observes per-SC arrivals, detects regime changes, and re-runs the sharing

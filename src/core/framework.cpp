@@ -5,19 +5,52 @@
 namespace scshare {
 namespace {
 
+std::unique_ptr<federation::PerformanceBackend> make_base_backend(
+    BackendKind kind, const FrameworkOptions& options) {
+  switch (kind) {
+    case BackendKind::kApprox:
+      return std::make_unique<federation::ApproxBackend>(options.approx);
+    case BackendKind::kDetailed:
+      return std::make_unique<federation::DetailedBackend>(options.detailed);
+    case BackendKind::kSimulation:
+      return std::make_unique<federation::SimulationBackend>(options.sim);
+  }
+  throw Error("unknown backend kind", ErrorCode::kInvalidConfig, "Framework");
+}
+
+/// Decorator order, innermost first: Fault (so retries and fallbacks see the
+/// injected faults) -> Retry -> Fallback across tiers -> Cache outermost
+/// (only successful evaluations are memoized).
 std::unique_ptr<federation::PerformanceBackend> make_backend(
     const FrameworkOptions& options) {
+  options.faults.validate();
+  std::vector<BackendKind> chain = options.chain;
+  if (chain.empty()) chain.push_back(options.backend);
+
+  std::vector<std::unique_ptr<federation::PerformanceBackend>> tiers;
+  tiers.reserve(chain.size());
+  for (std::size_t t = 0; t < chain.size(); ++t) {
+    auto tier = make_base_backend(chain[t], options);
+    if (options.faults.enabled()) {
+      // Per-tier seed offset: tiers draw from independent streams, so a
+      // fallback tier does not replay the primary tier's fault pattern.
+      federation::FaultSpec spec = options.faults;
+      spec.seed += t;
+      tier = std::make_unique<federation::FaultInjectingBackend>(
+          std::move(tier), spec);
+    }
+    if (options.retry.max_retries > 0) {
+      tier = std::make_unique<federation::RetryingBackend>(std::move(tier),
+                                                           options.retry);
+    }
+    tiers.push_back(std::move(tier));
+  }
+
   std::unique_ptr<federation::PerformanceBackend> inner;
-  switch (options.backend) {
-    case BackendKind::kApprox:
-      inner = std::make_unique<federation::ApproxBackend>(options.approx);
-      break;
-    case BackendKind::kDetailed:
-      inner = std::make_unique<federation::DetailedBackend>(options.detailed);
-      break;
-    case BackendKind::kSimulation:
-      inner = std::make_unique<federation::SimulationBackend>(options.sim);
-      break;
+  if (tiers.size() == 1) {
+    inner = std::move(tiers.front());
+  } else {
+    inner = std::make_unique<federation::FallbackBackend>(std::move(tiers));
   }
   if (options.cache) {
     return std::make_unique<federation::CachingBackend>(

@@ -19,6 +19,7 @@
 
 #include "federation/backend.hpp"
 #include "federation/config.hpp"
+#include "federation/resilience.hpp"
 #include "market/cost.hpp"
 #include "market/fairness.hpp"
 #include "market/game.hpp"
@@ -46,6 +47,16 @@ struct FrameworkOptions {
   std::size_t cache_capacity = 0;
   /// Ring-buffer capacity for the trace events captured into report().
   std::size_t trace_capacity = 4096;
+  /// Ordered fallback chain of backends (first is primary). When non-empty
+  /// this overrides `backend`; each tier is wrapped with the retry and
+  /// fault-injection decorators below, then composed into a FallbackBackend.
+  /// Decorator order (innermost first): Fault → Retry → Fallback → Cache.
+  std::vector<BackendKind> chain;
+  /// Retry decorator around every tier; disabled unless max_retries > 0.
+  federation::RetryPolicy retry{.max_retries = 0};
+  /// Fault injection (testing/soak runs); disabled unless a probability is
+  /// set. Applied innermost, so retries and fallbacks react to the faults.
+  federation::FaultSpec faults;
 };
 
 class Framework {

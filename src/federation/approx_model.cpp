@@ -320,6 +320,7 @@ class ApproxModel::Level {
       m.forward_prob += forward_frac_[x] * p;
     }
     m.forward_rate = lambda_ * m.forward_prob;
+    m.degraded = degraded_;
     return m;
   }
 
@@ -397,7 +398,8 @@ class ApproxModel::Level {
 
     for (std::size_t current = 0; current < index_.size(); ++current) {
       require(index_.size() <= options_.max_states,
-              "ApproxModel: state space exceeds max_states");
+              "ApproxModel: state space exceeds max_states",
+              ErrorCode::kBackendUnavailable);
       const State st = index_.state(current);  // copy: interning invalidates
       const int q = st[0];
       const int s = st[1];
@@ -555,7 +557,21 @@ class ApproxModel::Level {
 
     markov::SteadyStateOptions ss;
     ss.tolerance = options_.steady_state_tolerance;
-    auto solution = markov::solve_steady_state(chain_, ss);
+    ss.max_iterations = options_.steady_state_max_iterations;
+    ss.relax_attempts = options_.relax_attempts;
+    auto solution = markov::solve_steady_state_guarded(chain_, ss);
+    if (!solution.converged && options_.throw_on_nonconvergence) {
+      throw Error("level steady-state solver exhausted " +
+                      std::to_string(solution.iterations) +
+                      " iterations (residual " +
+                      std::to_string(solution.residual) + ")",
+                  ErrorCode::kSolverNonConvergence,
+                  "ApproxModel level " + std::to_string(sc_));
+    }
+    // A level built on top of a degraded lower level inherits the flag: its
+    // interaction vectors were derived from an unreliable distribution.
+    degraded_ = (lower_ != nullptr && lower_->degraded_) ||
+                !solution.converged || solution.relaxations > 0;
     pi_ = std::move(solution.pi);
     (void)config;
   }
@@ -576,6 +592,7 @@ class ApproxModel::Level {
   PoolEnvironment env_;
 
   std::vector<int> trunc_;  ///< in-system truncation by effective servers V
+  bool degraded_ = false;   ///< solver relaxed/non-converged here or below
   markov::StateIndex index_;
   markov::Ctmc chain_{1};
   std::vector<double> pi_;
@@ -752,8 +769,14 @@ std::vector<ScMetrics> ApproxModel::solve_target_sweep(
 
 FederationMetrics ApproxModel::solve_all() {
   FederationMetrics metrics(config_.size());
+  bool any_degraded = false;
   for (std::size_t i = 0; i < config_.size(); ++i) {
     metrics[i] = solve_target(i);
+    any_degraded = any_degraded || metrics[i].degraded;
+  }
+  if (any_degraded) {
+    metrics.degradation =
+        "approx model: steady state relaxed or not converged on some level";
   }
   return metrics;
 }

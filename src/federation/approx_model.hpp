@@ -40,6 +40,16 @@ namespace scshare::federation {
 
 struct ApproxModelOptions {
   double steady_state_tolerance = 1e-10;
+  /// Iteration budget of the per-level steady-state solver (exposed so
+  /// callers — and tests — can force the non-convergence path).
+  std::size_t steady_state_max_iterations = 200000;
+  /// Tolerance-relaxation retries when a level's solver misses the requested
+  /// tolerance (see markov::solve_steady_state_guarded); accepted-relaxed
+  /// levels mark the resulting metrics degraded.
+  std::size_t relax_attempts = 2;
+  /// When true a non-converged level raises kSolverNonConvergence instead
+  /// of producing degraded metrics.
+  bool throw_on_nonconvergence = false;
   /// Interaction pairs with probability below this are pruned (renormalized).
   double pair_epsilon = 1e-7;
   /// Keep only the highest-probability interaction pairs covering

@@ -2,7 +2,9 @@
 // approximate hierarchical model, discrete-event simulator).
 #pragma once
 
+#include <cmath>
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "common/error.hpp"
@@ -27,22 +29,43 @@ struct FederationConfig {
 
   [[nodiscard]] std::size_t size() const { return scs.size(); }
 
-  /// Throws scshare::Error when the configuration is inconsistent.
+  /// Throws scshare::Error (code kInvalidConfig) when the configuration is
+  /// inconsistent. Error messages name the offending SC index and field so
+  /// bad inputs are rejected at the boundary instead of surfacing later as
+  /// inscrutable solver failures deep in the stack.
   void validate() const {
     require(!scs.empty(), "FederationConfig: at least one SC required");
     require(shares.size() == scs.size(),
-            "FederationConfig: shares must match number of SCs");
+            "FederationConfig: shares has " + std::to_string(shares.size()) +
+                " entries but there are " + std::to_string(scs.size()) +
+                " SCs");
     for (std::size_t i = 0; i < scs.size(); ++i) {
       const auto& sc = scs[i];
-      require(sc.num_vms > 0, "ScConfig: num_vms must be positive");
-      require(sc.lambda > 0.0, "ScConfig: lambda must be positive");
-      require(sc.mu > 0.0, "ScConfig: mu must be positive");
-      require(sc.max_wait >= 0.0, "ScConfig: max_wait must be non-negative");
-      require(shares[i] >= 0 && shares[i] <= sc.num_vms,
-              "FederationConfig: share must lie in [0, num_vms]");
+      const std::string at = "FederationConfig: scs[" + std::to_string(i) + "]";
+      require(sc.num_vms > 0,
+              at + ".num_vms must be positive (got " +
+                  std::to_string(sc.num_vms) + "); zero-server SCs cannot " +
+                  "serve or share anything");
+      require(std::isfinite(sc.lambda) && sc.lambda > 0.0,
+              at + ".lambda must be positive and finite (got " +
+                  std::to_string(sc.lambda) + ")");
+      require(std::isfinite(sc.mu) && sc.mu > 0.0,
+              at + ".mu must be positive and finite (got " +
+                  std::to_string(sc.mu) + ")");
+      require(std::isfinite(sc.max_wait) && sc.max_wait >= 0.0,
+              at + ".max_wait must be non-negative and finite (got " +
+                  std::to_string(sc.max_wait) + ")");
+      require(shares[i] >= 0,
+              at + " share S_i must be non-negative (got " +
+                  std::to_string(shares[i]) + ")");
+      require(shares[i] <= sc.num_vms,
+              at + " share S_i = " + std::to_string(shares[i]) +
+                  " exceeds num_vms = " + std::to_string(sc.num_vms));
     }
-    require(truncation_epsilon > 0.0 && truncation_epsilon < 1.0,
-            "FederationConfig: truncation_epsilon in (0, 1)");
+    require(std::isfinite(truncation_epsilon) && truncation_epsilon > 0.0 &&
+                truncation_epsilon < 1.0,
+            "FederationConfig: truncation_epsilon must lie in (0, 1), got " +
+                std::to_string(truncation_epsilon));
   }
 
   /// Total VMs shared by SCs other than `i` (B_i in the paper).

@@ -113,8 +113,11 @@ FederationMetrics DetailedModel::solve() {
 
   // Breadth-first exploration of the reachable state space.
   for (std::size_t current = 0; current < index.size(); ++current) {
+    // kBackendUnavailable: a fallback chain reacts by descending to a
+    // coarser model instead of giving up on the evaluation.
     require(index.size() <= options_.max_states,
-            "DetailedModel: state space exceeds max_states");
+            "DetailedModel: state space exceeds max_states",
+            ErrorCode::kBackendUnavailable);
     // Copy: interning new states may invalidate references into the index.
     const State state = index.state(current);
     const StateView view(state, k);
@@ -271,9 +274,27 @@ FederationMetrics DetailedModel::solve() {
 
   markov::SteadyStateOptions ss;
   ss.tolerance = options_.steady_state_tolerance;
-  const auto solution = markov::solve_steady_state(chain, ss);
+  ss.max_iterations = options_.max_iterations;
+  ss.relax_attempts = options_.relax_attempts;
+  const auto solution = markov::solve_steady_state_guarded(chain, ss);
+  if (!solution.converged && options_.throw_on_nonconvergence) {
+    throw Error("steady-state solver exhausted " +
+                    std::to_string(solution.iterations) +
+                    " iterations (residual " +
+                    std::to_string(solution.residual) + ")",
+                ErrorCode::kSolverNonConvergence, "DetailedModel");
+  }
 
   FederationMetrics metrics(k);
+  if (!solution.converged) {
+    metrics.mark_degraded("detailed model: steady state not converged "
+                          "(residual " + std::to_string(solution.residual) +
+                          ")");
+  } else if (solution.relaxations > 0) {
+    metrics.mark_degraded("detailed model: steady state accepted at relaxed "
+                          "tolerance " +
+                          std::to_string(solution.tolerance_used));
+  }
   for (std::size_t s = 0; s < index.size(); ++s) {
     const double p = solution.pi[s];
     if (p == 0.0) continue;

@@ -22,6 +22,16 @@ namespace scshare::federation {
 
 struct DetailedModelOptions {
   double steady_state_tolerance = 1e-12;
+  /// Iteration budget of the steady-state solver (exposed so callers — and
+  /// tests — can force the non-convergence path).
+  std::size_t max_iterations = 200000;
+  /// Tolerance-relaxation retries when the solver misses the requested
+  /// tolerance (see markov::solve_steady_state_guarded); accepted-relaxed
+  /// results are marked degraded.
+  std::size_t relax_attempts = 2;
+  /// When true a non-converged solve raises kSolverNonConvergence instead
+  /// of returning degraded metrics.
+  bool throw_on_nonconvergence = false;
   /// Refuse to build chains larger than this many states.
   std::size_t max_states = 5'000'000;
 };

@@ -1,7 +1,14 @@
 // Performance metrics produced by every backend; these feed the cost function
 // of Eq. (1) and the utility of Eq. (2).
+//
+// Metrics carry a quality flag: a backend that could not fully converge (or
+// whose output was perturbed by fault injection) marks its result `degraded`
+// instead of silently returning a possibly-wrong answer. Consumers — the
+// market game, the sharing controller — propagate the flag so an operator can
+// tell an exact equilibrium from one computed on shaky numbers.
 #pragma once
 
+#include <string>
 #include <vector>
 
 namespace scshare::federation {
@@ -13,9 +20,38 @@ struct ScMetrics {
   double forward_rate = 0.0;  ///< P̄_i: requests/second forwarded to public cloud
   double forward_prob = 0.0;  ///< fraction of arrivals forwarded
   double utilization = 0.0;   ///< rho_i: mean busy VMs (own work + lent) / N_i
+  /// Quality flag: true when the producing model did not fully converge for
+  /// this SC (accepted at a relaxed tolerance, iteration budget exhausted,
+  /// or perturbed by fault injection). The numbers are best-effort.
+  bool degraded = false;
 };
 
-/// Metrics for all SCs of a federation.
-using FederationMetrics = std::vector<ScMetrics>;
+/// Metrics for all SCs of a federation, plus federation-level quality
+/// information. Derives from std::vector so the ubiquitous `metrics[i]` /
+/// `metrics.size()` call sites keep working unchanged.
+struct FederationMetrics : public std::vector<ScMetrics> {
+  using std::vector<ScMetrics>::vector;
+
+  /// Why the evaluation is degraded (empty = fully converged). Reasons
+  /// accumulate ";"-separated when several stages degrade.
+  std::string degradation;
+
+  /// True when the federation-level evaluation or any per-SC entry is
+  /// degraded.
+  [[nodiscard]] bool degraded() const {
+    if (!degradation.empty()) return true;
+    for (const auto& m : *this) {
+      if (m.degraded) return true;
+    }
+    return false;
+  }
+
+  /// Marks every SC entry degraded and appends `reason`.
+  void mark_degraded(const std::string& reason) {
+    if (!degradation.empty()) degradation += "; ";
+    degradation += reason;
+    for (auto& m : *this) m.degraded = true;
+  }
+};
 
 }  // namespace scshare::federation

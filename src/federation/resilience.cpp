@@ -1,0 +1,304 @@
+#include "federation/resilience.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
+
+namespace scshare::federation {
+namespace {
+
+/// Global resilience instruments, shared by every decorator instance
+/// (per-instance numbers stay available through the accessors).
+struct ResilienceObs {
+  obs::Counter& retries;
+  obs::Counter& retry_exhausted;
+  obs::Counter& fallbacks;
+  obs::Counter& fallback_exhausted;
+  obs::Counter& faults_injected;
+  obs::Histogram& injected_latency_seconds;
+
+  ResilienceObs()
+      : retries(obs::MetricsRegistry::global().counter("backend.retries")),
+        retry_exhausted(obs::MetricsRegistry::global().counter(
+            "backend.retry_exhausted")),
+        fallbacks(obs::MetricsRegistry::global().counter("backend.fallbacks")),
+        fallback_exhausted(obs::MetricsRegistry::global().counter(
+            "backend.fallback_exhausted")),
+        faults_injected(obs::MetricsRegistry::global().counter(
+            "backend.faults_injected")),
+        injected_latency_seconds(obs::MetricsRegistry::global().histogram(
+            "federation.backend.injected_latency_seconds")) {}
+};
+
+ResilienceObs& resilience_obs() {
+  static ResilienceObs instruments;
+  return instruments;
+}
+
+}  // namespace
+
+// ---- RetryingBackend ------------------------------------------------------
+
+RetryingBackend::RetryingBackend(std::unique_ptr<PerformanceBackend> inner,
+                                 RetryPolicy policy)
+    : inner_(std::move(inner)), policy_(policy) {
+  require(policy_.max_retries >= 0,
+          "RetryPolicy: max_retries must be non-negative");
+  require(policy_.base_backoff_seconds >= 0.0 &&
+              policy_.backoff_multiplier >= 1.0,
+          "RetryPolicy: backoff schedule must be non-negative and "
+          "non-decreasing");
+  require(policy_.attempt_deadline_seconds >= 0.0,
+          "RetryPolicy: attempt deadline must be non-negative");
+}
+
+FederationMetrics RetryingBackend::evaluate(const FederationConfig& config) {
+  ResilienceObs& instruments = resilience_obs();
+  double backoff = policy_.base_backoff_seconds;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      const obs::Stopwatch stopwatch;
+      FederationMetrics metrics = inner_->evaluate(config);
+      if (policy_.attempt_deadline_seconds > 0.0 &&
+          stopwatch.seconds() > policy_.attempt_deadline_seconds) {
+        throw Error("attempt exceeded its deadline of " +
+                        std::to_string(policy_.attempt_deadline_seconds) +
+                        " s",
+                    ErrorCode::kTimeout, std::string(inner_->name()));
+      }
+      return metrics;
+    } catch (const Error& e) {
+      if (!is_retryable(e.code()) || attempt >= policy_.max_retries) {
+        if (is_retryable(e.code())) {
+          ++exhausted_;
+          instruments.retry_exhausted.add();
+        }
+        throw;
+      }
+      ++retries_;
+      instruments.retries.add();
+      if (auto* sink = obs::trace_sink()) {
+        sink->emit(obs::BackendRetryEvent{std::string(inner_->name()),
+                                          attempt, backoff,
+                                          error_code_name(e.code())});
+      }
+      backoff *= policy_.backoff_multiplier;
+    }
+  }
+}
+
+// ---- FallbackBackend ------------------------------------------------------
+
+FallbackBackend::FallbackBackend(
+    std::vector<std::unique_ptr<PerformanceBackend>> tiers)
+    : tiers_(std::move(tiers)), serve_counts_(tiers_.size(), 0) {
+  require(!tiers_.empty(), "FallbackBackend: at least one tier required");
+  name_ = "fallback(";
+  for (std::size_t i = 0; i < tiers_.size(); ++i) {
+    if (i > 0) name_ += '>';
+    name_ += tiers_[i]->name();
+  }
+  name_ += ')';
+}
+
+FederationMetrics FallbackBackend::evaluate(const FederationConfig& config) {
+  ResilienceObs& instruments = resilience_obs();
+  std::string last_error;
+  for (std::size_t tier = 0; tier < tiers_.size(); ++tier) {
+    try {
+      FederationMetrics metrics = tiers_[tier]->evaluate(config);
+      ++serve_counts_[tier];
+      obs::MetricsRegistry::global()
+          .counter("federation.backend.tier_served." +
+                   std::string(tiers_[tier]->name()))
+          .add();
+      if (tier > 0) {
+        // Served by a lower tier than the preferred one: the result may use
+        // a coarser model, so flag the quality drop.
+        metrics.mark_degraded("served by fallback tier " +
+                              std::to_string(tier) + " (" +
+                              std::string(tiers_[tier]->name()) + ")");
+      }
+      return metrics;
+    } catch (const Error& e) {
+      last_error = e.what();
+      if (tier + 1 < tiers_.size()) {
+        ++fallbacks_;
+        instruments.fallbacks.add();
+      }
+      if (auto* sink = obs::trace_sink()) {
+        sink->emit(obs::BackendFallbackEvent{static_cast<int>(tier),
+                                             std::string(tiers_[tier]->name()),
+                                             error_code_name(e.code())});
+      }
+    }
+  }
+  instruments.fallback_exhausted.add();
+  throw Error("all " + std::to_string(tiers_.size()) +
+                  " tiers failed; last error: " + last_error,
+              ErrorCode::kBackendUnavailable, "FallbackBackend");
+}
+
+// ---- FaultInjectingBackend ------------------------------------------------
+
+void FaultSpec::validate() const {
+  const auto probability = [](double p, const char* what) {
+    require(p >= 0.0 && p <= 1.0,
+            std::string("FaultSpec: ") + what +
+                " must lie in [0, 1], got " + std::to_string(p));
+  };
+  probability(fail_probability, "fail probability");
+  probability(timeout_probability, "timeout probability");
+  probability(latency_probability, "latency probability");
+  probability(perturb_probability, "perturb probability");
+  require(latency_seconds >= 0.0,
+          "FaultSpec: latency_seconds must be non-negative");
+  require(perturb_magnitude >= 0.0 && perturb_magnitude < 1.0,
+          "FaultSpec: perturb_magnitude must lie in [0, 1)");
+  require(is_retryable(fail_code),
+          "FaultSpec: fail_code must be a retryable error code");
+}
+
+FaultSpec parse_fault_spec(const std::string& spec) {
+  FaultSpec parsed;
+  const auto to_double = [](const std::string& s) {
+    try {
+      std::size_t pos = 0;
+      const double v = std::stod(s, &pos);
+      require(pos == s.size(), "trailing characters");
+      return v;
+    } catch (const Error&) {
+      throw;
+    } catch (const std::exception&) {
+      throw Error("fault-spec: not a number: '" + s + "'",
+                  ErrorCode::kInvalidConfig);
+    }
+  };
+  const auto to_code = [](const std::string& s) {
+    if (s == "unavailable") return ErrorCode::kBackendUnavailable;
+    if (s == "timeout") return ErrorCode::kTimeout;
+    if (s == "numerical") return ErrorCode::kNumericalFailure;
+    if (s == "nonconvergence") return ErrorCode::kSolverNonConvergence;
+    throw Error("fault-spec: unknown error code '" + s +
+                    "' (use unavailable|timeout|numerical|nonconvergence)",
+                ErrorCode::kInvalidConfig);
+  };
+
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = std::min(spec.find(',', start), spec.size());
+    const std::string entry = spec.substr(start, comma - start);
+    start = comma + 1;
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    require(eq != std::string::npos,
+            "fault-spec: expected key=value, got '" + entry + "'");
+    const std::string key = entry.substr(0, eq);
+    const std::string value = entry.substr(eq + 1);
+    const std::size_t colon = value.find(':');
+    const std::string head = value.substr(0, colon);
+    const std::string tail =
+        colon == std::string::npos ? std::string() : value.substr(colon + 1);
+    if (key == "fail") {
+      parsed.fail_probability = to_double(head);
+      if (!tail.empty()) parsed.fail_code = to_code(tail);
+    } else if (key == "timeout") {
+      parsed.timeout_probability = to_double(head);
+    } else if (key == "latency") {
+      parsed.latency_probability = to_double(head);
+      if (!tail.empty()) parsed.latency_seconds = to_double(tail);
+    } else if (key == "perturb") {
+      parsed.perturb_probability = to_double(head);
+      if (!tail.empty()) parsed.perturb_magnitude = to_double(tail);
+    } else if (key == "seed") {
+      parsed.seed = static_cast<std::uint64_t>(to_double(head));
+    } else {
+      throw Error("fault-spec: unknown key '" + key +
+                      "' (use fail|timeout|latency|perturb|seed)",
+                  ErrorCode::kInvalidConfig);
+    }
+  }
+  parsed.validate();
+  return parsed;
+}
+
+FaultInjectingBackend::FaultInjectingBackend(
+    std::unique_ptr<PerformanceBackend> inner, FaultSpec spec)
+    : inner_(std::move(inner)), spec_(spec), rng_(spec.seed) {
+  spec_.validate();
+}
+
+FederationMetrics FaultInjectingBackend::evaluate(
+    const FederationConfig& config) {
+  ResilienceObs& instruments = resilience_obs();
+  // Fixed draw order and count per evaluation, regardless of which faults
+  // fire: the RNG stream stays aligned across runs, so retry/fallback
+  // behaviour is reproducible under a fixed seed.
+  const double u_fail = rng_.next_double();
+  const double u_timeout = rng_.next_double();
+  const double u_latency = rng_.next_double();
+  const double u_perturb = rng_.next_double();
+  const double u_sign = rng_.next_double();
+
+  const auto inject = [&](const char* kind, ErrorCode code) {
+    ++faults_;
+    instruments.faults_injected.add();
+    if (auto* sink = obs::trace_sink()) {
+      sink->emit(obs::BackendFaultEvent{std::string(inner_->name()), kind,
+                                        error_code_name(code)});
+    }
+  };
+
+  if (u_fail < spec_.fail_probability) {
+    inject("fail", spec_.fail_code);
+    throw Error("injected fault", spec_.fail_code,
+                std::string(inner_->name()));
+  }
+  if (u_timeout < spec_.timeout_probability) {
+    inject("timeout", ErrorCode::kTimeout);
+    throw Error("injected timeout", ErrorCode::kTimeout,
+                std::string(inner_->name()));
+  }
+  if (u_latency < spec_.latency_probability) {
+    ++faults_;
+    instruments.faults_injected.add();
+    instruments.injected_latency_seconds.observe(spec_.latency_seconds);
+    if (auto* sink = obs::trace_sink()) {
+      sink->emit(obs::BackendFaultEvent{std::string(inner_->name()),
+                                        "latency", ""});
+    }
+    // Virtual latency only: recorded, not slept. A deployment fronting a
+    // remote backend would block here; the library stays fast and
+    // deterministic.
+  }
+
+  FederationMetrics metrics = inner_->evaluate(config);
+
+  if (u_perturb < spec_.perturb_probability) {
+    ++faults_;
+    instruments.faults_injected.add();
+    if (auto* sink = obs::trace_sink()) {
+      sink->emit(obs::BackendFaultEvent{std::string(inner_->name()),
+                                        "perturb", ""});
+    }
+    // Multiplicative relative noise, one shared factor per evaluation so
+    // perturbed metrics stay internally consistent (rates scale together).
+    const double factor =
+        1.0 + spec_.perturb_magnitude * (2.0 * u_sign - 1.0);
+    for (auto& m : metrics) {
+      m.lent = std::max(0.0, m.lent * factor);
+      m.borrowed = std::max(0.0, m.borrowed * factor);
+      m.forward_rate = std::max(0.0, m.forward_rate * factor);
+      m.forward_prob = std::clamp(m.forward_prob * factor, 0.0, 1.0);
+      m.utilization = std::clamp(m.utilization * factor, 0.0, 1.0);
+    }
+    metrics.mark_degraded("metrics perturbed by fault injection");
+  }
+  return metrics;
+}
+
+}  // namespace scshare::federation

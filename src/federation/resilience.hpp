@@ -1,0 +1,183 @@
+// Resilience decorators for performance backends.
+//
+// The market game drives thousands of backend evaluations per equilibrium
+// search; at production scale some of them will fail — a detailed CTMC blows
+// past its state budget, an iterative solver exhausts its iterations, a
+// remote evaluation service times out. These decorators make the evaluate
+// path survive such failures instead of aborting the whole search:
+//
+//   RetryingBackend        bounded retries of retryable errors with a
+//                          deterministic exponential backoff schedule and an
+//                          optional per-attempt deadline,
+//   FallbackBackend        ordered tier chain (e.g. detailed -> approx ->
+//                          simulation); the first tier that succeeds serves
+//                          the evaluation, and per-tier serve counts record
+//                          who actually answered,
+//   FaultInjectingBackend  seeded, deterministic fault injection (failures,
+//                          timeouts, virtual latency, metric perturbation)
+//                          for testing the two decorators above and every
+//                          consumer of degraded metrics.
+//
+// Composition convention (Framework::make_backend): per tier
+//   Retry(Fault(base))  — faults are injected innermost so retries see them,
+// then FallbackBackend across tiers, then CachingBackend outermost so only
+// successful evaluations are memoized.
+//
+// Determinism: FaultInjectingBackend draws a fixed number of uniforms per
+// evaluation from its own scshare::Rng, and none of the resilience trace
+// events carry wall-clock readings, so two runs with identical seeds produce
+// byte-identical fault/retry/fallback event sequences.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "federation/backend.hpp"
+
+namespace scshare::federation {
+
+/// Retry schedule of RetryingBackend.
+struct RetryPolicy {
+  /// Additional attempts after the first failed one (0 = no retries).
+  int max_retries = 2;
+  /// Deterministic exponential backoff: attempt k is assigned a backoff of
+  /// base_backoff_seconds * backoff_multiplier^k. The backoff is recorded in
+  /// metrics and trace events; the evaluate path does not sleep (the
+  /// backends are CPU-bound library calls, not remote services — the
+  /// schedule exists so a deployment wrapping remote backends can honor it).
+  double base_backoff_seconds = 0.01;
+  double backoff_multiplier = 2.0;
+  /// Per-attempt deadline in wall seconds; an attempt that completes but
+  /// took longer is treated as ErrorCode::kTimeout and retried. 0 disables
+  /// the deadline (keeps runs deterministic).
+  double attempt_deadline_seconds = 0.0;
+};
+
+/// Retries retryable failures (see is_retryable()) of the inner backend.
+/// Non-retryable errors (kInvalidConfig, kGeneric) propagate immediately.
+/// When all attempts fail the last error propagates unchanged.
+class RetryingBackend final : public PerformanceBackend {
+ public:
+  explicit RetryingBackend(std::unique_ptr<PerformanceBackend> inner,
+                           RetryPolicy policy = {});
+
+  [[nodiscard]] FederationMetrics evaluate(
+      const FederationConfig& config) override;
+  [[nodiscard]] std::string_view name() const override {
+    return inner_->name();
+  }
+
+  /// Retries performed (counts every re-attempt, across evaluations).
+  [[nodiscard]] std::uint64_t retries() const { return retries_; }
+  /// Evaluations that failed even after all retries.
+  [[nodiscard]] std::uint64_t exhausted() const { return exhausted_; }
+
+ private:
+  std::unique_ptr<PerformanceBackend> inner_;
+  RetryPolicy policy_;
+  std::uint64_t retries_ = 0;
+  std::uint64_t exhausted_ = 0;
+};
+
+/// Ordered chain of backends: evaluate() tries each tier in turn and returns
+/// the first success. Per-tier serve counts record which tier answered each
+/// evaluation (also exported as `federation.backend.tier_served.<name>`
+/// counters). When every tier fails, throws kBackendUnavailable carrying the
+/// last tier's error text.
+class FallbackBackend final : public PerformanceBackend {
+ public:
+  explicit FallbackBackend(
+      std::vector<std::unique_ptr<PerformanceBackend>> tiers);
+
+  [[nodiscard]] FederationMetrics evaluate(
+      const FederationConfig& config) override;
+  /// Composed name, e.g. "fallback(detailed>approx>simulation)".
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+  [[nodiscard]] std::size_t num_tiers() const { return tiers_.size(); }
+  /// Evaluations served by tier `i`.
+  [[nodiscard]] const std::vector<std::uint64_t>& serve_counts() const {
+    return serve_counts_;
+  }
+  [[nodiscard]] std::string_view tier_name(std::size_t i) const {
+    return tiers_[i]->name();
+  }
+  /// Tier descents performed (a tier failed and the next one was tried).
+  [[nodiscard]] std::uint64_t fallbacks() const { return fallbacks_; }
+
+ private:
+  std::vector<std::unique_ptr<PerformanceBackend>> tiers_;
+  std::string name_;
+  std::vector<std::uint64_t> serve_counts_;
+  std::uint64_t fallbacks_ = 0;
+};
+
+/// What a FaultInjectingBackend injects. All probabilities are per
+/// evaluation and drawn independently; `enabled()` is false for the default
+/// spec (inject nothing).
+struct FaultSpec {
+  /// Probability of failing the evaluation outright with `fail_code`.
+  double fail_probability = 0.0;
+  ErrorCode fail_code = ErrorCode::kBackendUnavailable;
+  /// Probability of failing with ErrorCode::kTimeout (a distinct knob so a
+  /// chain can exercise both codes in one run).
+  double timeout_probability = 0.0;
+  /// Probability of attributing virtual latency to a (successful)
+  /// evaluation. Recorded in the `federation.backend.injected_latency_seconds`
+  /// histogram and the fault trace event; the call does not sleep.
+  double latency_probability = 0.0;
+  double latency_seconds = 0.0;
+  /// Probability of perturbing every metric of the result multiplicatively
+  /// by up to +-perturb_magnitude (relative). Perturbed results are marked
+  /// degraded.
+  double perturb_probability = 0.0;
+  double perturb_magnitude = 0.1;
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] bool enabled() const {
+    return fail_probability > 0.0 || timeout_probability > 0.0 ||
+           latency_probability > 0.0 || perturb_probability > 0.0;
+  }
+
+  void validate() const;
+};
+
+/// Parses the CLI `--fault-spec` mini-language, e.g.
+///   "fail=0.3,seed=7"                     30% failures, RNG seed 7
+///   "fail=0.2:timeout,timeout=0.05"       20% timeouts + 5% timeouts
+///   "latency=0.1:0.25,perturb=0.2:0.05"   latency & perturbation faults
+/// Keys: fail=P[:code], timeout=P, latency=P[:seconds],
+/// perturb=P[:magnitude], seed=N. Codes: unavailable|timeout|numerical|
+/// nonconvergence. Throws kInvalidConfig on unknown keys or bad numbers.
+[[nodiscard]] FaultSpec parse_fault_spec(const std::string& spec);
+
+/// Deterministic fault injector. Wraps `inner` and, per evaluation, draws a
+/// fixed number of uniforms from its own RNG (stream alignment never depends
+/// on which faults fired), then fails, delays, or perturbs accordingly.
+class FaultInjectingBackend final : public PerformanceBackend {
+ public:
+  FaultInjectingBackend(std::unique_ptr<PerformanceBackend> inner,
+                        FaultSpec spec);
+
+  [[nodiscard]] FederationMetrics evaluate(
+      const FederationConfig& config) override;
+  [[nodiscard]] std::string_view name() const override {
+    return inner_->name();
+  }
+
+  /// Faults injected so far (failures + timeouts + latencies + perturbations).
+  [[nodiscard]] std::uint64_t faults_injected() const { return faults_; }
+
+ private:
+  std::unique_ptr<PerformanceBackend> inner_;
+  FaultSpec spec_;
+  Rng rng_;
+  std::uint64_t faults_ = 0;
+};
+
+}  // namespace scshare::federation

@@ -155,6 +155,7 @@ Json to_json(const federation::ScMetrics& metrics) {
   out["forward_rate"] = metrics.forward_rate;
   out["forward_prob"] = metrics.forward_prob;
   out["utilization"] = metrics.utilization;
+  out["degraded"] = metrics.degraded;
   return Json(std::move(out));
 }
 
@@ -188,6 +189,8 @@ Json to_json(const market::GameResult& result) {
   out["costs"] = Json(std::move(costs));
   out["rounds"] = result.rounds;
   out["converged"] = result.converged;
+  out["degraded"] = result.degraded;
+  out["failed_evaluations"] = result.failed_evaluations;
   out["trajectory"] = Json(std::move(trajectory));
   return Json(std::move(out));
 }

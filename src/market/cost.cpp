@@ -1,5 +1,7 @@
 #include "market/cost.hpp"
 
+#include <cmath>
+
 #include "common/error.hpp"
 #include "queueing/no_share_model.hpp"
 
@@ -7,15 +9,25 @@ namespace scshare::market {
 
 void PriceConfig::validate(std::size_t num_scs) const {
   require(public_price.size() == num_scs,
-          "PriceConfig: one public price per SC required");
-  require(federation_price >= 0.0,
-          "PriceConfig: federation price must be non-negative");
-  require(power_price >= 0.0,
-          "PriceConfig: power price must be non-negative");
-  for (double p : public_price) {
-    require(p > 0.0, "PriceConfig: public prices must be positive");
+          "PriceConfig: " + std::to_string(public_price.size()) +
+              " public prices given for " + std::to_string(num_scs) + " SCs");
+  require(std::isfinite(federation_price) && federation_price >= 0.0,
+          "PriceConfig: federation_price must be non-negative and finite "
+          "(got " + std::to_string(federation_price) + ")");
+  require(std::isfinite(power_price) && power_price >= 0.0,
+          "PriceConfig: power_price must be non-negative and finite (got " +
+              std::to_string(power_price) + ")");
+  for (std::size_t i = 0; i < public_price.size(); ++i) {
+    const double p = public_price[i];
+    require(std::isfinite(p) && p > 0.0,
+            "PriceConfig: public_price[" + std::to_string(i) +
+                "] must be positive and finite (got " + std::to_string(p) +
+                ")");
     require(federation_price <= p,
-            "PriceConfig: federation price must not exceed public prices");
+            "PriceConfig: federation_price " +
+                std::to_string(federation_price) +
+                " exceeds public_price[" + std::to_string(i) + "] = " +
+                std::to_string(p));
   }
 }
 

@@ -1,6 +1,8 @@
 #include "market/game.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
@@ -16,6 +18,8 @@ struct GameObs {
   obs::Counter& best_responses;
   obs::Counter& share_changes;
   obs::Counter& converged;
+  obs::Counter& eval_failures;
+  obs::Counter& degraded_runs;
   obs::Histogram& seconds;
 
   GameObs()
@@ -27,6 +31,10 @@ struct GameObs {
             "market.game.share_changes")),
         converged(
             obs::MetricsRegistry::global().counter("market.game.converged")),
+        eval_failures(obs::MetricsRegistry::global().counter(
+            "market.game.eval_failures")),
+        degraded_runs(obs::MetricsRegistry::global().counter(
+            "market.game.degraded_runs")),
         seconds(
             obs::MetricsRegistry::global().histogram("market.game.seconds")) {}
 };
@@ -61,19 +69,51 @@ Game::Game(federation::FederationConfig config, PriceConfig prices,
   }
 }
 
-double Game::utility_of(std::size_t i, const std::vector<int>& shares) {
+bool Game::try_evaluate(const std::vector<int>& shares,
+                        federation::FederationMetrics& out) {
   federation::FederationConfig cfg = config_;
   cfg.shares = shares;
-  const auto metrics = backend_.evaluate(cfg);
+  try {
+    out = backend_.evaluate(cfg);
+  } catch (const Error&) {
+    ++failed_evaluations_;
+    degraded_ = true;
+    game_obs().eval_failures.add();
+    return false;
+  }
+  if (out.degraded()) degraded_ = true;
+  last_good_ = out;
+  has_last_good_ = true;
+  return true;
+}
+
+federation::FederationMetrics Game::metrics_or_last_good(
+    const std::vector<int>& shares) {
+  federation::FederationMetrics metrics;
+  if (try_evaluate(shares, metrics)) return metrics;
+  if (!has_last_good_) {
+    throw Error("no successful evaluation to fall back on",
+                ErrorCode::kBackendUnavailable, "Game");
+  }
+  metrics = last_good_;
+  metrics.mark_degraded("evaluation failed; reusing last-known-good metrics");
+  return metrics;
+}
+
+double Game::utility_of(std::size_t i, const std::vector<int>& shares) {
+  federation::FederationMetrics metrics;
+  if (!try_evaluate(shares, metrics)) {
+    // Candidate unevaluable: report it as maximally unattractive so search
+    // loops skip it rather than abort.
+    return -std::numeric_limits<double>::infinity();
+  }
   return sc_utility(metrics[i], baselines_[i], prices_.public_price[i],
                     prices_.federation_price, shares[i], utility_,
                     prices_.power_price, config_.scs[i].num_vms);
 }
 
 std::vector<double> Game::utilities_of(const std::vector<int>& shares) {
-  federation::FederationConfig cfg = config_;
-  cfg.shares = shares;
-  const auto metrics = backend_.evaluate(cfg);
+  const auto metrics = metrics_or_last_good(shares);
   std::vector<double> utilities(config_.size());
   for (std::size_t i = 0; i < config_.size(); ++i) {
     utilities[i] =
@@ -120,7 +160,13 @@ int Game::best_response(std::size_t i, std::vector<int> shares) {
   // SC whose every option yields zero utility withdraws.
   int chosen;
   double chosen_value;
-  if (best_value <= 0.0) {
+  if (!std::isfinite(best_value)) {
+    // Every candidate (including the current share) failed to evaluate:
+    // keep the current share rather than spuriously withdrawing — there is
+    // no evidence the current choice stopped being the best response.
+    chosen = current;
+    chosen_value = current_value;
+  } else if (best_value <= 0.0) {
     chosen = 0;
     chosen_value = 0.0;
   } else {
@@ -145,6 +191,8 @@ GameResult Game::run() {
   instruments.runs.add();
 
   GameResult result;
+  degraded_ = false;
+  failed_evaluations_ = 0;
   std::vector<int> shares = options_.initial_shares;
 
   for (int round = 1; round <= options_.max_rounds; ++round) {
@@ -185,17 +233,25 @@ GameResult Game::run() {
 
   if (result.converged) instruments.converged.add();
   result.shares = shares;
-  result.utilities = utilities_of(shares);
-  federation::FederationConfig cfg = config_;
-  cfg.shares = shares;
-  const auto metrics = backend_.evaluate(cfg);
+  // One evaluation serves both utilities and costs; if it fails the
+  // last-known-good metrics stand in (marked degraded).
+  const auto metrics = metrics_or_last_good(shares);
+  if (metrics.degraded()) degraded_ = true;
+  result.utilities.resize(config_.size());
   result.costs.resize(config_.size());
   for (std::size_t i = 0; i < config_.size(); ++i) {
+    result.utilities[i] =
+        sc_utility(metrics[i], baselines_[i], prices_.public_price[i],
+                   prices_.federation_price, shares[i], utility_,
+                   prices_.power_price, config_.scs[i].num_vms);
     result.costs[i] = operating_cost(metrics[i], prices_.public_price[i],
                                      prices_.federation_price,
                                      prices_.power_price,
                                      config_.scs[i].num_vms);
   }
+  result.degraded = degraded_;
+  result.failed_evaluations = failed_evaluations_;
+  if (result.degraded) instruments.degraded_runs.add();
   return result;
 }
 

@@ -54,6 +54,13 @@ struct GameResult {
   std::vector<double> costs;      ///< per-SC operating costs (Eq. (1))
   int rounds = 0;
   bool converged = false;
+  /// True when any evaluation failed or returned degraded metrics during the
+  /// run: the equilibrium is still the best response to what was observable,
+  /// but its quality is not guaranteed.
+  bool degraded = false;
+  /// Backend evaluations that raised a typed error (the candidate was
+  /// skipped, or last-known-good metrics were substituted).
+  int failed_evaluations = 0;
   std::vector<std::vector<int>> trajectory;  ///< shares after each round
 };
 
@@ -69,7 +76,9 @@ class Game {
   [[nodiscard]] GameResult run();
 
   /// Utility of SC i when the federation uses `shares` (helper for sweeps
-  /// and social-optimum search; uses the same memoized backend).
+  /// and social-optimum search; uses the same memoized backend). Returns
+  /// -infinity when the evaluation fails with a typed error, so callers can
+  /// skip the candidate instead of aborting the search.
   [[nodiscard]] double utility_of(std::size_t i, const std::vector<int>& shares);
 
   /// Utilities of every SC under `shares`.
@@ -82,12 +91,28 @@ class Game {
  private:
   [[nodiscard]] int best_response(std::size_t i, std::vector<int> shares);
 
+  /// Evaluates `shares`, absorbing typed errors: returns false on failure
+  /// (counting it and marking the run degraded), true with `out` filled on
+  /// success. Successful metrics are remembered as last-known-good.
+  bool try_evaluate(const std::vector<int>& shares,
+                    federation::FederationMetrics& out);
+
+  /// Metrics for `shares`, substituting last-known-good metrics (marked
+  /// degraded) when the evaluation fails. Throws kBackendUnavailable only
+  /// when no evaluation has ever succeeded.
+  [[nodiscard]] federation::FederationMetrics metrics_or_last_good(
+      const std::vector<int>& shares);
+
   federation::FederationConfig config_;
   PriceConfig prices_;
   UtilityParams utility_;
   federation::PerformanceBackend& backend_;
   GameOptions options_;
   std::vector<Baseline> baselines_;
+  federation::FederationMetrics last_good_;
+  bool has_last_good_ = false;
+  bool degraded_ = false;
+  int failed_evaluations_ = 0;
 };
 
 }  // namespace scshare::market

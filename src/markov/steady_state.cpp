@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
 #include "linalg/vector_ops.hpp"
@@ -50,6 +51,18 @@ SolverObs& power_obs() {
   return instruments;
 }
 
+obs::Counter& divergence_aborts_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("solver.divergence_aborts");
+  return counter;
+}
+
+obs::Counter& relaxations_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("solver.tolerance_relaxations");
+  return counter;
+}
+
 enum class SolverPath { kGaussSeidel, kPower };
 
 void record_solve(SolverObs& instruments, const SolverPath solver,
@@ -62,6 +75,33 @@ void record_solve(SolverObs& instruments, const SolverPath solver,
         solver == SolverPath::kGaussSeidel ? "gauss_seidel" : "power",
         result.iterations, result.residual, result.converged});
   }
+}
+
+/// NaN/Inf guard: a poisoned iterate can never converge and, worse, clamping
+/// plus renormalization may launder it into an innocent-looking (and wrong)
+/// distribution. Throw instead of iterating on.
+void check_finite(const std::vector<double>& pi, double residual,
+                  const char* solver) {
+  if (std::isfinite(residual) &&
+      std::all_of(pi.begin(), pi.end(),
+                  [](double v) { return std::isfinite(v); })) {
+    return;
+  }
+  divergence_aborts_counter().add();
+  throw Error("iterate contains NaN/Inf (divergent chain or "
+              "ill-conditioned generator)",
+              ErrorCode::kNumericalFailure, solver);
+}
+
+/// Divergence guard: true (and records the abort) when the residual has
+/// grown `divergence_factor` beyond the best seen — further sweeps are a
+/// waste of the iteration budget.
+bool check_divergence(double residual, double best_residual,
+                      double divergence_factor) {
+  if (divergence_factor <= 0.0) return false;
+  if (residual <= best_residual * divergence_factor) return false;
+  divergence_aborts_counter().add();
+  return true;
 }
 
 }  // namespace
@@ -100,8 +140,10 @@ SteadyStateResult solve_steady_state(const Ctmc& chain,
   }
 
   SteadyStateResult result;
+  result.tolerance_used = options.tolerance;
   result.pi.assign(n, 1.0 / static_cast<double>(n));
   std::vector<double> scratch(n);
+  double best_residual = std::numeric_limits<double>::infinity();
 
   for (std::size_t iter = 1; iter <= options.max_iterations; ++iter) {
     for (std::size_t j = 0; j < n; ++j) {
@@ -112,15 +154,25 @@ SteadyStateResult solve_steady_state(const Ctmc& chain,
     }
     if (iter % options.check_interval == 0 ||
         iter == options.max_iterations) {
+      // Guard the raw iterate first: clamping/renormalizing a NaN-poisoned
+      // vector would raise an untyped error (or launder the NaN) instead.
+      check_finite(result.pi, 0.0, "gauss_seidel");
       linalg::clamp_nonnegative(result.pi, 1e-9);
       linalg::normalize_probability(result.pi);
       result.residual = residual_norm(q, result.pi, scratch);
       result.iterations = iter;
+      check_finite(result.pi, result.residual, "gauss_seidel");
       if (result.residual < options.tolerance) {
         result.converged = true;
         record_solve(instruments, SolverPath::kGaussSeidel, result);
         return result;
       }
+      if (check_divergence(result.residual, best_residual,
+                           options.divergence_factor)) {
+        result.diverged = true;
+        break;
+      }
+      best_residual = std::min(best_residual, result.residual);
     }
   }
   record_solve(instruments, SolverPath::kGaussSeidel, result);
@@ -139,27 +191,60 @@ SteadyStateResult solve_steady_state_power(const Ctmc& chain,
   const linalg::CsrMatrix p = chain.uniformized_dtmc(gamma);
 
   SteadyStateResult result;
+  result.tolerance_used = options.tolerance;
   result.pi.assign(n, 1.0 / static_cast<double>(n));
   std::vector<double> next(n);
   std::vector<double> scratch(n);
+  double best_residual = std::numeric_limits<double>::infinity();
 
   for (std::size_t iter = 1; iter <= options.max_iterations; ++iter) {
     p.multiply_transposed(result.pi, next);
     std::swap(result.pi, next);
     if (iter % options.check_interval == 0 ||
         iter == options.max_iterations) {
+      check_finite(result.pi, 0.0, "power");
       linalg::clamp_nonnegative(result.pi, 1e-9);
       linalg::normalize_probability(result.pi);
       result.residual = residual_norm(chain.generator(), result.pi, scratch);
       result.iterations = iter;
+      check_finite(result.pi, result.residual, "power");
       if (result.residual < options.tolerance) {
         result.converged = true;
         record_solve(instruments, SolverPath::kPower, result);
         return result;
       }
+      if (check_divergence(result.residual, best_residual,
+                           options.divergence_factor)) {
+        result.diverged = true;
+        break;
+      }
+      best_residual = std::min(best_residual, result.residual);
     }
   }
   record_solve(instruments, SolverPath::kPower, result);
+  return result;
+}
+
+SteadyStateResult solve_steady_state_guarded(
+    const Ctmc& chain, const SteadyStateOptions& options) {
+  SteadyStateResult result = solve_steady_state(chain, options);
+  if (result.converged) return result;
+  // Tolerance-relaxation retry. The solvers are deterministic and already
+  // spent the full iteration budget, so re-running buys nothing: instead the
+  // best residual reached is tested against progressively relaxed
+  // tolerances. Acceptance at attempt k means "converged, but k orders
+  // looser than requested" — flagged for the caller to mark degraded.
+  double relaxed = options.tolerance;
+  for (std::size_t attempt = 1; attempt <= options.relax_attempts; ++attempt) {
+    relaxed *= options.relax_multiplier;
+    if (result.residual < relaxed) {
+      result.converged = true;
+      result.relaxations = attempt;
+      result.tolerance_used = relaxed;
+      relaxations_counter().add(attempt);
+      return result;
+    }
+  }
   return result;
 }
 

@@ -3,6 +3,16 @@
 // The default method is Gauss–Seidel on the transposed generator with
 // periodic renormalization; a uniformized power iteration serves as a robust
 // fallback for matrices on which Gauss–Seidel stalls.
+//
+// Degradation guards: every residual check also scans for NaN/Inf (throws
+// scshare::Error with code kNumericalFailure — a poisoned iterate never
+// converges and must not masquerade as a distribution) and for residual
+// divergence (aborts the iteration early instead of burning the remaining
+// budget). solve_steady_state_guarded() adds automatic tolerance relaxation:
+// a result that missed the requested tolerance but lies within
+// `relax_multiplier^k` of it is accepted as converged-at-relaxed-tolerance
+// and flagged, so callers can mark their metrics degraded instead of
+// silently consuming a non-converged distribution.
 #pragma once
 
 #include <cstddef>
@@ -17,6 +27,13 @@ struct SteadyStateOptions {
   std::size_t max_iterations = 200000;
   /// Check residual / renormalize every `check_interval` sweeps.
   std::size_t check_interval = 16;
+  /// Divergence guard: abort when the residual exceeds the best residual
+  /// seen so far by this factor (0 disables the guard).
+  double divergence_factor = 1e6;
+  /// Tolerance-relaxation retries performed by solve_steady_state_guarded():
+  /// attempt k accepts residual < tolerance * relax_multiplier^k.
+  std::size_t relax_attempts = 2;
+  double relax_multiplier = 100.0;
 };
 
 struct SteadyStateResult {
@@ -24,20 +41,44 @@ struct SteadyStateResult {
   double residual = 0.0;      ///< max |(pi Q)_j| at termination
   std::size_t iterations = 0;
   bool converged = false;
+  /// The divergence guard aborted the iteration before the budget ran out.
+  bool diverged = false;
+  /// Relaxation steps solve_steady_state_guarded() needed (0 = converged at
+  /// the requested tolerance). converged && relaxations > 0 means the result
+  /// is usable but degraded.
+  std::size_t relaxations = 0;
+  /// The tolerance the result actually satisfies (== options.tolerance when
+  /// relaxations == 0).
+  double tolerance_used = 0.0;
+
+  /// Converged, and at the originally requested tolerance.
+  [[nodiscard]] bool fully_converged() const {
+    return converged && relaxations == 0;
+  }
 };
 
 /// Solves for the stationary distribution of `chain`.
 ///
 /// The chain is assumed irreducible (one recurrent class); for reducible
-/// chains the result depends on the (uniform) initial guess. Throws on
-/// numerical failure; returns converged = false if the iteration budget is
-/// exhausted (callers decide whether to accept the approximation).
+/// chains the result depends on the (uniform) initial guess. Throws
+/// scshare::Error (kNumericalFailure) when the iterate turns NaN/Inf;
+/// returns converged = false if the iteration budget is exhausted or the
+/// divergence guard fires (callers decide whether to accept the
+/// approximation — or use solve_steady_state_guarded).
 [[nodiscard]] SteadyStateResult solve_steady_state(
     const Ctmc& chain, const SteadyStateOptions& options = {});
 
 /// Power iteration on the uniformized DTMC. Mostly used for testing
 /// solve_steady_state against an independent method.
 [[nodiscard]] SteadyStateResult solve_steady_state_power(
+    const Ctmc& chain, const SteadyStateOptions& options = {});
+
+/// solve_steady_state plus automatic tolerance relaxation: a non-converged
+/// result whose residual still lies within tolerance * relax_multiplier^k
+/// for some k <= relax_attempts is accepted and flagged via `relaxations`.
+/// Callers must treat relaxations > 0 (or converged == false) as degraded
+/// quality — never as an exact answer.
+[[nodiscard]] SteadyStateResult solve_steady_state_guarded(
     const Ctmc& chain, const SteadyStateOptions& options = {});
 
 }  // namespace scshare::markov

@@ -72,6 +72,15 @@ const char* event_type_name(const TraceEvent& event) {
     const char* operator()(const LumpingStatsEvent&) const {
       return "lumping_stats";
     }
+    const char* operator()(const BackendFaultEvent&) const {
+      return "backend_fault";
+    }
+    const char* operator()(const BackendRetryEvent&) const {
+      return "backend_retry";
+    }
+    const char* operator()(const BackendFallbackEvent&) const {
+      return "backend_fallback";
+    }
   };
   return std::visit(Visitor{}, event);
 }
@@ -122,6 +131,30 @@ std::string to_json_line(const TraceEvent& event) {
     void operator()(const LumpingStatsEvent& e) const {
       out += ",\"states_before\":" + std::to_string(e.states_before);
       out += ",\"states_after\":" + std::to_string(e.states_after);
+    }
+    void operator()(const BackendFaultEvent& e) const {
+      out += ",\"backend\":";
+      append_string(out, e.backend);
+      out += ",\"kind\":";
+      append_string(out, e.kind);
+      out += ",\"code\":";
+      append_string(out, e.code);
+    }
+    void operator()(const BackendRetryEvent& e) const {
+      out += ",\"backend\":";
+      append_string(out, e.backend);
+      out += ",\"attempt\":" + std::to_string(e.attempt);
+      out += ",\"backoff_seconds\":";
+      append_number(out, e.backoff_seconds);
+      out += ",\"code\":";
+      append_string(out, e.code);
+    }
+    void operator()(const BackendFallbackEvent& e) const {
+      out += ",\"tier\":" + std::to_string(e.tier);
+      out += ",\"tier_name\":";
+      append_string(out, e.tier_name);
+      out += ",\"code\":";
+      append_string(out, e.code);
     }
   };
   std::visit(Visitor{out}, event);

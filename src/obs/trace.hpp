@@ -60,9 +60,37 @@ struct LumpingStatsEvent {
   std::uint64_t states_after = 0;
 };
 
+// Resilience events (src/federation/resilience.hpp). Deliberately free of
+// wall-clock fields: under a fixed fault seed, two identical runs emit
+// byte-identical sequences of these events.
+
+/// One fault injected by a FaultInjectingBackend.
+struct BackendFaultEvent {
+  std::string backend;  ///< inner backend name
+  std::string kind;     ///< "fail" | "timeout" | "latency" | "perturb"
+  std::string code;     ///< error_code_name() for thrown faults, else ""
+};
+
+/// One retry decision of a RetryingBackend (attempt `attempt` failed).
+struct BackendRetryEvent {
+  std::string backend;  ///< inner backend name
+  int attempt = 0;      ///< 0-based index of the failed attempt
+  double backoff_seconds = 0.0;  ///< deterministic backoff assigned
+  std::string code;     ///< error_code_name() of the failure
+};
+
+/// One tier descent of a FallbackBackend (tier `tier` failed; chain moves
+/// to the next tier).
+struct BackendFallbackEvent {
+  int tier = 0;
+  std::string tier_name;
+  std::string code;  ///< error_code_name() of the tier's failure
+};
+
 using TraceEvent =
     std::variant<SolverIterationEvent, BackendEvalEvent, BestResponseEvent,
-                 EquilibriumRoundEvent, LumpingStatsEvent>;
+                 EquilibriumRoundEvent, LumpingStatsEvent, BackendFaultEvent,
+                 BackendRetryEvent, BackendFallbackEvent>;
 
 /// Stable wire name of an event's type ("solver_iteration", ...).
 [[nodiscard]] const char* event_type_name(const TraceEvent& event);

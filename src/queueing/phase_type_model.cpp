@@ -1,6 +1,7 @@
 #include "queueing/phase_type_model.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "common/error.hpp"
 #include "markov/ctmc.hpp"
@@ -92,7 +93,12 @@ PhaseTypeResult solve_no_share_phase_type(const PhaseTypeParams& params) {
   markov::Ctmc chain(index.size());
   for (const auto& e : edges) chain.add_rate(e.from, e.to, e.rate);
   chain.finalize();
-  const auto solution = markov::solve_steady_state(chain);
+  const auto solution = markov::solve_steady_state_guarded(chain);
+  if (!solution.converged) {
+    throw Error("steady-state solver exhausted its iteration budget "
+                "(residual " + std::to_string(solution.residual) + ")",
+                ErrorCode::kSolverNonConvergence, "PhaseTypeModel");
+  }
 
   PhaseTypeResult result;
   result.num_states = index.size();

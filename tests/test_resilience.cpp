@@ -1,0 +1,504 @@
+// Resilient evaluation pipeline: error taxonomy, retry/fallback/fault
+// decorators, solver degradation guards, and the game's behaviour on a
+// flaky backend.
+#include "federation/resilience.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/framework.hpp"
+#include "federation/detailed_model.hpp"
+#include "markov/ctmc.hpp"
+#include "markov/steady_state.hpp"
+#include "obs/trace.hpp"
+
+namespace fed = scshare::federation;
+using scshare::Error;
+using scshare::ErrorCode;
+
+namespace {
+
+fed::FederationConfig small() {
+  fed::FederationConfig cfg;
+  cfg.scs = {{.num_vms = 3, .lambda = 2.0, .mu = 1.0, .max_wait = 0.2},
+             {.num_vms = 3, .lambda = 1.5, .mu = 1.0, .max_wait = 0.2}};
+  cfg.shares = {1, 1};
+  return cfg;
+}
+
+/// Constant metrics tagged with `tag` so tests can tell tiers apart.
+class ConstBackend final : public fed::PerformanceBackend {
+ public:
+  explicit ConstBackend(double tag, std::string name = "const")
+      : tag_(tag), name_(std::move(name)) {}
+
+  fed::FederationMetrics evaluate(
+      const fed::FederationConfig& config) override {
+    ++calls;
+    fed::FederationMetrics m(config.size());
+    for (auto& e : m) e.lent = tag_;
+    return m;
+  }
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+  int calls = 0;
+
+ private:
+  double tag_;
+  std::string name_;
+};
+
+/// Fails the first `failures` evaluations with `code`, then succeeds.
+class FlakyBackend final : public fed::PerformanceBackend {
+ public:
+  FlakyBackend(int failures, ErrorCode code)
+      : failures_(failures), code_(code) {}
+
+  fed::FederationMetrics evaluate(
+      const fed::FederationConfig& config) override {
+    ++calls;
+    if (calls <= failures_) throw Error("flaky failure", code_, "flaky");
+    fed::FederationMetrics m(config.size());
+    for (auto& e : m) e.lent = 42.0;
+    return m;
+  }
+  [[nodiscard]] std::string_view name() const override { return "flaky"; }
+
+  int calls = 0;
+
+ private:
+  int failures_;
+  ErrorCode code_;
+};
+
+}  // namespace
+
+// ---- Error taxonomy -------------------------------------------------------
+
+TEST(ErrorTaxonomy, CarriesCodeAndContext) {
+  const Error e("iteration budget exhausted",
+                ErrorCode::kSolverNonConvergence, "DetailedModel");
+  EXPECT_EQ(e.code(), ErrorCode::kSolverNonConvergence);
+  EXPECT_EQ(e.context(), "DetailedModel");
+  EXPECT_STREQ(e.what(), "DetailedModel: iteration budget exhausted");
+}
+
+TEST(ErrorTaxonomy, RetryabilityPartition) {
+  EXPECT_FALSE(scshare::is_retryable(ErrorCode::kGeneric));
+  EXPECT_FALSE(scshare::is_retryable(ErrorCode::kInvalidConfig));
+  EXPECT_TRUE(scshare::is_retryable(ErrorCode::kSolverNonConvergence));
+  EXPECT_TRUE(scshare::is_retryable(ErrorCode::kNumericalFailure));
+  EXPECT_TRUE(scshare::is_retryable(ErrorCode::kBackendUnavailable));
+  EXPECT_TRUE(scshare::is_retryable(ErrorCode::kTimeout));
+}
+
+TEST(ErrorTaxonomy, StableWireNames) {
+  EXPECT_STREQ(scshare::error_code_name(ErrorCode::kInvalidConfig),
+               "invalid_config");
+  EXPECT_STREQ(scshare::error_code_name(ErrorCode::kTimeout), "timeout");
+}
+
+TEST(ErrorTaxonomy, ConfigValidationNamesTheOffender) {
+  fed::FederationConfig cfg = small();
+  cfg.shares[1] = 7;  // exceeds num_vms = 3
+  try {
+    cfg.validate();
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidConfig);
+    EXPECT_NE(std::string(e.what()).find("scs[1]"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("num_vms"), std::string::npos);
+  }
+
+  cfg = small();
+  cfg.scs[0].lambda = -1.0;
+  try {
+    cfg.validate();
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidConfig);
+    EXPECT_NE(std::string(e.what()).find("scs[0].lambda"), std::string::npos);
+  }
+
+  cfg = small();
+  cfg.scs[0].mu = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(cfg.validate(), Error);
+}
+
+// ---- RetryingBackend ------------------------------------------------------
+
+TEST(RetryingBackend, RetriesUntilSuccess) {
+  auto flaky = std::make_unique<FlakyBackend>(2, ErrorCode::kBackendUnavailable);
+  FlakyBackend* inner = flaky.get();
+  fed::RetryPolicy policy;
+  policy.max_retries = 3;
+  fed::RetryingBackend backend(std::move(flaky), policy);
+
+  const auto metrics = backend.evaluate(small());
+  EXPECT_DOUBLE_EQ(metrics[0].lent, 42.0);
+  EXPECT_EQ(inner->calls, 3);  // two failures + one success
+  EXPECT_EQ(backend.retries(), 2u);
+  EXPECT_EQ(backend.exhausted(), 0u);
+}
+
+TEST(RetryingBackend, NonRetryableErrorsPropagateImmediately) {
+  auto flaky = std::make_unique<FlakyBackend>(5, ErrorCode::kInvalidConfig);
+  FlakyBackend* inner = flaky.get();
+  fed::RetryPolicy policy;
+  policy.max_retries = 3;
+  fed::RetryingBackend backend(std::move(flaky), policy);
+
+  try {
+    (void)backend.evaluate(small());
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidConfig);
+  }
+  EXPECT_EQ(inner->calls, 1);  // no retry of a permanent failure
+  EXPECT_EQ(backend.retries(), 0u);
+}
+
+TEST(RetryingBackend, ExhaustsBoundedBudget) {
+  auto flaky = std::make_unique<FlakyBackend>(100, ErrorCode::kTimeout);
+  FlakyBackend* inner = flaky.get();
+  fed::RetryPolicy policy;
+  policy.max_retries = 2;
+  fed::RetryingBackend backend(std::move(flaky), policy);
+
+  EXPECT_THROW((void)backend.evaluate(small()), Error);
+  EXPECT_EQ(inner->calls, 3);  // initial attempt + 2 retries
+  EXPECT_EQ(backend.retries(), 2u);
+  EXPECT_EQ(backend.exhausted(), 1u);
+}
+
+TEST(RetryingBackend, DeterministicBackoffSchedule) {
+  auto flaky = std::make_unique<FlakyBackend>(3, ErrorCode::kTimeout);
+  fed::RetryPolicy policy;
+  policy.max_retries = 3;
+  policy.base_backoff_seconds = 0.01;
+  policy.backoff_multiplier = 2.0;
+  fed::RetryingBackend backend(std::move(flaky), policy);
+
+  scshare::obs::RingBufferSink sink(64);
+  auto* previous = scshare::obs::set_trace_sink(&sink);
+  (void)backend.evaluate(small());
+  scshare::obs::set_trace_sink(previous);
+
+  std::vector<double> backoffs;
+  for (const auto& event : sink.events()) {
+    if (const auto* retry =
+            std::get_if<scshare::obs::BackendRetryEvent>(&event)) {
+      backoffs.push_back(retry->backoff_seconds);
+    }
+  }
+  ASSERT_EQ(backoffs.size(), 3u);
+  EXPECT_DOUBLE_EQ(backoffs[0], 0.01);
+  EXPECT_DOUBLE_EQ(backoffs[1], 0.02);
+  EXPECT_DOUBLE_EQ(backoffs[2], 0.04);
+}
+
+// ---- FallbackBackend ------------------------------------------------------
+
+TEST(FallbackBackend, DescendsTiersInOrder) {
+  std::vector<std::unique_ptr<fed::PerformanceBackend>> tiers;
+  tiers.push_back(
+      std::make_unique<FlakyBackend>(100, ErrorCode::kBackendUnavailable));
+  tiers.push_back(std::make_unique<ConstBackend>(2.0, "secondary"));
+  tiers.push_back(std::make_unique<ConstBackend>(3.0, "tertiary"));
+  fed::FallbackBackend backend(std::move(tiers));
+  EXPECT_EQ(backend.name(), "fallback(flaky>secondary>tertiary)");
+
+  const auto metrics = backend.evaluate(small());
+  EXPECT_DOUBLE_EQ(metrics[0].lent, 2.0);  // served by the second tier
+  EXPECT_TRUE(metrics.degraded());
+  EXPECT_EQ(backend.serve_counts()[0], 0u);
+  EXPECT_EQ(backend.serve_counts()[1], 1u);
+  EXPECT_EQ(backend.serve_counts()[2], 0u);
+  EXPECT_EQ(backend.fallbacks(), 1u);
+}
+
+TEST(FallbackBackend, PrimaryTierServesUndegraded) {
+  std::vector<std::unique_ptr<fed::PerformanceBackend>> tiers;
+  tiers.push_back(std::make_unique<ConstBackend>(1.0, "primary"));
+  tiers.push_back(std::make_unique<ConstBackend>(2.0, "secondary"));
+  fed::FallbackBackend backend(std::move(tiers));
+
+  const auto metrics = backend.evaluate(small());
+  EXPECT_DOUBLE_EQ(metrics[0].lent, 1.0);
+  EXPECT_FALSE(metrics.degraded());
+  EXPECT_EQ(backend.fallbacks(), 0u);
+}
+
+TEST(FallbackBackend, AllTiersFailingRaisesBackendUnavailable) {
+  std::vector<std::unique_ptr<fed::PerformanceBackend>> tiers;
+  tiers.push_back(std::make_unique<FlakyBackend>(100, ErrorCode::kTimeout));
+  tiers.push_back(
+      std::make_unique<FlakyBackend>(100, ErrorCode::kSolverNonConvergence));
+  fed::FallbackBackend backend(std::move(tiers));
+
+  try {
+    (void)backend.evaluate(small());
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBackendUnavailable);
+    EXPECT_NE(std::string(e.what()).find("all 2 tiers failed"),
+              std::string::npos);
+  }
+}
+
+// ---- Fault specification --------------------------------------------------
+
+TEST(FaultSpec, ParsesTheMiniLanguage) {
+  const auto spec = fed::parse_fault_spec(
+      "fail=0.3:timeout,timeout=0.05,latency=0.1:0.25,perturb=0.2:0.05,"
+      "seed=9");
+  EXPECT_DOUBLE_EQ(spec.fail_probability, 0.3);
+  EXPECT_EQ(spec.fail_code, ErrorCode::kTimeout);
+  EXPECT_DOUBLE_EQ(spec.timeout_probability, 0.05);
+  EXPECT_DOUBLE_EQ(spec.latency_probability, 0.1);
+  EXPECT_DOUBLE_EQ(spec.latency_seconds, 0.25);
+  EXPECT_DOUBLE_EQ(spec.perturb_probability, 0.2);
+  EXPECT_DOUBLE_EQ(spec.perturb_magnitude, 0.05);
+  EXPECT_EQ(spec.seed, 9u);
+  EXPECT_TRUE(spec.enabled());
+  EXPECT_FALSE(fed::FaultSpec{}.enabled());
+}
+
+TEST(FaultSpec, RejectsBadInput) {
+  try {
+    (void)fed::parse_fault_spec("flail=0.3");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidConfig);
+  }
+  EXPECT_THROW((void)fed::parse_fault_spec("fail=1.5"), Error);
+  EXPECT_THROW((void)fed::parse_fault_spec("fail=abc"), Error);
+  EXPECT_THROW((void)fed::parse_fault_spec("fail=0.1:bogus"), Error);
+}
+
+// ---- Deterministic fault injection ---------------------------------------
+
+namespace {
+
+/// Runs `evaluations` evaluations of a freshly-built injector with `spec`,
+/// returning the JSONL encoding of every resilience event emitted.
+std::vector<std::string> fault_trace(const fed::FaultSpec& spec,
+                                     int evaluations, double& tag_sum) {
+  auto injector = std::make_unique<fed::FaultInjectingBackend>(
+      std::make_unique<ConstBackend>(1.0), spec);
+  scshare::obs::RingBufferSink sink(4096);
+  auto* previous = scshare::obs::set_trace_sink(&sink);
+  const auto cfg = small();
+  tag_sum = 0.0;
+  for (int i = 0; i < evaluations; ++i) {
+    try {
+      tag_sum += injector->evaluate(cfg)[0].lent;
+    } catch (const Error&) {
+      // Injected failure: part of the sequence under test.
+    }
+  }
+  scshare::obs::set_trace_sink(previous);
+
+  std::vector<std::string> lines;
+  for (const auto& event : sink.events()) {
+    const std::string type = scshare::obs::event_type_name(event);
+    if (type == "backend_fault" || type == "backend_retry" ||
+        type == "backend_fallback") {
+      lines.push_back(scshare::obs::to_json_line(event));
+    }
+  }
+  return lines;
+}
+
+}  // namespace
+
+TEST(FaultInjectingBackend, ByteIdenticalTracesUnderFixedSeed) {
+  fed::FaultSpec spec;
+  spec.fail_probability = 0.3;
+  spec.timeout_probability = 0.1;
+  spec.latency_probability = 0.2;
+  spec.latency_seconds = 0.5;
+  spec.perturb_probability = 0.25;
+  spec.seed = 1234;
+
+  double sum_a = 0.0, sum_b = 0.0;
+  const auto trace_a = fault_trace(spec, 200, sum_a);
+  const auto trace_b = fault_trace(spec, 200, sum_b);
+  ASSERT_FALSE(trace_a.empty());
+  EXPECT_EQ(trace_a, trace_b);  // byte-identical event sequences
+  EXPECT_DOUBLE_EQ(sum_a, sum_b);
+
+  // A different seed produces a different fault pattern.
+  spec.seed = 4321;
+  double sum_c = 0.0;
+  const auto trace_c = fault_trace(spec, 200, sum_c);
+  EXPECT_NE(trace_a, trace_c);
+}
+
+TEST(FaultInjectingBackend, PerturbationMarksMetricsDegraded) {
+  fed::FaultSpec spec;
+  spec.perturb_probability = 1.0;
+  spec.perturb_magnitude = 0.1;
+  fed::FaultInjectingBackend injector(std::make_unique<ConstBackend>(1.0),
+                                      spec);
+  const auto metrics = injector.evaluate(small());
+  EXPECT_TRUE(metrics.degraded());
+  EXPECT_GT(injector.faults_injected(), 0u);
+  // Perturbation is bounded: within +-10% of the true value.
+  EXPECT_GT(metrics[0].lent, 0.9);
+  EXPECT_LT(metrics[0].lent, 1.1);
+}
+
+// ---- Solver degradation guards -------------------------------------------
+
+TEST(SolverGuards, NumericalFailureIsTypedAndAborted) {
+  // An infinite rate poisons the Gauss-Seidel iterate with NaN/Inf on the
+  // first sweep; the guard must abort with a typed error instead of
+  // laundering the iterate through clamping + renormalization.
+  scshare::markov::Ctmc chain(3);
+  chain.add_rate(0, 1, std::numeric_limits<double>::infinity());
+  chain.add_rate(1, 2, 1.0);
+  chain.add_rate(2, 0, 1.0);
+  chain.finalize();
+  try {
+    (void)scshare::markov::solve_steady_state(chain);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kNumericalFailure);
+  }
+}
+
+TEST(SolverGuards, GuardedSolveRelaxesTolerance) {
+  // Birth-death chain; an unreachably tight tolerance with a tiny iteration
+  // budget cannot converge, but the achieved residual passes at a relaxed
+  // tolerance and is flagged as such.
+  scshare::markov::Ctmc chain(40);
+  for (std::size_t s = 0; s + 1 < 40; ++s) {
+    chain.add_rate(s, s + 1, 1.0);
+    chain.add_rate(s + 1, s, 0.8);
+  }
+  chain.finalize();
+
+  scshare::markov::SteadyStateOptions options;
+  options.tolerance = 1e-300;
+  options.max_iterations = 64;
+  options.relax_attempts = 0;
+  const auto strict = scshare::markov::solve_steady_state(chain, options);
+  ASSERT_FALSE(strict.converged);
+  ASSERT_TRUE(std::isfinite(strict.residual));
+
+  options.relax_attempts = 2;
+  // Two relaxation steps must bridge from 1e-300 to above the residual.
+  options.relax_multiplier = 1e155;
+  const auto relaxed =
+      scshare::markov::solve_steady_state_guarded(chain, options);
+  EXPECT_TRUE(relaxed.converged);
+  EXPECT_FALSE(relaxed.fully_converged());
+  EXPECT_GE(relaxed.relaxations, 1u);
+  EXPECT_GT(relaxed.tolerance_used, options.tolerance);
+}
+
+TEST(SolverGuards, NonConvergenceSurfacesAsTypedError) {
+  fed::DetailedModelOptions options;
+  options.steady_state_tolerance = 1e-300;  // unreachable
+  options.max_iterations = 4;
+  options.relax_attempts = 0;
+  options.throw_on_nonconvergence = true;
+  fed::DetailedModel model(small(), options);
+  try {
+    (void)model.solve();
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kSolverNonConvergence);
+  }
+}
+
+TEST(SolverGuards, NonConvergenceMarksMetricsDegraded) {
+  fed::DetailedModelOptions options;
+  options.steady_state_tolerance = 1e-300;
+  options.max_iterations = 4;
+  options.relax_attempts = 0;
+  options.throw_on_nonconvergence = false;  // degrade instead of throwing
+  fed::DetailedModel model(small(), options);
+  const auto metrics = model.solve();
+  EXPECT_TRUE(metrics.degraded());
+  for (const auto& m : metrics) EXPECT_TRUE(m.degraded);
+}
+
+// ---- Game on a flaky backend ---------------------------------------------
+
+TEST(ResilientGame, EquilibriumSurvivesFaultInjection) {
+  const auto cfg = small();
+  scshare::market::PriceConfig prices;
+  prices.public_price.assign(cfg.size(), 1.0);
+  prices.federation_price = 0.5;
+  scshare::market::GameOptions game;
+  game.method = scshare::market::BestResponseMethod::kExhaustive;
+
+  scshare::FrameworkOptions clean_options;
+  scshare::Framework clean(cfg, prices, {}, clean_options);
+  const auto clean_result = clean.find_equilibrium(game);
+
+  scshare::FrameworkOptions faulty_options;
+  faulty_options.chain = {scshare::BackendKind::kApprox,
+                          scshare::BackendKind::kApprox};
+  faulty_options.retry.max_retries = 2;
+  faulty_options.faults.fail_probability = 0.3;
+  faulty_options.faults.seed = 7;
+  scshare::Framework faulty(cfg, prices, {}, faulty_options);
+  const auto faulty_result = faulty.find_equilibrium(game);
+
+  // Retries and fallbacks absorb the injected failures: the game reaches the
+  // same equilibrium as the fault-free run.
+  EXPECT_EQ(faulty_result.shares, clean_result.shares);
+  EXPECT_EQ(faulty_result.converged, clean_result.converged);
+
+  const auto report = faulty.report();
+  EXPECT_GT(report.metrics.counters.at("backend.faults_injected"), 0u);
+  EXPECT_GT(report.metrics.counters.at("backend.retries"), 0u);
+}
+
+TEST(ResilientGame, UnavailablePipelineKeepsLastKnownGood) {
+  // Backend succeeds for a while and then goes permanently dark: the game
+  // must finish on last-known-good metrics and mark the run degraded.
+  class DyingBackend final : public fed::PerformanceBackend {
+   public:
+    fed::FederationMetrics evaluate(
+        const fed::FederationConfig& config) override {
+      ++calls;
+      if (calls > 5) {
+        throw Error("backend went dark", ErrorCode::kBackendUnavailable,
+                    "dying");
+      }
+      fed::FederationMetrics m(config.size());
+      for (std::size_t i = 0; i < config.size(); ++i) {
+        m[i].lent = static_cast<double>(config.shares[i]);
+      }
+      return m;
+    }
+    [[nodiscard]] std::string_view name() const override { return "dying"; }
+    int calls = 0;
+  };
+
+  const auto cfg = small();
+  scshare::market::PriceConfig prices;
+  prices.public_price.assign(cfg.size(), 1.0);
+  prices.federation_price = 0.5;
+  DyingBackend backend;
+  scshare::market::GameOptions options;
+  options.method = scshare::market::BestResponseMethod::kExhaustive;
+  options.max_rounds = 4;
+  scshare::market::Game game(cfg, prices, {}, backend, options);
+
+  const auto result = game.run();
+  EXPECT_TRUE(result.degraded);
+  EXPECT_GT(result.failed_evaluations, 0);
+  ASSERT_EQ(result.shares.size(), cfg.size());
+  ASSERT_EQ(result.utilities.size(), cfg.size());
+}

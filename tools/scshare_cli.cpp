@@ -2,8 +2,9 @@
 //
 // Usage:
 //   scshare <command> <config.json> [--backend approx|detailed|simulation]
-//                                   [--compact] [--metrics-out=FILE]
-//                                   [--trace=FILE]
+//                                   [--backend-chain=a,b,...] [--retry-max=N]
+//                                   [--fault-spec=SPEC] [--compact]
+//                                   [--metrics-out=FILE] [--trace=FILE]
 //
 // Commands:
 //   validate     parse + validate the configuration, echo it back
@@ -13,6 +14,14 @@
 //   equilibrium  run the repeated sharing game (Algorithm 1)
 //   sweep        price-ratio sweep with welfare/efficiency (Fig. 7 analysis)
 //   simulate     full discrete-event simulation with confidence intervals
+//
+// Resilience (all commands routed through the Framework):
+//   --backend-chain=a,b  ordered fallback chain of backends (first is
+//                        primary), e.g. detailed,approx,simulation; overrides
+//                        --backend.
+//   --retry-max=N        retry each tier up to N times on retryable errors.
+//   --fault-spec=SPEC    deterministic fault injection, e.g.
+//                        "fail=0.3,seed=7" (see federation/resilience.hpp).
 //
 // Observability (all commands except validate):
 //   --metrics-out=FILE  write the Framework::report() JSON — solver
@@ -24,7 +33,9 @@
 //
 // The configuration schema is shown in examples/configs/three_sc.json; the
 // result is JSON on stdout (pretty-printed unless --compact).
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -43,6 +54,9 @@ struct CliOptions {
   std::string command;
   std::string config_path;
   std::string backend = "approx";
+  std::string backend_chain;  ///< comma-separated; empty = single backend
+  int retry_max = 0;
+  std::string fault_spec;  ///< empty = no fault injection
   bool compact = false;
   std::string metrics_out;  ///< empty = no metrics report file
   std::string trace_path;   ///< empty = no JSONL trace file
@@ -53,6 +67,7 @@ int usage() {
       stderr,
       "usage: scshare <validate|baseline|metrics|costs|equilibrium|sweep|"
       "simulate> <config.json> [--backend approx|detailed|simulation] "
+      "[--backend-chain=a,b,...] [--retry-max=N] [--fault-spec=SPEC] "
       "[--compact] [--metrics-out=FILE] [--trace=FILE]\n");
   return 2;
 }
@@ -116,6 +131,23 @@ int run(const CliOptions& cli) {
 
   FrameworkOptions options;
   options.backend = backend_kind(cli.backend);
+  if (!cli.backend_chain.empty()) {
+    std::size_t start = 0;
+    while (start <= cli.backend_chain.size()) {
+      const std::size_t comma =
+          std::min(cli.backend_chain.find(',', start),
+                   cli.backend_chain.size());
+      const std::string name = cli.backend_chain.substr(start, comma - start);
+      if (!name.empty()) options.chain.push_back(backend_kind(name));
+      start = comma + 1;
+    }
+    require(!options.chain.empty(), "empty --backend-chain");
+  }
+  require(cli.retry_max >= 0, "--retry-max must be non-negative");
+  options.retry.max_retries = cli.retry_max;
+  if (!cli.fault_spec.empty()) {
+    options.faults = federation::parse_fault_spec(cli.fault_spec);
+  }
   if (config_json.contains("sim")) {
     options.sim = io::parse_sim_options(config_json.at("sim"));
   }
@@ -202,6 +234,19 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--backend" && i + 1 < argc) {
       cli.backend = argv[++i];
+    } else if (arg.rfind("--backend-chain=", 0) == 0) {
+      cli.backend_chain = arg.substr(std::string("--backend-chain=").size());
+    } else if (arg == "--backend-chain" && i + 1 < argc) {
+      cli.backend_chain = argv[++i];
+    } else if (arg.rfind("--retry-max=", 0) == 0) {
+      cli.retry_max = std::atoi(
+          arg.substr(std::string("--retry-max=").size()).c_str());
+    } else if (arg == "--retry-max" && i + 1 < argc) {
+      cli.retry_max = std::atoi(argv[++i]);
+    } else if (arg.rfind("--fault-spec=", 0) == 0) {
+      cli.fault_spec = arg.substr(std::string("--fault-spec=").size());
+    } else if (arg == "--fault-spec" && i + 1 < argc) {
+      cli.fault_spec = argv[++i];
     } else if (arg == "--compact") {
       cli.compact = true;
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
