@@ -20,10 +20,13 @@
 // the ratio approaches 1, and under UF1 with medium loads it collapses
 // beyond ratio ~0.8.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "exec/thread_pool.hpp"
 #include "federation/backend.hpp"
 #include "market/sweep.hpp"
 
@@ -37,7 +40,8 @@ struct Scenario {
   double gamma;
 };
 
-void run_scenario(const Scenario& scenario, bool full) {
+void run_scenario(const Scenario& scenario, bool full,
+                  exec::Executor* executor) {
   federation::FederationConfig cfg;
   for (double rho : scenario.loads) {
     cfg.scs.push_back(
@@ -49,8 +53,9 @@ void run_scenario(const Scenario& scenario, bool full) {
   so.warmup_time = full ? 2000.0 : 500.0;
   so.measure_time = full ? 40000.0 : 8000.0;
   so.seed = 4242;
-  federation::CachingBackend backend(
-      std::make_unique<federation::SimulationBackend>(so));
+  auto sim_backend = std::make_unique<federation::SimulationBackend>(so);
+  sim_backend->set_executor(executor);
+  federation::CachingBackend backend(std::move(sim_backend));
 
   market::SweepOptions sweep;
   for (double r = 0.1; r <= 1.0001; r += full ? 0.1 : 0.15) {
@@ -85,10 +90,24 @@ void run_scenario(const Scenario& scenario, bool full) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::size_t threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = static_cast<std::size_t>(std::atoi(argv[i] + 10));
+    }
+  }
+  if (threads < 1) threads = 1;
+
   scshare::bench::print_header(
       "Fig. 7: federation efficiency vs price ratio (3-SC market)");
+  std::printf("# threads: %zu\n\n", threads);
   const bool full = scshare::bench::full_scale();
+
+  // Bit-identical results at any thread count: the sweep batches its grid
+  // and game evaluations, and only the leaf simulation backend fans out.
+  std::unique_ptr<exec::ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<exec::ThreadPool>(threads);
 
   const Scenario scenarios[] = {
       {"a", {0.58, 0.73, 0.84}, 0.0},
@@ -96,6 +115,6 @@ int main() {
       {"c", {0.73, 0.79, 0.84}, 0.0},
       {"d", {0.49, 0.58, 0.66}, 1.0},
   };
-  for (const auto& s : scenarios) run_scenario(s, full);
+  for (const auto& s : scenarios) run_scenario(s, full, pool.get());
   return 0;
 }

@@ -1,0 +1,99 @@
+// Google-benchmark scaling study of the parallel evaluation engine: raw
+// thread-pool dispatch overhead, parallel_for on synthetic CPU-bound work,
+// and a real batched backend evaluation (ApproxBackend over a candidate
+// fan-out, the workload of Game::best_response).
+//
+// The interesting numbers are the ratios between thread counts: on a
+// multi-core host BM_BatchEvaluate should approach linear speedup until the
+// batch width or the core count saturates. On a single-core host every
+// variant collapses to the serial time plus a small dispatch overhead —
+// which these benchmarks also quantify.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+#include "federation/backend.hpp"
+
+namespace {
+
+using namespace scshare;
+
+/// A few microseconds of pure CPU work (no allocation, no locks).
+double spin(std::uint64_t seed, int iterations) {
+  double x = static_cast<double>(seed % 97) + 1.0;
+  for (int i = 0; i < iterations; ++i) x = std::sqrt(x + 1.0) * 1.0000001;
+  return x;
+}
+
+void BM_ParallelForDispatchOverhead(benchmark::State& state) {
+  // Empty-body fan-out: measures pure scheduling cost per task.
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  exec::ThreadPool pool(threads);
+  constexpr std::size_t kTasks = 256;
+  for (auto _ : state) {
+    pool.parallel_for(kTasks, [](std::size_t i) {
+      benchmark::DoNotOptimize(i);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kTasks));
+}
+BENCHMARK(BM_ParallelForDispatchOverhead)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ParallelForCpuBound(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  exec::ThreadPool pool(threads);
+  constexpr std::size_t kTasks = 64;
+  std::vector<double> out(kTasks);
+  for (auto _ : state) {
+    pool.parallel_for(kTasks, [&out](std::size_t i) {
+      out[i] = spin(exec::task_seed(7, i), 20000);
+    });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kTasks));
+}
+BENCHMARK(BM_ParallelForCpuBound)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_BatchEvaluate(benchmark::State& state) {
+  // The production fan-out: one best-response-sized batch of approximate
+  // model evaluations through the batch Backend API.
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  std::unique_ptr<exec::ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<exec::ThreadPool>(threads);
+
+  federation::FederationConfig cfg;
+  cfg.scs = {{.num_vms = 8, .lambda = 5.0, .mu = 1.0, .max_wait = 0.2},
+             {.num_vms = 8, .lambda = 6.0, .mu = 1.0, .max_wait = 0.2},
+             {.num_vms = 8, .lambda = 4.0, .mu = 1.0, .max_wait = 0.2}};
+  cfg.shares = {0, 0, 0};
+
+  federation::ApproxBackend backend;
+  backend.set_executor(pool.get());
+
+  // Candidate batch: SC 0 scans its share range, as Game::best_response does.
+  std::vector<federation::EvalRequest> requests;
+  for (int s = 0; s <= cfg.scs[0].num_vms; ++s) {
+    federation::EvalRequest request;
+    request.config = cfg;
+    request.config.shares[0] = s;
+    request.tag = static_cast<std::uint64_t>(s);
+    requests.push_back(std::move(request));
+  }
+
+  for (auto _ : state) {
+    auto results = backend.evaluate_batch(requests);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(requests.size()));
+}
+BENCHMARK(BM_BatchEvaluate)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -5,7 +5,7 @@
 namespace scshare {
 namespace {
 
-std::unique_ptr<federation::PerformanceBackend> make_base_backend(
+std::unique_ptr<federation::ComputeBackend> make_base_backend(
     BackendKind kind, const FrameworkOptions& options) {
   switch (kind) {
     case BackendKind::kApprox:
@@ -20,28 +20,33 @@ std::unique_ptr<federation::PerformanceBackend> make_base_backend(
 
 /// Decorator order, innermost first: Fault (so retries and fallbacks see the
 /// injected faults) -> Retry -> Fallback across tiers -> Cache outermost
-/// (only successful evaluations are memoized).
+/// (only successful evaluations are memoized). The executor (null = serial)
+/// is attached to the leaf ComputeBackends only; every decorator runs its
+/// bookkeeping on the calling thread, which keeps results and trace
+/// sequences identical at any thread count.
 std::unique_ptr<federation::PerformanceBackend> make_backend(
-    const FrameworkOptions& options) {
-  options.faults.validate();
-  std::vector<BackendKind> chain = options.chain;
+    const FrameworkOptions& options, exec::Executor* executor) {
+  options.exec.faults.validate();
+  std::vector<BackendKind> chain = options.exec.chain;
   if (chain.empty()) chain.push_back(options.backend);
 
   std::vector<std::unique_ptr<federation::PerformanceBackend>> tiers;
   tiers.reserve(chain.size());
   for (std::size_t t = 0; t < chain.size(); ++t) {
-    auto tier = make_base_backend(chain[t], options);
-    if (options.faults.enabled()) {
+    auto base = make_base_backend(chain[t], options);
+    base->set_executor(executor);
+    std::unique_ptr<federation::PerformanceBackend> tier = std::move(base);
+    if (options.exec.faults.enabled()) {
       // Per-tier seed offset: tiers draw from independent streams, so a
       // fallback tier does not replay the primary tier's fault pattern.
-      federation::FaultSpec spec = options.faults;
+      federation::FaultSpec spec = options.exec.faults;
       spec.seed += t;
       tier = std::make_unique<federation::FaultInjectingBackend>(
           std::move(tier), spec);
     }
-    if (options.retry.max_retries > 0) {
-      tier = std::make_unique<federation::RetryingBackend>(std::move(tier),
-                                                           options.retry);
+    if (options.exec.retry.max_retries > 0) {
+      tier = std::make_unique<federation::RetryingBackend>(
+          std::move(tier), options.exec.retry);
     }
     tiers.push_back(std::move(tier));
   }
@@ -59,6 +64,19 @@ std::unique_ptr<federation::PerformanceBackend> make_backend(
   return inner;
 }
 
+/// Single evaluation through the batch API (the Framework does not use the
+/// deprecated PerformanceBackend::evaluate adapter).
+federation::FederationMetrics evaluate_one(
+    federation::PerformanceBackend& backend,
+    const federation::FederationConfig& cfg) {
+  federation::EvalRequest request;
+  request.config = cfg;
+  auto results = backend.evaluate_batch({&request, 1});
+  federation::EvalResult& result = results.front();
+  if (!result.ok) throw result.to_error();
+  return std::move(result.metrics);
+}
+
 }  // namespace
 
 Framework::Framework(federation::FederationConfig config,
@@ -67,7 +85,10 @@ Framework::Framework(federation::FederationConfig config,
     : config_(std::move(config)),
       prices_(std::move(prices)),
       utility_(utility),
-      backend_(make_backend(options)) {
+      pool_(options.exec.threads > 1
+                ? std::make_unique<exec::ThreadPool>(options.exec.threads)
+                : nullptr),
+      backend_(make_backend(options, pool_.get())) {
   config_.validate();
   prices_.validate(config_.size());
 
@@ -108,7 +129,7 @@ obs::RunReport Framework::report() const {
 }
 
 federation::FederationMetrics Framework::metrics() {
-  return backend_->evaluate(config_);
+  return evaluate_one(*backend_, config_);
 }
 
 federation::FederationMetrics Framework::metrics_for(
@@ -116,7 +137,7 @@ federation::FederationMetrics Framework::metrics_for(
   federation::FederationConfig cfg = config_;
   cfg.shares = shares;
   cfg.validate();
-  return backend_->evaluate(cfg);
+  return evaluate_one(*backend_, cfg);
 }
 
 std::vector<double> Framework::costs(const std::vector<int>& shares) {

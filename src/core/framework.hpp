@@ -13,10 +13,12 @@
 //   auto eq = fw.find_equilibrium();
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "exec/thread_pool.hpp"
 #include "federation/backend.hpp"
 #include "federation/config.hpp"
 #include "federation/resilience.hpp"
@@ -37,6 +39,27 @@ enum class BackendKind {
   kSimulation,  ///< discrete-event simulation
 };
 
+/// Execution and resilience options, consolidated into one designated-
+/// initializer-friendly block: how many worker threads evaluate backend
+/// batches and which decorator chain wraps the base backend(s).
+struct ExecOptions {
+  /// Worker threads of the evaluation thread pool (1 = fully serial, no pool
+  /// is created). Results are bit-identical at any thread count: only the
+  /// leaf ComputeBackend fans out, and every reduction is ordered.
+  std::size_t threads = 1;
+  /// Ordered fallback chain of backends (first is primary). When non-empty
+  /// this overrides FrameworkOptions::backend; each tier is wrapped with the
+  /// retry and fault-injection decorators below, then composed into a
+  /// FallbackBackend. Decorator order (innermost first):
+  /// Fault → Retry → Fallback → Cache.
+  std::vector<BackendKind> chain;
+  /// Retry decorator around every tier; disabled unless max_retries > 0.
+  federation::RetryPolicy retry{.max_retries = 0};
+  /// Fault injection (testing/soak runs); disabled unless a probability is
+  /// set. Applied innermost, so retries and fallbacks react to the faults.
+  federation::FaultSpec faults;
+};
+
 struct FrameworkOptions {
   BackendKind backend = BackendKind::kApprox;
   federation::ApproxModelOptions approx;
@@ -47,16 +70,8 @@ struct FrameworkOptions {
   std::size_t cache_capacity = 0;
   /// Ring-buffer capacity for the trace events captured into report().
   std::size_t trace_capacity = 4096;
-  /// Ordered fallback chain of backends (first is primary). When non-empty
-  /// this overrides `backend`; each tier is wrapped with the retry and
-  /// fault-injection decorators below, then composed into a FallbackBackend.
-  /// Decorator order (innermost first): Fault → Retry → Fallback → Cache.
-  std::vector<BackendKind> chain;
-  /// Retry decorator around every tier; disabled unless max_retries > 0.
-  federation::RetryPolicy retry{.max_retries = 0};
-  /// Fault injection (testing/soak runs); disabled unless a probability is
-  /// set. Applied innermost, so retries and fallbacks react to the faults.
-  federation::FaultSpec faults;
+  /// Thread pool + decorator chain (see ExecOptions).
+  ExecOptions exec;
 };
 
 class Framework {
@@ -119,6 +134,9 @@ class Framework {
   federation::FederationConfig config_;
   market::PriceConfig prices_;
   market::UtilityParams utility_;
+  /// Declared before backend_ so the pool outlives the backends that hold a
+  /// raw Executor pointer into it. Null when exec.threads == 1.
+  std::unique_ptr<exec::ThreadPool> pool_;
   std::unique_ptr<federation::PerformanceBackend> backend_;
   std::vector<market::Baseline> baselines_;
 

@@ -1,0 +1,73 @@
+// Execution abstraction for parallel evaluation fan-outs.
+//
+// The market game, price sweeps, and the multi-federation game all contain
+// embarrassingly parallel loops over independent backend evaluations. They
+// never spawn threads themselves: they hand an index range to an Executor
+// and consume the results in index order (ordered reduction), so the
+// numerical output is bit-identical no matter how many worker threads run
+// the loop — or whether it runs inline on the calling thread.
+//
+// Two implementations:
+//  * SerialExecutor — runs every index inline; the zero-dependency default.
+//  * ThreadPool     — fixed-size pool (thread_pool.hpp).
+//
+// Determinism contract for tasks that need randomness: never share an RNG
+// stream across tasks (the interleaving would depend on the schedule).
+// Derive an independent stream per task with task_seed(base, index) and
+// consume it only inside that task.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace scshare::exec {
+
+/// Mixes a base seed and a task index into an independent, well-scrambled
+/// per-task seed (SplitMix64 finalizer over the combined word). Equal inputs
+/// give equal seeds on every platform, and nearby indices give statistically
+/// unrelated streams — the foundation of schedule-independent randomness.
+[[nodiscard]] constexpr std::uint64_t task_seed(std::uint64_t base,
+                                                std::uint64_t index) noexcept {
+  std::uint64_t z = base + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Abstract executor: schedules `fn(0..n-1)` with unspecified interleaving.
+///
+/// Contract (all implementations):
+///  * parallel_for returns only after every index has completed;
+///  * an exception thrown by any task is rethrown on the calling thread
+///    (first one wins; remaining tasks still run to completion);
+///  * tasks must not assume any execution order — callers that need ordered
+///    output write into a pre-sized array by index and reduce afterwards;
+///  * re-entrant calls (a task calling parallel_for on the same executor)
+///    run the nested loop inline, so composition can never deadlock.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Worker parallelism (1 = serial). Callers may use this to skip batching
+  /// overhead when no real concurrency is available.
+  [[nodiscard]] virtual std::size_t concurrency() const noexcept = 0;
+
+  /// Runs fn(i) for every i in [0, n).
+  virtual void parallel_for(std::size_t n,
+                            const std::function<void(std::size_t)>& fn) = 0;
+};
+
+/// Inline executor: parallel_for degenerates to a plain loop. Used when
+/// --threads 1 (the default) so serial runs carry no synchronization cost.
+class SerialExecutor final : public Executor {
+ public:
+  [[nodiscard]] std::size_t concurrency() const noexcept override { return 1; }
+
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& fn) override {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  }
+};
+
+}  // namespace scshare::exec

@@ -1,0 +1,126 @@
+#include "exec/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+#include <utility>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace scshare::exec {
+namespace {
+
+struct ExecObs {
+  obs::Gauge& pool_threads;
+  obs::Counter& tasks_submitted;
+  obs::Counter& parallel_for_calls;
+  obs::Counter& parallel_for_tasks;
+
+  ExecObs()
+      : pool_threads(obs::MetricsRegistry::global().gauge("exec.pool.threads")),
+        tasks_submitted(
+            obs::MetricsRegistry::global().counter("exec.tasks_submitted")),
+        parallel_for_calls(obs::MetricsRegistry::global().counter(
+            "exec.parallel_for.calls")),
+        parallel_for_tasks(obs::MetricsRegistry::global().counter(
+            "exec.parallel_for.tasks")) {}
+};
+
+ExecObs& exec_obs() {
+  static ExecObs instruments;
+  return instruments;
+}
+
+/// Set while a pool worker runs tasks: a nested parallel_for on any pool
+/// detects it and runs inline rather than waiting on queue capacity that the
+/// waiting task itself occupies.
+thread_local bool t_inside_pool_worker = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  require(num_threads >= 1, "ThreadPool: at least one thread required");
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  exec_obs().pool_threads.set(static_cast<double>(num_threads));
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  exec_obs().tasks_submitted.add();
+  wake_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  t_inside_pool_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  ExecObs& instruments = exec_obs();
+  instruments.parallel_for_calls.add();
+  instruments.parallel_for_tasks.add(n);
+
+  if (n == 1 || workers_.size() == 1 || t_inside_pool_worker) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Runners (workers + the calling thread) claim indices from a shared
+  // cursor. The first exception is kept and rethrown after the whole range
+  // completed, matching the serial loop's all-indices-ran semantics as
+  // closely as a parallel schedule allows.
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  auto failure_mutex = std::make_shared<std::mutex>();
+  auto failure = std::make_shared<std::exception_ptr>();
+  const auto run_indices = [n, next, failure_mutex, failure, &fn]() {
+    for (;;) {
+      const std::size_t i = next->fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(*failure_mutex);
+        if (!*failure) *failure = std::current_exception();
+      }
+    }
+  };
+
+  const std::size_t runners = std::min(workers_.size(), n) - 1;
+  std::vector<std::future<void>> pending;
+  pending.reserve(runners);
+  for (std::size_t r = 0; r < runners; ++r) {
+    pending.push_back(submit(run_indices));
+  }
+  run_indices();  // the caller participates instead of blocking idle
+  for (auto& future : pending) future.get();
+  if (*failure) std::rethrow_exception(*failure);
+}
+
+}  // namespace scshare::exec

@@ -1,0 +1,74 @@
+// Fixed-size worker pool behind the exec::Executor interface.
+//
+// The pool is sized once at construction (`--threads N` on the CLI) and
+// serves two styles of use:
+//  * submit(fn)            — fire a single task, get a std::future back;
+//  * parallel_for(n, fn)   — block until fn ran for every index in [0, n).
+//
+// parallel_for enqueues one runner per worker; each runner (and the calling
+// thread, which participates instead of idling) repeatedly claims the next
+// unclaimed index from an atomic cursor. Work therefore balances across
+// threads automatically, and a pool call from inside a pool task degrades to
+// an inline loop (see Executor's re-entrancy contract) instead of
+// deadlocking on its own queue.
+//
+// Exposed instruments: gauge `exec.pool.threads`, counters
+// `exec.tasks_submitted`, `exec.parallel_for.calls`,
+// `exec.parallel_for.tasks`.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "exec/executor.hpp"
+
+namespace scshare::exec {
+
+class ThreadPool final : public Executor {
+ public:
+  /// Spawns `num_threads` workers (>= 1 required).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Drains the queue (pending tasks still run) and joins the workers.
+  ~ThreadPool() override;
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t concurrency() const noexcept override {
+    return workers_.size();
+  }
+
+  /// Enqueues one task; the future reports its result or exception.
+  template <typename Fn>
+  [[nodiscard]] std::future<std::invoke_result_t<Fn>> submit(Fn&& fn) {
+    using Result = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<Result()>>(
+        std::forward<Fn>(fn));
+    std::future<Result> future = task->get_future();
+    enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& fn) override;
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace scshare::exec

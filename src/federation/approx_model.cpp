@@ -555,11 +555,11 @@ class ApproxModel::Level {
     for (const auto& e : edges) chain_.add_rate(e.from, e.to, e.rate);
     chain_.finalize();
 
-    markov::SteadyStateOptions ss;
-    ss.tolerance = options_.steady_state_tolerance;
-    ss.max_iterations = options_.steady_state_max_iterations;
-    ss.relax_attempts = options_.relax_attempts;
-    auto solution = markov::solve_steady_state_guarded(chain_, ss);
+    markov::SolverOptions so;
+    so.steady_state.tolerance = options_.steady_state_tolerance;
+    so.steady_state.max_iterations = options_.steady_state_max_iterations;
+    so.relax_attempts = options_.relax_attempts;
+    auto solution = markov::solve_steady_state_guarded(chain_, so);
     if (!solution.converged && options_.throw_on_nonconvergence) {
       throw Error("level steady-state solver exhausted " +
                       std::to_string(solution.iterations) +

@@ -1,18 +1,42 @@
-// Pluggable performance backends.
+// Pluggable performance backends and the batch evaluation API.
 //
 // The market game only consumes the three steady-state metrics (lent,
 // borrowed, forward rate) per SC; any of the three performance models can
-// provide them. CachingBackend memoizes evaluations by sharing vector, which
-// makes repeated-game sweeps over prices essentially free after the first
-// pass (metrics do not depend on prices).
+// provide them. The primary interface is batched: callers describe every
+// independent evaluation of a fan-out (the candidate shares of a best
+// response, the points of a sweep grid, the federations of a multi-federation
+// round) as EvalRequests and receive EvalResults in request order. Batches
+// are what the execution layer (src/exec/) parallelizes — the leaf compute
+// backends fan a batch out across an attached exec::Executor while every
+// decorator (retry, fallback, fault injection, caching) stays on the calling
+// thread, which keeps bookkeeping, trace order, and RNG consumption
+// independent of the thread count.
+//
+// The single-shot evaluate(cfg) of the original API remains as a thin
+// non-virtual adapter (one-element batch; throws the captured Error on
+// failure). It is DEPRECATED for library code — new call sites should build
+// batches — and is kept for one release for out-of-tree users.
+//
+// CachingBackend memoizes evaluations by sharing vector, which makes
+// repeated-game sweeps over prices essentially free after the first pass
+// (metrics do not depend on prices). It is safe for concurrent callers: the
+// map is sharded with striped mutexes and the hit/miss/eviction counters are
+// atomic.
 #pragma once
 
+#include <array>
+#include <atomic>
+#include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <span>
 #include <string_view>
 #include <vector>
 
+#include "common/error.hpp"
+#include "exec/executor.hpp"
 #include "federation/approx_model.hpp"
 #include "federation/config.hpp"
 #include "federation/detailed_model.hpp"
@@ -21,55 +45,130 @@
 
 namespace scshare::federation {
 
-/// Interface: evaluate the federation metrics for a configuration.
+/// One evaluation of a batch: the configuration to evaluate (the sharing
+/// vector travels inside `config.shares`) plus caller bookkeeping.
+struct EvalRequest {
+  FederationConfig config;
+  /// Opaque caller correlation id, echoed into the matching EvalResult
+  /// (e.g. the candidate share a game best response is probing).
+  std::uint64_t tag = 0;
+  /// Retry generation: 0 for the first attempt; RetryingBackend resubmits
+  /// failed requests with attempt + 1.
+  int attempt = 0;
+};
+
+/// Outcome of one EvalRequest. Per-request failures are captured here (code
+/// + what() text) instead of thrown, so one bad candidate cannot abort the
+/// rest of the batch; degradation info travels inside
+/// `metrics.degradation` (see FederationMetrics::degraded()).
+struct EvalResult {
+  FederationMetrics metrics;  ///< valid only when ok
+  bool ok = false;
+  ErrorCode code = ErrorCode::kGeneric;
+  std::string error;  ///< what() of the captured failure ("" when ok)
+  std::uint64_t tag = 0;       ///< echoed from the request
+  double wall_seconds = 0.0;   ///< leaf compute wall time (0 for cache hits)
+
+  /// Reconstructs the captured failure (only meaningful when !ok).
+  [[nodiscard]] Error to_error() const { return Error(error, code); }
+};
+
+/// Interface: evaluate federation metrics for a batch of configurations.
 class PerformanceBackend {
  public:
   virtual ~PerformanceBackend() = default;
-  [[nodiscard]] virtual FederationMetrics evaluate(
-      const FederationConfig& config) = 0;
+
+  /// Evaluates every request; the result vector matches `requests` by index.
+  /// Typed evaluation failures (scshare::Error) are captured per result,
+  /// never thrown. Implementations may run leaf evaluations concurrently but
+  /// must produce results — counters, trace events, RNG draws — identical to
+  /// processing the batch front to back on one thread.
+  [[nodiscard]] virtual std::vector<EvalResult> evaluate_batch(
+      std::span<const EvalRequest> requests) = 0;
+
   [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// DEPRECATED single-shot adapter (kept one release for existing callers):
+  /// wraps `config` into a one-element batch and throws the captured Error
+  /// on failure. New code should call evaluate_batch().
+  [[nodiscard]] FederationMetrics evaluate(const FederationConfig& config);
+};
+
+/// Base of the leaf (model-running) backends: implements evaluate_batch by
+/// fanning the per-request compute() calls out across the attached
+/// exec::Executor (inline when none is attached), capturing typed errors and
+/// stamping per-request wall time. Decorators do NOT derive from this — the
+/// executor fan-out happens exactly once, at the leaf, so the decorator
+/// chain above runs deterministically on the calling thread.
+class ComputeBackend : public PerformanceBackend {
+ public:
+  [[nodiscard]] std::vector<EvalResult> evaluate_batch(
+      std::span<const EvalRequest> requests) override;
+
+  /// Attaches the executor used for batch fan-out (nullptr = inline).
+  /// Not synchronized: attach before sharing the backend across threads.
+  /// The executor must outlive the backend's last evaluate_batch call.
+  void set_executor(exec::Executor* executor) noexcept {
+    executor_ = executor;
+  }
+  [[nodiscard]] exec::Executor* executor() const noexcept { return executor_; }
+
+ protected:
+  /// One evaluation; runs on a worker thread when an executor is attached,
+  /// so overrides must be const-like: no unsynchronized mutable state.
+  [[nodiscard]] virtual FederationMetrics compute(
+      const FederationConfig& config) = 0;
+
+ private:
+  exec::Executor* executor_ = nullptr;
 };
 
 /// Backend running the hierarchical approximate model (paper Sect. III-C).
-class ApproxBackend final : public PerformanceBackend {
+class ApproxBackend final : public ComputeBackend {
  public:
   explicit ApproxBackend(ApproxModelOptions options = {})
       : options_(options) {}
-  [[nodiscard]] FederationMetrics evaluate(
+  [[nodiscard]] std::string_view name() const override { return "approx"; }
+
+ protected:
+  [[nodiscard]] FederationMetrics compute(
       const FederationConfig& config) override {
     return solve_approx(config, options_);
   }
-  [[nodiscard]] std::string_view name() const override { return "approx"; }
 
  private:
   ApproxModelOptions options_;
 };
 
 /// Backend running the exact detailed CTMC (small federations only).
-class DetailedBackend final : public PerformanceBackend {
+class DetailedBackend final : public ComputeBackend {
  public:
   explicit DetailedBackend(DetailedModelOptions options = {})
       : options_(options) {}
-  [[nodiscard]] FederationMetrics evaluate(
+  [[nodiscard]] std::string_view name() const override { return "detailed"; }
+
+ protected:
+  [[nodiscard]] FederationMetrics compute(
       const FederationConfig& config) override {
     return solve_detailed(config, options_);
   }
-  [[nodiscard]] std::string_view name() const override { return "detailed"; }
 
  private:
   DetailedModelOptions options_;
 };
 
 /// Backend running the discrete-event simulator.
-class SimulationBackend final : public PerformanceBackend {
+class SimulationBackend final : public ComputeBackend {
  public:
   explicit SimulationBackend(sim::SimOptions options = {})
       : options_(options) {}
-  [[nodiscard]] FederationMetrics evaluate(
+  [[nodiscard]] std::string_view name() const override { return "simulation"; }
+
+ protected:
+  [[nodiscard]] FederationMetrics compute(
       const FederationConfig& config) override {
     return sim::simulate_metrics(config, options_);
   }
-  [[nodiscard]] std::string_view name() const override { return "simulation"; }
 
  private:
   sim::SimOptions options_;
@@ -82,36 +181,67 @@ class SimulationBackend final : public PerformanceBackend {
 /// and the global `federation.cache.*` counters) and emitted as a
 /// BackendEval trace event carrying the sharing vector and — for misses —
 /// the inner model's wall time. A non-zero `max_entries` bounds the cache
-/// with FIFO eviction (evictions() counts the displaced entries); 0 keeps
-/// it unbounded, which is right for price sweeps where every distinct
-/// sharing vector is revisited.
+/// with global FIFO eviction (evictions() counts the displaced entries); 0
+/// keeps it unbounded, which is right for price sweeps where every distinct
+/// sharing vector is revisited. Only successful evaluations are memoized.
+///
+/// Thread safety: entries live in kShards independently locked shards
+/// (stripe = hash of the sharing vector); the FIFO eviction order has its
+/// own lock, and the two are never held together. Counters are atomic, so
+/// hits() + misses() always equals the number of requests served. Batch
+/// requests are looked up against the cache state at batch entry; callers
+/// should not put duplicate sharing vectors into one batch (the duplicates
+/// would evaluate twice, exactly as a pre-warm-free serial pass would).
 class CachingBackend final : public PerformanceBackend {
  public:
   explicit CachingBackend(std::unique_ptr<PerformanceBackend> inner,
                           std::size_t max_entries = 0);
 
-  [[nodiscard]] FederationMetrics evaluate(
-      const FederationConfig& config) override;
+  [[nodiscard]] std::vector<EvalResult> evaluate_batch(
+      std::span<const EvalRequest> requests) override;
 
   [[nodiscard]] std::string_view name() const override {
     return inner_->name();
   }
 
-  [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
+  [[nodiscard]] std::size_t cache_size() const {
+    return size_.load(std::memory_order_relaxed);
+  }
   /// Inner-model evaluations performed (== misses).
-  [[nodiscard]] std::size_t evaluations() const { return misses_; }
-  [[nodiscard]] std::size_t hits() const { return hits_; }
-  [[nodiscard]] std::size_t misses() const { return misses_; }
-  [[nodiscard]] std::size_t evictions() const { return evictions_; }
+  [[nodiscard]] std::size_t evaluations() const { return misses(); }
+  [[nodiscard]] std::size_t hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
 
  private:
+  static constexpr std::size_t kShards = 16;
+
+  struct Shard {
+    std::mutex mutex;
+    std::map<std::vector<int>, FederationMetrics> entries;
+  };
+
+  [[nodiscard]] Shard& shard_for(const std::vector<int>& key);
+  /// Looks `key` up; true + `out` filled on a hit.
+  [[nodiscard]] bool find(const std::vector<int>& key, FederationMetrics& out);
+  /// Inserts a successful result and applies the FIFO bound.
+  void insert(const std::vector<int>& key, const FederationMetrics& metrics);
+
   std::unique_ptr<PerformanceBackend> inner_;
   std::size_t max_entries_;
-  std::map<std::vector<int>, FederationMetrics> cache_;
-  std::deque<std::vector<int>> insertion_order_;  ///< FIFO eviction queue
-  std::size_t hits_ = 0;
-  std::size_t misses_ = 0;
-  std::size_t evictions_ = 0;
+  std::array<Shard, kShards> shards_;
+  std::mutex order_mutex_;
+  std::deque<std::vector<int>> insertion_order_;  ///< global FIFO queue
+  std::atomic<std::size_t> size_{0};
+  std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> misses_{0};
+  std::atomic<std::size_t> evictions_{0};
 };
 
 }  // namespace scshare::federation

@@ -1,5 +1,6 @@
 // Out-of-line backend machinery. This translation unit anchors the vtable of
-// PerformanceBackend (key function idiom) and implements the instrumented
+// PerformanceBackend (key function idiom) and implements the batch adapter,
+// the ComputeBackend executor fan-out, and the instrumented concurrent
 // CachingBackend.
 #include "federation/backend.hpp"
 
@@ -36,48 +37,186 @@ CacheObs& cache_obs() {
   return instruments;
 }
 
+/// Batch-dispatch instruments of the leaf backends.
+struct BatchObs {
+  obs::Counter& calls;
+  obs::Counter& requests;
+
+  BatchObs()
+      : calls(obs::MetricsRegistry::global().counter("exec.batch.calls")),
+        requests(
+            obs::MetricsRegistry::global().counter("exec.batch.requests")) {}
+};
+
+BatchObs& batch_obs() {
+  static BatchObs instruments;
+  return instruments;
+}
+
+/// FNV-1a over the sharing vector: the cache's shard selector.
+std::size_t hash_shares(const std::vector<int>& shares) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (int s : shares) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(s));
+    h *= 1099511628211ULL;
+  }
+  return static_cast<std::size_t>(h);
+}
+
 }  // namespace
+
+FederationMetrics PerformanceBackend::evaluate(const FederationConfig& config) {
+  EvalRequest request;
+  request.config = config;
+  std::vector<EvalResult> results = evaluate_batch({&request, 1});
+  SCSHARE_ASSERT(results.size() == 1,
+                 "evaluate_batch must return one result per request");
+  EvalResult& result = results.front();
+  if (!result.ok) throw Error(result.error, result.code);
+  return std::move(result.metrics);
+}
+
+std::vector<EvalResult> ComputeBackend::evaluate_batch(
+    std::span<const EvalRequest> requests) {
+  BatchObs& instruments = batch_obs();
+  instruments.calls.add();
+  instruments.requests.add(requests.size());
+
+  std::vector<EvalResult> results(requests.size());
+  const auto eval_one = [&](std::size_t i) {
+    EvalResult& result = results[i];
+    result.tag = requests[i].tag;
+    const obs::Stopwatch stopwatch;
+    try {
+      result.metrics = compute(requests[i].config);
+      result.ok = true;
+    } catch (const Error& e) {
+      result.ok = false;
+      result.code = e.code();
+      result.error = e.what();
+    }
+    result.wall_seconds = stopwatch.seconds();
+  };
+
+  if (executor_ != nullptr && requests.size() > 1) {
+    if (auto* sink = obs::trace_sink()) {
+      sink->emit(obs::ExecBatchEvent{
+          std::string(name()), static_cast<std::uint64_t>(requests.size()),
+          static_cast<std::uint64_t>(executor_->concurrency())});
+    }
+    executor_->parallel_for(requests.size(), eval_one);
+  } else {
+    for (std::size_t i = 0; i < requests.size(); ++i) eval_one(i);
+  }
+  return results;
+}
 
 CachingBackend::CachingBackend(std::unique_ptr<PerformanceBackend> inner,
                                std::size_t max_entries)
     : inner_(std::move(inner)), max_entries_(max_entries) {}
 
-FederationMetrics CachingBackend::evaluate(const FederationConfig& config) {
+CachingBackend::Shard& CachingBackend::shard_for(const std::vector<int>& key) {
+  return shards_[hash_shares(key) % kShards];
+}
+
+bool CachingBackend::find(const std::vector<int>& key,
+                          FederationMetrics& out) {
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) return false;
+  out = it->second;
+  return true;
+}
+
+void CachingBackend::insert(const std::vector<int>& key,
+                            const FederationMetrics& metrics) {
+  {
+    Shard& shard = shard_for(key);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    if (!shard.entries.emplace(key, metrics).second) return;  // racing insert
+  }
+  size_.fetch_add(1, std::memory_order_relaxed);
+  if (max_entries_ == 0) return;
+
+  // FIFO bound. The order queue has its own lock and the victim's shard is
+  // locked only after the queue lock is released — no lock is ever nested in
+  // another, so concurrent inserts into different shards cannot deadlock.
+  std::vector<int> victim;
+  bool have_victim = false;
+  {
+    const std::lock_guard<std::mutex> lock(order_mutex_);
+    insertion_order_.push_back(key);
+    if (insertion_order_.size() > max_entries_) {
+      victim = std::move(insertion_order_.front());
+      insertion_order_.pop_front();
+      have_victim = true;
+    }
+  }
+  if (!have_victim) return;
+  bool erased = false;
+  {
+    Shard& shard = shard_for(victim);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    erased = shard.entries.erase(victim) > 0;
+  }
+  if (erased) {
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    cache_obs().evictions.add();
+  }
+}
+
+std::vector<EvalResult> CachingBackend::evaluate_batch(
+    std::span<const EvalRequest> requests) {
   CacheObs& instruments = cache_obs();
-  const auto it = cache_.find(config.shares);
-  if (it != cache_.end()) {
-    ++hits_;
-    instruments.hits.add();
+  std::vector<EvalResult> results(requests.size());
+
+  // Pass 1 (caller thread, request order): serve hits, collect misses.
+  std::vector<std::size_t> miss_indices;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EvalResult& result = results[i];
+    result.tag = requests[i].tag;
+    if (find(requests[i].config.shares, result.metrics)) {
+      result.ok = true;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      instruments.hits.add();
+      if (auto* sink = obs::trace_sink()) {
+        sink->emit(obs::BackendEvalEvent{std::string(inner_->name()),
+                                         requests[i].config.shares,
+                                         /*cache_hit=*/true, 0.0});
+      }
+    } else {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      instruments.misses.add();
+      miss_indices.push_back(i);
+    }
+  }
+  if (miss_indices.empty()) return results;
+
+  // Pass 2: one inner batch over the misses (this is where a parallel leaf
+  // backend fans out).
+  std::vector<EvalRequest> miss_requests;
+  miss_requests.reserve(miss_indices.size());
+  for (std::size_t idx : miss_indices) miss_requests.push_back(requests[idx]);
+  std::vector<EvalResult> miss_results = inner_->evaluate_batch(miss_requests);
+
+  // Pass 3 (caller thread, request order): account, memoize successes.
+  for (std::size_t k = 0; k < miss_indices.size(); ++k) {
+    const std::size_t idx = miss_indices[k];
+    results[idx] = std::move(miss_results[k]);
+    const EvalResult& result = results[idx];
+    if (!result.ok) continue;  // failures are not memoized
+    instruments.eval_seconds.observe(result.wall_seconds);
     if (auto* sink = obs::trace_sink()) {
       sink->emit(obs::BackendEvalEvent{std::string(inner_->name()),
-                                       config.shares, /*cache_hit=*/true,
-                                       0.0});
+                                       requests[idx].config.shares,
+                                       /*cache_hit=*/false,
+                                       result.wall_seconds});
     }
-    return it->second;
+    insert(requests[idx].config.shares, result.metrics);
   }
-
-  ++misses_;
-  instruments.misses.add();
-  const obs::Stopwatch stopwatch;
-  auto metrics = inner_->evaluate(config);
-  const double wall_seconds = stopwatch.seconds();
-  instruments.eval_seconds.observe(wall_seconds);
-  if (auto* sink = obs::trace_sink()) {
-    sink->emit(obs::BackendEvalEvent{std::string(inner_->name()),
-                                     config.shares, /*cache_hit=*/false,
-                                     wall_seconds});
-  }
-
-  if (max_entries_ > 0 && cache_.size() >= max_entries_) {
-    // FIFO eviction: drop the oldest inserted sharing vector.
-    cache_.erase(insertion_order_.front());
-    insertion_order_.pop_front();
-    ++evictions_;
-    instruments.evictions.add();
-  }
-  cache_.emplace(config.shares, metrics);
-  if (max_entries_ > 0) insertion_order_.push_back(config.shares);
-  return metrics;
+  return results;
 }
 
 }  // namespace scshare::federation

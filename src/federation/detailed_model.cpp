@@ -272,11 +272,11 @@ FederationMetrics DetailedModel::solve() {
   for (const auto& e : edges) chain.add_rate(e.from, e.to, e.rate);
   chain.finalize();
 
-  markov::SteadyStateOptions ss;
-  ss.tolerance = options_.steady_state_tolerance;
-  ss.max_iterations = options_.max_iterations;
-  ss.relax_attempts = options_.relax_attempts;
-  const auto solution = markov::solve_steady_state_guarded(chain, ss);
+  markov::SolverOptions so;
+  so.steady_state.tolerance = options_.steady_state_tolerance;
+  so.steady_state.max_iterations = options_.max_iterations;
+  so.relax_attempts = options_.relax_attempts;
+  const auto solution = markov::solve_steady_state_guarded(chain, so);
   if (!solution.converged && options_.throw_on_nonconvergence) {
     throw Error("steady-state solver exhausted " +
                     std::to_string(solution.iterations) +

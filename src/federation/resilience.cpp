@@ -4,8 +4,9 @@
 #include <cmath>
 #include <utility>
 
+#include "common/rng.hpp"
+#include "exec/executor.hpp"
 #include "obs/metrics.hpp"
-#include "obs/timer.hpp"
 #include "obs/trace.hpp"
 
 namespace scshare::federation {
@@ -39,6 +40,15 @@ ResilienceObs& resilience_obs() {
   return instruments;
 }
 
+EvalResult make_failure(const Error& error, std::uint64_t tag) {
+  EvalResult result;
+  result.ok = false;
+  result.code = error.code();
+  result.error = error.what();
+  result.tag = tag;
+  return result;
+}
+
 }  // namespace
 
 // ---- RetryingBackend ------------------------------------------------------
@@ -56,46 +66,76 @@ RetryingBackend::RetryingBackend(std::unique_ptr<PerformanceBackend> inner,
           "RetryPolicy: attempt deadline must be non-negative");
 }
 
-FederationMetrics RetryingBackend::evaluate(const FederationConfig& config) {
+void RetryingBackend::apply_deadline(std::vector<EvalResult>& results) const {
+  if (policy_.attempt_deadline_seconds <= 0.0) return;
+  for (EvalResult& result : results) {
+    if (!result.ok || result.wall_seconds <= policy_.attempt_deadline_seconds)
+      continue;
+    result = make_failure(
+        Error("attempt exceeded its deadline of " +
+                  std::to_string(policy_.attempt_deadline_seconds) + " s",
+              ErrorCode::kTimeout, std::string(inner_->name())),
+        result.tag);
+  }
+}
+
+std::vector<EvalResult> RetryingBackend::evaluate_batch(
+    std::span<const EvalRequest> requests) {
   ResilienceObs& instruments = resilience_obs();
+  std::vector<EvalResult> results = inner_->evaluate_batch(requests);
+  apply_deadline(results);
+
+  std::vector<std::size_t> pending;  // indices still failed but retryable
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].ok && is_retryable(results[i].code)) pending.push_back(i);
+  }
+
   double backoff = policy_.base_backoff_seconds;
-  for (int attempt = 0;; ++attempt) {
-    try {
-      const obs::Stopwatch stopwatch;
-      FederationMetrics metrics = inner_->evaluate(config);
-      if (policy_.attempt_deadline_seconds > 0.0 &&
-          stopwatch.seconds() > policy_.attempt_deadline_seconds) {
-        throw Error("attempt exceeded its deadline of " +
-                        std::to_string(policy_.attempt_deadline_seconds) +
-                        " s",
-                    ErrorCode::kTimeout, std::string(inner_->name()));
-      }
-      return metrics;
-    } catch (const Error& e) {
-      if (!is_retryable(e.code()) || attempt >= policy_.max_retries) {
-        if (is_retryable(e.code())) {
-          ++exhausted_;
-          instruments.retry_exhausted.add();
-        }
-        throw;
-      }
-      ++retries_;
+  for (int attempt = 0; attempt < policy_.max_retries && !pending.empty();
+       ++attempt) {
+    std::vector<EvalRequest> retry_requests;
+    retry_requests.reserve(pending.size());
+    for (std::size_t idx : pending) {
+      retries_.fetch_add(1, std::memory_order_relaxed);
       instruments.retries.add();
       if (auto* sink = obs::trace_sink()) {
         sink->emit(obs::BackendRetryEvent{std::string(inner_->name()),
                                           attempt, backoff,
-                                          error_code_name(e.code())});
+                                          error_code_name(results[idx].code)});
       }
-      backoff *= policy_.backoff_multiplier;
+      EvalRequest retry = requests[idx];
+      retry.attempt = requests[idx].attempt + attempt + 1;
+      retry_requests.push_back(std::move(retry));
     }
+
+    std::vector<EvalResult> retry_results =
+        inner_->evaluate_batch(retry_requests);
+    apply_deadline(retry_results);
+
+    std::vector<std::size_t> still_pending;
+    for (std::size_t k = 0; k < pending.size(); ++k) {
+      const std::size_t idx = pending[k];
+      results[idx] = std::move(retry_results[k]);
+      if (!results[idx].ok && is_retryable(results[idx].code)) {
+        still_pending.push_back(idx);
+      }
+    }
+    pending = std::move(still_pending);
+    backoff *= policy_.backoff_multiplier;
   }
+
+  if (!pending.empty()) {
+    exhausted_.fetch_add(pending.size(), std::memory_order_relaxed);
+    instruments.retry_exhausted.add(pending.size());
+  }
+  return results;
 }
 
 // ---- FallbackBackend ------------------------------------------------------
 
 FallbackBackend::FallbackBackend(
     std::vector<std::unique_ptr<PerformanceBackend>> tiers)
-    : tiers_(std::move(tiers)), serve_counts_(tiers_.size(), 0) {
+    : tiers_(std::move(tiers)), serve_counts_(tiers_.size()) {
   require(!tiers_.empty(), "FallbackBackend: at least one tier required");
   name_ = "fallback(";
   for (std::size_t i = 0; i < tiers_.size(); ++i) {
@@ -105,42 +145,75 @@ FallbackBackend::FallbackBackend(
   name_ += ')';
 }
 
-FederationMetrics FallbackBackend::evaluate(const FederationConfig& config) {
+std::vector<std::uint64_t> FallbackBackend::serve_counts() const {
+  std::vector<std::uint64_t> counts(serve_counts_.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = serve_counts_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+std::vector<EvalResult> FallbackBackend::evaluate_batch(
+    std::span<const EvalRequest> requests) {
   ResilienceObs& instruments = resilience_obs();
-  std::string last_error;
-  for (std::size_t tier = 0; tier < tiers_.size(); ++tier) {
-    try {
-      FederationMetrics metrics = tiers_[tier]->evaluate(config);
-      ++serve_counts_[tier];
-      obs::MetricsRegistry::global()
-          .counter("federation.backend.tier_served." +
-                   std::string(tiers_[tier]->name()))
-          .add();
-      if (tier > 0) {
-        // Served by a lower tier than the preferred one: the result may use
-        // a coarser model, so flag the quality drop.
-        metrics.mark_degraded("served by fallback tier " +
-                              std::to_string(tier) + " (" +
-                              std::string(tiers_[tier]->name()) + ")");
-      }
-      return metrics;
-    } catch (const Error& e) {
-      last_error = e.what();
-      if (tier + 1 < tiers_.size()) {
-        ++fallbacks_;
-        instruments.fallbacks.add();
-      }
-      if (auto* sink = obs::trace_sink()) {
-        sink->emit(obs::BackendFallbackEvent{static_cast<int>(tier),
-                                             std::string(tiers_[tier]->name()),
-                                             error_code_name(e.code())});
+  std::vector<EvalResult> results(requests.size());
+  std::vector<std::string> last_errors(requests.size());
+
+  std::vector<std::size_t> remaining(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) remaining[i] = i;
+
+  for (std::size_t tier = 0; tier < tiers_.size() && !remaining.empty();
+       ++tier) {
+    std::vector<EvalRequest> tier_requests;
+    tier_requests.reserve(remaining.size());
+    for (std::size_t idx : remaining) tier_requests.push_back(requests[idx]);
+    std::vector<EvalResult> tier_results =
+        tiers_[tier]->evaluate_batch(tier_requests);
+
+    std::vector<std::size_t> still_failing;
+    for (std::size_t k = 0; k < remaining.size(); ++k) {
+      const std::size_t idx = remaining[k];
+      EvalResult& result = tier_results[k];
+      if (result.ok) {
+        serve_counts_[tier].fetch_add(1, std::memory_order_relaxed);
+        obs::MetricsRegistry::global()
+            .counter("federation.backend.tier_served." +
+                     std::string(tiers_[tier]->name()))
+            .add();
+        if (tier > 0) {
+          // Served by a lower tier than the preferred one: the result may
+          // use a coarser model, so flag the quality drop.
+          result.metrics.mark_degraded(
+              "served by fallback tier " + std::to_string(tier) + " (" +
+              std::string(tiers_[tier]->name()) + ")");
+        }
+        results[idx] = std::move(result);
+      } else {
+        last_errors[idx] = result.error;
+        if (tier + 1 < tiers_.size()) {
+          fallbacks_.fetch_add(1, std::memory_order_relaxed);
+          instruments.fallbacks.add();
+        }
+        if (auto* sink = obs::trace_sink()) {
+          sink->emit(obs::BackendFallbackEvent{
+              static_cast<int>(tier), std::string(tiers_[tier]->name()),
+              error_code_name(result.code)});
+        }
+        still_failing.push_back(idx);
       }
     }
+    remaining = std::move(still_failing);
   }
-  instruments.fallback_exhausted.add();
-  throw Error("all " + std::to_string(tiers_.size()) +
-                  " tiers failed; last error: " + last_error,
-              ErrorCode::kBackendUnavailable, "FallbackBackend");
+
+  for (std::size_t idx : remaining) {
+    instruments.fallback_exhausted.add();
+    results[idx] = make_failure(
+        Error("all " + std::to_string(tiers_.size()) +
+                  " tiers failed; last error: " + last_errors[idx],
+              ErrorCode::kBackendUnavailable, "FallbackBackend"),
+        requests[idx].tag);
+  }
+  return results;
 }
 
 // ---- FaultInjectingBackend ------------------------------------------------
@@ -228,24 +301,24 @@ FaultSpec parse_fault_spec(const std::string& spec) {
 
 FaultInjectingBackend::FaultInjectingBackend(
     std::unique_ptr<PerformanceBackend> inner, FaultSpec spec)
-    : inner_(std::move(inner)), spec_(spec), rng_(spec.seed) {
+    : inner_(std::move(inner)), spec_(spec) {
   spec_.validate();
 }
 
-FederationMetrics FaultInjectingBackend::evaluate(
-    const FederationConfig& config) {
+std::vector<EvalResult> FaultInjectingBackend::evaluate_batch(
+    std::span<const EvalRequest> requests) {
   ResilienceObs& instruments = resilience_obs();
-  // Fixed draw order and count per evaluation, regardless of which faults
-  // fire: the RNG stream stays aligned across runs, so retry/fallback
-  // behaviour is reproducible under a fixed seed.
-  const double u_fail = rng_.next_double();
-  const double u_timeout = rng_.next_double();
-  const double u_latency = rng_.next_double();
-  const double u_perturb = rng_.next_double();
-  const double u_sign = rng_.next_double();
+  std::vector<EvalResult> results(requests.size());
+
+  // Reserve a contiguous block of evaluation sequence numbers for this
+  // batch: request i draws from the stream seeded by (spec.seed, base + i).
+  // Batches are submitted in a deterministic order by the (serial) decorator
+  // chain above, so the fault pattern is reproducible at any thread count.
+  const std::uint64_t base =
+      next_eval_.fetch_add(requests.size(), std::memory_order_relaxed);
 
   const auto inject = [&](const char* kind, ErrorCode code) {
-    ++faults_;
+    faults_.fetch_add(1, std::memory_order_relaxed);
     instruments.faults_injected.add();
     if (auto* sink = obs::trace_sink()) {
       sink->emit(obs::BackendFaultEvent{std::string(inner_->name()), kind,
@@ -253,33 +326,71 @@ FederationMetrics FaultInjectingBackend::evaluate(
     }
   };
 
-  if (u_fail < spec_.fail_probability) {
-    inject("fail", spec_.fail_code);
-    throw Error("injected fault", spec_.fail_code,
-                std::string(inner_->name()));
-  }
-  if (u_timeout < spec_.timeout_probability) {
-    inject("timeout", ErrorCode::kTimeout);
-    throw Error("injected timeout", ErrorCode::kTimeout,
-                std::string(inner_->name()));
-  }
-  if (u_latency < spec_.latency_probability) {
-    ++faults_;
-    instruments.faults_injected.add();
-    instruments.injected_latency_seconds.observe(spec_.latency_seconds);
-    if (auto* sink = obs::trace_sink()) {
-      sink->emit(obs::BackendFaultEvent{std::string(inner_->name()),
-                                        "latency", ""});
+  // Pass 1 (request order): decide failures/timeouts/latency up front; the
+  // surviving requests are forwarded as one inner batch.
+  struct Forwarded {
+    std::size_t idx;
+    double u_perturb;
+    double u_sign;
+  };
+  std::vector<Forwarded> forwarded;
+  forwarded.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    // Fixed draw order and count per request, regardless of which faults
+    // fire: the per-request streams stay aligned across runs, so
+    // retry/fallback behaviour is reproducible under a fixed seed.
+    Rng rng(exec::task_seed(spec_.seed, base + i));
+    const double u_fail = rng.next_double();
+    const double u_timeout = rng.next_double();
+    const double u_latency = rng.next_double();
+    const double u_perturb = rng.next_double();
+    const double u_sign = rng.next_double();
+
+    if (u_fail < spec_.fail_probability) {
+      inject("fail", spec_.fail_code);
+      results[i] = make_failure(Error("injected fault", spec_.fail_code,
+                                      std::string(inner_->name())),
+                                requests[i].tag);
+      continue;
     }
-    // Virtual latency only: recorded, not slept. A deployment fronting a
-    // remote backend would block here; the library stays fast and
-    // deterministic.
+    if (u_timeout < spec_.timeout_probability) {
+      inject("timeout", ErrorCode::kTimeout);
+      results[i] = make_failure(Error("injected timeout", ErrorCode::kTimeout,
+                                      std::string(inner_->name())),
+                                requests[i].tag);
+      continue;
+    }
+    if (u_latency < spec_.latency_probability) {
+      faults_.fetch_add(1, std::memory_order_relaxed);
+      instruments.faults_injected.add();
+      instruments.injected_latency_seconds.observe(spec_.latency_seconds);
+      if (auto* sink = obs::trace_sink()) {
+        sink->emit(obs::BackendFaultEvent{std::string(inner_->name()),
+                                          "latency", ""});
+      }
+      // Virtual latency only: recorded, not slept. A deployment fronting a
+      // remote backend would block here; the library stays fast and
+      // deterministic.
+    }
+    forwarded.push_back({i, u_perturb, u_sign});
   }
+  if (forwarded.empty()) return results;
 
-  FederationMetrics metrics = inner_->evaluate(config);
+  std::vector<EvalRequest> inner_requests;
+  inner_requests.reserve(forwarded.size());
+  for (const Forwarded& f : forwarded) {
+    inner_requests.push_back(requests[f.idx]);
+  }
+  std::vector<EvalResult> inner_results =
+      inner_->evaluate_batch(inner_requests);
 
-  if (u_perturb < spec_.perturb_probability) {
-    ++faults_;
+  // Pass 2 (request order): apply perturbations to the successes.
+  for (std::size_t k = 0; k < forwarded.size(); ++k) {
+    const Forwarded& f = forwarded[k];
+    results[f.idx] = std::move(inner_results[k]);
+    EvalResult& result = results[f.idx];
+    if (!result.ok || f.u_perturb >= spec_.perturb_probability) continue;
+    faults_.fetch_add(1, std::memory_order_relaxed);
     instruments.faults_injected.add();
     if (auto* sink = obs::trace_sink()) {
       sink->emit(obs::BackendFaultEvent{std::string(inner_->name()),
@@ -288,17 +399,17 @@ FederationMetrics FaultInjectingBackend::evaluate(
     // Multiplicative relative noise, one shared factor per evaluation so
     // perturbed metrics stay internally consistent (rates scale together).
     const double factor =
-        1.0 + spec_.perturb_magnitude * (2.0 * u_sign - 1.0);
-    for (auto& m : metrics) {
+        1.0 + spec_.perturb_magnitude * (2.0 * f.u_sign - 1.0);
+    for (auto& m : result.metrics) {
       m.lent = std::max(0.0, m.lent * factor);
       m.borrowed = std::max(0.0, m.borrowed * factor);
       m.forward_rate = std::max(0.0, m.forward_rate * factor);
       m.forward_prob = std::clamp(m.forward_prob * factor, 0.0, 1.0);
       m.utilization = std::clamp(m.utilization * factor, 0.0, 1.0);
     }
-    metrics.mark_degraded("metrics perturbed by fault injection");
+    result.metrics.mark_degraded("metrics perturbed by fault injection");
   }
-  return metrics;
+  return results;
 }
 
 }  // namespace scshare::federation

@@ -18,25 +18,35 @@
 //                          for testing the two decorators above and every
 //                          consumer of degraded metrics.
 //
+// All three speak the batch API (see backend.hpp): failures travel inside
+// EvalResults, retries resubmit the failed sub-batch, fallback descends the
+// still-failing sub-batch tier by tier. Every decorator runs its bookkeeping
+// on the calling thread — only the leaf ComputeBackend fans out across
+// worker threads — so the decorator behaviour is identical at any thread
+// count. The instance counters (retries(), serve_counts(), ...) are atomic,
+// making the decorators safe for concurrent callers as well.
+//
 // Composition convention (Framework::make_backend): per tier
 //   Retry(Fault(base))  — faults are injected innermost so retries see them,
 // then FallbackBackend across tiers, then CachingBackend outermost so only
 // successful evaluations are memoized.
 //
-// Determinism: FaultInjectingBackend draws a fixed number of uniforms per
-// evaluation from its own scshare::Rng, and none of the resilience trace
-// events carry wall-clock readings, so two runs with identical seeds produce
-// byte-identical fault/retry/fallback event sequences.
+// Determinism: FaultInjectingBackend seeds an independent RNG per request
+// from (spec.seed, evaluation sequence number) and draws a fixed number of
+// uniforms from it, and none of the resilience trace events carry wall-clock
+// readings, so two runs with identical seeds produce byte-identical
+// fault/retry/fallback event sequences — regardless of --threads.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/error.hpp"
-#include "common/rng.hpp"
 #include "federation/backend.hpp"
 
 namespace scshare::federation {
@@ -59,62 +69,69 @@ struct RetryPolicy {
 };
 
 /// Retries retryable failures (see is_retryable()) of the inner backend.
-/// Non-retryable errors (kInvalidConfig, kGeneric) propagate immediately.
-/// When all attempts fail the last error propagates unchanged.
+/// Non-retryable failures (kInvalidConfig, kGeneric) stay failed without a
+/// retry. A request whose retries are exhausted keeps its last failure.
 class RetryingBackend final : public PerformanceBackend {
  public:
   explicit RetryingBackend(std::unique_ptr<PerformanceBackend> inner,
                            RetryPolicy policy = {});
 
-  [[nodiscard]] FederationMetrics evaluate(
-      const FederationConfig& config) override;
+  [[nodiscard]] std::vector<EvalResult> evaluate_batch(
+      std::span<const EvalRequest> requests) override;
   [[nodiscard]] std::string_view name() const override {
     return inner_->name();
   }
 
   /// Retries performed (counts every re-attempt, across evaluations).
-  [[nodiscard]] std::uint64_t retries() const { return retries_; }
+  [[nodiscard]] std::uint64_t retries() const {
+    return retries_.load(std::memory_order_relaxed);
+  }
   /// Evaluations that failed even after all retries.
-  [[nodiscard]] std::uint64_t exhausted() const { return exhausted_; }
+  [[nodiscard]] std::uint64_t exhausted() const {
+    return exhausted_.load(std::memory_order_relaxed);
+  }
 
  private:
+  /// Converts completed-but-too-slow successes into kTimeout failures.
+  void apply_deadline(std::vector<EvalResult>& results) const;
+
   std::unique_ptr<PerformanceBackend> inner_;
   RetryPolicy policy_;
-  std::uint64_t retries_ = 0;
-  std::uint64_t exhausted_ = 0;
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> exhausted_{0};
 };
 
-/// Ordered chain of backends: evaluate() tries each tier in turn and returns
-/// the first success. Per-tier serve counts record which tier answered each
+/// Ordered chain of backends: each request is served by the first tier that
+/// succeeds on it. Per-tier serve counts record which tier answered each
 /// evaluation (also exported as `federation.backend.tier_served.<name>`
-/// counters). When every tier fails, throws kBackendUnavailable carrying the
-/// last tier's error text.
+/// counters). A request every tier failed on reports kBackendUnavailable
+/// carrying the last tier's error text.
 class FallbackBackend final : public PerformanceBackend {
  public:
   explicit FallbackBackend(
       std::vector<std::unique_ptr<PerformanceBackend>> tiers);
 
-  [[nodiscard]] FederationMetrics evaluate(
-      const FederationConfig& config) override;
+  [[nodiscard]] std::vector<EvalResult> evaluate_batch(
+      std::span<const EvalRequest> requests) override;
   /// Composed name, e.g. "fallback(detailed>approx>simulation)".
   [[nodiscard]] std::string_view name() const override { return name_; }
 
   [[nodiscard]] std::size_t num_tiers() const { return tiers_.size(); }
-  /// Evaluations served by tier `i`.
-  [[nodiscard]] const std::vector<std::uint64_t>& serve_counts() const {
-    return serve_counts_;
-  }
+  /// Evaluations served by tier `i` (snapshot copy of the atomic counters).
+  [[nodiscard]] std::vector<std::uint64_t> serve_counts() const;
   [[nodiscard]] std::string_view tier_name(std::size_t i) const {
     return tiers_[i]->name();
   }
   /// Tier descents performed (a tier failed and the next one was tried).
-  [[nodiscard]] std::uint64_t fallbacks() const { return fallbacks_; }
+  [[nodiscard]] std::uint64_t fallbacks() const {
+    return fallbacks_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::vector<std::unique_ptr<PerformanceBackend>> tiers_;
   std::string name_;
-  std::vector<std::uint64_t> serve_counts_;
-  std::uint64_t fallbacks_ = 0;
+  std::vector<std::atomic<std::uint64_t>> serve_counts_;
+  std::atomic<std::uint64_t> fallbacks_{0};
 };
 
 /// What a FaultInjectingBackend injects. All probabilities are per
@@ -156,28 +173,33 @@ struct FaultSpec {
 /// nonconvergence. Throws kInvalidConfig on unknown keys or bad numbers.
 [[nodiscard]] FaultSpec parse_fault_spec(const std::string& spec);
 
-/// Deterministic fault injector. Wraps `inner` and, per evaluation, draws a
-/// fixed number of uniforms from its own RNG (stream alignment never depends
-/// on which faults fired), then fails, delays, or perturbs accordingly.
+/// Deterministic fault injector. Requests are numbered in submission order
+/// (the n requests of a batch take the next n numbers); request number `k`
+/// gets its own RNG seeded from (spec.seed, k) and a fixed number of
+/// uniforms is drawn from it, so the fault pattern depends only on the
+/// submission order — never on which worker thread evaluates the request or
+/// which faults fired before it.
 class FaultInjectingBackend final : public PerformanceBackend {
  public:
   FaultInjectingBackend(std::unique_ptr<PerformanceBackend> inner,
                         FaultSpec spec);
 
-  [[nodiscard]] FederationMetrics evaluate(
-      const FederationConfig& config) override;
+  [[nodiscard]] std::vector<EvalResult> evaluate_batch(
+      std::span<const EvalRequest> requests) override;
   [[nodiscard]] std::string_view name() const override {
     return inner_->name();
   }
 
   /// Faults injected so far (failures + timeouts + latencies + perturbations).
-  [[nodiscard]] std::uint64_t faults_injected() const { return faults_; }
+  [[nodiscard]] std::uint64_t faults_injected() const {
+    return faults_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::unique_ptr<PerformanceBackend> inner_;
   FaultSpec spec_;
-  Rng rng_;
-  std::uint64_t faults_ = 0;
+  std::atomic<std::uint64_t> next_eval_{0};  ///< evaluation sequence numbers
+  std::atomic<std::uint64_t> faults_{0};
 };
 
 }  // namespace scshare::federation

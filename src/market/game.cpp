@@ -69,22 +69,28 @@ Game::Game(federation::FederationConfig config, PriceConfig prices,
   }
 }
 
-bool Game::try_evaluate(const std::vector<int>& shares,
+bool Game::apply_result(federation::EvalResult&& result,
                         federation::FederationMetrics& out) {
-  federation::FederationConfig cfg = config_;
-  cfg.shares = shares;
-  try {
-    out = backend_.evaluate(cfg);
-  } catch (const Error&) {
+  if (!result.ok) {
     ++failed_evaluations_;
     degraded_ = true;
     game_obs().eval_failures.add();
     return false;
   }
+  out = std::move(result.metrics);
   if (out.degraded()) degraded_ = true;
   last_good_ = out;
   has_last_good_ = true;
   return true;
+}
+
+bool Game::try_evaluate(const std::vector<int>& shares,
+                        federation::FederationMetrics& out) {
+  federation::EvalRequest request;
+  request.config = config_;
+  request.config.shares = shares;
+  auto results = backend_.evaluate_batch({&request, 1});
+  return apply_result(std::move(results.front()), out);
 }
 
 federation::FederationMetrics Game::metrics_or_last_good(
@@ -113,7 +119,12 @@ double Game::utility_of(std::size_t i, const std::vector<int>& shares) {
 }
 
 std::vector<double> Game::utilities_of(const std::vector<int>& shares) {
-  const auto metrics = metrics_or_last_good(shares);
+  return utilities_from(metrics_or_last_good(shares), shares);
+}
+
+std::vector<double> Game::utilities_from(
+    const federation::FederationMetrics& metrics,
+    const std::vector<int>& shares) const {
   std::vector<double> utilities(config_.size());
   for (std::size_t i = 0; i < config_.size(); ++i) {
     utilities[i] =
@@ -127,27 +138,58 @@ std::vector<double> Game::utilities_of(const std::vector<int>& shares) {
 int Game::best_response(std::size_t i, std::vector<int> shares) {
   const int current = shares[i];
   const int hi = config_.scs[i].num_vms;
-  const auto objective = [&](int share) {
-    shares[i] = share;
-    return utility_of(i, shares);
-  };
 
   int best = current;
-  const double current_value = objective(current);
-  double best_value = current_value;
+  double current_value;
+  double best_value;
   if (options_.method == BestResponseMethod::kExhaustive) {
+    // All candidates submitted as one batch so the backend can fan out
+    // across worker threads. The candidate order — current first (its
+    // utility is the hysteresis reference), then 0..hi — matches the old
+    // serial scan, and the reduction below runs on this thread in that
+    // fixed order, so the outcome is bit-identical at any thread count.
+    std::vector<int> candidates;
+    candidates.reserve(static_cast<std::size_t>(hi) + 1);
+    candidates.push_back(current);
     for (int s = 0; s <= hi; ++s) {
-      if (s == current) continue;
-      const double v = objective(s);
-      if (v > best_value) {
+      if (s != current) candidates.push_back(s);
+    }
+    std::vector<federation::EvalRequest> requests(candidates.size());
+    for (std::size_t k = 0; k < candidates.size(); ++k) {
+      requests[k].config = config_;
+      requests[k].config.shares = shares;
+      requests[k].config.shares[i] = candidates[k];
+      requests[k].tag = k;
+    }
+    auto results = backend_.evaluate_batch(requests);
+    current_value = -std::numeric_limits<double>::infinity();
+    best_value = current_value;
+    for (std::size_t k = 0; k < candidates.size(); ++k) {
+      federation::FederationMetrics metrics;
+      double v = -std::numeric_limits<double>::infinity();
+      if (apply_result(std::move(results[k]), metrics)) {
+        v = sc_utility(metrics[i], baselines_[i], prices_.public_price[i],
+                       prices_.federation_price, candidates[k], utility_,
+                       prices_.power_price, config_.scs[i].num_vms);
+      }
+      if (k == 0) {
+        current_value = v;
         best_value = v;
-        best = s;
+      } else if (v > best_value) {
+        best_value = v;
+        best = candidates[k];
       }
     }
   } else {
-    // Tabu search, started from the SC's current share.
-    const auto result =
-        tabu_search(current, 0, hi, objective, options_.tabu);
+    // Tabu search, started from the SC's current share. Inherently
+    // sequential (each move depends on the previous objective), so it stays
+    // on the single-evaluation path.
+    const auto objective = [&](int share) {
+      shares[i] = share;
+      return utility_of(i, shares);
+    };
+    current_value = objective(current);
+    const auto result = tabu_search(current, 0, hi, objective, options_.tabu);
     best = result.best;
     best_value = result.best_value;
   }

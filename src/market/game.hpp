@@ -84,6 +84,13 @@ class Game {
   /// Utilities of every SC under `shares`.
   [[nodiscard]] std::vector<double> utilities_of(const std::vector<int>& shares);
 
+  /// Utilities of every SC computed from already-evaluated metrics (e.g. a
+  /// batch the caller obtained from the backend directly). Pure arithmetic —
+  /// no backend call, no bookkeeping.
+  [[nodiscard]] std::vector<double> utilities_from(
+      const federation::FederationMetrics& metrics,
+      const std::vector<int>& shares) const;
+
   [[nodiscard]] const std::vector<Baseline>& baselines() const {
     return baselines_;
   }
@@ -91,10 +98,18 @@ class Game {
  private:
   [[nodiscard]] int best_response(std::size_t i, std::vector<int> shares);
 
-  /// Evaluates `shares`, absorbing typed errors: returns false on failure
-  /// (counting it and marking the run degraded), true with `out` filled on
-  /// success. Successful metrics are remembered as last-known-good.
+  /// Evaluates `shares` as a batch of one, absorbing typed errors: returns
+  /// false on failure (counting it and marking the run degraded), true with
+  /// `out` filled on success. Successful metrics are remembered as
+  /// last-known-good.
   bool try_evaluate(const std::vector<int>& shares,
+                    federation::FederationMetrics& out);
+
+  /// Folds one EvalResult into the game's bookkeeping (failure counters,
+  /// degraded flag, last-known-good metrics). Always called on the game's
+  /// own thread, in request-submission order, so runs are bit-identical at
+  /// any --threads value.
+  bool apply_result(federation::EvalResult&& result,
                     federation::FederationMetrics& out);
 
   /// Metrics for `shares`, substituting last-known-good metrics (marked

@@ -72,22 +72,37 @@ federation::FederationMetrics MultiFederationGame::evaluate(
         baselines_[i].forward_rate / base_.scs[i].lambda;
     metrics[i].utilization = baselines_[i].utilization;
   }
-  // Each federation is an independent sub-system.
+  // Each federation is an independent sub-system; all non-empty federations
+  // are submitted as one batch so the backend can evaluate them across
+  // worker threads. The results are folded back in federation order on this
+  // thread, and the first failure is rethrown — the same surface the old
+  // per-federation evaluate() loop had.
+  std::vector<std::vector<std::size_t>> groups;
+  std::vector<federation::EvalRequest> requests;
   for (int f = 0; f < static_cast<int>(federation_prices_.size()); ++f) {
     std::vector<std::size_t> members;
     for (std::size_t i = 0; i < base_.size(); ++i) {
       if (membership[i] == f) members.push_back(i);
     }
     if (members.empty()) continue;
-    federation::FederationConfig sub;
-    sub.truncation_epsilon = base_.truncation_epsilon;
+    federation::EvalRequest request;
+    request.config.truncation_epsilon = base_.truncation_epsilon;
     for (std::size_t m : members) {
-      sub.scs.push_back(base_.scs[m]);
-      sub.shares.push_back(shares[m]);
+      request.config.scs.push_back(base_.scs[m]);
+      request.config.shares.push_back(shares[m]);
     }
-    const auto sub_metrics = backend_.evaluate(sub);
-    for (std::size_t local = 0; local < members.size(); ++local) {
-      metrics[members[local]] = sub_metrics[local];
+    request.tag = requests.size();
+    requests.push_back(std::move(request));
+    groups.push_back(std::move(members));
+  }
+  if (!requests.empty()) {
+    auto results = backend_.evaluate_batch(requests);
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      federation::EvalResult& result = results[g];
+      if (!result.ok) throw result.to_error();
+      for (std::size_t local = 0; local < groups[g].size(); ++local) {
+        metrics[groups[g][local]] = result.metrics[local];
+      }
     }
   }
   return cache_.emplace(std::move(key), std::move(metrics)).first->second;

@@ -68,6 +68,21 @@ std::vector<SweepPoint> run_price_sweep(
       registry.histogram("market.sweep.seconds");
   const obs::ScopedTimer timer(&sweep_seconds);
 
+  // Pre-evaluate the whole grid as one batch: performance metrics depend
+  // only on the sharing vector, never on prices, so a single fan-out serves
+  // the social-optimum scan of every ratio and fairness function — and,
+  // through a caching backend, warms the cache for the equilibrium games
+  // below. A point that fails to evaluate is simply excluded from the
+  // optimum scan (its welfare is unknowable, not zero).
+  std::vector<federation::EvalRequest> grid_requests(grid.size());
+  for (std::size_t k = 0; k < grid.size(); ++k) {
+    grid_requests[k].config = config;
+    grid_requests[k].config.shares = grid[k];
+    grid_requests[k].tag = k;
+  }
+  const auto grid_results = backend.evaluate_batch(grid_requests);
+  grid_counter.add(grid.size());
+
   std::vector<SweepPoint> points;
   points.reserve(options.ratios.size());
   for (double ratio : options.ratios) {
@@ -89,17 +104,20 @@ std::vector<SweepPoint> run_price_sweep(
       point.equilibria.push_back(g.run());
     }
 
-    // Social optimum over the share grid, per fairness function.
+    // Social optimum over the share grid, per fairness function. Utilities
+    // are recomputed per ratio (prices change) from the pre-evaluated batch;
+    // no backend call happens here.
     for (std::size_t f = 0; f < kAllFairness.size(); ++f) {
       FairnessOutcome& outcome = point.outcomes[f];
       outcome.welfare_opt = -std::numeric_limits<double>::infinity();
-      for (const auto& shares : grid) {
-        grid_counter.add();
-        const auto utilities = game.utilities_of(shares);
-        const double w = welfare(kAllFairness[f], shares, utilities);
+      for (std::size_t k = 0; k < grid.size(); ++k) {
+        if (!grid_results[k].ok) continue;
+        const auto utilities =
+            game.utilities_from(grid_results[k].metrics, grid[k]);
+        const double w = welfare(kAllFairness[f], grid[k], utilities);
         if (w > outcome.welfare_opt) {
           outcome.welfare_opt = w;
-          outcome.opt_shares = shares;
+          outcome.opt_shares = grid[k];
         }
       }
       // Best equilibrium for this fairness function.

@@ -8,8 +8,11 @@
 // ratio of the two (see market/fairness.hpp for the proportional-fairness
 // convention).
 //
-// Performance metrics do not depend on prices, so with a CachingBackend the
-// whole sweep costs one backend evaluation per distinct sharing vector.
+// Performance metrics do not depend on prices, so the sweep pre-evaluates
+// the whole social-optimum grid as one batch (parallel when the backend has
+// an executor attached) and reuses it across every ratio; with a
+// CachingBackend the game restarts then cost one backend evaluation per
+// distinct sharing vector.
 #pragma once
 
 #include <array>

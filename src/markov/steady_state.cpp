@@ -226,15 +226,15 @@ SteadyStateResult solve_steady_state_power(const Ctmc& chain,
 }
 
 SteadyStateResult solve_steady_state_guarded(
-    const Ctmc& chain, const SteadyStateOptions& options) {
-  SteadyStateResult result = solve_steady_state(chain, options);
+    const Ctmc& chain, const SolverOptions& options) {
+  SteadyStateResult result = solve_steady_state(chain, options.steady_state);
   if (result.converged) return result;
   // Tolerance-relaxation retry. The solvers are deterministic and already
   // spent the full iteration budget, so re-running buys nothing: instead the
   // best residual reached is tested against progressively relaxed
   // tolerances. Acceptance at attempt k means "converged, but k orders
   // looser than requested" — flagged for the caller to mark degraded.
-  double relaxed = options.tolerance;
+  double relaxed = options.steady_state.tolerance;
   for (std::size_t attempt = 1; attempt <= options.relax_attempts; ++attempt) {
     relaxed *= options.relax_multiplier;
     if (result.residual < relaxed) {

@@ -30,8 +30,17 @@ struct SteadyStateOptions {
   /// Divergence guard: abort when the residual exceeds the best residual
   /// seen so far by this factor (0 disables the guard).
   double divergence_factor = 1e6;
-  /// Tolerance-relaxation retries performed by solve_steady_state_guarded():
-  /// attempt k accepts residual < tolerance * relax_multiplier^k.
+};
+
+/// Consolidated argument block of solve_steady_state_guarded(): the plain
+/// iteration options plus the relaxation schedule that only the guarded
+/// wrapper interprets. Designed for designated initializers, e.g.
+///   solve_steady_state_guarded(chain, {.steady_state = {.tolerance = 1e-10},
+///                                      .relax_attempts = 3});
+struct SolverOptions {
+  SteadyStateOptions steady_state;
+  /// Tolerance-relaxation retries: attempt k accepts residual <
+  /// steady_state.tolerance * relax_multiplier^k (0 disables relaxation).
   std::size_t relax_attempts = 2;
   double relax_multiplier = 100.0;
 };
@@ -79,6 +88,6 @@ struct SteadyStateResult {
 /// Callers must treat relaxations > 0 (or converged == false) as degraded
 /// quality — never as an exact answer.
 [[nodiscard]] SteadyStateResult solve_steady_state_guarded(
-    const Ctmc& chain, const SteadyStateOptions& options = {});
+    const Ctmc& chain, const SolverOptions& options = {});
 
 }  // namespace scshare::markov

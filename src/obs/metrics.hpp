@@ -11,6 +11,20 @@
 //    solvers, backends, the market game, and the simulator. Consumers that
 //    need per-run numbers (Framework::report(), bench::MetricsScope) take a
 //    snapshot at scope entry and report the delta.
+//
+// Thread-safety contract (relied on by the exec thread pool — backend
+// evaluations instrument these from worker threads):
+//  * Counter::add, Gauge::set, and Histogram::observe are safe to call
+//    concurrently from any number of threads without external locking; no
+//    increment is ever lost (each field is updated with an atomic RMW).
+//  * A Histogram's fields (bucket counts, count, sum, min, max) are
+//    individually atomic but not updated as one transaction: a snapshot()
+//    taken while observes are in flight can see, e.g., the bucket increment
+//    of an observation whose sum is not folded in yet. Quiesce the workload
+//    (as Framework::report() does — it runs on the caller's thread after the
+//    batch returns) when exact cross-field consistency matters.
+//  * reset() concurrent with mutation has the same torn-view caveat; handles
+//    stay valid throughout.
 #pragma once
 
 #include <atomic>

@@ -81,6 +81,9 @@ const char* event_type_name(const TraceEvent& event) {
     const char* operator()(const BackendFallbackEvent&) const {
       return "backend_fallback";
     }
+    const char* operator()(const ExecBatchEvent&) const {
+      return "exec_batch";
+    }
   };
   return std::visit(Visitor{}, event);
 }
@@ -155,6 +158,12 @@ std::string to_json_line(const TraceEvent& event) {
       append_string(out, e.tier_name);
       out += ",\"code\":";
       append_string(out, e.code);
+    }
+    void operator()(const ExecBatchEvent& e) const {
+      out += ",\"where\":";
+      append_string(out, e.where);
+      out += ",\"tasks\":" + std::to_string(e.tasks);
+      out += ",\"threads\":" + std::to_string(e.threads);
     }
   };
   std::visit(Visitor{out}, event);

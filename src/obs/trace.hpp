@@ -87,10 +87,20 @@ struct BackendFallbackEvent {
   std::string code;  ///< error_code_name() of the tier's failure
 };
 
+/// One parallel batch dispatched through exec::Executor (src/exec/). The
+/// `threads` field reflects the executor's concurrency, so this event type
+/// is excluded from cross-thread-count trace comparisons (everything else
+/// must be bit-identical at any --threads value).
+struct ExecBatchEvent {
+  std::string where;           ///< dispatching component (backend name)
+  std::uint64_t tasks = 0;     ///< batch size fanned out
+  std::uint64_t threads = 0;   ///< executor concurrency (1 = serial)
+};
+
 using TraceEvent =
     std::variant<SolverIterationEvent, BackendEvalEvent, BestResponseEvent,
                  EquilibriumRoundEvent, LumpingStatsEvent, BackendFaultEvent,
-                 BackendRetryEvent, BackendFallbackEvent>;
+                 BackendRetryEvent, BackendFallbackEvent, ExecBatchEvent>;
 
 /// Stable wire name of an event's type ("solver_iteration", ...).
 [[nodiscard]] const char* event_type_name(const TraceEvent& event);

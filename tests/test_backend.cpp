@@ -15,10 +15,13 @@ fed::FederationConfig small() {
 }
 
 /// Counts evaluations so caching behaviour is observable.
-class CountingBackend final : public fed::PerformanceBackend {
+class CountingBackend final : public fed::ComputeBackend {
  public:
-  fed::FederationMetrics evaluate(
-      const fed::FederationConfig& config) override {
+  [[nodiscard]] std::string_view name() const override { return "counting"; }
+  int calls = 0;
+
+ protected:
+  fed::FederationMetrics compute(const fed::FederationConfig& config) override {
     ++calls;
     fed::FederationMetrics m(config.size());
     for (std::size_t i = 0; i < config.size(); ++i) {
@@ -26,8 +29,6 @@ class CountingBackend final : public fed::PerformanceBackend {
     }
     return m;
   }
-  [[nodiscard]] std::string_view name() const override { return "counting"; }
-  int calls = 0;
 };
 
 }  // namespace

@@ -204,6 +204,7 @@ TEST(Trace, EventTypeNames) {
                "equilibrium_round");
   EXPECT_STREQ(obs::event_type_name(obs::LumpingStatsEvent{}),
                "lumping_stats");
+  EXPECT_STREQ(obs::event_type_name(obs::ExecBatchEvent{}), "exec_batch");
 }
 
 TEST(Trace, JsonLinesParseBackAsValidJson) {

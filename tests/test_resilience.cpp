@@ -33,21 +33,22 @@ fed::FederationConfig small() {
 }
 
 /// Constant metrics tagged with `tag` so tests can tell tiers apart.
-class ConstBackend final : public fed::PerformanceBackend {
+class ConstBackend final : public fed::ComputeBackend {
  public:
   explicit ConstBackend(double tag, std::string name = "const")
       : tag_(tag), name_(std::move(name)) {}
 
-  fed::FederationMetrics evaluate(
-      const fed::FederationConfig& config) override {
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+  int calls = 0;
+
+ protected:
+  fed::FederationMetrics compute(const fed::FederationConfig& config) override {
     ++calls;
     fed::FederationMetrics m(config.size());
     for (auto& e : m) e.lent = tag_;
     return m;
   }
-  [[nodiscard]] std::string_view name() const override { return name_; }
-
-  int calls = 0;
 
  private:
   double tag_;
@@ -55,22 +56,23 @@ class ConstBackend final : public fed::PerformanceBackend {
 };
 
 /// Fails the first `failures` evaluations with `code`, then succeeds.
-class FlakyBackend final : public fed::PerformanceBackend {
+class FlakyBackend final : public fed::ComputeBackend {
  public:
   FlakyBackend(int failures, ErrorCode code)
       : failures_(failures), code_(code) {}
 
-  fed::FederationMetrics evaluate(
-      const fed::FederationConfig& config) override {
+  [[nodiscard]] std::string_view name() const override { return "flaky"; }
+
+  int calls = 0;
+
+ protected:
+  fed::FederationMetrics compute(const fed::FederationConfig& config) override {
     ++calls;
     if (calls <= failures_) throw Error("flaky failure", code_, "flaky");
     fed::FederationMetrics m(config.size());
     for (auto& e : m) e.lent = 42.0;
     return m;
   }
-  [[nodiscard]] std::string_view name() const override { return "flaky"; }
-
-  int calls = 0;
 
  private:
   int failures_;
@@ -385,11 +387,12 @@ TEST(SolverGuards, GuardedSolveRelaxesTolerance) {
   }
   chain.finalize();
 
-  scshare::markov::SteadyStateOptions options;
-  options.tolerance = 1e-300;
-  options.max_iterations = 64;
+  scshare::markov::SolverOptions options;
+  options.steady_state.tolerance = 1e-300;
+  options.steady_state.max_iterations = 64;
   options.relax_attempts = 0;
-  const auto strict = scshare::markov::solve_steady_state(chain, options);
+  const auto strict =
+      scshare::markov::solve_steady_state(chain, options.steady_state);
   ASSERT_FALSE(strict.converged);
   ASSERT_TRUE(std::isfinite(strict.residual));
 
@@ -401,7 +404,7 @@ TEST(SolverGuards, GuardedSolveRelaxesTolerance) {
   EXPECT_TRUE(relaxed.converged);
   EXPECT_FALSE(relaxed.fully_converged());
   EXPECT_GE(relaxed.relaxations, 1u);
-  EXPECT_GT(relaxed.tolerance_used, options.tolerance);
+  EXPECT_GT(relaxed.tolerance_used, options.steady_state.tolerance);
 }
 
 TEST(SolverGuards, NonConvergenceSurfacesAsTypedError) {
@@ -446,11 +449,11 @@ TEST(ResilientGame, EquilibriumSurvivesFaultInjection) {
   const auto clean_result = clean.find_equilibrium(game);
 
   scshare::FrameworkOptions faulty_options;
-  faulty_options.chain = {scshare::BackendKind::kApprox,
-                          scshare::BackendKind::kApprox};
-  faulty_options.retry.max_retries = 2;
-  faulty_options.faults.fail_probability = 0.3;
-  faulty_options.faults.seed = 7;
+  faulty_options.exec.chain = {scshare::BackendKind::kApprox,
+                               scshare::BackendKind::kApprox};
+  faulty_options.exec.retry.max_retries = 2;
+  faulty_options.exec.faults.fail_probability = 0.3;
+  faulty_options.exec.faults.seed = 7;
   scshare::Framework faulty(cfg, prices, {}, faulty_options);
   const auto faulty_result = faulty.find_equilibrium(game);
 
@@ -467,9 +470,13 @@ TEST(ResilientGame, EquilibriumSurvivesFaultInjection) {
 TEST(ResilientGame, UnavailablePipelineKeepsLastKnownGood) {
   // Backend succeeds for a while and then goes permanently dark: the game
   // must finish on last-known-good metrics and mark the run degraded.
-  class DyingBackend final : public fed::PerformanceBackend {
+  class DyingBackend final : public fed::ComputeBackend {
    public:
-    fed::FederationMetrics evaluate(
+    [[nodiscard]] std::string_view name() const override { return "dying"; }
+    int calls = 0;
+
+   protected:
+    fed::FederationMetrics compute(
         const fed::FederationConfig& config) override {
       ++calls;
       if (calls > 5) {
@@ -482,8 +489,6 @@ TEST(ResilientGame, UnavailablePipelineKeepsLastKnownGood) {
       }
       return m;
     }
-    [[nodiscard]] std::string_view name() const override { return "dying"; }
-    int calls = 0;
   };
 
   const auto cfg = small();

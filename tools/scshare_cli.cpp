@@ -3,8 +3,9 @@
 // Usage:
 //   scshare <command> <config.json> [--backend approx|detailed|simulation]
 //                                   [--backend-chain=a,b,...] [--retry-max=N]
-//                                   [--fault-spec=SPEC] [--compact]
-//                                   [--metrics-out=FILE] [--trace=FILE]
+//                                   [--fault-spec=SPEC] [--threads=N]
+//                                   [--compact] [--metrics-out=FILE]
+//                                   [--trace=FILE]
 //
 // Commands:
 //   validate     parse + validate the configuration, echo it back
@@ -22,6 +23,11 @@
 //   --retry-max=N        retry each tier up to N times on retryable errors.
 //   --fault-spec=SPEC    deterministic fault injection, e.g.
 //                        "fail=0.3,seed=7" (see federation/resilience.hpp).
+//
+// Execution:
+//   --threads=N          worker threads for backend evaluation batches
+//                        (default 1 = serial). Results are bit-identical at
+//                        any value; only the wall-clock changes.
 //
 // Observability (all commands except validate):
 //   --metrics-out=FILE  write the Framework::report() JSON — solver
@@ -57,6 +63,7 @@ struct CliOptions {
   std::string backend_chain;  ///< comma-separated; empty = single backend
   int retry_max = 0;
   std::string fault_spec;  ///< empty = no fault injection
+  int threads = 1;         ///< backend evaluation threads (1 = serial)
   bool compact = false;
   std::string metrics_out;  ///< empty = no metrics report file
   std::string trace_path;   ///< empty = no JSONL trace file
@@ -68,7 +75,7 @@ int usage() {
       "usage: scshare <validate|baseline|metrics|costs|equilibrium|sweep|"
       "simulate> <config.json> [--backend approx|detailed|simulation] "
       "[--backend-chain=a,b,...] [--retry-max=N] [--fault-spec=SPEC] "
-      "[--compact] [--metrics-out=FILE] [--trace=FILE]\n");
+      "[--threads=N] [--compact] [--metrics-out=FILE] [--trace=FILE]\n");
   return 2;
 }
 
@@ -138,15 +145,17 @@ int run(const CliOptions& cli) {
           std::min(cli.backend_chain.find(',', start),
                    cli.backend_chain.size());
       const std::string name = cli.backend_chain.substr(start, comma - start);
-      if (!name.empty()) options.chain.push_back(backend_kind(name));
+      if (!name.empty()) options.exec.chain.push_back(backend_kind(name));
       start = comma + 1;
     }
-    require(!options.chain.empty(), "empty --backend-chain");
+    require(!options.exec.chain.empty(), "empty --backend-chain");
   }
   require(cli.retry_max >= 0, "--retry-max must be non-negative");
-  options.retry.max_retries = cli.retry_max;
+  require(cli.threads >= 1, "--threads must be >= 1");
+  options.exec.threads = static_cast<std::size_t>(cli.threads);
+  options.exec.retry.max_retries = cli.retry_max;
   if (!cli.fault_spec.empty()) {
-    options.faults = federation::parse_fault_spec(cli.fault_spec);
+    options.exec.faults = federation::parse_fault_spec(cli.fault_spec);
   }
   if (config_json.contains("sim")) {
     options.sim = io::parse_sim_options(config_json.at("sim"));
@@ -247,6 +256,11 @@ int main(int argc, char** argv) {
       cli.fault_spec = arg.substr(std::string("--fault-spec=").size());
     } else if (arg == "--fault-spec" && i + 1 < argc) {
       cli.fault_spec = argv[++i];
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      cli.threads =
+          std::atoi(arg.substr(std::string("--threads=").size()).c_str());
+    } else if (arg == "--threads" && i + 1 < argc) {
+      cli.threads = std::atoi(argv[++i]);
     } else if (arg == "--compact") {
       cli.compact = true;
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
