@@ -95,9 +95,14 @@ int main() {
   federation::FallbackBackend chain(std::move(tiers));
 
   const int evaluations = 20;
-  int degraded = 0;
+  std::vector<federation::EvalRequest> requests(evaluations);
   for (int i = 0; i < evaluations; ++i) {
-    if (chain.evaluate(config).degraded()) ++degraded;
+    requests[i].config = config;
+    requests[i].tag = static_cast<std::uint64_t>(i);
+  }
+  int degraded = 0;
+  for (const auto& result : chain.evaluate_batch(requests)) {
+    if (result.ok && result.metrics.degraded()) ++degraded;
   }
 
   std::printf("  %d evaluations through %s\n", evaluations,

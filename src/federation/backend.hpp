@@ -12,10 +12,10 @@
 // thread, which keeps bookkeeping, trace order, and RNG consumption
 // independent of the thread count.
 //
-// The single-shot evaluate(cfg) of the original API remains as a thin
-// non-virtual adapter (one-element batch; throws the captured Error on
-// failure). It is DEPRECATED for library code — new call sites should build
-// batches — and is kept for one release for out-of-tree users.
+// Single evaluations are expressed as one-element batches; helpers that
+// need throw-on-failure semantics unwrap the EvalResult themselves (see
+// EvalResult::to_error()). The historical single-shot evaluate(cfg) adapter
+// has been removed.
 //
 // CachingBackend memoizes evaluations by sharing vector, which makes
 // repeated-game sweeps over prices essentially free after the first pass
@@ -87,11 +87,6 @@ class PerformanceBackend {
       std::span<const EvalRequest> requests) = 0;
 
   [[nodiscard]] virtual std::string_view name() const = 0;
-
-  /// DEPRECATED single-shot adapter (kept one release for existing callers):
-  /// wraps `config` into a one-element batch and throws the captured Error
-  /// on failure. New code should call evaluate_batch().
-  [[nodiscard]] FederationMetrics evaluate(const FederationConfig& config);
 };
 
 /// Base of the leaf (model-running) backends: implements evaluate_batch by

@@ -1,6 +1,5 @@
-// Out-of-line backend machinery. This translation unit anchors the vtable of
-// PerformanceBackend (key function idiom) and implements the batch adapter,
-// the ComputeBackend executor fan-out, and the instrumented concurrent
+// Out-of-line backend machinery. This translation unit implements the
+// ComputeBackend executor fan-out and the instrumented concurrent
 // CachingBackend.
 #include "federation/backend.hpp"
 
@@ -64,17 +63,6 @@ std::size_t hash_shares(const std::vector<int>& shares) {
 }
 
 }  // namespace
-
-FederationMetrics PerformanceBackend::evaluate(const FederationConfig& config) {
-  EvalRequest request;
-  request.config = config;
-  std::vector<EvalResult> results = evaluate_batch({&request, 1});
-  SCSHARE_ASSERT(results.size() == 1,
-                 "evaluate_batch must return one result per request");
-  EvalResult& result = results.front();
-  if (!result.ok) throw Error(result.error, result.code);
-  return std::move(result.metrics);
-}
 
 std::vector<EvalResult> ComputeBackend::evaluate_batch(
     std::span<const EvalRequest> requests) {

@@ -65,6 +65,8 @@ sim::SimOptions parse_sim_options(const Json& json) {
   options.measure_time = json.get_or("measure_time", options.measure_time);
   options.batches = static_cast<std::size_t>(
       json.get_or("batches", static_cast<int>(options.batches)));
+  options.warmup_batches = static_cast<std::size_t>(
+      json.get_or("warmup_batches", static_cast<int>(options.warmup_batches)));
   options.seed = static_cast<std::uint64_t>(json.get_or("seed", 1));
   options.policy = parse_enum<sim::ForwardingPolicy>(
       json.get_or("policy", std::string("probabilistic")),

@@ -36,6 +36,7 @@ namespace scshare::io {
 
 /// Parses simulator options (all fields optional):
 ///   {"warmup_time":..., "measure_time":..., "seed":..., "batches":...,
+///    "warmup_batches":...,
 ///    "policy": "probabilistic"|"deadline",
 ///    "service": "exponential"|"erlang"|"hyperexponential",
 ///    "arrivals": "poisson"|"mmpp"|"batch"|"sinusoidal", ...}

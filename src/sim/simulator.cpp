@@ -23,6 +23,9 @@ Simulator::Simulator(federation::FederationConfig config, SimOptions options)
   require(options_.warmup_time >= 0.0 && options_.measure_time > 0.0,
           "SimOptions: warmup_time >= 0 and measure_time > 0 required");
   require(options_.batches >= 1, "SimOptions: at least one batch required");
+  require(options_.warmup_batches < options_.batches,
+          "SimOptions: warmup_batches must leave at least one batch for the "
+          "confidence intervals");
   if (options_.service == ServiceDistribution::kErlang) {
     require(options_.erlang_shape >= 1, "SimOptions: erlang_shape >= 1");
   }
@@ -419,10 +422,11 @@ std::vector<ScSimStats> Simulator::run() {
   std::vector<ScSimStats> out(scs_.size());
   for (std::size_t i = 0; i < scs_.size(); ++i) {
     ScState& s = scs_[i];
-    const auto lent = batch_means(s.lent_batches);
-    const auto borrowed = batch_means(s.borrowed_batches);
-    const auto busy = batch_means(s.busy_batches);
-    const auto fwd = batch_means(s.forward_rate_batches);
+    const std::size_t discard = options_.warmup_batches;
+    const auto lent = batch_means(s.lent_batches, discard);
+    const auto borrowed = batch_means(s.borrowed_batches, discard);
+    const auto busy = batch_means(s.busy_batches, discard);
+    const auto fwd = batch_means(s.forward_rate_batches, discard);
     ScSimStats& r = out[i];
     r.metrics.lent = lent.mean;
     r.metrics.borrowed = borrowed.mean;

@@ -95,12 +95,15 @@ double Histogram::fraction_above(double threshold) const {
   return static_cast<double>(above) / static_cast<double>(count_);
 }
 
-BatchMeansResult batch_means(const std::vector<double>& batch_values) {
+BatchMeansResult batch_means(const std::vector<double>& batch_values,
+                             std::size_t discard_batches) {
   BatchMeansResult result;
-  result.batches = batch_values.size();
-  if (batch_values.empty()) return result;
+  if (batch_values.size() <= discard_batches) return result;
+  result.batches = batch_values.size() - discard_batches;
   WelfordAccumulator acc;
-  for (double v : batch_values) acc.add(v);
+  for (std::size_t b = discard_batches; b < batch_values.size(); ++b) {
+    acc.add(batch_values[b]);
+  }
   result.mean = acc.mean();
   result.half_width = 1.96 * acc.stderr_mean();
   return result;

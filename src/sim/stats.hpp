@@ -52,10 +52,17 @@ class TimeWeightedAverage {
 struct BatchMeansResult {
   double mean = 0.0;
   double half_width = 0.0;  ///< ~95% CI half width (normal approximation)
-  std::size_t batches = 0;
+  std::size_t batches = 0;  ///< batches used (after any warm-up discard)
 };
 
-[[nodiscard]] BatchMeansResult batch_means(const std::vector<double>& batch_values);
+/// Point estimate + CI over `batch_values`, ignoring the first
+/// `discard_batches` entries. The simulator's time-based warm-up removes most
+/// of the transient, but the earliest measurement batches can still carry
+/// residual start-up bias that narrows into a wrong (too-confident) interval;
+/// discarding them makes the remaining batches exchangeable. Discarding
+/// everything (discard_batches >= size) returns an empty estimate.
+[[nodiscard]] BatchMeansResult batch_means(
+    const std::vector<double>& batch_values, std::size_t discard_batches = 0);
 
 /// Fixed-bin histogram with quantile queries, for waiting-time tail
 /// analysis (e.g., P95 wait vs the SLA bound). Values are clamped into

@@ -1,0 +1,91 @@
+// Statistical comparison primitives for the validation harness.
+//
+// Two oracle values agree when |a - b| fits inside a tolerance envelope that
+// combines an absolute floor, a relative band, and — when one side is a
+// simulation estimate — a multiple of the batch-means confidence-interval
+// half-width. The tolerance *ladder* assigns an envelope per oracle pair:
+// exact-vs-closed-form is near machine precision, approx-vs-exact uses the
+// documented accuracy bands of the hierarchical model (tests/
+// test_approx_accuracy.cpp), and sim-vs-anything is CI-driven. The ladder is
+// documented in docs/ARCHITECTURE.md ("Validation") — a disagreement outside
+// it is a bug in one of the models, not noise to be widened away.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "federation/config.hpp"
+#include "federation/metrics.hpp"
+
+namespace scshare::validation {
+
+/// Agreement envelope: pass iff
+///   |a - b| <= abs + rel * max(|a|, |b|) + ci_multiplier * half_width.
+struct Tolerance {
+  double abs = 1e-9;
+  double rel = 0.0;
+  double ci_multiplier = 0.0;  ///< scales the sim CI half-width term
+};
+
+/// True when `a` and `b` agree under `t` (`half_width` is the ~95% CI
+/// half-width of whichever side is stochastic; 0 for deterministic pairs).
+[[nodiscard]] bool within(double a, double b, double half_width,
+                          const Tolerance& t);
+
+/// Signed slack of the comparison: <= 0 passes, > 0 is the excess beyond the
+/// envelope (useful for ranking the worst disagreements in reports).
+[[nodiscard]] double excess(double a, double b, double half_width,
+                            const Tolerance& t);
+
+/// One recorded comparison between two oracles on one scalar metric.
+struct MetricCheck {
+  std::string metric;  ///< e.g. "forward_rate[1]", "utility[0]"
+  std::string left;    ///< oracle names
+  std::string right;
+  double left_value = 0.0;
+  double right_value = 0.0;
+  double half_width = 0.0;  ///< CI half-width used (0 if none)
+  Tolerance tolerance;
+  bool pass = true;
+  double excess = 0.0;  ///< overshoot beyond the envelope (0 when passing)
+};
+
+/// Runs one comparison and records it into `checks`; returns pass/fail.
+bool check(std::vector<MetricCheck>& checks, const std::string& metric,
+           const std::string& left_name, double left_value,
+           const std::string& right_name, double right_value,
+           double half_width, const Tolerance& tolerance);
+
+/// Per-metric tolerances for one oracle pair.
+struct MetricTolerances {
+  Tolerance lent;
+  Tolerance borrowed;
+  Tolerance forward_rate;
+  Tolerance utilization;
+  Tolerance utility;
+};
+
+/// The tolerance ladder of the harness, loosest to tightest:
+///  * approx vs detailed — the hierarchical model's documented error bands
+///    (relative error on lent/borrowed/forwarding, absolute on utilization);
+///  * sim vs detailed    — CI-dominated with a small absolute floor;
+///  * sim vs approx      — CI term plus the approx bands;
+///  * exact vs closed form — near machine precision (both are exact).
+struct ToleranceLadder {
+  MetricTolerances approx_vs_detailed;
+  MetricTolerances sim_vs_detailed;
+  MetricTolerances sim_vs_approx;
+  MetricTolerances exact_vs_closed_form;
+
+  /// The defaults documented in docs/ARCHITECTURE.md.
+  [[nodiscard]] static ToleranceLadder defaults();
+};
+
+/// Model-independent sanity invariants of one federation evaluation; returns
+/// human-readable violation messages (empty = all hold). `oracle` prefixes
+/// the messages.
+[[nodiscard]] std::vector<std::string> invariant_violations(
+    const std::string& oracle, const federation::FederationConfig& config,
+    const federation::FederationMetrics& metrics);
+
+}  // namespace scshare::validation

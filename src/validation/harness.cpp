@@ -1,0 +1,467 @@
+#include "validation/harness.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "exec/thread_pool.hpp"
+#include "federation/backend.hpp"
+#include "federation/detailed_model.hpp"
+#include "io/config_io.hpp"
+#include "market/game.hpp"
+#include "markov/lumping.hpp"
+#include "markov/steady_state.hpp"
+#include "obs/metrics.hpp"
+
+namespace scshare::validation {
+namespace {
+
+/// Accepted detailed-utility welfare loss of the approx equilibrium:
+/// gap <= kEquilibriumGapAbs + kEquilibriumGapRel * |welfare_detailed|.
+/// The absolute floor is sized for utilities of order one-to-ten: the two
+/// backends may settle on genuinely different (both valid) equilibria whose
+/// welfare differs by the approximation error, which is what the bound caps.
+constexpr double kEquilibriumGapAbs = 1.0;
+constexpr double kEquilibriumGapRel = 0.5;
+
+/// Eq. (2) divides by (rho^S - rho^0)^gamma, clamped at
+/// UtilityParams::min_utilization_delta. When the utilization delta of either
+/// side sits below this floor the utility is ill-conditioned — simulation
+/// noise alone swings it by orders of magnitude — so the utility comparison
+/// (not the underlying metric comparisons) is skipped for gamma > 0.
+constexpr double kUtilityDeltaFloor = 0.05;
+
+/// Tolerances for the oracle pair (a, b); order-insensitive. closed_form is
+/// exact, so pairs against the exact CTMC use the machine-precision rung and
+/// pairs against stochastic/approximate oracles reuse those oracles' rungs.
+const MetricTolerances& pair_tolerances(const ToleranceLadder& ladder,
+                                        const std::string& a,
+                                        const std::string& b) {
+  const auto is = [&](const char* x, const char* y) {
+    return (a == x && b == y) || (a == y && b == x);
+  };
+  if (is("detailed", "approx")) return ladder.approx_vs_detailed;
+  if (is("detailed", "simulation")) return ladder.sim_vs_detailed;
+  if (is("detailed", "closed_form")) return ladder.exact_vs_closed_form;
+  if (is("approx", "simulation")) return ladder.sim_vs_approx;
+  if (is("approx", "closed_form")) return ladder.exact_vs_closed_form;
+  if (is("simulation", "closed_form")) return ladder.sim_vs_detailed;
+  SCSHARE_ASSERT(false, "unknown oracle pair");
+  return ladder.approx_vs_detailed;
+}
+
+void compare_pair(const ScenarioSpec& spec,
+                  const std::vector<market::Baseline>& baselines,
+                  const OracleRun& left, const OracleRun& right,
+                  const ToleranceLadder& ladder,
+                  std::vector<MetricCheck>& checks) {
+  const MetricTolerances& tol = pair_tolerances(ladder, left.name, right.name);
+  // CI half-widths come from whichever side is the stochastic oracle.
+  const OracleRun* sim = nullptr;
+  if (left.name == "simulation") sim = &left;
+  if (right.name == "simulation") sim = &right;
+
+  for (std::size_t i = 0; i < spec.config.size(); ++i) {
+    const auto tag = [&](const char* metric) {
+      return std::string(metric) + "[" + std::to_string(i) + "]";
+    };
+    const double hw_lent = sim != nullptr ? sim->sim_stats[i].lent_hw : 0.0;
+    const double hw_borrowed =
+        sim != nullptr ? sim->sim_stats[i].borrowed_hw : 0.0;
+    const double hw_forward =
+        sim != nullptr ? sim->sim_stats[i].forward_rate_hw : 0.0;
+    check(checks, tag("lent"), left.name, left.metrics[i].lent, right.name,
+          right.metrics[i].lent, hw_lent, tol.lent);
+    check(checks, tag("borrowed"), left.name, left.metrics[i].borrowed,
+          right.name, right.metrics[i].borrowed, hw_borrowed, tol.borrowed);
+    check(checks, tag("forward_rate"), left.name, left.metrics[i].forward_rate,
+          right.name, right.metrics[i].forward_rate, hw_forward,
+          tol.forward_rate);
+    check(checks, tag("utilization"), left.name, left.metrics[i].utilization,
+          right.name, right.metrics[i].utilization, 0.0, tol.utilization);
+    // Utility noise is driven by the forwarding-cost term of Eq. (1); its
+    // CI half-width is the natural scale for the stochastic envelope. With
+    // gamma > 0 the comparison is meaningful only where the denominator of
+    // Eq. (2) is well away from its clamp on both sides.
+    bool utility_comparable = true;
+    if (spec.utility.gamma > 0.0) {
+      const double delta_left =
+          std::fabs(left.metrics[i].utilization - baselines[i].utilization);
+      const double delta_right =
+          std::fabs(right.metrics[i].utilization - baselines[i].utilization);
+      utility_comparable = delta_left >= kUtilityDeltaFloor &&
+                           delta_right >= kUtilityDeltaFloor;
+    }
+    if (utility_comparable) {
+      check(checks, tag("utility"), left.name, left.utilities[i], right.name,
+            right.utilities[i], hw_forward, tol.utility);
+    }
+  }
+}
+
+/// True when the scenario is small enough for the exhaustive two-backend
+/// equilibrium cross-check.
+bool equilibrium_eligible(const ScenarioSpec& spec) {
+  if (spec.config.size() != 2) return false;
+  for (const auto& sc : spec.config.scs) {
+    if (sc.num_vms > 4) return false;
+  }
+  return true;
+}
+
+EquilibriumCheck run_equilibrium_check(const ScenarioSpec& spec,
+                                       const HarnessOptions& options,
+                                       std::vector<std::string>& errors) {
+  EquilibriumCheck eq;
+  eq.ran = true;
+  try {
+    market::GameOptions game_options;
+    game_options.method = market::BestResponseMethod::kExhaustive;
+    game_options.update_rule = market::UpdateRule::kSequential;
+
+    federation::DetailedModelOptions detailed_options;
+    detailed_options.max_states = options.oracles.detailed_max_states;
+
+    const auto run_game =
+        [&](std::unique_ptr<federation::PerformanceBackend> leaf) {
+          federation::CachingBackend backend(std::move(leaf));
+          market::Game game(spec.config, spec.prices, spec.utility, backend,
+                            game_options);
+          return game.run();
+        };
+    eq.detailed_shares =
+        run_game(std::make_unique<federation::DetailedBackend>(
+                     detailed_options))
+            .shares;
+    eq.approx_shares =
+        run_game(std::make_unique<federation::ApproxBackend>()).shares;
+
+    const auto welfare_under_detailed = [&](const std::vector<int>& shares) {
+      ScenarioSpec at = spec;
+      at.config.shares = shares;
+      const auto metrics =
+          federation::solve_detailed(at.config, detailed_options);
+      double welfare = 0.0;
+      for (double u : utilities_for(at, metrics)) welfare += u;
+      return welfare;
+    };
+    const double w_detailed = welfare_under_detailed(eq.detailed_shares);
+    const double w_approx = welfare_under_detailed(eq.approx_shares);
+    eq.welfare_gap = w_detailed - w_approx;
+    eq.pass = eq.welfare_gap <=
+              kEquilibriumGapAbs + kEquilibriumGapRel * std::fabs(w_detailed);
+  } catch (const Error& e) {
+    eq.pass = false;
+    errors.push_back(std::string("equilibrium check: ") + e.what());
+  }
+  return eq;
+}
+
+ScenarioOutcome run_one(const ScenarioSpec& spec,
+                        const HarnessOptions& options) {
+  ScenarioOutcome out;
+  out.index = spec.index;
+  out.name = spec.name;
+  out.sim_seed = spec.sim_seed;
+  out.config = spec.config;
+  out.oracles = run_oracles(spec, options.oracles);
+
+  for (const auto& run : out.oracles) {
+    if (!run.applicable) continue;
+    if (!run.ok) {
+      out.oracle_errors.push_back(run.name + ": " + run.error);
+      continue;
+    }
+    auto violations =
+        invariant_violations(run.name, spec.config, run.metrics);
+    out.invariant_violations.insert(out.invariant_violations.end(),
+                                    violations.begin(), violations.end());
+  }
+
+  const auto baselines = market::compute_baselines(spec.config, spec.prices);
+  std::vector<MetricCheck> checks;
+  for (std::size_t a = 0; a < out.oracles.size(); ++a) {
+    if (!out.oracles[a].applicable || !out.oracles[a].ok) continue;
+    for (std::size_t b = a + 1; b < out.oracles.size(); ++b) {
+      if (!out.oracles[b].applicable || !out.oracles[b].ok) continue;
+      compare_pair(spec, baselines, out.oracles[a], out.oracles[b],
+                   options.ladder, checks);
+    }
+  }
+  out.comparisons = checks.size();
+  for (auto& entry : checks) {
+    if (!entry.pass) out.failures.push_back(std::move(entry));
+  }
+
+  if (options.check_equilibria && equilibrium_eligible(spec)) {
+    out.equilibrium =
+        run_equilibrium_check(spec, options, out.oracle_errors);
+  }
+  return out;
+}
+
+io::Json to_json(const Tolerance& t) {
+  io::JsonObject out;
+  out["abs"] = t.abs;
+  out["rel"] = t.rel;
+  out["ci_multiplier"] = t.ci_multiplier;
+  return io::Json(std::move(out));
+}
+
+io::Json to_json(const MetricCheck& c) {
+  io::JsonObject out;
+  out["metric"] = c.metric;
+  out["left"] = c.left;
+  out["right"] = c.right;
+  out["left_value"] = c.left_value;
+  out["right_value"] = c.right_value;
+  out["half_width"] = c.half_width;
+  out["tolerance"] = to_json(c.tolerance);
+  out["pass"] = c.pass;
+  out["excess"] = c.excess;
+  return io::Json(std::move(out));
+}
+
+io::Json to_json(const OracleRun& run) {
+  io::JsonObject out;
+  out["name"] = run.name;
+  out["applicable"] = run.applicable;
+  out["ok"] = run.ok;
+  if (!run.error.empty()) out["error"] = run.error;
+  if (run.ok) {
+    out["metrics"] = io::to_json(run.metrics);
+    io::JsonArray utilities;
+    for (double u : run.utilities) utilities.emplace_back(u);
+    out["utilities"] = io::Json(std::move(utilities));
+    if (!run.sim_stats.empty()) {
+      io::JsonArray half_widths;
+      for (const auto& s : run.sim_stats) {
+        io::JsonObject hw;
+        hw["lent"] = s.lent_hw;
+        hw["borrowed"] = s.borrowed_hw;
+        hw["forward_rate"] = s.forward_rate_hw;
+        half_widths.emplace_back(std::move(hw));
+      }
+      out["ci_half_widths"] = io::Json(std::move(half_widths));
+    }
+  }
+  return io::Json(std::move(out));
+}
+
+io::Json to_json(const EquilibriumCheck& eq) {
+  io::JsonObject out;
+  out["ran"] = eq.ran;
+  if (eq.ran) {
+    io::JsonArray detailed, approx;
+    for (int s : eq.detailed_shares) detailed.emplace_back(s);
+    for (int s : eq.approx_shares) approx.emplace_back(s);
+    out["detailed_shares"] = io::Json(std::move(detailed));
+    out["approx_shares"] = io::Json(std::move(approx));
+    out["welfare_gap"] = eq.welfare_gap;
+  }
+  out["pass"] = eq.pass;
+  return io::Json(std::move(out));
+}
+
+io::Json to_json(const ScenarioOutcome& outcome) {
+  io::JsonObject out;
+  out["index"] = static_cast<double>(outcome.index);
+  out["name"] = outcome.name;
+  out["sim_seed"] = static_cast<double>(outcome.sim_seed);
+  out["config"] = io::to_json(outcome.config);
+  out["pass"] = outcome.pass();
+  out["comparisons"] = static_cast<double>(outcome.comparisons);
+  io::JsonArray oracles, failures, invariants, errors;
+  for (const auto& run : outcome.oracles) oracles.push_back(to_json(run));
+  for (const auto& f : outcome.failures) failures.push_back(to_json(f));
+  for (const auto& v : outcome.invariant_violations) invariants.emplace_back(v);
+  for (const auto& e : outcome.oracle_errors) errors.emplace_back(e);
+  out["oracles"] = io::Json(std::move(oracles));
+  out["failures"] = io::Json(std::move(failures));
+  out["invariant_violations"] = io::Json(std::move(invariants));
+  out["oracle_errors"] = io::Json(std::move(errors));
+  out["equilibrium"] = to_json(outcome.equilibrium);
+  return io::Json(std::move(out));
+}
+
+}  // namespace
+
+ValidationReport run_validation(const HarnessOptions& options) {
+  require(options.threads >= 1, "HarnessOptions: threads must be >= 1");
+
+  std::vector<ScenarioSpec> specs;
+  if (!options.explicit_scenarios.empty()) {
+    specs = options.explicit_scenarios;
+  } else {
+    require(options.scenarios >= 1,
+            "HarnessOptions: at least one scenario required");
+    const ScenarioGenerator generator(options.seed, options.generator);
+    specs.reserve(options.scenarios);
+    for (std::size_t i = 0; i < options.scenarios; ++i) {
+      specs.push_back(generator.make(i));
+    }
+  }
+
+  ValidationReport report;
+  report.seed = options.seed;
+  report.scenarios = specs.size();
+  report.outcomes.resize(specs.size());
+
+  // Scenario-level fan-out. Every scenario is self-contained (own seeds, own
+  // models), and outcomes land in a pre-sized vector by index, so the report
+  // is identical at any thread count.
+  const auto run_index = [&](std::size_t i) {
+    report.outcomes[i] = run_one(specs[i], options);
+  };
+  if (options.threads > 1) {
+    exec::ThreadPool pool(options.threads);
+    pool.parallel_for(specs.size(), run_index);
+  } else {
+    for (std::size_t i = 0; i < specs.size(); ++i) run_index(i);
+  }
+
+  auto& registry = obs::MetricsRegistry::global();
+  for (const auto& outcome : report.outcomes) {
+    report.comparisons += outcome.comparisons;
+    report.disagreements += outcome.failures.size() +
+                            outcome.invariant_violations.size() +
+                            outcome.oracle_errors.size() +
+                            (outcome.equilibrium.pass ? 0 : 1);
+  }
+  registry.counter("validation.scenarios").add(report.scenarios);
+  registry.counter("validation.comparisons").add(report.comparisons);
+  registry.counter("validation.disagreements").add(report.disagreements);
+  return report;
+}
+
+io::Json to_json(const ValidationReport& report) {
+  io::JsonObject out;
+  out["seed"] = static_cast<double>(report.seed);
+  out["scenarios"] = static_cast<double>(report.scenarios);
+  out["comparisons"] = static_cast<double>(report.comparisons);
+  out["disagreements"] = static_cast<double>(report.disagreements);
+  out["pass"] = report.pass();
+  io::JsonArray outcomes;
+  for (const auto& outcome : report.outcomes) {
+    outcomes.push_back(to_json(outcome));
+  }
+  out["outcomes"] = io::Json(std::move(outcomes));
+  return io::Json(std::move(out));
+}
+
+// ---- metamorphic properties ----------------------------------------------
+
+std::vector<std::string> check_pool_monotonicity(
+    const federation::FederationConfig& base, std::size_t observer,
+    std::size_t donor, int max_share, double slack) {
+  std::vector<std::string> violations;
+  require(observer < base.size() && donor < base.size() && observer != donor,
+          "check_pool_monotonicity: observer/donor out of range");
+  require(max_share <= base.scs[donor].num_vms,
+          "check_pool_monotonicity: max_share exceeds the donor's VMs");
+  federation::FederationConfig config = base;
+  double previous = std::numeric_limits<double>::infinity();
+  for (int share = 0; share <= max_share; ++share) {
+    config.shares[donor] = share;
+    const auto metrics = federation::solve_detailed(config);
+    const double forward = metrics[observer].forward_rate;
+    if (forward > previous + slack) {
+      violations.push_back(
+          "forward_rate[" + std::to_string(observer) + "] rose from " +
+          std::to_string(previous) + " to " + std::to_string(forward) +
+          " when donor " + std::to_string(donor) + "'s share grew to " +
+          std::to_string(share));
+    }
+    previous = forward;
+  }
+  return violations;
+}
+
+std::vector<std::string> check_relabel_invariance(
+    const federation::FederationConfig& config,
+    const std::vector<std::size_t>& permutation, double slack) {
+  std::vector<std::string> violations;
+  require(permutation.size() == config.size(),
+          "check_relabel_invariance: permutation size mismatch");
+
+  federation::FederationConfig permuted = config;
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    permuted.scs[i] = config.scs[permutation[i]];
+    permuted.shares[i] = config.shares[permutation[i]];
+  }
+
+  const auto original = federation::solve_detailed(config);
+  const auto relabeled = federation::solve_detailed(permuted);
+  const auto compare = [&](std::size_t i, const char* metric, double a,
+                           double b) {
+    if (std::fabs(a - b) > slack) {
+      violations.push_back(std::string(metric) + "[" + std::to_string(i) +
+                           "]: " + std::to_string(b) +
+                           " after relabeling vs " + std::to_string(a));
+    }
+  };
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    const auto& a = original[permutation[i]];
+    const auto& b = relabeled[i];
+    compare(i, "lent", a.lent, b.lent);
+    compare(i, "borrowed", a.borrowed, b.borrowed);
+    compare(i, "forward_rate", a.forward_rate, b.forward_rate);
+    compare(i, "utilization", a.utilization, b.utilization);
+  }
+  return violations;
+}
+
+std::vector<std::string> check_lumping_equivalence(std::uint64_t seed,
+                                                   std::size_t num_states,
+                                                   double slack) {
+  std::vector<std::string> violations;
+  require(num_states >= 2, "check_lumping_equivalence: need >= 2 states");
+
+  // Random irreducible chain: a ring guarantees one recurrent class, extra
+  // random edges give it structure. Rates come from a small grid so exit-rate
+  // collisions are common and the lumping refinement does real merging work
+  // instead of degenerating to singleton blocks.
+  Rng rng(seed);
+  markov::Ctmc chain(num_states);
+  const auto grid_rate = [&rng]() {
+    return 0.5 * static_cast<double>(1 + rng.next_below(3));
+  };
+  for (std::size_t s = 0; s < num_states; ++s) {
+    chain.add_rate(s, (s + 1) % num_states, grid_rate());
+  }
+  for (std::size_t e = 0; e < 2 * num_states; ++e) {
+    const std::size_t from = rng.next_below(num_states);
+    const std::size_t to = rng.next_below(num_states);
+    if (from == to) continue;
+    chain.add_rate(from, to, grid_rate());
+  }
+  chain.finalize();
+
+  const auto full = markov::solve_steady_state(chain);
+  if (!full.converged) {
+    violations.push_back("full chain failed to converge");
+    return violations;
+  }
+  const auto lumping = markov::lump(chain);
+  const auto lumped = markov::solve_steady_state(lumping.lumped);
+  if (!lumped.converged) {
+    violations.push_back("lumped chain failed to converge");
+    return violations;
+  }
+  const auto aggregated = markov::aggregate_distribution(lumping, full.pi);
+  for (std::size_t block = 0; block < lumping.num_blocks; ++block) {
+    if (std::fabs(aggregated[block] - lumped.pi[block]) > slack) {
+      violations.push_back(
+          "block " + std::to_string(block) + ": aggregated " +
+          std::to_string(aggregated[block]) + " vs lumped " +
+          std::to_string(lumped.pi[block]));
+    }
+  }
+  return violations;
+}
+
+}  // namespace scshare::validation

@@ -1,0 +1,124 @@
+// Differential validation harness: random scenarios × oracle registry ×
+// statistical comparator, reduced to a deterministic machine-readable report.
+//
+// For each scenario the harness
+//   1. runs every applicable oracle (validation/oracles.hpp),
+//   2. checks model-independent invariants on each result,
+//   3. compares every oracle pair per SC per metric under the tolerance
+//      ladder (validation/comparator.hpp),
+//   4. on small two-SC scenarios, cross-checks the game equilibrium computed
+//      on the detailed backend against the approx backend's (measured as the
+//      detailed-utility welfare gap between the two equilibria),
+// and aggregates everything into a ValidationReport whose JSON encoding is
+// byte-identical at any --threads value: scenarios are self-seeded
+// (exec::task_seed), outcomes are stored by index, and nothing
+// schedule-dependent (wall time, thread ids) enters the report.
+//
+// Progress counters land in obs::MetricsRegistry::global() under
+// `validation.*`; the CLI front end is tools/scshare_validate.cpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/json.hpp"
+#include "validation/comparator.hpp"
+#include "validation/oracles.hpp"
+#include "validation/scenario.hpp"
+
+namespace scshare::validation {
+
+struct HarnessOptions {
+  std::size_t scenarios = 50;   ///< generated scenarios (ignored with `explicit_scenarios`)
+  std::uint64_t seed = 42;      ///< base seed of the scenario generator
+  std::size_t threads = 1;      ///< scenario-level parallelism (1 = serial)
+  /// When non-empty these scenarios are validated instead of generated ones
+  /// (e.g. examples/configs/validation_corner_cases.json).
+  std::vector<ScenarioSpec> explicit_scenarios;
+  GeneratorOptions generator;
+  OracleOptions oracles;
+  ToleranceLadder ladder = ToleranceLadder::defaults();
+  /// Cross-check game equilibria (detailed vs approx backend) on scenarios
+  /// small enough for exhaustive best responses (two SCs, few VMs).
+  bool check_equilibria = true;
+};
+
+/// Equilibrium cross-check outcome (only on qualifying scenarios).
+struct EquilibriumCheck {
+  bool ran = false;
+  std::vector<int> detailed_shares;  ///< S* under the detailed backend
+  std::vector<int> approx_shares;    ///< S* under the approx backend
+  /// Welfare gap under *detailed* utilities:
+  ///   sum_i U_i^det(S*_det) - sum_i U_i^det(S*_app) (>= 0 when the approx
+  /// equilibrium loses welfare; small gaps mean the approximation steers the
+  /// market to an (almost) equally good operating point).
+  double welfare_gap = 0.0;
+  bool pass = true;
+};
+
+/// Everything recorded about one scenario.
+struct ScenarioOutcome {
+  std::size_t index = 0;
+  std::string name;
+  std::uint64_t sim_seed = 0;
+  federation::FederationConfig config;
+  /// Oracle status (fixed order: detailed, approx, simulation, closed_form).
+  std::vector<OracleRun> oracles;
+  std::size_t comparisons = 0;       ///< metric checks performed
+  std::vector<MetricCheck> failures; ///< only the failing checks (space)
+  std::vector<std::string> invariant_violations;
+  std::vector<std::string> oracle_errors;  ///< applicable-but-failed oracles
+  EquilibriumCheck equilibrium;
+  [[nodiscard]] bool pass() const {
+    return failures.empty() && invariant_violations.empty() &&
+           oracle_errors.empty() && equilibrium.pass;
+  }
+};
+
+struct ValidationReport {
+  std::uint64_t seed = 0;
+  std::size_t scenarios = 0;
+  std::size_t comparisons = 0;
+  std::size_t disagreements = 0;  ///< failed checks + invariant/oracle failures
+  std::vector<ScenarioOutcome> outcomes;
+  [[nodiscard]] bool pass() const { return disagreements == 0; }
+};
+
+/// Runs the full harness. Deterministic for fixed options (thread count
+/// included — see the header comment).
+[[nodiscard]] ValidationReport run_validation(const HarnessOptions& options);
+
+/// JSON encoding of the report (deterministic: io::Json objects are ordered
+/// maps and numbers print reproducibly).
+[[nodiscard]] io::Json to_json(const ValidationReport& report);
+
+// ---- metamorphic properties ----------------------------------------------
+//
+// Each check returns human-readable violation messages (empty = property
+// holds). They are exercised by tests/test_validation.cpp and documented in
+// docs/ARCHITECTURE.md.
+
+/// P̄ of SC `observer` is monotone non-increasing in the pooled capacity:
+/// raising donor shares step by step must never increase the observer's
+/// forwarding rate (detailed model; `slack` absorbs solver tolerance).
+[[nodiscard]] std::vector<std::string> check_pool_monotonicity(
+    const federation::FederationConfig& base, std::size_t observer,
+    std::size_t donor, int max_share, double slack = 1e-6);
+
+/// Detailed-model metrics are equivariant under SC relabeling: permuting the
+/// SCs permutes the per-SC metrics and nothing else. (The approx hierarchy
+/// is order-dependent by design, so this property is exact only for the
+/// detailed model.)
+[[nodiscard]] std::vector<std::string> check_relabel_invariance(
+    const federation::FederationConfig& config,
+    const std::vector<std::size_t>& permutation, double slack = 1e-7);
+
+/// Lumped and unlumped steady states agree: for a random chain drawn from
+/// `seed`, the aggregated stationary distribution of the full chain matches
+/// the stationary distribution of the lumped chain.
+[[nodiscard]] std::vector<std::string> check_lumping_equivalence(
+    std::uint64_t seed, std::size_t num_states, double slack = 1e-8);
+
+}  // namespace scshare::validation

@@ -1,0 +1,154 @@
+#include "validation/oracles.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "federation/approx_model.hpp"
+#include "federation/detailed_model.hpp"
+#include "market/cost.hpp"
+#include "market/utility.hpp"
+#include "queueing/no_share_model.hpp"
+
+namespace scshare::validation {
+namespace {
+
+int total_shares(const federation::FederationConfig& config) {
+  int total = 0;
+  for (int s : config.shares) total += s;
+  return total;
+}
+
+OracleRun run_detailed(const ScenarioSpec& spec, const OracleOptions& options) {
+  OracleRun run;
+  run.name = "detailed";
+  federation::DetailedModelOptions model_options;
+  model_options.max_states = options.detailed_max_states;
+  try {
+    run.metrics = federation::solve_detailed(spec.config, model_options);
+    run.applicable = true;
+    run.ok = true;
+  } catch (const Error& e) {
+    // A state-space blow-up is expected on large scenarios: the oracle is
+    // inapplicable there, not broken. Any other typed failure is a real
+    // error the harness must surface.
+    const std::string what = e.what();
+    if (what.find("states") != std::string::npos) {
+      run.applicable = false;
+      run.error = what;
+    } else {
+      run.applicable = true;
+      run.ok = false;
+      run.error = what;
+    }
+  }
+  if (run.ok) run.utilities = utilities_for(spec, run.metrics);
+  return run;
+}
+
+OracleRun run_approx(const ScenarioSpec& spec, const OracleOptions& options) {
+  OracleRun run;
+  run.name = "approx";
+  run.applicable = true;
+  try {
+    run.metrics = federation::solve_approx(spec.config);
+    run.ok = true;
+  } catch (const Error& e) {
+    run.ok = false;
+    run.error = e.what();
+  }
+  if (run.ok && options.flip_approx_forward_sign) {
+    for (auto& m : run.metrics) {
+      m.forward_rate = -m.forward_rate;
+      m.forward_prob = -m.forward_prob;
+    }
+  }
+  if (run.ok) run.utilities = utilities_for(spec, run.metrics);
+  return run;
+}
+
+OracleRun run_simulation(const ScenarioSpec& spec,
+                         const OracleOptions& options) {
+  OracleRun run;
+  run.name = "simulation";
+  run.applicable = true;
+  sim::SimOptions sim_options;
+  sim_options.warmup_time = options.sim_warmup_time;
+  sim_options.measure_time = options.sim_measure_time;
+  sim_options.batches = options.sim_batches;
+  sim_options.warmup_batches = options.sim_warmup_batches;
+  sim_options.seed = spec.sim_seed;
+  try {
+    sim::Simulator simulator(spec.config, sim_options);
+    run.sim_stats = simulator.run();
+    run.metrics.resize(spec.config.size());
+    for (std::size_t i = 0; i < run.sim_stats.size(); ++i) {
+      run.metrics[i] = run.sim_stats[i].metrics;
+    }
+    run.ok = true;
+  } catch (const Error& e) {
+    run.ok = false;
+    run.error = e.what();
+  }
+  if (run.ok) run.utilities = utilities_for(spec, run.metrics);
+  return run;
+}
+
+OracleRun run_closed_form(const ScenarioSpec& spec) {
+  OracleRun run;
+  run.name = "closed_form";
+  if (total_shares(spec.config) != 0) {
+    run.applicable = false;
+    run.error = "closed form requires an all-zero sharing vector";
+    return run;
+  }
+  run.applicable = true;
+  try {
+    run.metrics.resize(spec.config.size());
+    for (std::size_t i = 0; i < spec.config.size(); ++i) {
+      const auto& sc = spec.config.scs[i];
+      queueing::NoShareParams params;
+      params.num_vms = sc.num_vms;
+      params.lambda = sc.lambda;
+      params.mu = sc.mu;
+      params.max_wait = sc.max_wait;
+      params.truncation_epsilon = spec.config.truncation_epsilon;
+      const auto result = queueing::solve_no_share(params);
+      run.metrics[i].forward_rate = result.forward_rate;
+      run.metrics[i].forward_prob = result.forward_prob;
+      run.metrics[i].utilization = result.utilization;
+    }
+    run.ok = true;
+  } catch (const Error& e) {
+    run.ok = false;
+    run.error = e.what();
+  }
+  if (run.ok) run.utilities = utilities_for(spec, run.metrics);
+  return run;
+}
+
+}  // namespace
+
+std::vector<double> utilities_for(const ScenarioSpec& spec,
+                                  const federation::FederationMetrics& metrics) {
+  const auto baselines = market::compute_baselines(spec.config, spec.prices);
+  std::vector<double> utilities(spec.config.size(), 0.0);
+  for (std::size_t i = 0; i < spec.config.size(); ++i) {
+    utilities[i] = market::sc_utility(
+        metrics[i], baselines[i], spec.prices.public_price[i],
+        spec.prices.federation_price, spec.config.shares[i], spec.utility,
+        spec.prices.power_price, spec.config.scs[i].num_vms);
+  }
+  return utilities;
+}
+
+std::vector<OracleRun> run_oracles(const ScenarioSpec& spec,
+                                   const OracleOptions& options) {
+  std::vector<OracleRun> runs;
+  runs.push_back(run_detailed(spec, options));
+  runs.push_back(run_approx(spec, options));
+  runs.push_back(run_simulation(spec, options));
+  runs.push_back(run_closed_form(spec));
+  return runs;
+}
+
+}  // namespace scshare::validation

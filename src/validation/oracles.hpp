@@ -1,0 +1,72 @@
+// Oracle registry of the validation harness: every independent way the
+// library can evaluate a federation, run side by side on one scenario.
+//
+//  * detailed     — the exact CTMC (ground truth; only feasible when the
+//                   joint state space stays small, so it reports itself
+//                   inapplicable on large scenarios instead of failing);
+//  * approx       — the hierarchical approximation (always applicable);
+//  * simulation   — the discrete-event simulator with batch-means CIs,
+//                   seeded per scenario for reproducibility;
+//  * closed_form  — per-SC birth–death solutions (Sect. III-A), applicable
+//                   exactly when the sharing vector is all-zero and the
+//                   federation decouples.
+//
+// Each oracle also derives the Eq. (2) utilities from its metrics (same
+// baselines, same prices), so the harness compares the economics layer on
+// top of the performance layer.
+//
+// `flip_approx_forward_sign` is the harness's built-in fault: it negates the
+// approx oracle's forwarding metrics after the solve. It exists so the test
+// suite can prove the harness catches a wrong-sign regression (see
+// tests/test_validation.cpp) — never enable it outside that self-test.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "federation/config.hpp"
+#include "federation/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "validation/scenario.hpp"
+
+namespace scshare::validation {
+
+struct OracleOptions {
+  /// State-count ceiling for the detailed CTMC; scenarios whose joint chain
+  /// would exceed it mark the oracle inapplicable (not failed).
+  std::size_t detailed_max_states = 300'000;
+  /// Simulation windows. Kept short: the CI term of the tolerance ladder
+  /// absorbs the noise, and 200 scenarios must finish in CI minutes.
+  double sim_warmup_time = 300.0;
+  double sim_measure_time = 6000.0;
+  std::size_t sim_batches = 12;
+  std::size_t sim_warmup_batches = 2;
+  /// Self-test fault: negate the approx oracle's forward_rate/forward_prob.
+  bool flip_approx_forward_sign = false;
+};
+
+/// Outcome of one oracle on one scenario.
+struct OracleRun {
+  std::string name;
+  bool applicable = false;  ///< false: skipped by design (with `error` = why)
+  bool ok = false;          ///< true: metrics/utilities are valid
+  std::string error;        ///< failure or inapplicability reason
+  federation::FederationMetrics metrics;
+  std::vector<double> utilities;  ///< Eq. (2) per SC, from this oracle's metrics
+  /// Per-SC CI half-widths (simulation only; empty otherwise). Order:
+  /// lent, borrowed, forward_rate per SC.
+  std::vector<sim::ScSimStats> sim_stats;
+};
+
+/// Runs every oracle on `spec`. Result order is fixed: detailed, approx,
+/// simulation, closed_form — the harness and report rely on it.
+[[nodiscard]] std::vector<OracleRun> run_oracles(const ScenarioSpec& spec,
+                                                 const OracleOptions& options);
+
+/// Eq. (2) utilities from arbitrary metrics under the scenario's prices
+/// (shared by the oracles and the equilibrium cross-check).
+[[nodiscard]] std::vector<double> utilities_for(
+    const ScenarioSpec& spec, const federation::FederationMetrics& metrics);
+
+}  // namespace scshare::validation

@@ -1,0 +1,168 @@
+#include "validation/scenario.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "exec/executor.hpp"
+#include "io/config_io.hpp"
+
+namespace scshare::validation {
+namespace {
+
+federation::ScConfig make_sc(int num_vms, double lambda, double mu,
+                             double max_wait) {
+  federation::ScConfig sc;
+  sc.num_vms = num_vms;
+  sc.lambda = lambda;
+  sc.mu = mu;
+  sc.max_wait = max_wait;
+  return sc;
+}
+
+market::PriceConfig default_prices(std::size_t num_scs,
+                                   double federation_price = 0.5) {
+  market::PriceConfig prices;
+  prices.public_price.assign(num_scs, 1.0);
+  prices.federation_price = federation_price;
+  return prices;
+}
+
+/// The fixed degenerate corners, cycled through in order. Each reduces (part
+/// of) the federation to a closed form the comparator can check exactly.
+ScenarioSpec make_corner(std::size_t which) {
+  ScenarioSpec spec;
+  switch (which % 6) {
+    case 0: {
+      // Zero SLA wait: arrivals finding all VMs busy are always forwarded,
+      // so the SC is an M/M/c/c loss system and forward_prob is Erlang-B.
+      spec.name = "corner:mmc-erlang-b";
+      spec.config.scs = {make_sc(5, 3.5, 1.0, 0.0)};
+      spec.config.shares = {0};
+      break;
+    }
+    case 1: {
+      // Huge SLA wait at light load: (almost) nothing is ever forwarded and
+      // the SC behaves as a plain M/M/c with utilization lambda / (c mu).
+      spec.name = "corner:mmc-light-traffic";
+      spec.config.scs = {make_sc(6, 3.0, 1.0, 50.0)};
+      spec.config.shares = {0};
+      break;
+    }
+    case 2: {
+      // All-zero sharing vector: the federation decouples into standalone
+      // SCs, each solvable by the birth-death closed form (Sect. III-A).
+      spec.name = "corner:zero-shares";
+      spec.config.scs = {make_sc(4, 2.5, 1.0, 0.2), make_sc(5, 4.0, 1.0, 0.1),
+                         make_sc(3, 1.5, 0.5, 0.3)};
+      spec.config.shares = {0, 0, 0};
+      break;
+    }
+    case 3: {
+      // Saturated public cloud: lambda far above capacity. Forwarding
+      // dominates; checks the heavy-traffic regime where the approximation
+      // error peaks.
+      spec.name = "corner:saturated-public-cloud";
+      spec.config.scs = {make_sc(4, 12.0, 1.0, 0.2)};
+      spec.config.shares = {0};
+      break;
+    }
+    case 4: {
+      // Free federation VMs (C^G = 0): pure performance play. Metrics are
+      // price-independent, so the oracles must still agree; the utility
+      // comparison exercises the zero-price branch of Eq. (1).
+      spec.name = "corner:zero-price-federation";
+      spec.config.scs = {make_sc(4, 3.0, 1.0, 0.2), make_sc(4, 2.0, 1.0, 0.2)};
+      spec.config.shares = {2, 2};
+      spec.prices = default_prices(2, 0.0);
+      break;
+    }
+    default: {
+      // Identical SCs with identical shares: every per-SC metric must be
+      // symmetric across the two (and stays so under relabeling).
+      spec.name = "corner:identical-scs";
+      spec.config.scs = {make_sc(4, 2.8, 1.0, 0.2), make_sc(4, 2.8, 1.0, 0.2)};
+      spec.config.shares = {2, 2};
+      break;
+    }
+  }
+  if (spec.prices.public_price.empty()) {
+    spec.prices = default_prices(spec.config.size());
+  }
+  return spec;
+}
+
+}  // namespace
+
+ScenarioGenerator::ScenarioGenerator(std::uint64_t base_seed,
+                                     GeneratorOptions options)
+    : base_seed_(base_seed), options_(options) {
+  require(options_.max_scs >= 1, "GeneratorOptions: max_scs must be >= 1");
+  require(options_.max_vms >= 2, "GeneratorOptions: max_vms must be >= 2");
+}
+
+ScenarioSpec ScenarioGenerator::make(std::size_t index) const {
+  // One independent stream per scenario: the draw sequence of scenario i can
+  // never shift because another scenario changed shape.
+  Rng rng(exec::task_seed(base_seed_, index));
+
+  ScenarioSpec spec;
+  if (index % kCornerPeriod == 0) {
+    spec = make_corner(index / kCornerPeriod);
+  } else {
+    spec.name = "random";
+    const std::size_t num_scs = 1 + rng.next_below(options_.max_scs);
+    for (std::size_t i = 0; i < num_scs; ++i) {
+      const int num_vms =
+          2 + static_cast<int>(rng.next_below(
+                  static_cast<std::uint64_t>(options_.max_vms - 1)));
+      // mu from a small grid; lambda as a load factor in [0.3, 1.1) of
+      // capacity so scenarios span light load through overload.
+      const double mu = 0.5 * static_cast<double>(1 + rng.next_below(4));
+      const double load = 0.3 + 0.8 * rng.next_double();
+      const double lambda = load * num_vms * mu;
+      // max_wait grid includes the zero-wait (loss-system) boundary.
+      static constexpr double kWaits[] = {0.0, 0.1, 0.2, 0.5};
+      const double max_wait = kWaits[rng.next_below(4)];
+      spec.config.scs.push_back(make_sc(num_vms, lambda, mu, max_wait));
+      const int max_share = spec.config.scs.back().num_vms / 2;
+      spec.config.shares.push_back(static_cast<int>(
+          rng.next_below(static_cast<std::uint64_t>(max_share + 1))));
+    }
+    spec.prices = default_prices(num_scs, 0.2 + 0.7 * rng.next_double());
+    spec.utility.gamma = rng.bernoulli(0.5) ? 1.0 : 0.0;
+  }
+  spec.index = index;
+  spec.sim_seed = exec::task_seed(base_seed_ ^ 0xa5a5a5a5a5a5a5a5ULL, index);
+  spec.config.validate();
+  spec.prices.validate(spec.config.size());
+  return spec;
+}
+
+std::vector<ScenarioSpec> parse_scenarios(const io::Json& json) {
+  std::vector<ScenarioSpec> specs;
+  const auto& list = json.at("scenarios").as_array();
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    const io::Json& entry = list[i];
+    ScenarioSpec spec;
+    spec.index = i;
+    spec.name = entry.get_or("name", std::string("scenario"));
+    spec.sim_seed =
+        static_cast<std::uint64_t>(entry.get_or("sim_seed", 1));
+    spec.config = io::parse_federation(entry.at("federation"));
+    if (entry.contains("prices")) {
+      spec.prices = io::parse_prices(entry.at("prices"), spec.config.size());
+    } else {
+      spec.prices.public_price.assign(spec.config.size(), 1.0);
+      spec.prices.federation_price = 0.5;
+    }
+    if (entry.contains("utility")) {
+      spec.utility = io::parse_utility(entry.at("utility"));
+    }
+    specs.push_back(std::move(spec));
+  }
+  require(!specs.empty(), "scenario file contains no scenarios");
+  return specs;
+}
+
+}  // namespace scshare::validation

@@ -1,0 +1,74 @@
+// Seeded random-scenario generation for the differential validation harness.
+//
+// A scenario is one federation (configs, prices, utility parameters) plus the
+// seed its stochastic oracles (the simulator) must use. Generation is
+// deterministic per (base seed, index) — exec::task_seed derives an
+// independent, platform-stable stream for every index, so scenario #17 of a
+// seed-42 run is the same federation on every machine and at every thread
+// count. A failing scenario is therefore reproduced from just its (seed,
+// index) pair; see docs/ARCHITECTURE.md ("Validation").
+//
+// Every kCornerPeriod-th index yields a fixed degenerate corner instead of a
+// random draw. The corners pin the models against closed forms: a zero-wait
+// single SC is an M/M/c/c loss system (Erlang-B blocking), a huge-wait
+// lightly-loaded SC is a plain M/M/c, an all-zero sharing vector decouples
+// into per-SC birth-death chains (queueing::solve_no_share), and so on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "federation/config.hpp"
+#include "io/json.hpp"
+#include "market/cost.hpp"
+#include "market/utility.hpp"
+
+namespace scshare::validation {
+
+/// One self-contained validation scenario.
+struct ScenarioSpec {
+  std::size_t index = 0;     ///< position in the run (stable identifier)
+  std::string name;          ///< "random" or "corner:<case>"
+  std::uint64_t sim_seed = 1;  ///< seed for the simulation oracle
+  federation::FederationConfig config;
+  market::PriceConfig prices;
+  market::UtilityParams utility;
+};
+
+struct GeneratorOptions {
+  /// Largest federation drawn (small: the detailed CTMC must stay feasible
+  /// often enough to anchor the other oracles).
+  std::size_t max_scs = 3;
+  /// Largest per-SC VM count drawn.
+  int max_vms = 6;
+};
+
+/// Deterministic scenario factory: make(i) depends only on (base_seed, i).
+class ScenarioGenerator {
+ public:
+  explicit ScenarioGenerator(std::uint64_t base_seed,
+                             GeneratorOptions options = {});
+
+  /// Every this-many indices a fixed corner case replaces the random draw.
+  static constexpr std::size_t kCornerPeriod = 5;
+
+  [[nodiscard]] ScenarioSpec make(std::size_t index) const;
+
+ private:
+  std::uint64_t base_seed_;
+  GeneratorOptions options_;
+};
+
+/// Parses a scenario list from JSON (the format of
+/// examples/configs/validation_corner_cases.json):
+///   {"scenarios": [{"name": ..., "sim_seed": ...,
+///                   "federation": {...}, "prices": {...},
+///                   "utility": {...}}, ...]}
+/// `federation`/`prices`/`utility` use the io::config_io schemas; `prices`
+/// and `utility` are optional (defaults: unit public price, C^G = 0.5,
+/// gamma = 0).
+[[nodiscard]] std::vector<ScenarioSpec> parse_scenarios(const io::Json& json);
+
+}  // namespace scshare::validation

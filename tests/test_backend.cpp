@@ -14,6 +14,16 @@ fed::FederationConfig small() {
   return cfg;
 }
 
+/// One-element-batch helper: unwraps the EvalResult, throwing on failure.
+fed::FederationMetrics eval_one(fed::PerformanceBackend& backend,
+                                const fed::FederationConfig& config) {
+  fed::EvalRequest request;
+  request.config = config;
+  auto results = backend.evaluate_batch({&request, 1});
+  if (!results.front().ok) throw results.front().to_error();
+  return std::move(results.front().metrics);
+}
+
 /// Counts evaluations so caching behaviour is observable.
 class CountingBackend final : public fed::ComputeBackend {
  public:
@@ -50,17 +60,17 @@ TEST(Backends, CachingMemoizesBySharingVector) {
   fed::CachingBackend backend(std::move(counting));
 
   auto cfg = small();
-  (void)backend.evaluate(cfg);
-  (void)backend.evaluate(cfg);
+  (void)eval_one(backend, cfg);
+  (void)eval_one(backend, cfg);
   EXPECT_EQ(raw->calls, 1);
 
   cfg.shares = {1, 2};
-  (void)backend.evaluate(cfg);
+  (void)eval_one(backend, cfg);
   EXPECT_EQ(raw->calls, 2);
   EXPECT_EQ(backend.cache_size(), 2u);
 
   cfg.shares = {2, 2};
-  const auto m = backend.evaluate(cfg);
+  const auto m = eval_one(backend, cfg);
   EXPECT_EQ(raw->calls, 2);  // cache hit
   EXPECT_DOUBLE_EQ(m[0].lent, 2.0);
 }
@@ -70,11 +80,11 @@ TEST(Backends, CachingAccountsHitsAndMisses) {
   fed::CachingBackend backend(std::move(counting));
 
   auto cfg = small();
-  (void)backend.evaluate(cfg);  // miss
-  (void)backend.evaluate(cfg);  // hit
-  (void)backend.evaluate(cfg);  // hit
+  (void)eval_one(backend, cfg);  // miss
+  (void)eval_one(backend, cfg);  // hit
+  (void)eval_one(backend, cfg);  // hit
   cfg.shares = {1, 2};
-  (void)backend.evaluate(cfg);  // miss
+  (void)eval_one(backend, cfg);  // miss
 
   EXPECT_EQ(backend.hits(), 2u);
   EXPECT_EQ(backend.misses(), 2u);
@@ -89,22 +99,22 @@ TEST(Backends, CachingEvictsFifoWhenBounded) {
 
   auto cfg = small();
   cfg.shares = {2, 2};
-  (void)backend.evaluate(cfg);  // miss: cache {2,2}
+  (void)eval_one(backend, cfg);  // miss: cache {2,2}
   cfg.shares = {1, 2};
-  (void)backend.evaluate(cfg);  // miss: cache {2,2} {1,2}
+  (void)eval_one(backend, cfg);  // miss: cache {2,2} {1,2}
   cfg.shares = {0, 2};
-  (void)backend.evaluate(cfg);  // miss: evicts oldest {2,2}
+  (void)eval_one(backend, cfg);  // miss: evicts oldest {2,2}
   EXPECT_EQ(backend.evictions(), 1u);
   EXPECT_EQ(backend.cache_size(), 2u);
 
   cfg.shares = {2, 2};
-  (void)backend.evaluate(cfg);  // evicted above, so this is a miss again
+  (void)eval_one(backend, cfg);  // evicted above, so this is a miss again
   EXPECT_EQ(raw->calls, 4);
   EXPECT_EQ(backend.evictions(), 2u);
   EXPECT_EQ(backend.cache_size(), 2u);
 
   cfg.shares = {0, 2};
-  (void)backend.evaluate(cfg);  // still resident: a hit, no eviction
+  (void)eval_one(backend, cfg);  // still resident: a hit, no eviction
   EXPECT_EQ(raw->calls, 4);
   EXPECT_EQ(backend.hits(), 1u);
 }
@@ -114,8 +124,8 @@ TEST(Backends, DetailedAndApproxAgreeOnDecoupledFederation) {
   cfg.shares = {0, 0};  // no interaction: both must be exact
   fed::DetailedBackend detailed;
   fed::ApproxBackend approx;
-  const auto d = detailed.evaluate(cfg);
-  const auto a = approx.evaluate(cfg);
+  const auto d = eval_one(detailed, cfg);
+  const auto a = eval_one(approx, cfg);
   for (std::size_t i = 0; i < 2; ++i) {
     EXPECT_NEAR(d[i].forward_prob, a[i].forward_prob, 1e-7);
     EXPECT_NEAR(d[i].utilization, a[i].utilization, 1e-7);
@@ -128,6 +138,6 @@ TEST(Backends, SimulationBackendUsesOptions) {
   so.measure_time = 2000.0;
   so.seed = 5;
   fed::SimulationBackend backend(so);
-  const auto m = backend.evaluate(small());
+  const auto m = eval_one(backend, small());
   EXPECT_GT(m[0].utilization, 0.3);
 }

@@ -1,10 +1,12 @@
 #include "markov/lumping.hpp"
 
 #include <cmath>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "markov/steady_state.hpp"
 #include "markov/transient.hpp"
 #include "queueing/mmc.hpp"
@@ -119,6 +121,40 @@ TEST(Lumping, AggregateDistributionSumsPreserved) {
   double total = 0.0;
   for (double p : aggregated) total += p;
   EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Lumping, RandomizedInitialPartitionsPreserveSteadyState) {
+  // Whatever labels the caller insists on keeping apart, the refined lumped
+  // chain must reproduce the aggregated stationary distribution exactly.
+  const auto chain = server_subsets(4, 3.0, 1.0);
+  const auto full = mk::solve_steady_state(chain);
+  ASSERT_TRUE(full.converged);
+  scshare::Rng rng(2024);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t num_labels = 1 + rng.next_below(5);
+    std::vector<std::size_t> partition(chain.num_states());
+    for (auto& label : partition) label = rng.next_below(num_labels);
+
+    const auto result = mk::lump(chain, partition);
+    // Refinement only splits: states sharing a block share their label.
+    for (std::size_t s = 0; s < partition.size(); ++s) {
+      for (std::size_t t = s + 1; t < partition.size(); ++t) {
+        if (result.block_of[s] == result.block_of[t]) {
+          ASSERT_EQ(partition[s], partition[t])
+              << "trial " << trial << " merged labels of states " << s
+              << " and " << t;
+        }
+      }
+    }
+    const auto lumped = mk::solve_steady_state(result.lumped);
+    ASSERT_TRUE(lumped.converged) << "trial " << trial;
+    const auto aggregated = mk::aggregate_distribution(result, full.pi);
+    ASSERT_EQ(aggregated.size(), lumped.pi.size());
+    for (std::size_t b = 0; b < aggregated.size(); ++b) {
+      EXPECT_NEAR(aggregated[b], lumped.pi[b], 1e-9)
+          << "trial " << trial << " block " << b;
+    }
+  }
 }
 
 TEST(Lumping, LumpedTransientMatchesAggregatedTransient) {

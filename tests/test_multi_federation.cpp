@@ -149,6 +149,55 @@ TEST(MultiFederation, MemoizationAvoidsReEvaluation) {
   EXPECT_EQ(game2.evaluations(), evals);  // deterministic exploration
 }
 
+TEST(MultiFederation, SingleScFederationIsInert) {
+  // Degenerate case: a federation of one. There is nobody to exchange VMs
+  // with, so every strategy is worth zero and the dynamics stop immediately.
+  fed::FederationConfig cfg;
+  cfg.scs = {{.num_vms = 4, .lambda = 3.0, .mu = 1.0, .max_wait = 0.2}};
+  cfg.shares = {0};
+  fed::DetailedBackend backend;
+  mkt::MultiFederationGame game(cfg, {0.5}, {1.0}, {.gamma = 0.0}, backend);
+  const auto result = game.run();
+  ASSERT_TRUE(result.converged);
+  EXPECT_DOUBLE_EQ(result.utilities[0], 0.0);
+  for (int s = 0; s <= 4; ++s) {
+    EXPECT_DOUBLE_EQ(game.utility_of(0, {0}, {s}), 0.0) << "share " << s;
+  }
+}
+
+TEST(MultiFederation, ZeroSharesEverywhereYieldZeroUtility) {
+  // Degenerate case: members that share nothing. S_i = 0 disables
+  // participation (Eq. (2)), so the all-zero strategy is worth zero to
+  // everyone regardless of membership pattern.
+  fed::DetailedBackend backend;
+  mkt::MultiFederationGame game(two_scs(), {0.5}, {1.0, 1.0}, {.gamma = 0.0},
+                                backend);
+  EXPECT_DOUBLE_EQ(game.utility_of(0, {0, 0}, {0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(game.utility_of(1, {0, 0}, {0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(game.utility_of(0, {0, mkt::kNoFederation}, {0, 0}), 0.0);
+}
+
+TEST(MultiFederation, IdenticalScsReachSymmetricEquilibrium) {
+  // Degenerate case: indistinguishable players. The sharing game among
+  // identical SCs must end in a symmetric equilibrium — identical shares and
+  // identical utilities.
+  fed::FederationConfig cfg;
+  cfg.scs = {{.num_vms = 4, .lambda = 2.8, .mu = 1.0, .max_wait = 0.2},
+             {.num_vms = 4, .lambda = 2.8, .mu = 1.0, .max_wait = 0.2}};
+  cfg.shares = {0, 0};
+  fed::CachingBackend cached(std::make_unique<fed::DetailedBackend>());
+  mkt::GameOptions options;
+  options.method = mkt::BestResponseMethod::kExhaustive;
+  mkt::PriceConfig prices;
+  prices.public_price = {1.0, 1.0};
+  prices.federation_price = 0.5;
+  mkt::Game game(cfg, prices, {.gamma = 0.0}, cached, options);
+  const auto result = game.run();
+  ASSERT_TRUE(result.converged);
+  EXPECT_EQ(result.shares[0], result.shares[1]);
+  EXPECT_NEAR(result.utilities[0], result.utilities[1], 1e-9);
+}
+
 TEST(MultiFederation, InvalidArgumentsThrow) {
   fed::DetailedBackend backend;
   EXPECT_THROW(mkt::MultiFederationGame(two_scs(), {}, {1.0, 1.0},

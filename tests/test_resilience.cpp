@@ -32,6 +32,16 @@ fed::FederationConfig small() {
   return cfg;
 }
 
+/// One-element-batch helper: unwraps the EvalResult, throwing on failure.
+fed::FederationMetrics eval_one(fed::PerformanceBackend& backend,
+                                const fed::FederationConfig& config) {
+  fed::EvalRequest request;
+  request.config = config;
+  auto results = backend.evaluate_batch({&request, 1});
+  if (!results.front().ok) throw results.front().to_error();
+  return std::move(results.front().metrics);
+}
+
 /// Constant metrics tagged with `tag` so tests can tell tiers apart.
 class ConstBackend final : public fed::ComputeBackend {
  public:
@@ -142,7 +152,7 @@ TEST(RetryingBackend, RetriesUntilSuccess) {
   policy.max_retries = 3;
   fed::RetryingBackend backend(std::move(flaky), policy);
 
-  const auto metrics = backend.evaluate(small());
+  const auto metrics = eval_one(backend, small());
   EXPECT_DOUBLE_EQ(metrics[0].lent, 42.0);
   EXPECT_EQ(inner->calls, 3);  // two failures + one success
   EXPECT_EQ(backend.retries(), 2u);
@@ -157,7 +167,7 @@ TEST(RetryingBackend, NonRetryableErrorsPropagateImmediately) {
   fed::RetryingBackend backend(std::move(flaky), policy);
 
   try {
-    (void)backend.evaluate(small());
+    (void)eval_one(backend, small());
     FAIL() << "expected Error";
   } catch (const Error& e) {
     EXPECT_EQ(e.code(), ErrorCode::kInvalidConfig);
@@ -173,7 +183,7 @@ TEST(RetryingBackend, ExhaustsBoundedBudget) {
   policy.max_retries = 2;
   fed::RetryingBackend backend(std::move(flaky), policy);
 
-  EXPECT_THROW((void)backend.evaluate(small()), Error);
+  EXPECT_THROW((void)eval_one(backend, small()), Error);
   EXPECT_EQ(inner->calls, 3);  // initial attempt + 2 retries
   EXPECT_EQ(backend.retries(), 2u);
   EXPECT_EQ(backend.exhausted(), 1u);
@@ -189,7 +199,7 @@ TEST(RetryingBackend, DeterministicBackoffSchedule) {
 
   scshare::obs::RingBufferSink sink(64);
   auto* previous = scshare::obs::set_trace_sink(&sink);
-  (void)backend.evaluate(small());
+  (void)eval_one(backend, small());
   scshare::obs::set_trace_sink(previous);
 
   std::vector<double> backoffs;
@@ -216,7 +226,7 @@ TEST(FallbackBackend, DescendsTiersInOrder) {
   fed::FallbackBackend backend(std::move(tiers));
   EXPECT_EQ(backend.name(), "fallback(flaky>secondary>tertiary)");
 
-  const auto metrics = backend.evaluate(small());
+  const auto metrics = eval_one(backend, small());
   EXPECT_DOUBLE_EQ(metrics[0].lent, 2.0);  // served by the second tier
   EXPECT_TRUE(metrics.degraded());
   EXPECT_EQ(backend.serve_counts()[0], 0u);
@@ -231,7 +241,7 @@ TEST(FallbackBackend, PrimaryTierServesUndegraded) {
   tiers.push_back(std::make_unique<ConstBackend>(2.0, "secondary"));
   fed::FallbackBackend backend(std::move(tiers));
 
-  const auto metrics = backend.evaluate(small());
+  const auto metrics = eval_one(backend, small());
   EXPECT_DOUBLE_EQ(metrics[0].lent, 1.0);
   EXPECT_FALSE(metrics.degraded());
   EXPECT_EQ(backend.fallbacks(), 0u);
@@ -245,7 +255,7 @@ TEST(FallbackBackend, AllTiersFailingRaisesBackendUnavailable) {
   fed::FallbackBackend backend(std::move(tiers));
 
   try {
-    (void)backend.evaluate(small());
+    (void)eval_one(backend, small());
     FAIL() << "expected Error";
   } catch (const Error& e) {
     EXPECT_EQ(e.code(), ErrorCode::kBackendUnavailable);
@@ -300,7 +310,7 @@ std::vector<std::string> fault_trace(const fed::FaultSpec& spec,
   tag_sum = 0.0;
   for (int i = 0; i < evaluations; ++i) {
     try {
-      tag_sum += injector->evaluate(cfg)[0].lent;
+      tag_sum += eval_one(*injector, cfg)[0].lent;
     } catch (const Error&) {
       // Injected failure: part of the sequence under test.
     }
@@ -349,7 +359,7 @@ TEST(FaultInjectingBackend, PerturbationMarksMetricsDegraded) {
   spec.perturb_magnitude = 0.1;
   fed::FaultInjectingBackend injector(std::make_unique<ConstBackend>(1.0),
                                       spec);
-  const auto metrics = injector.evaluate(small());
+  const auto metrics = eval_one(injector, small());
   EXPECT_TRUE(metrics.degraded());
   EXPECT_GT(injector.faults_injected(), 0u);
   // Perturbation is bounded: within +-10% of the true value.

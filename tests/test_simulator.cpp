@@ -171,3 +171,39 @@ TEST(Simulator, InvalidOptionsThrow) {
   EXPECT_THROW(ok.add_outage(5, 0.0, 1.0), scshare::Error);
   EXPECT_THROW(ok.add_outage(0, 2.0, 1.0), scshare::Error);
 }
+
+TEST(Simulator, WarmupBatchesMustLeaveMeasurementBatches) {
+  const auto cfg = single_sc(5.0);
+  auto options = fast_options();
+  options.batches = 10;
+  options.warmup_batches = 10;
+  EXPECT_THROW(sim::Simulator(cfg, options), scshare::Error);
+  options.warmup_batches = 12;
+  EXPECT_THROW(sim::Simulator(cfg, options), scshare::Error);
+}
+
+TEST(Simulator, WarmupBatchDiscardStillYieldsSaneEstimates) {
+  // With no time-based warm-up, the initial transient (empty system filling
+  // up) leaks into the first batches. Discarding them moves the utilization
+  // estimate toward the steady-state model value.
+  const auto cfg = single_sc(9.0);
+  auto options = fast_options(41);
+  options.warmup_time = 1.0;  // nearly no time-based warm-up
+  options.batches = 20;
+
+  auto with_discard = options;
+  with_discard.warmup_batches = 4;
+  sim::Simulator s(cfg, with_discard);
+  const auto stats = s.run();
+  const auto model = scshare::queueing::solve_no_share(
+      {.num_vms = 10, .lambda = 9.0, .mu = 1.0, .max_wait = 0.2});
+  EXPECT_NEAR(stats[0].metrics.utilization, model.utilization, 0.03);
+  EXPECT_GT(stats[0].lent_hw + stats[0].borrowed_hw + stats[0].forward_rate_hw,
+            -1e-12);  // half-widths remain finite and non-negative
+
+  sim::Simulator raw(cfg, options);
+  const auto raw_stats = raw.run();
+  // The discarded estimate must differ from the raw one (the transient
+  // batches carry weight) while both stay finite.
+  EXPECT_NE(stats[0].metrics.utilization, raw_stats[0].metrics.utilization);
+}

@@ -75,3 +75,26 @@ TEST(BatchMeans, IdenticalBatchesHaveZeroWidth) {
   const auto r = s::batch_means({2.0, 2.0, 2.0});
   EXPECT_DOUBLE_EQ(r.half_width, 0.0);
 }
+
+TEST(BatchMeans, WarmupDiscardRemovesTransientBias) {
+  // A decaying transient riding on a flat steady state: the first two
+  // batches are inflated. Without discarding, the point estimate is biased
+  // high and the interval is wide; after discarding the warm-up window the
+  // estimate is exact and the interval collapses.
+  const std::vector<double> batches = {9.0, 4.0, 2.0, 2.0, 2.0, 2.0};
+  const auto biased = s::batch_means(batches);
+  const auto clean = s::batch_means(batches, 2);
+  EXPECT_GT(biased.mean, 2.5);
+  EXPECT_GT(biased.half_width, 1.0);
+  EXPECT_DOUBLE_EQ(clean.mean, 2.0);
+  EXPECT_DOUBLE_EQ(clean.half_width, 0.0);
+  EXPECT_EQ(clean.batches, 4u);
+}
+
+TEST(BatchMeans, DiscardingEverythingYieldsEmptyEstimate) {
+  const auto all = s::batch_means({1.0, 2.0}, 2);
+  EXPECT_EQ(all.batches, 0u);
+  EXPECT_DOUBLE_EQ(all.mean, 0.0);
+  const auto more = s::batch_means({1.0, 2.0}, 5);
+  EXPECT_EQ(more.batches, 0u);
+}

@@ -1,0 +1,313 @@
+// Tests of the differential validation harness (src/validation/): scenario
+// generation, the statistical comparator, the oracle registry, the harness
+// end to end (including thread-count determinism and the injected-fault
+// self-test), and the metamorphic properties.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "validation/comparator.hpp"
+#include "validation/harness.hpp"
+#include "validation/oracles.hpp"
+#include "validation/scenario.hpp"
+
+namespace v = scshare::validation;
+namespace fed = scshare::federation;
+
+namespace {
+
+fed::ScConfig make_sc(int num_vms, double lambda, double mu, double max_wait) {
+  fed::ScConfig sc;
+  sc.num_vms = num_vms;
+  sc.lambda = lambda;
+  sc.mu = mu;
+  sc.max_wait = max_wait;
+  return sc;
+}
+
+v::ScenarioSpec two_sc_spec() {
+  v::ScenarioSpec spec;
+  spec.name = "test:two-sc";
+  spec.sim_seed = 99;
+  spec.config.scs = {make_sc(4, 3.0, 1.0, 0.2), make_sc(3, 1.5, 1.0, 0.1)};
+  spec.config.shares = {2, 1};
+  spec.prices.public_price = {1.0, 1.0};
+  spec.prices.federation_price = 0.5;
+  return spec;
+}
+
+/// Short simulation windows keep the whole suite fast; the CI-multiplier
+/// tolerance absorbs the extra noise.
+v::OracleOptions fast_oracles() {
+  v::OracleOptions options;
+  options.sim_warmup_time = 200.0;
+  options.sim_measure_time = 3000.0;
+  options.sim_batches = 10;
+  options.sim_warmup_batches = 2;
+  return options;
+}
+
+}  // namespace
+
+// ---- scenario generation --------------------------------------------------
+
+TEST(ScenarioGenerator, IsDeterministicPerSeedAndIndex) {
+  const v::ScenarioGenerator gen_a(42);
+  const v::ScenarioGenerator gen_b(42);
+  for (std::size_t i = 0; i < 8; ++i) {
+    const auto a = gen_a.make(i);
+    const auto b = gen_b.make(i);
+    EXPECT_EQ(a.name, b.name) << "index " << i;
+    EXPECT_EQ(a.sim_seed, b.sim_seed);
+    ASSERT_EQ(a.config.size(), b.config.size());
+    for (std::size_t s = 0; s < a.config.size(); ++s) {
+      EXPECT_EQ(a.config.scs[s].num_vms, b.config.scs[s].num_vms);
+      EXPECT_DOUBLE_EQ(a.config.scs[s].lambda, b.config.scs[s].lambda);
+      EXPECT_EQ(a.config.shares[s], b.config.shares[s]);
+    }
+  }
+}
+
+TEST(ScenarioGenerator, DifferentSeedsGiveDifferentStreams) {
+  const v::ScenarioGenerator gen_a(1);
+  const v::ScenarioGenerator gen_b(2);
+  // Index 1 is a random draw (0 is a corner); seeds must decorrelate it.
+  const auto a = gen_a.make(1);
+  const auto b = gen_b.make(1);
+  EXPECT_NE(a.sim_seed, b.sim_seed);
+}
+
+TEST(ScenarioGenerator, EveryFifthScenarioIsACorner) {
+  const v::ScenarioGenerator gen(42);
+  for (std::size_t i = 0; i < 3 * v::ScenarioGenerator::kCornerPeriod; ++i) {
+    const auto spec = gen.make(i);
+    if (i % v::ScenarioGenerator::kCornerPeriod == 0) {
+      EXPECT_EQ(spec.name.rfind("corner:", 0), 0u) << spec.name;
+    } else {
+      EXPECT_EQ(spec.name, "random");
+    }
+    EXPECT_NO_THROW(spec.config.validate());
+  }
+}
+
+TEST(ScenarioGenerator, ParsesExplicitScenarioFile) {
+  const auto json = scshare::io::Json::parse(R"({
+    "scenarios": [
+      {"name": "loss-system", "sim_seed": 7,
+       "federation": {"scs": [
+         {"num_vms": 5, "lambda": 3.5, "mu": 1.0, "max_wait": 0.0}]},
+       "prices": {"public_price": 1.0, "federation_price": 0.25},
+       "utility": {"gamma": 1.0}}
+    ]})");
+  const auto specs = v::parse_scenarios(json);
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_EQ(specs[0].name, "loss-system");
+  EXPECT_EQ(specs[0].sim_seed, 7u);
+  EXPECT_EQ(specs[0].config.scs[0].num_vms, 5);
+  EXPECT_DOUBLE_EQ(specs[0].prices.federation_price, 0.25);
+  EXPECT_DOUBLE_EQ(specs[0].utility.gamma, 1.0);
+}
+
+// ---- comparator -----------------------------------------------------------
+
+TEST(Comparator, EnvelopeCombinesAbsRelAndCiTerms) {
+  const v::Tolerance t{0.1, 0.05, 2.0};
+  // |1.0 - 1.3| = 0.3 vs 0.1 + 0.05 * 1.3 = 0.165: fails without a CI term.
+  EXPECT_FALSE(v::within(1.0, 1.3, 0.0, t));
+  // A half-width of 0.1 widens the envelope by 0.2: passes.
+  EXPECT_TRUE(v::within(1.0, 1.3, 0.1, t));
+  EXPECT_GT(v::excess(1.0, 1.3, 0.0, t), 0.0);
+  EXPECT_LT(v::excess(1.0, 1.3, 0.1, t), 0.0);
+}
+
+TEST(Comparator, NonFiniteValuesNeverAgree) {
+  const v::Tolerance loose{1e9, 1e9, 1e9};
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(v::within(nan, 0.0, 0.0, loose));
+  EXPECT_FALSE(v::within(0.0, inf, 0.0, loose));
+}
+
+TEST(Comparator, InvariantsFlagNegativeForwardRate) {
+  const auto spec = two_sc_spec();
+  fed::FederationMetrics metrics;
+  metrics.resize(spec.config.size());
+  metrics[0].forward_rate = -0.5;
+  metrics[0].forward_prob = 0.1;
+  metrics[0].utilization = 0.5;
+  metrics[1].forward_prob = 0.1;
+  metrics[1].utilization = 0.5;
+  const auto violations =
+      v::invariant_violations("test", spec.config, metrics);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("forward_rate"), std::string::npos);
+}
+
+TEST(Comparator, InvariantsAcceptSaneMetrics) {
+  const auto spec = two_sc_spec();
+  fed::FederationMetrics metrics;
+  metrics.resize(spec.config.size());
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    metrics[i].forward_rate = 0.2;
+    metrics[i].forward_prob = 0.1;
+    metrics[i].utilization = 0.6;
+    metrics[i].lent = 0.5;
+    metrics[i].borrowed = 0.5;
+  }
+  EXPECT_TRUE(v::invariant_violations("test", spec.config, metrics).empty());
+}
+
+// ---- oracle registry ------------------------------------------------------
+
+TEST(Oracles, RunAllFourInFixedOrder) {
+  auto spec = two_sc_spec();
+  const auto runs = v::run_oracles(spec, fast_oracles());
+  ASSERT_EQ(runs.size(), 4u);
+  EXPECT_EQ(runs[0].name, "detailed");
+  EXPECT_EQ(runs[1].name, "approx");
+  EXPECT_EQ(runs[2].name, "simulation");
+  EXPECT_EQ(runs[3].name, "closed_form");
+  EXPECT_TRUE(runs[0].ok);
+  EXPECT_TRUE(runs[1].ok);
+  EXPECT_TRUE(runs[2].ok);
+  // Closed form needs an all-zero sharing vector.
+  EXPECT_FALSE(runs[3].applicable);
+  EXPECT_EQ(runs[0].utilities.size(), spec.config.size());
+  EXPECT_EQ(runs[2].sim_stats.size(), spec.config.size());
+}
+
+TEST(Oracles, ClosedFormAppliesToDecoupledFederation) {
+  auto spec = two_sc_spec();
+  spec.config.shares = {0, 0};
+  const auto runs = v::run_oracles(spec, fast_oracles());
+  EXPECT_TRUE(runs[3].applicable);
+  ASSERT_TRUE(runs[3].ok);
+  // Decoupled: detailed and closed form are the same chain.
+  for (std::size_t i = 0; i < spec.config.size(); ++i) {
+    EXPECT_NEAR(runs[3].metrics[i].forward_rate,
+                runs[0].metrics[i].forward_rate, 1e-6);
+    EXPECT_NEAR(runs[3].metrics[i].utilization,
+                runs[0].metrics[i].utilization, 1e-6);
+  }
+}
+
+TEST(Oracles, DetailedReportsInapplicableOnStateSpaceBlowUp) {
+  auto spec = two_sc_spec();
+  auto options = fast_oracles();
+  options.detailed_max_states = 4;  // absurdly small ceiling
+  const auto runs = v::run_oracles(spec, options);
+  EXPECT_FALSE(runs[0].applicable);
+  EXPECT_FALSE(runs[0].error.empty());
+}
+
+// ---- harness --------------------------------------------------------------
+
+TEST(Harness, SmallRunHasZeroDisagreements) {
+  v::HarnessOptions options;
+  options.scenarios = 6;
+  options.seed = 42;
+  options.oracles = fast_oracles();
+  const auto report = v::run_validation(options);
+  EXPECT_EQ(report.scenarios, 6u);
+  EXPECT_GT(report.comparisons, 0u);
+  std::string detail;
+  for (const auto& outcome : report.outcomes) {
+    for (const auto& f : outcome.failures) {
+      detail += outcome.name + " #" + std::to_string(outcome.index) + " " +
+                f.metric + " " + f.left + "=" + std::to_string(f.left_value) +
+                " vs " + f.right + "=" + std::to_string(f.right_value) + "\n";
+    }
+    for (const auto& s : outcome.invariant_violations) detail += s + "\n";
+    for (const auto& s : outcome.oracle_errors) detail += s + "\n";
+  }
+  EXPECT_EQ(report.disagreements, 0u) << detail;
+  EXPECT_TRUE(report.pass());
+}
+
+TEST(Harness, ReportIsBitIdenticalAcrossThreadCounts) {
+  v::HarnessOptions options;
+  options.scenarios = 6;
+  options.seed = 7;
+  options.oracles = fast_oracles();
+  options.threads = 1;
+  const auto serial = v::to_json(v::run_validation(options)).dump(2);
+  options.threads = 4;
+  const auto parallel = v::to_json(v::run_validation(options)).dump(2);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(Harness, CatchesInjectedSignFlipInApproxForwarding) {
+  v::HarnessOptions options;
+  options.scenarios = 4;
+  options.seed = 42;
+  options.oracles = fast_oracles();
+  options.oracles.flip_approx_forward_sign = true;
+  options.check_equilibria = false;
+  const auto report = v::run_validation(options);
+  EXPECT_GT(report.disagreements, 0u)
+      << "a sign flip in the approx forwarding metrics must not pass";
+  EXPECT_FALSE(report.pass());
+}
+
+TEST(Harness, ExplicitScenariosBypassTheGenerator) {
+  v::HarnessOptions options;
+  options.explicit_scenarios = {two_sc_spec()};
+  options.oracles = fast_oracles();
+  options.check_equilibria = false;
+  const auto report = v::run_validation(options);
+  EXPECT_EQ(report.scenarios, 1u);
+  ASSERT_EQ(report.outcomes.size(), 1u);
+  EXPECT_EQ(report.outcomes[0].name, "test:two-sc");
+  EXPECT_EQ(report.disagreements, 0u);
+}
+
+TEST(Harness, JsonReportCarriesSummaryAndOutcomes) {
+  v::HarnessOptions options;
+  options.explicit_scenarios = {two_sc_spec()};
+  options.oracles = fast_oracles();
+  options.check_equilibria = false;
+  const auto json = v::to_json(v::run_validation(options));
+  EXPECT_TRUE(json.at("pass").as_bool());
+  EXPECT_EQ(json.at("scenarios").as_int(), 1);
+  EXPECT_GT(json.at("comparisons").as_int(), 0);
+  const auto& outcome = json.at("outcomes").at(0);
+  EXPECT_EQ(outcome.at("name").as_string(), "test:two-sc");
+  EXPECT_EQ(outcome.at("oracles").size(), 4u);
+  EXPECT_TRUE(outcome.at("config").is_object());
+}
+
+// ---- metamorphic properties ----------------------------------------------
+
+TEST(Metamorphic, ForwardRateIsMonotoneInPooledCapacity) {
+  fed::FederationConfig config;
+  config.scs = {make_sc(3, 2.7, 1.0, 0.2), make_sc(4, 1.0, 1.0, 0.2)};
+  config.shares = {0, 0};
+  const auto violations =
+      v::check_pool_monotonicity(config, /*observer=*/0, /*donor=*/1,
+                                 /*max_share=*/4);
+  EXPECT_TRUE(violations.empty())
+      << (violations.empty() ? "" : violations.front());
+}
+
+TEST(Metamorphic, DetailedModelIsRelabelInvariant) {
+  fed::FederationConfig config;
+  config.scs = {make_sc(3, 2.4, 1.0, 0.2), make_sc(4, 2.0, 0.5, 0.1),
+                make_sc(2, 1.0, 1.0, 0.5)};
+  config.shares = {1, 2, 1};
+  const std::vector<std::size_t> permutation = {2, 0, 1};
+  const auto violations = v::check_relabel_invariance(config, permutation);
+  EXPECT_TRUE(violations.empty())
+      << (violations.empty() ? "" : violations.front());
+}
+
+TEST(Metamorphic, LumpedAndUnlumpedSteadyStatesAgree) {
+  for (std::uint64_t seed : {7ULL, 8ULL, 9ULL}) {
+    const auto violations = v::check_lumping_equivalence(seed, 40);
+    EXPECT_TRUE(violations.empty())
+        << "seed " << seed << ": "
+        << (violations.empty() ? "" : violations.front());
+  }
+}

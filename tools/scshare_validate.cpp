@@ -1,0 +1,180 @@
+// scshare_validate — differential validation front end.
+//
+// Runs the validation harness (src/validation/): seeded random scenarios plus
+// degenerate corners, every applicable oracle (detailed CTMC, hierarchical
+// approximation, discrete-event simulation, closed forms), pairwise metric
+// comparison under the tolerance ladder, model-independent invariants, and —
+// on small two-SC scenarios — the detailed-vs-approx equilibrium cross-check.
+//
+// Usage:
+//   scshare_validate [--scenarios N] [--seed S] [--threads N] [--out FILE]
+//                    [--corners FILE] [--max-scs K] [--max-vms N]
+//                    [--no-equilibria] [--inject-sign-flip] [--compact]
+//                    [--summary-only]
+//
+//   --scenarios N        generated scenarios (default 50)
+//   --seed S             base seed; scenario i is reproduced by
+//                        --scenarios 1-past-i with the same seed (default 42)
+//   --threads N          scenario-level parallelism; the report is
+//                        byte-identical at any value (default 1)
+//   --out FILE           write the JSON report to FILE instead of stdout
+//   --corners FILE       validate the explicit scenario list in FILE (e.g.
+//                        examples/configs/validation_corner_cases.json)
+//                        instead of generated scenarios
+//   --max-scs K          largest federation drawn (default 3)
+//   --max-vms N          largest per-SC VM count drawn (default 6)
+//   --no-equilibria      skip the (slow) equilibrium cross-check
+//   --inject-sign-flip   self-test fault: negate the approx oracle's
+//                        forwarding metrics; the run must then FAIL
+//   --compact            compact JSON (default pretty-prints)
+//   --summary-only       drop per-scenario outcomes from the report
+//
+// Exit status: 0 when every comparison lands inside the tolerance ladder,
+// 1 on any disagreement, 2 on usage/configuration errors.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "validation/harness.hpp"
+
+namespace {
+
+using namespace scshare;
+
+struct CliOptions {
+  std::size_t scenarios = 50;
+  std::uint64_t seed = 42;
+  std::size_t threads = 1;
+  std::string out_path;      ///< empty = stdout
+  std::string corners_path;  ///< empty = generated scenarios
+  std::size_t max_scs = 3;
+  int max_vms = 6;
+  bool check_equilibria = true;
+  bool inject_sign_flip = false;
+  bool compact = false;
+  bool summary_only = false;
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: scshare_validate [--scenarios N] [--seed S] [--threads N] "
+      "[--out FILE] [--corners FILE] [--max-scs K] [--max-vms N] "
+      "[--no-equilibria] [--inject-sign-flip] [--compact] [--summary-only]\n");
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, CliOptions& cli) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next_value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--scenarios") {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      cli.scenarios = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--seed") {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      cli.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--threads") {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      cli.threads = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--out") {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      cli.out_path = v;
+    } else if (arg == "--corners") {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      cli.corners_path = v;
+    } else if (arg == "--max-scs") {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      cli.max_scs = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--max-vms") {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      cli.max_vms = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (arg == "--no-equilibria") {
+      cli.check_equilibria = false;
+    } else if (arg == "--inject-sign-flip") {
+      cli.inject_sign_flip = true;
+    } else if (arg == "--compact") {
+      cli.compact = true;
+    } else if (arg == "--summary-only") {
+      cli.summary_only = true;
+    } else {
+      std::fprintf(stderr, "scshare_validate: unknown argument '%s'\n",
+                   arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+io::Json load_json(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "cannot open scenario file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return io::Json::parse(buffer.str());
+}
+
+int run(const CliOptions& cli) {
+  validation::HarnessOptions options;
+  options.scenarios = cli.scenarios;
+  options.seed = cli.seed;
+  options.threads = cli.threads == 0 ? 1 : cli.threads;
+  options.generator.max_scs = cli.max_scs;
+  options.generator.max_vms = cli.max_vms;
+  options.check_equilibria = cli.check_equilibria;
+  options.oracles.flip_approx_forward_sign = cli.inject_sign_flip;
+  if (!cli.corners_path.empty()) {
+    options.explicit_scenarios =
+        validation::parse_scenarios(load_json(cli.corners_path));
+  }
+
+  const auto report = validation::run_validation(options);
+
+  io::Json json = validation::to_json(report);
+  if (cli.summary_only) {
+    io::JsonObject summary = json.as_object();
+    summary.erase("outcomes");
+    json = io::Json(std::move(summary));
+  }
+  const std::string text = json.dump(cli.compact ? -1 : 2);
+  if (cli.out_path.empty()) {
+    std::cout << text << "\n";
+  } else {
+    std::ofstream out(cli.out_path);
+    require(out.good(), "cannot open output file: " + cli.out_path);
+    out << text << "\n";
+  }
+
+  std::fprintf(stderr,
+               "scshare_validate: %zu scenarios, %zu comparisons, "
+               "%zu disagreements -> %s\n",
+               report.scenarios, report.comparisons, report.disagreements,
+               report.pass() ? "PASS" : "FAIL");
+  return report.pass() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  if (!parse_args(argc, argv, cli)) return usage();
+  try {
+    return run(cli);
+  } catch (const scshare::Error& e) {
+    std::fprintf(stderr, "scshare_validate: error: %s\n", e.what());
+    return 2;
+  }
+}
