@@ -9,6 +9,8 @@
 //  (b) rounds of the repeated game (Algorithm 1) until equilibrium as the
 //      number of SCs grows, for several Tabu search distances — the paper
 //      observes that more participants need fewer iterations.
+//  (c) span-profiler overhead: the same equilibrium game with the profiler
+//      disabled vs enabled. The contract (docs/ARCHITECTURE.md) is <3%.
 #include <cmath>
 #include <cstdio>
 #include <memory>
@@ -18,6 +20,7 @@
 #include "federation/approx_model.hpp"
 #include "federation/backend.hpp"
 #include "market/game.hpp"
+#include "obs/profiler.hpp"
 
 namespace {
 
@@ -99,6 +102,53 @@ void panel_b(bool full) {
   }
 }
 
+void panel_c(bool full) {
+  // One profiled workload: an exhaustive-best-response game over the
+  // approximate backend, which emits the densest span stream of any path
+  // (per-round, per-response, per-eval, and per-solve spans). Each mode runs
+  // `reps` times and reports the best time — minimum-of-K is the standard
+  // way to strip scheduler noise from an overhead measurement.
+  const int reps = full ? 7 : 5;
+  auto run_game = [&] {
+    auto cfg = make_federation(3, full ? 5 : 3, 0);
+    cfg.truncation_epsilon = 1e-7;
+    federation::CachingBackend backend(
+        std::make_unique<federation::ApproxBackend>());
+    market::PriceConfig prices;
+    prices.public_price.assign(cfg.size(), 1.0);
+    prices.federation_price = 0.5;
+    market::GameOptions options;
+    options.method = market::BestResponseMethod::kExhaustive;
+    options.max_rounds = 8;
+    market::Game game(cfg, prices, {.gamma = 0.0}, backend, options);
+    (void)game.run();
+  };
+  auto best_of = [&](int n) {
+    double best = 1e300;
+    for (int i = 0; i < n; ++i) {
+      const scshare::bench::Timer t;
+      run_game();
+      best = std::min(best, t.seconds());
+    }
+    return best;
+  };
+
+  run_game();  // warm up allocators and caches outside the timed region
+  const double off = best_of(reps);
+  obs::Profiler::instance().enable();
+  const double on = best_of(reps);
+  obs::Profiler::instance().disable();
+  const std::size_t spans = obs::Profiler::instance().record_count();
+  obs::Profiler::instance().clear();
+
+  const double overhead = off > 0.0 ? (on - off) / off * 100.0 : 0.0;
+  std::printf("%-10s %12s %12s %10s %10s\n", "profiler", "off_s", "on_s",
+              "spans", "ovh_pct");
+  std::printf("%-10s %12.4f %12.4f %10zu %10.2f\n", "span", off, on, spans,
+              overhead);
+  std::printf("# contract: overhead < 3%% (docs/ARCHITECTURE.md)\n");
+}
+
 }  // namespace
 
 int main() {
@@ -109,5 +159,7 @@ int main() {
   panel_a(full);
   std::printf("## (b) game rounds to equilibrium vs number of SCs\n");
   panel_b(full);
+  std::printf("\n## (c) span-profiler overhead on a profiled game\n");
+  panel_c(full);
   return 0;
 }

@@ -125,6 +125,11 @@ obs::RunReport Framework::report() const {
   report.events = ring_->events();
   report.events_total = ring_->total_emitted();
   report.events_dropped = ring_->dropped();
+  if (obs::profiler_enabled()) {
+    report.profiled = true;
+    report.profile =
+        obs::build_profile_tree(obs::Profiler::instance().records());
+  }
   return report;
 }
 

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 
 namespace scshare::exec {
 namespace {
@@ -99,7 +100,12 @@ void ThreadPool::parallel_for(std::size_t n,
   auto next = std::make_shared<std::atomic<std::size_t>>(0);
   auto failure_mutex = std::make_shared<std::mutex>();
   auto failure = std::make_shared<std::exception_ptr>();
-  const auto run_indices = [n, next, failure_mutex, failure, &fn]() {
+  // Workers adopt the dispatching thread's open span so profiler spans opened
+  // inside fn() parent under the call site rather than dangling as roots.
+  const std::uint64_t parent_span = obs::current_span();
+  const auto run_indices = [n, next, failure_mutex, failure, &fn,
+                            parent_span]() {
+    const obs::ScopedSpanParent adopt(parent_span);
     for (;;) {
       const std::size_t i = next->fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace.hpp"
 
@@ -66,12 +67,16 @@ std::size_t hash_shares(const std::vector<int>& shares) {
 
 std::vector<EvalResult> ComputeBackend::evaluate_batch(
     std::span<const EvalRequest> requests) {
+  const obs::Span batch_span("backend.eval_batch");
   BatchObs& instruments = batch_obs();
   instruments.calls.add();
   instruments.requests.add(requests.size());
 
   std::vector<EvalResult> results(requests.size());
   const auto eval_one = [&](std::size_t i) {
+    // Runs on a pool worker when an executor is attached; parents under the
+    // eval_batch span via the pool's ScopedSpanParent adoption.
+    const obs::Span span("backend.eval");
     EvalResult& result = results[i];
     result.tag = requests[i].tag;
     const obs::Stopwatch stopwatch;

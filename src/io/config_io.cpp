@@ -276,6 +276,18 @@ Json to_json(const obs::TraceEvent& event) {
   return Json::parse(obs::to_json_line(event));
 }
 
+Json to_json(const obs::ProfileNode& node) {
+  JsonObject out;
+  out["name"] = node.name;
+  out["count"] = static_cast<double>(node.count);
+  out["total_seconds"] = node.total_seconds;
+  out["self_seconds"] = node.self_seconds;
+  JsonArray children;
+  for (const auto& child : node.children) children.push_back(to_json(child));
+  out["children"] = Json(std::move(children));
+  return Json(std::move(out));
+}
+
 Json to_json(const obs::RunReport& report) {
   JsonObject out;
   out["backend"] = report.backend;
@@ -285,7 +297,32 @@ Json to_json(const obs::RunReport& report) {
   out["events"] = Json(std::move(events));
   out["events_total"] = static_cast<double>(report.events_total);
   out["events_dropped"] = static_cast<double>(report.events_dropped);
+  if (report.profiled) out["profile"] = to_json(report.profile);
   return Json(std::move(out));
+}
+
+namespace {
+
+/// Machine-readable JSON rendering of the full RunReport (the same document
+/// `--metrics-out` has always written).
+class JsonReportExporter final : public obs::Exporter {
+ public:
+  [[nodiscard]] const char* format_name() const noexcept override {
+    return "json";
+  }
+  [[nodiscard]] std::string render(
+      const obs::RunReport& report) const override {
+    return to_json(report).dump(2) + "\n";
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<obs::Exporter> make_exporter(const std::string& format) {
+  if (format == "json") return std::make_unique<JsonReportExporter>();
+  if (format == "prom") return std::make_unique<obs::OpenMetricsExporter>();
+  throw Error("unknown metrics format: " + format + " (expected json|prom)",
+              ErrorCode::kInvalidConfig, "make_exporter");
 }
 
 }  // namespace scshare::io

@@ -3,6 +3,7 @@
 // documented in examples/configs/three_sc.json.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "federation/config.hpp"
@@ -11,7 +12,9 @@
 #include "market/cost.hpp"
 #include "market/game.hpp"
 #include "market/sweep.hpp"
+#include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "sim/simulator.hpp"
@@ -64,6 +67,13 @@ namespace scshare::io {
 [[nodiscard]] Json to_json(const obs::HistogramSnapshot& histogram);
 [[nodiscard]] Json to_json(const obs::MetricsSnapshot& snapshot);
 [[nodiscard]] Json to_json(const obs::TraceEvent& event);
+[[nodiscard]] Json to_json(const obs::ProfileNode& node);
 [[nodiscard]] Json to_json(const obs::RunReport& report);
+
+/// Constructs the RunReport exporter for a wire format: "json" (the
+/// to_json(RunReport) document) or "prom" (OpenMetrics text exposition).
+/// Throws scshare::Error on an unknown format.
+[[nodiscard]] std::unique_ptr<obs::Exporter> make_exporter(
+    const std::string& format);
 
 }  // namespace scshare::io

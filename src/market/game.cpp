@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace.hpp"
 
@@ -136,6 +137,7 @@ std::vector<double> Game::utilities_from(
 }
 
 int Game::best_response(std::size_t i, std::vector<int> shares) {
+  const obs::Span span("game.best_response");
   const int current = shares[i];
   const int hi = config_.scs[i].num_vms;
 
@@ -228,6 +230,7 @@ int Game::best_response(std::size_t i, std::vector<int> shares) {
 }
 
 GameResult Game::run() {
+  const obs::Span span("game.run");
   GameObs& instruments = game_obs();
   const obs::ScopedTimer timer(&instruments.seconds);
   instruments.runs.add();
@@ -238,6 +241,7 @@ GameResult Game::run() {
   std::vector<int> shares = options_.initial_shares;
 
   for (int round = 1; round <= options_.max_rounds; ++round) {
+    const obs::Span round_span("game.round");
     std::vector<int> next;
     if (options_.update_rule == UpdateRule::kSimultaneous) {
       // All SCs respond to the previous round (literal Algorithm 1).

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/timer.hpp"
 
 namespace scshare::market {
@@ -39,6 +40,7 @@ std::vector<std::vector<int>> share_grid(
 std::vector<SweepPoint> run_price_sweep(
     const federation::FederationConfig& config,
     federation::PerformanceBackend& backend, const SweepOptions& options) {
+  const obs::Span span("sweep.run");
   config.validate();
   require(!options.ratios.empty(), "SweepOptions: no ratios given");
   for (double r : options.ratios) {
@@ -80,12 +82,17 @@ std::vector<SweepPoint> run_price_sweep(
     grid_requests[k].config.shares = grid[k];
     grid_requests[k].tag = k;
   }
-  const auto grid_results = backend.evaluate_batch(grid_requests);
+  std::vector<federation::EvalResult> grid_results;
+  {
+    const obs::Span grid_span("sweep.grid_eval");
+    grid_results = backend.evaluate_batch(grid_requests);
+  }
   grid_counter.add(grid.size());
 
   std::vector<SweepPoint> points;
   points.reserve(options.ratios.size());
   for (double ratio : options.ratios) {
+    const obs::Span point_span("sweep.point");
     points_counter.add();
     PriceConfig prices;
     prices.public_price.assign(config.size(), options.public_price);

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "linalg/vector_ops.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace.hpp"
 
@@ -17,6 +18,9 @@ namespace {
 double residual_norm(const linalg::CsrMatrix& q,
                      const std::vector<double>& pi,
                      std::vector<double>& scratch) {
+  // Profiled at the residual check (once per check_interval sweeps), not per
+  // inner sweep: the span cost stays far below the mat-vec being measured.
+  const obs::Span span("solve.matvec");
   q.multiply_transposed(pi, scratch);
   double m = 0.0;
   for (double v : scratch) m = std::max(m, std::abs(v));
@@ -108,6 +112,7 @@ bool check_divergence(double residual, double best_residual,
 
 SteadyStateResult solve_steady_state(const Ctmc& chain,
                                      const SteadyStateOptions& options) {
+  const obs::Span span("solve.gauss_seidel");
   SolverObs& instruments = gauss_seidel_obs();
   const obs::ScopedTimer timer(&instruments.seconds);
 
@@ -183,6 +188,7 @@ SteadyStateResult solve_steady_state(const Ctmc& chain,
 
 SteadyStateResult solve_steady_state_power(const Ctmc& chain,
                                            const SteadyStateOptions& options) {
+  const obs::Span span("solve.power");
   SolverObs& instruments = power_obs();
   const obs::ScopedTimer timer(&instruments.seconds);
 

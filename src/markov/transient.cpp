@@ -6,6 +6,7 @@
 #include "common/math.hpp"
 #include "linalg/vector_ops.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace.hpp"
 
@@ -59,6 +60,7 @@ std::vector<std::vector<double>> TransientSolver::evolve_multi(
     std::span<const double> p0, std::span<const double> ts) const {
   require(p0.size() == dtmc_.rows(),
           "TransientSolver::evolve_multi: size mismatch");
+  const obs::Span span("solve.transient");
   TransientObs& instruments = transient_obs();
   const obs::ScopedTimer timer(&instruments.seconds);
   instruments.evolutions.add(ts.size());
@@ -118,6 +120,7 @@ double TransientSolver::accumulated_reward(std::span<const double> p0,
           "TransientSolver::accumulated_reward: size mismatch");
   require(t >= 0.0, "TransientSolver::accumulated_reward: negative horizon");
   if (t == 0.0) return 0.0;
+  const obs::Span span("solve.transient");
   TransientObs& instruments = transient_obs();
   const obs::ScopedTimer timer(&instruments.seconds);
   instruments.evolutions.add();
@@ -155,6 +158,7 @@ std::vector<double> TransientSolver::evolve(std::span<const double> p0,
     std::copy(p0.begin(), p0.end(), result.begin());
     return result;
   }
+  const obs::Span span("solve.transient");
   TransientObs& instruments = transient_obs();
   const obs::ScopedTimer timer(&instruments.seconds);
   instruments.evolutions.add();

@@ -1,0 +1,127 @@
+#include "obs/export.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace scshare::obs {
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void append_bound(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  out += buf;
+}
+
+void type_line(std::string& out, const std::string& family,
+               const char* type) {
+  out += "# TYPE ";
+  out += family;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string sanitize_metric_name(std::string_view name) {
+  std::string out = "scshare_";
+  if (!name.empty() && std::isdigit(static_cast<unsigned char>(name[0]))) {
+    out += '_';
+  }
+  for (char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                    c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string OpenMetricsExporter::render(const RunReport& report) const {
+  std::string out;
+  out.reserve(4096);
+
+  // Run-identity pseudo-metric: carries the backend label (and exercises the
+  // label-escaping path for arbitrary backend names).
+  type_line(out, "scshare_run_info", "gauge");
+  out += "scshare_run_info{backend=\"";
+  out += escape_label_value(report.backend);
+  out += "\"} 1\n";
+
+  for (const auto& [name, value] : report.metrics.counters) {
+    const std::string family = sanitize_metric_name(name);
+    type_line(out, family, "counter");
+    out += family;
+    out += "_total ";
+    out += std::to_string(value);
+    out += '\n';
+  }
+
+  for (const auto& [name, value] : report.metrics.gauges) {
+    const std::string family = sanitize_metric_name(name);
+    type_line(out, family, "gauge");
+    out += family;
+    out += ' ';
+    append_double(out, value);
+    out += '\n';
+  }
+
+  for (const auto& [name, hist] : report.metrics.histograms) {
+    const std::string family = sanitize_metric_name(name);
+    type_line(out, family, "histogram");
+    // Cumulative buckets; the implicit overflow bucket becomes le="+Inf".
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < hist.counts.size(); ++i) {
+      cumulative += hist.counts[i];
+      out += family;
+      out += "_bucket{le=\"";
+      if (i < hist.bounds.size()) {
+        append_bound(out, hist.bounds[i]);
+      } else {
+        out += "+Inf";
+      }
+      out += "\"} ";
+      out += std::to_string(cumulative);
+      out += '\n';
+    }
+    out += family;
+    out += "_sum ";
+    append_double(out, hist.sum);
+    out += '\n';
+    out += family;
+    out += "_count ";
+    out += std::to_string(hist.count);
+    out += '\n';
+  }
+
+  out += "# EOF\n";
+  return out;
+}
+
+}  // namespace scshare::obs

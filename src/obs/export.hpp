@@ -1,0 +1,52 @@
+// Standard exporters for RunReport.
+//
+// One interface, multiple wire formats: OpenMetricsExporter (here, because
+// the text exposition needs nothing but the report) renders the Prometheus /
+// OpenMetrics text format; the JSON exporter lives in io (it reuses
+// io::to_json(RunReport)) and both are constructed through
+// io::make_exporter("json"|"prom"). The CLI selects one with
+// --metrics-format.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/report.hpp"
+
+namespace scshare::obs {
+
+/// Renders a RunReport into one machine-readable document.
+class Exporter {
+ public:
+  virtual ~Exporter() = default;
+  /// Wire name of the format ("json", "prom").
+  [[nodiscard]] virtual const char* format_name() const noexcept = 0;
+  [[nodiscard]] virtual std::string render(const RunReport& report) const = 0;
+};
+
+/// Prometheus / OpenMetrics text exposition:
+///  * every metric name is sanitized to [a-zA-Z0-9_:] and prefixed
+///    "scshare_" (dots become underscores: federation.cache.hits ->
+///    scshare_federation_cache_hits);
+///  * counters get the "_total" suffix, histograms emit cumulative
+///    "_bucket{le=...}" series plus "_sum"/"_count";
+///  * each family is preceded by exactly one "# TYPE" line, names are unique,
+///    label values are escaped per the spec, and the document ends with
+///    "# EOF".
+/// A "scshare_run_info{backend="..."}" gauge carries the run's backend label.
+class OpenMetricsExporter final : public Exporter {
+ public:
+  [[nodiscard]] const char* format_name() const noexcept override {
+    return "prom";
+  }
+  [[nodiscard]] std::string render(const RunReport& report) const override;
+};
+
+/// "market.game.rounds" -> "scshare_market_game_rounds"; any character
+/// outside [a-zA-Z0-9_:] becomes '_', and a leading digit gains a '_' guard.
+[[nodiscard]] std::string sanitize_metric_name(std::string_view name);
+
+/// Escapes '\', '"' and newline for use inside a label value.
+[[nodiscard]] std::string escape_label_value(std::string_view value);
+
+}  // namespace scshare::obs

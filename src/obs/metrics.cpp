@@ -14,18 +14,30 @@ void atomic_add(std::atomic<double>& target, double v) noexcept {
   }
 }
 
-void atomic_min(std::atomic<double>& target, double v) noexcept {
+/// Monotone CAS fold: keep exchanging until either the stored value already
+/// beats `v` or our exchange lands. compare_exchange_weak refreshes
+/// `expected` on failure and the improvement test is re-evaluated against
+/// that fresh value every iteration, so a concurrent extreme can never be
+/// lost (a spurious weak failure just retries). NaN never satisfies
+/// `better` and is ignored.
+template <typename Better>
+void atomic_fold_extreme(std::atomic<double>& target, double v,
+                         Better better) noexcept {
   double expected = target.load(std::memory_order_relaxed);
-  while (v < expected && !target.compare_exchange_weak(
-                             expected, v, std::memory_order_relaxed)) {
+  while (better(v, expected)) {
+    if (target.compare_exchange_weak(expected, v,
+                                     std::memory_order_relaxed)) {
+      return;
+    }
   }
 }
 
+void atomic_min(std::atomic<double>& target, double v) noexcept {
+  atomic_fold_extreme(target, v, [](double a, double b) { return a < b; });
+}
+
 void atomic_max(std::atomic<double>& target, double v) noexcept {
-  double expected = target.load(std::memory_order_relaxed);
-  while (v > expected && !target.compare_exchange_weak(
-                             expected, v, std::memory_order_relaxed)) {
-  }
+  atomic_fold_extreme(target, v, [](double a, double b) { return a > b; });
 }
 
 }  // namespace

@@ -1,0 +1,245 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <string_view>
+#include <unordered_map>
+
+namespace scshare::obs {
+
+namespace detail {
+std::atomic<bool> g_profiler_enabled{false};
+}  // namespace detail
+
+namespace {
+
+constexpr std::uint32_t kNoThreadIndex = 0xffffffffu;
+
+std::atomic<std::uint64_t> g_next_span_id{1};
+std::atomic<std::uint32_t> g_next_thread_index{0};
+thread_local std::uint64_t t_current_span = 0;
+thread_local std::uint32_t t_thread_index = kNoThreadIndex;
+
+/// Dense per-thread index in first-record order; stable across enable epochs
+/// (only used as a trace "tid", so monotonic growth is fine).
+std::uint32_t thread_index() noexcept {
+  if (t_thread_index == kNoThreadIndex) {
+    t_thread_index = g_next_thread_index.fetch_add(1, std::memory_order_relaxed);
+  }
+  return t_thread_index;
+}
+
+[[nodiscard]] std::int64_t steady_now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_micros(std::string& out, std::int64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns < 0 ? 0 : ns % 1000));
+  out += buf;
+}
+
+}  // namespace
+
+Profiler& Profiler::instance() {
+  static Profiler profiler;
+  return profiler;
+}
+
+void Profiler::enable() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    records_.clear();
+  }
+  epoch_ns_.store(steady_now_ns(), std::memory_order_relaxed);
+  detail::g_profiler_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Profiler::disable() {
+  detail::g_profiler_enabled.store(false, std::memory_order_relaxed);
+}
+
+std::vector<SpanRecord> Profiler::records() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+std::size_t Profiler::record_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+void Profiler::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  records_.clear();
+}
+
+std::int64_t Profiler::now_since_epoch_ns() const noexcept {
+  return steady_now_ns() - epoch_ns_.load(std::memory_order_relaxed);
+}
+
+void Profiler::record(const SpanRecord& r) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  records_.push_back(r);
+}
+
+void Span::begin(const char* name) noexcept {
+  name_ = name;
+  id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  parent_ = t_current_span;
+  t_current_span = id_;
+  start_ns_ = Profiler::instance().now_since_epoch_ns();
+}
+
+void Span::end() noexcept {
+  t_current_span = parent_;
+  Profiler& profiler = Profiler::instance();
+  const std::int64_t end_ns = profiler.now_since_epoch_ns();
+  profiler.record(SpanRecord{name_, id_, parent_, thread_index(), start_ns_,
+                             end_ns - start_ns_});
+}
+
+std::uint64_t current_span() noexcept { return t_current_span; }
+
+ScopedSpanParent::ScopedSpanParent(std::uint64_t parent) noexcept
+    : saved_(t_current_span) {
+  t_current_span = parent;
+}
+
+ScopedSpanParent::~ScopedSpanParent() { t_current_span = saved_; }
+
+std::string to_chrome_trace(const std::vector<SpanRecord>& records) {
+  std::vector<SpanRecord> ordered = records;
+  std::sort(ordered.begin(), ordered.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.id < b.id;
+            });
+  std::string out;
+  out.reserve(128 + ordered.size() * 128);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& r : ordered) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    append_escaped(out, r.name != nullptr ? r.name : "?");
+    out += ",\"cat\":\"scshare\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    out += std::to_string(r.thread);
+    out += ",\"ts\":";
+    append_micros(out, r.start_ns);
+    out += ",\"dur\":";
+    append_micros(out, r.duration_ns);
+    out += ",\"args\":{\"span\":\"";
+    out += std::to_string(r.id);
+    out += "\",\"parent\":\"";
+    out += std::to_string(r.parent);
+    out += "\"}}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+namespace {
+
+/// Aggregates the spans whose ids are `ids`' children (grouped by name) into
+/// child nodes of `node`, recursing down the forest.
+void fill_children(
+    ProfileNode& node, const std::vector<std::uint64_t>& ids,
+    const std::unordered_map<std::uint64_t, std::vector<const SpanRecord*>>&
+        by_parent) {
+  // Ordered by name for determinism; re-sorted by weight below.
+  std::map<std::string_view, std::vector<const SpanRecord*>> groups;
+  for (std::uint64_t id : ids) {
+    const auto it = by_parent.find(id);
+    if (it == by_parent.end()) continue;
+    for (const SpanRecord* child : it->second) {
+      groups[child->name != nullptr ? child->name : "?"].push_back(child);
+    }
+  }
+  for (const auto& [name, spans] : groups) {
+    ProfileNode child;
+    child.name = std::string(name);
+    child.count = spans.size();
+    std::vector<std::uint64_t> child_ids;
+    child_ids.reserve(spans.size());
+    for (const SpanRecord* s : spans) {
+      child.total_seconds += static_cast<double>(s->duration_ns) * 1e-9;
+      child_ids.push_back(s->id);
+    }
+    fill_children(child, child_ids, by_parent);
+    double child_total = 0.0;
+    for (const ProfileNode& grandchild : child.children) {
+      child_total += grandchild.total_seconds;
+    }
+    child.self_seconds = std::max(0.0, child.total_seconds - child_total);
+    node.children.push_back(std::move(child));
+  }
+  std::stable_sort(node.children.begin(), node.children.end(),
+                   [](const ProfileNode& a, const ProfileNode& b) {
+                     return a.total_seconds > b.total_seconds;
+                   });
+}
+
+}  // namespace
+
+ProfileNode build_profile_tree(const std::vector<SpanRecord>& records) {
+  std::unordered_map<std::uint64_t, std::vector<const SpanRecord*>> by_parent;
+  std::unordered_map<std::uint64_t, bool> known_ids;
+  by_parent.reserve(records.size());
+  known_ids.reserve(records.size());
+  for (const SpanRecord& r : records) known_ids.emplace(r.id, true);
+  // A span whose parent never completed (still open at export, e.g. the CLI
+  // root when report() runs mid-command) is grafted onto the virtual root so
+  // its subtree is not silently dropped.
+  for (const SpanRecord& r : records) {
+    const std::uint64_t parent =
+        known_ids.count(r.parent) != 0 ? r.parent : 0;
+    by_parent[parent].push_back(&r);
+  }
+
+  ProfileNode root;
+  root.name = "all";
+  root.count = records.size();
+  fill_children(root, {0}, by_parent);
+  for (const ProfileNode& child : root.children) {
+    root.total_seconds += child.total_seconds;
+  }
+  root.self_seconds = 0.0;
+  return root;
+}
+
+}  // namespace scshare::obs

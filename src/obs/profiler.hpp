@@ -1,0 +1,153 @@
+// Span-based hierarchical profiler.
+//
+// A Span marks one timed region (a game round, a best response, one backend
+// evaluation, a steady-state solve, a residual mat-vec). Spans nest through a
+// thread-local "current span" pointer, so the completed records form a forest
+// whose parent edges reproduce the dynamic call tree — including across the
+// exec thread pool, which adopts the dispatching thread's current span in its
+// workers via ScopedSpanParent (see exec/thread_pool.cpp).
+//
+// The profiler is globally off by default. When off, a span site costs one
+// relaxed atomic load and nothing else: no clock read, no allocation, no
+// lock. When enabled (Profiler::instance().enable(), or the CLI's
+// --profile-out flag), each span end appends a fixed-size SpanRecord under a
+// mutex; a full fig7-style run records a few thousand spans, so contention is
+// negligible next to the model solves being measured (bench/fig8_overhead
+// panel (c) keeps this under 3%).
+//
+// Completed records export two ways:
+//  * to_chrome_trace() — Chrome trace-event JSON ("traceEvents" array of
+//    "ph":"X" complete events) loadable in Perfetto / chrome://tracing;
+//  * build_profile_tree() — per-run aggregation by span-name path (count,
+//    total and self seconds), embedded in RunReport.
+//
+// Span names must be string literals (or otherwise outlive the profiler):
+// records store the pointer, not a copy.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace scshare::obs {
+
+namespace detail {
+extern std::atomic<bool> g_profiler_enabled;
+}  // namespace detail
+
+/// True when span sites should record. The only cost a disabled span pays.
+[[nodiscard]] inline bool profiler_enabled() noexcept {
+  return detail::g_profiler_enabled.load(std::memory_order_relaxed);
+}
+
+/// One completed span.
+struct SpanRecord {
+  const char* name;        ///< span-site label (static storage)
+  std::uint64_t id;        ///< unique, > 0
+  std::uint64_t parent;    ///< id of the enclosing span; 0 = root
+  std::uint32_t thread;    ///< dense thread index in first-record order
+  std::int64_t start_ns;   ///< nanoseconds since Profiler::enable()
+  std::int64_t duration_ns;
+};
+
+/// Aggregated profile: one node per distinct span-name path.
+struct ProfileNode {
+  std::string name;
+  std::uint64_t count = 0;      ///< spans aggregated into this node
+  double total_seconds = 0.0;   ///< summed wall time of those spans
+  double self_seconds = 0.0;    ///< total minus child totals (>= 0)
+  std::vector<ProfileNode> children;  ///< heaviest (by total) first
+};
+
+/// Process-wide collector of completed spans.
+///
+/// enable()/disable() are not synchronized against in-flight spans: flip the
+/// flag while no instrumented work is running (the CLI enables before
+/// constructing the Framework). Spans still open when records() is taken are
+/// simply absent from the output.
+class Profiler {
+ public:
+  static Profiler& instance();
+
+  /// Clears prior records, restarts the epoch clock, and turns span sites on.
+  void enable();
+  /// Turns span sites off; completed records stay available for export.
+  void disable();
+  [[nodiscard]] bool is_enabled() const noexcept { return profiler_enabled(); }
+
+  /// Copies the completed records (arbitrary order; sort by start_ns if
+  /// presentation order matters).
+  [[nodiscard]] std::vector<SpanRecord> records() const;
+  [[nodiscard]] std::size_t record_count() const;
+  void clear();
+
+  /// Nanoseconds since the last enable() on the steady clock.
+  [[nodiscard]] std::int64_t now_since_epoch_ns() const noexcept;
+
+  /// Appends a completed record (called by Span::end; dropped when disabled).
+  void record(const SpanRecord& r);
+
+ private:
+  Profiler() = default;
+
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> records_;
+  std::atomic<std::int64_t> epoch_ns_{0};  ///< steady-clock origin
+};
+
+/// RAII timed region. Inactive (and nearly free) when the profiler is off at
+/// construction; a span that began before disable() still records at end so
+/// the forest stays parent-consistent.
+class Span {
+ public:
+  explicit Span(const char* name) noexcept {
+    if (profiler_enabled()) begin(name);
+  }
+  ~Span() {
+    if (id_ != 0) end();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void begin(const char* name) noexcept;
+  void end() noexcept;
+
+  const char* name_ = nullptr;
+  std::uint64_t id_ = 0;  ///< 0 = inactive
+  std::uint64_t parent_ = 0;
+  std::int64_t start_ns_ = 0;
+};
+
+/// Id of the calling thread's innermost open span (0 = none). Capture this
+/// on the dispatching thread, then adopt it on workers with ScopedSpanParent
+/// so worker-side spans parent under the dispatch site.
+[[nodiscard]] std::uint64_t current_span() noexcept;
+
+/// Installs `parent` as the thread's current span for the scope's lifetime.
+class ScopedSpanParent {
+ public:
+  explicit ScopedSpanParent(std::uint64_t parent) noexcept;
+  ~ScopedSpanParent();
+  ScopedSpanParent(const ScopedSpanParent&) = delete;
+  ScopedSpanParent& operator=(const ScopedSpanParent&) = delete;
+
+ private:
+  std::uint64_t saved_;
+};
+
+/// Chrome trace-event JSON for the records: {"traceEvents":[...]} with
+/// "ph":"X" complete events, microsecond ts/dur, pid 1, tid = dense thread
+/// index, and args carrying the span/parent ids for tree reconstruction.
+[[nodiscard]] std::string to_chrome_trace(
+    const std::vector<SpanRecord>& records);
+
+/// Aggregates records into a tree by span-name path. The returned root is
+/// synthetic (name "all", total = sum of root-span durations, count = total
+/// records); its children are the aggregated root spans.
+[[nodiscard]] ProfileNode build_profile_tree(
+    const std::vector<SpanRecord>& records);
+
+}  // namespace scshare::obs

@@ -2,7 +2,8 @@
 // core::Framework::report() and serialized by io (see io/config_io.hpp).
 // Lives in obs so that it stays dependency-free: it is a metrics snapshot
 // (counter values are deltas over the report scope) plus the trace events
-// captured in the Framework's ring buffer.
+// captured in the Framework's ring buffer and, when the profiler is on, the
+// aggregated span tree.
 #pragma once
 
 #include <cstdint>
@@ -10,6 +11,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 
 namespace scshare::obs {
@@ -20,6 +22,9 @@ struct RunReport {
   std::vector<TraceEvent> events;  ///< captured trace, oldest first
   std::uint64_t events_total = 0;  ///< emitted count (>= events.size())
   std::uint64_t events_dropped = 0;  ///< lost to ring wrap-around
+  bool profiled = false;      ///< true when the span profiler was enabled
+  ProfileNode profile;        ///< aggregated span tree (meaningful when
+                              ///< profiled; spans still open are absent)
 };
 
 }  // namespace scshare::obs

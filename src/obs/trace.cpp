@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace scshare::obs {
 namespace {
 
@@ -177,14 +179,26 @@ RingBufferSink::RingBufferSink(std::size_t capacity)
 }
 
 void RingBufferSink::emit(const TraceEvent& event) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  if (buffer_.size() < capacity_) {
-    buffer_.push_back(event);
-  } else {
-    buffer_[next_] = event;
-    next_ = (next_ + 1) % capacity_;
+  // Ring-health self-metrics: totals/drops across every RingBufferSink in
+  // the process. The CLI warns on stderr when a run's delta shows drops.
+  static Counter& events_total =
+      MetricsRegistry::global().counter("obs.trace.events_total");
+  static Counter& events_dropped =
+      MetricsRegistry::global().counter("obs.trace.events_dropped");
+  events_total.add();
+  bool dropped = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (buffer_.size() < capacity_) {
+      buffer_.push_back(event);
+    } else {
+      buffer_[next_] = event;
+      next_ = (next_ + 1) % capacity_;
+      dropped = true;
+    }
+    ++emitted_;
   }
-  ++emitted_;
+  if (dropped) events_dropped.add();
 }
 
 std::vector<TraceEvent> RingBufferSink::events() const {

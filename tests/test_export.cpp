@@ -1,0 +1,162 @@
+// OpenMetrics sanity tests for the RunReport exporters (src/obs/export.*,
+// io::make_exporter): name sanitization, unique families with one # TYPE
+// line each, label escaping, cumulative histogram buckets, the trailing
+// # EOF, and the json/prom factory.
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "io/config_io.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+
+namespace obs = scshare::obs;
+namespace io = scshare::io;
+
+namespace {
+
+obs::RunReport sample_report() {
+  obs::RunReport report;
+  report.backend = "cache(approx)";
+  report.metrics.counters["market.game.rounds"] = 7;
+  report.metrics.counters["federation.cache.hits"] = 42;
+  report.metrics.gauges["exec.pool.threads"] = 4.0;
+
+  obs::HistogramSnapshot hist;
+  hist.bounds = {0.001, 0.01, 0.1};
+  hist.counts = {2, 3, 0, 1};  // last entry = overflow bucket
+  hist.count = 6;
+  hist.sum = 0.5;
+  hist.min = 0.0005;
+  hist.max = 0.2;
+  report.metrics.histograms["backend.eval.seconds"] = hist;
+  return report;
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+}  // namespace
+
+TEST(Export, SanitizeMetricNamePrefixesAndReplaces) {
+  EXPECT_EQ(obs::sanitize_metric_name("market.game.rounds"),
+            "scshare_market_game_rounds");
+  EXPECT_EQ(obs::sanitize_metric_name("a-b c"), "scshare_a_b_c");
+  EXPECT_EQ(obs::sanitize_metric_name("ok_name:x"), "scshare_ok_name:x");
+  // A leading digit gains a guard underscore.
+  EXPECT_EQ(obs::sanitize_metric_name("2fast"), "scshare__2fast");
+}
+
+TEST(Export, EscapeLabelValueHandlesSpecials) {
+  EXPECT_EQ(obs::escape_label_value("plain"), "plain");
+  EXPECT_EQ(obs::escape_label_value("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::escape_label_value("a\nb"), "a\\nb");
+}
+
+TEST(Export, OpenMetricsDocumentIsWellFormed) {
+  const obs::OpenMetricsExporter exporter;
+  EXPECT_STREQ(exporter.format_name(), "prom");
+  const std::string text = exporter.render(sample_report());
+  const auto lines = lines_of(text);
+  ASSERT_FALSE(lines.empty());
+  EXPECT_EQ(lines.back(), "# EOF");
+
+  // Exactly one # TYPE line per family, and every sample line belongs to a
+  // declared family.
+  std::set<std::string> families;
+  for (const auto& line : lines) {
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const std::string family =
+          line.substr(7, line.find(' ', 7) - 7);
+      EXPECT_TRUE(families.insert(family).second)
+          << "duplicate # TYPE for " << family;
+    }
+  }
+  EXPECT_TRUE(families.count("scshare_run_info") == 1);
+  EXPECT_TRUE(families.count("scshare_market_game_rounds") == 1);
+  EXPECT_TRUE(families.count("scshare_exec_pool_threads") == 1);
+  EXPECT_TRUE(families.count("scshare_backend_eval_seconds") == 1);
+
+  for (const auto& line : lines) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::string name = line.substr(0, line.find_first_of(" {"));
+    bool declared = false;
+    for (const auto& family : families) {
+      if (name == family || name == family + "_total" ||
+          name == family + "_bucket" || name == family + "_sum" ||
+          name == family + "_count") {
+        declared = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(declared) << "undeclared sample: " << line;
+  }
+}
+
+TEST(Export, OpenMetricsCountersGetTotalSuffix) {
+  const std::string text =
+      obs::OpenMetricsExporter().render(sample_report());
+  EXPECT_NE(text.find("scshare_market_game_rounds_total 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("scshare_federation_cache_hits_total 42\n"),
+            std::string::npos);
+}
+
+TEST(Export, OpenMetricsHistogramBucketsAreCumulative) {
+  const std::string text =
+      obs::OpenMetricsExporter().render(sample_report());
+  EXPECT_NE(
+      text.find("scshare_backend_eval_seconds_bucket{le=\"0.001\"} 2\n"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("scshare_backend_eval_seconds_bucket{le=\"0.01\"} 5\n"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("scshare_backend_eval_seconds_bucket{le=\"0.1\"} 5\n"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("scshare_backend_eval_seconds_bucket{le=\"+Inf\"} 6\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("scshare_backend_eval_seconds_sum 0.5"),
+            std::string::npos);
+  EXPECT_NE(text.find("scshare_backend_eval_seconds_count 6\n"),
+            std::string::npos);
+}
+
+TEST(Export, OpenMetricsEscapesBackendLabel) {
+  obs::RunReport report;
+  report.backend = "weird\"name\\with\nnewline";
+  const std::string text = obs::OpenMetricsExporter().render(report);
+  EXPECT_NE(
+      text.find(
+          "scshare_run_info{backend=\"weird\\\"name\\\\with\\nnewline\"} 1"),
+      std::string::npos);
+}
+
+TEST(Export, FactoryBuildsBothFormatsAndRejectsUnknown) {
+  const auto json = io::make_exporter("json");
+  const auto prom = io::make_exporter("prom");
+  EXPECT_STREQ(json->format_name(), "json");
+  EXPECT_STREQ(prom->format_name(), "prom");
+  EXPECT_THROW((void)io::make_exporter("xml"), scshare::Error);
+
+  // The JSON exporter renders the io::to_json(RunReport) document.
+  const std::string rendered = json->render(sample_report());
+  const io::Json parsed = io::Json::parse(rendered);
+  EXPECT_EQ(parsed.at("backend").as_string(), "cache(approx)");
+  EXPECT_EQ(
+      parsed.at("metrics").at("counters").at("market.game.rounds").as_int(),
+      7);
+}

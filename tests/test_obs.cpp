@@ -294,6 +294,135 @@ TEST(Trace, SetSinkReturnsPrevious) {
   obs::set_trace_sink(before);
 }
 
+// ---- trace-ring self-metrics ----------------------------------------------
+
+TEST(Trace, RingBufferSelfMetricsCountEmitsAndDrops) {
+  // The ring reports its own health through the global registry so a
+  // truncated report is visible in the metrics snapshot itself.
+  auto& registry = obs::MetricsRegistry::global();
+  const auto baseline = registry.snapshot();
+
+  obs::RingBufferSink sink(2);
+  for (int i = 0; i < 5; ++i) {
+    sink.emit(obs::EquilibriumRoundEvent{i, {}, false});
+  }
+  const auto delta = registry.snapshot().delta_from(baseline);
+  EXPECT_EQ(delta.counters.at("obs.trace.events_total"), 5u);
+  EXPECT_EQ(delta.counters.at("obs.trace.events_dropped"), 3u);
+  EXPECT_EQ(sink.dropped(), 3u);
+}
+
+// ---- histogram extremes under contention ----------------------------------
+
+TEST(Metrics, HistogramMinMaxExactUnderConcurrentObserves) {
+  // Each thread t observes the distinct values t*kPerThread .. t*kPerThread +
+  // kPerThread-1, so after quiescing the exact min/max/count/sum are known.
+  // This exercises the CAS fold in atomic_min/atomic_max: a lost update
+  // would surface as a min above 0 or a max below kTotal-1.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  constexpr std::int64_t kTotal = kThreads * kPerThread;
+  obs::Histogram h({1.0, 100.0, 10000.0});
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.observe(static_cast<double>(t) * kPerThread + i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, static_cast<std::uint64_t>(kTotal));
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, static_cast<double>(kTotal - 1));
+  // Sum of 0..kTotal-1; every term is integral so the double sum is exact
+  // well below 2^53.
+  EXPECT_DOUBLE_EQ(s.sum, static_cast<double>(kTotal) * (kTotal - 1) / 2.0);
+}
+
+// ---- sinks under concurrent emitters --------------------------------------
+
+TEST(Trace, JsonLinesSinkKeepsLinesAtomicUnderConcurrentEmit) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  const std::string path = temp_path("obs_concurrent.jsonl");
+  {
+    obs::JsonLinesSink sink(path);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&sink, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          // round encodes (thread, index) so we can check set equality below.
+          sink.emit(obs::EquilibriumRoundEvent{t * 1000 + i, {t, i}, false});
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    sink.flush();
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::vector<bool> seen(kThreads * 1000, false);
+  int lines = 0;
+  while (std::getline(in, line)) {
+    // Interleaved writes would leave a line that no longer parses, or one
+    // whose round was already consumed.
+    const io::Json parsed = io::Json::parse(line);
+    EXPECT_EQ(parsed.at("type").as_string(), "equilibrium_round");
+    const int round = parsed.at("round").as_int();
+    ASSERT_GE(round, 0);
+    ASSERT_LT(round, kThreads * 1000);
+    EXPECT_FALSE(seen[round]) << "duplicate line for round " << round;
+    seen[round] = true;
+    ++lines;
+  }
+  EXPECT_EQ(lines, kThreads * kPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      EXPECT_TRUE(seen[t * 1000 + i]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Trace, TeeSinkDeliversEveryEventToBothSinksUnderConcurrency) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  obs::RingBufferSink a(kThreads * kPerThread);
+  obs::RingBufferSink b(kThreads * kPerThread);
+  obs::TeeSink tee(&a, &b);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tee, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        tee.emit(obs::EquilibriumRoundEvent{t * 1000 + i, {}, false});
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (obs::RingBufferSink* sink : {&a, &b}) {
+    EXPECT_EQ(sink->total_emitted(),
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+    EXPECT_EQ(sink->dropped(), 0u);
+    std::vector<bool> seen(kThreads * 1000, false);
+    for (const auto& e : sink->events()) {
+      const int round = std::get<obs::EquilibriumRoundEvent>(e).round;
+      ASSERT_GE(round, 0);
+      ASSERT_LT(round, kThreads * 1000);
+      EXPECT_FALSE(seen[round]);
+      seen[round] = true;
+    }
+  }
+}
+
 // ---- pipeline integration -------------------------------------------------
 
 TEST(Report, FrameworkReportCountsSolverAndCacheActivity) {

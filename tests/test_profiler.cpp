@@ -1,0 +1,281 @@
+// Tests for the span profiler (src/obs/profiler.*): nesting and parenting,
+// cross-thread-pool span adoption, the disabled fast path, Chrome trace
+// export, profile-tree aggregation, and wall-clock coverage of an
+// instrumented Framework run.
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/framework.hpp"
+#include "exec/thread_pool.hpp"
+#include "io/json.hpp"
+#include "market/game.hpp"
+#include "obs/profiler.hpp"
+
+namespace obs = scshare::obs;
+namespace fed = scshare::federation;
+namespace io = scshare::io;
+
+namespace {
+
+/// Enables the profiler for one test and guarantees disable + clear on exit
+/// (the profiler is process-wide state; a leak would poison later tests).
+class ProfilerGuard {
+ public:
+  ProfilerGuard() { obs::Profiler::instance().enable(); }
+  ~ProfilerGuard() {
+    obs::Profiler::instance().disable();
+    obs::Profiler::instance().clear();
+  }
+};
+
+fed::FederationConfig small_federation() {
+  fed::FederationConfig cfg;
+  cfg.scs = {{.num_vms = 4, .lambda = 2.5, .mu = 1.0, .max_wait = 0.2},
+             {.num_vms = 4, .lambda = 3.0, .mu = 1.0, .max_wait = 0.2}};
+  cfg.shares = {1, 1};
+  cfg.truncation_epsilon = 1e-7;
+  return cfg;
+}
+
+scshare::market::PriceConfig default_prices(std::size_t n) {
+  scshare::market::PriceConfig prices;
+  prices.public_price.assign(n, 1.0);
+  prices.federation_price = 0.5;
+  return prices;
+}
+
+const obs::SpanRecord* find_by_name(const std::vector<obs::SpanRecord>& rs,
+                                    const std::string& name) {
+  for (const auto& r : rs) {
+    if (name == r.name) return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+TEST(Profiler, DisabledSpansRecordNothing) {
+  ASSERT_FALSE(obs::profiler_enabled());
+  {
+    const obs::Span a("off.outer");
+    const obs::Span b("off.inner");
+  }
+  EXPECT_EQ(obs::Profiler::instance().record_count(), 0u);
+  EXPECT_EQ(obs::current_span(), 0u);
+}
+
+TEST(Profiler, NestedSpansFormParentChain) {
+  const ProfilerGuard guard;
+  {
+    const obs::Span outer("t.outer");
+    {
+      const obs::Span middle("t.middle");
+      const obs::Span inner("t.inner");
+    }
+    const obs::Span sibling("t.sibling");
+  }
+  const auto records = obs::Profiler::instance().records();
+  ASSERT_EQ(records.size(), 4u);
+
+  const auto* outer = find_by_name(records, "t.outer");
+  const auto* middle = find_by_name(records, "t.middle");
+  const auto* inner = find_by_name(records, "t.inner");
+  const auto* sibling = find_by_name(records, "t.sibling");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(middle, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(sibling, nullptr);
+
+  EXPECT_EQ(outer->parent, 0u);
+  EXPECT_EQ(middle->parent, outer->id);
+  EXPECT_EQ(inner->parent, middle->id);
+  EXPECT_EQ(sibling->parent, outer->id);  // not under the closed middle/inner
+
+  // Ids are unique and nonzero; children start no earlier than parents and
+  // fit inside them.
+  std::set<std::uint64_t> ids;
+  for (const auto& r : records) {
+    EXPECT_GT(r.id, 0u);
+    EXPECT_TRUE(ids.insert(r.id).second);
+    EXPECT_GE(r.duration_ns, 0);
+  }
+  EXPECT_GE(inner->start_ns, middle->start_ns);
+  EXPECT_LE(inner->start_ns + inner->duration_ns,
+            middle->start_ns + middle->duration_ns);
+}
+
+TEST(Profiler, ThreadPoolWorkersAdoptDispatchSpan) {
+  const ProfilerGuard guard;
+  std::uint64_t dispatch_id = 0;
+  {
+    const obs::Span dispatch("t.dispatch");
+    dispatch_id = obs::current_span();
+    ASSERT_NE(dispatch_id, 0u);
+    scshare::exec::ThreadPool pool(4);
+    pool.parallel_for(64, [](std::size_t) {
+      const obs::Span work("t.work");
+      // Long enough per index that the calling thread cannot drain the
+      // atomic cursor before the pool's workers wake and claim indices.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    });
+  }
+  const auto records = obs::Profiler::instance().records();
+  std::set<std::uint32_t> threads;
+  std::size_t work_spans = 0;
+  for (const auto& r : records) {
+    if (std::string(r.name) == "t.work") {
+      ++work_spans;
+      EXPECT_EQ(r.parent, dispatch_id)
+          << "worker span not parented under the dispatch site";
+      threads.insert(r.thread);
+    }
+  }
+  EXPECT_EQ(work_spans, 64u);
+  // With 64 items on 4 workers at least two distinct threads should have
+  // executed spans (the pool hands out index ranges, not single items).
+  EXPECT_GE(threads.size(), 2u);
+}
+
+TEST(Profiler, CurrentSpanRestoredAfterScopedParent) {
+  const ProfilerGuard guard;
+  const obs::Span outer("t.outer");
+  const std::uint64_t before = obs::current_span();
+  {
+    const obs::ScopedSpanParent adopt(12345);
+    EXPECT_EQ(obs::current_span(), 12345u);
+  }
+  EXPECT_EQ(obs::current_span(), before);
+}
+
+TEST(Profiler, ChromeTraceIsValidJsonWithCompleteEvents) {
+  const ProfilerGuard guard;
+  {
+    const obs::Span outer("t.outer");
+    const obs::Span inner("t.inner");
+  }
+  const auto records = obs::Profiler::instance().records();
+  const std::string trace = obs::to_chrome_trace(records);
+  const io::Json parsed = io::Json::parse(trace);
+
+  ASSERT_TRUE(parsed.contains("traceEvents"));
+  EXPECT_EQ(parsed.at("displayTimeUnit").as_string(), "ms");
+  const auto& events = parsed.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), records.size());
+  for (const auto& e : events) {
+    EXPECT_EQ(e.at("ph").as_string(), "X");
+    EXPECT_EQ(e.at("cat").as_string(), "scshare");
+    EXPECT_EQ(e.at("pid").as_int(), 1);
+    EXPECT_GE(e.at("ts").as_double(), 0.0);
+    EXPECT_GE(e.at("dur").as_double(), 0.0);
+    EXPECT_TRUE(e.at("args").contains("span"));
+    EXPECT_TRUE(e.at("args").contains("parent"));
+  }
+  // Events are sorted by start time, so the outer span comes first.
+  EXPECT_EQ(events.at(std::size_t{0}).at("name").as_string(), "t.outer");
+}
+
+TEST(Profiler, ProfileTreeAggregatesByNamePath) {
+  const ProfilerGuard guard;
+  for (int i = 0; i < 3; ++i) {
+    const obs::Span outer("t.outer");
+    for (int j = 0; j < 2; ++j) {
+      const obs::Span inner("t.inner");
+    }
+  }
+  const auto tree =
+      obs::build_profile_tree(obs::Profiler::instance().records());
+  EXPECT_EQ(tree.name, "all");
+  EXPECT_EQ(tree.count, 9u);  // every record, counted once
+  ASSERT_EQ(tree.children.size(), 1u);
+
+  const auto& outer = tree.children.front();
+  EXPECT_EQ(outer.name, "t.outer");
+  EXPECT_EQ(outer.count, 3u);
+  ASSERT_EQ(outer.children.size(), 1u);
+  EXPECT_EQ(outer.children.front().name, "t.inner");
+  EXPECT_EQ(outer.children.front().count, 6u);
+
+  // total = self + children's totals, and the synthetic root's total covers
+  // its children exactly.
+  EXPECT_NEAR(outer.total_seconds,
+              outer.self_seconds + outer.children.front().total_seconds,
+              1e-12);
+  EXPECT_NEAR(tree.total_seconds, outer.total_seconds, 1e-12);
+}
+
+TEST(Profiler, FrameworkRunIsCoveredByTheSpanTree) {
+  const ProfilerGuard guard;
+  std::int64_t run_ns = 0;
+  {
+    const obs::Span root("test.run");
+    const auto start = obs::Profiler::instance().now_since_epoch_ns();
+    const auto cfg = small_federation();
+    scshare::FrameworkOptions options;
+    options.exec.threads = 4;
+    scshare::Framework fw(cfg, default_prices(cfg.size()), {}, options);
+    scshare::market::GameOptions game;
+    game.method = scshare::market::BestResponseMethod::kExhaustive;
+    game.max_rounds = 8;
+    (void)fw.find_equilibrium(game);
+    run_ns = obs::Profiler::instance().now_since_epoch_ns() - start;
+  }
+  const auto records = obs::Profiler::instance().records();
+  const auto* root = find_by_name(records, "test.run");
+  ASSERT_NE(root, nullptr);
+
+  // The instrumented phases under the root must cover >= 95% of its wall
+  // clock: sum the durations of its direct children.
+  std::int64_t children_ns = 0;
+  std::map<std::string, int> names;
+  for (const auto& r : records) {
+    ++names[r.name];
+    if (r.parent == root->id) children_ns += r.duration_ns;
+  }
+  EXPECT_GT(names["game.run"], 0);
+  EXPECT_GT(names["game.round"], 0);
+  EXPECT_GT(names["game.best_response"], 0);
+  EXPECT_GT(names["backend.eval_batch"], 0);
+  EXPECT_GT(names["backend.eval"], 0);
+  EXPECT_GT(names["solve.gauss_seidel"], 0);
+  ASSERT_GT(run_ns, 0);
+  EXPECT_GE(static_cast<double>(children_ns) / static_cast<double>(run_ns),
+            0.95)
+      << "span tree covers too little of the run: " << children_ns << " of "
+      << run_ns << " ns";
+
+  // Worker-side eval spans must parent under a batch span, never the root.
+  std::set<std::uint64_t> batch_ids;
+  for (const auto& r : records) {
+    if (std::string(r.name) == "backend.eval_batch") batch_ids.insert(r.id);
+  }
+  for (const auto& r : records) {
+    if (std::string(r.name) == "backend.eval") {
+      EXPECT_TRUE(batch_ids.count(r.parent) == 1)
+          << "backend.eval span parented outside backend.eval_batch";
+    }
+  }
+}
+
+TEST(Profiler, EnableRestartsEpochAndClearsRecords) {
+  {
+    const ProfilerGuard guard;
+    const obs::Span s("t.first");
+  }
+  obs::Profiler::instance().enable();
+  EXPECT_EQ(obs::Profiler::instance().record_count(), 0u);
+  {
+    const obs::Span s("t.second");
+  }
+  const auto records = obs::Profiler::instance().records();
+  obs::Profiler::instance().disable();
+  obs::Profiler::instance().clear();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_GE(records.front().start_ns, 0);
+}

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Stream-discipline smoke test for the scshare CLI: when diagnostics
+# (--metrics-out=-, --profile-out=-) are routed to stdout, the primary result
+# must stay intact in the file named by --out, and each stdout payload must be
+# exactly one well-formed document of the requested format.
+#
+# Usage: cli_stream_smoke.sh <scshare-binary> <config.json> <work-dir>
+set -euo pipefail
+
+CLI="$1"
+CONFIG="$2"
+WORK="$3"
+
+fail() {
+  echo "cli_stream_smoke: FAIL: $*" >&2
+  exit 1
+}
+
+have_python() { command -v python3 >/dev/null 2>&1; }
+
+check_json() {
+  # Validates that a file is one JSON document; falls back to a brace check
+  # when python3 is unavailable.
+  local file="$1" what="$2"
+  if have_python; then
+    python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$file" \
+      || fail "$what is not valid JSON"
+  else
+    head -c 1 "$file" | grep -q '{' || fail "$what does not start with '{'"
+  fi
+}
+
+# 1. OpenMetrics diagnostics to stdout, result to a file: stdout must be pure
+#    prom text (starts with # TYPE / scshare_, ends with # EOF) and the result
+#    file must be valid JSON.
+"$CLI" equilibrium "$CONFIG" \
+  --out="$WORK/smoke_result.json" \
+  --metrics-out=- --metrics-format=prom --compact \
+  > "$WORK/smoke_prom.txt"
+grep -q '^# EOF$' "$WORK/smoke_prom.txt" || fail "prom stdout missing # EOF"
+grep -q '^scshare_' "$WORK/smoke_prom.txt" || fail "prom stdout has no metrics"
+grep -q '^{' "$WORK/smoke_prom.txt" && fail "result JSON leaked into prom stdout"
+check_json "$WORK/smoke_result.json" "--out result (prom-to-stdout run)"
+
+# 2. Chrome trace profile to stdout, result to a file: stdout must be one JSON
+#    document containing traceEvents, and the result file must stay valid.
+"$CLI" equilibrium "$CONFIG" \
+  --out="$WORK/smoke_result2.json" \
+  --profile-out=- --compact \
+  > "$WORK/smoke_trace.json"
+check_json "$WORK/smoke_trace.json" "--profile-out=- stdout"
+grep -q '"traceEvents"' "$WORK/smoke_trace.json" || fail "profile stdout lacks traceEvents"
+grep -q '"cli.run"' "$WORK/smoke_trace.json" || fail "profile stdout lacks cli.run span"
+check_json "$WORK/smoke_result2.json" "--out result (profile-to-stdout run)"
+
+# 3. Default path: result alone on stdout remains one valid JSON document.
+"$CLI" equilibrium "$CONFIG" --compact > "$WORK/smoke_default.json"
+check_json "$WORK/smoke_default.json" "default stdout result"
+
+echo "cli_stream_smoke: OK"

@@ -1,0 +1,522 @@
+// scshare_bench — the perf-baseline pipeline.
+//
+// Usage:
+//   scshare_bench run [--quick] [--repeat=K] [--out-dir=DIR]
+//   scshare_bench compare <baseline.json> <candidate.json> [--threshold=0.15]
+//   scshare_bench selftest
+//
+// `run` executes two pinned scenario suites — "market" (fig7-style sweeps and
+// equilibrium games, the paper's end-to-end paths) and "solver" (steady-state
+// / transient / mat-vec micro scenarios behind every backend evaluation) —
+// and writes one JSON document per suite (BENCH_market.json,
+// BENCH_solver.json). Each document carries:
+//   * an environment fingerprint (compiler, build type, arch; no hostnames
+//     or timestamps, so committed baselines do not churn),
+//   * per-scenario wall times of every repetition plus their median,
+//   * per-scenario counter deltas (solver iterations, game rounds, cache
+//     misses, ...) from the global metrics registry — these are
+//     deterministic, so any drift flags an algorithmic change.
+//
+// `compare` exits non-zero when any scenario's candidate median exceeds the
+// baseline median by more than --threshold (default 15%). Counter drift and
+// environment mismatches are reported as warnings, not failures: wall-clock
+// regression is the contract, counters are the diagnosis.
+//
+// `selftest` verifies the comparator itself: identical documents must pass
+// and a synthetic 2x slowdown must fail.
+//
+// Scenario sizes: --quick (used by CI and the committed baselines) finishes
+// in seconds; the default sizes stress the solvers harder for local use.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/framework.hpp"
+#include "federation/backend.hpp"
+#include "io/json.hpp"
+#include "markov/ctmc.hpp"
+#include "markov/steady_state.hpp"
+#include "markov/transient.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+using namespace scshare;
+
+constexpr const char* kSchema = "scshare.bench/1";
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: scshare_bench run [--quick] [--repeat=K] "
+               "[--out-dir=DIR]\n"
+               "       scshare_bench compare <baseline.json> "
+               "<candidate.json> [--threshold=0.15]\n"
+               "       scshare_bench selftest\n");
+  return 2;
+}
+
+// ---- scenarios ------------------------------------------------------------
+
+struct Scenario {
+  std::string name;
+  /// One repetition; must construct all state (caches included) afresh so
+  /// every repetition measures the same work.
+  std::function<void()> body;
+};
+
+struct ScenarioResult {
+  std::string name;
+  std::vector<double> runs_seconds;
+  std::map<std::string, std::uint64_t> counters;  ///< first-rep deltas
+};
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  if (n == 0) return 0.0;
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+std::vector<ScenarioResult> run_suite(const std::vector<Scenario>& scenarios,
+                                      int repeat) {
+  std::vector<ScenarioResult> results;
+  results.reserve(scenarios.size());
+  for (const Scenario& scenario : scenarios) {
+    ScenarioResult result;
+    result.name = scenario.name;
+    for (int rep = 0; rep < repeat; ++rep) {
+      const obs::MetricsSnapshot baseline =
+          obs::MetricsRegistry::global().snapshot();
+      const bench::Timer timer;
+      scenario.body();
+      result.runs_seconds.push_back(timer.seconds());
+      if (rep == 0) {
+        const obs::MetricsSnapshot delta =
+            obs::MetricsRegistry::global().snapshot().delta_from(baseline);
+        for (const auto& [name, value] : delta.counters) {
+          // Counter deltas are deterministic per scenario; zero deltas are
+          // noise in the document.
+          if (value != 0) result.counters[name] = value;
+        }
+      }
+      std::fprintf(stderr, "  %-32s rep %d/%d  %.4fs\n",
+                   scenario.name.c_str(), rep + 1, repeat,
+                   result.runs_seconds.back());
+    }
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+federation::FederationConfig make_federation(std::size_t num_scs, int vms,
+                                             const std::vector<double>& rho) {
+  federation::FederationConfig config;
+  for (std::size_t i = 0; i < num_scs; ++i) {
+    federation::ScConfig sc;
+    sc.num_vms = vms;
+    sc.lambda = rho[i % rho.size()] * static_cast<double>(vms);
+    sc.mu = 1.0;
+    sc.max_wait = 0.2;
+    config.scs.push_back(sc);
+  }
+  config.shares.assign(num_scs, 0);
+  // The approximate model's chain sizes grow quickly with the truncation
+  // tolerance; 1e-7 (also used by examples/configs/two_sc_tiny.json) keeps
+  // the pinned scenarios representative without minute-long evaluations.
+  config.truncation_epsilon = 1e-7;
+  return config;
+}
+
+market::PriceConfig make_prices(std::size_t num_scs, double ratio) {
+  market::PriceConfig prices;
+  prices.public_price.assign(num_scs, 1.0);
+  prices.federation_price = ratio;
+  return prices;
+}
+
+markov::Ctmc make_birth_death(std::size_t n, double lambda, double mu) {
+  markov::Ctmc chain(n);
+  for (std::size_t q = 0; q + 1 < n; ++q) {
+    chain.add_rate(q, q + 1, lambda);
+    chain.add_rate(q + 1, q, static_cast<double>(q + 1) * mu);
+  }
+  chain.finalize();
+  return chain;
+}
+
+/// Fig7-style end-to-end market scenarios (games + sweep through the
+/// Framework, approximate backend, fresh cache per repetition).
+std::vector<Scenario> market_scenarios(bool quick) {
+  std::vector<Scenario> scenarios;
+
+  scenarios.push_back(
+      {"equilibrium_exhaustive_3sc", [quick] {
+         const auto config =
+             make_federation(3, quick ? 3 : 5, {0.8, 0.5, 0.3});
+         Framework fw(config, make_prices(3, 0.5), {.gamma = 0.0});
+         market::GameOptions game;
+         game.method = market::BestResponseMethod::kExhaustive;
+         game.max_rounds = 8;
+         (void)fw.find_equilibrium(game);
+       }});
+
+  scenarios.push_back(
+      {"equilibrium_tabu_4sc", [quick] {
+         const auto config =
+             make_federation(4, quick ? 2 : 4, {0.9, 0.6, 0.4, 0.2});
+         Framework fw(config, make_prices(4, 0.4), {.gamma = 0.0});
+         market::GameOptions game;  // tabu best responses (the default)
+         game.max_rounds = 8;
+         (void)fw.find_equilibrium(game);
+       }});
+
+  scenarios.push_back(
+      {"price_sweep_2sc", [quick] {
+         const auto config = make_federation(2, quick ? 4 : 8, {0.8, 0.4});
+         Framework fw(config, make_prices(2, 0.5), {.gamma = 0.0});
+         market::SweepOptions sweep;
+         sweep.ratios = {0.2, 0.5, 0.8};
+         sweep.optimum_stride = 2;
+         sweep.game.method = market::BestResponseMethod::kExhaustive;
+         sweep.game.max_rounds = 8;
+         (void)fw.sweep_prices(sweep);
+       }});
+
+  scenarios.push_back(
+      {"approx_eval_batch_5sc", [quick] {
+         // The market's cost oracle in isolation: one batch of distinct
+         // sharing vectors through the hierarchical approximate model.
+         const int vms = quick ? 3 : 6;
+         const auto config =
+             make_federation(5, vms, {0.8, 0.6, 0.5, 0.4, 0.3});
+         federation::ApproxBackend backend;
+         std::vector<federation::EvalRequest> requests;
+         for (int s = 0; s <= (quick ? 2 : 4); ++s) {
+           federation::EvalRequest request;
+           request.config = config;
+           request.config.shares.assign(5, s);
+           requests.push_back(std::move(request));
+         }
+         const auto results = backend.evaluate_batch(requests);
+         for (const auto& r : results) {
+           if (!r.ok) throw r.to_error();
+         }
+       }});
+
+  return scenarios;
+}
+
+/// Solver micro scenarios: the CTMC kernels behind every backend evaluation.
+std::vector<Scenario> solver_scenarios(bool quick) {
+  std::vector<Scenario> scenarios;
+
+  scenarios.push_back({"gauss_seidel_birth_death", [quick] {
+                         const auto chain =
+                             make_birth_death(quick ? 2000 : 20000, 5.0, 1.0);
+                         (void)markov::solve_steady_state(chain);
+                       }});
+
+  scenarios.push_back({"power_birth_death", [quick] {
+                         const auto chain =
+                             make_birth_death(quick ? 500 : 5000, 5.0, 1.0);
+                         (void)markov::solve_steady_state_power(chain);
+                       }});
+
+  scenarios.push_back(
+      {"transient_evolve_multi", [quick] {
+         const std::size_t n = quick ? 1000 : 4000;
+         const auto chain = make_birth_death(n, 5.0, 1.0);
+         const markov::TransientSolver solver(chain);
+         std::vector<double> p0(n, 0.0);
+         p0[0] = 1.0;
+         const std::vector<double> ts = {0.5, 1.0, 2.0, 4.0};
+         (void)solver.evolve_multi(p0, ts);
+       }});
+
+  scenarios.push_back(
+      {"csr_matvec", [quick] {
+         const std::size_t n = quick ? 20000 : 200000;
+         const auto chain = make_birth_death(n, 5.0, 1.0);
+         std::vector<double> x(n, 1.0 / static_cast<double>(n));
+         std::vector<double> y(n);
+         for (int rep = 0; rep < 200; ++rep) {
+           chain.generator().multiply_transposed(x, y);
+           std::swap(x, y);
+         }
+       }});
+
+  return scenarios;
+}
+
+// ---- document assembly ----------------------------------------------------
+
+io::Json env_fingerprint() {
+  io::JsonObject env;
+#if defined(__clang__)
+  env["compiler"] = std::string("clang ") + __VERSION__;
+#elif defined(__GNUC__)
+  env["compiler"] = std::string("gcc ") + __VERSION__;
+#else
+  env["compiler"] = std::string("unknown");
+#endif
+#if defined(NDEBUG)
+  env["build"] = std::string("release");
+#else
+  env["build"] = std::string("debug");
+#endif
+#if defined(__x86_64__) || defined(_M_X64)
+  env["arch"] = std::string("x86_64");
+#elif defined(__aarch64__)
+  env["arch"] = std::string("aarch64");
+#else
+  env["arch"] = std::string("other");
+#endif
+#if defined(__linux__)
+  env["os"] = std::string("linux");
+#elif defined(__APPLE__)
+  env["os"] = std::string("darwin");
+#else
+  env["os"] = std::string("other");
+#endif
+  env["pointer_bits"] = static_cast<double>(8 * sizeof(void*));
+  env["hardware_threads"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+  return io::Json(std::move(env));
+}
+
+io::Json suite_document(const std::string& suite, bool quick, int repeat,
+                        const std::vector<ScenarioResult>& results) {
+  io::JsonObject doc;
+  doc["schema"] = std::string(kSchema);
+  doc["suite"] = suite;
+  doc["mode"] = std::string(quick ? "quick" : "full");
+  doc["repeat"] = static_cast<double>(repeat);
+  doc["env"] = env_fingerprint();
+  io::JsonArray scenarios;
+  for (const ScenarioResult& r : results) {
+    io::JsonObject entry;
+    entry["name"] = r.name;
+    entry["median_seconds"] = median(r.runs_seconds);
+    io::JsonArray runs;
+    for (double s : r.runs_seconds) runs.emplace_back(s);
+    entry["runs_seconds"] = io::Json(std::move(runs));
+    io::JsonObject counters;
+    for (const auto& [name, value] : r.counters) {
+      counters[name] = static_cast<double>(value);
+    }
+    entry["counters"] = io::Json(std::move(counters));
+    scenarios.push_back(io::Json(std::move(entry)));
+  }
+  doc["scenarios"] = io::Json(std::move(scenarios));
+  return io::Json(std::move(doc));
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  require(out.good(), "scshare_bench: cannot open output file: " + path);
+  out << text;
+}
+
+io::Json load_json(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "scshare_bench: cannot open file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return io::Json::parse(buffer.str());
+}
+
+// ---- comparator -----------------------------------------------------------
+
+struct CompareOutcome {
+  std::vector<std::string> failures;  ///< any entry = non-zero exit
+  std::vector<std::string> warnings;
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+};
+
+CompareOutcome compare_docs(const io::Json& base, const io::Json& cand,
+                            double threshold) {
+  CompareOutcome outcome;
+  const auto str = [](const io::Json& doc, const char* key) {
+    return doc.contains(key) ? doc.at(key).as_string() : std::string();
+  };
+  if (str(base, "schema") != kSchema || str(cand, "schema") != kSchema) {
+    outcome.failures.push_back("schema mismatch (expected " +
+                               std::string(kSchema) + ")");
+    return outcome;
+  }
+  if (str(base, "suite") != str(cand, "suite")) {
+    outcome.failures.push_back("suite mismatch: baseline '" +
+                               str(base, "suite") + "' vs candidate '" +
+                               str(cand, "suite") + "'");
+    return outcome;
+  }
+  if (str(base, "mode") != str(cand, "mode")) {
+    outcome.warnings.push_back("mode mismatch: baseline '" +
+                               str(base, "mode") + "' vs candidate '" +
+                               str(cand, "mode") +
+                               "' — medians are not comparable");
+  }
+  if (base.contains("env") && cand.contains("env") &&
+      base.at("env").dump() != cand.at("env").dump()) {
+    outcome.warnings.push_back(
+        "environment fingerprints differ; treat timing deltas with care");
+  }
+
+  std::map<std::string, const io::Json*> candidates;
+  for (const auto& s : cand.at("scenarios").as_array()) {
+    candidates[s.at("name").as_string()] = &s;
+  }
+  for (const auto& s : base.at("scenarios").as_array()) {
+    const std::string name = s.at("name").as_string();
+    const auto it = candidates.find(name);
+    if (it == candidates.end()) {
+      outcome.failures.push_back("scenario missing from candidate: " + name);
+      continue;
+    }
+    const double base_median = s.at("median_seconds").as_double();
+    const double cand_median = it->second->at("median_seconds").as_double();
+    if (base_median > 0.0) {
+      const double ratio = cand_median / base_median;
+      char line[256];
+      if (ratio > 1.0 + threshold) {
+        std::snprintf(line, sizeof(line),
+                      "%s regressed: %.4fs -> %.4fs (%.0f%% > %.0f%% budget)",
+                      name.c_str(), base_median, cand_median,
+                      (ratio - 1.0) * 100.0, threshold * 100.0);
+        outcome.failures.push_back(line);
+      } else if (ratio < 1.0 / (1.0 + threshold)) {
+        std::snprintf(line, sizeof(line), "%s improved: %.4fs -> %.4fs",
+                      name.c_str(), base_median, cand_median);
+        outcome.warnings.push_back(line);
+      }
+    }
+    // Counters are deterministic; drift means the algorithm changed, which
+    // deserves a look even when wall time held.
+    if (s.contains("counters") && it->second->contains("counters") &&
+        s.at("counters").dump() != it->second->at("counters").dump()) {
+      outcome.warnings.push_back("counter drift in scenario: " + name);
+    }
+  }
+  return outcome;
+}
+
+int report_outcome(const CompareOutcome& outcome) {
+  for (const auto& w : outcome.warnings) {
+    std::printf("WARN  %s\n", w.c_str());
+  }
+  for (const auto& f : outcome.failures) {
+    std::printf("FAIL  %s\n", f.c_str());
+  }
+  if (outcome.ok()) {
+    std::printf("OK    no regression beyond threshold\n");
+    return 0;
+  }
+  return 1;
+}
+
+// ---- commands -------------------------------------------------------------
+
+int cmd_run(int argc, char** argv) {
+  bool quick = false;
+  int repeat = 5;
+  std::string out_dir = ".";
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg.rfind("--repeat=", 0) == 0) {
+      repeat = std::atoi(arg.substr(std::string("--repeat=").size()).c_str());
+    } else if (arg.rfind("--out-dir=", 0) == 0) {
+      out_dir = arg.substr(std::string("--out-dir=").size());
+    } else {
+      return usage();
+    }
+  }
+  require(repeat >= 1, "scshare_bench: --repeat must be >= 1");
+
+  std::fprintf(stderr, "suite market (%s, repeat=%d)\n",
+               quick ? "quick" : "full", repeat);
+  const auto market = run_suite(market_scenarios(quick), repeat);
+  write_file(out_dir + "/BENCH_market.json",
+             suite_document("market", quick, repeat, market).dump(2) + "\n");
+
+  std::fprintf(stderr, "suite solver (%s, repeat=%d)\n",
+               quick ? "quick" : "full", repeat);
+  const auto solver = run_suite(solver_scenarios(quick), repeat);
+  write_file(out_dir + "/BENCH_solver.json",
+             suite_document("solver", quick, repeat, solver).dump(2) + "\n");
+
+  std::printf("wrote %s/BENCH_market.json and %s/BENCH_solver.json\n",
+              out_dir.c_str(), out_dir.c_str());
+  return 0;
+}
+
+int cmd_compare(int argc, char** argv) {
+  if (argc < 4) return usage();
+  double threshold = 0.15;
+  for (int i = 4; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threshold=", 0) == 0) {
+      threshold =
+          std::atof(arg.substr(std::string("--threshold=").size()).c_str());
+    } else {
+      return usage();
+    }
+  }
+  require(threshold > 0.0, "scshare_bench: --threshold must be positive");
+  return report_outcome(
+      compare_docs(load_json(argv[2]), load_json(argv[3]), threshold));
+}
+
+int cmd_selftest() {
+  const auto make_doc = [](double scale) {
+    std::vector<ScenarioResult> results;
+    ScenarioResult r;
+    r.name = "synthetic";
+    r.runs_seconds = {0.9 * scale, 1.0 * scale, 1.1 * scale};
+    r.counters["markov.steady_state.gauss_seidel.iterations"] = 100;
+    results.push_back(std::move(r));
+    return suite_document("solver", true, 3, results);
+  };
+  const io::Json baseline = make_doc(1.0);
+
+  const CompareOutcome identical = compare_docs(baseline, baseline, 0.15);
+  if (!identical.ok()) {
+    std::printf("selftest FAILED: identical documents reported a "
+                "regression\n");
+    return 1;
+  }
+  const CompareOutcome slowdown =
+      compare_docs(baseline, make_doc(2.0), 0.15);
+  if (slowdown.ok()) {
+    std::printf("selftest FAILED: 2x slowdown not detected\n");
+    return 1;
+  }
+  std::printf("selftest OK: identical passes, 2x slowdown fails\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "run") return cmd_run(argc, argv);
+    if (command == "compare") return cmd_compare(argc, argv);
+    if (command == "selftest") return cmd_selftest();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "scshare_bench: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

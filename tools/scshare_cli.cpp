@@ -4,8 +4,10 @@
 //   scshare <command> <config.json> [--backend approx|detailed|simulation]
 //                                   [--backend-chain=a,b,...] [--retry-max=N]
 //                                   [--fault-spec=SPEC] [--threads=N]
-//                                   [--compact] [--metrics-out=FILE]
-//                                   [--trace=FILE]
+//                                   [--compact] [--out=FILE]
+//                                   [--metrics-out=FILE]
+//                                   [--metrics-format=json|prom]
+//                                   [--profile-out=FILE] [--trace=FILE]
 //
 // Commands:
 //   validate     parse + validate the configuration, echo it back
@@ -30,15 +32,24 @@
 //                        any value; only the wall-clock changes.
 //
 // Observability (all commands except validate):
-//   --metrics-out=FILE  write the Framework::report() JSON — solver
-//                       iteration counters, cache hit/miss totals, latency
-//                       histograms, and the captured trace events.
+//   --metrics-out=FILE  write the Framework::report() — solver iteration
+//                       counters, cache hit/miss totals, latency histograms,
+//                       captured trace events — in the --metrics-format
+//                       encoding. FILE may be "-" for stdout.
+//   --metrics-format=F  "json" (default, the full report document) or "prom"
+//                       (OpenMetrics / Prometheus text exposition).
+//   --profile-out=FILE  enable the span profiler and write a Chrome
+//                       trace-event JSON (open in Perfetto or
+//                       chrome://tracing). FILE may be "-" for stdout.
 //   --trace=FILE        stream every trace event (solver iterations, backend
 //                       evaluations, best responses, equilibrium rounds) as
 //                       JSON lines while the command runs.
 //
 // The configuration schema is shown in examples/configs/three_sc.json; the
-// result is JSON on stdout (pretty-printed unless --compact).
+// primary result is JSON (pretty-printed unless --compact) written to --out
+// ("-" = stdout, the default). Diagnostics streamed to "-" are written before
+// the result, so send the result to a file (--out=res.json) when piping
+// metrics or profiles through stdout.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -50,6 +61,7 @@
 
 #include "core/framework.hpp"
 #include "io/config_io.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 
 namespace {
@@ -65,7 +77,10 @@ struct CliOptions {
   std::string fault_spec;  ///< empty = no fault injection
   int threads = 1;         ///< backend evaluation threads (1 = serial)
   bool compact = false;
-  std::string metrics_out;  ///< empty = no metrics report file
+  std::string out = "-";    ///< primary result destination ("-" = stdout)
+  std::string metrics_out;  ///< empty = no metrics report ("-" = stdout)
+  std::string metrics_format = "json";  ///< "json" | "prom"
+  std::string profile_out;  ///< empty = profiler off ("-" = stdout)
   std::string trace_path;   ///< empty = no JSONL trace file
 };
 
@@ -75,8 +90,22 @@ int usage() {
       "usage: scshare <validate|baseline|metrics|costs|equilibrium|sweep|"
       "simulate> <config.json> [--backend approx|detailed|simulation] "
       "[--backend-chain=a,b,...] [--retry-max=N] [--fault-spec=SPEC] "
-      "[--threads=N] [--compact] [--metrics-out=FILE] [--trace=FILE]\n");
+      "[--threads=N] [--compact] [--out=FILE] [--metrics-out=FILE] "
+      "[--metrics-format=json|prom] [--profile-out=FILE] [--trace=FILE]\n");
   return 2;
+}
+
+/// Writes `text` to `path`, where "-" selects stdout.
+void write_text(const std::string& path, const std::string& text,
+                const char* what) {
+  if (path == "-") {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    std::fflush(stdout);
+    return;
+  }
+  std::ofstream file(path);
+  require(file.good(), std::string("cannot open ") + what + ": " + path);
+  file << text;
 }
 
 /// Installs a JSONL trace sink for the scope's lifetime.
@@ -120,7 +149,8 @@ int run(const CliOptions& cli) {
   const int indent = cli.compact ? -1 : 2;
 
   if (cli.command == "validate") {
-    std::puts(io::to_json(federation).dump(indent).c_str());
+    write_text(cli.out, io::to_json(federation).dump(indent) + "\n",
+               "result output file");
     return 0;
   }
 
@@ -160,75 +190,104 @@ int run(const CliOptions& cli) {
   if (config_json.contains("sim")) {
     options.sim = io::parse_sim_options(config_json.at("sim"));
   }
-  // Install the trace file before the Framework so its baseline solves are
-  // streamed too; the Framework tees its report ring buffer into this sink.
-  ScopedTraceFile trace_file(cli.trace_path);
-  Framework framework(federation, prices, utility, options);
+  const bool profiling = !cli.profile_out.empty();
+  if (profiling) obs::Profiler::instance().enable();
 
-  io::JsonObject out;
-  out["backend"] = cli.backend;
+  std::string result_text;
+  obs::RunReport report;
+  {
+    // Root span covering the whole command (Framework construction included)
+    // so the exported span tree accounts for essentially all of the run's
+    // wall-clock; closed before the trace is exported below.
+    const obs::Span root_span("cli.run");
+    // Install the trace file before the Framework so its baseline solves are
+    // streamed too; the Framework tees its report ring buffer into this sink.
+    ScopedTraceFile trace_file(cli.trace_path);
+    Framework framework(federation, prices, utility, options);
 
-  if (cli.command == "baseline") {
-    io::JsonArray baselines;
-    for (const auto& b : framework.baselines()) {
-      baselines.push_back(io::to_json(b));
+    io::JsonObject out;
+    out["backend"] = cli.backend;
+
+    if (cli.command == "baseline") {
+      io::JsonArray baselines;
+      for (const auto& b : framework.baselines()) {
+        baselines.push_back(io::to_json(b));
+      }
+      out["baselines"] = io::Json(std::move(baselines));
+    } else if (cli.command == "metrics") {
+      out["metrics"] = io::to_json(framework.metrics());
+    } else if (cli.command == "costs") {
+      const auto costs = framework.costs(federation.shares);
+      const auto utilities = framework.utilities(federation.shares);
+      io::JsonArray cost_array, utility_array;
+      for (double c : costs) cost_array.emplace_back(c);
+      for (double u : utilities) utility_array.emplace_back(u);
+      out["costs"] = io::Json(std::move(cost_array));
+      out["utilities"] = io::Json(std::move(utility_array));
+    } else if (cli.command == "equilibrium") {
+      market::GameOptions game;
+      if (config_json.contains("game")) {
+        game = io::parse_game_options(config_json.at("game"));
+      }
+      out["equilibrium"] = io::to_json(framework.find_equilibrium(game));
+    } else if (cli.command == "sweep") {
+      require(config_json.contains("sweep"),
+              "sweep command requires a \"sweep\" section");
+      const io::Json& sweep_json = config_json.at("sweep");
+      market::SweepOptions sweep;
+      for (const auto& r : sweep_json.at("ratios").as_array()) {
+        sweep.ratios.push_back(r.as_double());
+      }
+      sweep.public_price = sweep_json.get_or("public_price", 1.0);
+      sweep.optimum_stride = sweep_json.get_or("optimum_stride", 1);
+      if (config_json.contains("game")) {
+        sweep.game = io::parse_game_options(config_json.at("game"));
+      }
+      io::JsonArray points;
+      for (const auto& point : framework.sweep_prices(sweep)) {
+        points.push_back(io::to_json(point));
+      }
+      out["sweep"] = io::Json(std::move(points));
+    } else if (cli.command == "simulate") {
+      sim::SimOptions sim_options;
+      if (config_json.contains("sim")) {
+        sim_options = io::parse_sim_options(config_json.at("sim"));
+      }
+      sim::Simulator simulator(federation, sim_options);
+      io::JsonArray stats;
+      for (const auto& s : simulator.run()) stats.push_back(io::to_json(s));
+      out["simulation"] = io::Json(std::move(stats));
+    } else {
+      return usage();
     }
-    out["baselines"] = io::Json(std::move(baselines));
-  } else if (cli.command == "metrics") {
-    out["metrics"] = io::to_json(framework.metrics());
-  } else if (cli.command == "costs") {
-    const auto costs = framework.costs(federation.shares);
-    const auto utilities = framework.utilities(federation.shares);
-    io::JsonArray cost_array, utility_array;
-    for (double c : costs) cost_array.emplace_back(c);
-    for (double u : utilities) utility_array.emplace_back(u);
-    out["costs"] = io::Json(std::move(cost_array));
-    out["utilities"] = io::Json(std::move(utility_array));
-  } else if (cli.command == "equilibrium") {
-    market::GameOptions game;
-    if (config_json.contains("game")) {
-      game = io::parse_game_options(config_json.at("game"));
-    }
-    out["equilibrium"] = io::to_json(framework.find_equilibrium(game));
-  } else if (cli.command == "sweep") {
-    require(config_json.contains("sweep"),
-            "sweep command requires a \"sweep\" section");
-    const io::Json& sweep_json = config_json.at("sweep");
-    market::SweepOptions sweep;
-    for (const auto& r : sweep_json.at("ratios").as_array()) {
-      sweep.ratios.push_back(r.as_double());
-    }
-    sweep.public_price = sweep_json.get_or("public_price", 1.0);
-    sweep.optimum_stride = sweep_json.get_or("optimum_stride", 1);
-    if (config_json.contains("game")) {
-      sweep.game = io::parse_game_options(config_json.at("game"));
-    }
-    io::JsonArray points;
-    for (const auto& point : framework.sweep_prices(sweep)) {
-      points.push_back(io::to_json(point));
-    }
-    out["sweep"] = io::Json(std::move(points));
-  } else if (cli.command == "simulate") {
-    sim::SimOptions sim_options;
-    if (config_json.contains("sim")) {
-      sim_options = io::parse_sim_options(config_json.at("sim"));
-    }
-    sim::Simulator simulator(federation, sim_options);
-    io::JsonArray stats;
-    for (const auto& s : simulator.run()) stats.push_back(io::to_json(s));
-    out["simulation"] = io::Json(std::move(stats));
-  } else {
-    return usage();
+
+    report = framework.report();
+    result_text = io::Json(std::move(out)).dump(indent) + "\n";
   }
 
+  // Diagnostics first (possibly to stdout), the primary result last; with
+  // --out=FILE the stdout streams cannot corrupt the result JSON.
+  if (profiling) {
+    obs::Profiler::instance().disable();
+    write_text(cli.profile_out,
+               obs::to_chrome_trace(obs::Profiler::instance().records()),
+               "profile output file");
+  }
+  if (report.events_dropped > 0) {
+    std::fprintf(stderr,
+                 "scshare: warning: %llu of %llu trace events dropped from "
+                 "the report ring (capacity %zu); raise trace_capacity or "
+                 "stream with --trace=FILE\n",
+                 static_cast<unsigned long long>(report.events_dropped),
+                 static_cast<unsigned long long>(report.events_total),
+                 options.trace_capacity);
+  }
   if (!cli.metrics_out.empty()) {
-    std::ofstream metrics_file(cli.metrics_out);
-    require(metrics_file.good(),
-            "cannot open metrics output file: " + cli.metrics_out);
-    metrics_file << io::to_json(framework.report()).dump(indent) << '\n';
+    const auto exporter = io::make_exporter(cli.metrics_format);
+    write_text(cli.metrics_out, exporter->render(report),
+               "metrics output file");
   }
-
-  std::puts(io::Json(std::move(out)).dump(indent).c_str());
+  write_text(cli.out, result_text, "result output file");
   return 0;
 }
 
@@ -263,10 +322,23 @@ int main(int argc, char** argv) {
       cli.threads = std::atoi(argv[++i]);
     } else if (arg == "--compact") {
       cli.compact = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      cli.out = arg.substr(std::string("--out=").size());
+    } else if (arg == "--out" && i + 1 < argc) {
+      cli.out = argv[++i];
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
       cli.metrics_out = arg.substr(std::string("--metrics-out=").size());
     } else if (arg == "--metrics-out" && i + 1 < argc) {
       cli.metrics_out = argv[++i];
+    } else if (arg.rfind("--metrics-format=", 0) == 0) {
+      cli.metrics_format =
+          arg.substr(std::string("--metrics-format=").size());
+    } else if (arg == "--metrics-format" && i + 1 < argc) {
+      cli.metrics_format = argv[++i];
+    } else if (arg.rfind("--profile-out=", 0) == 0) {
+      cli.profile_out = arg.substr(std::string("--profile-out=").size());
+    } else if (arg == "--profile-out" && i + 1 < argc) {
+      cli.profile_out = argv[++i];
     } else if (arg.rfind("--trace=", 0) == 0) {
       cli.trace_path = arg.substr(std::string("--trace=").size());
     } else if (arg == "--trace" && i + 1 < argc) {
