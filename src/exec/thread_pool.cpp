@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 
@@ -13,12 +14,15 @@ namespace {
 
 struct ExecObs {
   obs::Gauge& pool_threads;
+  obs::Gauge& queue_depth;
   obs::Counter& tasks_submitted;
   obs::Counter& parallel_for_calls;
   obs::Counter& parallel_for_tasks;
 
   ExecObs()
       : pool_threads(obs::MetricsRegistry::global().gauge("exec.pool.threads")),
+        queue_depth(
+            obs::MetricsRegistry::global().gauge("exec.pool.queue_depth")),
         tasks_submitted(
             obs::MetricsRegistry::global().counter("exec.tasks_submitted")),
         parallel_for_calls(obs::MetricsRegistry::global().counter(
@@ -58,11 +62,15 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::enqueue(std::function<void()> task) {
+  std::size_t depth = 0;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
+    depth = queue_.size();
   }
-  exec_obs().tasks_submitted.add();
+  ExecObs& instruments = exec_obs();
+  instruments.tasks_submitted.add();
+  instruments.queue_depth.set(static_cast<double>(depth));
   wake_.notify_one();
 }
 
@@ -76,6 +84,7 @@ void ThreadPool::worker_loop() {
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      exec_obs().queue_depth.set(static_cast<double>(queue_.size()));
     }
     task();
   }
@@ -101,11 +110,15 @@ void ThreadPool::parallel_for(std::size_t n,
   auto failure_mutex = std::make_shared<std::mutex>();
   auto failure = std::make_shared<std::exception_ptr>();
   // Workers adopt the dispatching thread's open span so profiler spans opened
-  // inside fn() parent under the call site rather than dangling as roots.
+  // inside fn() parent under the call site rather than dangling as roots, and
+  // the dispatching thread's correlation id so log lines and JSONL trace
+  // events emitted from fn() carry the same ctx as the dispatch site.
   const std::uint64_t parent_span = obs::current_span();
-  const auto run_indices = [n, next, failure_mutex, failure, &fn,
-                            parent_span]() {
+  const obs::CorrelationId ctx = obs::current_correlation();
+  const auto run_indices = [n, next, failure_mutex, failure, &fn, parent_span,
+                            ctx]() {
     const obs::ScopedSpanParent adopt(parent_span);
+    const obs::ScopedCorrelation adopt_ctx(ctx);
     for (;;) {
       const std::size_t i = next->fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;

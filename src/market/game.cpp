@@ -5,8 +5,10 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
+#include "obs/status.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace.hpp"
 
@@ -222,6 +224,7 @@ int Game::best_response(std::size_t i, std::vector<int> shares) {
     chosen_value = chosen == best ? best_value : current_value;
   }
   if (chosen != current) instruments.share_changes.add();
+  if (std::isfinite(chosen_value)) round_welfare_estimate_ += chosen_value;
   if (auto* sink = obs::trace_sink()) {
     sink->emit(obs::BestResponseEvent{static_cast<int>(i), current, chosen,
                                       current_value, chosen_value});
@@ -240,8 +243,20 @@ GameResult Game::run() {
   failed_evaluations_ = 0;
   std::vector<int> shares = options_.initial_shares;
 
+  obs::StatusBoard& board = obs::StatusBoard::global();
+  board.set("game.max_rounds", options_.max_rounds);
+  board.set("game.converged", false);
+
   for (int round = 1; round <= options_.max_rounds; ++round) {
+    // Fresh correlation id per round: every log line, JSONL trace event, and
+    // profiler span produced while this round runs (including from pool
+    // workers — parallel_for propagates the id) carries the same ctx, so one
+    // grep reconstructs the round across components.
+    const obs::ScopedCorrelation round_ctx(obs::next_correlation_id());
     const obs::Span round_span("game.round");
+    obs::log_debug("market", "game round starting",
+                   {obs::field("round", round)});
+    round_welfare_estimate_ = 0.0;
     std::vector<int> next;
     if (options_.update_rule == UpdateRule::kSimultaneous) {
       // All SCs respond to the previous round (literal Algorithm 1).
@@ -259,6 +274,10 @@ GameResult Game::run() {
     result.rounds = round;
     result.trajectory.push_back(next);
     instruments.rounds.add();
+    board.set("game.round", round);
+    board.set("game.shares", next);
+    board.set("game.welfare_estimate", round_welfare_estimate_);
+    board.set("game.degraded", degraded_);
     if (auto* sink = obs::trace_sink()) {
       sink->emit(obs::EquilibriumRoundEvent{round, next, next != shares});
     }
@@ -298,6 +317,12 @@ GameResult Game::run() {
   result.degraded = degraded_;
   result.failed_evaluations = failed_evaluations_;
   if (result.degraded) instruments.degraded_runs.add();
+
+  double welfare = 0.0;
+  for (double u : result.utilities) welfare += u;
+  board.set("game.converged", result.converged);
+  board.set("game.welfare", welfare);
+  board.set("game.degraded", result.degraded);
   return result;
 }
 

@@ -128,6 +128,10 @@ class Game {
   bool has_last_good_ = false;
   bool degraded_ = false;
   int failed_evaluations_ = 0;
+  /// Sum of the chosen best-response utilities in the current round; run()
+  /// zeroes it each round and publishes it to the /statusz board as a live
+  /// welfare estimate (the exact welfare is computed once, at the end).
+  double round_welfare_estimate_ = 0.0;
 };
 
 }  // namespace scshare::market

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/timer.hpp"
@@ -92,6 +93,8 @@ void check_finite(const std::vector<double>& pi, double residual,
     return;
   }
   divergence_aborts_counter().add();
+  obs::log_warn("solver", "iterate contains NaN/Inf; aborting solve",
+                {obs::field("solver", solver)});
   throw Error("iterate contains NaN/Inf (divergent chain or "
               "ill-conditioned generator)",
               ErrorCode::kNumericalFailure, solver);
@@ -105,6 +108,9 @@ bool check_divergence(double residual, double best_residual,
   if (divergence_factor <= 0.0) return false;
   if (residual <= best_residual * divergence_factor) return false;
   divergence_aborts_counter().add();
+  obs::log_warn("solver", "residual diverged; abandoning iteration budget",
+                {obs::field("residual", residual),
+                 obs::field("best_residual", best_residual)});
   return true;
 }
 
@@ -248,6 +254,11 @@ SteadyStateResult solve_steady_state_guarded(
       result.relaxations = attempt;
       result.tolerance_used = relaxed;
       relaxations_counter().add(attempt);
+      obs::log_warn(
+          "solver", "accepted under relaxed tolerance; result degraded",
+          {obs::field("relaxations", static_cast<std::int64_t>(attempt)),
+           obs::field("tolerance_used", relaxed),
+           obs::field("residual", result.residual)});
       return result;
     }
   }

@@ -1,0 +1,283 @@
+#include "net/http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+namespace scshare::net {
+namespace {
+
+/// send() the whole buffer, suppressing SIGPIPE; false on any failure (the
+/// client hung up — nothing useful to do beyond dropping the connection).
+bool send_all(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n =
+        ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads until the blank line ending the request head, kMaxRequestBytes cap.
+/// Returns false on EOF/error before a complete head arrived.
+bool read_head(int fd, std::string& head, bool& too_large) {
+  too_large = false;
+  char buf[1024];
+  while (head.find("\r\n\r\n") == std::string::npos &&
+         head.find("\n\n") == std::string::npos) {
+    if (head.size() >= HttpServer::kMaxRequestBytes) {
+      too_large = true;
+      return true;
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    head.append(buf, static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+/// "GET /metrics?x=1 HTTP/1.1" -> method + target; false when malformed.
+bool parse_request_line(const std::string& head, HttpRequest& request) {
+  const std::size_t eol = head.find_first_of("\r\n");
+  const std::string line = head.substr(0, eol);
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos) return false;
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) return false;
+  request.method = line.substr(0, sp1);
+  request.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::size_t query = request.target.find('?');
+  request.path = request.target.substr(0, query);
+  return !request.method.empty() && !request.path.empty() &&
+         request.path[0] == '/';
+}
+
+void write_response(int fd, const HttpResponse& response, bool head_only) {
+  std::string out;
+  out.reserve(128 + response.body.size());
+  out += "HTTP/1.1 ";
+  out += std::to_string(response.status);
+  out += ' ';
+  out += http_status_reason(response.status);
+  out += "\r\nContent-Type: ";
+  out += response.content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(response.body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  if (!head_only) out += response.body;
+  (void)send_all(fd, out.data(), out.size());
+}
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string("HttpServer: ") + what + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+const char* http_status_reason(int status) noexcept {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+HttpServer::HttpServer(std::uint16_t port, Handler handler)
+    : handler_(std::move(handler)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw_errno("socket");
+
+  const int on = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &on, sizeof(on));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    throw_errno("bind");
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    throw_errno("listen");
+  }
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  } else {
+    port_ = port;
+  }
+
+  thread_ = std::thread([this] { accept_loop(); });
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::stop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  // shutdown() wakes the blocking accept() with an error; close() alone is
+  // not guaranteed to on all kernels.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpServer::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (stopping_.load(std::memory_order_acquire)) {
+      if (fd >= 0) ::close(fd);
+      return;
+    }
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // listener gone — treat as shutdown
+    }
+    serve_connection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpServer::serve_connection(int fd) {
+  std::string head;
+  bool too_large = false;
+  if (!read_head(fd, head, too_large)) return;
+  served_.fetch_add(1, std::memory_order_relaxed);
+
+  HttpRequest request;
+  HttpResponse response;
+  if (too_large) {
+    response.status = 431;
+    response.body = "request head too large\n";
+    write_response(fd, response, false);
+    return;
+  }
+  if (!parse_request_line(head, request)) {
+    response.status = 400;
+    response.body = "malformed request line\n";
+    write_response(fd, response, false);
+    return;
+  }
+  const bool head_only = request.method == "HEAD";
+  if (request.method != "GET" && !head_only) {
+    response.status = 405;
+    response.body = "only GET is supported\n";
+    write_response(fd, response, head_only);
+    return;
+  }
+  try {
+    response = handler_(request);
+  } catch (const std::exception& e) {
+    response = HttpResponse{};
+    response.status = 500;
+    response.body = std::string("handler error: ") + e.what() + "\n";
+  }
+  write_response(fd, response, head_only);
+}
+
+HttpGetResult http_get(std::uint16_t port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("client socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("connect");
+  }
+
+  const std::string request =
+      "GET " + target + " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+      "Connection: close\r\n\r\n";
+  if (!send_all(fd, request.data(), request.size())) {
+    ::close(fd);
+    throw std::runtime_error("HttpServer: client send failed");
+  }
+
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      throw_errno("client recv");
+    }
+    if (n == 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  HttpGetResult result;
+  if (raw.rfind("HTTP/1.", 0) != 0) {
+    throw std::runtime_error("HttpServer: malformed status line");
+  }
+  const std::size_t sp = raw.find(' ');
+  result.status = std::atoi(raw.c_str() + sp + 1);
+  std::size_t body_at = raw.find("\r\n\r\n");
+  std::size_t skip = 4;
+  if (body_at == std::string::npos) {
+    body_at = raw.find("\n\n");
+    skip = 2;
+  }
+  if (body_at == std::string::npos) {
+    throw std::runtime_error("HttpServer: response missing header terminator");
+  }
+  const std::size_t line_end = raw.find_first_of("\r\n");
+  result.headers = raw.substr(line_end, body_at - line_end);
+  result.body = raw.substr(body_at + skip);
+  return result;
+}
+
+}  // namespace scshare::net

@@ -1,0 +1,105 @@
+// Minimal blocking-accept HTTP/1.1 server (and a tiny client for tests).
+//
+// Purpose-built for the embedded telemetry plane (obs::TelemetryServer):
+// a scrape endpoint needs GET + small responses + clean shutdown, nothing
+// more. Deliberately NOT a general web server:
+//  * one dedicated accept thread, connections served inline one at a time
+//    (a Prometheus scraper opens one connection per scrape; serving inline
+//    keeps the server to exactly one thread and zero queues);
+//  * request line + headers parsed from at most kMaxRequestBytes; bodies are
+//    ignored (GET/HEAD only — anything else gets 405);
+//  * every response carries Content-Length and Connection: close, so clients
+//    never need chunked decoding;
+//  * binds 127.0.0.1 only: telemetry is operator-facing, not public. Expose
+//    it beyond the host with a reverse proxy, not by widening the bind.
+//
+// No third-party dependencies: POSIX sockets only. Standard-library errors
+// (std::runtime_error) on bind/listen failures so callers without the
+// scshare error taxonomy can still use the listener.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace scshare::net {
+
+/// One parsed request: method, request-target path (query string stripped),
+/// and the raw target as sent.
+struct HttpRequest {
+  std::string method;  ///< "GET", "HEAD", ...
+  std::string path;    ///< "/metrics" (query string removed)
+  std::string target;  ///< raw request-target, query string included
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Standard reason phrase for the handful of statuses the server emits.
+[[nodiscard]] const char* http_status_reason(int status) noexcept;
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  /// Binds 127.0.0.1:`port` (0 = kernel-chosen ephemeral port) and starts
+  /// the accept thread. Throws std::runtime_error when the socket cannot be
+  /// created, bound, or listened on.
+  HttpServer(std::uint16_t port, Handler handler);
+
+  /// stop()s and joins.
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// The actually bound port (resolves port 0 to the kernel's choice).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Idempotent: closes the listener, wakes the accept thread, joins it.
+  /// In-flight responses complete before the thread exits.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept {
+    return !stopping_.load(std::memory_order_acquire);
+  }
+
+  /// Requests served so far (any status).
+  [[nodiscard]] std::uint64_t requests_served() const noexcept {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+  /// Largest request head (request line + headers) accepted; longer
+  /// requests get 431 and the connection is closed.
+  static constexpr std::size_t kMaxRequestBytes = 8192;
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  Handler handler_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> served_{0};
+  std::thread thread_;
+};
+
+/// Blocking single-request client used by tests and smoke tooling: connects
+/// to 127.0.0.1:`port`, issues `GET target`, returns the parsed status and
+/// body. Throws std::runtime_error on connect/IO failure or a malformed
+/// status line.
+struct HttpGetResult {
+  int status = 0;
+  std::string body;
+  std::string headers;  ///< raw header block (without the status line)
+};
+
+[[nodiscard]] HttpGetResult http_get(std::uint16_t port,
+                                     const std::string& target);
+
+}  // namespace scshare::net

@@ -1,0 +1,269 @@
+#include "obs/log.hpp"
+
+#include <cinttypes>
+#include <ctime>
+#include <sys/time.h>
+
+#include "obs/metrics.hpp"
+
+namespace scshare::obs {
+namespace {
+
+std::atomic<CorrelationId> g_next_correlation{1};
+thread_local CorrelationId t_correlation = 0;
+
+/// Millisecond ISO-8601 UTC timestamp, e.g. "2026-08-07T12:00:00.123Z".
+void append_timestamp(std::string& out) {
+  timeval tv{};
+  gettimeofday(&tv, nullptr);
+  std::tm tm{};
+  const std::time_t secs = tv.tv_sec;
+  gmtime_r(&secs, &tm);
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(tv.tv_usec / 1000));
+  out += buf;
+}
+
+/// JSON string escape (shared by both formats: logfmt values reuse the JSON
+/// escapes inside their double quotes, so a parser for either is trivial).
+void append_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// True when a logfmt value needs quoting (spaces, quotes, '=' or controls).
+bool needs_quotes(std::string_view s) {
+  if (s.empty()) return true;
+  for (char c : s) {
+    if (c == ' ' || c == '"' || c == '=' ||
+        static_cast<unsigned char>(c) < 0x21) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void append_logfmt_value(std::string& out, const LogField& f) {
+  if (f.is_number || !needs_quotes(f.value)) {
+    out += f.value;
+    return;
+  }
+  out += '"';
+  append_escaped(out, f.value);
+  out += '"';
+}
+
+void append_json_value(std::string& out, const LogField& f) {
+  if (f.is_number) {
+    out += f.value;
+    return;
+  }
+  out += '"';
+  append_escaped(out, f.value);
+  out += '"';
+}
+
+obs::Counter& lines_counter() {
+  static obs::Counter& counter =
+      MetricsRegistry::global().counter("obs.log.lines_total");
+  return counter;
+}
+
+}  // namespace
+
+CorrelationId current_correlation() noexcept { return t_correlation; }
+
+CorrelationId next_correlation_id() noexcept {
+  return g_next_correlation.fetch_add(1, std::memory_order_relaxed);
+}
+
+ScopedCorrelation::ScopedCorrelation(CorrelationId id) noexcept
+    : saved_(t_correlation) {
+  t_correlation = id;
+}
+
+ScopedCorrelation::~ScopedCorrelation() { t_correlation = saved_; }
+
+const char* log_level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "info";
+}
+
+bool parse_log_level(std::string_view name, LogLevel& out) noexcept {
+  if (name == "debug") {
+    out = LogLevel::kDebug;
+  } else if (name == "info") {
+    out = LogLevel::kInfo;
+  } else if (name == "warn") {
+    out = LogLevel::kWarn;
+  } else if (name == "error") {
+    out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+LogField field(std::string_view key, std::string_view value) {
+  return {std::string(key), std::string(value), false};
+}
+
+LogField field(std::string_view key, const char* value) {
+  return {std::string(key), std::string(value != nullptr ? value : ""), false};
+}
+
+LogField field(std::string_view key, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return {std::string(key), buf, true};
+}
+
+LogField field(std::string_view key, std::int64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  return {std::string(key), buf, true};
+}
+
+LogField field(std::string_view key, std::uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  return {std::string(key), buf, true};
+}
+
+LogField field(std::string_view key, int value) {
+  return field(key, static_cast<std::int64_t>(value));
+}
+
+LogField field(std::string_view key, bool value) {
+  return {std::string(key), value ? "true" : "false", true};
+}
+
+void Logger::log(LogLevel level, std::string_view component,
+                 std::string_view message,
+                 std::initializer_list<LogField> fields) {
+  if (!enabled(level)) return;
+
+  const CorrelationId ctx = t_correlation;
+  std::string line;
+  line.reserve(128);
+  if (format() == LogFormat::kJson) {
+    line += "{\"ts\":\"";
+    append_timestamp(line);
+    line += "\",\"level\":\"";
+    line += log_level_name(level);
+    line += "\",\"comp\":\"";
+    append_escaped(line, component);
+    line += "\",\"msg\":\"";
+    append_escaped(line, message);
+    line += '"';
+    if (ctx != 0) {
+      line += ",\"ctx\":";
+      line += std::to_string(ctx);
+    }
+    for (const LogField& f : fields) {
+      line += ",\"";
+      append_escaped(line, f.key);
+      line += "\":";
+      append_json_value(line, f);
+    }
+    line += "}\n";
+  } else {
+    line += "ts=";
+    append_timestamp(line);
+    line += " level=";
+    line += log_level_name(level);
+    line += " comp=";
+    append_logfmt_value(line, LogField{"", std::string(component), false});
+    line += " msg=\"";
+    append_escaped(line, message);
+    line += '"';
+    if (ctx != 0) {
+      line += " ctx=";
+      line += std::to_string(ctx);
+    }
+    for (const LogField& f : fields) {
+      line += ' ';
+      line += f.key;
+      line += '=';
+      append_logfmt_value(line, f);
+    }
+    line += '\n';
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    FILE* out = stream_ != nullptr ? stream_ : stderr;
+    std::fwrite(line.data(), 1, line.size(), out);
+    std::fflush(out);
+  }
+  lines_counter().add();
+}
+
+FILE* Logger::set_stream(FILE* stream) noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  FILE* previous = stream_;
+  stream_ = stream;
+  return previous;
+}
+
+std::uint64_t Logger::lines_written() const noexcept {
+  return lines_counter().value();
+}
+
+Logger& Logger::global() {
+  static Logger logger;
+  return logger;
+}
+
+void log_debug(std::string_view component, std::string_view message,
+               std::initializer_list<LogField> fields) {
+  Logger::global().log(LogLevel::kDebug, component, message, fields);
+}
+
+void log_info(std::string_view component, std::string_view message,
+              std::initializer_list<LogField> fields) {
+  Logger::global().log(LogLevel::kInfo, component, message, fields);
+}
+
+void log_warn(std::string_view component, std::string_view message,
+              std::initializer_list<LogField> fields) {
+  Logger::global().log(LogLevel::kWarn, component, message, fields);
+}
+
+void log_error(std::string_view component, std::string_view message,
+               std::initializer_list<LogField> fields) {
+  Logger::global().log(LogLevel::kError, component, message, fields);
+}
+
+}  // namespace scshare::obs

@@ -1,0 +1,160 @@
+// Structured, leveled logging plus request-scoped correlation.
+//
+// Every diagnostic the process emits while running goes through one
+// process-wide Logger so that (a) stdout stays reserved for primary results
+// and piped documents (--metrics-out=- / --profile-out=- discipline, see
+// tools/cli_stream_smoke.sh) and (b) concurrent writers can never interleave
+// partial lines: the sink writes each fully formatted line under one mutex.
+//
+// Two wire formats, selectable at runtime:
+//  * kText — logfmt-style, one line per record:
+//      ts=2026-08-07T12:00:00.123Z level=warn comp=solver msg="relaxed
+//      tolerance" ctx=17 attempts=2
+//  * kJson — one JSON object per line with the same fields:
+//      {"ts":"...","level":"warn","comp":"solver","msg":"...","ctx":17,
+//       "attempts":2}
+//
+// Schema (both formats): `ts` (UTC wall clock, millisecond ISO-8601),
+// `level` (debug|info|warn|error), `comp` (emitting component), `msg`,
+// `ctx` (correlation id, present only when a RequestContext is active), then
+// any record-specific fields in emission order. Keys are expected to be
+// plain identifiers; values are escaped.
+//
+// Correlation. A RequestContext is a thread-local correlation id scoped by
+// ScopedCorrelation; exec::ThreadPool::parallel_for captures the dispatching
+// thread's id and installs it in every worker (exactly like span parenting),
+// so one logical request — a game round, a telemetry scrape, a validation
+// scenario — carries the same id across the pool. The id is stamped onto log
+// lines (here), streamed trace events (obs::JsonLinesSink) and span records
+// (obs::SpanRecord::ctx), so `grep ctx=17 soak.log` reconstructs the round
+// end-to-end.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace scshare::obs {
+
+// ---- request-scoped correlation -------------------------------------------
+
+/// Correlation id tying one logical request's logs, trace events, and spans
+/// together. 0 means "no context".
+using CorrelationId = std::uint64_t;
+
+/// The calling thread's active correlation id (0 = none).
+[[nodiscard]] CorrelationId current_correlation() noexcept;
+
+/// Draws a fresh process-unique correlation id (> 0).
+[[nodiscard]] CorrelationId next_correlation_id() noexcept;
+
+/// Installs `id` as the thread's correlation id for the scope's lifetime and
+/// restores the previous id on destruction. Nestable.
+class ScopedCorrelation {
+ public:
+  explicit ScopedCorrelation(CorrelationId id) noexcept;
+  ~ScopedCorrelation();
+  ScopedCorrelation(const ScopedCorrelation&) = delete;
+  ScopedCorrelation& operator=(const ScopedCorrelation&) = delete;
+
+ private:
+  CorrelationId saved_;
+};
+
+// ---- structured logger -----------------------------------------------------
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Stable wire name: "debug", "info", "warn", "error".
+[[nodiscard]] const char* log_level_name(LogLevel level) noexcept;
+/// Parses a wire name back ("debug"|"info"|"warn"|"error"); returns false
+/// and leaves `out` untouched on an unknown name.
+[[nodiscard]] bool parse_log_level(std::string_view name,
+                                   LogLevel& out) noexcept;
+
+enum class LogFormat { kText, kJson };
+
+/// One structured field of a log record. Built through the field() helpers
+/// so numeric values render unquoted in both formats.
+struct LogField {
+  std::string key;
+  std::string value;   ///< pre-rendered; escaped at emission
+  bool is_number = false;
+};
+
+[[nodiscard]] LogField field(std::string_view key, std::string_view value);
+[[nodiscard]] LogField field(std::string_view key, const char* value);
+[[nodiscard]] LogField field(std::string_view key, double value);
+[[nodiscard]] LogField field(std::string_view key, std::int64_t value);
+[[nodiscard]] LogField field(std::string_view key, std::uint64_t value);
+[[nodiscard]] LogField field(std::string_view key, int value);
+[[nodiscard]] LogField field(std::string_view key, bool value);
+
+/// Thread-safe leveled logger writing one line per record to a FILE*
+/// (stderr by default — stdout belongs to primary results).
+class Logger {
+ public:
+  Logger() = default;
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  /// Emits one record when `level` passes the threshold. The line is
+  /// formatted outside the sink lock and written with one fwrite, so
+  /// concurrent records never interleave.
+  void log(LogLevel level, std::string_view component,
+           std::string_view message,
+           std::initializer_list<LogField> fields = {});
+
+  void set_level(LogLevel level) noexcept {
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel level() const noexcept {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+  /// True when a record at `level` would be emitted — gate expensive field
+  /// construction behind this.
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept {
+    return static_cast<int>(level) >=
+           level_.load(std::memory_order_relaxed);
+  }
+
+  void set_format(LogFormat format) noexcept {
+    json_.store(format == LogFormat::kJson, std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogFormat format() const noexcept {
+    return json_.load(std::memory_order_relaxed) ? LogFormat::kJson
+                                                 : LogFormat::kText;
+  }
+
+  /// Redirects the sink (tests point this at a memstream). The previous
+  /// stream is returned and never closed by the logger.
+  FILE* set_stream(FILE* stream) noexcept;
+
+  /// Records emitted (post-filter); exported as `obs.log.lines_total`.
+  [[nodiscard]] std::uint64_t lines_written() const noexcept;
+
+  /// The process-wide logger used by every component.
+  static Logger& global();
+
+ private:
+  std::atomic<int> level_{static_cast<int>(LogLevel::kInfo)};
+  std::atomic<bool> json_{false};
+  std::mutex mutex_;            ///< guards stream_ and the write itself
+  FILE* stream_ = nullptr;      ///< nullptr = stderr
+};
+
+/// Convenience wrappers over Logger::global().
+void log_debug(std::string_view component, std::string_view message,
+               std::initializer_list<LogField> fields = {});
+void log_info(std::string_view component, std::string_view message,
+              std::initializer_list<LogField> fields = {});
+void log_warn(std::string_view component, std::string_view message,
+              std::initializer_list<LogField> fields = {});
+void log_error(std::string_view component, std::string_view message,
+               std::initializer_list<LogField> fields = {});
+
+}  // namespace scshare::obs

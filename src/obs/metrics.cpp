@@ -67,10 +67,18 @@ HistogramSnapshot Histogram::snapshot() const {
   HistogramSnapshot s;
   s.bounds = bounds_;
   s.counts.reserve(counts_.size());
+  std::uint64_t bucket_total = 0;
   for (const auto& c : counts_) {
-    s.counts.push_back(c.load(std::memory_order_relaxed));
+    const std::uint64_t n = c.load(std::memory_order_relaxed);
+    bucket_total += n;
+    s.counts.push_back(n);
   }
-  s.count = count_.load(std::memory_order_relaxed);
+  // Derive count from the bucket loads rather than count_: under concurrent
+  // observe() the separately-loaded count_ can disagree with the buckets
+  // read a moment earlier, which would make the OpenMetrics cumulative
+  // le="+Inf" bucket differ from _count within one scrape. Each bucket load
+  // is monotone, so this keeps count consistent AND monotone across scrapes.
+  s.count = bucket_total;
   s.sum = sum_.load(std::memory_order_relaxed);
   s.min = min_.load(std::memory_order_relaxed);
   s.max = max_.load(std::memory_order_relaxed);

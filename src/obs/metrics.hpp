@@ -20,9 +20,15 @@
 //  * A Histogram's fields (bucket counts, count, sum, min, max) are
 //    individually atomic but not updated as one transaction: a snapshot()
 //    taken while observes are in flight can see, e.g., the bucket increment
-//    of an observation whose sum is not folded in yet. Quiesce the workload
-//    (as Framework::report() does — it runs on the caller's thread after the
-//    batch returns) when exact cross-field consistency matters.
+//    of an observation whose sum is not folded in yet. snapshot() derives
+//    `count` from the summed bucket loads, so count == sum(counts) holds in
+//    every snapshot and both are monotone across snapshots — this is what
+//    lets the live /metrics endpoint scrape mid-run and still emit
+//    well-formed OpenMetrics (cumulative le="+Inf" must equal _count).
+//    `sum`/`min`/`max` can still lag the buckets by in-flight observations;
+//    quiesce the workload (as Framework::report() does — it runs on the
+//    caller's thread after the batch returns) when exact cross-field
+//    consistency matters.
 //  * reset() concurrent with mutation has the same torn-view caveat; handles
 //    stay valid throughout.
 #pragma once

@@ -1,11 +1,14 @@
 #include "obs/profiler.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <chrono>
 #include <cstdio>
 #include <map>
 #include <string_view>
 #include <unordered_map>
+
+#include "obs/log.hpp"
 
 namespace scshare::obs {
 
@@ -97,6 +100,13 @@ std::vector<SpanRecord> Profiler::records() const {
   return records_;
 }
 
+std::vector<SpanRecord> Profiler::records_since(std::size_t from) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (from >= records_.size()) return {};
+  return {records_.begin() + static_cast<std::ptrdiff_t>(from),
+          records_.end()};
+}
+
 std::size_t Profiler::record_count() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return records_.size();
@@ -129,7 +139,7 @@ void Span::end() noexcept {
   Profiler& profiler = Profiler::instance();
   const std::int64_t end_ns = profiler.now_since_epoch_ns();
   profiler.record(SpanRecord{name_, id_, parent_, thread_index(), start_ns_,
-                             end_ns - start_ns_});
+                             end_ns - start_ns_, current_correlation()});
 }
 
 std::uint64_t current_span() noexcept { return t_current_span; }
@@ -167,7 +177,13 @@ std::string to_chrome_trace(const std::vector<SpanRecord>& records) {
     out += std::to_string(r.id);
     out += "\",\"parent\":\"";
     out += std::to_string(r.parent);
-    out += "\"}}";
+    out += "\"";
+    if (r.ctx != 0) {
+      out += ",\"ctx\":\"";
+      out += std::to_string(r.ctx);
+      out += "\"";
+    }
+    out += "}}";
   }
   out += "]}\n";
   return out;

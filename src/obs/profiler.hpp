@@ -50,6 +50,8 @@ struct SpanRecord {
   std::uint32_t thread;    ///< dense thread index in first-record order
   std::int64_t start_ns;   ///< nanoseconds since Profiler::enable()
   std::int64_t duration_ns;
+  std::uint64_t ctx;       ///< correlation id active at span end (see
+                           ///< obs/log.hpp); 0 = none
 };
 
 /// Aggregated profile: one node per distinct span-name path.
@@ -80,6 +82,13 @@ class Profiler {
   /// Copies the completed records (arbitrary order; sort by start_ns if
   /// presentation order matters).
   [[nodiscard]] std::vector<SpanRecord> records() const;
+  /// Incremental snapshot for mid-flight exporters: copies the records
+  /// appended at index `from` onward (completion order). Records already
+  /// consumed are never mutated, so a poller can resume from its previous
+  /// `from + returned.size()` without missing or duplicating spans; a
+  /// concurrent enable()/clear() restarts the sequence (detect it by the
+  /// returned count shrinking below `from`, which yields an empty result).
+  [[nodiscard]] std::vector<SpanRecord> records_since(std::size_t from) const;
   [[nodiscard]] std::size_t record_count() const;
   void clear();
 

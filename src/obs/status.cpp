@@ -1,0 +1,126 @@
+#include "obs/status.hpp"
+
+#include <cstdio>
+
+namespace scshare::obs {
+namespace {
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+void StatusBoard::set_rendered(std::string_view key, std::string rendered) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    entries_.emplace(std::string(key), std::move(rendered));
+  } else {
+    it->second = std::move(rendered);
+  }
+}
+
+void StatusBoard::set(std::string_view key, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  set_rendered(key, buf);
+}
+
+void StatusBoard::set(std::string_view key, std::int64_t value) {
+  set_rendered(key, std::to_string(value));
+}
+
+void StatusBoard::set(std::string_view key, int value) {
+  set_rendered(key, std::to_string(value));
+}
+
+void StatusBoard::set(std::string_view key, std::uint64_t value) {
+  set_rendered(key, std::to_string(value));
+}
+
+void StatusBoard::set(std::string_view key, bool value) {
+  set_rendered(key, value ? "true" : "false");
+}
+
+void StatusBoard::set(std::string_view key, std::string_view value) {
+  std::string rendered;
+  rendered.reserve(value.size() + 2);
+  append_json_string(rendered, value);
+  set_rendered(key, std::move(rendered));
+}
+
+void StatusBoard::set(std::string_view key, const char* value) {
+  set(key, std::string_view(value != nullptr ? value : ""));
+}
+
+void StatusBoard::set(std::string_view key, const std::vector<int>& value) {
+  std::string rendered = "[";
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    if (i > 0) rendered += ',';
+    rendered += std::to_string(value[i]);
+  }
+  rendered += ']';
+  set_rendered(key, std::move(rendered));
+}
+
+void StatusBoard::erase(std::string_view key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) entries_.erase(it);
+}
+
+void StatusBoard::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+std::string StatusBoard::to_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : entries_) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, key);
+    out += ':';
+    out += value;
+  }
+  out += '}';
+  return out;
+}
+
+std::map<std::string, std::string> StatusBoard::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return {entries_.begin(), entries_.end()};
+}
+
+StatusBoard& StatusBoard::global() {
+  static StatusBoard board;
+  return board;
+}
+
+}  // namespace scshare::obs

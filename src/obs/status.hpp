@@ -1,0 +1,59 @@
+// StatusBoard — a process-wide key/value board behind the /statusz endpoint.
+//
+// Long-running components publish their current progress here (the market
+// game publishes the round number, sharing vector, and welfare estimate each
+// round; tools publish identity fields) and the telemetry server renders the
+// whole board as one JSON object on demand. Unlike the metrics registry,
+// values are overwritten in place and carry structure (strings, arrays), so
+// the board answers "where is the run right now", not "how much happened".
+//
+// Values are rendered to JSON at set() time and stored as strings; reads
+// copy the map under the same mutex, so a /statusz scrape mid-update sees a
+// consistent snapshot of whole values (never a torn string).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scshare::obs {
+
+/// Thread-safe map of status keys to pre-rendered JSON values.
+class StatusBoard {
+ public:
+  StatusBoard() = default;
+  StatusBoard(const StatusBoard&) = delete;
+  StatusBoard& operator=(const StatusBoard&) = delete;
+
+  void set(std::string_view key, double value);
+  void set(std::string_view key, std::int64_t value);
+  void set(std::string_view key, int value);
+  void set(std::string_view key, std::uint64_t value);
+  void set(std::string_view key, bool value);
+  void set(std::string_view key, std::string_view value);
+  void set(std::string_view key, const char* value);
+  void set(std::string_view key, const std::vector<int>& value);
+
+  void erase(std::string_view key);
+  void clear();
+
+  /// `{"key": value, ...}` with keys sorted; `{}` when empty.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Point-in-time copy: key -> rendered JSON value.
+  [[nodiscard]] std::map<std::string, std::string> snapshot() const;
+
+  /// The process-wide board served at /statusz.
+  static StatusBoard& global();
+
+ private:
+  void set_rendered(std::string_view key, std::string rendered);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::string, std::less<>> entries_;
+};
+
+}  // namespace scshare::obs

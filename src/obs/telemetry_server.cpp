@@ -1,0 +1,229 @@
+#include "obs/telemetry_server.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/export.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/report.hpp"
+#include "obs/status.hpp"
+
+namespace scshare::obs {
+namespace {
+
+std::uint64_t counter_value(const MetricsSnapshot& snap,
+                            const std::string& name) {
+  const auto it = snap.counters.find(name);
+  return it != snap.counters.end() ? it->second : 0;
+}
+
+void append_number(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void append_profile_node(std::string& out, const ProfileNode& node) {
+  out += "{\"name\":\"";
+  for (char c : node.name) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += "\",\"count\":";
+  out += std::to_string(node.count);
+  out += ",\"total_seconds\":";
+  append_number(out, node.total_seconds);
+  out += ",\"self_seconds\":";
+  append_number(out, node.self_seconds);
+  out += ",\"children\":[";
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    if (i > 0) out += ',';
+    append_profile_node(out, node.children[i]);
+  }
+  out += "]}";
+}
+
+}  // namespace
+
+TelemetryServer::TelemetryServer(Options options)
+    : options_(std::move(options)), started_(std::chrono::steady_clock::now()) {
+  server_ = std::make_unique<net::HttpServer>(
+      options_.port,
+      [this](const net::HttpRequest& request) { return handle(request); });
+  log_info("telemetry", "telemetry server listening",
+           {field("port", static_cast<std::uint64_t>(server_->port())),
+            field("addr", "127.0.0.1")});
+}
+
+TelemetryServer::~TelemetryServer() { stop(); }
+
+std::uint16_t TelemetryServer::port() const noexcept {
+  return server_ ? server_->port() : 0;
+}
+
+void TelemetryServer::stop() {
+  if (server_ && server_->running()) {
+    const std::uint64_t served = server_->requests_served();
+    server_->stop();
+    log_info("telemetry", "telemetry server stopped",
+             {field("requests_served", served)});
+  } else if (server_) {
+    server_->stop();
+  }
+}
+
+std::string TelemetryServer::render_metrics() const {
+  static Counter& scrapes =
+      MetricsRegistry::global().counter("obs.telemetry.scrapes");
+  scrapes.add();
+  RunReport report;
+  report.backend = options_.backend_label;
+  report.metrics = MetricsRegistry::global().snapshot();
+  return OpenMetricsExporter{}.render(report);
+}
+
+std::string TelemetryServer::render_healthz() const {
+  const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+  const std::uint64_t degraded_runs =
+      counter_value(snap, "market.game.degraded_runs");
+  const std::uint64_t eval_failures =
+      counter_value(snap, "market.game.eval_failures");
+  const std::uint64_t fallbacks = counter_value(snap, "backend.fallbacks");
+  const std::uint64_t retries = counter_value(snap, "backend.retries");
+  const std::uint64_t divergence_aborts =
+      counter_value(snap, "solver.divergence_aborts");
+  const std::uint64_t relaxations =
+      counter_value(snap, "solver.tolerance_relaxations");
+  const bool degraded = degraded_runs > 0 || eval_failures > 0 ||
+                        fallbacks > 0 || divergence_aborts > 0;
+
+  const auto uptime = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - started_);
+
+  std::string out = "{\"status\":\"ok\",\"degraded\":";
+  out += degraded ? "true" : "false";
+  out += ",\"uptime_seconds\":";
+  append_number(out, static_cast<double>(uptime.count()) / 1000.0);
+  out += ",\"degraded_runs\":";
+  out += std::to_string(degraded_runs);
+  out += ",\"eval_failures\":";
+  out += std::to_string(eval_failures);
+  out += ",\"backend_fallbacks\":";
+  out += std::to_string(fallbacks);
+  out += ",\"backend_retries\":";
+  out += std::to_string(retries);
+  out += ",\"solver_divergence_aborts\":";
+  out += std::to_string(divergence_aborts);
+  out += ",\"solver_tolerance_relaxations\":";
+  out += std::to_string(relaxations);
+  out += "}\n";
+  return out;
+}
+
+std::string TelemetryServer::render_statusz() const {
+  const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+  const std::uint64_t hits = counter_value(snap, "federation.cache.hits");
+  const std::uint64_t misses = counter_value(snap, "federation.cache.misses");
+  const std::uint64_t lookups = hits + misses;
+  double queue_depth = 0.0;
+  if (const auto it = snap.gauges.find("exec.pool.queue_depth");
+      it != snap.gauges.end()) {
+    queue_depth = it->second;
+  }
+  const auto uptime = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - started_);
+
+  // Board entries are already rendered JSON values; splice them verbatim,
+  // then append derived fields under reserved "derived."/"telemetry."
+  // prefixes so they cannot collide with publisher keys.
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : StatusBoard::global().snapshot()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += key;  // keys are programmer-chosen identifiers, no escaping needed
+    out += "\":";
+    out += value;
+  }
+  auto emit = [&](const char* key, const std::string& rendered) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += key;
+    out += "\":";
+    out += rendered;
+  };
+  {
+    std::string rate = "null";
+    if (lookups > 0) {
+      rate.clear();
+      append_number(rate,
+                    static_cast<double>(hits) / static_cast<double>(lookups));
+    }
+    emit("derived.cache_hit_rate", rate);
+  }
+  {
+    std::string depth;
+    append_number(depth, queue_depth);
+    emit("derived.queue_depth", depth);
+  }
+  {
+    std::string up;
+    append_number(up, static_cast<double>(uptime.count()) / 1000.0);
+    emit("telemetry.uptime_seconds", up);
+  }
+  emit("telemetry.spans_recorded",
+       std::to_string(Profiler::instance().record_count()));
+  emit("telemetry.requests_served",
+       std::to_string(server_ ? server_->requests_served() : 0));
+  out += "}\n";
+  return out;
+}
+
+std::string TelemetryServer::render_profilez() const {
+  Profiler& profiler = Profiler::instance();
+  if (!profiler.is_enabled() && profiler.record_count() == 0) {
+    return "{\"enabled\":false,\"profile\":null}\n";
+  }
+  const ProfileNode tree = build_profile_tree(profiler.records());
+  std::string out = "{\"enabled\":";
+  out += profiler.is_enabled() ? "true" : "false";
+  out += ",\"profile\":";
+  append_profile_node(out, tree);
+  out += "}\n";
+  return out;
+}
+
+net::HttpResponse TelemetryServer::handle(const net::HttpRequest& request) {
+  net::HttpResponse response;
+  if (request.path == "/metrics") {
+    response.content_type =
+        "application/openmetrics-text; version=1.0.0; charset=utf-8";
+    response.body = render_metrics();
+  } else if (request.path == "/healthz") {
+    response.content_type = "application/json; charset=utf-8";
+    response.body = render_healthz();
+  } else if (request.path == "/statusz") {
+    response.content_type = "application/json; charset=utf-8";
+    response.body = render_statusz();
+  } else if (request.path == "/profilez") {
+    response.content_type = "application/json; charset=utf-8";
+    response.body = render_profilez();
+  } else if (request.path == "/") {
+    response.body =
+        "scshare telemetry\n"
+        "  /metrics  - OpenMetrics text exposition\n"
+        "  /healthz  - liveness + degraded-evaluation status\n"
+        "  /statusz  - run progress (JSON)\n"
+        "  /profilez - span profile tree (JSON)\n";
+  } else {
+    response.status = 404;
+    response.body = "unknown path; try /metrics, /healthz, /statusz\n";
+  }
+  return response;
+}
+
+}  // namespace scshare::obs

@@ -1,0 +1,78 @@
+// Embedded telemetry plane: live /metrics, /healthz, /statusz (+ /profilez)
+// over the minimal net::HttpServer.
+//
+// Everything src/obs produces was historically exported only after a run
+// finished; this server makes the same data scrapeable mid-flight from one
+// dedicated thread:
+//  * GET /metrics  — OpenMetrics text exposition of a live
+//                    MetricsRegistry::global() snapshot (same renderer as
+//                    --metrics-format=prom, so the test_export checker and
+//                    any Prometheus scraper accept it). Counters are
+//                    monotone across scrapes by construction.
+//  * GET /healthz  — liveness + degraded-evaluation status as JSON:
+//                    `{"status":"ok","degraded":...}` with the resilience
+//                    counters (retries, fallbacks, solver relaxations /
+//                    divergence aborts, degraded game runs) that explain a
+//                    `true`. Always 200 while the process serves — degraded
+//                    is a quality flag, not a liveness failure.
+//  * GET /statusz  — run progress as JSON: every StatusBoard entry (game
+//                    round, sharing vector, welfare estimate, ...) plus
+//                    derived fields (cache hit rate, executor queue depth,
+//                    uptime, spans recorded).
+//  * GET /profilez — incremental span-profile tree (see
+//                    Profiler::records_since) as JSON; `{"enabled":false}`
+//                    when the profiler is off.
+//
+// The server only reads shared state (registry snapshots, board copies), so
+// enabling it cannot perturb results: a run with --telemetry-port is
+// bit-identical to one without.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/http.hpp"
+
+namespace scshare::obs {
+
+class TelemetryServer {
+ public:
+  struct Options {
+    /// TCP port to bind on 127.0.0.1; 0 selects a kernel-chosen ephemeral
+    /// port (read it back with port()).
+    std::uint16_t port = 0;
+    /// Value of the scshare_run_info{backend="..."} identity label on
+    /// /metrics scrapes.
+    std::string backend_label = "live";
+  };
+
+  /// Binds and starts serving; throws std::runtime_error when the port
+  /// cannot be bound.
+  explicit TelemetryServer(Options options);
+  TelemetryServer() : TelemetryServer(Options{}) {}
+  ~TelemetryServer();
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept;
+
+  /// Stops the listener (idempotent; also run by the destructor).
+  void stop();
+
+  // Renderers, exposed for tests and reuse without a socket round-trip.
+  [[nodiscard]] std::string render_metrics() const;
+  [[nodiscard]] std::string render_healthz() const;
+  [[nodiscard]] std::string render_statusz() const;
+  [[nodiscard]] std::string render_profilez() const;
+
+ private:
+  [[nodiscard]] net::HttpResponse handle(const net::HttpRequest& request);
+
+  Options options_;
+  std::chrono::steady_clock::time_point started_;
+  std::unique_ptr<net::HttpServer> server_;
+};
+
+}  // namespace scshare::obs

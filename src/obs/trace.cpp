@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 
 namespace scshare::obs {
@@ -173,6 +174,15 @@ std::string to_json_line(const TraceEvent& event) {
   return out;
 }
 
+std::string to_json_line(const TraceEvent& event, std::uint64_t ctx) {
+  std::string out = to_json_line(event);
+  if (ctx != 0) {
+    out.pop_back();  // reopen the object to append the ctx member
+    out += ",\"ctx\":" + std::to_string(ctx) + "}";
+  }
+  return out;
+}
+
 RingBufferSink::RingBufferSink(std::size_t capacity)
     : capacity_(capacity > 0 ? capacity : 1) {
   buffer_.reserve(capacity_);
@@ -237,7 +247,10 @@ JsonLinesSink::JsonLinesSink(const std::string& path) : out_(path) {
 }
 
 void JsonLinesSink::emit(const TraceEvent& event) {
-  const std::string line = to_json_line(event);
+  // Stamp the emitting thread's correlation id here, not at report-time
+  // serialization: RingBufferSink events are rendered later on a different
+  // thread, where the thread-local ctx would be wrong.
+  const std::string line = to_json_line(event, current_correlation());
   const std::lock_guard<std::mutex> lock(mutex_);
   out_ << line << '\n';
 }

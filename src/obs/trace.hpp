@@ -108,6 +108,13 @@ using TraceEvent =
 /// Compact single-line JSON encoding of an event (the JSONL wire format).
 [[nodiscard]] std::string to_json_line(const TraceEvent& event);
 
+/// Same, with a correlation id stamped as a trailing `"ctx":N` member when
+/// `ctx != 0`. JsonLinesSink uses this with the emitting thread's
+/// current_correlation() (see obs/log.hpp), so live JSONL streams can be
+/// grepped by ctx to reconstruct one game round across components.
+[[nodiscard]] std::string to_json_line(const TraceEvent& event,
+                                       std::uint64_t ctx);
+
 /// Sink interface. Implementations must be safe to call from any thread.
 class TraceSink {
  public:

@@ -1,0 +1,99 @@
+// Shared OpenMetrics well-formedness checker for tests.
+//
+// Factored out of test_export.cpp so the live-scrape tests (test_telemetry)
+// apply exactly the same rules to documents served by the telemetry endpoint
+// as the exporter tests apply to offline renders:
+//  * document ends with "# EOF";
+//  * at most one "# TYPE" line per family;
+//  * every sample line belongs to a declared family (bare name, or the
+//    _total / _bucket / _sum / _count derived series).
+//
+// check_openmetrics() returns the list of violations (empty = well-formed)
+// so a test can EXPECT_TRUE(problems.empty()) << joined-problems.
+// parse_openmetrics_samples() extracts sample values keyed by the full
+// sample line prefix (name + label set), for monotonicity assertions across
+// scrapes.
+#pragma once
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace scshare::test {
+
+inline std::vector<std::string> openmetrics_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+inline std::vector<std::string> check_openmetrics(const std::string& text) {
+  std::vector<std::string> problems;
+  const auto lines = openmetrics_lines(text);
+  if (lines.empty()) {
+    problems.push_back("document is empty");
+    return problems;
+  }
+  if (lines.back() != "# EOF") {
+    problems.push_back("document does not end with # EOF");
+  }
+
+  std::set<std::string> families;
+  for (const auto& line : lines) {
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const std::string family = line.substr(7, line.find(' ', 7) - 7);
+      if (!families.insert(family).second) {
+        problems.push_back("duplicate # TYPE for " + family);
+      }
+    }
+  }
+
+  for (const auto& line : lines) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::string name = line.substr(0, line.find_first_of(" {"));
+    bool declared = false;
+    for (const auto& family : families) {
+      if (name == family || name == family + "_total" ||
+          name == family + "_bucket" || name == family + "_sum" ||
+          name == family + "_count") {
+        declared = true;
+        break;
+      }
+    }
+    if (!declared) problems.push_back("undeclared sample: " + line);
+  }
+  return problems;
+}
+
+/// Sample values keyed by "name{labels}" (labels included verbatim so the
+/// histogram le buckets stay distinct).
+inline std::map<std::string, double> parse_openmetrics_samples(
+    const std::string& text) {
+  std::map<std::string, double> samples;
+  for (const auto& line : openmetrics_lines(text)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.find_last_of(' ');
+    if (space == std::string::npos) continue;
+    try {
+      samples[line.substr(0, space)] = std::stod(line.substr(space + 1));
+    } catch (...) {
+      // Non-numeric trailing token; the declaration check reports it.
+    }
+  }
+  return samples;
+}
+
+inline std::string join_problems(const std::vector<std::string>& problems) {
+  std::string out;
+  for (const auto& p : problems) {
+    out += p;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace scshare::test

@@ -15,6 +15,7 @@
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
+#include "openmetrics_check.hpp"
 
 namespace obs = scshare::obs;
 namespace io = scshare::io;
@@ -69,40 +70,23 @@ TEST(Export, OpenMetricsDocumentIsWellFormed) {
   const obs::OpenMetricsExporter exporter;
   EXPECT_STREQ(exporter.format_name(), "prom");
   const std::string text = exporter.render(sample_report());
-  const auto lines = lines_of(text);
-  ASSERT_FALSE(lines.empty());
-  EXPECT_EQ(lines.back(), "# EOF");
 
-  // Exactly one # TYPE line per family, and every sample line belongs to a
-  // declared family.
+  // Shared checker (openmetrics_check.hpp): # EOF terminator, one # TYPE
+  // per family, every sample declared. The live /metrics scrape tests apply
+  // the same rules.
+  const auto problems = scshare::test::check_openmetrics(text);
+  EXPECT_TRUE(problems.empty()) << scshare::test::join_problems(problems);
+
   std::set<std::string> families;
-  for (const auto& line : lines) {
+  for (const auto& line : lines_of(text)) {
     if (line.rfind("# TYPE ", 0) == 0) {
-      const std::string family =
-          line.substr(7, line.find(' ', 7) - 7);
-      EXPECT_TRUE(families.insert(family).second)
-          << "duplicate # TYPE for " << family;
+      families.insert(line.substr(7, line.find(' ', 7) - 7));
     }
   }
   EXPECT_TRUE(families.count("scshare_run_info") == 1);
   EXPECT_TRUE(families.count("scshare_market_game_rounds") == 1);
   EXPECT_TRUE(families.count("scshare_exec_pool_threads") == 1);
   EXPECT_TRUE(families.count("scshare_backend_eval_seconds") == 1);
-
-  for (const auto& line : lines) {
-    if (line.empty() || line[0] == '#') continue;
-    const std::string name = line.substr(0, line.find_first_of(" {"));
-    bool declared = false;
-    for (const auto& family : families) {
-      if (name == family || name == family + "_total" ||
-          name == family + "_bucket" || name == family + "_sum" ||
-          name == family + "_count") {
-        declared = true;
-        break;
-      }
-    }
-    EXPECT_TRUE(declared) << "undeclared sample: " << line;
-  }
 }
 
 TEST(Export, OpenMetricsCountersGetTotalSuffix) {

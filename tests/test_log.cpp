@@ -1,0 +1,225 @@
+// Structured logging + correlation tests (src/obs/log.*): wire formats
+// (logfmt and JSON lines), level filtering, field rendering, correlation
+// scoping, and propagation across exec::ThreadPool::parallel_for.
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/thread_pool.hpp"
+#include "io/json.hpp"
+#include "obs/log.hpp"
+#include "obs/trace.hpp"
+
+namespace obs = scshare::obs;
+namespace io = scshare::io;
+
+namespace {
+
+/// Redirects the global logger to a tmpfile for the test's lifetime and
+/// returns everything written on destruction-less read().
+class CaptureLog {
+ public:
+  CaptureLog() : file_(std::tmpfile()) {
+    previous_ = obs::Logger::global().set_stream(file_);
+    saved_level_ = obs::Logger::global().level();
+    saved_format_ = obs::Logger::global().format();
+  }
+  ~CaptureLog() {
+    obs::Logger::global().set_stream(previous_);
+    obs::Logger::global().set_level(saved_level_);
+    obs::Logger::global().set_format(saved_format_);
+    std::fclose(file_);
+  }
+
+  std::string read() {
+    std::fflush(file_);
+    std::rewind(file_);
+    std::string out;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), file_)) > 0) {
+      out.append(buf, n);
+    }
+    return out;
+  }
+
+  std::vector<std::string> lines() {
+    std::vector<std::string> result;
+    const std::string text = read();
+    std::size_t start = 0;
+    while (start < text.size()) {
+      const std::size_t eol = text.find('\n', start);
+      if (eol == std::string::npos) break;
+      result.push_back(text.substr(start, eol - start));
+      start = eol + 1;
+    }
+    return result;
+  }
+
+ private:
+  FILE* file_;
+  FILE* previous_;
+  obs::LogLevel saved_level_;
+  obs::LogFormat saved_format_;
+};
+
+}  // namespace
+
+TEST(Log, TextFormatCarriesSchemaFields) {
+  CaptureLog capture;
+  obs::Logger::global().set_format(obs::LogFormat::kText);
+  obs::log_warn("solver", "tolerance relaxed",
+                {obs::field("attempts", 2), obs::field("residual", 0.5)});
+  const auto lines = capture.lines();
+  ASSERT_EQ(lines.size(), 1u);
+  const std::string& line = lines[0];
+  EXPECT_EQ(line.rfind("ts=", 0), 0u) << line;
+  EXPECT_NE(line.find(" level=warn "), std::string::npos) << line;
+  EXPECT_NE(line.find(" comp=solver "), std::string::npos) << line;
+  EXPECT_NE(line.find(" msg=\"tolerance relaxed\""), std::string::npos)
+      << line;
+  EXPECT_NE(line.find(" attempts=2"), std::string::npos) << line;
+  EXPECT_NE(line.find(" residual=0.5"), std::string::npos) << line;
+  // No active correlation: no ctx field.
+  EXPECT_EQ(line.find(" ctx="), std::string::npos) << line;
+}
+
+TEST(Log, JsonFormatLinesParse) {
+  CaptureLog capture;
+  obs::Logger::global().set_format(obs::LogFormat::kJson);
+  const obs::ScopedCorrelation ctx(17);
+  obs::log_error("backend", "evaluation \"failed\"",
+                 {obs::field("code", "timeout"), obs::field("tier", 1)});
+  const auto lines = capture.lines();
+  ASSERT_EQ(lines.size(), 1u);
+  const io::Json parsed = io::Json::parse(lines[0]);
+  EXPECT_EQ(parsed.at("level").as_string(), "error");
+  EXPECT_EQ(parsed.at("comp").as_string(), "backend");
+  EXPECT_EQ(parsed.at("msg").as_string(), "evaluation \"failed\"");
+  EXPECT_EQ(parsed.at("ctx").as_int(), 17);
+  EXPECT_EQ(parsed.at("code").as_string(), "timeout");
+  EXPECT_EQ(parsed.at("tier").as_int(), 1);
+  EXPECT_FALSE(parsed.at("ts").as_string().empty());
+}
+
+TEST(Log, LevelThresholdFilters) {
+  CaptureLog capture;
+  obs::Logger::global().set_level(obs::LogLevel::kWarn);
+  obs::log_debug("t", "dropped debug");
+  obs::log_info("t", "dropped info");
+  obs::log_warn("t", "kept warn");
+  obs::log_error("t", "kept error");
+  const auto lines = capture.lines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("kept warn"), std::string::npos);
+  EXPECT_NE(lines[1].find("kept error"), std::string::npos);
+  EXPECT_FALSE(obs::Logger::global().enabled(obs::LogLevel::kInfo));
+  EXPECT_TRUE(obs::Logger::global().enabled(obs::LogLevel::kError));
+}
+
+TEST(Log, ParseLogLevelRoundTripsAndRejects) {
+  obs::LogLevel level = obs::LogLevel::kInfo;
+  EXPECT_TRUE(obs::parse_log_level("debug", level));
+  EXPECT_EQ(level, obs::LogLevel::kDebug);
+  EXPECT_TRUE(obs::parse_log_level("error", level));
+  EXPECT_EQ(level, obs::LogLevel::kError);
+  EXPECT_FALSE(obs::parse_log_level("verbose", level));
+  EXPECT_EQ(level, obs::LogLevel::kError);  // untouched on failure
+  EXPECT_STREQ(obs::log_level_name(obs::LogLevel::kWarn), "warn");
+}
+
+TEST(Log, LogfmtQuotesOnlyWhenNeeded) {
+  CaptureLog capture;
+  obs::Logger::global().set_format(obs::LogFormat::kText);
+  obs::log_info("t", "m",
+                {obs::field("plain", "bare-token"),
+                 obs::field("spaced", "two words"),
+                 obs::field("quoted", "a\"b"), obs::field("flag", true)});
+  const auto lines = capture.lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("plain=bare-token"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[0].find("spaced=\"two words\""), std::string::npos)
+      << lines[0];
+  EXPECT_NE(lines[0].find("quoted=\"a\\\"b\""), std::string::npos) << lines[0];
+  EXPECT_NE(lines[0].find("flag=true"), std::string::npos) << lines[0];
+}
+
+TEST(Correlation, ScopesNestAndRestore) {
+  EXPECT_EQ(obs::current_correlation(), 0u);
+  {
+    const obs::ScopedCorrelation outer(5);
+    EXPECT_EQ(obs::current_correlation(), 5u);
+    {
+      const obs::ScopedCorrelation inner(9);
+      EXPECT_EQ(obs::current_correlation(), 9u);
+    }
+    EXPECT_EQ(obs::current_correlation(), 5u);
+  }
+  EXPECT_EQ(obs::current_correlation(), 0u);
+}
+
+TEST(Correlation, NextIdIsUniqueAndNonZero) {
+  const obs::CorrelationId a = obs::next_correlation_id();
+  const obs::CorrelationId b = obs::next_correlation_id();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+}
+
+TEST(Correlation, PropagatesAcrossParallelFor) {
+  scshare::exec::ThreadPool pool(4);
+  const obs::CorrelationId id = obs::next_correlation_id();
+  const obs::ScopedCorrelation scope(id);
+
+  std::mutex mutex;
+  std::set<obs::CorrelationId> seen;
+  pool.parallel_for(64, [&](std::size_t) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    seen.insert(obs::current_correlation());
+  });
+  // Every worker observed exactly the dispatching thread's id.
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(*seen.begin(), id);
+}
+
+TEST(Correlation, WorkersRestoreAfterParallelFor) {
+  scshare::exec::ThreadPool pool(4);
+  {
+    const obs::ScopedCorrelation scope(obs::next_correlation_id());
+    pool.parallel_for(64, [](std::size_t) {});
+  }
+  // With no scope active at dispatch, workers must see 0 again — the adopted
+  // id from the previous dispatch may not leak.
+  std::mutex mutex;
+  std::set<obs::CorrelationId> seen;
+  pool.parallel_for(64, [&](std::size_t) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    seen.insert(obs::current_correlation());
+  });
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(*seen.begin(), 0u);
+}
+
+TEST(Correlation, TraceJsonLineStampsCtx) {
+  const obs::TraceEvent event =
+      obs::EquilibriumRoundEvent{3, {1, 2}, true};
+  const std::string plain = obs::to_json_line(event);
+  EXPECT_EQ(plain.find("\"ctx\""), std::string::npos);
+  const std::string stamped = obs::to_json_line(event, 21);
+  EXPECT_NE(stamped.find(",\"ctx\":21}"), std::string::npos) << stamped;
+  // ctx = 0 means "no context" and is omitted.
+  EXPECT_EQ(obs::to_json_line(event, 0), plain);
+  // Both remain valid JSON.
+  (void)io::Json::parse(stamped);
+}
+
+TEST(Log, LinesWrittenCounterAdvances) {
+  CaptureLog capture;
+  const std::uint64_t before = obs::Logger::global().lines_written();
+  obs::log_info("t", "one");
+  obs::log_info("t", "two");
+  EXPECT_EQ(obs::Logger::global().lines_written(), before + 2);
+}

@@ -1,0 +1,300 @@
+// Telemetry-plane tests: the minimal HTTP listener (src/net/http.*), the
+// StatusBoard, the TelemetryServer endpoints, and — the load-bearing one —
+// concurrent scrapes: /metrics fetched in a loop over real sockets while
+// worker threads hammer counters/histograms must always parse as well-formed
+// OpenMetrics with monotone counter families.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/json.hpp"
+#include "net/http.hpp"
+#include "obs/metrics.hpp"
+#include "obs/status.hpp"
+#include "obs/telemetry_server.hpp"
+#include "openmetrics_check.hpp"
+
+namespace net = scshare::net;
+namespace obs = scshare::obs;
+namespace io = scshare::io;
+
+namespace {
+
+/// Sends raw bytes to 127.0.0.1:`port` and returns everything the server
+/// writes back before closing — lets tests exercise request shapes the
+/// well-behaved net::http_get client never produces.
+std::string raw_request(std::uint16_t port, const std::string& bytes) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return {};
+  }
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+}  // namespace
+
+TEST(HttpServer, ServesHandlerResponseOnEphemeralPort) {
+  net::HttpServer server(0, [](const net::HttpRequest& request) {
+    net::HttpResponse response;
+    response.body = "path=" + request.path + " target=" + request.target;
+    return response;
+  });
+  ASSERT_GT(server.port(), 0);
+  const auto result = net::http_get(server.port(), "/abc?x=1");
+  EXPECT_EQ(result.status, 200);
+  EXPECT_EQ(result.body, "path=/abc target=/abc?x=1");
+  EXPECT_NE(result.headers.find("Content-Length:"), std::string::npos);
+  EXPECT_NE(result.headers.find("Connection: close"), std::string::npos);
+  EXPECT_EQ(server.requests_served(), 1u);
+}
+
+TEST(HttpServer, StopIsIdempotentAndReleasesPort) {
+  std::uint16_t port = 0;
+  {
+    net::HttpServer server(0, [](const net::HttpRequest&) {
+      return net::HttpResponse{};
+    });
+    port = server.port();
+    server.stop();
+    server.stop();  // second stop must be a no-op
+    EXPECT_FALSE(server.running());
+  }
+  // The port is free again: bind it explicitly.
+  net::HttpServer rebound(port, [](const net::HttpRequest&) {
+    return net::HttpResponse{};
+  });
+  EXPECT_EQ(rebound.port(), port);
+}
+
+TEST(HttpServer, RejectsNonGetMethodsWith405) {
+  std::atomic<int> handler_calls{0};
+  net::HttpServer server(0, [&](const net::HttpRequest&) {
+    handler_calls.fetch_add(1);
+    return net::HttpResponse{};
+  });
+  const std::string response = raw_request(
+      server.port(), "POST / HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n");
+  EXPECT_NE(response.find("405"), std::string::npos) << response;
+  EXPECT_EQ(handler_calls.load(), 0);
+}
+
+TEST(HttpServer, HeadGetsHeadersWithoutBody) {
+  net::HttpServer server(0, [](const net::HttpRequest&) {
+    net::HttpResponse response;
+    response.body = "should-not-be-sent";
+    return response;
+  });
+  const std::string response =
+      raw_request(server.port(), "HEAD / HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(response.find("200"), std::string::npos) << response;
+  EXPECT_NE(response.find("Content-Length: 18"), std::string::npos)
+      << response;
+  EXPECT_EQ(response.find("should-not-be-sent"), std::string::npos)
+      << response;
+}
+
+TEST(HttpServer, MalformedRequestLineGets400) {
+  net::HttpServer server(0, [](const net::HttpRequest&) {
+    return net::HttpResponse{};
+  });
+  const std::string response =
+      raw_request(server.port(), "nonsense\r\n\r\n");
+  EXPECT_NE(response.find("400"), std::string::npos) << response;
+}
+
+TEST(HttpServer, OversizedRequestHeadGets431) {
+  net::HttpServer server(0, [](const net::HttpRequest&) {
+    return net::HttpResponse{};
+  });
+  std::string request = "GET / HTTP/1.1\r\nX-Pad: ";
+  request.append(net::HttpServer::kMaxRequestBytes, 'a');
+  request += "\r\n\r\n";
+  const std::string response = raw_request(server.port(), request);
+  EXPECT_NE(response.find("431"), std::string::npos) << response;
+}
+
+TEST(HttpServer, HandlerExceptionBecomes500) {
+  net::HttpServer server(0, [](const net::HttpRequest&) -> net::HttpResponse {
+    throw std::runtime_error("boom");
+  });
+  const auto result = net::http_get(server.port(), "/");
+  EXPECT_EQ(result.status, 500);
+  EXPECT_NE(result.body.find("boom"), std::string::npos);
+}
+
+TEST(StatusBoard, RendersTypedValuesAsSortedJson) {
+  obs::StatusBoard board;
+  board.set("z.last", 3);
+  board.set("a.first", "text with \"quotes\"");
+  board.set("m.mid", true);
+  board.set("m.vec", std::vector<int>{1, 2, 3});
+  board.set("m.pi", 3.5);
+  const std::string json = board.to_json();
+  const io::Json parsed = io::Json::parse(json);
+  EXPECT_EQ(parsed.at("z.last").as_int(), 3);
+  EXPECT_EQ(parsed.at("a.first").as_string(), "text with \"quotes\"");
+  EXPECT_TRUE(parsed.at("m.mid").as_bool());
+  EXPECT_EQ(parsed.at("m.vec").as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(parsed.at("m.pi").as_double(), 3.5);
+  // Keys render sorted, so documents are stable across runs.
+  EXPECT_LT(json.find("a.first"), json.find("m.mid"));
+  EXPECT_LT(json.find("m.vec"), json.find("z.last"));
+
+  board.erase("z.last");
+  EXPECT_EQ(board.to_json().find("z.last"), std::string::npos);
+  board.clear();
+  EXPECT_EQ(board.to_json(), "{}");
+}
+
+TEST(StatusBoard, OverwritesInPlace) {
+  obs::StatusBoard board;
+  board.set("round", 1);
+  board.set("round", 2);
+  EXPECT_EQ(io::Json::parse(board.to_json()).at("round").as_int(), 2);
+  EXPECT_EQ(board.snapshot().size(), 1u);
+}
+
+TEST(TelemetryServer, EndpointsServeLiveDocuments) {
+  obs::MetricsRegistry::global().counter("market.game.rounds").add(3);
+  obs::StatusBoard::global().set("game.round", 3);
+
+  obs::TelemetryServer::Options options;
+  options.backend_label = "unit-test";
+  obs::TelemetryServer server(std::move(options));
+  ASSERT_GT(server.port(), 0);
+
+  const auto metrics = net::http_get(server.port(), "/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  const auto problems = scshare::test::check_openmetrics(metrics.body);
+  EXPECT_TRUE(problems.empty()) << scshare::test::join_problems(problems);
+  EXPECT_NE(metrics.body.find("backend=\"unit-test\""), std::string::npos);
+  EXPECT_NE(metrics.headers.find("application/openmetrics-text"),
+            std::string::npos);
+
+  const auto healthz = net::http_get(server.port(), "/healthz");
+  EXPECT_EQ(healthz.status, 200);
+  const io::Json health = io::Json::parse(healthz.body);
+  EXPECT_EQ(health.at("status").as_string(), "ok");
+  EXPECT_GE(health.at("uptime_seconds").as_double(), 0.0);
+
+  const auto statusz = net::http_get(server.port(), "/statusz");
+  EXPECT_EQ(statusz.status, 200);
+  const io::Json status = io::Json::parse(statusz.body);
+  EXPECT_EQ(status.at("game.round").as_int(), 3);
+  EXPECT_GE(status.at("telemetry.requests_served").as_int(), 2);
+
+  const auto profilez = net::http_get(server.port(), "/profilez");
+  EXPECT_EQ(profilez.status, 200);
+  (void)io::Json::parse(profilez.body);
+
+  const auto missing = net::http_get(server.port(), "/nope");
+  EXPECT_EQ(missing.status, 404);
+
+  const auto index = net::http_get(server.port(), "/");
+  EXPECT_EQ(index.status, 200);
+  EXPECT_NE(index.body.find("/metrics"), std::string::npos);
+}
+
+TEST(TelemetryServer, HealthzReportsDegradedCounters) {
+  obs::TelemetryServer server{obs::TelemetryServer::Options{}};
+  const io::Json before =
+      io::Json::parse(net::http_get(server.port(), "/healthz").body);
+  const std::int64_t base = before.at("degraded_runs").as_int();
+
+  obs::MetricsRegistry::global().counter("market.game.degraded_runs").add();
+  const io::Json after =
+      io::Json::parse(net::http_get(server.port(), "/healthz").body);
+  EXPECT_EQ(after.at("degraded_runs").as_int(), base + 1);
+  EXPECT_TRUE(after.at("degraded").as_bool());
+  // Degraded is a quality flag, not a liveness failure.
+  EXPECT_EQ(after.at("status").as_string(), "ok");
+}
+
+// The tentpole guarantee: scraping /metrics over real sockets while worker
+// threads mutate the registry always yields well-formed OpenMetrics, counter
+// families are monotone scrape-over-scrape, and histogram _count equals the
+// cumulative le="+Inf" bucket within every single document.
+TEST(TelemetryServer, ConcurrentScrapesStayWellFormedAndMonotone) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  obs::Counter& hammered = registry.counter("test.telemetry.hammered");
+  obs::Histogram& hist = registry.histogram("test.telemetry.latency");
+
+  obs::TelemetryServer server{obs::TelemetryServer::Options{}};
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&, t] {
+      double v = 1e-6 * (t + 1);
+      while (!stop.load(std::memory_order_relaxed)) {
+        hammered.add();
+        hist.observe(v);
+        v = v < 1.0 ? v * 1.7 : 1e-6 * (t + 1);
+      }
+    });
+  }
+
+  double last_hammered = -1.0;
+  double last_hist_count = -1.0;
+  for (int scrape = 0; scrape < 25; ++scrape) {
+    const auto result = net::http_get(server.port(), "/metrics");
+    ASSERT_EQ(result.status, 200);
+    const auto problems = scshare::test::check_openmetrics(result.body);
+    ASSERT_TRUE(problems.empty())
+        << "scrape " << scrape << ":\n"
+        << scshare::test::join_problems(problems);
+
+    const auto samples = scshare::test::parse_openmetrics_samples(result.body);
+    const auto counter_it =
+        samples.find("scshare_test_telemetry_hammered_total");
+    ASSERT_NE(counter_it, samples.end());
+    EXPECT_GE(counter_it->second, last_hammered) << "scrape " << scrape;
+    last_hammered = counter_it->second;
+
+    const auto count_it = samples.find("scshare_test_telemetry_latency_count");
+    const auto inf_it =
+        samples.find("scshare_test_telemetry_latency_bucket{le=\"+Inf\"}");
+    ASSERT_NE(count_it, samples.end());
+    ASSERT_NE(inf_it, samples.end());
+    // Internal consistency within one scrape: the cumulative +Inf bucket is
+    // the count (Histogram::snapshot derives count from the bucket loads).
+    EXPECT_DOUBLE_EQ(count_it->second, inf_it->second)
+        << "scrape " << scrape;
+    EXPECT_GE(count_it->second, last_hist_count) << "scrape " << scrape;
+    last_hist_count = count_it->second;
+  }
+
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& w : writers) w.join();
+  EXPECT_GT(last_hammered, 0.0);
+}

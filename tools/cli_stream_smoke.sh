@@ -57,4 +57,34 @@ check_json "$WORK/smoke_result2.json" "--out result (profile-to-stdout run)"
 "$CLI" equilibrium "$CONFIG" --compact > "$WORK/smoke_default.json"
 check_json "$WORK/smoke_default.json" "default stdout result"
 
+# 4. Log discipline: structured log lines (ts=...) go to stderr only — stdout
+#    stays a single clean result document even at debug verbosity.
+"$CLI" equilibrium "$CONFIG" --compact --log-level=debug \
+  > "$WORK/smoke_logged.json" 2> "$WORK/smoke_logged.err"
+check_json "$WORK/smoke_logged.json" "stdout result (debug logging run)"
+grep -q '^ts=' "$WORK/smoke_logged.err" || fail "debug run produced no log lines on stderr"
+grep -q '^ts=' "$WORK/smoke_logged.json" && fail "log lines leaked into stdout"
+
+# 5. Telemetry lifecycle: --telemetry-port=0 binds an ephemeral port, logs it
+#    on stderr, results stay bit-identical to a plain run, and the port is
+#    released after exit (no leaked listener thread holding the socket).
+"$CLI" equilibrium "$CONFIG" --compact --telemetry-port=0 \
+  > "$WORK/smoke_telemetry.json" 2> "$WORK/smoke_telemetry.err"
+check_json "$WORK/smoke_telemetry.json" "stdout result (telemetry run)"
+grep -q 'telemetry server listening' "$WORK/smoke_telemetry.err" \
+  || fail "telemetry run did not log the listening port"
+PORT=$(grep -o 'port=[0-9]*' "$WORK/smoke_telemetry.err" | head -n 1 | cut -d= -f2)
+[ -n "$PORT" ] && [ "$PORT" -gt 0 ] || fail "could not parse telemetry port from stderr"
+cmp -s "$WORK/smoke_default.json" "$WORK/smoke_telemetry.json" \
+  || fail "telemetry run changed the result document"
+if have_python; then
+  python3 - "$PORT" <<'EOF' || fail "telemetry port still bound after CLI exit"
+import socket, sys
+s = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+s.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+s.bind(("127.0.0.1", int(sys.argv[1])))
+s.close()
+EOF
+fi
+
 echo "cli_stream_smoke: OK"

@@ -34,6 +34,7 @@
 #include <fstream>
 #include <functional>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -46,7 +47,10 @@
 #include "markov/ctmc.hpp"
 #include "markov/steady_state.hpp"
 #include "markov/transient.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/status.hpp"
+#include "obs/telemetry_server.hpp"
 
 namespace {
 
@@ -57,7 +61,7 @@ constexpr const char* kSchema = "scshare.bench/1";
 int usage() {
   std::fprintf(stderr,
                "usage: scshare_bench run [--quick] [--repeat=K] "
-               "[--out-dir=DIR]\n"
+               "[--out-dir=DIR] [--telemetry-port=N]\n"
                "       scshare_bench compare <baseline.json> "
                "<candidate.json> [--threshold=0.15]\n"
                "       scshare_bench selftest\n");
@@ -429,6 +433,7 @@ int cmd_run(int argc, char** argv) {
   bool quick = false;
   int repeat = 5;
   std::string out_dir = ".";
+  int telemetry_port = -1;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
@@ -437,20 +442,37 @@ int cmd_run(int argc, char** argv) {
       repeat = std::atoi(arg.substr(std::string("--repeat=").size()).c_str());
     } else if (arg.rfind("--out-dir=", 0) == 0) {
       out_dir = arg.substr(std::string("--out-dir=").size());
+    } else if (arg.rfind("--telemetry-port=", 0) == 0) {
+      telemetry_port = std::atoi(
+          arg.substr(std::string("--telemetry-port=").size()).c_str());
     } else {
       return usage();
     }
   }
   require(repeat >= 1, "scshare_bench: --repeat must be >= 1");
 
-  std::fprintf(stderr, "suite market (%s, repeat=%d)\n",
-               quick ? "quick" : "full", repeat);
+  std::unique_ptr<obs::TelemetryServer> telemetry;
+  if (telemetry_port >= 0 && telemetry_port <= 65535) {
+    obs::TelemetryServer::Options topts;
+    topts.port = static_cast<std::uint16_t>(telemetry_port);
+    topts.backend_label = "bench";
+    telemetry = std::make_unique<obs::TelemetryServer>(std::move(topts));
+  }
+
+  obs::log_info("bench", "suite starting",
+                {obs::field("suite", "market"),
+                 obs::field("mode", quick ? "quick" : "full"),
+                 obs::field("repeat", repeat)});
+  obs::StatusBoard::global().set("bench.suite", "market");
   const auto market = run_suite(market_scenarios(quick), repeat);
   write_file(out_dir + "/BENCH_market.json",
              suite_document("market", quick, repeat, market).dump(2) + "\n");
 
-  std::fprintf(stderr, "suite solver (%s, repeat=%d)\n",
-               quick ? "quick" : "full", repeat);
+  obs::log_info("bench", "suite starting",
+                {obs::field("suite", "solver"),
+                 obs::field("mode", quick ? "quick" : "full"),
+                 obs::field("repeat", repeat)});
+  obs::StatusBoard::global().set("bench.suite", "solver");
   const auto solver = run_suite(solver_scenarios(quick), repeat);
   write_file(out_dir + "/BENCH_solver.json",
              suite_document("solver", quick, repeat, solver).dump(2) + "\n");
@@ -515,7 +537,8 @@ int main(int argc, char** argv) {
     if (command == "compare") return cmd_compare(argc, argv);
     if (command == "selftest") return cmd_selftest();
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "scshare_bench: %s\n", e.what());
+    obs::log_error("bench", "command failed",
+                   {obs::field("error", e.what())});
     return 1;
   }
   return usage();

@@ -44,6 +44,16 @@
 //   --trace=FILE        stream every trace event (solver iterations, backend
 //                       evaluations, best responses, equilibrium rounds) as
 //                       JSON lines while the command runs.
+//   --telemetry-port=N  serve live telemetry on 127.0.0.1:N for the duration
+//                       of the command: GET /metrics (OpenMetrics), /healthz,
+//                       /statusz, /profilez. N=0 picks an ephemeral port; the
+//                       chosen port is logged to stderr (comp=telemetry,
+//                       port=...). Read-only: results are bit-identical with
+//                       or without it.
+//   --log-level=L       stderr log threshold: debug|info|warn|error
+//                       (default info).
+//   --log-format=F      stderr log encoding: "text" (logfmt, default) or
+//                       "json" (one JSON object per line).
 //
 // The configuration schema is shown in examples/configs/three_sc.json; the
 // primary result is JSON (pretty-printed unless --compact) written to --out
@@ -61,7 +71,10 @@
 
 #include "core/framework.hpp"
 #include "io/config_io.hpp"
+#include "obs/log.hpp"
 #include "obs/profiler.hpp"
+#include "obs/status.hpp"
+#include "obs/telemetry_server.hpp"
 #include "obs/trace.hpp"
 
 namespace {
@@ -82,6 +95,7 @@ struct CliOptions {
   std::string metrics_format = "json";  ///< "json" | "prom"
   std::string profile_out;  ///< empty = profiler off ("-" = stdout)
   std::string trace_path;   ///< empty = no JSONL trace file
+  int telemetry_port = -1;  ///< -1 = no telemetry server; 0 = ephemeral port
 };
 
 int usage() {
@@ -91,7 +105,8 @@ int usage() {
       "simulate> <config.json> [--backend approx|detailed|simulation] "
       "[--backend-chain=a,b,...] [--retry-max=N] [--fault-spec=SPEC] "
       "[--threads=N] [--compact] [--out=FILE] [--metrics-out=FILE] "
-      "[--metrics-format=json|prom] [--profile-out=FILE] [--trace=FILE]\n");
+      "[--metrics-format=json|prom] [--profile-out=FILE] [--trace=FILE] "
+      "[--telemetry-port=N] [--log-level=L] [--log-format=text|json]\n");
   return 2;
 }
 
@@ -193,6 +208,18 @@ int run(const CliOptions& cli) {
   const bool profiling = !cli.profile_out.empty();
   if (profiling) obs::Profiler::instance().enable();
 
+  // Live telemetry plane: read-only over shared observability state, so the
+  // command's results are bit-identical with or without it.
+  std::unique_ptr<obs::TelemetryServer> telemetry;
+  if (cli.telemetry_port >= 0) {
+    obs::TelemetryServer::Options topts;
+    topts.port = static_cast<std::uint16_t>(cli.telemetry_port);
+    topts.backend_label = cli.backend;
+    telemetry = std::make_unique<obs::TelemetryServer>(std::move(topts));
+    obs::StatusBoard::global().set("cli.command", cli.command);
+    obs::StatusBoard::global().set("cli.config", cli.config_path);
+  }
+
   std::string result_text;
   obs::RunReport report;
   {
@@ -274,13 +301,13 @@ int run(const CliOptions& cli) {
                "profile output file");
   }
   if (report.events_dropped > 0) {
-    std::fprintf(stderr,
-                 "scshare: warning: %llu of %llu trace events dropped from "
-                 "the report ring (capacity %zu); raise trace_capacity or "
-                 "stream with --trace=FILE\n",
-                 static_cast<unsigned long long>(report.events_dropped),
-                 static_cast<unsigned long long>(report.events_total),
-                 options.trace_capacity);
+    obs::log_warn(
+        "cli", "trace events dropped from the report ring",
+        {obs::field("dropped", report.events_dropped),
+         obs::field("total", report.events_total),
+         obs::field("capacity",
+                    static_cast<std::uint64_t>(options.trace_capacity)),
+         obs::field("hint", "raise trace_capacity or stream --trace=FILE")});
   }
   if (!cli.metrics_out.empty()) {
     const auto exporter = io::make_exporter(cli.metrics_format);
@@ -343,14 +370,37 @@ int main(int argc, char** argv) {
       cli.trace_path = arg.substr(std::string("--trace=").size());
     } else if (arg == "--trace" && i + 1 < argc) {
       cli.trace_path = argv[++i];
+    } else if (arg.rfind("--telemetry-port=", 0) == 0) {
+      cli.telemetry_port = std::atoi(
+          arg.substr(std::string("--telemetry-port=").size()).c_str());
+    } else if (arg == "--telemetry-port" && i + 1 < argc) {
+      cli.telemetry_port = std::atoi(argv[++i]);
+    } else if (arg.rfind("--log-level=", 0) == 0) {
+      obs::LogLevel level;
+      if (!obs::parse_log_level(
+              arg.substr(std::string("--log-level=").size()), level)) {
+        return usage();
+      }
+      obs::Logger::global().set_level(level);
+    } else if (arg.rfind("--log-format=", 0) == 0) {
+      const std::string format =
+          arg.substr(std::string("--log-format=").size());
+      if (format == "json") {
+        obs::Logger::global().set_format(obs::LogFormat::kJson);
+      } else if (format == "text") {
+        obs::Logger::global().set_format(obs::LogFormat::kText);
+      } else {
+        return usage();
+      }
     } else {
       return usage();
     }
   }
+  if (cli.telemetry_port > 65535) return usage();
   try {
     return run(cli);
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "scshare: %s\n", e.what());
+    obs::log_error("cli", "command failed", {obs::field("error", e.what())});
     return 1;
   }
 }

@@ -28,6 +28,9 @@
 //                        forwarding metrics; the run must then FAIL
 //   --compact            compact JSON (default pretty-prints)
 //   --summary-only       drop per-scenario outcomes from the report
+//   --telemetry-port N   serve live /metrics, /healthz, /statusz on
+//                        127.0.0.1:N while the harness runs (0 = ephemeral;
+//                        chosen port is logged to stderr)
 //
 // Exit status: 0 when every comparison lands inside the tolerance ladder,
 // 1 on any disagreement, 2 on usage/configuration errors.
@@ -38,7 +41,12 @@
 #include <sstream>
 #include <string>
 
+#include <memory>
+
 #include "common/error.hpp"
+#include "obs/log.hpp"
+#include "obs/status.hpp"
+#include "obs/telemetry_server.hpp"
 #include "validation/harness.hpp"
 
 namespace {
@@ -57,6 +65,7 @@ struct CliOptions {
   bool inject_sign_flip = false;
   bool compact = false;
   bool summary_only = false;
+  int telemetry_port = -1;  ///< -1 = no telemetry server; 0 = ephemeral port
 };
 
 int usage() {
@@ -64,7 +73,8 @@ int usage() {
       stderr,
       "usage: scshare_validate [--scenarios N] [--seed S] [--threads N] "
       "[--out FILE] [--corners FILE] [--max-scs K] [--max-vms N] "
-      "[--no-equilibria] [--inject-sign-flip] [--compact] [--summary-only]\n");
+      "[--no-equilibria] [--inject-sign-flip] [--compact] [--summary-only] "
+      "[--telemetry-port N]\n");
   return 2;
 }
 
@@ -110,6 +120,13 @@ bool parse_args(int argc, char** argv, CliOptions& cli) {
       cli.compact = true;
     } else if (arg == "--summary-only") {
       cli.summary_only = true;
+    } else if (arg == "--telemetry-port") {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      cli.telemetry_port = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (arg.rfind("--telemetry-port=", 0) == 0) {
+      cli.telemetry_port = static_cast<int>(std::strtol(
+          arg.c_str() + std::string("--telemetry-port=").size(), nullptr, 10));
     } else {
       std::fprintf(stderr, "scshare_validate: unknown argument '%s'\n",
                    arg.c_str());
@@ -141,6 +158,16 @@ int run(const CliOptions& cli) {
         validation::parse_scenarios(load_json(cli.corners_path));
   }
 
+  std::unique_ptr<obs::TelemetryServer> telemetry;
+  if (cli.telemetry_port >= 0 && cli.telemetry_port <= 65535) {
+    obs::TelemetryServer::Options topts;
+    topts.port = static_cast<std::uint16_t>(cli.telemetry_port);
+    topts.backend_label = "validate";
+    telemetry = std::make_unique<obs::TelemetryServer>(std::move(topts));
+    obs::StatusBoard::global().set("validate.scenarios",
+                                   static_cast<std::uint64_t>(cli.scenarios));
+  }
+
   const auto report = validation::run_validation(options);
 
   io::Json json = validation::to_json(report);
@@ -158,11 +185,13 @@ int run(const CliOptions& cli) {
     out << text << "\n";
   }
 
-  std::fprintf(stderr,
-               "scshare_validate: %zu scenarios, %zu comparisons, "
-               "%zu disagreements -> %s\n",
-               report.scenarios, report.comparisons, report.disagreements,
-               report.pass() ? "PASS" : "FAIL");
+  obs::log_info(
+      "validate", report.pass() ? "validation PASS" : "validation FAIL",
+      {obs::field("scenarios", static_cast<std::uint64_t>(report.scenarios)),
+       obs::field("comparisons",
+                  static_cast<std::uint64_t>(report.comparisons)),
+       obs::field("disagreements",
+                  static_cast<std::uint64_t>(report.disagreements))});
   return report.pass() ? 0 : 1;
 }
 
@@ -174,7 +203,8 @@ int main(int argc, char** argv) {
   try {
     return run(cli);
   } catch (const scshare::Error& e) {
-    std::fprintf(stderr, "scshare_validate: error: %s\n", e.what());
+    scshare::obs::log_error("validate", "harness failed",
+                            {scshare::obs::field("error", e.what())});
     return 2;
   }
 }
