@@ -1,0 +1,76 @@
+#include "common/cancel.hpp"
+
+#include "common/error.hpp"
+
+namespace scshare {
+namespace {
+
+thread_local CancelToken t_current_token;
+
+}  // namespace
+
+CancelToken CancelToken::make() {
+  CancelToken token;
+  token.state_ = std::make_shared<State>();
+  return token;
+}
+
+CancelToken CancelToken::with_deadline_ms(std::int64_t deadline_ms) {
+  CancelToken token = make();
+  if (deadline_ms > 0) {
+    token.state_->has_deadline = true;
+    token.state_->deadline =
+        Clock::now() + std::chrono::milliseconds(deadline_ms);
+  }
+  return token;
+}
+
+void CancelToken::cancel() const noexcept {
+  if (state_) state_->cancelled.store(true, std::memory_order_release);
+}
+
+bool CancelToken::cancelled() const noexcept {
+  if (!state_) return false;
+  if (state_->cancelled.load(std::memory_order_acquire)) return true;
+  if (state_->has_deadline && Clock::now() >= state_->deadline) {
+    // Latch so subsequent polls skip the clock read.
+    state_->cancelled.store(true, std::memory_order_release);
+    return true;
+  }
+  return false;
+}
+
+bool CancelToken::deadline_exceeded() const noexcept {
+  return state_ != nullptr && state_->has_deadline &&
+         Clock::now() >= state_->deadline;
+}
+
+bool CancelToken::has_deadline() const noexcept {
+  return state_ != nullptr && state_->has_deadline;
+}
+
+std::int64_t CancelToken::remaining_ms() const noexcept {
+  if (!has_deadline()) return 0;
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             state_->deadline - Clock::now())
+      .count();
+}
+
+const CancelToken& current_cancel_token() noexcept { return t_current_token; }
+
+ScopedCancelToken::ScopedCancelToken(CancelToken token) noexcept
+    : saved_(t_current_token) {
+  t_current_token = std::move(token);
+}
+
+ScopedCancelToken::~ScopedCancelToken() { t_current_token = saved_; }
+
+void throw_if_cancelled(const char* where) {
+  if (!t_current_token.cancelled()) return;
+  throw Error(t_current_token.deadline_exceeded()
+                  ? "deadline exceeded (cooperative cancellation)"
+                  : "cancelled (cooperative cancellation)",
+              ErrorCode::kCancelled, where);
+}
+
+}  // namespace scshare

@@ -1,0 +1,97 @@
+// Cooperative cancellation for long-running solves.
+//
+// A CancelToken is a copyable handle onto shared cancellation state: a
+// latching flag plus an optional wall-clock deadline. Work that may run for
+// a long time (steady-state solver sweeps, game rounds, sweep grids) polls
+// the *ambient* token — a thread-local installed with ScopedCancelToken —
+// so no signature between the request entry point and the innermost loop
+// needs a token parameter. exec::ThreadPool::parallel_for propagates the
+// dispatching thread's ambient token to its workers, exactly like span
+// parents and correlation ids, so a deadline armed at the serve layer is
+// visible inside every leaf evaluation of the request's fan-out.
+//
+// Cost contract: when no token is installed (every non-daemon run),
+// cancelled() is one shared_ptr null check — solver hot loops may poll it
+// every sweep. With a deadline armed it adds one steady_clock read until the
+// deadline passes (the flag latches, after which it is one relaxed load).
+//
+// Cancellation is *cooperative*: cancel() never interrupts anything; it only
+// makes the next poll observe true. Polling sites that want to abort raise
+// scshare::Error with ErrorCode::kCancelled (see throw_if_cancelled), which
+// the batch evaluation layer captures per-request like any other typed
+// failure — a cancelled solve is therefore distinguishable from divergence
+// or non-convergence all the way up the stack.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace scshare {
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Null token: never cancelled, cancel() is a no-op. The default ambient
+  /// state, so unpolled runs pay only a null check.
+  CancelToken() = default;
+
+  /// Fresh cancellable state without a deadline.
+  [[nodiscard]] static CancelToken make();
+
+  /// Fresh state that auto-cancels once `deadline_ms` milliseconds elapse
+  /// (measured from now). `deadline_ms` <= 0 arms no deadline.
+  [[nodiscard]] static CancelToken with_deadline_ms(std::int64_t deadline_ms);
+
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+
+  /// Latches the cancelled flag. Safe from any thread, idempotent.
+  void cancel() const noexcept;
+
+  /// True once cancel() was called or the deadline passed. Latching: never
+  /// returns false after returning true.
+  [[nodiscard]] bool cancelled() const noexcept;
+
+  /// True when the token has a deadline and it has passed — distinguishes a
+  /// deadline expiry (HTTP 504) from an explicit cancel (drain, HTTP 503).
+  [[nodiscard]] bool deadline_exceeded() const noexcept;
+
+  [[nodiscard]] bool has_deadline() const noexcept;
+
+  /// Milliseconds until the deadline (<= 0 once passed). 0 for tokens
+  /// without a deadline.
+  [[nodiscard]] std::int64_t remaining_ms() const noexcept;
+
+ private:
+  struct State {
+    std::atomic<bool> cancelled{false};
+    bool has_deadline = false;
+    Clock::time_point deadline{};
+  };
+
+  std::shared_ptr<State> state_;
+};
+
+/// The calling thread's ambient token (null when none installed).
+[[nodiscard]] const CancelToken& current_cancel_token() noexcept;
+
+/// Installs `token` as the ambient token for the scope's lifetime and
+/// restores the previous one on destruction (LIFO, like ScopedCorrelation).
+class ScopedCancelToken {
+ public:
+  explicit ScopedCancelToken(CancelToken token) noexcept;
+  ~ScopedCancelToken();
+  ScopedCancelToken(const ScopedCancelToken&) = delete;
+  ScopedCancelToken& operator=(const ScopedCancelToken&) = delete;
+
+ private:
+  CancelToken saved_;
+};
+
+/// Throws scshare::Error with ErrorCode::kCancelled when the ambient token
+/// is cancelled; `where` becomes the error context ("gauss_seidel", ...).
+void throw_if_cancelled(const char* where);
+
+}  // namespace scshare

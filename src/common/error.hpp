@@ -23,6 +23,7 @@ enum class ErrorCode {
   kNumericalFailure,     ///< NaN/Inf or divergence detected mid-computation
   kBackendUnavailable,   ///< backend refused or cannot serve the evaluation
   kTimeout,              ///< evaluation exceeded its deadline
+  kCancelled,            ///< cooperative cancellation (deadline or shutdown)
 };
 
 /// Stable wire name of a code ("invalid_config", ...).
@@ -34,6 +35,7 @@ enum class ErrorCode {
     case ErrorCode::kNumericalFailure: return "numerical_failure";
     case ErrorCode::kBackendUnavailable: return "backend_unavailable";
     case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kCancelled: return "cancelled";
   }
   return "generic";
 }
@@ -49,6 +51,9 @@ enum class ErrorCode {
       return true;
     case ErrorCode::kGeneric:
     case ErrorCode::kInvalidConfig:
+    // Cancellation is deliberate — retrying a cancelled evaluation would
+    // leak work past the deadline or the shutdown that cancelled it.
+    case ErrorCode::kCancelled:
       return false;
   }
   return false;

@@ -4,6 +4,7 @@
 #include <exception>
 #include <utility>
 
+#include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
@@ -110,15 +111,19 @@ void ThreadPool::parallel_for(std::size_t n,
   auto failure_mutex = std::make_shared<std::mutex>();
   auto failure = std::make_shared<std::exception_ptr>();
   // Workers adopt the dispatching thread's open span so profiler spans opened
-  // inside fn() parent under the call site rather than dangling as roots, and
-  // the dispatching thread's correlation id so log lines and JSONL trace
-  // events emitted from fn() carry the same ctx as the dispatch site.
+  // inside fn() parent under the call site rather than dangling as roots, the
+  // dispatching thread's correlation id so log lines and JSONL trace events
+  // emitted from fn() carry the same ctx as the dispatch site, and the
+  // dispatching thread's cancel token so a deadline armed at the request
+  // entry point reaches every leaf evaluation of the fan-out.
   const std::uint64_t parent_span = obs::current_span();
   const obs::CorrelationId ctx = obs::current_correlation();
+  const CancelToken cancel = current_cancel_token();
   const auto run_indices = [n, next, failure_mutex, failure, &fn, parent_span,
-                            ctx]() {
+                            ctx, cancel]() {
     const obs::ScopedSpanParent adopt(parent_span);
     const obs::ScopedCorrelation adopt_ctx(ctx);
+    const ScopedCancelToken adopt_cancel(cancel);
     for (;;) {
       const std::size_t i = next->fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;

@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "common/cancel.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/timer.hpp"
@@ -79,6 +80,15 @@ std::vector<EvalResult> ComputeBackend::evaluate_batch(
     const obs::Span span("backend.eval");
     EvalResult& result = results[i];
     result.tag = requests[i].tag;
+    // Short-circuit before computing: once the request's deadline fired,
+    // every remaining candidate in the batch resolves instantly as a typed
+    // cancellation instead of burning a full solve each.
+    if (current_cancel_token().cancelled()) {
+      result.ok = false;
+      result.code = ErrorCode::kCancelled;
+      result.error = "evaluation cancelled before start";
+      return;
+    }
     const obs::Stopwatch stopwatch;
     try {
       result.metrics = compute(requests[i].config);

@@ -188,6 +188,11 @@ std::vector<EvalResult> FallbackBackend::evaluate_batch(
               std::string(tiers_[tier]->name()) + ")");
         }
         results[idx] = std::move(result);
+      } else if (result.code == ErrorCode::kCancelled) {
+        // The request (not the tier) is dead: descending would evaluate a
+        // coarser model past the deadline/shutdown that cancelled it. Keep
+        // the typed cancellation as the final answer.
+        results[idx] = std::move(result);
       } else {
         last_errors[idx] = result.error;
         if (tier + 1 < tiers_.size()) {

@@ -192,6 +192,7 @@ Json to_json(const market::GameResult& result) {
   out["rounds"] = result.rounds;
   out["converged"] = result.converged;
   out["degraded"] = result.degraded;
+  out["cancelled"] = result.cancelled;
   out["failed_evaluations"] = result.failed_evaluations;
   out["trajectory"] = Json(std::move(trajectory));
   return Json(std::move(out));

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
@@ -23,6 +24,7 @@ struct GameObs {
   obs::Counter& converged;
   obs::Counter& eval_failures;
   obs::Counter& degraded_runs;
+  obs::Counter& cancelled_runs;
   obs::Histogram& seconds;
 
   GameObs()
@@ -38,6 +40,8 @@ struct GameObs {
             "market.game.eval_failures")),
         degraded_runs(obs::MetricsRegistry::global().counter(
             "market.game.degraded_runs")),
+        cancelled_runs(obs::MetricsRegistry::global().counter(
+            "market.game.cancelled_runs")),
         seconds(
             obs::MetricsRegistry::global().histogram("market.game.seconds")) {}
 };
@@ -101,6 +105,10 @@ federation::FederationMetrics Game::metrics_or_last_good(
   federation::FederationMetrics metrics;
   if (try_evaluate(shares, metrics)) return metrics;
   if (!has_last_good_) {
+    // No partial result to degrade to. Distinguish "cancelled before
+    // anything succeeded" (serve maps it to 504 without a body) from a
+    // genuinely unavailable backend.
+    throw_if_cancelled("Game");
     throw Error("no successful evaluation to fall back on",
                 ErrorCode::kBackendUnavailable, "Game");
   }
@@ -248,6 +256,17 @@ GameResult Game::run() {
   board.set("game.converged", false);
 
   for (int round = 1; round <= options_.max_rounds; ++round) {
+    // Deadline/drain poll between rounds: a cancelled run stops improving
+    // and falls through to the partial-result path below, where the final
+    // evaluation substitutes last-known-good metrics if it too is refused.
+    if (current_cancel_token().cancelled()) {
+      result.cancelled = true;
+      degraded_ = true;
+      instruments.cancelled_runs.add();
+      obs::log_warn("market", "game run cancelled; returning partial result",
+                    {obs::field("round", round)});
+      break;
+    }
     // Fresh correlation id per round: every log line, JSONL trace event, and
     // profiler span produced while this round runs (including from pool
     // workers — parallel_for propagates the id) carries the same ctx, so one
@@ -314,7 +333,7 @@ GameResult Game::run() {
                                      prices_.power_price,
                                      config_.scs[i].num_vms);
   }
-  result.degraded = degraded_;
+  result.degraded = degraded_ || result.cancelled;
   result.failed_evaluations = failed_evaluations_;
   if (result.degraded) instruments.degraded_runs.add();
 

@@ -61,6 +61,11 @@ struct GameResult {
   /// Backend evaluations that raised a typed error (the candidate was
   /// skipped, or last-known-good metrics were substituted).
   int failed_evaluations = 0;
+  /// True when the run stopped early because the ambient CancelToken fired
+  /// (request deadline or daemon drain). `shares`/`utilities` then hold the
+  /// best vector reached so far — a partial, degraded result, not an
+  /// equilibrium claim.
+  bool cancelled = false;
   std::vector<std::vector<int>> trajectory;  ///< shares after each round
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
@@ -92,6 +93,10 @@ std::vector<SweepPoint> run_price_sweep(
   std::vector<SweepPoint> points;
   points.reserve(options.ratios.size());
   for (double ratio : options.ratios) {
+    // A sweep spans many games; poll between ratio points so a deadline
+    // abandons the remaining grid rather than finishing it. (Within a point,
+    // Game::run and the solver loops carry their own checks.)
+    throw_if_cancelled("run_price_sweep");
     const obs::Span point_span("sweep.point");
     points_counter.add();
     PriceConfig prices;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "linalg/vector_ops.hpp"
 #include "obs/log.hpp"
@@ -157,6 +158,10 @@ SteadyStateResult solve_steady_state(const Ctmc& chain,
   double best_residual = std::numeric_limits<double>::infinity();
 
   for (std::size_t iter = 1; iter <= options.max_iterations; ++iter) {
+    // Deadline polled every sweep (not every check_interval) so a request
+    // deadline fires within one sweep of work; a null ambient token makes
+    // this a single pointer check.
+    throw_if_cancelled("gauss_seidel");
     for (std::size_t j = 0; j < n; ++j) {
       if (diag[j] == 0.0) continue;  // absorbing state: mass accumulates there
       double inflow = 0.0;
@@ -210,6 +215,7 @@ SteadyStateResult solve_steady_state_power(const Ctmc& chain,
   double best_residual = std::numeric_limits<double>::infinity();
 
   for (std::size_t iter = 1; iter <= options.max_iterations; ++iter) {
+    throw_if_cancelled("power");
     p.multiply_transposed(result.pi, next);
     std::swap(result.pi, next);
     if (iter % options.check_interval == 0 ||

@@ -3,8 +3,11 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -29,26 +32,57 @@ bool send_all(int fd, const char* data, std::size_t size) {
   return true;
 }
 
+enum class ReadStatus { kOk, kClosed, kTimedOut, kTooLarge };
+
 /// Reads until the blank line ending the request head, kMaxRequestBytes cap.
-/// Returns false on EOF/error before a complete head arrived.
-bool read_head(int fd, std::string& head, bool& too_large) {
-  too_large = false;
-  char buf[1024];
-  while (head.find("\r\n\r\n") == std::string::npos &&
-         head.find("\n\n") == std::string::npos) {
-    if (head.size() >= HttpServer::kMaxRequestBytes) {
-      too_large = true;
-      return true;
+/// Bytes past the header terminator (pipelined body prefix) stay in `raw`;
+/// `head_end` points one past the terminator.
+ReadStatus read_head(int fd, std::string& raw, std::size_t& head_end) {
+  char buf[2048];
+  for (;;) {
+    std::size_t at = raw.find("\r\n\r\n");
+    std::size_t skip = 4;
+    if (at == std::string::npos) {
+      at = raw.find("\n\n");
+      skip = 2;
+    }
+    if (at != std::string::npos) {
+      head_end = at + skip;
+      return ReadStatus::kOk;
+    }
+    if (raw.size() >= HttpServer::kMaxRequestBytes) {
+      return ReadStatus::kTooLarge;
     }
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return false;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return ReadStatus::kTimedOut;  // SO_RCVTIMEO fired (slowloris)
+      }
+      return ReadStatus::kClosed;
     }
-    if (n == 0) return false;
-    head.append(buf, static_cast<std::size_t>(n));
+    if (n == 0) return ReadStatus::kClosed;
+    raw.append(buf, static_cast<std::size_t>(n));
   }
-  return true;
+}
+
+/// Reads until `body` holds `want` bytes (prefix may already be present).
+ReadStatus read_body(int fd, std::string& body, std::size_t want) {
+  char buf[4096];
+  while (body.size() < want) {
+    const std::size_t chunk = std::min(sizeof(buf), want - body.size());
+    const ssize_t n = ::recv(fd, buf, chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return ReadStatus::kTimedOut;
+      }
+      return ReadStatus::kClosed;
+    }
+    if (n == 0) return ReadStatus::kClosed;
+    body.append(buf, static_cast<std::size_t>(n));
+  }
+  return ReadStatus::kOk;
 }
 
 /// "GET /metrics?x=1 HTTP/1.1" -> method + target; false when malformed.
@@ -67,9 +101,50 @@ bool parse_request_line(const std::string& head, HttpRequest& request) {
          request.path[0] == '/';
 }
 
+/// Case-insensitive lookup of a header value in the raw head block. Returns
+/// false when absent; the value is trimmed of surrounding whitespace.
+bool find_header(const std::string& head, const char* name,
+                 std::string& value) {
+  const std::size_t name_len = std::strlen(name);
+  std::size_t pos = head.find('\n');  // skip the request line
+  while (pos != std::string::npos && pos + 1 < head.size()) {
+    const std::size_t line_start = pos + 1;
+    std::size_t line_end = head.find('\n', line_start);
+    if (line_end == std::string::npos) line_end = head.size();
+    const std::size_t colon = head.find(':', line_start);
+    if (colon != std::string::npos && colon < line_end &&
+        colon - line_start == name_len) {
+      bool match = true;
+      for (std::size_t i = 0; i < name_len; ++i) {
+        if (std::tolower(static_cast<unsigned char>(head[line_start + i])) !=
+            std::tolower(static_cast<unsigned char>(name[i]))) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        std::size_t vb = colon + 1;
+        std::size_t ve = line_end;
+        while (vb < ve && std::isspace(static_cast<unsigned char>(head[vb]))) {
+          ++vb;
+        }
+        while (ve > vb &&
+               std::isspace(static_cast<unsigned char>(head[ve - 1]))) {
+          --ve;
+        }
+        value = head.substr(vb, ve - vb);
+        return true;
+      }
+    }
+    pos = line_end;
+    if (pos >= head.size()) break;
+  }
+  return false;
+}
+
 void write_response(int fd, const HttpResponse& response, bool head_only) {
   std::string out;
-  out.reserve(128 + response.body.size());
+  out.reserve(192 + response.body.size());
   out += "HTTP/1.1 ";
   out += std::to_string(response.status);
   out += ' ';
@@ -78,9 +153,24 @@ void write_response(int fd, const HttpResponse& response, bool head_only) {
   out += response.content_type;
   out += "\r\nContent-Length: ";
   out += std::to_string(response.body.size());
+  for (const auto& [name, value] : response.headers) {
+    out += "\r\n";
+    out += name;
+    out += ": ";
+    out += value;
+  }
   out += "\r\nConnection: close\r\n\r\n";
   if (!head_only) out += response.body;
   (void)send_all(fd, out.data(), out.size());
+}
+
+void write_simple(int fd, int status, const std::string& body,
+                  bool retry_after = false) {
+  HttpResponse response;
+  response.status = status;
+  response.body = body;
+  if (retry_after) response.headers.emplace_back("Retry-After", "1");
+  write_response(fd, response, false);
 }
 
 [[noreturn]] void throw_errno(const char* what) {
@@ -94,35 +184,47 @@ const char* http_status_reason(int status) noexcept {
   switch (status) {
     case 200:
       return "OK";
+    case 202:
+      return "Accepted";
     case 400:
       return "Bad Request";
     case 404:
       return "Not Found";
     case 405:
       return "Method Not Allowed";
+    case 408:
+      return "Request Timeout";
+    case 413:
+      return "Content Too Large";
+    case 429:
+      return "Too Many Requests";
     case 431:
       return "Request Header Fields Too Large";
     case 500:
       return "Internal Server Error";
     case 503:
       return "Service Unavailable";
+    case 504:
+      return "Gateway Timeout";
     default:
       return "Unknown";
   }
 }
 
-HttpServer::HttpServer(std::uint16_t port, Handler handler)
-    : handler_(std::move(handler)) {
+HttpServer::HttpServer(HttpServerOptions options, Handler handler)
+    : options_(options), handler_(std::move(handler)) {
+  if (options_.io_threads == 0) options_.io_threads = 1;
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw_errno("socket");
 
+  // Drain-and-restart cycles must not hit EADDRINUSE on lingering sockets.
   const int on = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &on, sizeof(on));
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
+  addr.sin_port = htons(options_.port);
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
       0) {
     const int saved = errno;
@@ -131,7 +233,7 @@ HttpServer::HttpServer(std::uint16_t port, Handler handler)
     errno = saved;
     throw_errno("bind");
   }
-  if (::listen(listen_fd_, 16) < 0) {
+  if (::listen(listen_fd_, 64) < 0) {
     const int saved = errno;
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -144,33 +246,47 @@ HttpServer::HttpServer(std::uint16_t port, Handler handler)
       0) {
     port_ = ntohs(addr.sin_port);
   } else {
-    port_ = port;
+    port_ = options_.port;
   }
 
-  thread_ = std::thread([this] { accept_loop(); });
+  io_threads_.reserve(options_.io_threads);
+  for (std::size_t i = 0; i < options_.io_threads; ++i) {
+    io_threads_.emplace_back([this] { io_loop(); });
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
 HttpServer::~HttpServer() { stop(); }
 
-void HttpServer::stop() {
-  if (stopping_.exchange(true, std::memory_order_acq_rel)) {
-    if (thread_.joinable()) thread_.join();
+void HttpServer::stop_accepting() {
+  if (closed_listener_.exchange(true, std::memory_order_acq_rel)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
     return;
   }
   // shutdown() wakes the blocking accept() with an error; close() alone is
   // not guaranteed to on all kernels.
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
-  if (thread_.joinable()) thread_.join();
+  if (accept_thread_.joinable()) accept_thread_.join();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
 }
 
+void HttpServer::stop() {
+  stop_accepting();
+  if (!stopping_.exchange(true, std::memory_order_acq_rel)) {
+    wake_.notify_all();
+  }
+  for (auto& t : io_threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
 void HttpServer::accept_loop() {
   for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (stopping_.load(std::memory_order_acquire)) {
+    if (closed_listener_.load(std::memory_order_acquire)) {
       if (fd >= 0) ::close(fd);
       return;
     }
@@ -178,38 +294,123 @@ void HttpServer::accept_loop() {
       if (errno == EINTR || errno == ECONNABORTED) continue;
       return;  // listener gone — treat as shutdown
     }
+    if (options_.read_timeout_ms > 0) {
+      timeval tv{};
+      tv.tv_sec = options_.read_timeout_ms / 1000;
+      tv.tv_usec = (options_.read_timeout_ms % 1000) * 1000;
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    }
+    bool shed = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (pending_.size() >= options_.max_pending_connections) {
+        shed = true;
+      } else {
+        pending_.push_back(fd);
+      }
+    }
+    if (shed) {
+      // Answer from the accept thread: a full queue must never make new
+      // clients wait on a slow io thread.
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      write_simple(fd, 503, "server overloaded\n", /*retry_after=*/true);
+      ::close(fd);
+    } else {
+      wake_.notify_one();
+    }
+  }
+}
+
+void HttpServer::io_loop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] {
+        return !pending_.empty() || stopping_.load(std::memory_order_acquire);
+      });
+      if (!pending_.empty()) {
+        fd = pending_.front();
+        pending_.pop_front();
+      } else {
+        return;  // stopping and the queue is drained
+      }
+    }
     serve_connection(fd);
     ::close(fd);
   }
 }
 
 void HttpServer::serve_connection(int fd) {
-  std::string head;
-  bool too_large = false;
-  if (!read_head(fd, head, too_large)) return;
+  std::string raw;
+  std::size_t head_end = 0;
+  const ReadStatus head_status = read_head(fd, raw, head_end);
+  if (head_status == ReadStatus::kClosed) return;
   served_.fetch_add(1, std::memory_order_relaxed);
+  if (head_status == ReadStatus::kTimedOut) {
+    write_simple(fd, 408, "timed out reading request\n");
+    return;
+  }
+  if (head_status == ReadStatus::kTooLarge) {
+    write_simple(fd, 431, "request head too large\n");
+    return;
+  }
 
   HttpRequest request;
   HttpResponse response;
-  if (too_large) {
-    response.status = 431;
-    response.body = "request head too large\n";
-    write_response(fd, response, false);
-    return;
-  }
+  const std::string head = raw.substr(0, head_end);
   if (!parse_request_line(head, request)) {
-    response.status = 400;
-    response.body = "malformed request line\n";
-    write_response(fd, response, false);
+    write_simple(fd, 400, "malformed request line\n");
     return;
   }
   const bool head_only = request.method == "HEAD";
-  if (request.method != "GET" && !head_only) {
+  if (request.method != "GET" && !head_only && request.method != "POST") {
     response.status = 405;
-    response.body = "only GET is supported\n";
+    response.body = "only GET, HEAD, and POST are supported\n";
     write_response(fd, response, head_only);
     return;
   }
+
+  if (request.method == "POST") {
+    std::string value;
+    if (find_header(head, "transfer-encoding", value)) {
+      write_simple(fd, 400, "chunked transfer encoding not supported\n");
+      return;
+    }
+    std::size_t content_length = 0;
+    if (find_header(head, "content-length", value)) {
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        write_simple(fd, 400, "malformed Content-Length\n");
+        return;
+      }
+      content_length = static_cast<std::size_t>(parsed);
+    }
+    if (content_length > options_.max_body_bytes) {
+      // Refuse before reading: an oversized body is never pulled off the
+      // socket. Connection: close makes the abandoned bytes the kernel's
+      // problem, not ours.
+      write_simple(fd, 413, "request body too large\n");
+      return;
+    }
+    if (find_header(head, "expect", value) &&
+        value.find("100-continue") != std::string::npos) {
+      static const char kContinue[] = "HTTP/1.1 100 Continue\r\n\r\n";
+      if (!send_all(fd, kContinue, sizeof(kContinue) - 1)) return;
+    }
+    request.body = raw.substr(head_end);  // prefix read alongside the head
+    if (request.body.size() > content_length) {
+      request.body.resize(content_length);
+    }
+    const ReadStatus body_status = read_body(fd, request.body, content_length);
+    if (body_status == ReadStatus::kTimedOut) {
+      write_simple(fd, 408, "timed out reading request body\n");
+      return;
+    }
+    if (body_status == ReadStatus::kClosed) return;
+  }
+
   try {
     response = handler_(request);
   } catch (const std::exception& e) {
@@ -220,7 +421,9 @@ void HttpServer::serve_connection(int fd) {
   write_response(fd, response, head_only);
 }
 
-HttpGetResult http_get(std::uint16_t port, const std::string& target) {
+HttpGetResult http_request(std::uint16_t port, const std::string& method,
+                           const std::string& target,
+                           const std::string& body) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw_errno("client socket");
 
@@ -235,9 +438,15 @@ HttpGetResult http_get(std::uint16_t port, const std::string& target) {
     throw_errno("connect");
   }
 
-  const std::string request =
-      "GET " + target + " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
-      "Connection: close\r\n\r\n";
+  std::string request = method + " " + target +
+                        " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                        "Connection: close\r\n";
+  if (method == "POST" || !body.empty()) {
+    request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    request += "Content-Type: application/json\r\n";
+  }
+  request += "\r\n";
+  request += body;
   if (!send_all(fd, request.data(), request.size())) {
     ::close(fd);
     throw std::runtime_error("HttpServer: client send failed");
@@ -259,10 +468,27 @@ HttpGetResult http_get(std::uint16_t port, const std::string& target) {
   }
   ::close(fd);
 
-  HttpGetResult result;
-  if (raw.rfind("HTTP/1.", 0) != 0) {
-    throw std::runtime_error("HttpServer: malformed status line");
+  // Skip interim 1xx responses (100 Continue) to the final status line.
+  for (;;) {
+    if (raw.rfind("HTTP/1.", 0) != 0) {
+      throw std::runtime_error("HttpServer: malformed status line");
+    }
+    const std::size_t sp = raw.find(' ');
+    const int status = std::atoi(raw.c_str() + sp + 1);
+    if (status < 100 || status > 199) break;
+    std::size_t at = raw.find("\r\n\r\n");
+    std::size_t skip = 4;
+    if (at == std::string::npos) {
+      at = raw.find("\n\n");
+      skip = 2;
+    }
+    if (at == std::string::npos) {
+      throw std::runtime_error("HttpServer: interim response unterminated");
+    }
+    raw.erase(0, at + skip);
   }
+
+  HttpGetResult result;
   const std::size_t sp = raw.find(' ');
   result.status = std::atoi(raw.c_str() + sp + 1);
   std::size_t body_at = raw.find("\r\n\r\n");
@@ -278,6 +504,10 @@ HttpGetResult http_get(std::uint16_t port, const std::string& target) {
   result.headers = raw.substr(line_end, body_at - line_end);
   result.body = raw.substr(body_at + skip);
   return result;
+}
+
+HttpGetResult http_get(std::uint16_t port, const std::string& target) {
+  return http_request(port, "GET", target, std::string{});
 }
 
 }  // namespace scshare::net

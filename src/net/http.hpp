@@ -1,17 +1,34 @@
-// Minimal blocking-accept HTTP/1.1 server (and a tiny client for tests).
+// Minimal HTTP/1.1 server (and a tiny client for tests).
 //
-// Purpose-built for the embedded telemetry plane (obs::TelemetryServer):
-// a scrape endpoint needs GET + small responses + clean shutdown, nothing
-// more. Deliberately NOT a general web server:
-//  * one dedicated accept thread, connections served inline one at a time
-//    (a Prometheus scraper opens one connection per scrape; serving inline
-//    keeps the server to exactly one thread and zero queues);
-//  * request line + headers parsed from at most kMaxRequestBytes; bodies are
-//    ignored (GET/HEAD only — anything else gets 405);
+// Serves two roles:
+//  * the embedded telemetry plane (obs::TelemetryServer): GET-only scrape
+//    endpoints, one io thread, small responses — the original design;
+//  * the scshare_serve daemon (src/serve/): POST requests with JSON bodies
+//    served concurrently by a small io-thread pool, hardened against slow
+//    and oversized clients.
+//
+// Deliberately NOT a general web server:
+//  * one dedicated accept thread hands accepted connections to a bounded
+//    queue drained by `io_threads` workers; when the queue is full the
+//    accept thread answers 503 immediately (never blocks on a slow worker);
+//  * request head (request line + headers) is capped at kMaxRequestBytes
+//    (431 beyond); bodies are read only for POST, up to
+//    `max_body_bytes` (413 beyond, without reading the excess);
+//  * every connection carries a kernel receive timeout (`read_timeout_ms`) —
+//    a slowloris client that trickles its request gets 408 and is dropped
+//    instead of pinning an io thread;
 //  * every response carries Content-Length and Connection: close, so clients
-//    never need chunked decoding;
-//  * binds 127.0.0.1 only: telemetry is operator-facing, not public. Expose
-//    it beyond the host with a reverse proxy, not by widening the bind.
+//    never need chunked decoding; Expect: 100-continue is honored so curl
+//    can POST large bodies;
+//  * binds 127.0.0.1 only: the daemon is operator-facing, not public.
+//    Expose it beyond the host with a reverse proxy, not by widening the
+//    bind. SO_REUSEADDR is set so drain-and-restart cycles (tests, rolling
+//    restarts) cannot hit EADDRINUSE on lingering sockets.
+//
+// Shutdown is two-phase to support graceful drain: stop_accepting() closes
+// the listener (new connects are refused by the kernel) while the io
+// threads keep serving whatever was already accepted; stop() then drains
+// the pending queue and joins everything. stop() alone performs both.
 //
 // No third-party dependencies: POSIX sockets only. Standard-library errors
 // (std::runtime_error) on bind/listen failures so callers without the
@@ -19,38 +36,70 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 namespace scshare::net {
 
 /// One parsed request: method, request-target path (query string stripped),
-/// and the raw target as sent.
+/// the raw target as sent, and — for POST — the request body.
 struct HttpRequest {
-  std::string method;  ///< "GET", "HEAD", ...
+  std::string method;  ///< "GET", "HEAD", "POST", ...
   std::string path;    ///< "/metrics" (query string removed)
   std::string target;  ///< raw request-target, query string included
+  std::string body;    ///< request body (POST only; "" otherwise)
 };
 
 struct HttpResponse {
   int status = 200;
   std::string content_type = "text/plain; charset=utf-8";
   std::string body;
+  /// Extra response headers (e.g. {"Retry-After", "1"}); Content-Type,
+  /// Content-Length, and Connection are always emitted by the server.
+  std::vector<std::pair<std::string, std::string>> headers;
 };
 
 /// Standard reason phrase for the handful of statuses the server emits.
 [[nodiscard]] const char* http_status_reason(int status) noexcept;
 
+struct HttpServerOptions {
+  /// TCP port on 127.0.0.1; 0 = kernel-chosen ephemeral port.
+  std::uint16_t port = 0;
+  /// Connection-serving worker threads. 1 (the telemetry default) serves
+  /// connections strictly one at a time; the daemon uses more so long
+  /// handler calls cannot starve /metrics scrapes.
+  std::size_t io_threads = 1;
+  /// Largest accepted POST body; larger requests get 413 without the body
+  /// being read.
+  std::size_t max_body_bytes = 1 << 20;
+  /// Kernel receive timeout per connection (slowloris guard): a client that
+  /// fails to deliver its complete request head + body within this budget
+  /// gets 408. <= 0 disables the timeout.
+  int read_timeout_ms = 10000;
+  /// Accepted-but-not-yet-served connection bound; beyond it the accept
+  /// thread answers 503 + Retry-After immediately.
+  std::size_t max_pending_connections = 128;
+};
+
 class HttpServer {
  public:
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
 
-  /// Binds 127.0.0.1:`port` (0 = kernel-chosen ephemeral port) and starts
-  /// the accept thread. Throws std::runtime_error when the socket cannot be
-  /// created, bound, or listened on.
-  HttpServer(std::uint16_t port, Handler handler);
+  /// Binds 127.0.0.1 and starts the accept + io threads. Throws
+  /// std::runtime_error when the socket cannot be created, bound, or
+  /// listened on.
+  HttpServer(HttpServerOptions options, Handler handler);
+
+  /// Telemetry-compatible convenience constructor (defaults elsewhere).
+  HttpServer(std::uint16_t port, Handler handler)
+      : HttpServer(HttpServerOptions{.port = port}, std::move(handler)) {}
 
   /// stop()s and joins.
   ~HttpServer();
@@ -60,17 +109,31 @@ class HttpServer {
   /// The actually bound port (resolves port 0 to the kernel's choice).
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
 
-  /// Idempotent: closes the listener, wakes the accept thread, joins it.
-  /// In-flight responses complete before the thread exits.
+  /// Drain phase 1: closes the listener and joins the accept thread; new
+  /// connects are refused by the kernel while the io threads keep serving
+  /// already-accepted connections. Idempotent.
+  void stop_accepting();
+
+  /// Idempotent: stop_accepting(), then lets the io threads drain the
+  /// pending-connection queue (in-flight responses complete) and joins them.
   void stop();
 
   [[nodiscard]] bool running() const noexcept {
     return !stopping_.load(std::memory_order_acquire);
   }
 
+  [[nodiscard]] bool accepting() const noexcept {
+    return !closed_listener_.load(std::memory_order_acquire);
+  }
+
   /// Requests served so far (any status).
   [[nodiscard]] std::uint64_t requests_served() const noexcept {
     return served_.load(std::memory_order_relaxed);
+  }
+
+  /// Connections answered 503 because the pending queue was full.
+  [[nodiscard]] std::uint64_t connections_shed() const noexcept {
+    return shed_.load(std::memory_order_relaxed);
   }
 
   /// Largest request head (request line + headers) accepted; longer
@@ -79,20 +142,29 @@ class HttpServer {
 
  private:
   void accept_loop();
+  void io_loop();
   void serve_connection(int fd);
 
+  HttpServerOptions options_;
   Handler handler_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> closed_listener_{false};
   std::atomic<std::uint64_t> served_{0};
-  std::thread thread_;
+  std::atomic<std::uint64_t> shed_{0};
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<int> pending_;  ///< accepted fds awaiting an io thread
+  std::thread accept_thread_;
+  std::vector<std::thread> io_threads_;
 };
 
 /// Blocking single-request client used by tests and smoke tooling: connects
-/// to 127.0.0.1:`port`, issues `GET target`, returns the parsed status and
-/// body. Throws std::runtime_error on connect/IO failure or a malformed
-/// status line.
+/// to 127.0.0.1:`port`, issues `GET target` (or `method` with `body`),
+/// returns the parsed status and body. Throws std::runtime_error on
+/// connect/IO failure or a malformed status line.
 struct HttpGetResult {
   int status = 0;
   std::string body;
@@ -101,5 +173,11 @@ struct HttpGetResult {
 
 [[nodiscard]] HttpGetResult http_get(std::uint16_t port,
                                      const std::string& target);
+
+/// Single-request client with a method and body (for POST in tests).
+[[nodiscard]] HttpGetResult http_request(std::uint16_t port,
+                                         const std::string& method,
+                                         const std::string& target,
+                                         const std::string& body);
 
 }  // namespace scshare::net

@@ -49,6 +49,7 @@ void append_profile_node(std::string& out, const ProfileNode& node) {
 
 TelemetryServer::TelemetryServer(Options options)
     : options_(std::move(options)), started_(std::chrono::steady_clock::now()) {
+  if (!options_.bind) return;  // pure renderer embedded in another server
   server_ = std::make_unique<net::HttpServer>(
       options_.port,
       [this](const net::HttpRequest& request) { return handle(request); });
@@ -96,28 +97,33 @@ std::string TelemetryServer::render_healthz() const {
       counter_value(snap, "solver.divergence_aborts");
   const std::uint64_t relaxations =
       counter_value(snap, "solver.tolerance_relaxations");
-  const bool degraded = degraded_runs > 0 || eval_failures > 0 ||
-                        fallbacks > 0 || divergence_aborts > 0;
+  bool degraded = degraded_runs > 0 || eval_failures > 0 || fallbacks > 0 ||
+                  divergence_aborts > 0;
 
   const auto uptime = std::chrono::duration_cast<std::chrono::milliseconds>(
       std::chrono::steady_clock::now() - started_);
 
+  std::string fields;
+  fields += "\"uptime_seconds\":";
+  append_number(fields, static_cast<double>(uptime.count()) / 1000.0);
+  fields += ",\"degraded_runs\":";
+  fields += std::to_string(degraded_runs);
+  fields += ",\"eval_failures\":";
+  fields += std::to_string(eval_failures);
+  fields += ",\"backend_fallbacks\":";
+  fields += std::to_string(fallbacks);
+  fields += ",\"backend_retries\":";
+  fields += std::to_string(retries);
+  fields += ",\"solver_divergence_aborts\":";
+  fields += std::to_string(divergence_aborts);
+  fields += ",\"solver_tolerance_relaxations\":";
+  fields += std::to_string(relaxations);
+  if (options_.healthz_hook) options_.healthz_hook(fields, degraded);
+
   std::string out = "{\"status\":\"ok\",\"degraded\":";
   out += degraded ? "true" : "false";
-  out += ",\"uptime_seconds\":";
-  append_number(out, static_cast<double>(uptime.count()) / 1000.0);
-  out += ",\"degraded_runs\":";
-  out += std::to_string(degraded_runs);
-  out += ",\"eval_failures\":";
-  out += std::to_string(eval_failures);
-  out += ",\"backend_fallbacks\":";
-  out += std::to_string(fallbacks);
-  out += ",\"backend_retries\":";
-  out += std::to_string(retries);
-  out += ",\"solver_divergence_aborts\":";
-  out += std::to_string(divergence_aborts);
-  out += ",\"solver_tolerance_relaxations\":";
-  out += std::to_string(relaxations);
+  out += ',';
+  out += fields;
   out += "}\n";
   return out;
 }
@@ -177,8 +183,11 @@ std::string TelemetryServer::render_statusz() const {
   }
   emit("telemetry.spans_recorded",
        std::to_string(Profiler::instance().record_count()));
-  emit("telemetry.requests_served",
-       std::to_string(server_ ? server_->requests_served() : 0));
+  std::uint64_t served = server_ ? server_->requests_served() : 0;
+  if (!server_ && options_.requests_served_fn) {
+    served = options_.requests_served_fn();
+  }
+  emit("telemetry.requests_served", std::to_string(served));
   out += "}\n";
   return out;
 }
@@ -199,6 +208,13 @@ std::string TelemetryServer::render_profilez() const {
 
 net::HttpResponse TelemetryServer::handle(const net::HttpRequest& request) {
   net::HttpResponse response;
+  if (request.method != "GET" && request.method != "HEAD") {
+    // The transport now admits POST for the serve API; the telemetry plane
+    // itself stays read-only.
+    response.status = 405;
+    response.body = "telemetry endpoints are GET only\n";
+    return response;
+  }
   if (request.path == "/metrics") {
     response.content_type =
         "application/openmetrics-text; version=1.0.0; charset=utf-8";

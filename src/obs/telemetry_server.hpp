@@ -30,6 +30,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -46,6 +47,19 @@ class TelemetryServer {
     /// Value of the scshare_run_info{backend="..."} identity label on
     /// /metrics scrapes.
     std::string backend_label = "live";
+    /// When false, no socket is bound and no thread started: the instance
+    /// is a pure renderer whose handle()/render_*() the embedding process
+    /// (scshare_serve) wires into its own HTTP server, so the daemon serves
+    /// telemetry from the same port and process as the job API.
+    bool bind = true;
+    /// Optional embedder hook run while rendering /healthz: append extra
+    /// JSON fields (`out` ends just before the closing brace — emit
+    /// `,\"k\":v` pairs) and/or force `degraded` true (e.g. while the serve
+    /// layer is shedding load).
+    std::function<void(std::string& out, bool& degraded)> healthz_hook;
+    /// Overrides the telemetry.requests_served field on /statusz when the
+    /// instance has no server of its own (bind == false).
+    std::function<std::uint64_t()> requests_served_fn;
   };
 
   /// Binds and starts serving; throws std::runtime_error when the port
@@ -67,8 +81,12 @@ class TelemetryServer {
   [[nodiscard]] std::string render_statusz() const;
   [[nodiscard]] std::string render_profilez() const;
 
- private:
+  /// Routes one request across the telemetry endpoints (GET/HEAD only —
+  /// anything else is 405). Public so an embedding server (scshare_serve)
+  /// can delegate non-API paths here.
   [[nodiscard]] net::HttpResponse handle(const net::HttpRequest& request);
+
+ private:
 
   Options options_;
   std::chrono::steady_clock::time_point started_;

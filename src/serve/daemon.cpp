@@ -1,0 +1,553 @@
+#include "serve/daemon.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "common/cancel.hpp"
+#include "common/error.hpp"
+#include "io/config_io.hpp"
+#include "io/json.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/status.hpp"
+#include "obs/timer.hpp"
+
+namespace scshare::serve {
+namespace {
+
+/// Shared serve-plane instruments (stable handles; see obs/metrics.hpp).
+struct ServeObs {
+  obs::Counter& submitted;
+  obs::Counter& admitted;
+  obs::Counter& shed;
+  obs::Counter& invalid;
+  obs::Counter& completed;
+  obs::Counter& failed;
+  obs::Counter& deadline_exceeded;
+  obs::Counter& cancelled;
+  obs::Gauge& in_flight;
+  obs::Histogram& request_seconds;
+
+  ServeObs()
+      : submitted(obs::MetricsRegistry::global().counter("serve.submitted")),
+        admitted(obs::MetricsRegistry::global().counter("serve.admitted")),
+        shed(obs::MetricsRegistry::global().counter("serve.shed")),
+        invalid(obs::MetricsRegistry::global().counter("serve.invalid")),
+        completed(obs::MetricsRegistry::global().counter("serve.completed")),
+        failed(obs::MetricsRegistry::global().counter("serve.failed")),
+        deadline_exceeded(obs::MetricsRegistry::global().counter(
+            "serve.deadline_exceeded")),
+        cancelled(obs::MetricsRegistry::global().counter("serve.cancelled")),
+        in_flight(obs::MetricsRegistry::global().gauge("serve.in_flight")),
+        request_seconds(obs::MetricsRegistry::global().histogram(
+            "serve.request_seconds")) {}
+};
+
+ServeObs& serve_obs() {
+  static ServeObs instruments;
+  return instruments;
+}
+
+net::HttpResponse json_response(int status, const io::Json& body) {
+  net::HttpResponse response;
+  response.status = status;
+  response.content_type = "application/json; charset=utf-8";
+  response.body = body.dump(2) + "\n";
+  return response;
+}
+
+net::HttpResponse error_response(int status, const std::string& message,
+                                 bool retry_after = false) {
+  io::JsonObject out;
+  out["error"] = message;
+  net::HttpResponse response = json_response(status, io::Json(std::move(out)));
+  if (retry_after) response.headers.emplace_back("Retry-After", "1");
+  return response;
+}
+
+}  // namespace
+
+const char* job_state_name(JobState state) noexcept {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kSucceeded: return "succeeded";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+    case JobState::kDeadlineExceeded: return "deadline_exceeded";
+  }
+  return "unknown";
+}
+
+struct Daemon::Job {
+  std::string id;
+  std::string operation;
+  io::Json request;  ///< parsed POST body
+  CancelToken token;
+  obs::CorrelationId correlation = 0;
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  JobState state = JobState::kQueued;
+  bool done = false;
+  bool has_result = false;
+  bool bad_request = false;  ///< failed because the request was invalid
+  io::Json result;
+  std::string error;
+};
+
+Daemon::Daemon(federation::FederationConfig config, market::PriceConfig prices,
+               market::UtilityParams utility, DaemonOptions options)
+    : options_(std::move(options)) {
+  require(options_.drain_timeout_ms > 0,
+          "DaemonOptions: drain_timeout_ms must be positive");
+  require(options_.max_queue_depth >= 1,
+          "DaemonOptions: max_queue_depth must be >= 1");
+  framework_ = std::make_unique<Framework>(std::move(config), std::move(prices),
+                                           utility, options_.framework);
+  pool_ = std::make_unique<exec::ThreadPool>(
+      std::max<std::size_t>(1, options_.job_threads));
+
+  obs::TelemetryServer::Options topts;
+  topts.bind = false;  // embedded: served from the daemon's own listener
+  topts.backend_label = options_.backend_label;
+  topts.requests_served_fn = [this]() -> std::uint64_t {
+    return server_ ? server_->requests_served() : 0;
+  };
+  topts.healthz_hook = [this](std::string& out, bool& degraded) {
+    const std::size_t inflight = in_flight();
+    const bool shedding = inflight >= options_.max_queue_depth;
+    if (shedding || draining()) degraded = true;
+    const DaemonCounts c = counts();
+    out += ",\"serve_in_flight\":" + std::to_string(inflight);
+    out += ",\"serve_admitted\":" + std::to_string(c.admitted);
+    out += ",\"serve_shed\":" + std::to_string(c.shed);
+    out += ",\"serve_deadline_exceeded\":" +
+           std::to_string(c.deadline_exceeded);
+    out += ",\"serve_shedding\":";
+    out += shedding ? "true" : "false";
+    out += ",\"serve_draining\":";
+    out += draining() ? "true" : "false";
+  };
+  telemetry_ = std::make_unique<obs::TelemetryServer>(std::move(topts));
+
+  net::HttpServerOptions hopts;
+  hopts.port = options_.port;
+  hopts.io_threads = std::max<std::size_t>(1, options_.io_threads);
+  hopts.max_body_bytes = options_.max_body_bytes;
+  hopts.read_timeout_ms = options_.read_timeout_ms;
+  server_ = std::make_unique<net::HttpServer>(
+      hopts, [this](const net::HttpRequest& request) { return handle(request); });
+
+  obs::StatusBoard::global().set("serve.port", static_cast<int>(port()));
+  obs::StatusBoard::global().set("serve.backend", options_.backend_label);
+  obs::log_info("serve", "daemon listening",
+                {obs::field("port", static_cast<std::uint64_t>(port())),
+                 obs::field("job_threads",
+                            static_cast<std::uint64_t>(options_.job_threads)),
+                 obs::field("max_queue_depth", static_cast<std::uint64_t>(
+                                                   options_.max_queue_depth))});
+}
+
+Daemon::~Daemon() {
+  try {
+    drain();
+  } catch (...) {
+    // Destruction must not throw; the drain result is advisory here.
+  }
+  server_.reset();  // joins io threads (all waiters answered by now)
+  pool_.reset();    // runs any still-queued (cancelled) jobs, joins workers
+}
+
+std::uint16_t Daemon::port() const noexcept {
+  return server_ ? server_->port() : 0;
+}
+
+DaemonCounts Daemon::counts() const {
+  const std::lock_guard<std::mutex> lock(counts_mutex_);
+  return counts_;
+}
+
+std::size_t Daemon::in_flight() const {
+  const std::lock_guard<std::mutex> lock(jobs_mutex_);
+  return in_flight_;
+}
+
+bool Daemon::drain() {
+  using Clock = std::chrono::steady_clock;
+  if (draining_.exchange(true, std::memory_order_acq_rel)) {
+    // Someone else is draining: wait for them and report their outcome.
+    std::unique_lock<std::mutex> lock(jobs_mutex_);
+    jobs_cv_.wait(lock, [this] {
+      return drained_.load(std::memory_order_acquire);
+    });
+    return drain_clean_;
+  }
+
+  server_->stop_accepting();
+  obs::log_info("serve", "drain started",
+                {obs::field("in_flight",
+                            static_cast<std::uint64_t>(in_flight()))});
+
+  const auto start = Clock::now();
+  const auto natural_deadline =
+      start + std::chrono::milliseconds(options_.drain_timeout_ms * 3 / 5);
+  const auto hard_deadline =
+      start + std::chrono::milliseconds(options_.drain_timeout_ms);
+  {
+    std::unique_lock<std::mutex> lock(jobs_mutex_);
+    // Phase 1: let in-flight jobs finish naturally.
+    jobs_cv_.wait_until(lock, natural_deadline,
+                        [this] { return in_flight_ == 0; });
+    if (in_flight_ > 0) {
+      // Phase 2: cancel whatever is left; the cooperative checks surface
+      // within about one solver sweep.
+      obs::log_warn("serve", "drain cancelling in-flight jobs",
+                    {obs::field("in_flight",
+                                static_cast<std::uint64_t>(in_flight_))});
+      for (auto& [id, job] : jobs_) job->token.cancel();
+      jobs_cv_.wait_until(lock, hard_deadline,
+                          [this] { return in_flight_ == 0; });
+    }
+    drain_clean_ = in_flight_ == 0;
+  }
+
+  // Answer everything already accepted (io threads drain their queue, and
+  // every admitted job has reached — or is about to reach — a terminal
+  // state), then join.
+  server_->stop();
+  drained_.store(true, std::memory_order_release);
+  jobs_cv_.notify_all();
+  obs::log_info("serve", "drain finished",
+                {obs::field("clean", drain_clean_),
+                 obs::field("requests_served", server_->requests_served())});
+  return drain_clean_;
+}
+
+net::HttpResponse Daemon::handle(const net::HttpRequest& request) {
+  const bool is_api = request.path == "/v1/equilibrium" ||
+                      request.path == "/v1/sweep" ||
+                      request.path == "/v1/evaluate";
+  if (is_api) {
+    if (request.method != "POST") {
+      return error_response(405, "submit jobs with POST");
+    }
+    return handle_submit(request.path.substr(4), request);
+  }
+  if (request.path.rfind("/v1/jobs/", 0) == 0) {
+    return handle_job_poll(request.path.substr(9));
+  }
+  if (request.path == "/") {
+    net::HttpResponse response;
+    response.body =
+        "scshare_serve\n"
+        "  POST /v1/equilibrium - run the sharing game to equilibrium\n"
+        "  POST /v1/sweep       - price-ratio sweep\n"
+        "  POST /v1/evaluate    - metrics/costs/utilities of a sharing "
+        "vector\n"
+        "  GET  /v1/jobs/<id>   - poll an async job\n"
+        "  GET  /metrics /healthz /statusz /profilez - telemetry plane\n";
+    return response;
+  }
+  return telemetry_->handle(request);
+}
+
+net::HttpResponse Daemon::handle_submit(const std::string& operation,
+                                        const net::HttpRequest& request) {
+  ServeObs& instruments = serve_obs();
+  instruments.submitted.add();
+  {
+    const std::lock_guard<std::mutex> lock(counts_mutex_);
+    ++counts_.submitted;
+  }
+
+  if (draining()) {
+    instruments.shed.add();
+    const std::lock_guard<std::mutex> lock(counts_mutex_);
+    ++counts_.shed;
+    return error_response(503, "daemon is draining", /*retry_after=*/true);
+  }
+
+  io::Json body;
+  try {
+    body = io::Json::parse(request.body.empty() ? "{}" : request.body);
+    require(body.type() == io::Json::Type::kObject,
+            "request body must be a JSON object");
+  } catch (const std::exception& e) {
+    instruments.invalid.add();
+    const std::lock_guard<std::mutex> lock(counts_mutex_);
+    ++counts_.invalid;
+    return error_response(400, std::string("malformed request body: ") +
+                                   e.what());
+  }
+  std::int64_t deadline_ms = options_.default_deadline_ms;
+  bool async = false;
+  try {
+    deadline_ms = body.get_or("deadline_ms",
+                              static_cast<int>(options_.default_deadline_ms));
+    async = body.get_or("async", false);
+  } catch (const std::exception& e) {
+    instruments.invalid.add();
+    const std::lock_guard<std::mutex> lock(counts_mutex_);
+    ++counts_.invalid;
+    return error_response(400, std::string("invalid request field: ") +
+                                   e.what());
+  }
+
+  auto job = std::make_shared<Job>();
+  job->operation = operation;
+  job->request = std::move(body);
+  job->correlation = obs::next_correlation_id();
+  // Always a live token (even without a deadline) so drain can cancel it.
+  job->token = deadline_ms > 0 ? CancelToken::with_deadline_ms(deadline_ms)
+                               : CancelToken::make();
+
+  // Admission: bound on jobs in flight (queued + running).
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    if (in_flight_ >= options_.max_queue_depth) {
+      instruments.shed.add();
+      const std::lock_guard<std::mutex> clock(counts_mutex_);
+      ++counts_.shed;
+      return error_response(429, "admission queue full",
+                            /*retry_after=*/true);
+    }
+    job->id = "job-" + std::to_string(
+                           next_job_.fetch_add(1, std::memory_order_relaxed));
+    jobs_[job->id] = job;
+    ++in_flight_;
+    instruments.in_flight.set(static_cast<double>(in_flight_));
+  }
+  instruments.admitted.add();
+  {
+    const std::lock_guard<std::mutex> lock(counts_mutex_);
+    ++counts_.admitted;
+  }
+  {
+    const obs::ScopedCorrelation ctx(job->correlation);
+    obs::log_debug("serve", "job admitted",
+                   {obs::field("job", job->id),
+                    obs::field("operation", operation),
+                    obs::field("deadline_ms", deadline_ms),
+                    obs::field("async", async)});
+  }
+
+  {
+    auto pending = pool_->submit([this, job] { run_job(job); });
+    (void)pending;  // packaged-task future: destruction does not block
+  }
+
+  if (async) return render_job(job, /*accepted=*/true);
+
+  // Synchronous: this io thread blocks until the job reaches a terminal
+  // state. Jobs always terminate — deadline tokens fire on their own, and
+  // drain cancels the rest — so no extra timeout is layered here.
+  {
+    std::unique_lock<std::mutex> lock(job->mutex);
+    job->cv.wait(lock, [&job] { return job->done; });
+  }
+  return render_job(job, /*accepted=*/false);
+}
+
+net::HttpResponse Daemon::handle_job_poll(const std::string& id) {
+  std::shared_ptr<Job> job;
+  {
+    const std::lock_guard<std::mutex> lock(jobs_mutex_);
+    const auto it = jobs_.find(id);
+    if (it != jobs_.end()) job = it->second;
+  }
+  if (!job) return error_response(404, "unknown job id: " + id);
+  return render_job(job, /*accepted=*/false);
+}
+
+net::HttpResponse Daemon::render_job(const std::shared_ptr<Job>& job,
+                                     bool accepted) const {
+  io::JsonObject out;
+  JobState state;
+  {
+    const std::lock_guard<std::mutex> lock(job->mutex);
+    state = job->state;
+    out["job_id"] = job->id;
+    out["operation"] = job->operation;
+    out["state"] = std::string(job_state_name(state));
+    out["correlation_id"] = std::to_string(job->correlation);
+    if (job->has_result) out["result"] = job->result;
+    if (!job->error.empty()) out["error"] = job->error;
+    if (state == JobState::kFailed && job->bad_request) {
+      return json_response(400, io::Json(std::move(out)));
+    }
+  }
+  int status = 200;
+  if (accepted) {
+    status = 202;
+  } else if (state == JobState::kFailed) {
+    status = 500;
+  } else if (state == JobState::kDeadlineExceeded) {
+    status = 504;
+  } else if (state == JobState::kCancelled) {
+    status = 503;
+  }
+  return json_response(status, io::Json(std::move(out)));
+}
+
+void Daemon::run_job(const std::shared_ptr<Job>& job) {
+  const obs::ScopedCorrelation ctx(job->correlation);
+  const ScopedCancelToken cancel(job->token);
+  {
+    const std::lock_guard<std::mutex> lock(job->mutex);
+    job->state = JobState::kRunning;
+  }
+  ServeObs& instruments = serve_obs();
+  const obs::ScopedTimer timer(&instruments.request_seconds);
+  const obs::Span span("serve.job");
+
+  try {
+    // A job cancelled while still queued (drain, or a deadline shorter than
+    // its queueing delay) never touches the solvers.
+    throw_if_cancelled("serve.job");
+
+    if (job->operation == "equilibrium") {
+      market::GameOptions game;
+      if (job->request.contains("game")) {
+        game = io::parse_game_options(job->request.at("game"));
+      }
+      market::GameResult result = framework_->find_equilibrium(game);
+      if (result.cancelled) {
+        // Partial result: the shares reached so far ride along with the 504.
+        finish_job(job,
+                   job->token.deadline_exceeded() ? JobState::kDeadlineExceeded
+                                                  : JobState::kCancelled,
+                   io::to_json(result).dump(),
+                   "game cancelled before equilibrium; partial result");
+        return;
+      }
+      finish_job(job, JobState::kSucceeded, io::to_json(result).dump(), {});
+    } else if (job->operation == "sweep") {
+      require(job->request.contains("sweep"),
+              "sweep request requires a \"sweep\" section");
+      const io::Json& sweep_json = job->request.at("sweep");
+      market::SweepOptions sweep;
+      for (const auto& r : sweep_json.at("ratios").as_array()) {
+        sweep.ratios.push_back(r.as_double());
+      }
+      sweep.public_price = sweep_json.get_or("public_price", 1.0);
+      sweep.optimum_stride = sweep_json.get_or("optimum_stride", 1);
+      if (job->request.contains("game")) {
+        sweep.game = io::parse_game_options(job->request.at("game"));
+      }
+      io::JsonArray points;
+      for (const auto& point : framework_->sweep_prices(sweep)) {
+        points.push_back(io::to_json(point));
+      }
+      io::JsonObject result;
+      result["points"] = io::Json(std::move(points));
+      finish_job(job, JobState::kSucceeded,
+                 io::Json(std::move(result)).dump(), {});
+    } else if (job->operation == "evaluate") {
+      require(job->request.contains("shares"),
+              "evaluate request requires a \"shares\" array");
+      std::vector<int> shares;
+      for (const auto& s : job->request.at("shares").as_array()) {
+        shares.push_back(s.as_int());
+      }
+      const auto metrics = framework_->metrics_for(shares);
+      const auto costs = framework_->costs(shares);
+      const auto utilities = framework_->utilities(shares);
+      io::JsonObject result;
+      result["metrics"] = io::to_json(metrics);
+      io::JsonArray cost_array, utility_array;
+      for (double c : costs) cost_array.emplace_back(c);
+      for (double u : utilities) utility_array.emplace_back(u);
+      result["costs"] = io::Json(std::move(cost_array));
+      result["utilities"] = io::Json(std::move(utility_array));
+      finish_job(job, JobState::kSucceeded,
+                 io::Json(std::move(result)).dump(), {});
+    } else {
+      throw Error("unknown operation: " + job->operation,
+                  ErrorCode::kInvalidConfig, "serve");
+    }
+  } catch (const Error& e) {
+    if (e.code() == ErrorCode::kCancelled) {
+      finish_job(job,
+                 job->token.deadline_exceeded() ? JobState::kDeadlineExceeded
+                                                : JobState::kCancelled,
+                 {}, e.what());
+    } else {
+      {
+        const std::lock_guard<std::mutex> lock(job->mutex);
+        job->bad_request = e.code() == ErrorCode::kInvalidConfig;
+      }
+      finish_job(job, JobState::kFailed, {}, e.what());
+    }
+  } catch (const std::exception& e) {
+    finish_job(job, JobState::kFailed, {}, e.what());
+  }
+}
+
+void Daemon::finish_job(const std::shared_ptr<Job>& job, JobState state,
+                        std::string result_json, std::string error) {
+  ServeObs& instruments = serve_obs();
+  {
+    const std::lock_guard<std::mutex> lock(job->mutex);
+    job->state = state;
+    if (!result_json.empty()) {
+      job->result = io::Json::parse(result_json);
+      job->has_result = true;
+    }
+    job->error = std::move(error);
+    job->done = true;
+  }
+  job->cv.notify_all();
+
+  // Terminal counters are settled BEFORE in_flight_ drops: drain() returns
+  // the moment in_flight_ reaches zero, and the counter contract
+  // (admitted == completed + failed + deadline_exceeded + cancelled) must
+  // already hold at that point.
+  {
+    const std::lock_guard<std::mutex> lock(counts_mutex_);
+    switch (state) {
+      case JobState::kSucceeded:
+        ++counts_.completed;
+        instruments.completed.add();
+        break;
+      case JobState::kFailed:
+        ++counts_.failed;
+        instruments.failed.add();
+        break;
+      case JobState::kDeadlineExceeded:
+        ++counts_.deadline_exceeded;
+        instruments.deadline_exceeded.add();
+        break;
+      case JobState::kCancelled:
+        ++counts_.cancelled;
+        instruments.cancelled.add();
+        break;
+      case JobState::kQueued:
+      case JobState::kRunning:
+        break;  // not terminal; unreachable from finish_job
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    --in_flight_;
+    instruments.in_flight.set(static_cast<double>(in_flight_));
+    // History bound: completed jobs are evicted oldest-first once the table
+    // outgrows job_history. Waiters hold their own shared_ptr, so eviction
+    // never invalidates an in-progress response.
+    job_order_.push_back(job->id);
+    while (job_order_.size() > options_.job_history) {
+      jobs_.erase(job_order_.front());
+      job_order_.pop_front();
+    }
+  }
+  jobs_cv_.notify_all();
+  obs::log_debug("serve", "job finished",
+                 {obs::field("job", job->id),
+                  obs::field("state", job_state_name(state))});
+}
+
+}  // namespace scshare::serve

@@ -1,0 +1,177 @@
+// scshare_serve — equilibrium-as-a-service daemon.
+//
+// Promotes the one-shot CLI into a long-lived process (ROADMAP item 1): the
+// federation/price/utility configuration is fixed at startup (exactly like a
+// CLI invocation), and clients then POST JSON requests that are solved
+// against one shared Framework — same backend decorator chain, same sharded
+// cache, same thread pool — so repeated equilibrium queries amortize every
+// warm cache entry and the results stay bit-identical to the one-shot CLI.
+//
+// HTTP API (all bodies JSON; Content-Type ignored):
+//   POST /v1/equilibrium  {"game": {...}, "deadline_ms": N, "async": false}
+//   POST /v1/sweep        {"sweep": {"ratios": [...], ...}, "game": {...},
+//                          "deadline_ms": N, "async": false}
+//   POST /v1/evaluate     {"shares": [...], "deadline_ms": N, "async": false}
+//   GET  /v1/jobs/<id>    poll an async job
+//   GET  /metrics /healthz /statusz /profilez   (telemetry plane, embedded)
+//
+// Response envelope:
+//   {"job_id": "job-7", "state": "succeeded", "operation": "equilibrium",
+//    "correlation_id": 123, "result": {...}}          → 200
+// plus the error states:
+//   "failed"            → 500 (400 when the request itself was invalid)
+//   "deadline_exceeded" → 504, with a partial "result" when the game's
+//                          last-known-good machinery produced one
+//   "cancelled"         → 503 (daemon drain interrupted the job)
+// Async submissions return 202 with state "queued"; poll /v1/jobs/<id>.
+//
+// Robustness model, in order of the request lifecycle:
+//  * transport guards (net::HttpServer): slow clients 408, oversized bodies
+//    413, io overload 503 — all before any JSON is parsed;
+//  * admission control: at most `max_queue_depth` jobs may be in flight
+//    (queued + running); beyond that the request is shed with 429 +
+//    Retry-After and counted in serve.shed. /healthz reports degraded while
+//    the queue sits at its limit;
+//  * deadlines: `deadline_ms` (request) or `default_deadline_ms` (daemon)
+//    arms a CancelToken installed as the ambient token for the job; game
+//    rounds, solver sweeps, and batch evaluations poll it cooperatively, so
+//    the job returns within roughly one solver sweep of the deadline;
+//  * graceful drain: drain() stops the listener, lets in-flight jobs finish
+//    naturally for part of `drain_timeout_ms`, then cancels their tokens and
+//    waits out the remainder. Every admitted job still reaches a terminal
+//    state and every waiting client still gets a response.
+//
+// Counter contract (scraped as scshare_serve_* on /metrics):
+//   serve.submitted == serve.admitted + serve.shed + serve.invalid
+//   serve.admitted  == serve.completed + serve.failed +
+//                      serve.deadline_exceeded + serve.cancelled   (at drain)
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/framework.hpp"
+#include "net/http.hpp"
+#include "obs/telemetry_server.hpp"
+
+namespace scshare::serve {
+
+struct DaemonOptions {
+  std::uint16_t port = 0;       ///< 0 = ephemeral (read back with port())
+  std::size_t io_threads = 8;   ///< HTTP workers; sync requests block one each
+  std::size_t job_threads = 2;  ///< solver workers executing admitted jobs
+  /// Admission bound on jobs in flight (queued + running); beyond it
+  /// requests are shed with 429.
+  std::size_t max_queue_depth = 16;
+  /// Deadline applied to requests that do not carry deadline_ms; 0 = none.
+  std::int64_t default_deadline_ms = 0;
+  /// Budget for drain(): in-flight jobs get ~60% of it to finish naturally,
+  /// then are cancelled and given the remainder.
+  std::int64_t drain_timeout_ms = 5000;
+  /// Completed jobs retained for /v1/jobs polling (oldest evicted first).
+  std::size_t job_history = 256;
+  std::size_t max_body_bytes = 1 << 20;
+  int read_timeout_ms = 10000;
+  std::string backend_label = "serve";
+  /// Backend / cache / resilience configuration of the shared Framework.
+  FrameworkOptions framework;
+};
+
+enum class JobState {
+  kQueued,
+  kRunning,
+  kSucceeded,
+  kFailed,
+  kCancelled,          ///< drain cancelled it before/while running
+  kDeadlineExceeded,   ///< its deadline fired
+};
+
+[[nodiscard]] const char* job_state_name(JobState state) noexcept;
+
+/// Monotone counters for tests and the drain report (mirrors the serve.*
+/// metrics families).
+struct DaemonCounts {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t invalid = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t cancelled = 0;
+};
+
+class Daemon {
+ public:
+  /// Validates the configuration, builds the shared Framework (computing
+  /// baselines), binds the port, and starts serving. Throws scshare::Error
+  /// on bad configuration and std::runtime_error when the port is taken.
+  Daemon(federation::FederationConfig config, market::PriceConfig prices,
+         market::UtilityParams utility, DaemonOptions options);
+
+  /// Drains (cancelling whatever is still running) and stops.
+  ~Daemon();
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept;
+
+  /// Graceful drain: stop accepting, finish or cancel in-flight jobs within
+  /// drain_timeout_ms, leave telemetry state flushed. Returns true when
+  /// every admitted job reached a terminal state in time. Idempotent; the
+  /// first call wins.
+  bool drain();
+
+  [[nodiscard]] bool draining() const noexcept {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] DaemonCounts counts() const;
+
+  /// Jobs admitted but not yet terminal.
+  [[nodiscard]] std::size_t in_flight() const;
+
+ private:
+  struct Job;
+
+  [[nodiscard]] net::HttpResponse handle(const net::HttpRequest& request);
+  [[nodiscard]] net::HttpResponse handle_submit(const std::string& operation,
+                                                const net::HttpRequest& request);
+  [[nodiscard]] net::HttpResponse handle_job_poll(const std::string& id);
+  void run_job(const std::shared_ptr<Job>& job);
+  void finish_job(const std::shared_ptr<Job>& job, JobState state,
+                  std::string result_json, std::string error);
+  [[nodiscard]] net::HttpResponse render_job(const std::shared_ptr<Job>& job,
+                                             bool accepted) const;
+
+  DaemonOptions options_;
+  /// Construction order is destruction-critical: jobs reference framework_,
+  /// pool_ runs jobs, server_ feeds pool_ — so server_ dies first, then the
+  /// pool (joining job workers), then the Framework.
+  std::unique_ptr<Framework> framework_;
+  std::unique_ptr<exec::ThreadPool> pool_;
+  std::unique_ptr<obs::TelemetryServer> telemetry_;
+  std::unique_ptr<net::HttpServer> server_;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> drained_{false};
+  bool drain_clean_ = false;
+
+  mutable std::mutex jobs_mutex_;
+  std::condition_variable jobs_cv_;  ///< notified on every job completion
+  std::map<std::string, std::shared_ptr<Job>> jobs_;
+  std::deque<std::string> job_order_;  ///< completion-eviction FIFO
+  std::size_t in_flight_ = 0;
+  std::atomic<std::uint64_t> next_job_{1};
+
+  DaemonCounts counts_{};
+  mutable std::mutex counts_mutex_;
+};
+
+}  // namespace scshare::serve

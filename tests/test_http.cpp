@@ -1,0 +1,230 @@
+// Transport hardening of the minimal HTTP server (src/net/http.*): POST
+// bodies, oversized-body rejection, slow-client timeouts, 100-continue,
+// custom response headers, and the two-phase stop_accepting()/stop()
+// shutdown that graceful drain builds on. The telemetry-plane behaviour
+// (GET scrapes, concurrent /metrics) lives in test_telemetry.cpp.
+#include "net/http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace net = scshare::net;
+
+namespace {
+
+/// Echo server used throughout: replies with the method and body so tests
+/// can confirm exactly what reached the handler.
+net::HttpResponse echo_handler(const net::HttpRequest& request) {
+  net::HttpResponse response;
+  response.body = request.method + "|" + request.path + "|" + request.body;
+  return response;
+}
+
+/// Connects to 127.0.0.1:`port`; returns the fd or -1.
+int connect_to(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void send_all(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+/// Reads until the peer closes (or `until` appears when non-empty).
+std::string recv_until(int fd, const std::string& until = {}) {
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+    if (!until.empty() && response.find(until) != std::string::npos) break;
+  }
+  return response;
+}
+
+/// One-shot raw exchange: send `bytes`, return everything written back.
+std::string raw_request(std::uint16_t port, const std::string& bytes) {
+  const int fd = connect_to(port);
+  if (fd < 0) return {};
+  send_all(fd, bytes);
+  const std::string response = recv_until(fd);
+  ::close(fd);
+  return response;
+}
+
+}  // namespace
+
+TEST(HttpPost, BodyIsDeliveredToTheHandler) {
+  net::HttpServer server(net::HttpServerOptions{}, echo_handler);
+  const auto result =
+      net::http_request(server.port(), "POST", "/v1/x", "{\"a\": 1}");
+  EXPECT_EQ(result.status, 200);
+  EXPECT_EQ(result.body, "POST|/v1/x|{\"a\": 1}");
+}
+
+TEST(HttpPost, EmptyBodyPostIsServed) {
+  net::HttpServer server(net::HttpServerOptions{}, echo_handler);
+  const auto result = net::http_request(server.port(), "POST", "/v1/x", "");
+  EXPECT_EQ(result.status, 200);
+  EXPECT_EQ(result.body, "POST|/v1/x|");
+}
+
+TEST(HttpPost, OversizedBodyIsRejected413WithoutReadingIt) {
+  net::HttpServerOptions options;
+  options.max_body_bytes = 16;
+  net::HttpServer server(options, echo_handler);
+  // The server must answer from the Content-Length header alone — the body
+  // here is never sent, yet the response arrives.
+  const std::string head =
+      "POST /v1/x HTTP/1.1\r\nHost: x\r\nContent-Length: 1000000\r\n\r\n";
+  const std::string response = raw_request(server.port(), head);
+  EXPECT_NE(response.find("413"), std::string::npos) << response;
+}
+
+TEST(HttpPost, ChunkedTransferEncodingIsRejected400) {
+  net::HttpServer server(net::HttpServerOptions{}, echo_handler);
+  const std::string response = raw_request(
+      server.port(),
+      "POST /v1/x HTTP/1.1\r\nHost: x\r\nTransfer-Encoding: chunked\r\n\r\n");
+  EXPECT_NE(response.find("400"), std::string::npos) << response;
+  EXPECT_NE(response.find("chunked"), std::string::npos) << response;
+}
+
+TEST(HttpPost, Expect100ContinueIsHonored) {
+  net::HttpServer server(net::HttpServerOptions{}, echo_handler);
+  const int fd = connect_to(server.port());
+  ASSERT_GE(fd, 0);
+  send_all(fd,
+           "POST /v1/x HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n"
+           "Expect: 100-continue\r\n\r\n");
+  const std::string interim = recv_until(fd, "\r\n\r\n");
+  EXPECT_NE(interim.find("100 Continue"), std::string::npos) << interim;
+  send_all(fd, "hello");
+  const std::string response = recv_until(fd);
+  ::close(fd);
+  EXPECT_NE(response.find("200"), std::string::npos) << response;
+  EXPECT_NE(response.find("POST|/v1/x|hello"), std::string::npos) << response;
+}
+
+TEST(HttpTimeout, SlowClientGets408) {
+  net::HttpServerOptions options;
+  options.read_timeout_ms = 100;
+  net::HttpServer server(options, echo_handler);
+  const int fd = connect_to(server.port());
+  ASSERT_GE(fd, 0);
+  // Trickle an incomplete request head and stall: the kernel receive
+  // timeout must fire and the server answer 408 instead of pinning the io
+  // thread forever.
+  send_all(fd, "GET /metr");
+  const std::string response = recv_until(fd);
+  ::close(fd);
+  EXPECT_NE(response.find("408"), std::string::npos) << response;
+}
+
+TEST(HttpTimeout, SlowBodyGets408) {
+  net::HttpServerOptions options;
+  options.read_timeout_ms = 100;
+  net::HttpServer server(options, echo_handler);
+  const int fd = connect_to(server.port());
+  ASSERT_GE(fd, 0);
+  send_all(fd,
+           "POST /v1/x HTTP/1.1\r\nHost: x\r\nContent-Length: 100\r\n\r\n"
+           "only-part");
+  const std::string response = recv_until(fd);
+  ::close(fd);
+  EXPECT_NE(response.find("408"), std::string::npos) << response;
+}
+
+TEST(HttpHeaders, ExtraResponseHeadersAreEmitted) {
+  net::HttpServer server(net::HttpServerOptions{},
+                         [](const net::HttpRequest&) {
+                           net::HttpResponse response;
+                           response.status = 429;
+                           response.body = "shed\n";
+                           response.headers.emplace_back("Retry-After", "1");
+                           return response;
+                         });
+  const auto result = net::http_get(server.port(), "/");
+  EXPECT_EQ(result.status, 429);
+  EXPECT_NE(result.headers.find("Retry-After: 1"), std::string::npos)
+      << result.headers;
+}
+
+TEST(HttpShutdown, StopAcceptingRefusesNewConnectionsButKeepsServing) {
+  net::HttpServer server(net::HttpServerOptions{}, echo_handler);
+  ASSERT_TRUE(server.accepting());
+  const auto before = net::http_get(server.port(), "/ok");
+  EXPECT_EQ(before.status, 200);
+
+  server.stop_accepting();
+  EXPECT_FALSE(server.accepting());
+  EXPECT_TRUE(server.running());  // io threads still draining
+  // The listener is closed: new connects are refused by the kernel.
+  EXPECT_LT(connect_to(server.port()), 0);
+
+  server.stop();
+  EXPECT_FALSE(server.running());
+  server.stop();  // idempotent
+}
+
+TEST(HttpShutdown, StopAloneStillPerformsBothPhases) {
+  net::HttpServerOptions options;
+  options.io_threads = 4;
+  net::HttpServer server(options, echo_handler);
+  const auto result = net::http_request(server.port(), "POST", "/x", "b");
+  EXPECT_EQ(result.status, 200);
+  server.stop();
+  EXPECT_FALSE(server.accepting());
+  EXPECT_FALSE(server.running());
+  EXPECT_GE(server.requests_served(), 1u);
+}
+
+TEST(HttpConcurrency, ParallelPostsAreAllServed) {
+  net::HttpServerOptions options;
+  options.io_threads = 4;
+  net::HttpServer server(options, echo_handler);
+  constexpr int kClients = 16;
+  std::vector<std::thread> clients;
+  std::atomic<int> ok{0};
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      const auto result = net::http_request(
+          server.port(), "POST", "/v1/x", "client-" + std::to_string(i));
+      if (result.status == 200 &&
+          result.body == "POST|/v1/x|client-" + std::to_string(i)) {
+        ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(ok.load(), kClients);
+  EXPECT_GE(server.requests_served(), static_cast<std::uint64_t>(kClients));
+}

@@ -5,12 +5,16 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "core/framework.hpp"
 #include "federation/detailed_model.hpp"
@@ -442,6 +446,204 @@ TEST(SolverGuards, NonConvergenceMarksMetricsDegraded) {
   const auto metrics = model.solve();
   EXPECT_TRUE(metrics.degraded());
   for (const auto& m : metrics) EXPECT_TRUE(m.degraded);
+}
+
+// ---- Cooperative cancellation through the decorator chain -----------------
+
+TEST(Cancellation, SolverAbortsWithTypedError) {
+  scshare::markov::Ctmc chain(3);
+  chain.add_rate(0, 1, 1.0);
+  chain.add_rate(1, 2, 1.0);
+  chain.add_rate(2, 0, 1.0);
+  chain.finalize();
+
+  const scshare::CancelToken token = scshare::CancelToken::make();
+  token.cancel();
+  const scshare::ScopedCancelToken ambient(token);
+  try {
+    (void)scshare::markov::solve_steady_state(chain);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kCancelled);
+  }
+}
+
+TEST(Cancellation, CancelledSolveIsNeverRelaxedIntoConvergence) {
+  // solve_steady_state_guarded relaxes tolerances on non-convergence; a
+  // cancelled solve must propagate untouched instead of burning relaxation
+  // attempts on work the caller abandoned.
+  scshare::markov::Ctmc chain(3);
+  chain.add_rate(0, 1, 1.0);
+  chain.add_rate(1, 0, 1.0);
+  chain.finalize();
+
+  const scshare::CancelToken token = scshare::CancelToken::make();
+  token.cancel();
+  const scshare::ScopedCancelToken ambient(token);
+  scshare::markov::SolverOptions options;
+  options.relax_attempts = 3;
+  try {
+    (void)scshare::markov::solve_steady_state_guarded(chain, options);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kCancelled);
+  }
+}
+
+TEST(Cancellation, ComputeBackendReturnsTypedResultWithoutComputing) {
+  ConstBackend backend(1.0);
+  const scshare::CancelToken token = scshare::CancelToken::make();
+  token.cancel();
+  const scshare::ScopedCancelToken ambient(token);
+
+  fed::EvalRequest request;
+  request.config = small();
+  const auto results = backend.evaluate_batch({&request, 1});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].ok);
+  EXPECT_EQ(results[0].code, ErrorCode::kCancelled);
+  EXPECT_EQ(backend.calls, 0);  // cancelled before any work started
+}
+
+TEST(Cancellation, RetryChainDoesNotRetryCancelledEvaluations) {
+  auto inner = std::make_unique<ConstBackend>(1.0);
+  ConstBackend* leaf = inner.get();
+  fed::RetryPolicy policy;
+  policy.max_retries = 3;
+  fed::RetryingBackend backend(std::move(inner), policy);
+
+  const scshare::CancelToken token = scshare::CancelToken::make();
+  token.cancel();
+  const scshare::ScopedCancelToken ambient(token);
+  fed::EvalRequest request;
+  request.config = small();
+  const auto results = backend.evaluate_batch({&request, 1});
+  EXPECT_EQ(results[0].code, ErrorCode::kCancelled);
+  // Retrying a cancelled evaluation would leak work past the deadline or
+  // the shutdown that cancelled it.
+  EXPECT_EQ(backend.retries(), 0u);
+  EXPECT_EQ(leaf->calls, 0);
+}
+
+TEST(Cancellation, FallbackKeepsTypedCancellationWithoutDescendingTiers) {
+  std::vector<std::unique_ptr<fed::PerformanceBackend>> tiers;
+  tiers.push_back(std::make_unique<ConstBackend>(1.0, "primary"));
+  tiers.push_back(std::make_unique<ConstBackend>(2.0, "secondary"));
+  auto* secondary = static_cast<ConstBackend*>(tiers[1].get());
+  fed::FallbackBackend backend(std::move(tiers));
+
+  const scshare::CancelToken token = scshare::CancelToken::make();
+  token.cancel();
+  const scshare::ScopedCancelToken ambient(token);
+  fed::EvalRequest request;
+  request.config = small();
+  const auto results = backend.evaluate_batch({&request, 1});
+  EXPECT_EQ(results[0].code, ErrorCode::kCancelled);
+  EXPECT_EQ(backend.fallbacks(), 0u);
+  EXPECT_EQ(secondary->calls, 0);  // no tier descent on cancellation
+}
+
+TEST(Cancellation, DecoratorChainStopsCleanlyUnderConcurrentCancellation) {
+  // Fault → Retry chain evaluated from several threads, each under its own
+  // token that another thread cancels mid-run: after the flag latches, no
+  // further leaf work or retries may happen on that thread, and every
+  // result is either ok, an injected (possibly retried) fault, or typed
+  // kCancelled — never anything else.
+  fed::FaultSpec spec;
+  spec.fail_probability = 0.2;
+  spec.seed = 11;
+  auto faulty = std::make_unique<fed::FaultInjectingBackend>(
+      std::make_unique<ConstBackend>(1.0), spec);
+  fed::RetryPolicy policy;
+  policy.max_retries = 2;
+  fed::RetryingBackend backend(std::move(faulty), policy);
+
+  constexpr int kThreads = 4;
+  std::vector<scshare::CancelToken> tokens;
+  tokens.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    tokens.push_back(scshare::CancelToken::make());
+  }
+  std::vector<std::thread> workers;
+  std::atomic<int> unexpected{0};
+  std::atomic<int> cancelled_seen{0};
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      const scshare::ScopedCancelToken ambient(tokens[t]);
+      const auto cfg = small();
+      // Evaluate until the cancel lands (a regression that never latches is
+      // caught by the safety deadline, not a hang).
+      const auto safety =
+          std::chrono::steady_clock::now() + std::chrono::seconds(10);
+      while (std::chrono::steady_clock::now() < safety) {
+        fed::EvalRequest request;
+        request.config = cfg;
+        const auto results = backend.evaluate_batch({&request, 1});
+        if (results[0].ok) continue;
+        if (results[0].code == ErrorCode::kCancelled) {
+          cancelled_seen.fetch_add(1);
+          // Latching: once cancelled, every further evaluation on this
+          // thread must also come back cancelled.
+          fed::EvalRequest again;
+          again.config = cfg;
+          const auto after = backend.evaluate_batch({&again, 1});
+          if (after[0].code != ErrorCode::kCancelled) unexpected.fetch_add(1);
+          return;
+        }
+        if (results[0].code != spec.fail_code) unexpected.fetch_add(1);
+      }
+    });
+  }
+  // Cancel every token while the workers are mid-loop.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  for (const auto& token : tokens) token.cancel();
+  for (auto& worker : workers) worker.join();
+  EXPECT_EQ(unexpected.load(), 0);
+  EXPECT_EQ(cancelled_seen.load(), kThreads);
+}
+
+TEST(Cancellation, GameReturnsPartialDegradedResultWhenCancelledMidRun) {
+  // A backend that cancels the ambient token after a few evaluations models
+  // a deadline firing mid-game: the next round boundary must stop the run
+  // and return the shares reached so far, marked cancelled + degraded.
+  class CancellingBackend final : public fed::ComputeBackend {
+   public:
+    [[nodiscard]] std::string_view name() const override {
+      return "cancelling";
+    }
+    int calls = 0;
+
+   protected:
+    fed::FederationMetrics compute(
+        const fed::FederationConfig& config) override {
+      if (++calls == 3) scshare::current_cancel_token().cancel();
+      fed::FederationMetrics m(config.size());
+      for (std::size_t i = 0; i < config.size(); ++i) {
+        m[i].lent = static_cast<double>(config.shares[i]);
+      }
+      return m;
+    }
+  };
+
+  const auto cfg = small();
+  scshare::market::PriceConfig prices;
+  prices.public_price.assign(cfg.size(), 1.0);
+  prices.federation_price = 0.5;
+  CancellingBackend backend;
+  scshare::market::GameOptions options;
+  options.method = scshare::market::BestResponseMethod::kExhaustive;
+  options.max_rounds = 50;
+
+  const scshare::ScopedCancelToken ambient(scshare::CancelToken::make());
+  scshare::market::Game game(cfg, prices, {}, backend, options);
+  const auto result = game.run();
+
+  EXPECT_TRUE(result.cancelled);
+  EXPECT_TRUE(result.degraded);
+  EXPECT_LT(result.rounds, options.max_rounds);  // stopped early
+  ASSERT_EQ(result.shares.size(), cfg.size());   // partial result intact
+  ASSERT_EQ(result.utilities.size(), cfg.size());
 }
 
 // ---- Game on a flaky backend ---------------------------------------------

@@ -1,0 +1,315 @@
+// End-to-end tests of the scshare_serve daemon (src/serve/daemon.*): request
+// routing, CLI-identical results, async job polling, admission control
+// (429), per-request deadlines (504), graceful drain, and the counter
+// contract serve.submitted == admitted + shed + invalid and
+// serve.admitted == completed + failed + deadline_exceeded + cancelled.
+#include "serve/daemon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/framework.hpp"
+#include "io/config_io.hpp"
+#include "io/json.hpp"
+#include "net/http.hpp"
+
+namespace fed = scshare::federation;
+namespace io = scshare::io;
+namespace net = scshare::net;
+namespace serve = scshare::serve;
+
+namespace {
+
+fed::FederationConfig small() {
+  fed::FederationConfig cfg;
+  cfg.scs = {{.num_vms = 3, .lambda = 2.0, .mu = 1.0, .max_wait = 0.2},
+             {.num_vms = 3, .lambda = 1.5, .mu = 1.0, .max_wait = 0.2}};
+  cfg.shares = {1, 1};
+  return cfg;
+}
+
+scshare::market::PriceConfig prices_for(const fed::FederationConfig& cfg) {
+  scshare::market::PriceConfig prices;
+  prices.public_price.assign(cfg.size(), 1.0);
+  prices.federation_price = 0.5;
+  return prices;
+}
+
+serve::DaemonOptions fast_options() {
+  serve::DaemonOptions options;
+  options.io_threads = 4;
+  options.job_threads = 2;
+  options.drain_timeout_ms = 10000;
+  return options;
+}
+
+/// Daemon options whose jobs are genuinely slow: the detailed CTMC backend
+/// with the cache disabled recomputes every evaluation, so a sweep job
+/// occupies its worker for a long, reliable window.
+serve::DaemonOptions slow_job_options() {
+  serve::DaemonOptions options;
+  options.io_threads = 4;
+  options.job_threads = 1;
+  options.drain_timeout_ms = 10000;
+  options.framework.backend = scshare::BackendKind::kDetailed;
+  options.framework.cache = false;
+  return options;
+}
+
+net::HttpGetResult post(std::uint16_t port, const std::string& path,
+                        const std::string& body) {
+  return net::http_request(port, "POST", path, body);
+}
+
+constexpr const char* kSlowSweep =
+    R"({"async": true, "sweep": {"ratios": [0.3, 0.5, 0.7], "optimum_stride": 1}})";
+
+/// Polls until the daemon has no jobs in flight (bounded wait).
+void wait_idle(const serve::Daemon& daemon) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (daemon.in_flight() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(daemon.in_flight(), 0u);
+}
+
+void expect_counter_contract(const serve::DaemonCounts& counts) {
+  EXPECT_EQ(counts.submitted, counts.admitted + counts.shed + counts.invalid);
+  EXPECT_EQ(counts.admitted, counts.completed + counts.failed +
+                                 counts.deadline_exceeded + counts.cancelled);
+}
+
+}  // namespace
+
+TEST(ServeDaemon, SyncEquilibriumMatchesTheOneShotFramework) {
+  const auto cfg = small();
+  serve::Daemon daemon(cfg, prices_for(cfg), {}, fast_options());
+  const auto result = post(daemon.port(), "/v1/equilibrium", "{}");
+  ASSERT_EQ(result.status, 200) << result.body;
+
+  const io::Json envelope = io::Json::parse(result.body);
+  EXPECT_EQ(envelope.at("state").as_string(), "succeeded");
+  EXPECT_EQ(envelope.at("operation").as_string(), "equilibrium");
+  ASSERT_TRUE(envelope.contains("result"));
+
+  // Bit-identical to a one-shot Framework run of the same configuration:
+  // the daemon result subtree must serialize to the same bytes.
+  scshare::Framework framework(cfg, prices_for(cfg), {}, {});
+  const std::string expected =
+      io::to_json(framework.find_equilibrium()).dump();
+  EXPECT_EQ(envelope.at("result").dump(), expected);
+
+  const auto counts = daemon.counts();
+  EXPECT_EQ(counts.completed, 1u);
+  expect_counter_contract(counts);
+}
+
+TEST(ServeDaemon, EvaluateReturnsMetricsCostsAndUtilities) {
+  const auto cfg = small();
+  serve::Daemon daemon(cfg, prices_for(cfg), {}, fast_options());
+  const auto result =
+      post(daemon.port(), "/v1/evaluate", R"({"shares": [1, 2]})");
+  ASSERT_EQ(result.status, 200) << result.body;
+  const io::Json envelope = io::Json::parse(result.body);
+  const io::Json& payload = envelope.at("result");
+  EXPECT_TRUE(payload.contains("metrics"));
+  EXPECT_EQ(payload.at("costs").size(), cfg.size());
+  EXPECT_EQ(payload.at("utilities").size(), cfg.size());
+}
+
+TEST(ServeDaemon, SweepReturnsOnePointPerRatio) {
+  const auto cfg = small();
+  serve::Daemon daemon(cfg, prices_for(cfg), {}, fast_options());
+  const auto result = post(
+      daemon.port(), "/v1/sweep",
+      R"({"sweep": {"ratios": [0.4, 0.8], "optimum_stride": 3}})");
+  ASSERT_EQ(result.status, 200) << result.body;
+  const io::Json envelope = io::Json::parse(result.body);
+  EXPECT_EQ(envelope.at("result").at("points").size(), 2u);
+}
+
+TEST(ServeDaemon, InvalidRequestsAreTyped400s) {
+  const auto cfg = small();
+  serve::Daemon daemon(cfg, prices_for(cfg), {}, fast_options());
+
+  // Malformed JSON never reaches a job: counted serve.invalid.
+  const auto malformed = post(daemon.port(), "/v1/equilibrium", "{nope");
+  EXPECT_EQ(malformed.status, 400);
+
+  // A well-formed but invalid request fails its job with bad_request.
+  const auto missing = post(daemon.port(), "/v1/sweep", "{}");
+  EXPECT_EQ(missing.status, 400);
+  const io::Json envelope = io::Json::parse(missing.body);
+  EXPECT_EQ(envelope.at("state").as_string(), "failed");
+  EXPECT_NE(envelope.at("error").as_string().find("sweep"),
+            std::string::npos);
+
+  const auto counts = daemon.counts();
+  EXPECT_EQ(counts.invalid, 1u);
+  EXPECT_EQ(counts.failed, 1u);
+  expect_counter_contract(counts);
+}
+
+TEST(ServeDaemon, ApiEndpointsRequirePost) {
+  const auto cfg = small();
+  serve::Daemon daemon(cfg, prices_for(cfg), {}, fast_options());
+  EXPECT_EQ(net::http_get(daemon.port(), "/v1/equilibrium").status, 405);
+  EXPECT_EQ(net::http_get(daemon.port(), "/v1/jobs/job-999").status, 404);
+  EXPECT_EQ(net::http_get(daemon.port(), "/").status, 200);
+}
+
+TEST(ServeDaemon, TelemetryPlaneIsServedFromTheSameProcess) {
+  const auto cfg = small();
+  serve::Daemon daemon(cfg, prices_for(cfg), {}, fast_options());
+  (void)post(daemon.port(), "/v1/equilibrium", "{}");
+
+  const auto metrics = net::http_get(daemon.port(), "/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("scshare_serve_submitted"), std::string::npos);
+  EXPECT_NE(metrics.body.find("# EOF"), std::string::npos);
+
+  const auto healthz = net::http_get(daemon.port(), "/healthz");
+  EXPECT_EQ(healthz.status, 200);
+  EXPECT_NE(healthz.body.find("serve_in_flight"), std::string::npos);
+  EXPECT_NE(healthz.body.find("serve_draining"), std::string::npos);
+
+  EXPECT_EQ(net::http_get(daemon.port(), "/statusz").status, 200);
+}
+
+TEST(ServeDaemon, AsyncJobsAreAcceptedAndPollable) {
+  const auto cfg = small();
+  serve::Daemon daemon(cfg, prices_for(cfg), {}, fast_options());
+  const auto accepted =
+      post(daemon.port(), "/v1/equilibrium", R"({"async": true})");
+  ASSERT_EQ(accepted.status, 202) << accepted.body;
+  const io::Json envelope = io::Json::parse(accepted.body);
+  const std::string id = envelope.at("job_id").as_string();
+
+  // Poll until terminal; queued/running polls return 200 with the state.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  std::string state;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const auto poll = net::http_get(daemon.port(), "/v1/jobs/" + id);
+    ASSERT_EQ(poll.status / 100, 2) << poll.body;
+    state = io::Json::parse(poll.body).at("state").as_string();
+    if (state != "queued" && state != "running") break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(state, "succeeded");
+
+  const auto done = net::http_get(daemon.port(), "/v1/jobs/" + id);
+  EXPECT_TRUE(io::Json::parse(done.body).contains("result"));
+}
+
+TEST(ServeDaemon, AdmissionControlShedsWith429) {
+  const auto cfg = small();
+  auto options = slow_job_options();
+  options.max_queue_depth = 2;
+  serve::Daemon daemon(cfg, prices_for(cfg), {}, options);
+
+  // Two slow jobs fill the queue (one running on the single worker, one
+  // queued); the third must be shed immediately with Retry-After.
+  ASSERT_EQ(post(daemon.port(), "/v1/sweep", kSlowSweep).status, 202);
+  ASSERT_EQ(post(daemon.port(), "/v1/sweep", kSlowSweep).status, 202);
+  const auto shed = post(daemon.port(), "/v1/equilibrium", "{}");
+  EXPECT_EQ(shed.status, 429) << shed.body;
+  EXPECT_NE(shed.headers.find("Retry-After: 1"), std::string::npos)
+      << shed.headers;
+
+  // While the queue sits at its limit the daemon reports itself degraded.
+  const auto healthz = net::http_get(daemon.port(), "/healthz");
+  EXPECT_NE(healthz.body.find("\"serve_shedding\":true"), std::string::npos)
+      << healthz.body;
+
+  wait_idle(daemon);
+  const auto counts = daemon.counts();
+  EXPECT_EQ(counts.shed, 1u);
+  EXPECT_EQ(counts.admitted, 2u);
+  expect_counter_contract(counts);
+}
+
+TEST(ServeDaemon, DeadlinedRequestsReturn504) {
+  const auto cfg = small();
+  serve::Daemon daemon(cfg, prices_for(cfg), {}, slow_job_options());
+
+  // Occupy the single job worker, then submit a request whose deadline
+  // expires while it waits in the queue: it must come back 504, typed
+  // deadline_exceeded, without ever touching the solvers.
+  ASSERT_EQ(post(daemon.port(), "/v1/sweep", kSlowSweep).status, 202);
+  const auto late =
+      post(daemon.port(), "/v1/equilibrium", R"({"deadline_ms": 1})");
+  EXPECT_EQ(late.status, 504) << late.body;
+  EXPECT_EQ(io::Json::parse(late.body).at("state").as_string(),
+            "deadline_exceeded");
+
+  wait_idle(daemon);
+  const auto counts = daemon.counts();
+  EXPECT_EQ(counts.deadline_exceeded, 1u);
+  expect_counter_contract(counts);
+}
+
+TEST(ServeDaemon, DrainCancelsInFlightJobsAndAccountsForEverything) {
+  const auto cfg = small();
+  auto options = slow_job_options();
+  // Short natural-finish phase: the slow jobs outlive it, forcing the
+  // cancellation phase to do the work.
+  options.drain_timeout_ms = 2000;
+  serve::Daemon daemon(cfg, prices_for(cfg), {}, options);
+  ASSERT_EQ(post(daemon.port(), "/v1/sweep", kSlowSweep).status, 202);
+  ASSERT_EQ(post(daemon.port(), "/v1/sweep", kSlowSweep).status, 202);
+
+  // Cooperative cancellation surfaces within about one solver sweep, far
+  // inside the drain budget, so the drain must report clean.
+  EXPECT_TRUE(daemon.drain());
+  EXPECT_TRUE(daemon.draining());
+  EXPECT_EQ(daemon.in_flight(), 0u);
+
+  const auto counts = daemon.counts();
+  EXPECT_EQ(counts.admitted, 2u);
+  expect_counter_contract(counts);
+
+  // The listener is gone: new submissions cannot even connect.
+  EXPECT_THROW((void)post(daemon.port(), "/v1/equilibrium", "{}"),
+               std::exception);
+
+  // Idempotent: a second drain reports the same outcome.
+  EXPECT_TRUE(daemon.drain());
+}
+
+TEST(ServeDaemon, JobHistoryIsBounded) {
+  const auto cfg = small();
+  auto options = fast_options();
+  options.job_history = 2;
+  serve::Daemon daemon(cfg, prices_for(cfg), {}, options);
+
+  std::vector<std::string> ids;
+  for (int i = 0; i < 4; ++i) {
+    const auto result =
+        post(daemon.port(), "/v1/evaluate", R"({"shares": [1, 1]})");
+    ASSERT_EQ(result.status, 200);
+    ids.push_back(io::Json::parse(result.body).at("job_id").as_string());
+  }
+  wait_idle(daemon);
+  // Oldest jobs were evicted from the poll table; newest are retained.
+  // Eviction runs after the job's waiter is released (terminal counters and
+  // client responses settle first), so poll briefly for the 404.
+  int evicted_status = 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    evicted_status =
+        net::http_get(daemon.port(), "/v1/jobs/" + ids.front()).status;
+    if (evicted_status == 404) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(evicted_status, 404);
+  EXPECT_EQ(net::http_get(daemon.port(), "/v1/jobs/" + ids.back()).status,
+            200);
+}

@@ -96,16 +96,23 @@ TEST(HttpServer, StopIsIdempotentAndReleasesPort) {
   EXPECT_EQ(rebound.port(), port);
 }
 
-TEST(HttpServer, RejectsNonGetMethodsWith405) {
+TEST(HttpServer, RejectsUnsupportedMethodsWith405) {
   std::atomic<int> handler_calls{0};
   net::HttpServer server(0, [&](const net::HttpRequest&) {
     handler_calls.fetch_add(1);
     return net::HttpResponse{};
   });
   const std::string response = raw_request(
-      server.port(), "POST / HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n");
+      server.port(), "PUT / HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n");
   EXPECT_NE(response.find("405"), std::string::npos) << response;
   EXPECT_EQ(handler_calls.load(), 0);
+}
+
+TEST(TelemetryServer, RejectsPostWith405) {
+  obs::TelemetryServer server({.port = 0, .backend_label = "t405"});
+  const auto result =
+      net::http_request(server.port(), "POST", "/metrics", "{}");
+  EXPECT_EQ(result.status, 405);
 }
 
 TEST(HttpServer, HeadGetsHeadersWithoutBody) {

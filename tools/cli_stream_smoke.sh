@@ -4,12 +4,13 @@
 # must stay intact in the file named by --out, and each stdout payload must be
 # exactly one well-formed document of the requested format.
 #
-# Usage: cli_stream_smoke.sh <scshare-binary> <config.json> <work-dir>
+# Usage: cli_stream_smoke.sh <scshare-binary> <config.json> <work-dir> [scshare_serve-binary]
 set -euo pipefail
 
 CLI="$1"
 CONFIG="$2"
 WORK="$3"
+SERVE="${4:-}"
 
 fail() {
   echo "cli_stream_smoke: FAIL: $*" >&2
@@ -17,6 +18,28 @@ fail() {
 }
 
 have_python() { command -v python3 >/dev/null 2>&1; }
+
+# The telemetry port is allocated ONCE here and reused by every section that
+# needs a listener (CLI telemetry run, post-exit rebind check, daemon run) —
+# no per-section re-parsing of stderr. An ephemeral bind finds a free port;
+# the bash fallback just picks from the dynamic range.
+pick_port() {
+  if have_python; then
+    python3 - <<'EOF'
+import socket
+s = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+s.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+s.bind(("127.0.0.1", 0))
+print(s.getsockname()[1])
+s.close()
+EOF
+  else
+    echo $((20000 + RANDOM % 20000))
+  fi
+}
+TELEMETRY_PORT=$(pick_port)
+[ -n "$TELEMETRY_PORT" ] && [ "$TELEMETRY_PORT" -gt 0 ] \
+  || fail "could not allocate a telemetry port"
 
 check_json() {
   # Validates that a file is one JSON document; falls back to a brace check
@@ -65,26 +88,88 @@ check_json "$WORK/smoke_logged.json" "stdout result (debug logging run)"
 grep -q '^ts=' "$WORK/smoke_logged.err" || fail "debug run produced no log lines on stderr"
 grep -q '^ts=' "$WORK/smoke_logged.json" && fail "log lines leaked into stdout"
 
-# 5. Telemetry lifecycle: --telemetry-port=0 binds an ephemeral port, logs it
-#    on stderr, results stay bit-identical to a plain run, and the port is
+# 5. Telemetry lifecycle: the pre-allocated port binds, the run logs it on
+#    stderr, results stay bit-identical to a plain run, and the port is
 #    released after exit (no leaked listener thread holding the socket).
-"$CLI" equilibrium "$CONFIG" --compact --telemetry-port=0 \
+"$CLI" equilibrium "$CONFIG" --compact --telemetry-port="$TELEMETRY_PORT" \
   > "$WORK/smoke_telemetry.json" 2> "$WORK/smoke_telemetry.err"
 check_json "$WORK/smoke_telemetry.json" "stdout result (telemetry run)"
-grep -q 'telemetry server listening' "$WORK/smoke_telemetry.err" \
-  || fail "telemetry run did not log the listening port"
-PORT=$(grep -o 'port=[0-9]*' "$WORK/smoke_telemetry.err" | head -n 1 | cut -d= -f2)
-[ -n "$PORT" ] && [ "$PORT" -gt 0 ] || fail "could not parse telemetry port from stderr"
+grep -q "telemetry server listening.*port=$TELEMETRY_PORT" \
+  "$WORK/smoke_telemetry.err" \
+  || fail "telemetry run did not log the listening port $TELEMETRY_PORT"
 cmp -s "$WORK/smoke_default.json" "$WORK/smoke_telemetry.json" \
   || fail "telemetry run changed the result document"
 if have_python; then
-  python3 - "$PORT" <<'EOF' || fail "telemetry port still bound after CLI exit"
+  python3 - "$TELEMETRY_PORT" <<'EOF' || fail "telemetry port still bound after CLI exit"
 import socket, sys
 s = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
 s.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
 s.bind(("127.0.0.1", int(sys.argv[1])))
 s.close()
 EOF
+fi
+
+# 6. Daemon metrics discipline: scshare_serve reuses the same port (released
+#    by section 5; SO_REUSEADDR covers TIME_WAIT) and its /metrics document
+#    must satisfy the same OpenMetrics semantics tests/openmetrics_check.hpp
+#    enforces in-process: the document ends with "# EOF", no family declares
+#    "# TYPE" twice, and every sample belongs to a declared family (exactly,
+#    or via the _total/_bucket/_sum/_count suffixes).
+if [ -n "$SERVE" ] && have_python; then
+  "$SERVE" "$CONFIG" --port="$TELEMETRY_PORT" \
+    > "$WORK/smoke_serve_stdout.txt" 2> "$WORK/smoke_serve_stderr.txt" &
+  SERVE_PID=$!
+  trap 'kill -KILL $SERVE_PID 2>/dev/null || true' EXIT
+  for _ in $(seq 1 100); do
+    grep -q '^LISTENING ' "$WORK/smoke_serve_stdout.txt" 2>/dev/null && break
+    kill -0 "$SERVE_PID" 2>/dev/null || fail "daemon exited before listening"
+    sleep 0.1
+  done
+  grep -q "^LISTENING $TELEMETRY_PORT\$" "$WORK/smoke_serve_stdout.txt" \
+    || fail "daemon did not bind the pre-allocated port $TELEMETRY_PORT"
+  python3 - "$TELEMETRY_PORT" "$WORK/smoke_serve_metrics.txt" <<'EOF' \
+    || fail "daemon /metrics violates OpenMetrics semantics"
+import http.client
+import sys
+
+conn = http.client.HTTPConnection("127.0.0.1", int(sys.argv[1]), timeout=30)
+conn.request("POST", "/v1/evaluate",
+             body=b'{"shares": [1, 1]}')  # give the counters a job
+assert conn.getresponse().read() is not None
+conn = http.client.HTTPConnection("127.0.0.1", int(sys.argv[1]), timeout=30)
+conn.request("GET", "/metrics")
+response = conn.getresponse()
+assert response.status == 200, response.status
+text = response.getheader("Content-Type", "")
+assert "application/openmetrics-text" in text, text
+body = response.read().decode()
+open(sys.argv[2], "w").write(body)
+
+lines = body.splitlines()
+assert lines and lines[-1] == "# EOF", "document does not end with # EOF"
+families = set()
+for line in lines:
+    if line.startswith("# TYPE "):
+        family = line.split()[2]
+        assert family not in families, "duplicate # TYPE for " + family
+        families.add(family)
+suffixes = ("", "_total", "_bucket", "_sum", "_count")
+for line in lines:
+    if not line or line.startswith("#"):
+        continue
+    name = line.split("{")[0].split()[0]
+    assert any(
+        name.endswith(s) and name[: len(name) - len(s)] in families
+        for s in suffixes
+    ), "sample " + name + " has no declared family"
+assert any(f.startswith("scshare_serve_") for f in families), \
+    "daemon families missing from /metrics"
+EOF
+  kill -TERM "$SERVE_PID"
+  wait "$SERVE_PID" || fail "daemon drain exited non-zero"
+  trap - EXIT
+else
+  echo "cli_stream_smoke: daemon metrics section skipped (no binary/python3)"
 fi
 
 echo "cli_stream_smoke: OK"

@@ -1,0 +1,244 @@
+// scshare_serve — equilibrium-as-a-service daemon front end.
+//
+// Usage:
+//   scshare_serve <config.json> [--port=N] [--io-threads=N] [--job-threads=N]
+//                               [--max-queue=N] [--default-deadline-ms=N]
+//                               [--drain-timeout-ms=N]
+//                               [--backend approx|detailed|simulation]
+//                               [--backend-chain=a,b,...] [--retry-max=N]
+//                               [--fault-spec=SPEC] [--threads=N]
+//                               [--cache-capacity=N]
+//                               [--log-level=L] [--log-format=text|json]
+//
+// Loads the same configuration file as the scshare CLI (federation + optional
+// prices/utility/sim sections), builds one shared serve::Daemon, prints
+//   LISTENING <port>
+// on stdout (scripts block on this line), and then serves until SIGTERM or
+// SIGINT. On signal it drains gracefully — stops accepting, finishes or
+// cancels in-flight jobs within --drain-timeout-ms — and exits 0 when every
+// admitted job reached a terminal state in time, 1 otherwise.
+//
+// The HTTP API and the robustness model (admission control, deadlines,
+// drain) are documented in src/serve/daemon.hpp.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "io/config_io.hpp"
+#include "obs/log.hpp"
+#include "serve/daemon.hpp"
+
+namespace {
+
+using namespace scshare;
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void on_signal(int signum) { g_signal = signum; }
+
+struct ServeCliOptions {
+  std::string config_path;
+  std::string backend = "approx";
+  std::string backend_chain;
+  int retry_max = 0;
+  std::string fault_spec;
+  int threads = 1;
+  int cache_capacity = 0;
+  serve::DaemonOptions daemon;
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: scshare_serve <config.json> [--port=N] [--io-threads=N] "
+      "[--job-threads=N] [--max-queue=N] [--default-deadline-ms=N] "
+      "[--drain-timeout-ms=N] [--backend approx|detailed|simulation] "
+      "[--backend-chain=a,b,...] [--retry-max=N] [--fault-spec=SPEC] "
+      "[--threads=N] [--cache-capacity=N] [--log-level=L] "
+      "[--log-format=text|json]\n");
+  return 2;
+}
+
+io::Json load_config(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "cannot open configuration file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return io::Json::parse(buffer.str());
+}
+
+BackendKind backend_kind(const std::string& name) {
+  if (name == "approx") return BackendKind::kApprox;
+  if (name == "detailed") return BackendKind::kDetailed;
+  if (name == "simulation") return BackendKind::kSimulation;
+  require(false, "unknown backend: " + name);
+  return BackendKind::kApprox;
+}
+
+int run(const ServeCliOptions& cli) {
+  const io::Json config_json = load_config(cli.config_path);
+  const auto federation = io::parse_federation(config_json.at("federation"));
+
+  market::PriceConfig prices;
+  if (config_json.contains("prices")) {
+    prices = io::parse_prices(config_json.at("prices"), federation.size());
+  } else {
+    prices.public_price.assign(federation.size(), 1.0);
+    prices.federation_price = 0.5;
+  }
+  const market::UtilityParams utility =
+      config_json.contains("utility")
+          ? io::parse_utility(config_json.at("utility"))
+          : market::UtilityParams{};
+
+  serve::DaemonOptions options = cli.daemon;
+  options.backend_label = cli.backend;
+  options.framework.backend = backend_kind(cli.backend);
+  if (!cli.backend_chain.empty()) {
+    std::size_t start = 0;
+    while (start <= cli.backend_chain.size()) {
+      const std::size_t comma = std::min(cli.backend_chain.find(',', start),
+                                         cli.backend_chain.size());
+      const std::string name = cli.backend_chain.substr(start, comma - start);
+      if (!name.empty()) {
+        options.framework.exec.chain.push_back(backend_kind(name));
+      }
+      start = comma + 1;
+    }
+    require(!options.framework.exec.chain.empty(), "empty --backend-chain");
+  }
+  require(cli.retry_max >= 0, "--retry-max must be non-negative");
+  require(cli.threads >= 1, "--threads must be >= 1");
+  require(cli.cache_capacity >= 0, "--cache-capacity must be non-negative");
+  options.framework.exec.threads = static_cast<std::size_t>(cli.threads);
+  options.framework.exec.retry.max_retries = cli.retry_max;
+  options.framework.cache_capacity =
+      static_cast<std::size_t>(cli.cache_capacity);
+  if (!cli.fault_spec.empty()) {
+    options.framework.exec.faults = federation::parse_fault_spec(cli.fault_spec);
+  }
+  if (config_json.contains("sim")) {
+    options.framework.sim = io::parse_sim_options(config_json.at("sim"));
+  }
+
+  serve::Daemon daemon(federation, prices, utility, options);
+
+  // Scripts wait for this exact line before issuing requests; stdout stays
+  // otherwise silent (logs go to stderr).
+  std::printf("LISTENING %u\n", static_cast<unsigned>(daemon.port()));
+  std::fflush(stdout);
+
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  while (g_signal == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  obs::log_info("serve", "signal received, draining",
+                {obs::field("signal", static_cast<int>(g_signal))});
+
+  const bool clean = daemon.drain();
+  const serve::DaemonCounts counts = daemon.counts();
+  obs::log_info(
+      "serve", "daemon exiting",
+      {obs::field("clean", clean), obs::field("submitted", counts.submitted),
+       obs::field("admitted", counts.admitted),
+       obs::field("shed", counts.shed), obs::field("invalid", counts.invalid),
+       obs::field("completed", counts.completed),
+       obs::field("failed", counts.failed),
+       obs::field("deadline_exceeded", counts.deadline_exceeded),
+       obs::field("cancelled", counts.cancelled)});
+  return clean ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServeCliOptions cli;
+  if (argc < 2) return usage();
+  cli.config_path = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto int_flag = [&](const char* name, int& out) {
+      const std::string prefix = std::string(name) + "=";
+      if (arg.rfind(prefix, 0) == 0) {
+        out = std::atoi(arg.substr(prefix.size()).c_str());
+        return true;
+      }
+      if (arg == name && i + 1 < argc) {
+        out = std::atoi(argv[++i]);
+        return true;
+      }
+      return false;
+    };
+    int port = -1, io_threads = -1, job_threads = -1, max_queue = -1;
+    int default_deadline = -1, drain_timeout = -1;
+    if (int_flag("--port", port)) {
+      if (port < 0 || port > 65535) return usage();
+      cli.daemon.port = static_cast<std::uint16_t>(port);
+    } else if (int_flag("--io-threads", io_threads)) {
+      if (io_threads < 1) return usage();
+      cli.daemon.io_threads = static_cast<std::size_t>(io_threads);
+    } else if (int_flag("--job-threads", job_threads)) {
+      if (job_threads < 1) return usage();
+      cli.daemon.job_threads = static_cast<std::size_t>(job_threads);
+    } else if (int_flag("--max-queue", max_queue)) {
+      if (max_queue < 1) return usage();
+      cli.daemon.max_queue_depth = static_cast<std::size_t>(max_queue);
+    } else if (int_flag("--default-deadline-ms", default_deadline)) {
+      if (default_deadline < 0) return usage();
+      cli.daemon.default_deadline_ms = default_deadline;
+    } else if (int_flag("--drain-timeout-ms", drain_timeout)) {
+      if (drain_timeout < 1) return usage();
+      cli.daemon.drain_timeout_ms = drain_timeout;
+    } else if (arg == "--backend" && i + 1 < argc) {
+      cli.backend = argv[++i];
+    } else if (arg.rfind("--backend=", 0) == 0) {
+      cli.backend = arg.substr(std::string("--backend=").size());
+    } else if (arg.rfind("--backend-chain=", 0) == 0) {
+      cli.backend_chain = arg.substr(std::string("--backend-chain=").size());
+    } else if (arg == "--backend-chain" && i + 1 < argc) {
+      cli.backend_chain = argv[++i];
+    } else if (int_flag("--retry-max", cli.retry_max)) {
+    } else if (arg.rfind("--fault-spec=", 0) == 0) {
+      cli.fault_spec = arg.substr(std::string("--fault-spec=").size());
+    } else if (arg == "--fault-spec" && i + 1 < argc) {
+      cli.fault_spec = argv[++i];
+    } else if (int_flag("--threads", cli.threads)) {
+    } else if (int_flag("--cache-capacity", cli.cache_capacity)) {
+    } else if (arg.rfind("--log-level=", 0) == 0) {
+      obs::LogLevel level;
+      if (!obs::parse_log_level(arg.substr(std::string("--log-level=").size()),
+                                level)) {
+        return usage();
+      }
+      obs::Logger::global().set_level(level);
+    } else if (arg.rfind("--log-format=", 0) == 0) {
+      const std::string format =
+          arg.substr(std::string("--log-format=").size());
+      if (format == "json") {
+        obs::Logger::global().set_format(obs::LogFormat::kJson);
+      } else if (format == "text") {
+        obs::Logger::global().set_format(obs::LogFormat::kText);
+      } else {
+        return usage();
+      }
+    } else {
+      return usage();
+    }
+  }
+  try {
+    return run(cli);
+  } catch (const std::exception& e) {
+    obs::log_error("serve", "daemon failed",
+                   {obs::field("error", e.what())});
+    return 1;
+  }
+}

@@ -1,0 +1,297 @@
+#!/usr/bin/env bash
+# Robustness smoke test for the scshare_serve daemon: scripted overload at
+# roughly 4x the service rate must shed 429s (with Retry-After) while every
+# admitted request either completes or 504s by its deadline; oversized bodies
+# get 413 at the transport; /metrics counters must exactly account for every
+# submitted request; a SIGTERM mid-burst must drain cleanly (exit 0) with the
+# final counter contract intact; and the daemon's equilibrium result must be
+# bit-identical to the one-shot scshare CLI (cmp-asserted on canonical dumps).
+#
+# Usage: serve_smoke.sh <scshare_serve-binary> <scshare-binary> <config.json> <work-dir>
+set -euo pipefail
+
+SERVE="$1"
+CLI="$2"
+CONFIG="$3"
+WORK="$4"
+
+fail() {
+  echo "serve_smoke: FAIL: $*" >&2
+  exit 1
+}
+
+if ! command -v python3 >/dev/null 2>&1; then
+  # The accounting and concurrency assertions need python3; everything it
+  # covers is also exercised (single-process) by tests/test_serve.cpp.
+  echo "serve_smoke: SKIP (python3 unavailable)"
+  exit 0
+fi
+
+SERVE_OUT="$WORK/serve_smoke_stdout.txt"
+SERVE_ERR="$WORK/serve_smoke_stderr.txt"
+: > "$SERVE_OUT"
+: > "$SERVE_ERR"
+
+# Detailed backend + tiny cache keeps sweep jobs multi-second, so a single
+# job worker and a shallow queue give a deterministic overload window.
+"$SERVE" "$CONFIG" --port=0 --job-threads=1 --max-queue=4 \
+  --backend detailed --cache-capacity=1 --drain-timeout-ms=4000 \
+  --log-format=text > "$SERVE_OUT" 2> "$SERVE_ERR" &
+SERVE_PID=$!
+cleanup() {
+  kill -KILL "$SERVE_PID" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+for _ in $(seq 1 100); do
+  grep -q '^LISTENING ' "$SERVE_OUT" 2>/dev/null && break
+  kill -0 "$SERVE_PID" 2>/dev/null || fail "daemon exited before listening"
+  sleep 0.1
+done
+PORT=$(awk '/^LISTENING /{print $2; exit}' "$SERVE_OUT")
+[ -n "${PORT:-}" ] && [ "$PORT" -gt 0 ] || fail "could not parse LISTENING port"
+
+# Phase 1: transport rejections, overload burst, accounting, and the daemon
+# side of the bit-identical check. The python helper exits non-zero with a
+# message on the first violated assertion.
+python3 - "$PORT" "$CONFIG" "$WORK" <<'EOF' || fail "overload phase assertions failed"
+import http.client
+import json
+import socket
+import sys
+import threading
+import time
+
+port = int(sys.argv[1])
+config = json.load(open(sys.argv[2]))
+work = sys.argv[3]
+
+
+def die(message):
+    print("serve_smoke(python): " + message, file=sys.stderr)
+    sys.exit(1)
+
+
+def request(method, path, body=None, timeout=60.0):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        conn.request(method, path, body=body)
+        response = conn.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        conn.close()
+
+
+def scrape_metrics():
+    status, _, body = request("GET", "/metrics", timeout=30.0)
+    if status != 200:
+        die("GET /metrics returned %d" % status)
+    samples = {}
+    for line in body.decode().splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.partition(" ")
+        samples[name.partition("{")[0]] = float(value)
+    return samples
+
+
+def counter(samples, name):
+    key = "scshare_serve_" + name
+    for candidate in (key, key + "_total"):
+        if candidate in samples:
+            return int(samples[candidate])
+    die("metric %s absent from /metrics" % key)
+
+
+# -- Oversized body: rejected 413 from the Content-Length header alone; the
+#    daemon never counts it as a submitted job.
+raw = socket.create_connection(("127.0.0.1", port), timeout=10.0)
+raw.sendall(b"POST /v1/equilibrium HTTP/1.1\r\nHost: x\r\n"
+            b"Content-Length: 10000000\r\n\r\n")
+head = raw.recv(4096).decode(errors="replace")
+raw.close()
+if "413" not in head.split("\r\n", 1)[0]:
+    die("oversized body not rejected with 413: " + head.split("\r\n", 1)[0])
+
+# -- Malformed JSON: typed 400, counted as serve.invalid.
+status, _, _ = request("POST", "/v1/equilibrium", b"{not json", timeout=30.0)
+if status != 400:
+    die("malformed JSON returned %d, want 400" % status)
+
+# -- Plug the single job worker with two slow async sweeps (multi-second
+#    each on the detailed backend), filling 2 of the 4 admission slots.
+slow_sweep = json.dumps(
+    {"async": True, "sweep": {"ratios": [0.25, 0.55], "optimum_stride": 1}})
+sweep_jobs = []
+for _ in range(2):
+    status, _, body = request("POST", "/v1/sweep", slow_sweep.encode(),
+                              timeout=30.0)
+    if status != 202:
+        die("async sweep returned %d, want 202" % status)
+    sweep_jobs.append(json.loads(body)["job_id"])
+
+# -- Overload burst: 12 concurrent sync equilibrium requests against a
+#    worker that is busy for seconds and a queue with 2 free slots — about
+#    4x what the daemon can admit. Every response must be 200 (completed),
+#    429 (shed, with Retry-After), or 504 (admitted but deadline-expired);
+#    nothing may hang (enforced by the socket timeout).
+burst = json.dumps({"deadline_ms": 2000, "game": config.get("game", {})})
+results = [None] * 12
+retry_after_seen = [False]
+
+
+def fire(index):
+    status, headers, _ = request("POST", "/v1/equilibrium", burst.encode(),
+                                 timeout=45.0)
+    results[index] = status
+    if status == 429 and any(k.lower() == "retry-after" for k in headers):
+        retry_after_seen[0] = True
+
+
+threads = [threading.Thread(target=fire, args=(i,)) for i in range(12)]
+for t in threads:
+    t.start()
+for t in threads:
+    t.join()
+
+if None in results:
+    die("a burst request never completed")
+unexpected = [s for s in results if s not in (200, 429, 504)]
+if unexpected:
+    die("burst produced unexpected statuses: %r" % unexpected)
+count_200 = results.count(200)
+count_429 = results.count(429)
+count_504 = results.count(504)
+if count_429 == 0:
+    die("overload burst shed nothing (no 429s)")
+if count_504 == 0:
+    die("no admitted burst request hit its deadline (no 504s)")
+if not retry_after_seen[0]:
+    die("429 responses carried no Retry-After header")
+
+# -- Wait for the daemon to go idle, then the counters must exactly account
+#    for everything submitted so far.
+deadline = time.monotonic() + 60.0
+while time.monotonic() < deadline:
+    samples = scrape_metrics()
+    if samples.get("scshare_serve_in_flight", 1.0) == 0.0:
+        break
+    time.sleep(0.2)
+else:
+    die("daemon never went idle after the burst")
+
+for job in sweep_jobs:
+    status, _, body = request("GET", "/v1/jobs/" + job, timeout=30.0)
+    if status != 200 or json.loads(body)["state"] != "succeeded":
+        die("async sweep %s did not succeed: %d %s" % (job, status, body))
+
+samples = scrape_metrics()
+submitted = counter(samples, "submitted")
+admitted = counter(samples, "admitted")
+shed = counter(samples, "shed")
+invalid = counter(samples, "invalid")
+completed = counter(samples, "completed")
+failed = counter(samples, "failed")
+deadline_exceeded = counter(samples, "deadline_exceeded")
+cancelled = counter(samples, "cancelled")
+
+expected_submitted = 1 + 2 + 12  # invalid + sweeps + burst (413 is transport)
+if submitted != expected_submitted:
+    die("submitted=%d, want %d" % (submitted, expected_submitted))
+if invalid != 1:
+    die("invalid=%d, want 1" % invalid)
+if shed != count_429:
+    die("shed=%d but clients saw %d 429s" % (shed, count_429))
+if deadline_exceeded != count_504:
+    die("deadline_exceeded=%d but clients saw %d 504s"
+        % (deadline_exceeded, count_504))
+if completed != 2 + count_200:
+    die("completed=%d, want %d" % (completed, 2 + count_200))
+if failed != 0 or cancelled != 0:
+    die("unexpected failed=%d cancelled=%d" % (failed, cancelled))
+if submitted != admitted + shed + invalid:
+    die("submitted != admitted + shed + invalid (%d != %d + %d + %d)"
+        % (submitted, admitted, shed, invalid))
+if admitted != completed + failed + deadline_exceeded + cancelled:
+    die("admitted contract violated (%d != %d + %d + %d + %d)"
+        % (admitted, completed, failed, deadline_exceeded, cancelled))
+
+# -- Daemon half of the bit-identical check: same game options the CLI reads
+#    from the config file, canonical dump of the result subtree.
+status, _, body = request(
+    "POST", "/v1/equilibrium",
+    json.dumps({"game": config.get("game", {})}).encode(), timeout=120.0)
+if status != 200:
+    die("equilibrium for the cmp check returned %d" % status)
+with open(work + "/serve_smoke_daemon_eq.json", "w") as out:
+    json.dump(json.loads(body)["result"], out, sort_keys=True,
+              separators=(",", ":"))
+
+print("serve_smoke(python): burst 200=%d 429=%d 504=%d, counters consistent"
+      % (count_200, count_429, count_504))
+EOF
+
+# CLI half of the bit-identical check: same config, same backend, canonical
+# dump of the "equilibrium" subtree, then a byte-level cmp.
+"$CLI" equilibrium "$CONFIG" --backend detailed --compact \
+  > "$WORK/serve_smoke_cli_raw.json" 2>/dev/null \
+  || fail "one-shot CLI equilibrium failed"
+python3 - "$WORK/serve_smoke_cli_raw.json" "$WORK/serve_smoke_cli_eq.json" <<'EOF'
+import json
+import sys
+
+document = json.load(open(sys.argv[1]))
+with open(sys.argv[2], "w") as out:
+    json.dump(document["equilibrium"], out, sort_keys=True,
+              separators=(",", ":"))
+EOF
+cmp "$WORK/serve_smoke_daemon_eq.json" "$WORK/serve_smoke_cli_eq.json" \
+  || fail "daemon equilibrium differs from the one-shot CLI result"
+
+# Phase 2: SIGTERM mid-burst. Two fresh slow sweeps are in flight when the
+# signal lands; the daemon must drain within --drain-timeout-ms, exit 0, and
+# log a final accounting that still satisfies both counter contracts.
+python3 - "$PORT" <<'EOF' || fail "could not start the mid-burst sweeps"
+import http.client
+import json
+import sys
+
+port = int(sys.argv[1])
+body = json.dumps(
+    {"async": True, "sweep": {"ratios": [0.3, 0.6, 0.9], "optimum_stride": 1}})
+for _ in range(2):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30.0)
+    conn.request("POST", "/v1/sweep", body=body.encode())
+    response = conn.getresponse()
+    assert response.status == 202, response.status
+    response.read()
+    conn.close()
+EOF
+
+sleep 0.5
+kill -TERM "$SERVE_PID"
+DRAIN_RC=0
+wait "$SERVE_PID" || DRAIN_RC=$?
+trap - EXIT
+[ "$DRAIN_RC" -eq 0 ] || fail "daemon exited $DRAIN_RC after SIGTERM (want 0)"
+
+grep -q 'daemon exiting' "$SERVE_ERR" || fail "no final accounting log line"
+grep 'daemon exiting' "$SERVE_ERR" | grep -q 'clean=true' \
+  || fail "drain was not clean: $(grep 'daemon exiting' "$SERVE_ERR")"
+python3 - "$SERVE_ERR" <<'EOF' || fail "final log accounting violated"
+import re
+import sys
+
+line = next(l for l in open(sys.argv[1]) if "daemon exiting" in l)
+fields = dict(re.findall(r"(\w+)=(\d+)", line))
+get = lambda k: int(fields[k])
+submitted, admitted = get("submitted"), get("admitted")
+shed, invalid = get("shed"), get("invalid")
+terminal = (get("completed") + get("failed") + get("deadline_exceeded")
+            + get("cancelled"))
+assert submitted == admitted + shed + invalid, line
+assert admitted == terminal, line
+assert get("cancelled") >= 1, "drain cancelled nothing: " + line
+EOF
+
+echo "serve_smoke: OK"
