@@ -120,6 +120,7 @@ Framework::~Framework() {
 obs::RunReport Framework::report() const {
   obs::RunReport report;
   report.backend = backend_name_;
+  report.build = obs::build_identity();
   report.metrics = obs::MetricsRegistry::global().snapshot().delta_from(
       metrics_baseline_);
   report.events = ring_->events();

@@ -292,6 +292,13 @@ Json to_json(const obs::ProfileNode& node) {
 Json to_json(const obs::RunReport& report) {
   JsonObject out;
   out["backend"] = report.backend;
+  if (!report.build.version.empty()) {
+    JsonObject build;
+    build["version"] = report.build.version;
+    build["compiler"] = report.build.compiler;
+    build["build_type"] = report.build.build_type;
+    out["build"] = Json(std::move(build));
+  }
   out["metrics"] = to_json(report.metrics);
   JsonArray events;
   for (const auto& e : report.events) events.push_back(to_json(e));

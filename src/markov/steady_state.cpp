@@ -94,7 +94,7 @@ void check_finite(const std::vector<double>& pi, double residual,
     return;
   }
   divergence_aborts_counter().add();
-  obs::log_warn("solver", "iterate contains NaN/Inf; aborting solve",
+  obs::log_warn_limited("solver", "iterate contains NaN/Inf; aborting solve",
                 {obs::field("solver", solver)});
   throw Error("iterate contains NaN/Inf (divergent chain or "
               "ill-conditioned generator)",
@@ -109,7 +109,7 @@ bool check_divergence(double residual, double best_residual,
   if (divergence_factor <= 0.0) return false;
   if (residual <= best_residual * divergence_factor) return false;
   divergence_aborts_counter().add();
-  obs::log_warn("solver", "residual diverged; abandoning iteration budget",
+  obs::log_warn_limited("solver", "residual diverged; abandoning iteration budget",
                 {obs::field("residual", residual),
                  obs::field("best_residual", best_residual)});
   return true;
@@ -260,7 +260,7 @@ SteadyStateResult solve_steady_state_guarded(
       result.relaxations = attempt;
       result.tolerance_used = relaxed;
       relaxations_counter().add(attempt);
-      obs::log_warn(
+      obs::log_warn_limited(
           "solver", "accepted under relaxed tolerance; result degraded",
           {obs::field("relaxations", static_cast<std::int64_t>(attempt)),
            obs::field("tolerance_used", relaxed),

@@ -9,12 +9,19 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 
 namespace scshare::net {
 namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 /// send() the whole buffer, suppressing SIGPIPE; false on any failure (the
 /// client hung up — nothing useful to do beyond dropping the connection).
@@ -306,7 +313,7 @@ void HttpServer::accept_loop() {
       if (pending_.size() >= options_.max_pending_connections) {
         shed = true;
       } else {
-        pending_.push_back(fd);
+        pending_.push_back(PendingConnection{fd, steady_now_ns()});
       }
     }
     if (shed) {
@@ -323,25 +330,41 @@ void HttpServer::accept_loop() {
 
 void HttpServer::io_loop() {
   for (;;) {
-    int fd = -1;
+    PendingConnection connection;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       wake_.wait(lock, [this] {
         return !pending_.empty() || stopping_.load(std::memory_order_acquire);
       });
       if (!pending_.empty()) {
-        fd = pending_.front();
+        connection = pending_.front();
         pending_.pop_front();
       } else {
         return;  // stopping and the queue is drained
       }
     }
-    serve_connection(fd);
-    ::close(fd);
+    serve_connection(connection.fd, connection.accepted_ns);
+    ::close(connection.fd);
   }
 }
 
-void HttpServer::serve_connection(int fd) {
+void HttpServer::serve_connection(int fd, std::int64_t accepted_ns) {
+  HttpRequest request;
+  request.accepted_at_ns = accepted_ns;
+  // Reports every written response (request may be partially parsed on the
+  // early-reject paths); connections that vanish without a response are not
+  // observed.
+  const auto observe = [&](int status) {
+    if (!options_.observer) return;
+    const double seconds =
+        static_cast<double>(steady_now_ns() - accepted_ns) * 1e-9;
+    try {
+      options_.observer(request, status, seconds);
+    } catch (...) {
+      // Observer failures must never take down the io thread.
+    }
+  };
+
   std::string raw;
   std::size_t head_end = 0;
   const ReadStatus head_status = read_head(fd, raw, head_end);
@@ -349,18 +372,20 @@ void HttpServer::serve_connection(int fd) {
   served_.fetch_add(1, std::memory_order_relaxed);
   if (head_status == ReadStatus::kTimedOut) {
     write_simple(fd, 408, "timed out reading request\n");
+    observe(408);
     return;
   }
   if (head_status == ReadStatus::kTooLarge) {
     write_simple(fd, 431, "request head too large\n");
+    observe(431);
     return;
   }
 
-  HttpRequest request;
   HttpResponse response;
   const std::string head = raw.substr(0, head_end);
   if (!parse_request_line(head, request)) {
     write_simple(fd, 400, "malformed request line\n");
+    observe(400);
     return;
   }
   const bool head_only = request.method == "HEAD";
@@ -368,6 +393,7 @@ void HttpServer::serve_connection(int fd) {
     response.status = 405;
     response.body = "only GET, HEAD, and POST are supported\n";
     write_response(fd, response, head_only);
+    observe(405);
     return;
   }
 
@@ -375,6 +401,7 @@ void HttpServer::serve_connection(int fd) {
     std::string value;
     if (find_header(head, "transfer-encoding", value)) {
       write_simple(fd, 400, "chunked transfer encoding not supported\n");
+      observe(400);
       return;
     }
     std::size_t content_length = 0;
@@ -383,6 +410,7 @@ void HttpServer::serve_connection(int fd) {
       const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
       if (end == value.c_str() || *end != '\0') {
         write_simple(fd, 400, "malformed Content-Length\n");
+        observe(400);
         return;
       }
       content_length = static_cast<std::size_t>(parsed);
@@ -392,6 +420,7 @@ void HttpServer::serve_connection(int fd) {
       // socket. Connection: close makes the abandoned bytes the kernel's
       // problem, not ours.
       write_simple(fd, 413, "request body too large\n");
+      observe(413);
       return;
     }
     if (find_header(head, "expect", value) &&
@@ -406,11 +435,13 @@ void HttpServer::serve_connection(int fd) {
     const ReadStatus body_status = read_body(fd, request.body, content_length);
     if (body_status == ReadStatus::kTimedOut) {
       write_simple(fd, 408, "timed out reading request body\n");
+      observe(408);
       return;
     }
     if (body_status == ReadStatus::kClosed) return;
   }
 
+  request.parsed_at_ns = steady_now_ns();
   try {
     response = handler_(request);
   } catch (const std::exception& e) {
@@ -419,6 +450,7 @@ void HttpServer::serve_connection(int fd) {
     response.body = std::string("handler error: ") + e.what() + "\n";
   }
   write_response(fd, response, head_only);
+  observe(response.status);
 }
 
 HttpGetResult http_request(std::uint16_t port, const std::string& method,

@@ -49,12 +49,19 @@
 namespace scshare::net {
 
 /// One parsed request: method, request-target path (query string stripped),
-/// the raw target as sent, and — for POST — the request body.
+/// the raw target as sent, and — for POST — the request body. The two
+/// timestamps (steady clock, nanoseconds) bracket the server-side intake:
+/// `accepted_at_ns` is stamped by the accept thread, `parsed_at_ns` when the
+/// head and body have been fully read, just before the handler runs — their
+/// difference is queue wait plus read time, which the serve layer records as
+/// the per-job "queue_wait" stage.
 struct HttpRequest {
   std::string method;  ///< "GET", "HEAD", "POST", ...
   std::string path;    ///< "/metrics" (query string removed)
   std::string target;  ///< raw request-target, query string included
   std::string body;    ///< request body (POST only; "" otherwise)
+  std::int64_t accepted_at_ns = 0;  ///< accept() time (steady clock)
+  std::int64_t parsed_at_ns = 0;    ///< request fully read (steady clock)
 };
 
 struct HttpResponse {
@@ -86,6 +93,13 @@ struct HttpServerOptions {
   /// Accepted-but-not-yet-served connection bound; beyond it the accept
   /// thread answers 503 + Retry-After immediately.
   std::size_t max_pending_connections = 128;
+  /// Called once per served request after the response is written, with the
+  /// (possibly partially parsed) request, the response status, and the
+  /// accept-to-response duration in seconds. Lets an upper layer attach
+  /// HTTP-plane self-metrics without the net layer depending on obs. Must
+  /// not throw; runs on the io thread.
+  std::function<void(const HttpRequest&, int status, double seconds)>
+      observer;
 };
 
 class HttpServer {
@@ -99,7 +113,7 @@ class HttpServer {
 
   /// Telemetry-compatible convenience constructor (defaults elsewhere).
   HttpServer(std::uint16_t port, Handler handler)
-      : HttpServer(HttpServerOptions{.port = port}, std::move(handler)) {}
+      : HttpServer(options_for_port(port), std::move(handler)) {}
 
   /// stop()s and joins.
   ~HttpServer();
@@ -141,9 +155,20 @@ class HttpServer {
   static constexpr std::size_t kMaxRequestBytes = 8192;
 
  private:
+  static HttpServerOptions options_for_port(std::uint16_t port) {
+    HttpServerOptions options;
+    options.port = port;
+    return options;
+  }
+
+  struct PendingConnection {
+    int fd = -1;
+    std::int64_t accepted_ns = 0;
+  };
+
   void accept_loop();
   void io_loop();
-  void serve_connection(int fd);
+  void serve_connection(int fd, std::int64_t accepted_ns);
 
   HttpServerOptions options_;
   Handler handler_;
@@ -156,7 +181,7 @@ class HttpServer {
 
   std::mutex mutex_;
   std::condition_variable wake_;
-  std::deque<int> pending_;  ///< accepted fds awaiting an io thread
+  std::deque<PendingConnection> pending_;  ///< accepted, awaiting an io thread
   std::thread accept_thread_;
   std::vector<std::thread> io_threads_;
 };

@@ -1,0 +1,26 @@
+// Build and runtime identity: which binary is answering, and for how long.
+//
+// The version / compiler / build-type strings are baked in at CMake
+// configure time (see src/CMakeLists.txt and obs/build_info.cpp.in) so
+// /healthz, the RunReport "build" block, and the scshare_build_info metric
+// can all answer "which commit produced this number" without shelling out
+// to git at runtime.
+#pragma once
+
+#include <string>
+
+namespace scshare::obs {
+
+struct BuildIdentity {
+  std::string version;     ///< `git describe --always --dirty --tags`
+  std::string compiler;    ///< e.g. "GNU 13.2.0"
+  std::string build_type;  ///< CMAKE_BUILD_TYPE, "unspecified" when unset
+};
+
+/// The identity compiled into this binary.
+[[nodiscard]] const BuildIdentity& build_identity() noexcept;
+
+/// Seconds since this process loaded the obs library (steady clock).
+[[nodiscard]] double process_uptime_seconds() noexcept;
+
+}  // namespace scshare::obs

@@ -1,0 +1,121 @@
+#include "obs/digest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace scshare::obs {
+
+LogBucketDigest::LogBucketDigest(DigestOptions options) : options_(options) {
+  if (!(options_.gamma > 1.0) || !(options_.min_value > 0.0) ||
+      !(options_.max_value > options_.min_value)) {
+    throw std::invalid_argument(
+        "LogBucketDigest: requires gamma > 1 and 0 < min_value < max_value");
+  }
+  inv_log_gamma_ = 1.0 / std::log(options_.gamma);
+  buckets_ = static_cast<std::size_t>(
+      std::ceil(std::log(options_.max_value / options_.min_value) *
+                inv_log_gamma_));
+}
+
+std::size_t LogBucketDigest::index_for(double v) const noexcept {
+  if (v <= options_.min_value) return 0;
+  if (v > options_.max_value) return buckets_ + 1;
+  // Bucket k (1-based) covers (min * gamma^(k-1), min * gamma^k].
+  const double ratio = std::log(v / options_.min_value) * inv_log_gamma_;
+  auto k = static_cast<std::size_t>(std::ceil(ratio));
+  if (k < 1) k = 1;
+  if (k > buckets_) k = buckets_;
+  return k;
+}
+
+double LogBucketDigest::lower_edge(std::size_t i) const noexcept {
+  if (i == 0) return 0.0;
+  if (i > buckets_) return options_.max_value;
+  return options_.min_value *
+         std::pow(options_.gamma, static_cast<double>(i) - 1.0);
+}
+
+double LogBucketDigest::upper_edge(std::size_t i) const noexcept {
+  if (i == 0) return options_.min_value;
+  if (i > buckets_) return options_.max_value;  // overflow clamps to the edge
+  return options_.min_value * std::pow(options_.gamma, static_cast<double>(i));
+}
+
+void LogBucketDigest::add(double v, std::uint64_t n) {
+  if (n == 0 || !std::isfinite(v)) return;
+  if (counts_.empty()) counts_.assign(buckets_ + 2, 0);
+  counts_[index_for(v)] += n;
+  count_ += n;
+  sum_ += v * static_cast<double>(n);
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+void LogBucketDigest::merge(const LogBucketDigest& other) {
+  if (other.options_.min_value != options_.min_value ||
+      other.options_.max_value != options_.max_value ||
+      other.options_.gamma != options_.gamma) {
+    throw std::invalid_argument(
+        "LogBucketDigest::merge: geometry mismatch");
+  }
+  if (other.count_ == 0) return;
+  if (counts_.empty()) counts_.assign(buckets_ + 2, 0);
+  for (std::size_t i = 0; i < other.counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double LogBucketDigest::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested quantile (1-based, nearest-rank definition).
+  const auto rank = static_cast<std::uint64_t>(std::max(
+      1.0, std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    if (cumulative + counts_[i] >= rank) {
+      // Linear interpolation inside the bucket by rank position: the first
+      // observation of a bucket reports near its lower edge, the last near
+      // its upper edge. Clamping to the observed extrema makes single-value
+      // and tail queries exact.
+      const double lo = lower_edge(i);
+      const double hi = upper_edge(i);
+      const double into =
+          static_cast<double>(rank - cumulative) /
+          static_cast<double>(counts_[i]);
+      const double v = lo + (hi - lo) * into;
+      return std::clamp(v, min_, max_);
+    }
+    cumulative += counts_[i];
+  }
+  return max_;  // q == 1 with rounding slack
+}
+
+std::uint64_t LogBucketDigest::count_at_or_below(double v) const {
+  if (count_ == 0) return 0;
+  if (v >= max_) return count_;
+  if (v < min_) return 0;
+  const std::size_t limit = index_for(v);
+  std::uint64_t below = 0;
+  for (std::size_t i = 0; i <= limit && i < counts_.size(); ++i) {
+    below += counts_[i];
+  }
+  return below;
+}
+
+void LogBucketDigest::reset() {
+  counts_.clear();
+  counts_.shrink_to_fit();
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+}
+
+}  // namespace scshare::obs

@@ -1,0 +1,99 @@
+// Mergeable quantile digest over fixed-ratio logarithmic buckets (HDR /
+// DDSketch style).
+//
+// Bucket k covers (min_value * gamma^(k-1), min_value * gamma^k]; with the
+// default gamma = 1.005 any reported quantile is within 0.25% of the true
+// value in *relative value* terms, and on workloads that spread across
+// buckets the rank error stays well under the 1% contract asserted by
+// tests/test_slo.cpp. Two digests with the same geometry merge by summing
+// their bucket arrays, which is what lets the windowed aggregation layer
+// (obs/window.hpp) keep one digest per rotating time slot and merge the
+// trailing slots on demand to answer "p99 over the last minute".
+//
+// Memory: the bucket array (~4.6k uint64 slots for the default 1us..10ks
+// span) is allocated lazily on the first add(), so the empty slots of a
+// window ring cost one pointer each.
+//
+// Not thread-safe: callers (WindowedHistogram) serialize access themselves.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace scshare::obs {
+
+struct DigestOptions {
+  /// Lower edge of the first regular bucket; smaller observations clamp
+  /// into it. Seconds-flavored default: 1 microsecond.
+  double min_value = 1e-6;
+  /// Upper edge of the last regular bucket; larger observations clamp into
+  /// the overflow bucket. Default: 10,000 seconds.
+  double max_value = 1e4;
+  /// Bucket width ratio (> 1). Relative value error of a reported quantile
+  /// is at most (gamma - 1) / 2.
+  double gamma = 1.005;
+};
+
+class LogBucketDigest {
+ public:
+  explicit LogBucketDigest(DigestOptions options = {});
+
+  /// Records `n` observations of value `v`. Non-finite values are dropped;
+  /// negative values clamp to the underflow bucket.
+  void add(double v, std::uint64_t n = 1);
+
+  /// Adds every observation of `other` into this digest. Both digests must
+  /// share the same geometry (min/max/gamma); mismatches throw.
+  void merge(const LogBucketDigest& other);
+
+  /// Value at quantile `q` in [0, 1]: the within-bucket linearly
+  /// interpolated value whose rank is ceil(q * count), clamped to the
+  /// observed [min, max]. Returns 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Observations with value <= v (bucket-resolution upper bound; exact at
+  /// bucket edges). Drives the latency-violation accounting in the SLO
+  /// plane.
+  [[nodiscard]] std::uint64_t count_at_or_below(double v) const;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+
+  /// Regular buckets between min_value and max_value (excludes the
+  /// underflow/overflow slots).
+  [[nodiscard]] std::size_t bucket_count() const noexcept { return buckets_; }
+
+  [[nodiscard]] const DigestOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Returns to the empty state, releasing the bucket array.
+  void reset();
+
+ private:
+  /// Index into counts_: 0 = underflow, 1..buckets_ = regular, buckets_+1 =
+  /// overflow.
+  [[nodiscard]] std::size_t index_for(double v) const noexcept;
+  /// Lower/upper value edges of slot `i` (clamped to [min_value, max_value]
+  /// for the underflow/overflow slots).
+  [[nodiscard]] double lower_edge(std::size_t i) const noexcept;
+  [[nodiscard]] double upper_edge(std::size_t i) const noexcept;
+
+  DigestOptions options_;
+  double inv_log_gamma_ = 0.0;
+  std::size_t buckets_ = 0;
+  std::vector<std::uint64_t> counts_;  ///< lazily sized buckets_ + 2
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace scshare::obs

@@ -2,6 +2,10 @@
 
 #include <cctype>
 #include <cstdio>
+#include <map>
+#include <utility>
+
+#include "obs/build_info.hpp"
 
 namespace scshare::obs {
 namespace {
@@ -25,6 +29,20 @@ void type_line(std::string& out, const std::string& family,
   out += ' ';
   out += type;
   out += '\n';
+}
+
+/// Splits a registry name of the form `base{label="v",...}` into the base
+/// and the verbatim label block (empty when unlabeled).
+void split_labels(std::string_view name, std::string_view& base,
+                  std::string_view& labels) {
+  const std::size_t brace = name.find('{');
+  if (brace == std::string_view::npos) {
+    base = name;
+    labels = {};
+  } else {
+    base = name.substr(0, brace);
+    labels = name.substr(brace);
+  }
 }
 
 }  // namespace
@@ -63,6 +81,26 @@ std::string escape_label_value(std::string_view value) {
   return out;
 }
 
+std::string labeled_metric_name(
+    std::string_view base,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels) {
+  std::string out(base);
+  if (labels.size() == 0) return out;
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    out += escape_label_value(value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
 std::string OpenMetricsExporter::render(const RunReport& report) const {
   std::string out;
   out.reserve(4096);
@@ -74,22 +112,56 @@ std::string OpenMetricsExporter::render(const RunReport& report) const {
   out += escape_label_value(report.backend);
   out += "\"} 1\n";
 
+  // Build-identity pseudo-metric: which binary produced this document.
+  const BuildIdentity& build = build_identity();
+  type_line(out, "scshare_build_info", "gauge");
+  out += "scshare_build_info{version=\"";
+  out += escape_label_value(build.version);
+  out += "\",compiler=\"";
+  out += escape_label_value(build.compiler);
+  out += "\",build_type=\"";
+  out += escape_label_value(build.build_type);
+  out += "\"} 1\n";
+
+  // Labeled registry names (`base{label="v"}`) share one family, so samples
+  // are grouped by family first and each family gets exactly one TYPE line.
+  // (Relying on raw map order would break: '_' sorts before '{', so
+  // `base_other` can interleave between `base` and `base{...}`.)
+  std::map<std::string, std::string> counter_blocks;
   for (const auto& [name, value] : report.metrics.counters) {
-    const std::string family = sanitize_metric_name(name);
+    std::string_view base;
+    std::string_view labels;
+    split_labels(name, base, labels);
+    const std::string family = sanitize_metric_name(base);
+    std::string& block = counter_blocks[family];
+    block += family;
+    block += "_total";
+    block += labels;
+    block += ' ';
+    block += std::to_string(value);
+    block += '\n';
+  }
+  for (const auto& [family, block] : counter_blocks) {
     type_line(out, family, "counter");
-    out += family;
-    out += "_total ";
-    out += std::to_string(value);
-    out += '\n';
+    out += block;
   }
 
+  std::map<std::string, std::string> gauge_blocks;
   for (const auto& [name, value] : report.metrics.gauges) {
-    const std::string family = sanitize_metric_name(name);
+    std::string_view base;
+    std::string_view labels;
+    split_labels(name, base, labels);
+    const std::string family = sanitize_metric_name(base);
+    std::string& block = gauge_blocks[family];
+    block += family;
+    block += labels;
+    block += ' ';
+    append_double(block, value);
+    block += '\n';
+  }
+  for (const auto& [family, block] : gauge_blocks) {
     type_line(out, family, "gauge");
-    out += family;
-    out += ' ';
-    append_double(out, value);
-    out += '\n';
+    out += block;
   }
 
   for (const auto& [name, hist] : report.metrics.histograms) {

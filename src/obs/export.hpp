@@ -8,8 +8,10 @@
 // --metrics-format.
 #pragma once
 
+#include <initializer_list>
 #include <string>
 #include <string_view>
+#include <utility>
 
 #include "obs/report.hpp"
 
@@ -48,5 +50,14 @@ class OpenMetricsExporter final : public Exporter {
 
 /// Escapes '\', '"' and newline for use inside a label value.
 [[nodiscard]] std::string escape_label_value(std::string_view value);
+
+/// Builds a labeled registry name, `base{k="v",...}` with escaped values.
+/// Instruments registered under such names render as one family with one
+/// series per label set (e.g. `serve.http.requests{path="/metrics"}` becomes
+/// `scshare_serve_http_requests_total{path="/metrics"}`).
+[[nodiscard]] std::string labeled_metric_name(
+    std::string_view base,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels);
 
 }  // namespace scshare::obs

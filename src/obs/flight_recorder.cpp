@@ -1,0 +1,285 @@
+#include "obs/flight_recorder.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+
+namespace scshare::obs {
+namespace {
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_record(std::string& out, const FlightRecord& r) {
+  out += "{\"ts_ns\": ";
+  out += std::to_string(r.ts_ns);
+  out += ", \"kind\": \"";
+  append_json_escaped(out, r.kind);
+  out += "\", \"name\": \"";
+  append_json_escaped(out, r.name);
+  out += '"';
+  if (r.ctx != 0) {
+    out += ", \"ctx\": ";
+    out += std::to_string(r.ctx);
+  }
+  if (r.duration_ms >= 0.0) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", r.duration_ms);
+    out += ", \"duration_ms\": ";
+    out += buf;
+  }
+  if (!r.detail.empty()) {
+    out += ", \"detail\": \"";
+    append_json_escaped(out, r.detail);
+    out += '"';
+  }
+  out += '}';
+}
+
+Counter& dumps_counter() {
+  static Counter& counter =
+      MetricsRegistry::global().counter("obs.flight.dumps_total");
+  return counter;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(FlightRecorderOptions options)
+    : options_(options) {
+  if (options_.capacity == 0) options_.capacity = 1;
+}
+
+void FlightRecorder::configure(const FlightRecorderOptions& options) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  options_ = options;
+  if (options_.capacity == 0) options_.capacity = 1;
+  if (size_ > 0) {
+    // Rebuild the ring in chronological order, keeping the newest records
+    // that still fit.
+    std::vector<FlightRecord> ordered;
+    ordered.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i) {
+      ordered.push_back(
+          ring_[(next_ + ring_.size() - size_ + i) % ring_.size()]);
+    }
+    if (ordered.size() > options_.capacity) {
+      ordered.erase(
+          ordered.begin(),
+          ordered.end() - static_cast<std::ptrdiff_t>(options_.capacity));
+    }
+    ring_ = std::move(ordered);
+    size_ = ring_.size();
+    // With a full ring append() overwrites next_, the oldest slot; with a
+    // partial ring it push_backs and recomputes next_ itself.
+    next_ = size_ % options_.capacity;
+  } else {
+    ring_.clear();
+    next_ = 0;
+  }
+}
+
+FlightRecorderOptions FlightRecorder::options() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return options_;
+}
+
+void FlightRecorder::append(FlightRecord record) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < options_.capacity) {
+    ring_.push_back(std::move(record));
+    next_ = ring_.size() % options_.capacity;
+    size_ = ring_.size();
+    return;
+  }
+  ring_[next_] = std::move(record);
+  next_ = (next_ + 1) % ring_.size();
+  if (size_ < ring_.size()) ++size_;
+}
+
+void FlightRecorder::note_log(LogLevel level, std::string_view line) {
+  FlightRecord r;
+  r.ts_ns = window_now_ns();
+  r.ctx = current_correlation();
+  r.kind = "log";
+  r.name = log_level_name(level);
+  r.detail = std::string(line);
+  append(std::move(r));
+}
+
+void FlightRecorder::note_span(std::string_view name, double duration_ms) {
+  FlightRecord r;
+  r.ts_ns = window_now_ns();
+  r.ctx = current_correlation();
+  r.kind = "span";
+  r.name = std::string(name);
+  r.duration_ms = duration_ms;
+  append(std::move(r));
+}
+
+void FlightRecorder::note_event(std::string_view name,
+                                std::string_view detail) {
+  FlightRecord r;
+  r.ts_ns = window_now_ns();
+  r.ctx = current_correlation();
+  r.kind = "event";
+  r.name = std::string(name);
+  r.detail = std::string(detail);
+  append(std::move(r));
+}
+
+std::string FlightRecorder::render_dump(std::string_view reason,
+                                        std::string_view detail,
+                                        std::uint64_t seq,
+                                        std::int64_t now_ns) const {
+  // Caller holds mutex_.
+  std::string out;
+  out.reserve(4096);
+  out += "{\n  \"reason\": \"";
+  append_json_escaped(out, reason);
+  out += "\",\n  \"detail\": \"";
+  append_json_escaped(out, detail);
+  out += "\",\n  \"seq\": ";
+  out += std::to_string(seq);
+  out += ",\n  \"ts_ns\": ";
+  out += std::to_string(now_ns);
+  out += ",\n  \"records\": [\n";
+  for (std::size_t i = 0; i < size_; ++i) {
+    const FlightRecord& r =
+        ring_[(next_ + ring_.size() - size_ + i) % ring_.size()];
+    out += "    ";
+    append_record(out, r);
+    if (i + 1 < size_) out += ',';
+    out += '\n';
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+std::string FlightRecorder::trigger_at(std::string_view reason,
+                                       std::string_view detail,
+                                       std::int64_t now_ns) {
+  std::string document;
+  std::string path;
+  std::uint64_t seq = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (options_.min_interval_ms > 0 &&
+        last_dump_ns_ != std::numeric_limits<std::int64_t>::min() &&
+        now_ns - last_dump_ns_ < options_.min_interval_ms * 1'000'000) {
+      return "";
+    }
+    seq = ++dump_seq_;
+    last_dump_ns_ = now_ns;
+    document = render_dump(reason, detail, seq, now_ns);
+    if (!options_.artifact_dir.empty()) {
+      path = options_.artifact_dir + "/flight-" + std::to_string(seq) + ".json";
+    }
+    last_dump_ = DumpInfo{seq, std::string(reason), path, now_ns};
+  }
+  // File + log I/O happens outside the ring mutex: the log call feeds back
+  // into note_log(), which needs the same mutex.
+  if (!path.empty()) {
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f != nullptr) {
+      std::fwrite(document.data(), 1, document.size(), f);
+      std::fclose(f);
+    } else {
+      path.clear();
+      const std::lock_guard<std::mutex> lock(mutex_);
+      last_dump_.path.clear();
+    }
+  }
+  dumps_counter().add();
+  log_warn("flight", "flight recorder dumped",
+           {field("reason", reason), field("seq", seq),
+            field("path", path.empty() ? std::string("<memory>") : path)});
+  return document;
+}
+
+std::uint64_t FlightRecorder::dumps() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dump_seq_;
+}
+
+FlightRecorder::DumpInfo FlightRecorder::last_dump() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return last_dump_;
+}
+
+std::string FlightRecorder::render_debugz() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  out.reserve(4096);
+  out += "{\n  \"capacity\": ";
+  out += std::to_string(options_.capacity);
+  out += ",\n  \"records_held\": ";
+  out += std::to_string(size_);
+  out += ",\n  \"dumps\": ";
+  out += std::to_string(dump_seq_);
+  out += ",\n  \"last_dump\": ";
+  if (last_dump_.seq == 0) {
+    out += "null";
+  } else {
+    out += "{\"seq\": ";
+    out += std::to_string(last_dump_.seq);
+    out += ", \"reason\": \"";
+    append_json_escaped(out, last_dump_.reason);
+    out += "\", \"path\": \"";
+    append_json_escaped(out, last_dump_.path);
+    out += "\", \"ts_ns\": ";
+    out += std::to_string(last_dump_.ts_ns);
+    out += '}';
+  }
+  out += ",\n  \"records\": [\n";
+  for (std::size_t i = 0; i < size_; ++i) {
+    const FlightRecord& r =
+        ring_[(next_ + ring_.size() - size_ + i) % ring_.size()];
+    out += "    ";
+    append_record(out, r);
+    if (i + 1 < size_) out += ',';
+    out += '\n';
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+void FlightRecorder::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+  size_ = 0;
+  dump_seq_ = 0;
+  last_dump_ns_ = std::numeric_limits<std::int64_t>::min();
+  last_dump_ = DumpInfo{};
+}
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder* recorder =
+      new FlightRecorder();  // leaked: outlives all threads
+  return *recorder;
+}
+
+}  // namespace scshare::obs

@@ -1,0 +1,115 @@
+// Always-on flight recorder: a bounded ring of the most recent log lines,
+// span completions, and lifecycle events, dumped as one JSON artifact when
+// something goes wrong.
+//
+// The recorder is cheap enough to leave on in production (append one record
+// under a short mutex), so when a job blows its deadline, gets shed, or the
+// SLO plane starts burning its error budget the daemon can call trigger()
+// and capture *what the process was doing just before* — the part of an
+// incident that cumulative counters cannot reconstruct after the fact.
+//
+// Feeds:
+//  * Logger::log taps note_log() with every emitted line (post level
+//    filter), outside the sink mutex so the two locks never nest.
+//  * The serve layer calls note_event() at job lifecycle edges and
+//    note_span() for stage timings.
+//
+// trigger(reason, detail) snapshots the ring into a JSON document, writes it
+// to `<artifact_dir>/flight-<seq>.json` when an artifact directory is
+// configured, bumps `obs.flight.dumps_total`, and returns the document.
+// Repeated triggers inside `min_interval_ms` are suppressed (return "");
+// the default interval of 0 keeps tests deterministic — every trigger
+// dumps. The most recent dump stays available at /debugz/flight.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/log.hpp"
+#include "obs/window.hpp"
+
+namespace scshare::obs {
+
+struct FlightRecorderOptions {
+  /// Ring capacity in records (logs + spans + events combined).
+  std::size_t capacity = 256;
+  /// Minimum spacing between dumps; 0 = every trigger dumps.
+  std::int64_t min_interval_ms = 0;
+  /// Directory for flight-<seq>.json artifacts; empty = in-memory only.
+  std::string artifact_dir;
+};
+
+/// One entry of the flight ring.
+struct FlightRecord {
+  std::int64_t ts_ns = 0;       ///< steady clock, window_now_ns() epoch
+  CorrelationId ctx = 0;        ///< correlation id active when recorded
+  std::string kind;             ///< "log" | "span" | "event"
+  std::string name;             ///< log level / span name / event name
+  std::string detail;           ///< log line / event detail
+  double duration_ms = -1.0;    ///< spans only; < 0 = not applicable
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderOptions options = {});
+
+  /// Replaces capacity / dump directory / rate limit. Existing ring
+  /// contents are kept (truncated to the new capacity).
+  void configure(const FlightRecorderOptions& options);
+  [[nodiscard]] FlightRecorderOptions options() const;
+
+  void note_log(LogLevel level, std::string_view line);
+  void note_span(std::string_view name, double duration_ms);
+  void note_event(std::string_view name, std::string_view detail);
+
+  struct DumpInfo {
+    std::uint64_t seq = 0;       ///< 0 = never dumped
+    std::string reason;
+    std::string path;            ///< empty when no artifact_dir configured
+    std::int64_t ts_ns = 0;
+  };
+
+  /// Snapshots the ring into a JSON document (and a file artifact when an
+  /// artifact directory is configured). Returns "" when suppressed by the
+  /// rate limit.
+  std::string trigger(std::string_view reason, std::string_view detail = {}) {
+    return trigger_at(reason, detail, window_now_ns());
+  }
+  std::string trigger_at(std::string_view reason, std::string_view detail,
+                         std::int64_t now_ns);
+
+  /// Total dumps actually written (suppressed triggers excluded).
+  [[nodiscard]] std::uint64_t dumps() const;
+  [[nodiscard]] DumpInfo last_dump() const;
+
+  /// JSON for /debugz/flight: recorder state, last dump, current ring.
+  [[nodiscard]] std::string render_debugz() const;
+
+  /// Clears the ring and dump history (options are kept).
+  void reset();
+
+  /// Process-wide recorder fed by the global Logger.
+  static FlightRecorder& global();
+
+ private:
+  void append(FlightRecord record);
+  [[nodiscard]] std::string render_dump(std::string_view reason,
+                                        std::string_view detail,
+                                        std::uint64_t seq,
+                                        std::int64_t now_ns) const;
+
+  mutable std::mutex mutex_;
+  FlightRecorderOptions options_;
+  std::vector<FlightRecord> ring_;  ///< circular; next_ is the write cursor
+  std::size_t next_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t dump_seq_ = 0;
+  std::int64_t last_dump_ns_ = std::numeric_limits<std::int64_t>::min();
+  DumpInfo last_dump_;
+};
+
+}  // namespace scshare::obs

@@ -1,10 +1,14 @@
 #include "obs/log.hpp"
 
+#include <algorithm>
 #include <cinttypes>
 #include <ctime>
+#include <map>
 #include <sys/time.h>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/window.hpp"
 
 namespace scshare::obs {
 namespace {
@@ -172,6 +176,18 @@ LogField field(std::string_view key, bool value) {
 void Logger::log(LogLevel level, std::string_view component,
                  std::string_view message,
                  std::initializer_list<LogField> fields) {
+  log_impl(level, component, message, fields.begin(), fields.size());
+}
+
+void Logger::log(LogLevel level, std::string_view component,
+                 std::string_view message,
+                 const std::vector<LogField>& fields) {
+  log_impl(level, component, message, fields.data(), fields.size());
+}
+
+void Logger::log_impl(LogLevel level, std::string_view component,
+                      std::string_view message, const LogField* fields,
+                      std::size_t n_fields) {
   if (!enabled(level)) return;
 
   const CorrelationId ctx = t_correlation;
@@ -191,7 +207,8 @@ void Logger::log(LogLevel level, std::string_view component,
       line += ",\"ctx\":";
       line += std::to_string(ctx);
     }
-    for (const LogField& f : fields) {
+    for (std::size_t i = 0; i < n_fields; ++i) {
+      const LogField& f = fields[i];
       line += ",\"";
       append_escaped(line, f.key);
       line += "\":";
@@ -212,7 +229,8 @@ void Logger::log(LogLevel level, std::string_view component,
       line += " ctx=";
       line += std::to_string(ctx);
     }
-    for (const LogField& f : fields) {
+    for (std::size_t i = 0; i < n_fields; ++i) {
+      const LogField& f = fields[i];
       line += ' ';
       line += f.key;
       line += '=';
@@ -228,6 +246,10 @@ void Logger::log(LogLevel level, std::string_view component,
     std::fflush(out);
   }
   lines_counter().add();
+  // Feed the flight ring after releasing the sink lock; the recorder has
+  // its own mutex and never calls back into the logger.
+  FlightRecorder::global().note_log(
+      level, std::string_view(line.data(), line.size() - 1));
 }
 
 FILE* Logger::set_stream(FILE* stream) noexcept {
@@ -264,6 +286,90 @@ void log_warn(std::string_view component, std::string_view message,
 void log_error(std::string_view component, std::string_view message,
                std::initializer_list<LogField> fields) {
   Logger::global().log(LogLevel::kError, component, message, fields);
+}
+
+// ---- rate-limited warnings -------------------------------------------------
+
+namespace {
+
+struct TokenBucket {
+  double tokens = kLogRateLimitBurst;
+  std::int64_t refilled_ns = 0;
+  std::uint64_t suppressed = 0;  ///< since the last emitted line for this key
+};
+
+struct RateLimitState {
+  std::mutex mutex;
+  std::map<std::string, TokenBucket> buckets;
+};
+
+RateLimitState& rate_limit_state() {
+  static RateLimitState* state = new RateLimitState();  // leaked
+  return *state;
+}
+
+Counter& suppressed_counter() {
+  static Counter& counter =
+      MetricsRegistry::global().counter("obs.log.suppressed_total");
+  return counter;
+}
+
+}  // namespace
+
+bool log_warn_limited_at(std::string_view component, std::string_view message,
+                         std::initializer_list<LogField> fields,
+                         std::int64_t now_ns) {
+  std::uint64_t suppressed = 0;
+  {
+    RateLimitState& state = rate_limit_state();
+    std::string key;
+    key.reserve(component.size() + 1 + message.size());
+    key.append(component);
+    key += '\0';
+    key.append(message);
+    const std::lock_guard<std::mutex> lock(state.mutex);
+    TokenBucket& bucket = state.buckets[key];
+    if (bucket.refilled_ns == 0) {
+      bucket.refilled_ns = now_ns;  // first sighting: full burst available
+    } else if (now_ns > bucket.refilled_ns) {
+      const double elapsed_s =
+          static_cast<double>(now_ns - bucket.refilled_ns) * 1e-9;
+      bucket.tokens = std::min(kLogRateLimitBurst,
+                               bucket.tokens + elapsed_s * kLogRateLimitPerSecond);
+      bucket.refilled_ns = now_ns;
+    }
+    if (bucket.tokens < 1.0) {
+      ++bucket.suppressed;
+      suppressed_counter().add();
+      return false;
+    }
+    bucket.tokens -= 1.0;
+    suppressed = bucket.suppressed;
+    bucket.suppressed = 0;
+  }
+  if (suppressed > 0) {
+    std::vector<LogField> with_count(fields);
+    with_count.push_back(field("suppressed", suppressed));
+    Logger::global().log(LogLevel::kWarn, component, message, with_count);
+  } else {
+    Logger::global().log(LogLevel::kWarn, component, message, fields);
+  }
+  return true;
+}
+
+bool log_warn_limited(std::string_view component, std::string_view message,
+                      std::initializer_list<LogField> fields) {
+  return log_warn_limited_at(component, message, fields, window_now_ns());
+}
+
+std::uint64_t log_suppressed_total() noexcept {
+  return suppressed_counter().value();
+}
+
+void reset_log_rate_limits() {
+  RateLimitState& state = rate_limit_state();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  state.buckets.clear();
 }
 
 }  // namespace scshare::obs

@@ -37,6 +37,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace scshare::obs {
 
@@ -104,10 +105,15 @@ class Logger {
 
   /// Emits one record when `level` passes the threshold. The line is
   /// formatted outside the sink lock and written with one fwrite, so
-  /// concurrent records never interleave.
+  /// concurrent records never interleave. Every emitted line is also fed to
+  /// the global FlightRecorder ring (outside the sink lock).
   void log(LogLevel level, std::string_view component,
            std::string_view message,
            std::initializer_list<LogField> fields = {});
+  /// Same, for call sites that assemble fields dynamically (e.g. the
+  /// rate-limited warning path appending `suppressed=N`).
+  void log(LogLevel level, std::string_view component,
+           std::string_view message, const std::vector<LogField>& fields);
 
   void set_level(LogLevel level) noexcept {
     level_.store(static_cast<int>(level), std::memory_order_relaxed);
@@ -141,6 +147,10 @@ class Logger {
   static Logger& global();
 
  private:
+  void log_impl(LogLevel level, std::string_view component,
+                std::string_view message, const LogField* fields,
+                std::size_t n_fields);
+
   std::atomic<int> level_{static_cast<int>(LogLevel::kInfo)};
   std::atomic<bool> json_{false};
   std::mutex mutex_;            ///< guards stream_ and the write itself
@@ -156,5 +166,32 @@ void log_warn(std::string_view component, std::string_view message,
               std::initializer_list<LogField> fields = {});
 void log_error(std::string_view component, std::string_view message,
                std::initializer_list<LogField> fields = {});
+
+// ---- rate-limited warnings -------------------------------------------------
+
+/// Token-bucket rate limit for a repeated warning, keyed by
+/// (component, message): a burst of `kLogRateLimitBurst` lines passes, then
+/// the key is refilled at `kLogRateLimitPerSecond` lines/s. Suppressed
+/// repeats are counted and the next line that does pass carries a
+/// `suppressed=N` field, so a solver emitting the same "residual diverged"
+/// warning 10k times in a tight sweep costs ~burst lines of log volume
+/// without losing the fact that it happened 10k times.
+inline constexpr double kLogRateLimitBurst = 5.0;
+inline constexpr double kLogRateLimitPerSecond = 1.0;
+
+/// Emits when the key's bucket has a token; otherwise counts a suppression.
+/// Returns true when the line was emitted.
+bool log_warn_limited(std::string_view component, std::string_view message,
+                      std::initializer_list<LogField> fields = {});
+/// Deterministic variant for tests: `now_ns` drives the refill clock.
+bool log_warn_limited_at(std::string_view component, std::string_view message,
+                         std::initializer_list<LogField> fields,
+                         std::int64_t now_ns);
+/// Total lines suppressed across all keys (exported as
+/// `obs.log.suppressed_total`).
+[[nodiscard]] std::uint64_t log_suppressed_total() noexcept;
+/// Clears all token buckets and the suppression counter state (tests only;
+/// the cumulative metric is not reset).
+void reset_log_rate_limits();
 
 }  // namespace scshare::obs

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/build_info.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/trace.hpp"
@@ -18,6 +19,7 @@ namespace scshare::obs {
 
 struct RunReport {
   std::string backend;        ///< backend kind serving the run
+  BuildIdentity build;        ///< which binary produced this report
   MetricsSnapshot metrics;    ///< counters are deltas since scope start
   std::vector<TraceEvent> events;  ///< captured trace, oldest first
   std::uint64_t events_total = 0;  ///< emitted count (>= events.size())

@@ -1,0 +1,237 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace scshare::obs {
+namespace {
+
+constexpr std::int64_t kWindowsSeconds[] = {10, 60, 300};
+constexpr std::int64_t kFastWindowSeconds = 10;
+
+std::string format_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+const char* request_outcome_name(RequestOutcome o) noexcept {
+  switch (o) {
+    case RequestOutcome::kOk:
+      return "ok";
+    case RequestOutcome::kError:
+      return "error";
+    case RequestOutcome::kShed:
+      return "shed";
+    case RequestOutcome::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case RequestOutcome::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+SloPlane::SloPlane(WindowOptions windows)
+    : window_options_(windows),
+      latency_(windows),
+      ok_(windows),
+      error_(windows),
+      shed_(windows),
+      deadline_(windows),
+      cancelled_(windows),
+      latency_violations_(windows) {}
+
+void SloPlane::set_objectives(const SloObjectives& objectives) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  objectives_ = objectives;
+}
+
+SloObjectives SloPlane::objectives() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return objectives_;
+}
+
+bool SloPlane::record_at(RequestOutcome outcome, double seconds,
+                         std::int64_t now_ns) {
+  SloObjectives objectives;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    objectives = objectives_;
+  }
+  switch (outcome) {
+    case RequestOutcome::kOk:
+      ok_.add_at(1, now_ns);
+      break;
+    case RequestOutcome::kError:
+      error_.add_at(1, now_ns);
+      break;
+    case RequestOutcome::kShed:
+      shed_.add_at(1, now_ns);
+      break;
+    case RequestOutcome::kDeadlineExceeded:
+      deadline_.add_at(1, now_ns);
+      break;
+    case RequestOutcome::kCancelled:
+      cancelled_.add_at(1, now_ns);
+      break;
+  }
+  if (seconds >= 0.0) {
+    latency_.record_at(seconds, now_ns);
+    // Latency-objective violations are tallied at record time so burn-rate
+    // queries never have to scan digests.
+    if (outcome == RequestOutcome::kOk && objectives.latency_ms > 0.0 &&
+        seconds * 1e3 > objectives.latency_ms) {
+      latency_violations_.add_at(1, now_ns);
+    }
+  }
+
+  if (objectives.availability <= 0.0) return false;
+  const double burn = burn_rate_impl(kFastWindowSeconds, now_ns);
+  const bool now_burning = burn >= objectives.burn_threshold;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const bool edge = now_burning && !burning_;
+  burning_ = now_burning;
+  return edge;
+}
+
+bool SloPlane::burning() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return burning_;
+}
+
+double SloPlane::burn_rate(std::int64_t horizon_seconds,
+                           std::int64_t now_ns) const {
+  return burn_rate_impl(horizon_seconds, now_ns);
+}
+
+double SloPlane::burn_rate_impl(std::int64_t horizon_seconds,
+                                  std::int64_t now_ns) const {
+  SloObjectives objectives;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    objectives = objectives_;
+  }
+  if (objectives.availability <= 0.0 || objectives.availability >= 1.0) {
+    return -1.0;
+  }
+  const std::uint64_t ok = ok_.sum_at(horizon_seconds, now_ns);
+  const std::uint64_t bad = error_.sum_at(horizon_seconds, now_ns) +
+                            shed_.sum_at(horizon_seconds, now_ns) +
+                            deadline_.sum_at(horizon_seconds, now_ns) +
+                            cancelled_.sum_at(horizon_seconds, now_ns);
+  const std::uint64_t violations =
+      std::min(latency_violations_.sum_at(horizon_seconds, now_ns), ok);
+  const std::uint64_t total = ok + bad;
+  if (total == 0) return -1.0;
+  const std::uint64_t good = ok - violations;
+  const double availability =
+      static_cast<double>(good) / static_cast<double>(total);
+  return (1.0 - availability) / (1.0 - objectives.availability);
+}
+
+std::string SloPlane::render_slosz_at(std::int64_t now_ns) const {
+  SloObjectives objectives;
+  bool burning = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    objectives = objectives_;
+    burning = burning_;
+  }
+
+  std::ostringstream out;
+  out << "{\n  \"objectives\": {";
+  if (objectives.latency_ms > 0.0) {
+    out << "\"latency_ms\": " << format_double(objectives.latency_ms);
+  } else {
+    out << "\"latency_ms\": null";
+  }
+  if (objectives.availability > 0.0) {
+    out << ", \"availability\": " << format_double(objectives.availability);
+  } else {
+    out << ", \"availability\": null";
+  }
+  out << ", \"burn_threshold\": " << format_double(objectives.burn_threshold)
+      << "},\n";
+  out << "  \"burning\": " << (burning ? "true" : "false") << ",\n";
+  out << "  \"windows\": [\n";
+
+  bool first_window = true;
+  for (const std::int64_t horizon : kWindowsSeconds) {
+    const std::uint64_t ok = ok_.sum_at(horizon, now_ns);
+    const std::uint64_t error = error_.sum_at(horizon, now_ns);
+    const std::uint64_t shed = shed_.sum_at(horizon, now_ns);
+    const std::uint64_t deadline = deadline_.sum_at(horizon, now_ns);
+    const std::uint64_t cancelled = cancelled_.sum_at(horizon, now_ns);
+    const std::uint64_t total = ok + error + shed + deadline + cancelled;
+    const std::uint64_t violations =
+        std::min(latency_violations_.sum_at(horizon, now_ns), ok);
+    const LogBucketDigest digest = latency_.snapshot_at(horizon, now_ns);
+
+    if (!first_window) out << ",\n";
+    first_window = false;
+    out << "    {\"window_seconds\": " << horizon;
+    out << ", \"requests\": " << total;
+    out << ", \"rate_per_second\": "
+        << format_double(static_cast<double>(total) /
+                         static_cast<double>(horizon));
+    out << ", \"outcomes\": {\"ok\": " << ok << ", \"error\": " << error
+        << ", \"shed\": " << shed << ", \"deadline_exceeded\": " << deadline
+        << ", \"cancelled\": " << cancelled << "}";
+    out << ", \"slo_latency_violations\": " << violations;
+
+    out << ", \"latency_ms\": ";
+    if (digest.empty()) {
+      out << "null";
+    } else {
+      out << "{\"p50\": " << format_double(digest.quantile(0.50) * 1e3)
+          << ", \"p95\": " << format_double(digest.quantile(0.95) * 1e3)
+          << ", \"p99\": " << format_double(digest.quantile(0.99) * 1e3)
+          << ", \"p999\": " << format_double(digest.quantile(0.999) * 1e3)
+          << ", \"mean\": " << format_double(digest.mean() * 1e3)
+          << ", \"max\": " << format_double(digest.max() * 1e3)
+          << ", \"samples\": " << digest.count() << "}";
+    }
+
+    if (objectives.availability > 0.0 && total > 0) {
+      const std::uint64_t good = ok - violations;
+      const double availability =
+          static_cast<double>(good) / static_cast<double>(total);
+      out << ", \"availability\": " << format_double(availability);
+      out << ", \"error_budget_burn\": "
+          << format_double((1.0 - availability) /
+                           (1.0 - objectives.availability));
+    } else {
+      out << ", \"availability\": null, \"error_budget_burn\": null";
+    }
+    out << "}";
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+void SloPlane::reset() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    objectives_ = SloObjectives{};
+    burning_ = false;
+  }
+  latency_.reset();
+  ok_.reset();
+  error_.reset();
+  shed_.reset();
+  deadline_.reset();
+  cancelled_.reset();
+  latency_violations_.reset();
+}
+
+SloPlane& SloPlane::global() {
+  static SloPlane* plane = new SloPlane();  // leaked: outlives all threads
+  return *plane;
+}
+
+}  // namespace scshare::obs

@@ -1,0 +1,102 @@
+// SLO plane: windowed request-latency percentiles and error-budget burn
+// rates against configurable objectives, rendered at /slosz.
+//
+// The serve layer records one sample per finished (or shed) request:
+// an outcome plus the end-to-end latency. The plane keeps
+//  * one WindowedHistogram of latency seconds,
+//  * one WindowedCounter per outcome (ok/error/shed/deadline/cancelled),
+//  * one WindowedCounter of latency-objective violations (ok requests whose
+//    latency exceeded the target),
+// and answers, for each reporting window (10s / 1m / 5m): p50/p95/p99/p999,
+// request rate, the outcome decomposition, availability (good / total where
+// good = ok AND within the latency target), and the error-budget burn rate
+// burn = (1 - availability) / (1 - availability_objective).
+//
+// record() is edge-triggered for the flight recorder: it returns true
+// exactly when the fast (10s) window's burn rate crosses the configured
+// threshold from below, so the caller can dump the flight ring once per
+// burn episode instead of once per bad request.
+//
+// The global() instance is process-wide, exactly like MetricsRegistry: the
+// daemon configures objectives at startup and the telemetry server renders
+// /slosz from whatever has been recorded. With no objectives set the plane
+// still reports windowed percentiles and rates; availability/burn fields are
+// null.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "obs/window.hpp"
+
+namespace scshare::obs {
+
+struct SloObjectives {
+  /// Latency objective in milliseconds; 0 = unset (no latency SLO).
+  double latency_ms = 0.0;
+  /// Availability objective in (0, 1), e.g. 0.99; 0 = unset.
+  double availability = 0.0;
+  /// Burn-rate multiple at which the plane reports "burning" and record()
+  /// edge-triggers a flight-recorder dump.
+  double burn_threshold = 2.0;
+};
+
+enum class RequestOutcome { kOk, kError, kShed, kDeadlineExceeded, kCancelled };
+
+[[nodiscard]] const char* request_outcome_name(RequestOutcome o) noexcept;
+
+class SloPlane {
+ public:
+  explicit SloPlane(WindowOptions windows = {});
+
+  void set_objectives(const SloObjectives& objectives);
+  [[nodiscard]] SloObjectives objectives() const;
+
+  /// Records one finished request. `seconds` < 0 means no latency sample
+  /// (a shed request never ran). Returns true when this record pushed the
+  /// 10s burn rate over the threshold from at-or-under it (edge trigger).
+  bool record(RequestOutcome outcome, double seconds) {
+    return record_at(outcome, seconds, window_now_ns());
+  }
+  bool record_at(RequestOutcome outcome, double seconds, std::int64_t now_ns);
+
+  /// True while the most recent record left the 10s window burning. Cleared
+  /// by the next record that observes a healthy window.
+  [[nodiscard]] bool burning() const;
+
+  /// JSON document for /slosz (see header comment for the schema).
+  [[nodiscard]] std::string render_slosz() const {
+    return render_slosz_at(window_now_ns());
+  }
+  [[nodiscard]] std::string render_slosz_at(std::int64_t now_ns) const;
+
+  /// Burn rate over the trailing `horizon_seconds`; negative when no
+  /// availability objective is set or the window is empty.
+  [[nodiscard]] double burn_rate(std::int64_t horizon_seconds,
+                                 std::int64_t now_ns) const;
+
+  void reset();
+
+  /// Process-wide plane shared by the daemon and the telemetry server.
+  static SloPlane& global();
+
+ private:
+  [[nodiscard]] double burn_rate_impl(std::int64_t horizon_seconds,
+                                      std::int64_t now_ns) const;
+
+  WindowOptions window_options_;
+  mutable std::mutex mutex_;  ///< guards objectives_ and burning_
+  SloObjectives objectives_;
+  bool burning_ = false;
+
+  WindowedHistogram latency_;
+  WindowedCounter ok_;
+  WindowedCounter error_;
+  WindowedCounter shed_;
+  WindowedCounter deadline_;
+  WindowedCounter cancelled_;
+  WindowedCounter latency_violations_;
+};
+
+}  // namespace scshare::obs

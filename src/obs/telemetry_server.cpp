@@ -3,11 +3,14 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "obs/build_info.hpp"
 #include "obs/export.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/report.hpp"
+#include "obs/slo.hpp"
 #include "obs/status.hpp"
 
 namespace scshare::obs {
@@ -50,8 +53,11 @@ void append_profile_node(std::string& out, const ProfileNode& node) {
 TelemetryServer::TelemetryServer(Options options)
     : options_(std::move(options)), started_(std::chrono::steady_clock::now()) {
   if (!options_.bind) return;  // pure renderer embedded in another server
+  net::HttpServerOptions http_options;
+  http_options.port = options_.port;
+  http_options.observer = make_http_observer();
   server_ = std::make_unique<net::HttpServer>(
-      options_.port,
+      http_options,
       [this](const net::HttpRequest& request) { return handle(request); });
   log_info("telemetry", "telemetry server listening",
            {field("port", static_cast<std::uint64_t>(server_->port())),
@@ -102,10 +108,20 @@ std::string TelemetryServer::render_healthz() const {
 
   const auto uptime = std::chrono::duration_cast<std::chrono::milliseconds>(
       std::chrono::steady_clock::now() - started_);
+  const BuildIdentity& build = build_identity();
 
   std::string fields;
   fields += "\"uptime_seconds\":";
   append_number(fields, static_cast<double>(uptime.count()) / 1000.0);
+  fields += ",\"build\":{\"version\":\"";
+  fields += escape_label_value(build.version);
+  fields += "\",\"compiler\":\"";
+  fields += escape_label_value(build.compiler);
+  fields += "\",\"build_type\":\"";
+  fields += escape_label_value(build.build_type);
+  fields += "\"}";
+  fields += ",\"slo_burning\":";
+  fields += SloPlane::global().burning() ? "true" : "false";
   fields += ",\"degraded_runs\":";
   fields += std::to_string(degraded_runs);
   fields += ",\"eval_failures\":";
@@ -206,6 +222,14 @@ std::string TelemetryServer::render_profilez() const {
   return out;
 }
 
+std::string TelemetryServer::render_slosz() const {
+  return SloPlane::global().render_slosz();
+}
+
+std::string TelemetryServer::render_flight() const {
+  return FlightRecorder::global().render_debugz();
+}
+
 net::HttpResponse TelemetryServer::handle(const net::HttpRequest& request) {
   net::HttpResponse response;
   if (request.method != "GET" && request.method != "HEAD") {
@@ -228,18 +252,62 @@ net::HttpResponse TelemetryServer::handle(const net::HttpRequest& request) {
   } else if (request.path == "/profilez") {
     response.content_type = "application/json; charset=utf-8";
     response.body = render_profilez();
+  } else if (request.path == "/slosz") {
+    response.content_type = "application/json; charset=utf-8";
+    response.body = render_slosz();
+  } else if (request.path == "/debugz/flight") {
+    response.content_type = "application/json; charset=utf-8";
+    response.body = render_flight();
   } else if (request.path == "/") {
     response.body =
         "scshare telemetry\n"
-        "  /metrics  - OpenMetrics text exposition\n"
-        "  /healthz  - liveness + degraded-evaluation status\n"
-        "  /statusz  - run progress (JSON)\n"
-        "  /profilez - span profile tree (JSON)\n";
+        "  /metrics       - OpenMetrics text exposition\n"
+        "  /healthz       - liveness + degraded-evaluation status\n"
+        "  /statusz       - run progress (JSON)\n"
+        "  /profilez      - span profile tree (JSON)\n"
+        "  /slosz         - windowed latency percentiles + SLO burn (JSON)\n"
+        "  /debugz/flight - flight-recorder ring and last dump (JSON)\n";
   } else {
     response.status = 404;
     response.body = "unknown path; try /metrics, /healthz, /statusz\n";
   }
   return response;
+}
+
+std::string normalize_http_path(std::string_view path) {
+  static constexpr std::string_view kKnown[] = {
+      "/",        "/metrics",       "/healthz", "/statusz",
+      "/profilez", "/slosz",        "/debugz/flight",
+      "/v1/solve", "/v1/jobs",      "/v1/drain",
+  };
+  for (const std::string_view known : kKnown) {
+    if (path == known) return std::string(known);
+  }
+  constexpr std::string_view kJobsPrefix = "/v1/jobs/";
+  if (path.rfind(kJobsPrefix, 0) == 0) {
+    const std::string_view rest = path.substr(kJobsPrefix.size());
+    const std::size_t slash = rest.find('/');
+    if (slash == std::string_view::npos) return "/v1/jobs/:id";
+    if (rest.substr(slash) == "/trace") return "/v1/jobs/:id/trace";
+    if (rest.substr(slash) == "/cancel") return "/v1/jobs/:id/cancel";
+    return "other";
+  }
+  return "other";
+}
+
+std::function<void(const net::HttpRequest&, int, double)> make_http_observer() {
+  return [](const net::HttpRequest& request, int status, double seconds) {
+    MetricsRegistry& registry = MetricsRegistry::global();
+    const std::string path =
+        request.path.empty() ? "unparsed" : normalize_http_path(request.path);
+    registry
+        .counter(labeled_metric_name(
+            "http.requests",
+            {{"path", path}, {"code", std::to_string(status)}}))
+        .add();
+    static Histogram& latency = registry.histogram("http.request_seconds");
+    latency.observe(seconds);
+  };
 }
 
 }  // namespace scshare::obs

@@ -80,6 +80,8 @@ class TelemetryServer {
   [[nodiscard]] std::string render_healthz() const;
   [[nodiscard]] std::string render_statusz() const;
   [[nodiscard]] std::string render_profilez() const;
+  [[nodiscard]] std::string render_slosz() const;
+  [[nodiscard]] std::string render_flight() const;
 
   /// Routes one request across the telemetry endpoints (GET/HEAD only —
   /// anything else is 405). Public so an embedding server (scshare_serve)
@@ -92,5 +94,17 @@ class TelemetryServer {
   std::chrono::steady_clock::time_point started_;
   std::unique_ptr<net::HttpServer> server_;
 };
+
+/// Collapses a request path to a bounded label set for HTTP self-metrics:
+/// known endpoints pass through, `/v1/jobs/<id>` becomes `/v1/jobs/:id`
+/// (`.../trace` kept), anything else is "other" so a scanner cannot mint
+/// unbounded metric families.
+[[nodiscard]] std::string normalize_http_path(std::string_view path);
+
+/// HTTP-plane self-metrics observer for net::HttpServerOptions::observer:
+/// bumps `http.requests{path=...,code=...}` and records the accept-to-
+/// response latency into the `http.request_seconds` histogram.
+[[nodiscard]] std::function<void(const net::HttpRequest&, int, double)>
+make_http_observer();
 
 }  // namespace scshare::obs

@@ -1,0 +1,126 @@
+#include "obs/window.hpp"
+
+#include <stdexcept>
+
+namespace scshare::obs {
+namespace {
+
+constexpr std::int64_t kNsPerSecond = 1'000'000'000;
+
+void validate(const WindowOptions& options) {
+  if (options.slot_seconds <= 0 || options.slots < 2) {
+    throw std::invalid_argument(
+        "WindowOptions: requires slot_seconds > 0 and slots >= 2");
+  }
+}
+
+/// Slots needed to cover `horizon_seconds` plus the current partial slot,
+/// clamped to the ring length.
+std::size_t slots_for(const WindowOptions& options,
+                      std::int64_t horizon_seconds) {
+  if (horizon_seconds <= 0) return 1;
+  const std::int64_t whole =
+      (horizon_seconds + options.slot_seconds - 1) / options.slot_seconds;
+  const auto needed = static_cast<std::size_t>(whole) + 1;
+  return needed < options.slots ? needed : options.slots;
+}
+
+}  // namespace
+
+std::int64_t window_now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+WindowedHistogram::WindowedHistogram(WindowOptions options)
+    : options_(options) {
+  validate(options_);
+  ring_.resize(options_.slots);
+  for (auto& slot : ring_) slot.digest = LogBucketDigest(options_.digest);
+}
+
+std::int64_t WindowedHistogram::slot_index(std::int64_t now_ns) const noexcept {
+  return now_ns / (options_.slot_seconds * kNsPerSecond);
+}
+
+void WindowedHistogram::record_at(double v, std::int64_t now_ns) {
+  const std::int64_t index = slot_index(now_ns);
+  const std::size_t pos =
+      static_cast<std::size_t>(index % static_cast<std::int64_t>(ring_.size()));
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Slot& slot = ring_[pos];
+  if (slot.index != index) {
+    slot.digest.reset();
+    slot.index = index;
+  }
+  slot.digest.add(v);
+}
+
+LogBucketDigest WindowedHistogram::snapshot_at(std::int64_t horizon_seconds,
+                                               std::int64_t now_ns) const {
+  const std::int64_t current = slot_index(now_ns);
+  const auto span = static_cast<std::int64_t>(slots_for(options_, horizon_seconds));
+  LogBucketDigest merged(options_.digest);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const Slot& slot : ring_) {
+    if (slot.index < 0) continue;
+    if (slot.index > current || slot.index <= current - span) continue;
+    merged.merge(slot.digest);
+  }
+  return merged;
+}
+
+void WindowedHistogram::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& slot : ring_) {
+    slot.index = -1;
+    slot.digest.reset();
+  }
+}
+
+WindowedCounter::WindowedCounter(WindowOptions options) : options_(options) {
+  validate(options_);
+  ring_.resize(options_.slots);
+}
+
+std::int64_t WindowedCounter::slot_index(std::int64_t now_ns) const noexcept {
+  return now_ns / (options_.slot_seconds * kNsPerSecond);
+}
+
+void WindowedCounter::add_at(std::uint64_t n, std::int64_t now_ns) {
+  const std::int64_t index = slot_index(now_ns);
+  const std::size_t pos =
+      static_cast<std::size_t>(index % static_cast<std::int64_t>(ring_.size()));
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Slot& slot = ring_[pos];
+  if (slot.index != index) {
+    slot.value = 0;
+    slot.index = index;
+  }
+  slot.value += n;
+}
+
+std::uint64_t WindowedCounter::sum_at(std::int64_t horizon_seconds,
+                                      std::int64_t now_ns) const {
+  const std::int64_t current = slot_index(now_ns);
+  const auto span = static_cast<std::int64_t>(slots_for(options_, horizon_seconds));
+  std::uint64_t total = 0;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const Slot& slot : ring_) {
+    if (slot.index < 0) continue;
+    if (slot.index > current || slot.index <= current - span) continue;
+    total += slot.value;
+  }
+  return total;
+}
+
+void WindowedCounter::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& slot : ring_) {
+    slot.index = -1;
+    slot.value = 0;
+  }
+}
+
+}  // namespace scshare::obs

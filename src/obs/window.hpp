@@ -1,0 +1,110 @@
+// Time-windowed aggregation: a ring of rotating slots per instrument.
+//
+// The cumulative instruments in obs/metrics.hpp answer "how many since
+// process start"; a soak run also needs "what was p99 over the last minute".
+// A WindowedHistogram keeps `slots` rotating time slots of `slot_seconds`
+// each (default 31 x 10s — enough to serve 10s/1m/5m queries), one
+// LogBucketDigest per slot. Recording lands in the slot the current time
+// maps to; a snapshot over a horizon merges the trailing ceil(h/slot)+1
+// slots (including the current partial one) into a single digest.
+//
+// Rotation is lazy: there is no background thread. Every record/snapshot
+// computes the current slot index from the steady clock and resets any ring
+// position whose stored index is stale. Both operations take the instrument
+// mutex, which makes the pair (rotation, observation) atomic: within one
+// fixed slot the merged count is monotone non-decreasing across snapshots no
+// matter how many writers and scrapers race (asserted under TSan by
+// tests/test_slo.cpp).
+//
+// All time parameters are nanoseconds on an arbitrary epoch; the `now_ns`
+// overloads let tests drive a fake clock deterministically.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "obs/digest.hpp"
+
+namespace scshare::obs {
+
+struct WindowOptions {
+  std::int64_t slot_seconds = 10;
+  /// Ring length. 31 x 10s serves a 5-minute horizon with one slot of
+  /// slack for the current partial slot.
+  std::size_t slots = 31;
+  DigestOptions digest;
+};
+
+/// Nanoseconds on the steady clock (the default `now` for every windowed
+/// instrument).
+[[nodiscard]] std::int64_t window_now_ns() noexcept;
+
+/// Ring of per-slot quantile digests.
+class WindowedHistogram {
+ public:
+  explicit WindowedHistogram(WindowOptions options = {});
+
+  void record(double v) { record_at(v, window_now_ns()); }
+  void record_at(double v, std::int64_t now_ns);
+
+  /// Merged digest over the trailing `horizon_seconds` (current partial slot
+  /// included).
+  [[nodiscard]] LogBucketDigest snapshot(std::int64_t horizon_seconds) const {
+    return snapshot_at(horizon_seconds, window_now_ns());
+  }
+  [[nodiscard]] LogBucketDigest snapshot_at(std::int64_t horizon_seconds,
+                                            std::int64_t now_ns) const;
+
+  [[nodiscard]] const WindowOptions& options() const noexcept {
+    return options_;
+  }
+
+  void reset();
+
+ private:
+  struct Slot {
+    std::int64_t index = -1;  ///< global slot number; -1 = never used
+    LogBucketDigest digest;
+  };
+
+  [[nodiscard]] std::int64_t slot_index(std::int64_t now_ns) const noexcept;
+
+  WindowOptions options_;
+  mutable std::mutex mutex_;
+  mutable std::vector<Slot> ring_;
+};
+
+/// Ring of per-slot event counts (windowed companion of obs::Counter).
+class WindowedCounter {
+ public:
+  explicit WindowedCounter(WindowOptions options = {});
+
+  void add(std::uint64_t n = 1) { add_at(n, window_now_ns()); }
+  void add_at(std::uint64_t n, std::int64_t now_ns);
+
+  /// Events in the trailing `horizon_seconds` (current partial slot
+  /// included).
+  [[nodiscard]] std::uint64_t sum(std::int64_t horizon_seconds) const {
+    return sum_at(horizon_seconds, window_now_ns());
+  }
+  [[nodiscard]] std::uint64_t sum_at(std::int64_t horizon_seconds,
+                                     std::int64_t now_ns) const;
+
+  void reset();
+
+ private:
+  struct Slot {
+    std::int64_t index = -1;
+    std::uint64_t value = 0;
+  };
+
+  [[nodiscard]] std::int64_t slot_index(std::int64_t now_ns) const noexcept;
+
+  WindowOptions options_;
+  mutable std::mutex mutex_;
+  mutable std::vector<Slot> ring_;
+};
+
+}  // namespace scshare::obs

@@ -9,11 +9,14 @@
 #include "common/error.hpp"
 #include "io/config_io.hpp"
 #include "io/json.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
+#include "obs/slo.hpp"
 #include "obs/status.hpp"
 #include "obs/timer.hpp"
+#include "obs/window.hpp"
 
 namespace scshare::serve {
 namespace {
@@ -68,6 +71,25 @@ net::HttpResponse error_response(int status, const std::string& message,
   return response;
 }
 
+double ms_between(std::int64_t from_ns, std::int64_t to_ns) {
+  return static_cast<double>(to_ns - from_ns) * 1e-6;
+}
+
+/// Outcome fed to the SLO plane for a terminal job state.
+obs::RequestOutcome outcome_for(JobState state) {
+  switch (state) {
+    case JobState::kSucceeded: return obs::RequestOutcome::kOk;
+    case JobState::kFailed: return obs::RequestOutcome::kError;
+    case JobState::kDeadlineExceeded:
+      return obs::RequestOutcome::kDeadlineExceeded;
+    case JobState::kCancelled: return obs::RequestOutcome::kCancelled;
+    case JobState::kShed: return obs::RequestOutcome::kShed;
+    case JobState::kQueued:
+    case JobState::kRunning: break;  // not terminal
+  }
+  return obs::RequestOutcome::kError;
+}
+
 }  // namespace
 
 const char* job_state_name(JobState state) noexcept {
@@ -78,6 +100,7 @@ const char* job_state_name(JobState state) noexcept {
     case JobState::kFailed: return "failed";
     case JobState::kCancelled: return "cancelled";
     case JobState::kDeadlineExceeded: return "deadline_exceeded";
+    case JobState::kShed: return "shed";
   }
   return "unknown";
 }
@@ -88,6 +111,19 @@ struct Daemon::Job {
   io::Json request;  ///< parsed POST body
   CancelToken token;
   obs::CorrelationId correlation = 0;
+
+  // Request-lifecycle trace (all guarded by `mutex` once the job is shared;
+  // -1 = the stage never ran). Stamped by handle_submit (transport, parse)
+  // and run_job (queue_wait, solve, render); rendered by /v1/jobs/<id>/trace.
+  std::int64_t deadline_ms = 0;      ///< effective deadline; 0 = none
+  std::int64_t accepted_at_ns = 0;   ///< transport accept() (steady clock)
+  std::int64_t admitted_at_ns = 0;   ///< admission granted, handed to pool
+  double transport_ms = -1.0;  ///< accept → request fully read (net layer)
+  double parse_ms = -1.0;      ///< JSON parse + field validation
+  double queue_wait_ms = -1.0; ///< admission → a job worker picked it up
+  double solve_ms = -1.0;      ///< solver work
+  double render_ms = -1.0;     ///< result JSON rendering
+  double total_ms = -1.0;      ///< accept (or admission) → terminal state
 
   std::mutex mutex;
   std::condition_variable cv;
@@ -110,6 +146,19 @@ Daemon::Daemon(federation::FederationConfig config, market::PriceConfig prices,
                                            utility, options_.framework);
   pool_ = std::make_unique<exec::ThreadPool>(
       std::max<std::size_t>(1, options_.job_threads));
+
+  // SLO plane: objectives are process-wide (the daemon owns the process).
+  {
+    obs::SloObjectives objectives;
+    objectives.latency_ms = options_.slo_latency_ms;
+    objectives.availability = options_.slo_availability;
+    obs::SloPlane::global().set_objectives(objectives);
+  }
+  if (!options_.flight_dir.empty()) {
+    obs::FlightRecorderOptions fopts = obs::FlightRecorder::global().options();
+    fopts.artifact_dir = options_.flight_dir;
+    obs::FlightRecorder::global().configure(fopts);
+  }
 
   obs::TelemetryServer::Options topts;
   topts.bind = false;  // embedded: served from the daemon's own listener
@@ -139,6 +188,7 @@ Daemon::Daemon(federation::FederationConfig config, market::PriceConfig prices,
   hopts.io_threads = std::max<std::size_t>(1, options_.io_threads);
   hopts.max_body_bytes = options_.max_body_bytes;
   hopts.read_timeout_ms = options_.read_timeout_ms;
+  hopts.observer = obs::make_http_observer();
   server_ = std::make_unique<net::HttpServer>(
       hopts, [this](const net::HttpRequest& request) { return handle(request); });
 
@@ -238,18 +288,26 @@ net::HttpResponse Daemon::handle(const net::HttpRequest& request) {
     return handle_submit(request.path.substr(4), request);
   }
   if (request.path.rfind("/v1/jobs/", 0) == 0) {
-    return handle_job_poll(request.path.substr(9));
+    const std::string rest = request.path.substr(9);
+    const std::size_t slash = rest.find('/');
+    if (slash == std::string::npos) return handle_job_poll(rest);
+    if (rest.substr(slash) == "/trace") {
+      return handle_job_trace(rest.substr(0, slash));
+    }
+    return error_response(404, "unknown job sub-resource: " + rest);
   }
   if (request.path == "/") {
     net::HttpResponse response;
     response.body =
         "scshare_serve\n"
-        "  POST /v1/equilibrium - run the sharing game to equilibrium\n"
-        "  POST /v1/sweep       - price-ratio sweep\n"
-        "  POST /v1/evaluate    - metrics/costs/utilities of a sharing "
+        "  POST /v1/equilibrium       - run the sharing game to equilibrium\n"
+        "  POST /v1/sweep             - price-ratio sweep\n"
+        "  POST /v1/evaluate          - metrics/costs/utilities of a sharing "
         "vector\n"
-        "  GET  /v1/jobs/<id>   - poll an async job\n"
-        "  GET  /metrics /healthz /statusz /profilez - telemetry plane\n";
+        "  GET  /v1/jobs/<id>         - poll an async job\n"
+        "  GET  /v1/jobs/<id>/trace   - per-job stage timings\n"
+        "  GET  /metrics /healthz /statusz /profilez /slosz /debugz/flight - "
+        "telemetry plane\n";
     return response;
   }
   return telemetry_->handle(request);
@@ -266,11 +324,15 @@ net::HttpResponse Daemon::handle_submit(const std::string& operation,
 
   if (draining()) {
     instruments.shed.add();
-    const std::lock_guard<std::mutex> lock(counts_mutex_);
-    ++counts_.shed;
+    {
+      const std::lock_guard<std::mutex> lock(counts_mutex_);
+      ++counts_.shed;
+    }
+    obs::SloPlane::global().record(obs::RequestOutcome::kShed, -1.0);
     return error_response(503, "daemon is draining", /*retry_after=*/true);
   }
 
+  const std::int64_t parse_started_ns = obs::window_now_ns();
   io::Json body;
   try {
     body = io::Json::parse(request.body.empty() ? "{}" : request.body);
@@ -278,8 +340,11 @@ net::HttpResponse Daemon::handle_submit(const std::string& operation,
             "request body must be a JSON object");
   } catch (const std::exception& e) {
     instruments.invalid.add();
-    const std::lock_guard<std::mutex> lock(counts_mutex_);
-    ++counts_.invalid;
+    {
+      const std::lock_guard<std::mutex> lock(counts_mutex_);
+      ++counts_.invalid;
+    }
+    obs::SloPlane::global().record(obs::RequestOutcome::kError, -1.0);
     return error_response(400, std::string("malformed request body: ") +
                                    e.what());
   }
@@ -291,8 +356,11 @@ net::HttpResponse Daemon::handle_submit(const std::string& operation,
     async = body.get_or("async", false);
   } catch (const std::exception& e) {
     instruments.invalid.add();
-    const std::lock_guard<std::mutex> lock(counts_mutex_);
-    ++counts_.invalid;
+    {
+      const std::lock_guard<std::mutex> lock(counts_mutex_);
+      ++counts_.invalid;
+    }
+    obs::SloPlane::global().record(obs::RequestOutcome::kError, -1.0);
     return error_response(400, std::string("invalid request field: ") +
                                    e.what());
   }
@@ -301,25 +369,61 @@ net::HttpResponse Daemon::handle_submit(const std::string& operation,
   job->operation = operation;
   job->request = std::move(body);
   job->correlation = obs::next_correlation_id();
+  job->deadline_ms = deadline_ms;
+  job->accepted_at_ns = request.accepted_at_ns;
+  if (request.accepted_at_ns > 0 && request.parsed_at_ns > 0) {
+    job->transport_ms = ms_between(request.accepted_at_ns,
+                                   request.parsed_at_ns);
+  }
+  job->parse_ms = ms_between(parse_started_ns, obs::window_now_ns());
   // Always a live token (even without a deadline) so drain can cancel it.
   job->token = deadline_ms > 0 ? CancelToken::with_deadline_ms(deadline_ms)
                                : CancelToken::make();
 
-  // Admission: bound on jobs in flight (queued + running).
+  // Admission: bound on jobs in flight (queued + running). A shed request
+  // still gets an id and a terminal "shed" job record so its trace can be
+  // fetched afterwards — it just never counts as admitted or in flight.
+  bool shed = false;
   {
     std::lock_guard<std::mutex> lock(jobs_mutex_);
-    if (in_flight_ >= options_.max_queue_depth) {
-      instruments.shed.add();
-      const std::lock_guard<std::mutex> clock(counts_mutex_);
-      ++counts_.shed;
-      return error_response(429, "admission queue full",
-                            /*retry_after=*/true);
-    }
     job->id = "job-" + std::to_string(
                            next_job_.fetch_add(1, std::memory_order_relaxed));
-    jobs_[job->id] = job;
-    ++in_flight_;
-    instruments.in_flight.set(static_cast<double>(in_flight_));
+    if (in_flight_ >= options_.max_queue_depth) {
+      shed = true;
+      job->state = JobState::kShed;
+      job->done = true;
+      job->error = "admission queue full";
+      job->total_ms =
+          job->accepted_at_ns > 0
+              ? ms_between(job->accepted_at_ns, obs::window_now_ns())
+              : -1.0;
+      jobs_[job->id] = job;
+      job_order_.push_back(job->id);
+      while (job_order_.size() > options_.job_history) {
+        jobs_.erase(job_order_.front());
+        job_order_.pop_front();
+      }
+    } else {
+      job->admitted_at_ns = obs::window_now_ns();
+      jobs_[job->id] = job;
+      ++in_flight_;
+      instruments.in_flight.set(static_cast<double>(in_flight_));
+    }
+  }
+  if (shed) {
+    instruments.shed.add();
+    {
+      const std::lock_guard<std::mutex> lock(counts_mutex_);
+      ++counts_.shed;
+    }
+    obs::FlightRecorder::global().note_event("job.shed", job->id);
+    const bool burn_edge =
+        obs::SloPlane::global().record(obs::RequestOutcome::kShed, -1.0);
+    obs::FlightRecorder::global().trigger("shed", job->id);
+    if (burn_edge) {
+      obs::FlightRecorder::global().trigger("slo_burn", job->id);
+    }
+    return render_job(job, /*accepted=*/false);  // kShed → 429 + Retry-After
   }
   instruments.admitted.add();
   {
@@ -333,6 +437,7 @@ net::HttpResponse Daemon::handle_submit(const std::string& operation,
                     obs::field("operation", operation),
                     obs::field("deadline_ms", deadline_ms),
                     obs::field("async", async)});
+    obs::FlightRecorder::global().note_event("job.admitted", job->id);
   }
 
   {
@@ -363,6 +468,36 @@ net::HttpResponse Daemon::handle_job_poll(const std::string& id) {
   return render_job(job, /*accepted=*/false);
 }
 
+net::HttpResponse Daemon::handle_job_trace(const std::string& id) {
+  std::shared_ptr<Job> job;
+  {
+    const std::lock_guard<std::mutex> lock(jobs_mutex_);
+    const auto it = jobs_.find(id);
+    if (it != jobs_.end()) job = it->second;
+  }
+  if (!job) return error_response(404, "unknown job id: " + id);
+
+  io::JsonObject out;
+  const std::lock_guard<std::mutex> lock(job->mutex);
+  out["job_id"] = job->id;
+  out["operation"] = job->operation;
+  out["state"] = std::string(job_state_name(job->state));
+  out["correlation_id"] = std::to_string(job->correlation);
+  out["deadline_ms"] = static_cast<double>(job->deadline_ms);
+  io::JsonObject stages;
+  auto stage = [&stages](const char* name, double ms) {
+    stages[name] = ms >= 0.0 ? io::Json(ms) : io::Json();
+  };
+  stage("transport_ms", job->transport_ms);
+  stage("parse_ms", job->parse_ms);
+  stage("queue_wait_ms", job->queue_wait_ms);
+  stage("solve_ms", job->solve_ms);
+  stage("render_ms", job->render_ms);
+  out["stages"] = io::Json(std::move(stages));
+  out["total_ms"] = job->total_ms >= 0.0 ? io::Json(job->total_ms) : io::Json();
+  return json_response(200, io::Json(std::move(out)));
+}
+
 net::HttpResponse Daemon::render_job(const std::shared_ptr<Job>& job,
                                      bool accepted) const {
   io::JsonObject out;
@@ -389,17 +524,41 @@ net::HttpResponse Daemon::render_job(const std::shared_ptr<Job>& job,
     status = 504;
   } else if (state == JobState::kCancelled) {
     status = 503;
+  } else if (state == JobState::kShed) {
+    status = 429;
   }
-  return json_response(status, io::Json(std::move(out)));
+  net::HttpResponse response = json_response(status, io::Json(std::move(out)));
+  if (state == JobState::kShed) {
+    response.headers.emplace_back("Retry-After", "1");
+  }
+  return response;
 }
 
 void Daemon::run_job(const std::shared_ptr<Job>& job) {
   const obs::ScopedCorrelation ctx(job->correlation);
   const ScopedCancelToken cancel(job->token);
+  std::int64_t stage_start = obs::window_now_ns();
   {
     const std::lock_guard<std::mutex> lock(job->mutex);
     job->state = JobState::kRunning;
+    if (job->admitted_at_ns > 0) {
+      job->queue_wait_ms = ms_between(job->admitted_at_ns, stage_start);
+    }
   }
+  // Stage clock: solve runs from here until mark_solved (the solver /
+  // evaluation call of the operation branch), render from then until
+  // mark_rendered (result JSON construction + dump).
+  auto mark_solved = [&job, &stage_start] {
+    const std::int64_t now = obs::window_now_ns();
+    const std::lock_guard<std::mutex> lock(job->mutex);
+    job->solve_ms = ms_between(stage_start, now);
+    stage_start = now;
+  };
+  auto mark_rendered = [&job, &stage_start] {
+    const std::int64_t now = obs::window_now_ns();
+    const std::lock_guard<std::mutex> lock(job->mutex);
+    job->render_ms = ms_between(stage_start, now);
+  };
   ServeObs& instruments = serve_obs();
   const obs::ScopedTimer timer(&instruments.request_seconds);
   const obs::Span span("serve.job");
@@ -415,16 +574,21 @@ void Daemon::run_job(const std::shared_ptr<Job>& job) {
         game = io::parse_game_options(job->request.at("game"));
       }
       market::GameResult result = framework_->find_equilibrium(game);
+      mark_solved();
       if (result.cancelled) {
         // Partial result: the shares reached so far ride along with the 504.
+        std::string rendered = io::to_json(result).dump();
+        mark_rendered();
         finish_job(job,
                    job->token.deadline_exceeded() ? JobState::kDeadlineExceeded
                                                   : JobState::kCancelled,
-                   io::to_json(result).dump(),
+                   std::move(rendered),
                    "game cancelled before equilibrium; partial result");
         return;
       }
-      finish_job(job, JobState::kSucceeded, io::to_json(result).dump(), {});
+      std::string rendered = io::to_json(result).dump();
+      mark_rendered();
+      finish_job(job, JobState::kSucceeded, std::move(rendered), {});
     } else if (job->operation == "sweep") {
       require(job->request.contains("sweep"),
               "sweep request requires a \"sweep\" section");
@@ -438,14 +602,17 @@ void Daemon::run_job(const std::shared_ptr<Job>& job) {
       if (job->request.contains("game")) {
         sweep.game = io::parse_game_options(job->request.at("game"));
       }
+      const auto sweep_points = framework_->sweep_prices(sweep);
+      mark_solved();
       io::JsonArray points;
-      for (const auto& point : framework_->sweep_prices(sweep)) {
+      for (const auto& point : sweep_points) {
         points.push_back(io::to_json(point));
       }
       io::JsonObject result;
       result["points"] = io::Json(std::move(points));
-      finish_job(job, JobState::kSucceeded,
-                 io::Json(std::move(result)).dump(), {});
+      std::string rendered = io::Json(std::move(result)).dump();
+      mark_rendered();
+      finish_job(job, JobState::kSucceeded, std::move(rendered), {});
     } else if (job->operation == "evaluate") {
       require(job->request.contains("shares"),
               "evaluate request requires a \"shares\" array");
@@ -456,6 +623,7 @@ void Daemon::run_job(const std::shared_ptr<Job>& job) {
       const auto metrics = framework_->metrics_for(shares);
       const auto costs = framework_->costs(shares);
       const auto utilities = framework_->utilities(shares);
+      mark_solved();
       io::JsonObject result;
       result["metrics"] = io::to_json(metrics);
       io::JsonArray cost_array, utility_array;
@@ -463,8 +631,9 @@ void Daemon::run_job(const std::shared_ptr<Job>& job) {
       for (double u : utilities) utility_array.emplace_back(u);
       result["costs"] = io::Json(std::move(cost_array));
       result["utilities"] = io::Json(std::move(utility_array));
-      finish_job(job, JobState::kSucceeded,
-                 io::Json(std::move(result)).dump(), {});
+      std::string rendered = io::Json(std::move(result)).dump();
+      mark_rendered();
+      finish_job(job, JobState::kSucceeded, std::move(rendered), {});
     } else {
       throw Error("unknown operation: " + job->operation,
                   ErrorCode::kInvalidConfig, "serve");
@@ -490,6 +659,8 @@ void Daemon::run_job(const std::shared_ptr<Job>& job) {
 void Daemon::finish_job(const std::shared_ptr<Job>& job, JobState state,
                         std::string result_json, std::string error) {
   ServeObs& instruments = serve_obs();
+  const std::int64_t end_ns = obs::window_now_ns();
+  double seconds = -1.0;  ///< end-to-end latency fed to the SLO plane
   {
     const std::lock_guard<std::mutex> lock(job->mutex);
     job->state = state;
@@ -499,8 +670,27 @@ void Daemon::finish_job(const std::shared_ptr<Job>& job, JobState state,
     }
     job->error = std::move(error);
     job->done = true;
+    const std::int64_t origin =
+        job->accepted_at_ns > 0 ? job->accepted_at_ns : job->admitted_at_ns;
+    if (origin > 0) {
+      job->total_ms = ms_between(origin, end_ns);
+      seconds = job->total_ms * 1e-3;
+    }
   }
-  job->cv.notify_all();
+
+  // SLO accounting and flight-recorder triggers run BEFORE the waiter is
+  // woken: by the time a synchronous client sees its 504, the flight dump
+  // that 504 promises already exists on disk.
+  obs::FlightRecorder::global().note_event(
+      std::string("job.") + job_state_name(state), job->id);
+  const bool burn_edge =
+      obs::SloPlane::global().record(outcome_for(state), seconds);
+  if (state == JobState::kDeadlineExceeded) {
+    obs::FlightRecorder::global().trigger("deadline_exceeded", job->id);
+  }
+  if (burn_edge) {
+    obs::FlightRecorder::global().trigger("slo_burn", job->id);
+  }
 
   // Terminal counters are settled BEFORE in_flight_ drops: drain() returns
   // the moment in_flight_ reaches zero, and the counter contract
@@ -527,7 +717,8 @@ void Daemon::finish_job(const std::shared_ptr<Job>& job, JobState state,
         break;
       case JobState::kQueued:
       case JobState::kRunning:
-        break;  // not terminal; unreachable from finish_job
+      case JobState::kShed:  // shed jobs are terminal at birth, never here
+        break;               // unreachable from finish_job
     }
   }
 
@@ -537,13 +728,18 @@ void Daemon::finish_job(const std::shared_ptr<Job>& job, JobState state,
     instruments.in_flight.set(static_cast<double>(in_flight_));
     // History bound: completed jobs are evicted oldest-first once the table
     // outgrows job_history. Waiters hold their own shared_ptr, so eviction
-    // never invalidates an in-progress response.
+    // never invalidates an in-progress response. This runs BEFORE the
+    // waiter is woken below: a client that sequences requests therefore
+    // observes history pushes in completion order — otherwise this job's
+    // push could land after jobs finished later, and a stale entry would
+    // dodge eviction for as long as the daemon lives.
     job_order_.push_back(job->id);
     while (job_order_.size() > options_.job_history) {
       jobs_.erase(job_order_.front());
       job_order_.pop_front();
     }
   }
+  job->cv.notify_all();
   jobs_cv_.notify_all();
   obs::log_debug("serve", "job finished",
                  {obs::field("job", job->id),

@@ -12,8 +12,11 @@
 //   POST /v1/sweep        {"sweep": {"ratios": [...], ...}, "game": {...},
 //                          "deadline_ms": N, "async": false}
 //   POST /v1/evaluate     {"shares": [...], "deadline_ms": N, "async": false}
-//   GET  /v1/jobs/<id>    poll an async job
-//   GET  /metrics /healthz /statusz /profilez   (telemetry plane, embedded)
+//   GET  /v1/jobs/<id>        poll an async job
+//   GET  /v1/jobs/<id>/trace  per-job stage timings (transport, parse,
+//                             queue wait, solve, render) + correlation id
+//   GET  /metrics /healthz /statusz /profilez /slosz /debugz/flight
+//        (telemetry + SLO plane, embedded)
 //
 // Response envelope:
 //   {"job_id": "job-7", "state": "succeeded", "operation": "equilibrium",
@@ -30,8 +33,9 @@
 //    413, io overload 503 — all before any JSON is parsed;
 //  * admission control: at most `max_queue_depth` jobs may be in flight
 //    (queued + running); beyond that the request is shed with 429 +
-//    Retry-After and counted in serve.shed. /healthz reports degraded while
-//    the queue sits at its limit;
+//    Retry-After and counted in serve.shed. Shed requests still get a job
+//    id (terminal state "shed") so their trace stays retrievable. /healthz
+//    reports degraded while the queue sits at its limit;
 //  * deadlines: `deadline_ms` (request) or `default_deadline_ms` (daemon)
 //    arms a CancelToken installed as the ambient token for the job; game
 //    rounds, solver sweeps, and batch evaluations poll it cooperatively, so
@@ -79,6 +83,15 @@ struct DaemonOptions {
   std::size_t max_body_bytes = 1 << 20;
   int read_timeout_ms = 10000;
   std::string backend_label = "serve";
+  /// Latency objective in milliseconds for the SLO plane (/slosz): an ok
+  /// request slower than this burns error budget. 0 = no latency SLO.
+  double slo_latency_ms = 0.0;
+  /// Availability objective in (0, 1) (e.g. 0.99). 0 = no availability SLO
+  /// (no burn-rate accounting, no burn-triggered flight dumps).
+  double slo_availability = 0.0;
+  /// Directory for flight-recorder dump artifacts (flight-<seq>.json);
+  /// empty = dumps stay in memory (still visible at /debugz/flight).
+  std::string flight_dir;
   /// Backend / cache / resilience configuration of the shared Framework.
   FrameworkOptions framework;
 };
@@ -90,6 +103,8 @@ enum class JobState {
   kFailed,
   kCancelled,          ///< drain cancelled it before/while running
   kDeadlineExceeded,   ///< its deadline fired
+  kShed,               ///< admission control refused it (429); terminal at
+                       ///< birth, but it still gets an id and a trace
 };
 
 [[nodiscard]] const char* job_state_name(JobState state) noexcept;
@@ -144,6 +159,7 @@ class Daemon {
   [[nodiscard]] net::HttpResponse handle_submit(const std::string& operation,
                                                 const net::HttpRequest& request);
   [[nodiscard]] net::HttpResponse handle_job_poll(const std::string& id);
+  [[nodiscard]] net::HttpResponse handle_job_trace(const std::string& id);
   void run_job(const std::shared_ptr<Job>& job);
   void finish_job(const std::shared_ptr<Job>& job, JobState state,
                   std::string result_json, std::string error);

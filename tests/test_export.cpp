@@ -129,6 +129,66 @@ TEST(Export, OpenMetricsEscapesBackendLabel) {
       std::string::npos);
 }
 
+TEST(Export, LabeledMetricNameBuildsEscapedSeriesNames) {
+  EXPECT_EQ(obs::labeled_metric_name("serve.http.requests", {}),
+            "serve.http.requests");
+  EXPECT_EQ(obs::labeled_metric_name(
+                "serve.http.requests", {{"path", "/metrics"}, {"code", "200"}}),
+            "serve.http.requests{path=\"/metrics\",code=\"200\"}");
+  EXPECT_EQ(obs::labeled_metric_name("x", {{"k", "a\"b"}}),
+            "x{k=\"a\\\"b\"}");
+}
+
+TEST(Export, LabeledFamiliesGetExactlyOneTypeLine) {
+  obs::RunReport report;
+  // '_' sorts before '{' so `serve_http_requests_other` would interleave
+  // between the two labeled series under naive map-order rendering; the
+  // family must still be declared exactly once.
+  report.metrics.counters["serve.http.requests{path=\"/metrics\"}"] = 3;
+  report.metrics.counters["serve.http.requests{path=\"/slosz\"}"] = 2;
+  report.metrics.counters["serve.http.requests.other"] = 1;
+  report.metrics.gauges["serve.queue.depth{pool=\"jobs\"}"] = 4.0;
+  const std::string text = obs::OpenMetricsExporter().render(report);
+
+  const auto problems = scshare::test::check_openmetrics(text);
+  EXPECT_TRUE(problems.empty()) << scshare::test::join_problems(problems);
+
+  std::map<std::string, int> type_lines;
+  for (const auto& line : lines_of(text)) {
+    if (line.rfind("# TYPE ", 0) == 0) {
+      ++type_lines[line.substr(7, line.find(' ', 7) - 7)];
+    }
+  }
+  EXPECT_EQ(type_lines["scshare_serve_http_requests"], 1);
+  EXPECT_EQ(type_lines["scshare_serve_http_requests_other"], 1);
+  EXPECT_EQ(type_lines["scshare_serve_queue_depth"], 1);
+  EXPECT_NE(
+      text.find("scshare_serve_http_requests_total{path=\"/metrics\"} 3\n"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(
+      text.find("scshare_serve_http_requests_total{path=\"/slosz\"} 2\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("scshare_serve_queue_depth{pool=\"jobs\"} 4\n"),
+            std::string::npos);
+}
+
+TEST(Export, BuildInfoMetricCarriesTheBinaryIdentity) {
+  const std::string text =
+      obs::OpenMetricsExporter().render(sample_report());
+  const obs::BuildIdentity& build = obs::build_identity();
+  EXPECT_FALSE(build.version.empty());
+  EXPECT_FALSE(build.compiler.empty());
+  const std::string expected = "scshare_build_info{version=\"" +
+                               obs::escape_label_value(build.version) +
+                               "\",compiler=\"" +
+                               obs::escape_label_value(build.compiler) +
+                               "\",build_type=\"" +
+                               obs::escape_label_value(build.build_type) +
+                               "\"} 1\n";
+  EXPECT_NE(text.find(expected), std::string::npos) << text;
+}
+
 TEST(Export, FactoryBuildsBothFormatsAndRejectsUnknown) {
   const auto json = io::make_exporter("json");
   const auto prom = io::make_exporter("prom");

@@ -223,3 +223,50 @@ TEST(Log, LinesWrittenCounterAdvances) {
   obs::log_info("t", "two");
   EXPECT_EQ(obs::Logger::global().lines_written(), before + 2);
 }
+
+TEST(Log, WarnRateLimitBurstsThenSuppressesWithSummary) {
+  CaptureLog capture;
+  obs::Logger::global().set_format(obs::LogFormat::kText);
+  obs::reset_log_rate_limits();
+  const std::int64_t t0 = 1'000'000'000;  // deterministic refill clock
+
+  int emitted = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (obs::log_warn_limited_at("lim", "hot warning", {}, t0)) ++emitted;
+  }
+  EXPECT_EQ(emitted, static_cast<int>(obs::kLogRateLimitBurst));
+
+  // 3 seconds later 3 tokens have refilled; the next line that passes must
+  // carry the 15 suppressed repeats as a suppressed=N field.
+  EXPECT_TRUE(obs::log_warn_limited_at("lim", "hot warning", {},
+                                       t0 + 3'000'000'000));
+  const auto lines = capture.lines();
+  ASSERT_EQ(lines.size(), 6u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(lines[i].find("suppressed="), std::string::npos) << lines[i];
+  }
+  EXPECT_NE(lines[5].find("suppressed=15"), std::string::npos) << lines[5];
+}
+
+TEST(Log, WarnRateLimitKeysAreIndependent) {
+  CaptureLog capture;
+  obs::reset_log_rate_limits();
+  const std::int64_t t0 = 1'000'000'000;
+  for (int i = 0; i < 10; ++i) {
+    (void)obs::log_warn_limited_at("a", "same message", {}, t0);
+  }
+  // A different (component, message) key draws from its own full bucket.
+  EXPECT_TRUE(obs::log_warn_limited_at("b", "same message", {}, t0));
+  EXPECT_TRUE(obs::log_warn_limited_at("a", "other message", {}, t0));
+}
+
+TEST(Log, SuppressedTotalMetricAdvances) {
+  CaptureLog capture;
+  obs::reset_log_rate_limits();
+  const std::uint64_t before = obs::log_suppressed_total();
+  const std::int64_t t0 = 1'000'000'000;
+  for (int i = 0; i < 8; ++i) {
+    (void)obs::log_warn_limited_at("metric", "counted warning", {}, t0);
+  }
+  EXPECT_EQ(obs::log_suppressed_total(), before + 3);  // 8 calls - 5 burst
+}

@@ -8,6 +8,9 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -16,6 +19,7 @@
 #include "io/config_io.hpp"
 #include "io/json.hpp"
 #include "net/http.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace fed = scshare::federation;
 namespace io = scshare::io;
@@ -283,6 +287,140 @@ TEST(ServeDaemon, DrainCancelsInFlightJobsAndAccountsForEverything) {
   EXPECT_TRUE(daemon.drain());
 }
 
+TEST(ServeDaemon, TraceIsRetrievableForCompletedJobs) {
+  const auto cfg = small();
+  serve::Daemon daemon(cfg, prices_for(cfg), {}, fast_options());
+  const auto result = post(daemon.port(), "/v1/equilibrium", "{}");
+  ASSERT_EQ(result.status, 200) << result.body;
+  const io::Json envelope = io::Json::parse(result.body);
+  const std::string id = envelope.at("job_id").as_string();
+
+  const auto trace = net::http_get(daemon.port(), "/v1/jobs/" + id + "/trace");
+  ASSERT_EQ(trace.status, 200) << trace.body;
+  const io::Json doc = io::Json::parse(trace.body);
+  EXPECT_EQ(doc.at("job_id").as_string(), id);
+  EXPECT_EQ(doc.at("state").as_string(), "succeeded");
+  EXPECT_EQ(doc.at("correlation_id").as_string(),
+            envelope.at("correlation_id").as_string());
+
+  // Every stage ran for a completed sync job, and the stage timings nest
+  // inside the end-to-end total.
+  const io::Json& stages = doc.at("stages");
+  for (const char* stage : {"transport_ms", "parse_ms", "queue_wait_ms",
+                            "solve_ms", "render_ms"}) {
+    ASSERT_FALSE(stages.at(stage).is_null()) << stage << ": " << trace.body;
+    EXPECT_GE(stages.at(stage).as_double(), 0.0) << stage;
+  }
+  ASSERT_FALSE(doc.at("total_ms").is_null());
+  EXPECT_GE(doc.at("total_ms").as_double(),
+            stages.at("solve_ms").as_double());
+
+  EXPECT_EQ(
+      net::http_get(daemon.port(), "/v1/jobs/job-424242/trace").status, 404);
+  EXPECT_EQ(net::http_get(daemon.port(), "/v1/jobs/" + id + "/bogus").status,
+            404);
+}
+
+TEST(ServeDaemon, DeadlineExceededJobLeavesTraceAndFlightDump) {
+  const auto cfg = small();
+  auto options = slow_job_options();
+  options.flight_dir = testing::TempDir();
+  serve::Daemon daemon(cfg, prices_for(cfg), {}, options);
+  const std::uint64_t dumps_before = scshare::obs::FlightRecorder::global().dumps();
+
+  // Occupy the worker, then let a queued job's deadline fire.
+  ASSERT_EQ(post(daemon.port(), "/v1/sweep", kSlowSweep).status, 202);
+  const auto late =
+      post(daemon.port(), "/v1/equilibrium", R"({"deadline_ms": 1})");
+  ASSERT_EQ(late.status, 504) << late.body;
+  const std::string id = io::Json::parse(late.body).at("job_id").as_string();
+
+  // The trace survives: the job died waiting, so solve/render never ran.
+  const auto trace = net::http_get(daemon.port(), "/v1/jobs/" + id + "/trace");
+  ASSERT_EQ(trace.status, 200) << trace.body;
+  const io::Json doc = io::Json::parse(trace.body);
+  EXPECT_EQ(doc.at("state").as_string(), "deadline_exceeded");
+  EXPECT_DOUBLE_EQ(doc.at("deadline_ms").as_double(), 1.0);
+  EXPECT_TRUE(doc.at("stages").at("solve_ms").is_null()) << trace.body;
+  EXPECT_FALSE(doc.at("total_ms").is_null());
+
+  // By the time the 504 was rendered the flight recorder had dumped, and
+  // the artifact it reported exists on disk.
+  scshare::obs::FlightRecorder& recorder = scshare::obs::FlightRecorder::global();
+  EXPECT_GT(recorder.dumps(), dumps_before);
+  const auto last = recorder.last_dump();
+  EXPECT_EQ(last.reason, "deadline_exceeded");
+  ASSERT_FALSE(last.path.empty());
+  std::ifstream artifact(last.path);
+  ASSERT_TRUE(artifact.good()) << last.path;
+  std::ostringstream buffer;
+  buffer << artifact.rdbuf();
+  const io::Json dump = io::Json::parse(buffer.str());
+  EXPECT_EQ(dump.at("reason").as_string(), "deadline_exceeded");
+  EXPECT_FALSE(dump.at("records").as_array().empty());
+  wait_idle(daemon);
+}
+
+TEST(ServeDaemon, ShedJobsKeepAPollableTrace) {
+  const auto cfg = small();
+  auto options = slow_job_options();
+  options.max_queue_depth = 2;
+  serve::Daemon daemon(cfg, prices_for(cfg), {}, options);
+
+  ASSERT_EQ(post(daemon.port(), "/v1/sweep", kSlowSweep).status, 202);
+  ASSERT_EQ(post(daemon.port(), "/v1/sweep", kSlowSweep).status, 202);
+  const auto shed = post(daemon.port(), "/v1/equilibrium", "{}");
+  ASSERT_EQ(shed.status, 429) << shed.body;
+  const io::Json envelope = io::Json::parse(shed.body);
+  EXPECT_EQ(envelope.at("state").as_string(), "shed");
+  const std::string id = envelope.at("job_id").as_string();
+
+  // Polling the shed job keeps answering 429 + Retry-After...
+  const auto poll = net::http_get(daemon.port(), "/v1/jobs/" + id);
+  EXPECT_EQ(poll.status, 429);
+  EXPECT_NE(poll.headers.find("Retry-After: 1"), std::string::npos);
+
+  // ...and its trace records that it was refused before any stage ran.
+  const auto trace = net::http_get(daemon.port(), "/v1/jobs/" + id + "/trace");
+  ASSERT_EQ(trace.status, 200) << trace.body;
+  const io::Json doc = io::Json::parse(trace.body);
+  EXPECT_EQ(doc.at("state").as_string(), "shed");
+  EXPECT_TRUE(doc.at("stages").at("queue_wait_ms").is_null());
+  EXPECT_TRUE(doc.at("stages").at("solve_ms").is_null());
+  EXPECT_FALSE(doc.at("stages").at("parse_ms").is_null());
+
+  wait_idle(daemon);
+  const auto counts = daemon.counts();
+  EXPECT_EQ(counts.shed, 1u);
+  expect_counter_contract(counts);
+}
+
+TEST(ServeDaemon, SloszReportsTheDaemonsObjectivesAndOutcomes) {
+  const auto cfg = small();
+  auto options = fast_options();
+  options.slo_latency_ms = 30000.0;  // far above any test latency
+  options.slo_availability = 0.5;
+  serve::Daemon daemon(cfg, prices_for(cfg), {}, options);
+  ASSERT_EQ(post(daemon.port(), "/v1/equilibrium", "{}").status, 200);
+
+  const auto slosz = net::http_get(daemon.port(), "/slosz");
+  ASSERT_EQ(slosz.status, 200);
+  const io::Json doc = io::Json::parse(slosz.body);
+  EXPECT_DOUBLE_EQ(doc.at("objectives").at("latency_ms").as_double(), 30000.0);
+  EXPECT_DOUBLE_EQ(doc.at("objectives").at("availability").as_double(), 0.5);
+  ASSERT_EQ(doc.at("windows").size(), 3u);
+  // The global plane accumulates across tests in this binary: assert lower
+  // bounds, not exact counts.
+  const io::Json& fast = doc.at("windows").as_array().front();
+  EXPECT_GE(fast.at("outcomes").at("ok").as_int(), 1);
+  ASSERT_FALSE(fast.at("latency_ms").is_null());
+  EXPECT_GE(fast.at("latency_ms").at("samples").as_int(), 1);
+
+  const auto flight = net::http_get(daemon.port(), "/debugz/flight");
+  ASSERT_EQ(flight.status, 200);
+  EXPECT_GE(io::Json::parse(flight.body).at("records_held").as_int(), 1);
+}
+
 TEST(ServeDaemon, JobHistoryIsBounded) {
   const auto cfg = small();
   auto options = fast_options();
@@ -298,18 +436,11 @@ TEST(ServeDaemon, JobHistoryIsBounded) {
   }
   wait_idle(daemon);
   // Oldest jobs were evicted from the poll table; newest are retained.
-  // Eviction runs after the job's waiter is released (terminal counters and
-  // client responses settle first), so poll briefly for the 404.
-  int evicted_status = 0;
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::seconds(5);
-  while (std::chrono::steady_clock::now() < deadline) {
-    evicted_status =
-        net::http_get(daemon.port(), "/v1/jobs/" + ids.front()).status;
-    if (evicted_status == 404) break;
-    std::this_thread::sleep_for(std::chrono::milliseconds(10));
-  }
-  EXPECT_EQ(evicted_status, 404);
+  // finish_job pushes the history entry and evicts BEFORE releasing the
+  // job's waiter, so by the time the 4th POST returned the eviction of the
+  // 1st job had already happened — no retry loop needed.
+  EXPECT_EQ(net::http_get(daemon.port(), "/v1/jobs/" + ids.front()).status,
+            404);
   EXPECT_EQ(net::http_get(daemon.port(), "/v1/jobs/" + ids.back()).status,
             200);
 }

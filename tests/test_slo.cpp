@@ -1,0 +1,415 @@
+// SLO-plane tests (src/obs/digest|window|slo|flight_recorder):
+//  * LogBucketDigest rank accuracy (<= 1% rank error on a deterministic
+//    log-uniform workload), merge equivalence, and clamping;
+//  * windowed rotation under a fake clock and count monotonicity under a
+//    concurrent writer/scraper hammer (the TSan target of the suite);
+//  * SloPlane burn-rate accounting, the edge-triggered burn transition, and
+//    the /slosz JSON schema;
+//  * FlightRecorder ring bounds, dump artifacts, rate limiting, and the
+//    global logger tap.
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/json.hpp"
+#include "obs/digest.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/log.hpp"
+#include "obs/slo.hpp"
+#include "obs/window.hpp"
+
+namespace obs = scshare::obs;
+namespace io = scshare::io;
+
+namespace {
+
+constexpr std::int64_t kNs = 1'000'000'000;
+
+/// Deterministic log-uniform latency workload over [1e-4, 10] seconds.
+std::vector<double> log_uniform_workload(std::size_t n) {
+  std::vector<double> values;
+  values.reserve(n);
+  std::uint64_t state = 42;
+  for (std::size_t i = 0; i < n; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double u =
+        static_cast<double>(state >> 11) / 9007199254740992.0;  // [0, 1)
+    values.push_back(1e-4 * std::pow(10.0, 5.0 * u));
+  }
+  return values;
+}
+
+/// Rank error of reporting `reported` as quantile `q` of `sorted`: distance
+/// from q to the closest rank (as a fraction) the reported value actually
+/// occupies.
+double rank_error(const std::vector<double>& sorted, double q,
+                  double reported) {
+  const auto lo = std::lower_bound(sorted.begin(), sorted.end(), reported);
+  const auto hi = std::upper_bound(sorted.begin(), sorted.end(), reported);
+  const double n = static_cast<double>(sorted.size());
+  const double lo_frac = static_cast<double>(lo - sorted.begin()) / n;
+  const double hi_frac = static_cast<double>(hi - sorted.begin()) / n;
+  if (q < lo_frac) return lo_frac - q;
+  if (q > hi_frac) return q - hi_frac;
+  return 0.0;
+}
+
+}  // namespace
+
+TEST(Digest, RankErrorStaysUnderOnePercent) {
+  obs::LogBucketDigest digest;
+  std::vector<double> values = log_uniform_workload(10000);
+  for (double v : values) digest.add(v);
+  std::sort(values.begin(), values.end());
+
+  for (double q : {0.01, 0.10, 0.50, 0.90, 0.95, 0.99, 0.999}) {
+    const double reported = digest.quantile(q);
+    EXPECT_LE(rank_error(values, q, reported), 0.01)
+        << "q=" << q << " reported=" << reported;
+  }
+  EXPECT_EQ(digest.count(), values.size());
+  EXPECT_DOUBLE_EQ(digest.min(), values.front());
+  EXPECT_DOUBLE_EQ(digest.max(), values.back());
+}
+
+TEST(Digest, MergeMatchesSingleStream) {
+  obs::LogBucketDigest all, left, right;
+  const std::vector<double> values = log_uniform_workload(4000);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    all.add(values[i]);
+    (i % 2 == 0 ? left : right).add(values[i]);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  // Sums differ only by floating-point addition order.
+  EXPECT_NEAR(left.sum(), all.sum(), 1e-9 * all.sum());
+  for (double q : {0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(left.quantile(q), all.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(Digest, MergeRejectsMismatchedGeometry) {
+  obs::DigestOptions narrow;
+  narrow.max_value = 1.0;
+  obs::LogBucketDigest a, b{narrow};
+  a.add(0.5);
+  b.add(0.5);
+  EXPECT_THROW(a.merge(b), std::exception);
+}
+
+TEST(Digest, ClampsOutliersAndHandlesEmpty) {
+  obs::LogBucketDigest digest;
+  EXPECT_TRUE(digest.empty());
+  EXPECT_DOUBLE_EQ(digest.quantile(0.99), 0.0);
+
+  digest.add(-5.0);          // negative: underflow bucket
+  digest.add(1e9);           // beyond max_value: overflow bucket
+  digest.add(0.25, 8);       // weighted add
+  EXPECT_EQ(digest.count(), 10u);
+  // Quantiles stay within the observed value range despite the clamps.
+  EXPECT_GE(digest.quantile(0.0), digest.min());
+  EXPECT_LE(digest.quantile(1.0), digest.max());
+  EXPECT_EQ(digest.count_at_or_below(0.5), 9u);
+
+  digest.reset();
+  EXPECT_TRUE(digest.empty());
+  EXPECT_EQ(digest.count_at_or_below(1.0), 0u);
+}
+
+TEST(Window, CounterRotatesEventsOutOfTheHorizon) {
+  obs::WindowOptions options;  // 31 x 10s
+  obs::WindowedCounter counter(options);
+  const std::int64_t t0 = 5 * kNs;  // middle of slot 0
+  counter.add_at(5, t0);
+  EXPECT_EQ(counter.sum_at(10, t0), 5u);
+  // Two slots later the event has left the 10s horizon but not the 5m one.
+  EXPECT_EQ(counter.sum_at(10, t0 + 20 * kNs), 0u);
+  EXPECT_EQ(counter.sum_at(300, t0 + 20 * kNs), 5u);
+  // Once the ring wraps past slot 0 the event is gone everywhere.
+  EXPECT_EQ(counter.sum_at(300, t0 + 400 * kNs), 0u);
+}
+
+TEST(Window, HistogramSnapshotsMergeTrailingSlots) {
+  obs::WindowedHistogram histogram{obs::WindowOptions{}};
+  const std::int64_t t0 = 5 * kNs;
+  histogram.record_at(0.010, t0);
+  histogram.record_at(0.020, t0 + 30 * kNs);   // slot 3
+  histogram.record_at(0.040, t0 + 60 * kNs);   // slot 6
+
+  // At t0+60s the 10s window sees only the newest sample...
+  EXPECT_EQ(histogram.snapshot_at(10, t0 + 60 * kNs).count(), 1u);
+  // ...the 1m window all three...
+  const obs::LogBucketDigest minute = histogram.snapshot_at(60, t0 + 60 * kNs);
+  EXPECT_EQ(minute.count(), 3u);
+  EXPECT_DOUBLE_EQ(minute.max(), 0.040);
+  // ...and after five minutes of silence everything ages out.
+  EXPECT_TRUE(histogram.snapshot_at(300, t0 + 700 * kNs).empty());
+}
+
+TEST(Window, RejectsDegenerateOptions) {
+  obs::WindowOptions bad;
+  bad.slot_seconds = 0;
+  EXPECT_THROW(obs::WindowedCounter{bad}, std::exception);
+  bad.slot_seconds = 10;
+  bad.slots = 1;
+  EXPECT_THROW(obs::WindowedHistogram{bad}, std::exception);
+}
+
+// The TSan target: writers and scrapers hammer one instrument at a pinned
+// clock (no rotation), and within a fixed slot every scraper must observe
+// non-decreasing counts. Run under -DSCSHARE_SANITIZE=thread this asserts
+// the rotation/observation locking is race-free.
+TEST(Window, ConcurrentScrapeHammerSeesMonotoneCounts) {
+  obs::WindowedCounter counter{obs::WindowOptions{}};
+  obs::WindowedHistogram histogram{obs::WindowOptions{}};
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 2000;
+  const std::int64_t now = 123 * kNs;
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> monotone{true};
+  std::vector<std::thread> scrapers;
+  for (int s = 0; s < 2; ++s) {
+    scrapers.emplace_back([&] {
+      std::uint64_t last_count = 0;
+      std::uint64_t last_samples = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const std::uint64_t count = counter.sum_at(60, now);
+        const std::uint64_t samples = histogram.snapshot_at(60, now).count();
+        if (count < last_count || samples < last_samples) {
+          monotone.store(false, std::memory_order_release);
+          return;
+        }
+        last_count = count;
+        last_samples = samples;
+      }
+    });
+  }
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        counter.add_at(1, now);
+        histogram.record_at(0.001 * static_cast<double>(i % 100 + 1), now);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& t : scrapers) t.join();
+
+  EXPECT_TRUE(monotone.load());
+  EXPECT_EQ(counter.sum_at(60, now),
+            static_cast<std::uint64_t>(kWriters) * kPerWriter);
+  EXPECT_EQ(histogram.snapshot_at(60, now).count(),
+            static_cast<std::uint64_t>(kWriters) * kPerWriter);
+}
+
+TEST(Slo, BurnRateEdgeTriggersExactlyOnceAndClears) {
+  obs::SloPlane plane;
+  obs::SloObjectives objectives;
+  objectives.latency_ms = 100.0;
+  objectives.availability = 0.99;
+  objectives.burn_threshold = 2.0;
+  plane.set_objectives(objectives);
+
+  const std::int64_t t0 = 1000 * kNs;
+  for (int i = 0; i < 98; ++i) {
+    EXPECT_FALSE(plane.record_at(obs::RequestOutcome::kOk, 0.010, t0));
+  }
+  EXPECT_FALSE(plane.burning());
+  // burn = 100k/(98+k) for k errors: crosses 2.0 at exactly k = 2.
+  EXPECT_FALSE(plane.record_at(obs::RequestOutcome::kError, -1.0, t0));
+  EXPECT_TRUE(plane.record_at(obs::RequestOutcome::kError, -1.0, t0));
+  EXPECT_TRUE(plane.burning());
+  // Already burning: no second edge.
+  EXPECT_FALSE(plane.record_at(obs::RequestOutcome::kError, -1.0, t0));
+  EXPECT_TRUE(plane.burning());
+
+  // 20 seconds later the bad requests have left the fast window; the next
+  // healthy record clears the burning latch.
+  EXPECT_FALSE(
+      plane.record_at(obs::RequestOutcome::kOk, 0.010, t0 + 20 * kNs));
+  EXPECT_FALSE(plane.burning());
+}
+
+TEST(Slo, LatencyViolationsBurnBudgetWithoutErrors) {
+  obs::SloPlane plane;
+  obs::SloObjectives objectives;
+  objectives.latency_ms = 100.0;
+  objectives.availability = 0.90;
+  plane.set_objectives(objectives);
+
+  const std::int64_t t0 = 1000 * kNs;
+  // Half the ok requests violate the 100ms objective.
+  for (int i = 0; i < 10; ++i) {
+    (void)plane.record_at(obs::RequestOutcome::kOk, i % 2 == 0 ? 0.050 : 0.500,
+                          t0);
+  }
+  // availability = 5/10; burn = 0.5 / 0.1 = 5.
+  EXPECT_NEAR(plane.burn_rate(10, t0), 5.0, 1e-12);
+}
+
+TEST(Slo, RenderSloszIsWellFormedAndAccountsOutcomes) {
+  obs::SloPlane plane;
+  obs::SloObjectives objectives;
+  objectives.latency_ms = 100.0;
+  objectives.availability = 0.90;
+  plane.set_objectives(objectives);
+
+  const std::int64_t t0 = 1000 * kNs;
+  (void)plane.record_at(obs::RequestOutcome::kOk, 0.010, t0);
+  (void)plane.record_at(obs::RequestOutcome::kOk, 0.020, t0);
+  (void)plane.record_at(obs::RequestOutcome::kOk, 0.500, t0);  // violation
+  (void)plane.record_at(obs::RequestOutcome::kError, -1.0, t0);
+  (void)plane.record_at(obs::RequestOutcome::kShed, -1.0, t0);
+  (void)plane.record_at(obs::RequestOutcome::kDeadlineExceeded, 1.0, t0);
+
+  const io::Json doc = io::Json::parse(plane.render_slosz_at(t0));
+  EXPECT_DOUBLE_EQ(doc.at("objectives").at("latency_ms").as_double(), 100.0);
+  EXPECT_DOUBLE_EQ(doc.at("objectives").at("availability").as_double(), 0.90);
+
+  const auto& windows = doc.at("windows").as_array();
+  ASSERT_EQ(windows.size(), 3u);
+  for (const io::Json& window : windows) {
+    const io::Json& outcomes = window.at("outcomes");
+    EXPECT_EQ(outcomes.at("ok").as_int(), 3);
+    EXPECT_EQ(outcomes.at("error").as_int(), 1);
+    EXPECT_EQ(outcomes.at("shed").as_int(), 1);
+    EXPECT_EQ(outcomes.at("deadline_exceeded").as_int(), 1);
+    EXPECT_EQ(outcomes.at("cancelled").as_int(), 0);
+    EXPECT_EQ(window.at("requests").as_int(), 6);
+    EXPECT_EQ(window.at("slo_latency_violations").as_int(), 1);
+
+    // 4 latency samples (shed/error carried none); percentiles monotone.
+    const io::Json& latency = window.at("latency_ms");
+    ASSERT_FALSE(latency.is_null());
+    EXPECT_EQ(latency.at("samples").as_int(), 4);
+    const double p50 = latency.at("p50").as_double();
+    const double p95 = latency.at("p95").as_double();
+    const double p999 = latency.at("p999").as_double();
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p999);
+    EXPECT_LE(p999, latency.at("max").as_double() * (1 + 1e-9));
+
+    // good = ok - violations = 2 of 6; burn = (1 - 1/3) / 0.1.
+    EXPECT_NEAR(window.at("availability").as_double(), 2.0 / 6.0, 1e-6);
+    EXPECT_NEAR(window.at("error_budget_burn").as_double(),
+                (1.0 - 2.0 / 6.0) / 0.1, 1e-3);
+  }
+}
+
+TEST(Slo, NoObjectivesMeansNullAvailabilityAndNoEdges) {
+  obs::SloPlane plane;  // objectives left unset
+  const std::int64_t t0 = 1000 * kNs;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(plane.record_at(obs::RequestOutcome::kError, -1.0, t0));
+  }
+  EXPECT_FALSE(plane.burning());
+  EXPECT_LT(plane.burn_rate(10, t0), 0.0);
+
+  const io::Json doc = io::Json::parse(plane.render_slosz_at(t0));
+  EXPECT_TRUE(doc.at("objectives").at("availability").is_null());
+  for (const io::Json& window : doc.at("windows").as_array()) {
+    EXPECT_TRUE(window.at("availability").is_null());
+    EXPECT_TRUE(window.at("error_budget_burn").is_null());
+  }
+}
+
+TEST(Flight, RingKeepsOnlyTheMostRecentRecords) {
+  obs::FlightRecorderOptions options;
+  options.capacity = 4;
+  obs::FlightRecorder recorder(options);
+  for (int i = 0; i < 10; ++i) {
+    recorder.note_event("e" + std::to_string(i), "detail");
+  }
+  const io::Json doc = io::Json::parse(recorder.render_debugz());
+  EXPECT_EQ(doc.at("capacity").as_int(), 4);
+  EXPECT_EQ(doc.at("records_held").as_int(), 4);
+  const auto& records = doc.at("records").as_array();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records.front().at("name").as_string(), "e6");  // oldest kept
+  EXPECT_EQ(records.back().at("name").as_string(), "e9");   // newest last
+}
+
+TEST(Flight, TriggerWritesArtifactAndRendersLastDump) {
+  obs::FlightRecorderOptions options;
+  options.artifact_dir = testing::TempDir();
+  obs::FlightRecorder recorder(options);
+  recorder.note_event("job.admitted", "job-1");
+  recorder.note_span("serve.job", 12.5);
+  recorder.note_log(obs::LogLevel::kWarn, "something shaped like a log line");
+
+  const std::string document = recorder.trigger("deadline_exceeded", "job-1");
+  ASSERT_FALSE(document.empty());
+  const io::Json parsed = io::Json::parse(document);
+  EXPECT_EQ(parsed.at("reason").as_string(), "deadline_exceeded");
+  EXPECT_EQ(parsed.at("detail").as_string(), "job-1");
+  EXPECT_EQ(parsed.at("seq").as_int(), 1);
+  ASSERT_EQ(parsed.at("records").as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(
+      parsed.at("records").as_array()[1].at("duration_ms").as_double(), 12.5);
+
+  EXPECT_EQ(recorder.dumps(), 1u);
+  const obs::FlightRecorder::DumpInfo last = recorder.last_dump();
+  EXPECT_EQ(last.seq, 1u);
+  EXPECT_EQ(last.reason, "deadline_exceeded");
+  ASSERT_FALSE(last.path.empty());
+
+  // The artifact on disk is the same document.
+  std::ifstream in(last.path);
+  ASSERT_TRUE(in.good()) << last.path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), document);
+  std::remove(last.path.c_str());
+}
+
+TEST(Flight, RepeatTriggersInsideTheIntervalAreSuppressed) {
+  obs::FlightRecorderOptions options;
+  options.min_interval_ms = 1000;
+  obs::FlightRecorder recorder(options);
+  recorder.note_event("e", "d");
+  const std::int64_t t0 = 50 * kNs;
+  EXPECT_FALSE(recorder.trigger_at("burn", "", t0).empty());
+  EXPECT_TRUE(recorder.trigger_at("burn", "", t0 + kNs / 2).empty());
+  EXPECT_FALSE(recorder.trigger_at("burn", "", t0 + 2 * kNs).empty());
+  EXPECT_EQ(recorder.dumps(), 2u);
+}
+
+TEST(Flight, ConfigureShrinksRingKeepingNewest) {
+  obs::FlightRecorder recorder;
+  for (int i = 0; i < 6; ++i) {
+    recorder.note_event("e" + std::to_string(i), "");
+  }
+  obs::FlightRecorderOptions smaller;
+  smaller.capacity = 3;
+  recorder.configure(smaller);
+  const io::Json doc = io::Json::parse(recorder.render_debugz());
+  EXPECT_EQ(doc.at("records_held").as_int(), 3);
+  const auto& records = doc.at("records").as_array();
+  EXPECT_EQ(records.front().at("name").as_string(), "e3");
+  EXPECT_EQ(records.back().at("name").as_string(), "e5");
+}
+
+TEST(Flight, GlobalRecorderTapsEveryEmittedLogLine) {
+  // Redirect the logger sink so the test stays quiet; the tap fires on emit
+  // regardless of the sink.
+  FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  FILE* previous = obs::Logger::global().set_stream(sink);
+  obs::log_warn("flighttap", "unique-flight-marker-5309");
+  obs::Logger::global().set_stream(previous);
+  std::fclose(sink);
+
+  const std::string debugz = obs::FlightRecorder::global().render_debugz();
+  EXPECT_NE(debugz.find("unique-flight-marker-5309"), std::string::npos);
+}

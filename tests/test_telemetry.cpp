@@ -18,7 +18,9 @@
 
 #include "io/json.hpp"
 #include "net/http.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "obs/status.hpp"
 #include "obs/telemetry_server.hpp"
 #include "openmetrics_check.hpp"
@@ -230,6 +232,69 @@ TEST(TelemetryServer, EndpointsServeLiveDocuments) {
   const auto index = net::http_get(server.port(), "/");
   EXPECT_EQ(index.status, 200);
   EXPECT_NE(index.body.find("/metrics"), std::string::npos);
+}
+
+TEST(TelemetryServer, SloAndFlightEndpointsServeParseableJson) {
+  obs::SloPlane::global().record(obs::RequestOutcome::kOk, 0.010);
+  obs::FlightRecorder::global().note_event("test.telemetry", "slosz probe");
+  obs::TelemetryServer server{obs::TelemetryServer::Options{}};
+
+  const auto slosz = net::http_get(server.port(), "/slosz");
+  ASSERT_EQ(slosz.status, 200);
+  EXPECT_NE(slosz.headers.find("application/json"), std::string::npos);
+  const io::Json slo = io::Json::parse(slosz.body);
+  EXPECT_TRUE(slo.contains("objectives"));
+  ASSERT_EQ(slo.at("windows").size(), 3u);
+  for (const io::Json& window : slo.at("windows").as_array()) {
+    EXPECT_GT(window.at("window_seconds").as_int(), 0);
+    EXPECT_TRUE(window.contains("outcomes"));
+  }
+  // The widest window saw the ok sample recorded above.
+  EXPECT_GE(
+      slo.at("windows").as_array().back().at("outcomes").at("ok").as_int(), 1);
+
+  const auto flight = net::http_get(server.port(), "/debugz/flight");
+  ASSERT_EQ(flight.status, 200);
+  const io::Json debugz = io::Json::parse(flight.body);
+  EXPECT_GT(debugz.at("capacity").as_int(), 0);
+  EXPECT_GE(debugz.at("records_held").as_int(), 1);
+  EXPECT_NE(flight.body.find("slosz probe"), std::string::npos);
+
+  // The index advertises both endpoints.
+  const auto index = net::http_get(server.port(), "/");
+  EXPECT_NE(index.body.find("/slosz"), std::string::npos);
+  EXPECT_NE(index.body.find("/debugz/flight"), std::string::npos);
+}
+
+TEST(TelemetryServer, HealthzCarriesBuildIdentityAndSloState) {
+  obs::TelemetryServer server{obs::TelemetryServer::Options{}};
+  const io::Json health =
+      io::Json::parse(net::http_get(server.port(), "/healthz").body);
+  const io::Json& build = health.at("build");
+  EXPECT_FALSE(build.at("version").as_string().empty());
+  EXPECT_FALSE(build.at("compiler").as_string().empty());
+  EXPECT_FALSE(build.at("build_type").as_string().empty());
+  // slo_burning is always present; with no objectives configured it is false.
+  EXPECT_TRUE(health.contains("slo_burning"));
+}
+
+TEST(TelemetryServer, HttpSelfMetricsCountScrapesByPath) {
+  obs::TelemetryServer server{obs::TelemetryServer::Options{}};
+  ASSERT_EQ(net::http_get(server.port(), "/healthz").status, 200);
+  const auto result = net::http_get(server.port(), "/metrics");
+  ASSERT_EQ(result.status, 200);
+  const auto samples = scshare::test::parse_openmetrics_samples(result.body);
+  const auto it = samples.find(
+      "scshare_http_requests_total{path=\"/healthz\",code=\"200\"}");
+  ASSERT_NE(it, samples.end()) << result.body;
+  EXPECT_GE(it->second, 1.0);
+  // The latency histogram rides along, and unknown paths collapse to
+  // "other" so the label space stays bounded.
+  EXPECT_NE(result.body.find("scshare_http_request_seconds"),
+            std::string::npos);
+  ASSERT_EQ(net::http_get(server.port(), "/not-a-real-path-xyz").status, 404);
+  const auto again = net::http_get(server.port(), "/metrics");
+  EXPECT_NE(again.body.find("path=\"other\",code=\"404\""), std::string::npos);
 }
 
 TEST(TelemetryServer, HealthzReportsDegradedCounters) {

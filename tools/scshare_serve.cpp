@@ -8,6 +8,8 @@
 //                               [--backend-chain=a,b,...] [--retry-max=N]
 //                               [--fault-spec=SPEC] [--threads=N]
 //                               [--cache-capacity=N]
+//                               [--slo-latency-ms=X] [--slo-availability=X]
+//                               [--flight-dir=DIR]
 //                               [--log-level=L] [--log-format=text|json]
 //
 // Loads the same configuration file as the scshare CLI (federation + optional
@@ -62,7 +64,8 @@ int usage() {
       "[--job-threads=N] [--max-queue=N] [--default-deadline-ms=N] "
       "[--drain-timeout-ms=N] [--backend approx|detailed|simulation] "
       "[--backend-chain=a,b,...] [--retry-max=N] [--fault-spec=SPEC] "
-      "[--threads=N] [--cache-capacity=N] [--log-level=L] "
+      "[--threads=N] [--cache-capacity=N] [--slo-latency-ms=X] "
+      "[--slo-availability=X] [--flight-dir=DIR] [--log-level=L] "
       "[--log-format=text|json]\n");
   return 2;
 }
@@ -178,6 +181,18 @@ int main(int argc, char** argv) {
       }
       return false;
     };
+    const auto double_flag = [&](const char* name, double& out) {
+      const std::string prefix = std::string(name) + "=";
+      if (arg.rfind(prefix, 0) == 0) {
+        out = std::atof(arg.substr(prefix.size()).c_str());
+        return true;
+      }
+      if (arg == name && i + 1 < argc) {
+        out = std::atof(argv[++i]);
+        return true;
+      }
+      return false;
+    };
     int port = -1, io_threads = -1, job_threads = -1, max_queue = -1;
     int default_deadline = -1, drain_timeout = -1;
     if (int_flag("--port", port)) {
@@ -213,6 +228,18 @@ int main(int argc, char** argv) {
       cli.fault_spec = argv[++i];
     } else if (int_flag("--threads", cli.threads)) {
     } else if (int_flag("--cache-capacity", cli.cache_capacity)) {
+    } else if (double_flag("--slo-latency-ms", cli.daemon.slo_latency_ms)) {
+      if (cli.daemon.slo_latency_ms < 0) return usage();
+    } else if (double_flag("--slo-availability",
+                           cli.daemon.slo_availability)) {
+      if (cli.daemon.slo_availability < 0 ||
+          cli.daemon.slo_availability >= 1.0) {
+        return usage();
+      }
+    } else if (arg.rfind("--flight-dir=", 0) == 0) {
+      cli.daemon.flight_dir = arg.substr(std::string("--flight-dir=").size());
+    } else if (arg == "--flight-dir" && i + 1 < argc) {
+      cli.daemon.flight_dir = argv[++i];
     } else if (arg.rfind("--log-level=", 0) == 0) {
       obs::LogLevel level;
       if (!obs::parse_log_level(arg.substr(std::string("--log-level=").size()),

@@ -33,9 +33,12 @@ SERVE_ERR="$WORK/serve_smoke_stderr.txt"
 : > "$SERVE_ERR"
 
 # Detailed backend + tiny cache keeps sweep jobs multi-second, so a single
-# job worker and a shallow queue give a deterministic overload window.
+# job worker and a shallow queue give a deterministic overload window. The
+# SLO flags arm /slosz burn accounting and deadline-triggered flight dumps.
+mkdir -p "$WORK/flight"
 "$SERVE" "$CONFIG" --port=0 --job-threads=1 --max-queue=4 \
   --backend detailed --cache-capacity=1 --drain-timeout-ms=4000 \
+  --slo-latency-ms=2000 --slo-availability=0.9 --flight-dir="$WORK/flight" \
   --log-format=text > "$SERVE_OUT" 2> "$SERVE_ERR" &
 SERVE_PID=$!
 cleanup() {
@@ -90,7 +93,9 @@ def scrape_metrics():
     for line in body.decode().splitlines():
         if not line or line.startswith("#"):
             continue
-        name, _, value = line.partition(" ")
+        # Value is the LAST token: label values (build identity, http paths)
+        # may legally contain spaces.
+        name, _, value = line.rpartition(" ")
         samples[name.partition("{")[0]] = float(value)
     return samples
 
@@ -216,6 +221,57 @@ if admitted != completed + failed + deadline_exceeded + cancelled:
     die("admitted contract violated (%d != %d + %d + %d + %d)"
         % (admitted, completed, failed, deadline_exceeded, cancelled))
 
+# -- SLO plane: /slosz must be well-formed JSON whose widest window exactly
+#    accounts for every outcome the serve counters saw, with ordered
+#    percentiles over the completed requests.
+status, _, body = request("GET", "/slosz", timeout=30.0)
+if status != 200:
+    die("GET /slosz returned %d" % status)
+slosz = json.loads(body)
+if slosz["objectives"]["latency_ms"] != 2000.0:
+    die("slosz latency objective %r, want 2000" % slosz["objectives"])
+if slosz["objectives"]["availability"] != 0.9:
+    die("slosz availability objective %r, want 0.9" % slosz["objectives"])
+windows = {w["window_seconds"]: w for w in slosz["windows"]}
+if sorted(windows) != [10, 60, 300]:
+    die("slosz windows %r, want 10/60/300" % sorted(windows))
+wide = windows[300]
+outcomes = wide["outcomes"]
+if outcomes["shed"] != shed:
+    die("slosz shed=%d but serve.shed=%d" % (outcomes["shed"], shed))
+if outcomes["deadline_exceeded"] != deadline_exceeded:
+    die("slosz deadline_exceeded=%d but counter says %d"
+        % (outcomes["deadline_exceeded"], deadline_exceeded))
+if outcomes["ok"] != completed:
+    die("slosz ok=%d but serve.completed=%d" % (outcomes["ok"], completed))
+if outcomes["error"] != invalid:
+    die("slosz error=%d but serve.invalid=%d" % (outcomes["error"], invalid))
+if wide["requests"] != sum(outcomes.values()):
+    die("slosz requests=%d != outcome sum %d"
+        % (wide["requests"], sum(outcomes.values())))
+latency = wide["latency_ms"]
+if latency is None or latency["samples"] < completed:
+    die("slosz latency digest missing or short: %r" % (latency,))
+quantiles = [latency[k] for k in ("p50", "p95", "p99", "p999")]
+if quantiles != sorted(quantiles) or quantiles[-1] > latency["max"]:
+    die("slosz percentiles not monotone: %r" % (latency,))
+if not (0.0 <= wide["availability"] <= 1.0):
+    die("slosz availability out of range: %r" % wide["availability"])
+if wide["error_budget_burn"] < 0.0:
+    die("slosz burn negative with an objective set: %r"
+        % wide["error_budget_burn"])
+
+# -- Flight recorder: at least one deadline-exceeded job fired during the
+#    burst, so a dump artifact must exist and /debugz/flight must report it.
+status, _, body = request("GET", "/debugz/flight", timeout=30.0)
+if status != 200:
+    die("GET /debugz/flight returned %d" % status)
+flight = json.loads(body)
+if flight["dumps"] < 1:
+    die("no flight dump after %d deadline-exceeded jobs" % deadline_exceeded)
+if flight["last_dump"] is None or not flight["last_dump"]["path"]:
+    die("flight dump recorded no artifact path: %r" % flight.get("last_dump"))
+
 # -- Daemon half of the bit-identical check: same game options the CLI reads
 #    from the config file, canonical dump of the result subtree.
 status, _, body = request(
@@ -247,6 +303,16 @@ with open(sys.argv[2], "w") as out:
 EOF
 cmp "$WORK/serve_smoke_daemon_eq.json" "$WORK/serve_smoke_cli_eq.json" \
   || fail "daemon equilibrium differs from the one-shot CLI result"
+
+# The flight dump promised by /debugz/flight must exist on disk and be JSON.
+ls "$WORK/flight"/flight-*.json >/dev/null 2>&1 \
+  || fail "no flight-*.json artifact in $WORK/flight"
+python3 -c 'import json,sys,glob
+for p in glob.glob(sys.argv[1] + "/flight-*.json"):
+    dump = json.load(open(p))
+    assert dump["reason"], p
+    assert isinstance(dump["records"], list) and dump["records"], p
+' "$WORK/flight" || fail "flight dump artifact is not well-formed JSON"
 
 # Phase 2: SIGTERM mid-burst. Two fresh slow sweeps are in flight when the
 # signal lands; the daemon must drain within --drain-timeout-ms, exit 0, and
